@@ -1,0 +1,88 @@
+"""Index construction cost — build time and space of every method.
+
+The paper's preprocessing bound is ``O(d n^{1+ρ})`` time and
+``O(n^{1+ρ} + dn)`` space.  This bench measures wall-clock build time and the
+number of stored filters (the space term the analysis bounds) for all indexes
+on the same skewed dataset, so regressions in construction cost are visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.chosen_path import ChosenPathIndex
+from repro.baselines.minhash import MinHashIndex
+from repro.baselines.prefix_filter import PrefixFilterIndex
+from repro.core.config import CorrelatedIndexConfig, SkewAdaptiveIndexConfig
+from repro.core.correlated_index import CorrelatedIndex
+from repro.core.skewed_index import SkewAdaptiveIndex
+
+ALPHA = 2.0 / 3.0
+B1 = ALPHA / 1.3
+
+
+def _build(index, dataset):
+    index.build(dataset)
+    return index
+
+
+@pytest.mark.parametrize("repetitions", [4])
+def test_build_correlated_index(benchmark, bench_skewed_distribution, bench_skewed_dataset, repetitions):
+    def setup():
+        index = CorrelatedIndex(
+            bench_skewed_distribution,
+            config=CorrelatedIndexConfig(alpha=ALPHA, repetitions=repetitions, seed=0),
+        )
+        return (index, bench_skewed_dataset), {}
+
+    index = benchmark.pedantic(_build, setup=setup, rounds=3, iterations=1)
+    benchmark.extra_info["stored_filters"] = index.total_stored_filters
+    benchmark.extra_info["filters_per_vector"] = round(index.build_stats.filters_per_vector, 1)
+    assert index.num_indexed == len(bench_skewed_dataset)
+
+
+@pytest.mark.parametrize("repetitions", [4])
+def test_build_adversarial_index(benchmark, bench_skewed_distribution, bench_skewed_dataset, repetitions):
+    def setup():
+        index = SkewAdaptiveIndex(
+            bench_skewed_distribution,
+            config=SkewAdaptiveIndexConfig(b1=B1, repetitions=repetitions, seed=0),
+        )
+        return (index, bench_skewed_dataset), {}
+
+    index = benchmark.pedantic(_build, setup=setup, rounds=3, iterations=1)
+    benchmark.extra_info["stored_filters"] = index.total_stored_filters
+    assert index.num_indexed == len(bench_skewed_dataset)
+
+
+@pytest.mark.parametrize("repetitions", [4])
+def test_build_chosen_path_index(benchmark, bench_skewed_distribution, bench_skewed_dataset, repetitions):
+    b2 = max(bench_skewed_distribution.expected_similarity(), 0.02)
+
+    def setup():
+        index = ChosenPathIndex(
+            bench_skewed_distribution.dimension, b1=B1, b2=b2, repetitions=repetitions, seed=0
+        )
+        return (index, bench_skewed_dataset), {}
+
+    index = benchmark.pedantic(_build, setup=setup, rounds=3, iterations=1)
+    benchmark.extra_info["stored_filters"] = index.total_stored_filters
+    assert index.num_indexed == len(bench_skewed_dataset)
+
+
+def test_build_prefix_filter_index(benchmark, bench_skewed_distribution, bench_skewed_dataset):
+    def setup():
+        index = PrefixFilterIndex(B1, item_frequencies=bench_skewed_distribution.probabilities)
+        return (index, bench_skewed_dataset), {}
+
+    index = benchmark.pedantic(_build, setup=setup, rounds=3, iterations=1)
+    benchmark.extra_info["stored_postings"] = index.total_postings
+    assert index.num_indexed == len(bench_skewed_dataset)
+
+
+def test_build_minhash_index(benchmark, bench_skewed_dataset):
+    def setup():
+        return (MinHashIndex(B1, num_bands=16, rows_per_band=2, seed=0), bench_skewed_dataset), {}
+
+    index = benchmark.pedantic(_build, setup=setup, rounds=3, iterations=1)
+    assert index.num_indexed == len(bench_skewed_dataset)

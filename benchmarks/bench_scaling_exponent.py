@@ -1,0 +1,84 @@
+"""Scaling validation — does the measured work grow like n^ρ?
+
+The analytic benches check the ρ values the theory predicts; this bench
+closes the loop on the *empirical* side: it builds the correlated index on
+the same skewed distribution at two dataset sizes, measures the average
+number of candidates examined per planted query, and compares the implied
+growth exponent ``log(work_large / work_small) / log(n_large / n_small)``
+against the ρ predicted by Theorem 1 for that distribution.
+
+At these small sizes constant factors are still visible, so the assertion is
+deliberately loose: the measured exponent must be well below 1 (sub-linear
+growth) and within a generous band of the prediction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import CorrelatedIndexConfig
+from repro.core.correlated_index import CorrelatedIndex
+from repro.evaluation.reporting import format_table
+from repro.theory.rho import solve_correlated_rho
+
+ALPHA = 2.0 / 3.0
+SIZES = (150, 600)
+NUM_QUERIES = 30
+REPETITIONS = 4
+
+
+def _mean_candidates(distribution, num_vectors: int, seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    dataset = [
+        vector if vector else frozenset({0})
+        for vector in distribution.sample_many(num_vectors, rng)
+    ]
+    index = CorrelatedIndex(
+        distribution, config=CorrelatedIndexConfig(alpha=ALPHA, repetitions=REPETITIONS, seed=seed)
+    )
+    index.build(dataset)
+    work = []
+    for target in range(NUM_QUERIES):
+        query = distribution.sample_correlated(dataset[target], ALPHA, rng)
+        _result, stats = index.query(query)
+        work.append(stats.candidates_examined)
+    return float(np.mean(work))
+
+
+def test_work_scales_sublinearly(benchmark, bench_skewed_distribution):
+    predicted_rho = solve_correlated_rho(bench_skewed_distribution.probabilities, ALPHA)
+
+    def run():
+        return {size: _mean_candidates(bench_skewed_distribution, size, seed=41) for size in SIZES}
+
+    work = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    small, large = SIZES
+    # Guard against a zero measurement at the small size (perfectly filtered).
+    work_small = max(work[small], 1.0)
+    work_large = max(work[large], 1.0)
+    measured_exponent = float(np.log(work_large / work_small) / np.log(large / small))
+
+    print()
+    print(
+        format_table(
+            [
+                {"n": size, "mean_candidates": round(work[size], 1)} for size in SIZES
+            ]
+            + [
+                {"n": "exponent (measured)", "mean_candidates": round(measured_exponent, 3)},
+                {"n": "rho (Theorem 1)", "mean_candidates": round(predicted_rho, 3)},
+            ],
+            title="Query work vs dataset size on the skewed distribution (alpha = 2/3)",
+        )
+    )
+
+    benchmark.extra_info.update(
+        {
+            "paper_expectation": "query work grows like n^rho with rho < 1",
+            "measured_exponent": round(measured_exponent, 3),
+            "predicted_rho": round(predicted_rho, 3),
+        }
+    )
+    assert measured_exponent < 0.85
+    assert measured_exponent < predicted_rho + 0.45

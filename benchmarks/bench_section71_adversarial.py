@@ -1,0 +1,37 @@
+"""Section 7.1 — adversarial-query worked examples.
+
+Regenerates the two worked examples of Section 7.1 (two-block query with
+``p_a = 1/4`` and ``p_b = n^{-0.9}``) and checks that the solver reproduces
+the constants stated in the paper: ρ ≈ 0.293 vs ρ_CP ≈ 0.528 at b1 = 1/3,
+and ρ → 0 vs ρ_CP ≈ 0.194 (with prefix filtering at Ω(n^0.1)) at b1 = 2/3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.experiments import section7_adversarial
+
+
+def test_section71_adversarial_examples(benchmark):
+    rows = benchmark(section7_adversarial.run, num_vectors=10**9, query_size=200)
+
+    print()
+    print(section7_adversarial.render(rows))
+
+    by_b1 = {round(float(row["b1"]), 2): row for row in rows}
+    benchmark.extra_info.update(
+        {
+            "paper_expectation": "rho=0.293 vs 0.528 at b1=1/3; rho->0 vs 0.194 at b1=2/3",
+            "ours_b1_one_third": by_b1[0.33]["ours"],
+            "chosen_path_b1_one_third": by_b1[0.33]["chosen_path"],
+            "ours_b1_two_thirds": by_b1[0.67]["ours"],
+            "chosen_path_b1_two_thirds": by_b1[0.67]["chosen_path"],
+        }
+    )
+    assert float(by_b1[0.33]["ours"]) == pytest.approx(0.293, abs=0.01)
+    assert float(by_b1[0.33]["chosen_path"]) == pytest.approx(0.528, abs=0.01)
+    assert float(by_b1[0.67]["ours"]) < 0.05
+    assert float(by_b1[0.67]["chosen_path"]) == pytest.approx(0.194, abs=0.01)
+    for row in rows:
+        assert float(row["prefix_filter_exponent"]) == pytest.approx(0.1, abs=0.01)

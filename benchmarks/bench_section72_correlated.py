@@ -1,0 +1,35 @@
+"""Section 7.2 — correlated-query worked examples.
+
+Regenerates the Section 7.2 examples: the extreme-skew instance where the
+paper's ρ tends to 0 while prefix filtering needs Ω(n^0.1), and the
+Θ(1)-probability instances (the Figure 1 regime) where the paper's structure
+strictly beats Chosen Path and prefix filtering has exponent 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.experiments import section7_correlated
+
+
+def test_section72_correlated_examples(benchmark):
+    rows = benchmark(section7_correlated.run, num_vectors=10**9)
+
+    print()
+    print(section7_correlated.render(rows))
+
+    extreme = rows[0]
+    benchmark.extra_info.update(
+        {
+            "paper_expectation": "extreme skew: ours -> 0, prefix Omega(n^0.1); "
+            "theta(1): ours < chosen_path, prefix = 1",
+            "extreme_skew_ours": extreme["ours"],
+            "extreme_skew_prefix_exponent": extreme["prefix_filter_exponent"],
+        }
+    )
+    assert float(extreme["ours"]) < 0.1
+    assert float(extreme["prefix_filter_exponent"]) == pytest.approx(0.1, abs=0.01)
+    for row in rows[1:]:
+        assert float(row["ours"]) < float(row["chosen_path"])
+        assert float(row["prefix_filter_exponent"]) > 0.5

@@ -1,0 +1,51 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark module regenerates one of the paper's tables or figures (or
+an ablation / empirical validation of them).  Conventions:
+
+* each bench prints the paper-style table or series to stdout (run pytest
+  with ``-s`` to see it) and records the headline numbers in
+  ``benchmark.extra_info`` so they end up in the pytest-benchmark JSON;
+* datasets are synthetic and scaled so a full ``pytest benchmarks/
+  --benchmark-only`` run completes in a few minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.distributions import ItemDistribution
+from repro.data.families import two_block_probabilities, uniform_probabilities
+
+
+@pytest.fixture(scope="session")
+def bench_skewed_distribution() -> ItemDistribution:
+    """Two-block skewed distribution used by the empirical benches."""
+    probabilities = np.concatenate(
+        [
+            two_block_probabilities(60, 0.25, 0.25 / 8.0),
+            np.full(1200, 0.01),
+        ]
+    )
+    return ItemDistribution(probabilities)
+
+
+@pytest.fixture(scope="session")
+def bench_uniform_distribution() -> ItemDistribution:
+    """No-skew distribution with a comparable expected set size."""
+    return ItemDistribution(uniform_probabilities(250, 0.08))
+
+
+@pytest.fixture(scope="session")
+def bench_skewed_dataset(bench_skewed_distribution) -> list[frozenset[int]]:
+    rng = np.random.default_rng(2024)
+    vectors = bench_skewed_distribution.sample_many(400, rng)
+    return [vector if vector else frozenset({0}) for vector in vectors]
+
+
+@pytest.fixture(scope="session")
+def bench_uniform_dataset(bench_uniform_distribution) -> list[frozenset[int]]:
+    rng = np.random.default_rng(4202)
+    vectors = bench_uniform_distribution.sample_many(400, rng)
+    return [vector if vector else frozenset({0}) for vector in vectors]

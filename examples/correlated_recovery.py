@@ -1,0 +1,96 @@
+"""Correlation recovery: the sparse light-bulb problem as a search task.
+
+The paper frames similarity search probabilistically: among many independent
+random vectors, a few query vectors are α-correlated with specific dataset
+vectors, and the task is to recover those partners (the search version of the
+light bulb problem, Section 1).  This example plants correlated partners at a
+range of correlation levels and measures how recovery rate and work change
+with α for the correlated skew-adaptive index, with a brute-force scan as the
+reference.
+
+Run with::
+
+    python examples/correlated_recovery.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    BruteForceIndex,
+    CorrelatedIndex,
+    CorrelatedIndexConfig,
+    ItemDistribution,
+    SimilarityPredicate,
+)
+from repro.data.families import two_block_probabilities
+from repro.evaluation.reporting import format_table
+
+
+def main() -> None:
+    rng = np.random.default_rng(19)
+
+    # Skewed universe: a frequent block plus a rare tail (the regime where
+    # the paper's structure shines).
+    probabilities = np.concatenate(
+        [two_block_probabilities(80, 0.25, 0.25 / 8.0), np.full(1500, 0.008)]
+    )
+    distribution = ItemDistribution(probabilities)
+    dataset = [
+        vector if vector else frozenset({0})
+        for vector in distribution.sample_many(500, rng)
+    ]
+    num_queries = 40
+
+    rows = []
+    for alpha in (0.5, 0.6, 0.7, 0.8, 0.9):
+        index = CorrelatedIndex(
+            distribution, config=CorrelatedIndexConfig(alpha=alpha, repetitions=6, seed=5)
+        )
+        index.build(dataset)
+
+        brute = BruteForceIndex(SimilarityPredicate("braun_blanquet", alpha / 1.3))
+        brute.build(dataset)
+
+        hits = 0
+        brute_hits = 0
+        candidates = []
+        for target in range(num_queries):
+            query = distribution.sample_correlated(dataset[target], alpha, rng)
+            result, stats = index.query(query)
+            candidates.append(stats.candidates_examined)
+            if result == target:
+                hits += 1
+            brute_result, _brute_stats = brute.query(query, mode="best")
+            if brute_result == target:
+                brute_hits += 1
+
+        rows.append(
+            {
+                "alpha": alpha,
+                "recall (ours)": hits / num_queries,
+                "recall (exact scan)": brute_hits / num_queries,
+                "mean candidates (ours)": float(np.mean(candidates)),
+                "linear scan candidates": len(dataset),
+            }
+        )
+
+    print(
+        format_table(
+            rows,
+            title=(
+                "Recovering alpha-correlated partners: recall and work vs correlation "
+                f"level (n = {len(dataset)}, skewed two-block + rare-tail distribution)"
+            ),
+        )
+    )
+    print(
+        "\nHigher correlation makes recovery easier (higher recall, less work); the\n"
+        "exact-scan column shows how often the planted partner is even the nearest\n"
+        "vector — the gap to 1.0 is noise inherent to the instance, not index loss."
+    )
+
+
+if __name__ == "__main__":
+    main()

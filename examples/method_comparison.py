@@ -1,0 +1,39 @@
+"""Method comparison: all indexes, side by side, on skewed and uniform data.
+
+Runs the library's evaluation harness end to end — the same experiment the
+``bench_query_candidates`` benchmark uses — and prints the recall / work
+table for every method on a skewed and on a no-skew instance, so you can see
+the paper's story in one screen:
+
+* the skew-adaptive indexes examine far fewer candidates than brute force on
+  skewed data at comparable recall,
+* prefix filtering is exact but its work depends entirely on the skew,
+* without skew everything degrades gracefully towards Chosen Path.
+
+Run with::
+
+    python examples/method_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import empirical
+
+
+def main() -> None:
+    rows = empirical.run(num_vectors=400, num_queries=40, alpha=2.0 / 3.0, seed=3, repetitions=6)
+    print(empirical.render(rows))
+
+    by_key = {(row["setting"], row["method"]): row for row in rows}
+    ours = by_key[("skewed", "correlated (ours)")]
+    brute = by_key[("skewed", "brute_force")]
+    saving = float(brute["mean_candidates"]) / max(float(ours["mean_candidates"]), 1e-9)
+    print(
+        f"\nOn the skewed instance the correlated skew-adaptive index examined "
+        f"{saving:.0f}x fewer candidates than the exact scan at recall "
+        f"{ours['recall@1']}."
+    )
+
+
+if __name__ == "__main__":
+    main()

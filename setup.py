@@ -1,0 +1,23 @@
+"""Setuptools entry point.
+
+The pyproject.toml metadata is authoritative; this file exists so that the
+package can also be installed in environments where PEP 517 build isolation
+is unavailable (e.g. offline machines without the ``wheel`` package), via
+``pip install -e . --no-use-pep517 --no-build-isolation`` or
+``python setup.py develop``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Skew-adaptive set similarity search "
+        "(reproduction of McCauley, Mikkelsen, Pagh, PODS 2018)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,91 @@
+"""repro — skew-adaptive set similarity search.
+
+A from-scratch reproduction of *Set Similarity Search for Skewed Data*
+(McCauley, Mikkelsen, Pagh — PODS 2018).  The library implements the paper's
+recursive, distribution-aware locality-sensitive filtering data structure for
+both query models analysed in the paper, the baselines it compares against,
+the random data model, and the full analytic and empirical evaluation.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import ItemDistribution, CorrelatedIndex
+>>> rng_probabilities = np.concatenate([np.full(50, 0.25), np.full(1000, 0.01)])
+>>> distribution = ItemDistribution(rng_probabilities)
+>>> dataset = distribution.sample_many(500, np.random.default_rng(0))
+>>> index = CorrelatedIndex(distribution, alpha=0.7, seed=1)
+>>> _ = index.build(dataset)
+>>> query = distribution.sample_correlated(dataset[3], 0.7, np.random.default_rng(2))
+>>> match, stats = index.query(query)
+
+See ``examples/`` for runnable scripts and ``DESIGN.md`` for the system
+inventory.
+"""
+
+from repro.baselines import (
+    BruteForceIndex,
+    ChosenPathIndex,
+    MinHashIndex,
+    PrefixFilterIndex,
+)
+from repro.core import (
+    CorrelatedIndex,
+    CorrelatedIndexConfig,
+    JoinResult,
+    SkewAdaptiveIndex,
+    SkewAdaptiveIndexConfig,
+    similarity_join,
+    similarity_self_join,
+)
+from repro.data import (
+    ItemDistribution,
+    SetCollection,
+    generate_benchmark_like,
+    harmonic_probabilities,
+    piecewise_zipfian_probabilities,
+    two_block_probabilities,
+    uniform_probabilities,
+    zipfian_probabilities,
+)
+from repro.similarity import SimilarityPredicate, braun_blanquet, jaccard
+from repro.theory import (
+    chosen_path_rho,
+    solve_adversarial_rho,
+    solve_correlated_rho,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # Core indexes and joins
+    "SkewAdaptiveIndex",
+    "SkewAdaptiveIndexConfig",
+    "CorrelatedIndex",
+    "CorrelatedIndexConfig",
+    "similarity_join",
+    "similarity_self_join",
+    "JoinResult",
+    # Baselines
+    "BruteForceIndex",
+    "ChosenPathIndex",
+    "MinHashIndex",
+    "PrefixFilterIndex",
+    # Data model
+    "ItemDistribution",
+    "SetCollection",
+    "generate_benchmark_like",
+    "harmonic_probabilities",
+    "piecewise_zipfian_probabilities",
+    "two_block_probabilities",
+    "uniform_probabilities",
+    "zipfian_probabilities",
+    # Similarity
+    "SimilarityPredicate",
+    "braun_blanquet",
+    "jaccard",
+    # Theory
+    "chosen_path_rho",
+    "solve_adversarial_rho",
+    "solve_correlated_rho",
+]

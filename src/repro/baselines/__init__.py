@@ -1,0 +1,29 @@
+"""Baseline set-similarity search indexes the paper compares against.
+
+* :class:`~repro.baselines.chosen_path.ChosenPathIndex` — the worst-case
+  optimal Chosen Path structure of Christiani & Pagh (STOC 2017), which the
+  paper generalises; it cannot exploit skew.
+* :class:`~repro.baselines.prefix_filter.PrefixFilterIndex` — the exact
+  prefix-filtering heuristic (Bayardo et al., WWW 2007) that dominates
+  practice on highly skewed data but offers no worst-case guarantee.
+* :class:`~repro.baselines.minhash.MinHashIndex` — classic MinHash LSH
+  banding.
+* :class:`~repro.baselines.brute_force.BruteForceIndex` — exact linear scan,
+  used as ground truth by the evaluation harness.
+
+All baselines expose the same ``build`` / ``query`` / ``query_candidates`` /
+``get_vector`` surface as the paper's indexes so the harness and the join can
+drive them interchangeably.
+"""
+
+from repro.baselines.brute_force import BruteForceIndex
+from repro.baselines.chosen_path import ChosenPathIndex
+from repro.baselines.minhash import MinHashIndex
+from repro.baselines.prefix_filter import PrefixFilterIndex
+
+__all__ = [
+    "BruteForceIndex",
+    "ChosenPathIndex",
+    "MinHashIndex",
+    "PrefixFilterIndex",
+]

@@ -1,0 +1,242 @@
+"""Command-line interface.
+
+Four subcommands cover the workflows a downstream user needs without writing
+Python:
+
+* ``repro generate`` — write a synthetic benchmark-like dataset in
+  transaction format;
+* ``repro profile`` — skew / dependence profile of a transaction file plus
+  the predicted query exponents (the Section 8 analyses applied to your own
+  data);
+* ``repro build`` — build a skew-adaptive index over a transaction file and
+  save it to disk;
+* ``repro query`` — load a saved index and run queries from a transaction
+  file, printing matches and work statistics.
+* ``repro experiments`` — regenerate one of the paper's tables/figures as a
+  text table.
+
+Run ``python -m repro --help`` for details.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.data.generators import all_benchmark_names, generate_benchmark_like
+    from repro.data.io import write_transactions
+
+    if args.name.upper() not in {name.upper() for name in all_benchmark_names()}:
+        print(f"unknown dataset profile {args.name!r}; choose from {all_benchmark_names()}")
+        return 2
+    collection = generate_benchmark_like(args.name, scale=args.scale, seed=args.seed)
+    write_transactions(collection, args.output)
+    print(
+        f"wrote {len(collection)} sets over a universe of {collection.dimension} items "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.data.analysis import independence_ratio, skew_summary
+    from repro.data.estimation import recommend_parameters
+    from repro.data.io import read_transactions
+    from repro.evaluation.reporting import format_table
+    from repro.theory.comparison import compare_methods
+
+    collection = read_transactions(args.input)
+    if len(collection) == 0:
+        print("the input file contains no sets")
+        return 2
+    summary = skew_summary(collection)
+    pair_ratio = independence_ratio(collection, 2, num_samples=args.samples, seed=args.seed)
+    rows = [
+        {
+            "sets": len(collection),
+            "universe": collection.dimension,
+            "avg size": round(collection.average_size(), 2),
+            "gini": round(summary.gini, 3),
+            "zipf exponent": round(summary.zipf_exponent, 3),
+            "top-10% mass": round(summary.top_10_percent_mass, 3),
+            "pair dependence ratio": round(pair_ratio, 2),
+        }
+    ]
+    print(format_table(rows, title=f"Profile of {args.input}"))
+
+    frequencies = np.clip(collection.item_frequencies(), 1e-9, 0.5)
+    comparison = compare_methods(frequencies, args.alpha, num_vectors=len(collection))
+    recommendation = recommend_parameters(collection, alpha=args.alpha)
+    print()
+    print(
+        format_table(
+            [
+                {
+                    "ours (rho)": round(comparison.skew_adaptive_rho, 3),
+                    "chosen_path (rho)": round(comparison.chosen_path_rho, 3),
+                    "prefix exponent": round(comparison.prefix_filter_exponent, 3),
+                    "recommended repetitions": recommendation.repetitions,
+                    "meets size requirement": recommendation.meets_size_requirement,
+                }
+            ],
+            title=f"Predicted query exponents at alpha = {args.alpha:g}",
+        )
+    )
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    from repro.core.config import CorrelatedIndexConfig, SkewAdaptiveIndexConfig
+    from repro.core.correlated_index import CorrelatedIndex
+    from repro.core.serialization import save_index
+    from repro.core.skewed_index import SkewAdaptiveIndex
+    from repro.data.estimation import estimate_probabilities
+    from repro.data.io import read_transactions
+
+    collection = read_transactions(args.input)
+    if len(collection) == 0:
+        print("the input file contains no sets")
+        return 2
+    distribution = estimate_probabilities(collection)
+    if args.kind == "correlated":
+        index = CorrelatedIndex(
+            distribution,
+            config=CorrelatedIndexConfig(
+                alpha=args.alpha, repetitions=args.repetitions, seed=args.seed
+            ),
+        )
+    else:
+        index = SkewAdaptiveIndex(
+            distribution,
+            config=SkewAdaptiveIndexConfig(
+                b1=args.b1, repetitions=args.repetitions, seed=args.seed
+            ),
+        )
+    stats = index.build(list(collection))
+    save_index(index, args.output)
+    print(
+        f"built a {args.kind} index over {stats.num_vectors} sets "
+        f"({stats.total_filters} filters, {stats.repetitions} repetitions) and saved it to "
+        f"{args.output}"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.core.serialization import load_index
+    from repro.data.io import read_transactions
+    from repro.evaluation.reporting import format_table
+
+    index = load_index(args.index)
+    queries = read_transactions(args.queries)
+    rows = []
+    for query_number, query in enumerate(queries):
+        result, stats = index.query(query, mode=args.mode)
+        rows.append(
+            {
+                "query": query_number,
+                "match": "-" if result is None else result,
+                "candidates": stats.candidates_examined,
+                "filters": stats.filters_generated,
+            }
+        )
+    print(format_table(rows, title=f"{len(queries)} queries against {args.index}"))
+    found = sum(1 for row in rows if row["match"] != "-")
+    print(f"\n{found}/{len(queries)} queries returned a match")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.evaluation.experiments import (
+        figure1,
+        figure2,
+        motivating,
+        section7_adversarial,
+        section7_correlated,
+        table1,
+    )
+
+    if args.which == "figure1":
+        print(figure1.render(figure1.run()))
+    elif args.which == "figure2":
+        profiles = figure2.run(scale=args.scale, seed=args.seed)
+        print(figure2.render(profiles, axis="relative"))
+    elif args.which == "table1":
+        print(table1.render(table1.run(scale=args.scale, seed=args.seed)))
+    elif args.which == "section7.1":
+        print(section7_adversarial.render(section7_adversarial.run()))
+    elif args.which == "section7.2":
+        print(section7_correlated.render(section7_correlated.run()))
+    elif args.which == "motivating":
+        print(motivating.render(motivating.run()))
+    else:  # pragma: no cover - argparse restricts the choices
+        print(f"unknown experiment {args.which!r}")
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Skew-adaptive set similarity search (PODS 2018 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic benchmark-like dataset")
+    generate.add_argument("name", help="dataset profile name (e.g. DBLP, KOSARAK, SPOTIFY)")
+    generate.add_argument("--output", "-o", type=Path, required=True, help="output transaction file")
+    generate.add_argument("--scale", type=float, default=0.25, help="size multiplier")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(handler=_cmd_generate)
+
+    profile = subparsers.add_parser("profile", help="profile skew and dependence of a dataset")
+    profile.add_argument("input", type=Path, help="transaction file to profile")
+    profile.add_argument("--alpha", type=float, default=2.0 / 3.0, help="correlation level for rho prediction")
+    profile.add_argument("--samples", type=int, default=1000, help="samples for the dependence ratio")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.set_defaults(handler=_cmd_profile)
+
+    build = subparsers.add_parser("build", help="build and save an index over a dataset")
+    build.add_argument("input", type=Path, help="transaction file to index")
+    build.add_argument("--output", "-o", type=Path, required=True, help="output index file")
+    build.add_argument("--kind", choices=["adversarial", "correlated"], default="adversarial")
+    build.add_argument("--b1", type=float, default=0.5, help="similarity threshold (adversarial)")
+    build.add_argument("--alpha", type=float, default=2.0 / 3.0, help="correlation level (correlated)")
+    build.add_argument("--repetitions", type=int, default=None)
+    build.add_argument("--seed", type=int, default=0)
+    build.set_defaults(handler=_cmd_build)
+
+    query = subparsers.add_parser("query", help="run queries against a saved index")
+    query.add_argument("index", type=Path, help="index file written by 'repro build'")
+    query.add_argument("queries", type=Path, help="transaction file of query sets")
+    query.add_argument("--mode", choices=["first", "best"], default="first")
+    query.set_defaults(handler=_cmd_query)
+
+    experiments = subparsers.add_parser("experiments", help="regenerate a paper table/figure")
+    experiments.add_argument(
+        "which",
+        choices=["figure1", "figure2", "table1", "section7.1", "section7.2", "motivating"],
+    )
+    experiments.add_argument("--scale", type=float, default=0.25)
+    experiments.add_argument("--seed", type=int, default=0)
+    experiments.set_defaults(handler=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

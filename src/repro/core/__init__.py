@@ -1,0 +1,52 @@
+"""Core data structures: the skew-adaptive locality-sensitive filtering index.
+
+The public entry points are:
+
+* :class:`~repro.core.skewed_index.SkewAdaptiveIndex` — the adversarial-query
+  variant of Theorem 2 (threshold ``s(x, j, i) = 1/(b1 |x| − j)``).
+* :class:`~repro.core.correlated_index.CorrelatedIndex` — the correlated-query
+  variant of Theorem 1 (threshold ``s(x, j, i) = (1+δ)/(p̂_i C log n − j)``).
+* :func:`~repro.core.join.similarity_join` — set similarity join built from
+  repeated similarity search queries (Section 1.1).
+
+Lower-level building blocks (path generation, thresholds, the inverted filter
+index and the generic engine) are exposed for baselines, ablations and tests.
+"""
+
+from repro.core.config import CorrelatedIndexConfig, SkewAdaptiveIndexConfig
+from repro.core.correlated_index import CorrelatedIndex
+from repro.core.engine import FilterEngine
+from repro.core.inverted_index import InvertedFilterIndex
+from repro.core.join import JoinResult, similarity_join, similarity_self_join
+from repro.core.paths import PathGenerator, default_max_depth
+from repro.core.serialization import load_index, save_index
+from repro.core.skewed_index import SkewAdaptiveIndex
+from repro.core.stats import BuildStats, QueryStats
+from repro.core.thresholds import (
+    AdversarialThreshold,
+    ConstantThreshold,
+    CorrelatedThreshold,
+    ThresholdPolicy,
+)
+
+__all__ = [
+    "CorrelatedIndex",
+    "CorrelatedIndexConfig",
+    "SkewAdaptiveIndex",
+    "SkewAdaptiveIndexConfig",
+    "FilterEngine",
+    "InvertedFilterIndex",
+    "JoinResult",
+    "similarity_join",
+    "similarity_self_join",
+    "PathGenerator",
+    "default_max_depth",
+    "save_index",
+    "load_index",
+    "BuildStats",
+    "QueryStats",
+    "AdversarialThreshold",
+    "ConstantThreshold",
+    "CorrelatedThreshold",
+    "ThresholdPolicy",
+]

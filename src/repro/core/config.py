@@ -1,0 +1,112 @@
+"""Configuration dataclasses for the skew-adaptive indexes.
+
+The dataclasses bundle the parameters that the paper treats as inputs to the
+data structure (similarity threshold ``b1``, correlation ``α``, the number of
+repetitions used to boost success probability) together with implementation
+knobs (depth and path-count safety caps) that a pure asymptotic analysis does
+not need but a production implementation does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SkewAdaptiveIndexConfig:
+    """Parameters of the adversarial-query index (Theorem 2).
+
+    Attributes
+    ----------
+    b1:
+        The Braun-Blanquet similarity threshold a reported vector must meet.
+    repetitions:
+        Number of independent copies of the filter structure.  Each copy
+        succeeds with probability at least ``1/log n`` per Lemma 5 and
+        ``Θ(log n)`` copies give constant success probability; more
+        repetitions boost it further (footnote 2 of the paper).  When
+        ``None``, the index picks ``ceil(log2 n) + 1`` at build time.
+    max_depth:
+        Hard cap on the recursion depth (safety net for degenerate
+        probability inputs; the product stopping rule normally fires first).
+        ``None`` means "derive from n and the probabilities".
+    max_paths_per_vector:
+        Safety cap on the number of filters generated for any single vector
+        in a single repetition.  ``None`` disables the cap.  When the cap
+        triggers, the affected vector simply has fewer filters: recall can
+        suffer but correctness of returned results is unaffected.
+    seed:
+        Seed for the hash functions.
+    """
+
+    b1: float = 0.5
+    repetitions: int | None = None
+    max_depth: int | None = None
+    max_paths_per_vector: int | None = 50_000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.b1 <= 1.0:
+            raise ValueError(f"b1 must be in (0, 1], got {self.b1}")
+        if self.repetitions is not None and self.repetitions <= 0:
+            raise ValueError(f"repetitions must be positive, got {self.repetitions}")
+        if self.max_depth is not None and self.max_depth <= 0:
+            raise ValueError(f"max_depth must be positive, got {self.max_depth}")
+        if self.max_paths_per_vector is not None and self.max_paths_per_vector <= 0:
+            raise ValueError(
+                f"max_paths_per_vector must be positive, got {self.max_paths_per_vector}"
+            )
+
+
+@dataclass(frozen=True)
+class CorrelatedIndexConfig:
+    """Parameters of the correlated-query index (Theorem 1).
+
+    Attributes
+    ----------
+    alpha:
+        The correlation level the queries are assumed to have with their
+        planted partner.
+    acceptance_divisor:
+        A candidate is reported when its Braun-Blanquet similarity is at
+        least ``alpha / acceptance_divisor``; the paper uses 1.3 (Section 6)
+        so that correlated pairs pass (Lemma 10) while uncorrelated pairs,
+        whose similarity concentrates below ``alpha / 1.5``, do not.
+    boost_delta:
+        The ``δ`` in the sampling threshold ``(1 + δ)/(p̂_i C log n − j)``.
+        ``None`` means "use the paper's ``3 / sqrt(α C)``"; the paper notes a
+        smaller constant is likely sufficient in practice.
+    repetitions, max_depth, max_paths_per_vector, seed:
+        As in :class:`SkewAdaptiveIndexConfig`.
+    """
+
+    alpha: float = 0.5
+    acceptance_divisor: float = 1.3
+    boost_delta: float | None = None
+    repetitions: int | None = None
+    max_depth: int | None = None
+    max_paths_per_vector: int | None = 50_000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {self.alpha}")
+        if self.acceptance_divisor < 1.0:
+            raise ValueError(
+                f"acceptance_divisor must be at least 1, got {self.acceptance_divisor}"
+            )
+        if self.boost_delta is not None and self.boost_delta < 0.0:
+            raise ValueError(f"boost_delta must be non-negative, got {self.boost_delta}")
+        if self.repetitions is not None and self.repetitions <= 0:
+            raise ValueError(f"repetitions must be positive, got {self.repetitions}")
+        if self.max_depth is not None and self.max_depth <= 0:
+            raise ValueError(f"max_depth must be positive, got {self.max_depth}")
+        if self.max_paths_per_vector is not None and self.max_paths_per_vector <= 0:
+            raise ValueError(
+                f"max_paths_per_vector must be positive, got {self.max_paths_per_vector}"
+            )
+
+    @property
+    def acceptance_threshold(self) -> float:
+        """The Braun-Blanquet similarity at which candidates are reported."""
+        return self.alpha / self.acceptance_divisor

@@ -1,0 +1,345 @@
+"""The generic locality-sensitive filtering engine.
+
+Both index variants of the paper (adversarial and correlated) and the Chosen
+Path baseline share the same skeleton — generate filters for every dataset
+vector, store them in an inverted index, and at query time examine the
+vectors colliding with the query's filters.  :class:`FilterEngine`
+implements that skeleton once, parameterised by a
+:class:`~repro.core.thresholds.ThresholdPolicy` and by the stopping rule.
+
+Multiple independent repetitions are used to boost the per-repetition success
+probability of Lemma 5 (roughly ``1/log n``) to a constant; the engine builds
+``repetitions`` copies of the filter structure, each with its own hash
+functions, and a query probes them in order until it finds an acceptable
+vector.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.inverted_index import InvertedFilterIndex
+from repro.core.paths import PathGenerator, default_max_depth
+from repro.core.stats import BuildStats, QueryStats
+from repro.core.thresholds import ThresholdPolicy
+from repro.hashing.pairwise import PathHasher
+from repro.hashing.random_source import derive_seed
+from repro.similarity.measures import braun_blanquet
+
+SetLike = Iterable[int]
+SimilarityFunction = Callable[[frozenset[int], frozenset[int]], float]
+
+
+def default_repetitions(num_vectors: int) -> int:
+    """Default number of independent filter structures: ``ceil(log2 n) + 1``.
+
+    Lemma 5 guarantees a per-repetition collision probability of at least
+    ``1/log n`` for similar pairs, so a logarithmic number of repetitions
+    yields constant success probability (the paper's footnote 2).
+    """
+    if num_vectors <= 1:
+        return 1
+    return int(math.ceil(math.log2(num_vectors))) + 1
+
+
+class FilterEngine:
+    """Shared build/query machinery for locality-sensitive filtering indexes.
+
+    Parameters
+    ----------
+    probabilities:
+        Item-level probabilities ``p_i`` (used by the stopping rule and, for
+        the correlated policy, by the thresholds).
+    threshold_policy:
+        The sampling-threshold policy ``s(x, j, i)``.
+    acceptance_threshold:
+        Braun-Blanquet similarity at which a candidate is reported.
+    num_vectors_hint:
+        Expected dataset size ``n``; used for the ``1/n`` stopping product
+        and the default number of repetitions before :meth:`build` is called.
+    repetitions:
+        Number of independent filter structures (``None`` = default).
+    max_depth:
+        Hard recursion-depth cap (``None`` = derive from ``n`` and ``p_max``).
+    collect_at_max_depth:
+        Baseline behaviour flag forwarded to :class:`PathGenerator`.
+    stop_product_enabled:
+        If False, the ``1/n`` product stopping rule is disabled (Chosen Path
+        baseline uses only the fixed depth).
+    max_paths_per_vector:
+        Safety cap forwarded to :class:`PathGenerator`.
+    similarity:
+        Similarity function used for candidate verification (defaults to
+        Braun-Blanquet, the paper's measure).
+    seed:
+        Master seed for all hash functions.
+    """
+
+    def __init__(
+        self,
+        probabilities: np.ndarray | Sequence[float],
+        threshold_policy: ThresholdPolicy,
+        acceptance_threshold: float,
+        num_vectors_hint: int,
+        repetitions: int | None = None,
+        max_depth: int | None = None,
+        collect_at_max_depth: bool = False,
+        stop_product_enabled: bool = True,
+        max_paths_per_vector: int | None = 50_000,
+        similarity: SimilarityFunction | None = None,
+        seed: int = 0,
+    ):
+        self._probabilities = np.asarray(probabilities, dtype=np.float64)
+        if self._probabilities.ndim != 1 or self._probabilities.size == 0:
+            raise ValueError("probabilities must be a non-empty 1-d array")
+        if not 0.0 <= acceptance_threshold <= 1.0:
+            raise ValueError(
+                f"acceptance_threshold must be in [0, 1], got {acceptance_threshold}"
+            )
+        if num_vectors_hint <= 0:
+            raise ValueError(f"num_vectors_hint must be positive, got {num_vectors_hint}")
+
+        self._threshold_policy = threshold_policy
+        self._acceptance_threshold = float(acceptance_threshold)
+        self._num_vectors_hint = int(num_vectors_hint)
+        self._repetitions = (
+            repetitions if repetitions is not None else default_repetitions(num_vectors_hint)
+        )
+        if self._repetitions <= 0:
+            raise ValueError(f"repetitions must be positive, got {self._repetitions}")
+        max_probability = float(self._probabilities.max())
+        self._max_depth = (
+            max_depth
+            if max_depth is not None
+            else default_max_depth(num_vectors_hint, max_probability)
+        )
+        self._collect_at_max_depth = bool(collect_at_max_depth)
+        self._stop_product = (
+            1.0 / float(num_vectors_hint) if stop_product_enabled else None
+        )
+        self._max_paths_per_vector = max_paths_per_vector
+        self._similarity = similarity if similarity is not None else braun_blanquet
+        self._seed = int(seed)
+
+        self._generators: list[PathGenerator] = [
+            PathGenerator(
+                self._probabilities,
+                PathHasher(derive_seed(self._seed, "repetition", repetition)),
+                stop_product=self._stop_product,
+                max_depth=self._max_depth,
+                collect_at_max_depth=self._collect_at_max_depth,
+                max_paths=self._max_paths_per_vector,
+            )
+            for repetition in range(self._repetitions)
+        ]
+        self._indexes: list[InvertedFilterIndex] = [
+            InvertedFilterIndex() for _ in range(self._repetitions)
+        ]
+        self._vectors: list[frozenset[int]] = []
+        self._removed: set[int] = set()
+        self._build_stats = BuildStats()
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def repetitions(self) -> int:
+        return self._repetitions
+
+    @property
+    def acceptance_threshold(self) -> float:
+        return self._acceptance_threshold
+
+    @property
+    def threshold_policy(self) -> ThresholdPolicy:
+        return self._threshold_policy
+
+    @property
+    def vectors(self) -> Sequence[frozenset[int]]:
+        """The stored dataset vectors (indexable by the returned ids)."""
+        return self._vectors
+
+    @property
+    def build_stats(self) -> BuildStats:
+        return self._build_stats
+
+    @property
+    def total_stored_filters(self) -> int:
+        """Total number of (filter, vector) postings across repetitions."""
+        return sum(index.total_entries for index in self._indexes)
+
+    # ------------------------------------------------------------------ #
+    # Build
+    # ------------------------------------------------------------------ #
+
+    def build(self, collection: Iterable[SetLike]) -> BuildStats:
+        """Index a dataset.  Replaces any previously indexed data."""
+        self._vectors = [frozenset(int(item) for item in members) for members in collection]
+        self._indexes = [InvertedFilterIndex() for _ in range(self._repetitions)]
+        self._removed = set()
+        stats = BuildStats(num_vectors=len(self._vectors), repetitions=self._repetitions)
+        for repetition, (generator, index) in enumerate(zip(self._generators, self._indexes)):
+            for vector_id, members in enumerate(self._vectors):
+                if not members:
+                    continue
+                bound = self._threshold_policy.bind(sorted(members))
+                result = generator.generate(sorted(members), bound)
+                index.add(vector_id, result.paths)
+                stats.total_filters += len(result.paths)
+                if result.truncated:
+                    stats.truncated_vectors += 1
+            del repetition
+        self._build_stats = stats
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Dynamic updates
+    # ------------------------------------------------------------------ #
+
+    def insert(self, members: SetLike) -> int:
+        """Insert one vector into the already-built index and return its id.
+
+        The structure's parameters (stopping product, repetitions, depth) were
+        derived from the dataset size at build time; inserting a moderate
+        number of additional vectors keeps the guarantees intact, but growing
+        the dataset by large factors warrants a rebuild with an updated size
+        hint.
+        """
+        vector = frozenset(int(item) for item in members)
+        vector_id = len(self._vectors)
+        self._vectors.append(vector)
+        self._build_stats.num_vectors += 1
+        if not vector:
+            return vector_id
+        for generator, index in zip(self._generators, self._indexes):
+            bound = self._threshold_policy.bind(sorted(vector))
+            result = generator.generate(sorted(vector), bound)
+            index.add(vector_id, result.paths)
+            self._build_stats.total_filters += len(result.paths)
+            if result.truncated:
+                self._build_stats.truncated_vectors += 1
+        return vector_id
+
+    def remove(self, vector_id: int) -> None:
+        """Remove a stored vector by id (tombstone; postings are not compacted).
+
+        Removed ids are skipped by queries and joins; the space they occupy in
+        posting lists is reclaimed on the next :meth:`build`.
+        """
+        if not 0 <= vector_id < len(self._vectors):
+            raise IndexError(f"vector id {vector_id} is out of range")
+        self._removed.add(vector_id)
+
+    @property
+    def num_removed(self) -> int:
+        """Number of vectors currently tombstoned."""
+        return len(self._removed)
+
+    def is_removed(self, vector_id: int) -> bool:
+        """Whether the given id has been removed."""
+        return vector_id in self._removed
+
+    # ------------------------------------------------------------------ #
+    # Query
+    # ------------------------------------------------------------------ #
+
+    def query_filters(self, query: SetLike, repetition: int) -> list[tuple[int, ...]]:
+        """The filters ``F(q)`` of a query in one repetition (mainly for tests)."""
+        members = sorted(int(item) for item in query)
+        if not members:
+            return []
+        bound = self._threshold_policy.bind(members)
+        return self._generators[repetition].generate(members, bound).paths
+
+    def query(
+        self,
+        query: SetLike,
+        mode: str = "first",
+    ) -> tuple[int | None, QueryStats]:
+        """Search for a stored vector similar to ``query``.
+
+        Parameters
+        ----------
+        query:
+            The query set.
+        mode:
+            ``"first"`` (default) returns the first candidate meeting the
+            acceptance threshold, probing repetitions in order and stopping
+            early — this matches the paper's query procedure.  ``"best"``
+            examines all repetitions and returns the most similar candidate
+            meeting the threshold (higher recall, more work).
+
+        Returns
+        -------
+        (vector_id, stats):
+            ``vector_id`` is the index of the reported vector in the built
+            dataset, or ``None`` when no candidate met the threshold.
+        """
+        if mode not in ("first", "best"):
+            raise ValueError(f"mode must be 'first' or 'best', got {mode!r}")
+        query_set = frozenset(int(item) for item in query)
+        stats = QueryStats()
+        if not query_set or not self._vectors:
+            return None, stats
+
+        best_id: int | None = None
+        best_similarity = -1.0
+        evaluated: set[int] = set()
+
+        for repetition in range(self._repetitions):
+            members = sorted(query_set)
+            bound = self._threshold_policy.bind(members)
+            generation = self._generators[repetition].generate(members, bound)
+            stats.filters_generated += len(generation.paths)
+            stats.repetitions_used += 1
+
+            for candidate_id in self._indexes[repetition].candidates(generation.paths):
+                stats.candidates_examined += 1
+                if candidate_id in evaluated or candidate_id in self._removed:
+                    continue
+                evaluated.add(candidate_id)
+                stats.unique_candidates += 1
+                similarity = self._similarity(self._vectors[candidate_id], query_set)
+                stats.similarity_evaluations += 1
+                if similarity >= self._acceptance_threshold:
+                    if mode == "first":
+                        stats.found = True
+                        return candidate_id, stats
+                    if similarity > best_similarity:
+                        best_similarity = similarity
+                        best_id = candidate_id
+
+            if mode == "first" and best_id is not None:
+                break
+
+        stats.found = best_id is not None
+        return best_id, stats
+
+    def query_candidates(self, query: SetLike) -> tuple[set[int], QueryStats]:
+        """All distinct candidate ids colliding with the query, plus stats.
+
+        This is the primitive used by the similarity join: the caller decides
+        which candidates to verify and against which predicate.
+        """
+        query_set = frozenset(int(item) for item in query)
+        stats = QueryStats()
+        candidates: set[int] = set()
+        if not query_set or not self._vectors:
+            return candidates, stats
+        members = sorted(query_set)
+        for repetition in range(self._repetitions):
+            bound = self._threshold_policy.bind(members)
+            generation = self._generators[repetition].generate(members, bound)
+            stats.filters_generated += len(generation.paths)
+            stats.repetitions_used += 1
+            for candidate_id in self._indexes[repetition].candidates(generation.paths):
+                stats.candidates_examined += 1
+                if candidate_id in self._removed:
+                    continue
+                candidates.add(candidate_id)
+        stats.unique_candidates = len(candidates)
+        return candidates, stats

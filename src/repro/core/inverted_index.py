@@ -1,0 +1,109 @@
+"""Inverted index from filters (paths) to the vectors that chose them.
+
+The preprocessing step of the paper stores, for each filter ``f`` chosen by
+some dataset vector, the list of vector ids that chose ``f`` ("a standard
+dictionary data structure", Section 3).  Queries then look up each of their
+own filters and examine the stored vectors.
+
+Paths are tuples of item ids; the index keys them by the tuple itself inside
+a Python dict, which gives exact (collision-free) lookups.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+Path = tuple[int, ...]
+
+
+class InvertedFilterIndex:
+    """Maps each filter to the sorted list of vector ids that chose it."""
+
+    def __init__(self) -> None:
+        self._postings: dict[Path, list[int]] = {}
+        self._total_entries = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def add(self, vector_id: int, paths: Iterable[Path]) -> int:
+        """Register all filters of one vector.  Returns the number added."""
+        if vector_id < 0:
+            raise ValueError(f"vector_id must be non-negative, got {vector_id}")
+        count = 0
+        for path in paths:
+            self._postings.setdefault(tuple(path), []).append(vector_id)
+            count += 1
+        self._total_entries += count
+        return count
+
+    def add_many(self, filters_per_vector: Sequence[Iterable[Path]]) -> int:
+        """Register filters of many vectors, ids being their positions."""
+        total = 0
+        for vector_id, paths in enumerate(filters_per_vector):
+            total += self.add(vector_id, paths)
+        return total
+
+    def add_postings(self, path: Path, vector_ids: Sequence[int]) -> None:
+        """Restore a full posting list for one filter (used when loading a
+        serialised index); appends to any existing postings for that filter."""
+        if any(vector_id < 0 for vector_id in vector_ids):
+            raise ValueError("vector ids must be non-negative")
+        self._postings.setdefault(tuple(path), []).extend(int(v) for v in vector_ids)
+        self._total_entries += len(vector_ids)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, path: Path) -> list[int]:
+        """Vector ids that chose ``path`` (empty list if none)."""
+        return self._postings.get(tuple(path), [])
+
+    def candidates(self, paths: Iterable[Path]) -> Iterator[int]:
+        """Yield every (vector id) collision for the given query filters.
+
+        A vector id is yielded once per shared filter, matching the paper's
+        work measure ``Σ_x |F(q) ∩ F(x)|``; callers that want distinct
+        candidates deduplicate downstream.
+        """
+        for path in paths:
+            yield from self._postings.get(tuple(path), [])
+
+    def __contains__(self, path: Path) -> bool:
+        return tuple(path) in self._postings
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_filters(self) -> int:
+        """Number of distinct filters stored."""
+        return len(self._postings)
+
+    @property
+    def total_entries(self) -> int:
+        """Total number of (filter, vector) postings — the space usage."""
+        return self._total_entries
+
+    def posting_sizes(self) -> list[int]:
+        """Sizes of all posting lists (useful for skew diagnostics)."""
+        return [len(vector_ids) for vector_ids in self._postings.values()]
+
+    def heaviest_filters(self, count: int = 10) -> list[tuple[Path, int]]:
+        """The ``count`` filters with the largest posting lists."""
+        ranked = sorted(
+            self._postings.items(), key=lambda entry: len(entry[1]), reverse=True
+        )
+        return [(path, len(vector_ids)) for path, vector_ids in ranked[:count]]
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def __repr__(self) -> str:
+        return (
+            f"InvertedFilterIndex(num_filters={self.num_filters}, "
+            f"total_entries={self.total_entries})"
+        )

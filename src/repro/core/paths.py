@@ -1,0 +1,207 @@
+"""Recursive path (filter) generation — the heart of the data structure.
+
+Section 3 of the paper defines the mapping from a vector ``x`` to its set of
+filters ``F(x)``:
+
+* start from the empty path;
+* a path ``v`` of length ``j`` whose item-probability product has dropped to
+  ``∏_{i ∈ v} p_i ≤ 1/n`` stops recursing and becomes a filter of ``x``;
+* otherwise every set bit ``i`` of ``x`` not already on the path is appended
+  with probability ``s(x, j, i)``, decided by the shared hash
+  ``h_{j+1}(v ∘ i) < s(x, j, i)``.
+
+The construction guarantees that a path chosen by both ``x`` and ``q`` is the
+same object (same item sequence), because the hash value of an extension
+depends only on the path content, the item and the level — never on the
+vector doing the extending.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.thresholds import BoundThreshold
+from repro.hashing.pairwise import PathHasher
+
+Path = tuple[int, ...]
+
+
+def default_max_depth(num_vectors: int, max_probability: float) -> int:
+    """Depth at which the product stopping rule must have fired.
+
+    A path of length ``L`` consisting of items with probability at most
+    ``p_max`` has product at most ``p_max^L``, so the stopping rule
+    ``∏ p ≤ 1/n`` fires by ``L = ceil(log n / log(1/p_max))``.  Two extra
+    levels are added as slack for rounding.
+    """
+    if num_vectors <= 1:
+        return 2
+    bounded = min(max(max_probability, 1e-12), 0.9999)
+    return int(math.ceil(math.log(num_vectors) / math.log(1.0 / bounded))) + 2
+
+
+@dataclass
+class PathGenerationResult:
+    """Outcome of generating the filters of one vector."""
+
+    paths: list[Path]
+    truncated: bool
+    expansions: int
+
+
+class PathGenerator:
+    """Generates the chosen paths ``F(x)`` of a vector.
+
+    Parameters
+    ----------
+    probabilities:
+        Item-level probabilities ``p_i`` used by the stopping rule.
+    hasher:
+        The shared per-level path hasher.  Indexes and queries must use the
+        *same* hasher instance (or one built from the same seed) for filters
+        to collide.
+    stop_product:
+        A path stops recursing once the product of its item probabilities is
+        at most this value (the paper uses ``1/n``).  ``None`` disables the
+        product rule (then only ``max_depth`` stops recursion).
+    max_depth:
+        Hard cap on the path length.
+    collect_at_max_depth:
+        If True, paths still active when the depth cap is reached are
+        returned as filters (Chosen Path baseline behaviour); if False they
+        are discarded (the paper's structure, where the cap is only a safety
+        net).
+    max_paths:
+        Optional cap on the number of finished plus active paths per vector;
+        when exceeded, generation stops early and the result is flagged as
+        truncated.
+    probability_floor:
+        Items with probability below this floor are treated as having the
+        floor value in the stopping product, so a single extremely rare item
+        cannot make the product underflow to zero.
+    """
+
+    def __init__(
+        self,
+        probabilities: np.ndarray | Sequence[float],
+        hasher: PathHasher,
+        stop_product: float | None,
+        max_depth: int,
+        collect_at_max_depth: bool = False,
+        max_paths: int | None = None,
+        probability_floor: float = 1e-12,
+    ):
+        self._probabilities = np.asarray(probabilities, dtype=np.float64)
+        if self._probabilities.ndim != 1 or self._probabilities.size == 0:
+            raise ValueError("probabilities must be a non-empty 1-d array")
+        if stop_product is not None and stop_product <= 0.0:
+            raise ValueError(f"stop_product must be positive, got {stop_product}")
+        if max_depth <= 0:
+            raise ValueError(f"max_depth must be positive, got {max_depth}")
+        if max_paths is not None and max_paths <= 0:
+            raise ValueError(f"max_paths must be positive, got {max_paths}")
+        self._hasher = hasher
+        self._stop_product = stop_product
+        self._max_depth = int(max_depth)
+        self._collect_at_max_depth = bool(collect_at_max_depth)
+        self._max_paths = max_paths
+        self._probability_floor = float(probability_floor)
+
+    @property
+    def max_depth(self) -> int:
+        return self._max_depth
+
+    @property
+    def stop_product(self) -> float | None:
+        return self._stop_product
+
+    def generate(self, items: Sequence[int], threshold: BoundThreshold) -> PathGenerationResult:
+        """Generate the filters of the vector whose set bits are ``items``.
+
+        Parameters
+        ----------
+        items:
+            The set-bit indices of the vector.  Order does not matter; the
+            generator iterates items in sorted order for determinism.
+        threshold:
+            The vector-bound threshold policy supplying ``s(x, j, i)``.
+
+        Returns
+        -------
+        PathGenerationResult
+            The finished paths, whether generation was truncated by the
+            ``max_paths`` cap, and the number of node expansions performed
+            (a proxy for construction work, Lemma 6).
+        """
+        sorted_items = sorted(int(item) for item in items)
+        if not sorted_items:
+            return PathGenerationResult(paths=[], truncated=False, expansions=0)
+        if sorted_items[0] < 0 or sorted_items[-1] >= self._probabilities.size:
+            raise ValueError("vector contains an item outside the universe")
+
+        item_array = np.asarray(sorted_items, dtype=np.int64)
+        item_probabilities = np.maximum(
+            self._probabilities[item_array], self._probability_floor
+        )
+
+        finished: list[Path] = []
+        truncated = False
+        expansions = 0
+
+        # Each frontier entry: (path tuple, log-product of probabilities,
+        # boolean mask of items already used).  Using log-products avoids
+        # underflow for long paths of rare items.
+        log_stop = math.log(self._stop_product) if self._stop_product is not None else None
+        frontier: list[tuple[Path, float, np.ndarray]] = [
+            ((), 0.0, np.zeros(len(sorted_items), dtype=bool))
+        ]
+
+        for level in range(self._max_depth):
+            if not frontier:
+                break
+            next_frontier: list[tuple[Path, float, np.ndarray]] = []
+            for path, log_product, used_mask in frontier:
+                available = ~used_mask
+                if not np.any(available):
+                    continue
+                expansions += 1
+                candidate_positions = np.flatnonzero(available)
+                candidate_items = item_array[candidate_positions]
+                probabilities = threshold.sampling_probabilities(level, candidate_items)
+                hash_values = self._hasher.extension_values(path, candidate_items, level)
+                chosen = hash_values < probabilities
+                for position, item, take in zip(
+                    candidate_positions, candidate_items, chosen
+                ):
+                    if not take:
+                        continue
+                    new_path = path + (int(item),)
+                    new_log_product = log_product + math.log(item_probabilities[position])
+                    if log_stop is not None and new_log_product <= log_stop:
+                        finished.append(new_path)
+                    else:
+                        new_mask = used_mask.copy()
+                        new_mask[position] = True
+                        next_frontier.append((new_path, new_log_product, new_mask))
+                    if (
+                        self._max_paths is not None
+                        and len(finished) + len(next_frontier) >= self._max_paths
+                    ):
+                        truncated = True
+                        break
+                if truncated:
+                    break
+            frontier = next_frontier
+            if truncated:
+                break
+
+        if self._collect_at_max_depth and not truncated:
+            finished.extend(path for path, _log_product, _mask in frontier)
+        elif self._collect_at_max_depth and truncated:
+            finished.extend(path for path, _log_product, _mask in frontier)
+
+        return PathGenerationResult(paths=finished, truncated=truncated, expansions=expansions)

@@ -1,0 +1,136 @@
+"""Work accounting for index construction and queries.
+
+The paper's evaluation is expressed in units of work (`n^ρ` filters and
+candidates), not seconds.  These dataclasses record exactly those quantities
+so that the benchmark harness can compare the measured work against the
+analytic predictions of :mod:`repro.theory`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BuildStats:
+    """Statistics collected while building an index."""
+
+    num_vectors: int = 0
+    total_filters: int = 0
+    truncated_vectors: int = 0
+    repetitions: int = 0
+
+    @property
+    def filters_per_vector(self) -> float:
+        """Average number of filters stored per vector (all repetitions)."""
+        if self.num_vectors == 0:
+            return 0.0
+        return self.total_filters / self.num_vectors
+
+    def merge(self, other: "BuildStats") -> "BuildStats":
+        """Combine statistics from two builds (e.g. per-repetition builds)."""
+        return BuildStats(
+            num_vectors=max(self.num_vectors, other.num_vectors),
+            total_filters=self.total_filters + other.total_filters,
+            truncated_vectors=self.truncated_vectors + other.truncated_vectors,
+            repetitions=self.repetitions + other.repetitions,
+        )
+
+
+@dataclass
+class QueryStats:
+    """Statistics collected while answering one query.
+
+    Attributes
+    ----------
+    filters_generated:
+        ``|F(q)|`` summed over repetitions — the number of paths the query
+        chose.
+    candidates_examined:
+        Number of (filter, stored vector) collisions inspected, i.e.
+        ``Σ_x |F(q) ∩ F(x)|`` in the paper's notation.  This is the
+        dominating term of the query cost in Lemma 7.
+    unique_candidates:
+        Number of distinct dataset vectors whose similarity was evaluated.
+    similarity_evaluations:
+        Number of exact similarity computations performed (equals
+        ``unique_candidates`` unless early termination skipped some).
+    found:
+        Whether a vector satisfying the acceptance predicate was returned.
+    repetitions_used:
+        Number of repetitions inspected before the query terminated.
+    """
+
+    filters_generated: int = 0
+    candidates_examined: int = 0
+    unique_candidates: int = 0
+    similarity_evaluations: int = 0
+    found: bool = False
+    repetitions_used: int = 0
+
+    def add(self, other: "QueryStats") -> None:
+        """Accumulate another query's statistics into this one (in place)."""
+        self.filters_generated += other.filters_generated
+        self.candidates_examined += other.candidates_examined
+        self.unique_candidates += other.unique_candidates
+        self.similarity_evaluations += other.similarity_evaluations
+        self.found = self.found or other.found
+        self.repetitions_used += other.repetitions_used
+
+    @property
+    def total_work(self) -> int:
+        """A single work figure: filters generated plus candidates examined."""
+        return self.filters_generated + self.candidates_examined
+
+
+@dataclass
+class AggregatedQueryStats:
+    """Aggregate of many :class:`QueryStats`, as produced by the harness."""
+
+    num_queries: int = 0
+    total_filters_generated: int = 0
+    total_candidates_examined: int = 0
+    total_unique_candidates: int = 0
+    total_similarity_evaluations: int = 0
+    num_found: int = 0
+    per_query: list[QueryStats] = field(default_factory=list)
+
+    def record(self, stats: QueryStats) -> None:
+        """Add one query's statistics to the aggregate."""
+        self.num_queries += 1
+        self.total_filters_generated += stats.filters_generated
+        self.total_candidates_examined += stats.candidates_examined
+        self.total_unique_candidates += stats.unique_candidates
+        self.total_similarity_evaluations += stats.similarity_evaluations
+        self.num_found += 1 if stats.found else 0
+        self.per_query.append(stats)
+
+    @property
+    def mean_candidates(self) -> float:
+        """Average candidates examined per query."""
+        if self.num_queries == 0:
+            return 0.0
+        return self.total_candidates_examined / self.num_queries
+
+    @property
+    def mean_filters(self) -> float:
+        """Average filters generated per query."""
+        if self.num_queries == 0:
+            return 0.0
+        return self.total_filters_generated / self.num_queries
+
+    @property
+    def mean_work(self) -> float:
+        """Average total work (filters + candidates) per query."""
+        if self.num_queries == 0:
+            return 0.0
+        return (
+            self.total_filters_generated + self.total_candidates_examined
+        ) / self.num_queries
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of queries that found an acceptable vector."""
+        if self.num_queries == 0:
+            return 0.0
+        return self.num_found / self.num_queries

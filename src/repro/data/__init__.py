@@ -1,0 +1,68 @@
+"""Data model: item-level probability distributions, datasets and analysis.
+
+The paper's model (Section 2) draws each data vector ``x`` from a product
+distribution ``D[p_1, ..., p_d]`` — bit ``i`` is set independently with
+probability ``p_i`` — and draws an α-correlated query from ``D_α(x)``
+(Definition 3).  This subpackage implements that model, a library of named
+probability families (uniform, two-block, harmonic, Zipfian,
+piecewise-Zipfian), synthetic stand-ins for the Mann et al. benchmark
+datasets, transaction-format I/O and the frequency / independence analyses
+of Section 8.
+"""
+
+from repro.data.distributions import ItemDistribution, sample_dataset
+from repro.data.families import (
+    harmonic_probabilities,
+    piecewise_zipfian_probabilities,
+    two_block_probabilities,
+    uniform_probabilities,
+    zipfian_probabilities,
+)
+from repro.data.correlation import correlated_query, plant_correlated_pairs
+from repro.data.datasets import SetCollection
+from repro.data.generators import (
+    BENCHMARK_PROFILES,
+    BenchmarkProfile,
+    generate_benchmark_like,
+    generate_topic_model,
+)
+from repro.data.io import read_transactions, write_transactions
+from repro.data.analysis import (
+    empirical_frequencies,
+    frequency_profile,
+    independence_ratio,
+    skew_summary,
+)
+from repro.data.estimation import (
+    ParameterRecommendation,
+    estimate_probabilities,
+    estimation_error_bound,
+    recommend_parameters,
+)
+
+__all__ = [
+    "ItemDistribution",
+    "sample_dataset",
+    "harmonic_probabilities",
+    "piecewise_zipfian_probabilities",
+    "two_block_probabilities",
+    "uniform_probabilities",
+    "zipfian_probabilities",
+    "correlated_query",
+    "plant_correlated_pairs",
+    "SetCollection",
+    "BENCHMARK_PROFILES",
+    "BenchmarkProfile",
+    "generate_benchmark_like",
+    "generate_topic_model",
+    "read_transactions",
+    "write_transactions",
+    "empirical_frequencies",
+    "frequency_profile",
+    "independence_ratio",
+    "skew_summary",
+    "ParameterRecommendation",
+    "estimate_probabilities",
+    "estimation_error_bound",
+    "recommend_parameters",
+]

@@ -1,0 +1,269 @@
+"""Dataset analyses used in Section 8 of the paper (Figure 2 and Table 1).
+
+Three analyses are provided:
+
+* :func:`empirical_frequencies` / :func:`frequency_profile` — the sorted
+  item-frequency curves plotted in Figure 2, in both normalisations used by
+  the paper (``x = j/d`` and ``x = log_d j``, ``y = 1 + log_n p_j``).
+* :func:`independence_ratio` — the Table 1 statistic: the ratio between the
+  observed number of sets containing a random item subset ``I`` and the
+  number predicted under independence (``n · ∏_{j∈I} p_j``), averaged over
+  random subsets of size 2 and 3.
+* :func:`skew_summary` — scalar summaries of skew (Gini coefficient, top-k
+  mass, fitted Zipf exponent) used by examples and reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.datasets import SetCollection
+from repro.hashing.random_source import RandomSource
+
+
+def empirical_frequencies(collection: SetCollection, descending: bool = True) -> np.ndarray:
+    """Item frequencies sorted in decreasing (default) or increasing order.
+
+    Items that never occur (frequency 0) are retained so the curve covers the
+    whole universe, matching the paper's plots over ``j ∈ [d]``.
+    """
+    frequencies = collection.item_frequencies()
+    order = np.sort(frequencies)
+    return order[::-1] if descending else order
+
+
+@dataclass(frozen=True)
+class FrequencyProfile:
+    """The Figure 2 curves for one dataset.
+
+    Attributes
+    ----------
+    name:
+        Dataset label.
+    relative_rank:
+        Left-plot x-axis, ``j / d`` for ``j = 1..d``.
+    log_rank:
+        Right-plot x-axis, ``log_d j``.
+    normalized_log_frequency:
+        The y-axis of both plots, ``1 + log_n p_j`` (so 1 means an item
+        present in every set and 0 means an item occurring once in n sets).
+    """
+
+    name: str
+    relative_rank: np.ndarray
+    log_rank: np.ndarray
+    normalized_log_frequency: np.ndarray
+
+    def sampled(self, num_points: int = 50) -> "FrequencyProfile":
+        """Evenly subsample the curves for compact text reporting."""
+        if num_points <= 0:
+            raise ValueError(f"num_points must be positive, got {num_points}")
+        total = self.relative_rank.size
+        if total <= num_points:
+            return self
+        indices = np.unique(np.linspace(0, total - 1, num_points).astype(np.int64))
+        return FrequencyProfile(
+            name=self.name,
+            relative_rank=self.relative_rank[indices],
+            log_rank=self.log_rank[indices],
+            normalized_log_frequency=self.normalized_log_frequency[indices],
+        )
+
+
+def frequency_profile(
+    collection: SetCollection,
+    name: str = "dataset",
+    floor_frequency: float | None = None,
+) -> FrequencyProfile:
+    """Compute the Figure 2 curves for a collection.
+
+    Items with zero frequency are clamped to ``floor_frequency`` (default
+    ``1/(2n)``, i.e. "less than one occurrence") so the logarithms are
+    defined; the paper's plots only cover observed items, so the clamp only
+    affects the extreme tail.
+    """
+    num_sets = len(collection)
+    if num_sets == 0:
+        raise ValueError("cannot profile an empty collection")
+    dimension = collection.dimension
+    if dimension == 0:
+        raise ValueError("cannot profile a collection over an empty universe")
+    if floor_frequency is None:
+        floor_frequency = 1.0 / (2.0 * num_sets)
+    frequencies = np.maximum(empirical_frequencies(collection), floor_frequency)
+    ranks = np.arange(1, dimension + 1, dtype=np.float64)
+    log_n = np.log(max(num_sets, 2))
+    log_d = np.log(max(dimension, 2))
+    return FrequencyProfile(
+        name=name,
+        relative_rank=ranks / dimension,
+        log_rank=np.log(ranks) / log_d,
+        normalized_log_frequency=1.0 + np.log(frequencies) / log_n,
+    )
+
+
+def independence_ratio(
+    collection: SetCollection,
+    subset_size: int,
+    num_samples: int = 2000,
+    seed: int = 0,
+    restrict_to_observed: bool = True,
+    method: str = "importance",
+) -> float:
+    """The Table 1 statistic for subsets of the given size.
+
+    Estimates the ratio::
+
+        E_I[ observed number of sets containing all of I ]
+        ---------------------------------------------------
+        E_I[ n * prod_{j in I} p_j ]
+
+    over random item subsets ``I`` of the given size, i.e. the average
+    constant factor by which the independence assumption (equation (2) of the
+    paper) is violated.  Values close to 1 indicate near-independence; large
+    values indicate strong positive dependence between items.
+
+    Parameters
+    ----------
+    collection:
+        The dataset.
+    subset_size:
+        Size of the random subsets ``|I|`` (the paper uses 2 and 3).
+    num_samples:
+        Number of random subsets averaged over.
+    seed:
+        Sampling seed.
+    restrict_to_observed:
+        Sample ``I`` only among items that occur at least once (default).
+        Subsets containing a never-observed item contribute zero to both the
+        numerator and the denominator expectation and only add noise.
+    method:
+        ``"importance"`` (default) samples subsets with probability
+        proportional to their independence-predicted mass ``∏ p_j`` and
+        reweights, which estimates the same ratio of expectations with far
+        lower variance on sparse data; ``"uniform"`` samples subsets
+        uniformly, exactly as the quantity is defined.
+    """
+    if subset_size <= 0:
+        raise ValueError(f"subset_size must be positive, got {subset_size}")
+    if num_samples <= 0:
+        raise ValueError(f"num_samples must be positive, got {num_samples}")
+    if method not in ("importance", "uniform"):
+        raise ValueError(f"method must be 'importance' or 'uniform', got {method!r}")
+    num_sets = len(collection)
+    if num_sets == 0:
+        raise ValueError("cannot analyse an empty collection")
+
+    frequencies = collection.item_frequencies()
+    if restrict_to_observed:
+        candidate_items = np.flatnonzero(frequencies > 0.0)
+    else:
+        candidate_items = np.arange(collection.dimension)
+    if candidate_items.size < subset_size:
+        raise ValueError(
+            f"not enough items ({candidate_items.size}) to draw subsets of size {subset_size}"
+        )
+
+    # Build an inverted index once: item -> set of row indices containing it.
+    postings: dict[int, set[int]] = {}
+    for row_index, members in enumerate(collection):
+        for item in members:
+            postings.setdefault(item, set()).add(row_index)
+
+    def observed_support(subset: np.ndarray) -> float:
+        rows: set[int] | None = None
+        for item in subset:
+            item_rows = postings.get(int(item), set())
+            rows = set(item_rows) if rows is None else rows & item_rows
+            if not rows:
+                return 0.0
+        return float(len(rows) if rows else 0)
+
+    rng = RandomSource(seed).generator
+    candidate_frequencies = frequencies[candidate_items]
+    observed_total = 0.0
+    predicted_total = 0.0
+
+    if method == "uniform":
+        for _ in range(num_samples):
+            subset = rng.choice(candidate_items, size=subset_size, replace=False)
+            observed_total += observed_support(subset)
+            predicted_total += float(num_sets * np.prod(frequencies[subset]))
+    else:
+        # Importance sampling: draw the items of I proportionally to their
+        # frequency, so the sampled subsets are the ones that dominate both
+        # the numerator and the denominator; reweighting by 1/∏ q_j makes the
+        # estimator a consistent self-normalised estimate of the same ratio.
+        sampling_weights = candidate_frequencies / candidate_frequencies.sum()
+        drawn = 0
+        attempts = 0
+        max_attempts = 50 * num_samples
+        while drawn < num_samples and attempts < max_attempts:
+            attempts += 1
+            subset = rng.choice(
+                candidate_items, size=subset_size, replace=False, p=sampling_weights
+            )
+            proposal_mass = float(np.prod(frequencies[subset]))
+            if proposal_mass <= 0.0:
+                continue
+            drawn += 1
+            inverse_weight = 1.0 / proposal_mass
+            observed_total += observed_support(subset) * inverse_weight
+            predicted_total += float(num_sets * proposal_mass) * inverse_weight
+
+    if predicted_total == 0.0:
+        raise ValueError("independence prediction is zero; the dataset is degenerate")
+    return observed_total / predicted_total
+
+
+@dataclass(frozen=True)
+class SkewSummary:
+    """Scalar skew statistics of a dataset's item-frequency distribution."""
+
+    gini: float
+    top_1_percent_mass: float
+    top_10_percent_mass: float
+    zipf_exponent: float
+    max_frequency: float
+    median_frequency: float
+
+
+def skew_summary(collection: SetCollection) -> SkewSummary:
+    """Summarise how skewed the item-frequency distribution of a dataset is."""
+    frequencies = empirical_frequencies(collection)
+    positive = frequencies[frequencies > 0.0]
+    if positive.size == 0:
+        return SkewSummary(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    total_mass = float(positive.sum())
+
+    # Gini coefficient of the frequency distribution.
+    sorted_ascending = np.sort(positive)
+    cumulative = np.cumsum(sorted_ascending)
+    count = sorted_ascending.size
+    gini = float(
+        (count + 1 - 2.0 * np.sum(cumulative) / cumulative[-1]) / count
+    ) if count > 1 else 0.0
+
+    def top_mass(fraction: float) -> float:
+        top_count = max(1, int(round(fraction * positive.size)))
+        return float(positive[:top_count].sum() / total_mass)
+
+    # Fit a Zipf exponent by least squares on log-log ranks vs frequencies.
+    ranks = np.arange(1, positive.size + 1, dtype=np.float64)
+    log_ranks = np.log(ranks)
+    log_frequencies = np.log(positive)
+    if positive.size > 1 and np.ptp(log_ranks) > 0:
+        slope = float(np.polyfit(log_ranks, log_frequencies, deg=1)[0])
+    else:
+        slope = 0.0
+
+    return SkewSummary(
+        gini=max(0.0, gini),
+        top_1_percent_mass=top_mass(0.01),
+        top_10_percent_mass=top_mass(0.10),
+        zipf_exponent=-slope,
+        max_frequency=float(positive[0]),
+        median_frequency=float(np.median(positive)),
+    )

@@ -1,0 +1,117 @@
+"""Correlated-query and planted-pair generation.
+
+Two generation tasks recur in the paper's evaluation of Theorem 1 and in the
+light-bulb style examples:
+
+* sampling a query ``q ~ D_α(x)`` for a dataset vector ``x`` (Definition 3),
+  provided by :func:`correlated_query`, and
+* planting α-correlated pairs inside an otherwise independent dataset,
+  provided by :func:`plant_correlated_pairs` — the sparse-vector analogue of
+  the light bulb problem used by join and recall experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.data.distributions import ItemDistribution
+from repro.hashing.random_source import RandomSource
+
+
+@dataclass(frozen=True)
+class PlantedPair:
+    """Indices of a planted correlated pair and the correlation used."""
+
+    first_index: int
+    second_index: int
+    alpha: float
+
+
+def correlated_query(
+    distribution: ItemDistribution,
+    x: frozenset[int],
+    alpha: float,
+    seed: int,
+) -> frozenset[int]:
+    """Draw one query α-correlated with ``x`` (Definition 3), reproducibly."""
+    source = RandomSource(seed)
+    return distribution.sample_correlated(x, alpha, source.generator)
+
+
+def correlated_queries(
+    distribution: ItemDistribution,
+    targets: Sequence[frozenset[int]],
+    alpha: float,
+    seed: int,
+) -> list[frozenset[int]]:
+    """Draw one α-correlated query per target vector."""
+    source = RandomSource(seed)
+    return [
+        distribution.sample_correlated(target, alpha, source.child(index).generator)
+        for index, target in enumerate(targets)
+    ]
+
+
+def plant_correlated_pairs(
+    distribution: ItemDistribution,
+    count: int,
+    num_pairs: int,
+    alpha: float,
+    seed: int,
+) -> tuple[list[frozenset[int]], list[PlantedPair]]:
+    """Sample a dataset of ``count`` vectors with ``num_pairs`` planted α-correlated pairs.
+
+    The first ``count - num_pairs`` vectors are independent draws from the
+    distribution.  Each planted pair consists of one of those vectors ``x``
+    and an extra vector ``q ~ D_α(x)`` appended at the end, so the returned
+    dataset has exactly ``count`` vectors.
+
+    Parameters
+    ----------
+    distribution:
+        The item distribution.
+    count:
+        Total number of vectors in the returned dataset.
+    num_pairs:
+        Number of planted pairs; must satisfy ``2 * num_pairs <= count``.
+    alpha:
+        Correlation level of the planted pairs.
+    seed:
+        Seed controlling all sampling.
+
+    Returns
+    -------
+    (vectors, pairs):
+        The dataset and the list of planted pair descriptors (indices into
+        the returned list).
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if num_pairs < 0:
+        raise ValueError(f"num_pairs must be non-negative, got {num_pairs}")
+    if 2 * num_pairs > count:
+        raise ValueError(
+            f"cannot plant {num_pairs} pairs in a dataset of {count} vectors"
+        )
+    source = RandomSource(seed)
+    base_count = count - num_pairs
+    vectors = distribution.sample_many(base_count, source.child("base").generator)
+    # Resample any empty vectors: correlated pairs with an empty anchor are
+    # meaningless and the model makes them vanishingly unlikely anyway.
+    for index, vector in enumerate(vectors):
+        if not vector:
+            vectors[index] = distribution.sample(source.child("resample", index).generator)
+
+    pairs: list[PlantedPair] = []
+    partner_rng = source.child("partners")
+    anchor_indices = partner_rng.generator.choice(base_count, size=num_pairs, replace=False)
+    for pair_number, anchor_index in enumerate(sorted(int(i) for i in anchor_indices)):
+        partner = distribution.sample_correlated(
+            vectors[anchor_index], alpha, partner_rng.child(pair_number).generator
+        )
+        vectors.append(partner)
+        pairs.append(
+            PlantedPair(first_index=anchor_index, second_index=len(vectors) - 1, alpha=alpha)
+        )
+    return vectors, pairs

@@ -1,0 +1,226 @@
+"""The product distribution ``D[p_1, ..., p_d]`` of the paper (Section 2).
+
+A data vector is a sparse boolean vector over a universe of ``d`` items; bit
+``i`` is set independently with probability ``p_i``.  Vectors are represented
+sparsely as frozensets of set-bit indices.
+
+The class also implements α-correlated query sampling (Definition 3): given a
+data vector ``x``, the query ``q`` copies ``x_i`` with probability ``α`` and
+resamples ``q_i ~ Bernoulli(p_i)`` with probability ``1 − α``, independently
+per coordinate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.hashing.random_source import RandomSource
+
+
+class ItemDistribution:
+    """Product distribution over ``{0, 1}^d`` with known item probabilities.
+
+    Parameters
+    ----------
+    probabilities:
+        Sequence of item-level probabilities ``p_1, ..., p_d``.  The paper
+        assumes ``p_i <= 1/2``; this class only requires ``0 <= p_i <= 1``
+        and exposes :meth:`validate_paper_assumptions` for callers that want
+        to enforce the stricter model.
+    """
+
+    def __init__(self, probabilities: Sequence[float] | np.ndarray):
+        array = np.asarray(probabilities, dtype=np.float64)
+        if array.ndim != 1:
+            raise ValueError(f"probabilities must be a 1-d sequence, got shape {array.shape}")
+        if array.size == 0:
+            raise ValueError("probabilities must be non-empty")
+        if np.any(array < 0.0) or np.any(array > 1.0):
+            raise ValueError("all probabilities must lie in [0, 1]")
+        self._probabilities = array.copy()
+        self._probabilities.setflags(write=False)
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Read-only array of item probabilities ``p_i``."""
+        return self._probabilities
+
+    @property
+    def dimension(self) -> int:
+        """The universe size ``d``."""
+        return int(self._probabilities.size)
+
+    @property
+    def expected_size(self) -> float:
+        """Expected Hamming weight ``Σ_i p_i`` of a sampled vector."""
+        return float(self._probabilities.sum())
+
+    @property
+    def expected_intersection(self) -> float:
+        """Expected intersection size ``Σ_i p_i^2`` of two independent vectors."""
+        return float(np.square(self._probabilities).sum())
+
+    def expected_similarity(self) -> float:
+        """Expected Braun-Blanquet similarity of two *uncorrelated* vectors.
+
+        Uses the concentration heuristic ``Σ p_i^2 / Σ p_i`` (both numerator
+        and denominator concentrate when ``Σ p_i`` is large), which is the
+        quantity the paper calls ``b2`` in Section 7.2.
+        """
+        expected_size = self.expected_size
+        if expected_size == 0.0:
+            return 0.0
+        return self.expected_intersection / expected_size
+
+    def expected_correlated_similarity(self, alpha: float) -> float:
+        """Expected Braun-Blanquet similarity of an α-correlated pair.
+
+        ``E[|x ∩ q|] = Σ_i (p_i^2 (1 − α) + p_i α)`` divided by the expected
+        size; the paper calls this ``b1`` in Section 7.2.
+        """
+        _validate_alpha(alpha)
+        expected_size = self.expected_size
+        if expected_size == 0.0:
+            return 0.0
+        expected_intersection = float(
+            np.sum(np.square(self._probabilities) * (1.0 - alpha) + self._probabilities * alpha)
+        )
+        return expected_intersection / expected_size
+
+    def conditional_probabilities(self, alpha: float) -> np.ndarray:
+        """The conditional probabilities ``p̂_i = Pr[x_i = 1 | q_i = 1]``.
+
+        Equals ``p_i (1 − α) + α`` (Section 6), the quantity the
+        correlated-query threshold function divides by.
+        """
+        _validate_alpha(alpha)
+        return self._probabilities * (1.0 - alpha) + alpha
+
+    def validate_paper_assumptions(self, maximum: float = 0.5) -> None:
+        """Raise :class:`ValueError` unless all ``p_i <= maximum``.
+
+        The paper assumes a constant bound ``M < 1`` (concretely 1/2) on all
+        item probabilities; the data structures still *run* without it but
+        the analytic guarantees do not apply.
+        """
+        if float(self._probabilities.max()) > maximum:
+            raise ValueError(
+                "item probability "
+                f"{float(self._probabilities.max()):.4f} exceeds the assumed bound {maximum}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+
+    def sample(self, rng: np.random.Generator) -> frozenset[int]:
+        """Draw one vector from the distribution as a frozenset of indices."""
+        mask = rng.random(self.dimension) < self._probabilities
+        return frozenset(np.flatnonzero(mask).tolist())
+
+    def sample_many(self, count: int, rng: np.random.Generator) -> list[frozenset[int]]:
+        """Draw ``count`` independent vectors."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        uniforms = rng.random((count, self.dimension))
+        mask = uniforms < self._probabilities[np.newaxis, :]
+        return [frozenset(np.flatnonzero(row).tolist()) for row in mask]
+
+    def sample_correlated(
+        self, x: Iterable[int], alpha: float, rng: np.random.Generator
+    ) -> frozenset[int]:
+        """Draw ``q ~ D_α(x)`` (Definition 3).
+
+        For each coordinate independently: with probability ``α`` copy
+        ``x_i``; with probability ``1 − α`` resample from ``Bernoulli(p_i)``.
+        """
+        _validate_alpha(alpha)
+        x_set = frozenset(int(item) for item in x)
+        if x_set and max(x_set) >= self.dimension:
+            raise ValueError("vector x contains an index outside the universe")
+        copy_mask = rng.random(self.dimension) < alpha
+        noise_mask = rng.random(self.dimension) < self._probabilities
+        x_mask = np.zeros(self.dimension, dtype=bool)
+        if x_set:
+            x_mask[np.fromiter(x_set, dtype=np.int64)] = True
+        q_mask = np.where(copy_mask, x_mask, noise_mask)
+        return frozenset(np.flatnonzero(q_mask).tolist())
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors and dunder methods
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_counts(cls, counts: Sequence[int], total: int) -> "ItemDistribution":
+        """Build a distribution from item occurrence counts over ``total`` sets."""
+        if total <= 0:
+            raise ValueError(f"total must be positive, got {total}")
+        array = np.asarray(counts, dtype=np.float64) / float(total)
+        return cls(np.clip(array, 0.0, 1.0))
+
+    def restricted_to(self, items: Iterable[int]) -> np.ndarray:
+        """Probabilities of a subset of items, in the given iteration order."""
+        indices = np.fromiter((int(item) for item in items), dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.dimension):
+            raise ValueError("item index outside the universe")
+        return self._probabilities[indices]
+
+    def __len__(self) -> int:
+        return self.dimension
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ItemDistribution):
+            return NotImplemented
+        return np.array_equal(self._probabilities, other._probabilities)
+
+    def __repr__(self) -> str:
+        return (
+            f"ItemDistribution(dimension={self.dimension}, "
+            f"expected_size={self.expected_size:.2f})"
+        )
+
+
+def sample_dataset(
+    distribution: ItemDistribution,
+    count: int,
+    seed: int,
+    drop_empty: bool = True,
+) -> list[frozenset[int]]:
+    """Sample ``count`` vectors from ``distribution`` with a fixed seed.
+
+    Parameters
+    ----------
+    distribution:
+        The product distribution to sample from.
+    count:
+        Number of vectors.
+    seed:
+        Seed for the numpy generator.
+    drop_empty:
+        If True (default), empty vectors are resampled once and then dropped
+        if still empty — indexes and similarity measures treat empty sets as
+        uninteresting, and the paper's model makes them vanishingly unlikely
+        (``Σ p_i >= C log n``).
+    """
+    source = RandomSource(seed)
+    vectors = distribution.sample_many(count, source.generator)
+    if not drop_empty:
+        return vectors
+    result: list[frozenset[int]] = []
+    for vector in vectors:
+        if not vector:
+            vector = distribution.sample(source.generator)
+        if vector:
+            result.append(vector)
+    return result
+
+
+def _validate_alpha(alpha: float) -> None:
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")

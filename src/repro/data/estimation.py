@@ -1,0 +1,173 @@
+"""Estimating the item-level probabilities from data (Section 9).
+
+The data structures assume the item probabilities ``p_i`` are known.  The
+paper's conclusion notes that in practice one would estimate them from the
+dataset itself ("it seems likely that one can estimate each p_i to very high
+precision by counting the occurrences in the dataset itself, leading to the
+same asymptotic bounds").  This module provides that estimation step with the
+statistical care a production system needs:
+
+* :func:`estimate_probabilities` — smoothed frequency estimates (additive /
+  Laplace smoothing) clipped to the model's ``p_i ≤ 1/2`` assumption;
+* :func:`estimation_error_bound` — a per-item high-probability error bound,
+  so callers can check whether ``n`` is large enough for the estimates to be
+  trustworthy;
+* :func:`recommend_parameters` — turns a dataset and a target correlation /
+  similarity level into concrete index parameters (repetitions for a target
+  success probability, a check of the ``Σ p_i ≥ C log n`` requirement).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.data.datasets import SetCollection
+from repro.data.distributions import ItemDistribution
+from repro.theory.bounds import required_expected_size, success_probability_lower_bound
+from repro.theory.rho import solve_correlated_rho
+
+
+def estimate_probabilities(
+    collection: SetCollection | Iterable[Iterable[int]],
+    smoothing: float = 0.5,
+    maximum: float = 0.5,
+    dimension: int | None = None,
+) -> ItemDistribution:
+    """Estimate item probabilities from a dataset with additive smoothing.
+
+    Parameters
+    ----------
+    collection:
+        The dataset (a :class:`SetCollection` or any iterable of item sets).
+    smoothing:
+        Additive (Laplace) smoothing constant ``s``: the estimate is
+        ``(count_i + s) / (n + 2s)``.  Smoothing keeps never-observed items at
+        a small positive probability, which the stopping rule and the
+        correlated thresholds handle gracefully, and avoids over-confident
+        zero estimates on small samples.
+    maximum:
+        Upper clip enforcing the model assumption ``p_i ≤ 1/2``.
+    dimension:
+        Universe size override when the collection is a plain iterable.
+    """
+    if smoothing < 0.0:
+        raise ValueError(f"smoothing must be non-negative, got {smoothing}")
+    if not 0.0 < maximum <= 1.0:
+        raise ValueError(f"maximum must be in (0, 1], got {maximum}")
+    if not isinstance(collection, SetCollection):
+        collection = SetCollection(collection, dimension=dimension)
+    num_sets = len(collection)
+    if num_sets == 0:
+        raise ValueError("cannot estimate probabilities from an empty collection")
+    counts = collection.item_counts().astype(np.float64)
+    estimates = (counts + smoothing) / (num_sets + 2.0 * smoothing)
+    return ItemDistribution(np.clip(estimates, 0.0, maximum))
+
+
+def estimation_error_bound(num_sets: int, confidence: float = 0.99) -> float:
+    """Additive error ``ε`` such that ``|p̂_i − p_i| ≤ ε`` with the given confidence.
+
+    By Hoeffding's inequality a single item's frequency estimate over ``n``
+    independent sets deviates by more than ``ε`` with probability at most
+    ``2 exp(−2 n ε²)``; solving for ``ε`` at the requested confidence gives
+    the returned bound (per item, not simultaneously over all items).
+    """
+    if num_sets <= 0:
+        raise ValueError(f"num_sets must be positive, got {num_sets}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    failure = 1.0 - confidence
+    return math.sqrt(math.log(2.0 / failure) / (2.0 * num_sets))
+
+
+@dataclass(frozen=True)
+class ParameterRecommendation:
+    """Concrete index parameters derived from a dataset and a target workload.
+
+    Attributes
+    ----------
+    distribution:
+        The estimated item distribution to build the index with.
+    repetitions:
+        Number of repetitions needed for the requested success probability.
+    expected_rho:
+        The Theorem 1 exponent predicted for the estimated distribution.
+    expected_size:
+        ``Σ_i p̂_i`` of the estimated distribution.
+    required_size:
+        The ``C log n`` level the paper's analysis asks for (with the given
+        ``capital_c``); if ``expected_size`` is far below this, the formal
+        guarantees are not in force even though the index still works as a
+        heuristic.
+    meets_size_requirement:
+        Whether ``expected_size >= required_size``.
+    estimation_error:
+        Per-item estimation error bound at 99% confidence.
+    """
+
+    distribution: ItemDistribution
+    repetitions: int
+    expected_rho: float
+    expected_size: float
+    required_size: float
+    meets_size_requirement: bool
+    estimation_error: float
+
+
+def recommend_parameters(
+    collection: SetCollection | Iterable[Iterable[int]],
+    alpha: float,
+    target_success: float = 0.9,
+    capital_c: float = 5.0,
+    dimension: int | None = None,
+) -> ParameterRecommendation:
+    """Derive index parameters for a correlated-query workload on real data.
+
+    Parameters
+    ----------
+    collection:
+        The dataset to be indexed.
+    alpha:
+        The correlation level of the queries the index should serve.
+    target_success:
+        Desired probability that at least one repetition succeeds (the
+        per-repetition bound of Lemma 5 is ``1/log n``).
+    capital_c:
+        The constant in the ``Σ p_i ≥ C log n`` requirement used for the
+        size check.
+    dimension:
+        Universe size override when the collection is a plain iterable.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    if not 0.0 < target_success < 1.0:
+        raise ValueError(f"target_success must be in (0, 1), got {target_success}")
+    if not isinstance(collection, SetCollection):
+        collection = SetCollection(collection, dimension=dimension)
+    num_sets = max(len(collection), 2)
+
+    distribution = estimate_probabilities(collection)
+    expected_size = distribution.expected_size
+    required = required_expected_size(num_sets, capital_c)
+
+    # Smallest repetition count whose success lower bound reaches the target.
+    repetitions = 1
+    while (
+        success_probability_lower_bound(num_sets, repetitions) < target_success
+        and repetitions < 10_000
+    ):
+        repetitions += 1
+
+    return ParameterRecommendation(
+        distribution=distribution,
+        repetitions=repetitions,
+        expected_rho=solve_correlated_rho(distribution.probabilities, alpha),
+        expected_size=expected_size,
+        required_size=required,
+        meets_size_requirement=expected_size >= required,
+        estimation_error=estimation_error_bound(len(collection)),
+    )

@@ -1,0 +1,196 @@
+"""Named families of item-probability vectors used throughout the paper.
+
+Each function returns a plain :class:`numpy.ndarray` of probabilities that
+can be wrapped in :class:`repro.data.distributions.ItemDistribution`.
+
+* ``uniform``            — the light-bulb / no-skew setting (all ``p_i = p``).
+* ``two_block``          — the Figure 1 / Section 7 setting: one block of
+                            frequent items and one block of rare items.
+* ``harmonic``           — the Section 1 motivating example ``p_k = 1/k``.
+* ``zipfian``            — ``p_k ∝ k^(−s)`` scaled to a target maximum.
+* ``piecewise_zipfian``  — the "piecewise Zipfian" shape observed for the
+                            real datasets in Section 8 / Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def _validate_dimension(dimension: int) -> None:
+    if dimension <= 0:
+        raise ValueError(f"dimension must be positive, got {dimension}")
+
+
+def _validate_probability(value: float, name: str) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def uniform_probabilities(dimension: int, probability: float) -> np.ndarray:
+    """All items share the same probability (the balanced, no-skew case)."""
+    _validate_dimension(dimension)
+    _validate_probability(probability, "probability")
+    return np.full(dimension, probability, dtype=np.float64)
+
+
+def two_block_probabilities(
+    dimension: int,
+    frequent_probability: float,
+    rare_probability: float,
+    frequent_fraction: float = 0.5,
+) -> np.ndarray:
+    """Two blocks of items: a frequent block and a rare block.
+
+    This is the workload of Figure 1 (half the bits at ``p``, half at
+    ``p/8``) and of the Section 7 worked examples (``p_a = 1/4``,
+    ``p_b = n^{-0.9}``).
+
+    Parameters
+    ----------
+    dimension:
+        Total number of items ``d``.
+    frequent_probability:
+        Probability of the items in the frequent block.
+    rare_probability:
+        Probability of the items in the rare block.
+    frequent_fraction:
+        Fraction of the universe belonging to the frequent block (first
+        ``round(frequent_fraction * d)`` items).
+    """
+    _validate_dimension(dimension)
+    _validate_probability(frequent_probability, "frequent_probability")
+    _validate_probability(rare_probability, "rare_probability")
+    if not 0.0 <= frequent_fraction <= 1.0:
+        raise ValueError(f"frequent_fraction must be in [0, 1], got {frequent_fraction}")
+    frequent_count = int(round(frequent_fraction * dimension))
+    probabilities = np.full(dimension, rare_probability, dtype=np.float64)
+    probabilities[:frequent_count] = frequent_probability
+    return probabilities
+
+
+def block_probabilities(block_sizes: Sequence[int], block_values: Sequence[float]) -> np.ndarray:
+    """General multi-block profile: ``block_sizes[k]`` items at ``block_values[k]``.
+
+    Used by the Section 7.2 example (``4 C log n`` items at ``1/4`` plus
+    ``n^{0.9} C log n`` items at ``n^{-0.9}``) and by ablation benches.
+    """
+    if len(block_sizes) != len(block_values):
+        raise ValueError(
+            f"block_sizes and block_values must have equal length, got "
+            f"{len(block_sizes)} and {len(block_values)}"
+        )
+    if not block_sizes:
+        raise ValueError("at least one block is required")
+    pieces = []
+    for size, value in zip(block_sizes, block_values):
+        if size < 0:
+            raise ValueError(f"block size must be non-negative, got {size}")
+        _validate_probability(value, "block value")
+        pieces.append(np.full(int(size), value, dtype=np.float64))
+    probabilities = np.concatenate(pieces) if pieces else np.empty(0)
+    if probabilities.size == 0:
+        raise ValueError("the blocks must contain at least one item in total")
+    return probabilities
+
+
+def harmonic_probabilities(dimension: int, scale: float = 1.0, maximum: float = 0.5) -> np.ndarray:
+    """The motivating example of Section 1: ``p_k = scale / k`` capped at ``maximum``.
+
+    The paper's introduction uses ``p_k = 1/k``; we cap at ``maximum`` (default
+    1/2) to respect the model's bound on item probabilities.
+    """
+    _validate_dimension(dimension)
+    if scale <= 0.0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    _validate_probability(maximum, "maximum")
+    ranks = np.arange(1, dimension + 1, dtype=np.float64)
+    return np.minimum(scale / ranks, maximum)
+
+
+def zipfian_probabilities(
+    dimension: int,
+    exponent: float = 1.0,
+    maximum: float = 0.5,
+    minimum: float = 0.0,
+) -> np.ndarray:
+    """Zipfian profile ``p_k = maximum * k^(−exponent)``, floored at ``minimum``.
+
+    A plain Zipf profile appears as a straight line on the right-hand plot of
+    Figure 2; the real datasets are "piecewise Zipfian", see
+    :func:`piecewise_zipfian_probabilities`.
+    """
+    _validate_dimension(dimension)
+    if exponent < 0.0:
+        raise ValueError(f"exponent must be non-negative, got {exponent}")
+    _validate_probability(maximum, "maximum")
+    _validate_probability(minimum, "minimum")
+    ranks = np.arange(1, dimension + 1, dtype=np.float64)
+    probabilities = maximum * np.power(ranks, -exponent)
+    return np.maximum(probabilities, minimum)
+
+
+def piecewise_zipfian_probabilities(
+    dimension: int,
+    breakpoints: Sequence[float],
+    exponents: Sequence[float],
+    maximum: float = 0.5,
+    minimum: float = 1e-7,
+) -> np.ndarray:
+    """Piecewise Zipfian profile matching the shape observed in Figure 2.
+
+    The universe is split at relative ranks ``breakpoints`` (fractions of
+    ``d`` in increasing order); within segment ``k`` the log-frequency decays
+    linearly in ``log(rank)`` with slope ``-exponents[k]``, and segments are
+    glued continuously.
+
+    Parameters
+    ----------
+    dimension:
+        Universe size ``d``.
+    breakpoints:
+        Increasing fractions in (0, 1) marking segment boundaries.  With
+        ``len(exponents) == len(breakpoints) + 1``.
+    exponents:
+        Zipf exponent per segment (typically increasing: the tail decays
+        faster than the head).
+    maximum:
+        Probability of the most frequent item.
+    minimum:
+        Floor applied after construction, so that no probability underflows
+        to zero.
+    """
+    _validate_dimension(dimension)
+    if len(exponents) != len(breakpoints) + 1:
+        raise ValueError(
+            "expected one more exponent than breakpoints, got "
+            f"{len(exponents)} exponents and {len(breakpoints)} breakpoints"
+        )
+    if any(not 0.0 < b < 1.0 for b in breakpoints):
+        raise ValueError("breakpoints must lie strictly inside (0, 1)")
+    if list(breakpoints) != sorted(breakpoints):
+        raise ValueError("breakpoints must be increasing")
+    _validate_probability(maximum, "maximum")
+
+    ranks = np.arange(1, dimension + 1, dtype=np.float64)
+    log_ranks = np.log(ranks)
+    boundaries = [1.0] + [max(1.0, b * dimension) for b in breakpoints] + [float(dimension)]
+    log_probabilities = np.empty(dimension, dtype=np.float64)
+
+    level = np.log(maximum)
+    for segment_index, exponent in enumerate(exponents):
+        low = boundaries[segment_index]
+        high = boundaries[segment_index + 1]
+        mask = (ranks >= low) & (ranks <= high) if segment_index == 0 else (
+            (ranks > low) & (ranks <= high)
+        )
+        log_low = np.log(low)
+        log_probabilities[mask] = level - exponent * (log_ranks[mask] - log_low)
+        # Continue the next segment from the level reached at its left end.
+        level = level - exponent * (np.log(high) - log_low)
+
+    probabilities = np.exp(log_probabilities)
+    probabilities = np.clip(probabilities, minimum, maximum)
+    return probabilities

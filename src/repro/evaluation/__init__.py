@@ -1,0 +1,28 @@
+"""Evaluation harness: experiments, metrics, sweeps and reporting.
+
+The subpackage turns the library into the paper's evaluation: the
+``experiments`` package contains one module per table/figure (each exposing a
+``run()`` function returning plain data structures), ``harness`` runs
+build/query workloads against any index, ``metrics`` computes recall and
+work statistics, ``sweeps`` provides parameter grids, and ``reporting``
+renders results as fixed-width text tables in the same shape as the paper's
+tables and figure series.
+"""
+
+from repro.evaluation.harness import ExperimentResult, QueryWorkload, run_workload
+from repro.evaluation.metrics import recall_at_one, success_rate, work_summary
+from repro.evaluation.reporting import format_series, format_table
+from repro.evaluation.sweeps import geometric_grid, linear_grid
+
+__all__ = [
+    "ExperimentResult",
+    "QueryWorkload",
+    "run_workload",
+    "recall_at_one",
+    "success_rate",
+    "work_summary",
+    "format_series",
+    "format_table",
+    "geometric_grid",
+    "linear_grid",
+]

@@ -1,0 +1,35 @@
+"""One module per paper table/figure, each exposing a ``run()`` function.
+
+* :mod:`figure1` — ρ curves of the skew-adaptive structure vs Chosen Path.
+* :mod:`figure2` — frequency profiles of the benchmark-like datasets.
+* :mod:`table1` — independence ratios for item pairs and triples.
+* :mod:`section7_adversarial` — the Section 7.1 worked examples.
+* :mod:`section7_correlated` — the Section 7.2 worked examples.
+* :mod:`motivating` — the Section 1 split-query example.
+* :mod:`empirical` — end-to-end candidate/recall comparison validating the
+  analytic claims on synthetic data.
+
+``run()`` functions return plain data (lists of dictionaries) so they can be
+consumed by the pytest benches, the examples and ad-hoc scripts alike;
+``render()`` helpers format them as text.
+"""
+
+from repro.evaluation.experiments import (
+    empirical,
+    figure1,
+    figure2,
+    motivating,
+    section7_adversarial,
+    section7_correlated,
+    table1,
+)
+
+__all__ = [
+    "empirical",
+    "figure1",
+    "figure2",
+    "motivating",
+    "section7_adversarial",
+    "section7_correlated",
+    "table1",
+]

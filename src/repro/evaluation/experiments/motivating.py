@@ -1,0 +1,50 @@
+"""Section 1 motivating example: splitting a harmonic-distribution query.
+
+The introduction shows that on the harmonic distribution (``p_k = 1/k``)
+splitting the query into a frequent half and a rare half and running two
+searches beats a single search whenever ``i_frequent ≫ i_rare``.  The
+experiment computes the single-search and optimal-split exponents for a
+range of target intersection fractions ``i1`` and universe sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.evaluation.reporting import format_table
+from repro.theory.motivating import motivating_example_exponents
+
+
+def run(
+    i1_values: Sequence[float] = (0.2, 0.3, 0.4, 0.5, 0.6),
+    dimension: int = 4096,
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Single-search, split-search and skew-adaptive exponents on a harmonic query."""
+    rows: list[dict[str, object]] = []
+    for i1 in i1_values:
+        result = motivating_example_exponents(dimension=dimension, i1=i1, seed=seed)
+        rows.append(
+            {
+                "i1": round(i1, 3),
+                "single_rho": round(result.single_rho, 3),
+                "split_cost_exponent": round(result.split_cost_exponent, 3),
+                "skew_adaptive_rho": round(result.skew_adaptive_rho, 3),
+                "adaptive_speedup": round(result.adaptive_speedup_exponent, 3),
+                "i_frequent": round(result.i_frequent, 4),
+                "i_rare": round(result.i_rare, 4),
+            }
+        )
+    return rows
+
+
+def render(rows: list[dict[str, object]]) -> str:
+    return format_table(
+        rows,
+        title=(
+            "Section 1 motivating example — harmonic-distribution query: the paper's "
+            "skew-adaptive exponent (last column is its gain over the single "
+            "skew-oblivious search; the two-way split of the introduction is shown "
+            "as the intermediate heuristic)"
+        ),
+    )

@@ -1,0 +1,97 @@
+"""Section 7.1 worked examples: adversarial queries on a two-block profile.
+
+The paper works through a query whose items split into two halves — one half
+set with probability ``p_a = 1/4`` in a random dataset vector, the other with
+probability ``p_b = n^{-0.9}`` — and reports:
+
+* at ``b1 = 1/3``: Chosen Path gets ``ρ_CP ≥ log(1/3)/log(1/8) ≈ 0.528``
+  while the skew-adaptive structure achieves
+  ``ρ = log(2/3)/log(1/4) + o(1) ≈ 0.293``; prefix filtering has no
+  non-trivial guarantee;
+* at ``b1 = 2/3``: the skew-adaptive ρ tends to 0 while Chosen Path gets
+  ``ρ_CP = log(2/3)/log(1/8) ≈ 0.194`` and prefix filtering needs
+  ``Ω(n^{0.1})`` time.
+
+``run()`` recomputes those numbers from the general equations (no closed
+forms are hard-coded), so agreement with the paper's constants is a genuine
+check of the solver.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.evaluation.reporting import format_table
+from repro.theory.rho import (
+    chosen_path_rho,
+    prefix_filter_exponent,
+    solve_adversarial_rho,
+)
+
+
+def query_profile(num_vectors: int, query_size: int = 200) -> np.ndarray:
+    """The Section 7.1 query: half the items at 1/4, half at ``n^{-0.9}``."""
+    if num_vectors <= 1:
+        raise ValueError(f"num_vectors must be at least 2, got {num_vectors}")
+    if query_size < 2 or query_size % 2:
+        raise ValueError(f"query_size must be an even number >= 2, got {query_size}")
+    frequent = np.full(query_size // 2, 0.25)
+    rare = np.full(query_size // 2, float(num_vectors) ** -0.9)
+    return np.concatenate([frequent, rare])
+
+
+def run(num_vectors: int = 10**9, query_size: int = 200) -> list[dict[str, object]]:
+    """Reproduce the two worked examples of Section 7.1.
+
+    ``num_vectors`` is large by default because the paper's statements are
+    asymptotic (``n^{-0.9}`` must actually be tiny for the +o(1) terms to
+    vanish); the computation is purely analytic so the size costs nothing.
+    """
+    probabilities = query_profile(num_vectors, query_size)
+    rows: list[dict[str, object]] = []
+    for b1, paper_ours, paper_chosen_path in ((1.0 / 3.0, 0.293, 0.528), (2.0 / 3.0, 0.0, 0.194)):
+        ours = solve_adversarial_rho(probabilities, b1)
+        # Chosen Path solves the (b1, b2)-approximate problem with b2 the
+        # average item probability of the query (the expected similarity to a
+        # random dataset vector): (1/4 + n^{-0.9})/2 ≈ 1/8.
+        b2 = float(probabilities.mean())
+        baseline = chosen_path_rho(b1, b2) if b2 < b1 else float("nan")
+        prefix = prefix_filter_exponent(probabilities, num_vectors)
+        rows.append(
+            {
+                "b1": round(b1, 4),
+                "ours": round(ours, 3),
+                "paper ours": paper_ours,
+                "chosen_path": round(baseline, 3),
+                "paper chosen_path": paper_chosen_path,
+                "prefix_filter_exponent": round(prefix, 3),
+            }
+        )
+    return rows
+
+
+def closed_form_check(num_vectors: int = 10**9) -> dict[str, float]:
+    """The closed forms the paper derives for this instance.
+
+    At ``b1 = 1/3`` the rare items contribute nothing as n grows, so the
+    equation degenerates to ``(1/2)(1/4)^ρ = 1/3``, i.e.
+    ``ρ = log(2/3)/log(1/4)``.  Returns both the closed form and the solver's
+    answer so tests can assert they agree.
+    """
+    probabilities = query_profile(num_vectors)
+    return {
+        "closed_form": math.log(2.0 / 3.0) / math.log(1.0 / 4.0),
+        "solver": solve_adversarial_rho(probabilities, 1.0 / 3.0),
+    }
+
+
+def render(rows: list[dict[str, object]]) -> str:
+    return format_table(
+        rows,
+        title=(
+            "Section 7.1 — adversarial-query exponents on the two-block profile "
+            "(p_a = 1/4, p_b = n^-0.9); lower is better"
+        ),
+    )

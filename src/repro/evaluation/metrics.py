@@ -1,0 +1,124 @@
+"""Quality and work metrics for similarity-search experiments.
+
+The paper's guarantees have two sides: a *correctness* side (the planted /
+similar vector is returned with good probability) and a *work* side (the
+number of filters and candidates scales as ``n^ρ``).  The metrics here
+quantify both from the raw per-query results produced by the harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.stats import QueryStats
+
+
+def recall_at_one(returned: Sequence[int | None], expected: Sequence[int]) -> float:
+    """Fraction of queries whose returned id matches the expected id.
+
+    Parameters
+    ----------
+    returned:
+        Per-query returned vector id (``None`` for "not found").
+    expected:
+        Per-query planted / ground-truth id.
+    """
+    if len(returned) != len(expected):
+        raise ValueError(
+            f"returned and expected must have equal length, got {len(returned)} and "
+            f"{len(expected)}"
+        )
+    if not returned:
+        return 0.0
+    hits = sum(
+        1 for got, want in zip(returned, expected) if got is not None and got == want
+    )
+    return hits / len(returned)
+
+
+def success_rate(returned: Sequence[int | None]) -> float:
+    """Fraction of queries that returned *some* vector (found anything)."""
+    if not returned:
+        return 0.0
+    return sum(1 for got in returned if got is not None) / len(returned)
+
+
+def acceptable_rate(
+    returned: Sequence[int | None],
+    acceptable: Sequence[set[int]],
+) -> float:
+    """Fraction of queries whose returned id belongs to an acceptable set.
+
+    This is the correctness notion of the adversarial guarantee (Theorem 2):
+    any vector meeting the similarity threshold is a valid answer, not only
+    the planted one.
+    """
+    if len(returned) != len(acceptable):
+        raise ValueError(
+            f"returned and acceptable must have equal length, got {len(returned)} and "
+            f"{len(acceptable)}"
+        )
+    if not returned:
+        return 0.0
+    hits = sum(
+        1
+        for got, valid in zip(returned, acceptable)
+        if got is not None and got in valid
+    )
+    return hits / len(returned)
+
+
+@dataclass(frozen=True)
+class WorkSummary:
+    """Summary statistics of the per-query work of one method."""
+
+    mean_candidates: float
+    median_candidates: float
+    p90_candidates: float
+    mean_filters: float
+    mean_total_work: float
+    max_total_work: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "mean_candidates": self.mean_candidates,
+            "median_candidates": self.median_candidates,
+            "p90_candidates": self.p90_candidates,
+            "mean_filters": self.mean_filters,
+            "mean_total_work": self.mean_total_work,
+            "max_total_work": self.max_total_work,
+        }
+
+
+def work_summary(stats: Sequence[QueryStats]) -> WorkSummary:
+    """Aggregate work statistics over a batch of queries."""
+    if not stats:
+        return WorkSummary(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    candidates = np.asarray([entry.candidates_examined for entry in stats], dtype=np.float64)
+    filters = np.asarray([entry.filters_generated for entry in stats], dtype=np.float64)
+    total = candidates + filters
+    return WorkSummary(
+        mean_candidates=float(candidates.mean()),
+        median_candidates=float(np.median(candidates)),
+        p90_candidates=float(np.percentile(candidates, 90)),
+        mean_filters=float(filters.mean()),
+        mean_total_work=float(total.mean()),
+        max_total_work=float(total.max()),
+    )
+
+
+def empirical_exponent(work: float, num_vectors: int) -> float:
+    """The exponent ``ρ̂ = log(work)/log(n)`` implied by a measured work figure.
+
+    A convenient way to compare a measured candidate count against the
+    analytic ``n^ρ`` predictions: if the measurement behaves like ``n^ρ`` the
+    returned value approaches ρ as n grows.
+    """
+    if num_vectors <= 1:
+        raise ValueError(f"num_vectors must be at least 2, got {num_vectors}")
+    if work <= 1.0:
+        return 0.0
+    return float(np.log(work) / np.log(num_vectors))

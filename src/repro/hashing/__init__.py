@@ -1,0 +1,27 @@
+"""Hashing substrate used throughout the library.
+
+The locality-sensitive filtering construction of the paper requires, for each
+recursion level ``j``, a hash function ``h_j`` mapping paths (tuples of item
+ids) to a uniform value in ``[0, 1)``.  The analysis only needs pairwise
+independence, which :class:`~repro.hashing.pairwise.PairwiseHashFamily`
+provides.  Tabulation hashing and minwise hashing are provided for the
+baseline implementations (MinHash LSH) and for users who want stronger
+independence guarantees.
+"""
+
+from repro.hashing.pairwise import PairwiseHash, PairwiseHashFamily, PathHasher
+from repro.hashing.tabulation import TabulationHash
+from repro.hashing.minwise import MinwiseHasher, minhash_signature
+from repro.hashing.random_source import RandomSource, derive_seed, split_seed
+
+__all__ = [
+    "PairwiseHash",
+    "PairwiseHashFamily",
+    "PathHasher",
+    "TabulationHash",
+    "MinwiseHasher",
+    "minhash_signature",
+    "RandomSource",
+    "derive_seed",
+    "split_seed",
+]

@@ -1,0 +1,90 @@
+"""Minwise hashing for the MinHash LSH baseline.
+
+MinHash [Broder et al., 1997] represents each set by the minimum hash value
+of its members under a random permutation of the universe; the probability
+that two sets agree on a MinHash equals their Jaccard similarity.  The
+baseline index in :mod:`repro.baselines.minhash` bands together ``r``
+signatures per table over ``L`` tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.hashing.random_source import derive_seed
+from repro.hashing.tabulation import TabulationHash
+
+
+def minhash_signature(items: Sequence[int], hashers: Sequence[TabulationHash]) -> np.ndarray:
+    """Return the MinHash signature of ``items`` under each hasher.
+
+    Parameters
+    ----------
+    items:
+        The set members (item ids).  Must be non-empty.
+    hashers:
+        One tabulation hash per signature coordinate.
+
+    Returns
+    -------
+    numpy.ndarray
+        Unsigned 64-bit array of length ``len(hashers)`` whose ``k``-th entry
+        is ``min_{i in items} h_k(i)``.
+    """
+    if len(items) == 0:
+        raise ValueError("cannot compute a MinHash signature of an empty set")
+    item_array = np.asarray(list(items), dtype=np.uint64)
+    signature = np.empty(len(hashers), dtype=np.uint64)
+    for index, hasher in enumerate(hashers):
+        signature[index] = hasher.hash_array(item_array).min()
+    return signature
+
+
+class MinwiseHasher:
+    """Produces MinHash signatures of a fixed length for arbitrary sets."""
+
+    def __init__(self, num_hashes: int, seed: int):
+        if num_hashes <= 0:
+            raise ValueError(f"num_hashes must be positive, got {num_hashes}")
+        self._num_hashes = int(num_hashes)
+        self._seed = int(seed)
+        self._hashers = [
+            TabulationHash(derive_seed(seed, "minwise", index)) for index in range(num_hashes)
+        ]
+
+    @property
+    def num_hashes(self) -> int:
+        """Length of the signatures produced by :meth:`signature`."""
+        return self._num_hashes
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def signature(self, items: Sequence[int]) -> np.ndarray:
+        """MinHash signature of ``items`` (see :func:`minhash_signature`)."""
+        return minhash_signature(items, self._hashers)
+
+    def signatures(self, sets: Iterable[Sequence[int]]) -> np.ndarray:
+        """Stacked signatures for an iterable of sets (one row per set)."""
+        rows = [self.signature(items) for items in sets]
+        if not rows:
+            return np.empty((0, self._num_hashes), dtype=np.uint64)
+        return np.vstack(rows)
+
+    @staticmethod
+    def estimate_jaccard(signature_a: np.ndarray, signature_b: np.ndarray) -> float:
+        """Estimate Jaccard similarity as the fraction of agreeing coordinates."""
+        if signature_a.shape != signature_b.shape:
+            raise ValueError(
+                "signatures must have the same shape, got "
+                f"{signature_a.shape} and {signature_b.shape}"
+            )
+        if signature_a.size == 0:
+            return 0.0
+        return float(np.mean(signature_a == signature_b))
+
+    def __repr__(self) -> str:
+        return f"MinwiseHasher(num_hashes={self._num_hashes}, seed={self._seed})"

@@ -1,0 +1,187 @@
+"""Pairwise independent hashing of integers and paths to ``[0, 1)``.
+
+The Chosen Path style constructions of the paper need, at every recursion
+level ``j``, a hash function ``h_j : [d]^j -> [0, 1)`` drawn from a pairwise
+independent family.  Two vectors that consider extending the *same* path
+``v ∘ i`` must see the *same* hash value, so the hash must be a deterministic
+function of the path content and the level, not of the vector.
+
+We implement the classic multiply-shift / multiply-add-prime construction
+over a Mersenne prime, composed with a strong 64-bit mixer to turn a path
+(tuple of item ids) into a single integer key.  The mixer (SplitMix64) is not
+itself part of the pairwise-independence argument; it only serves to collapse
+variable-length tuples into 64-bit keys with negligible collision
+probability, after which the multiply-add-prime step provides the pairwise
+independence used by Lemma 5 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.hashing.random_source import derive_seed
+
+#: Mersenne prime 2^61 - 1, used as the field size for multiply-add hashing.
+MERSENNE_PRIME = (1 << 61) - 1
+
+_MASK_64 = (1 << 64) - 1
+
+
+def splitmix64(value: int) -> int:
+    """Mix a 64-bit integer using the SplitMix64 finalizer.
+
+    This is a bijection on 64-bit integers with excellent avalanche
+    behaviour; we use it to fold path elements into a single key.
+    """
+    value = (value + 0x9E3779B97F4A7C15) & _MASK_64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK_64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK_64
+    return (value ^ (value >> 31)) & _MASK_64
+
+
+def fold_path(path: Sequence[int]) -> int:
+    """Fold a path (sequence of item ids) into a single 64-bit key.
+
+    Parameters
+    ----------
+    path:
+        Ordered item indices forming the path.
+    """
+    state = 0x243F6A8885A308D3  # pi-derived constant, arbitrary non-zero start
+    for element in path:
+        state = splitmix64(state ^ ((int(element) + 1) & _MASK_64))
+    return state
+
+
+def extend_key(prefix_key: int, item: int) -> int:
+    """Key of the path ``v ∘ item`` given the folded key of ``v``.
+
+    Equivalent to ``fold_path(tuple(v) + (item,))``, but avoids re-walking the
+    prefix when many candidate extensions of the same path are evaluated.
+    """
+    return splitmix64(prefix_key ^ ((int(item) + 1) & _MASK_64))
+
+
+class PairwiseHash:
+    """A single pairwise independent hash function ``h : Z -> [0, 1)``.
+
+    Implemented as ``h(x) = ((a * x + b) mod p) / p`` with ``p`` the Mersenne
+    prime ``2^61 - 1`` and ``a, b`` drawn uniformly (``a`` non-zero).  For
+    distinct keys ``x != y`` the pair ``(h(x), h(y))`` is uniform over the
+    grid ``{0, 1/p, ..., (p-1)/p}^2``, which is the property required by the
+    second-moment argument in the paper's Lemma 5.
+    """
+
+    def __init__(self, seed: int):
+        generator = np.random.default_rng(derive_seed(seed, "pairwise-hash"))
+        self._a = int(generator.integers(1, MERSENNE_PRIME))
+        self._b = int(generator.integers(0, MERSENNE_PRIME))
+
+    @property
+    def coefficients(self) -> tuple[int, int]:
+        """The ``(a, b)`` coefficients of the multiply-add hash."""
+        return self._a, self._b
+
+    def hash_int(self, key: int) -> float:
+        """Hash an integer key to a float in ``[0, 1)``."""
+        value = (self._a * (int(key) % MERSENNE_PRIME) + self._b) % MERSENNE_PRIME
+        return value / MERSENNE_PRIME
+
+    def hash_many(self, keys: np.ndarray) -> np.ndarray:
+        """Hash an array of integer keys to floats in ``[0, 1)``.
+
+        Uses Python-object arithmetic per element to avoid 64-bit overflow;
+        keys are expected to be modest in number (one per candidate
+        extension), so this is not a hot loop in vectorised form.
+        """
+        out = np.empty(len(keys), dtype=np.float64)
+        a = self._a
+        b = self._b
+        for index, key in enumerate(keys):
+            out[index] = ((a * (int(key) % MERSENNE_PRIME) + b) % MERSENNE_PRIME) / MERSENNE_PRIME
+        return out
+
+    def __call__(self, key: int) -> float:
+        return self.hash_int(key)
+
+    def __repr__(self) -> str:
+        return f"PairwiseHash(a={self._a}, b={self._b})"
+
+
+class PairwiseHashFamily:
+    """A family of independent :class:`PairwiseHash` functions, one per level.
+
+    The family lazily instantiates new levels as the recursion deepens, so
+    callers do not need to know the maximum path length in advance.
+    """
+
+    def __init__(self, seed: int):
+        self._seed = int(seed)
+        self._levels: list[PairwiseHash] = []
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def level(self, index: int) -> PairwiseHash:
+        """Return the hash function for recursion level ``index`` (0-based)."""
+        if index < 0:
+            raise IndexError(f"hash level must be non-negative, got {index}")
+        while len(self._levels) <= index:
+            self._levels.append(PairwiseHash(derive_seed(self._seed, "level", len(self._levels))))
+        return self._levels[index]
+
+    def __len__(self) -> int:
+        return len(self._levels)
+
+    def __repr__(self) -> str:
+        return f"PairwiseHashFamily(seed={self._seed}, instantiated_levels={len(self._levels)})"
+
+
+class PathHasher:
+    """Hashes path extensions ``v ∘ i`` to ``[0, 1)`` per recursion level.
+
+    This is the object actually consumed by the path-generation engine.  Two
+    different vectors extending the same path with the same item at the same
+    level observe the same hash value, which is what makes a shared path a
+    shared filter.
+    """
+
+    def __init__(self, seed: int):
+        self._family = PairwiseHashFamily(seed)
+        self._seed = int(seed)
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def extension_value(self, path: Sequence[int], item: int, level: int) -> float:
+        """Return ``h_{level}(path ∘ item)`` as a float in ``[0, 1)``."""
+        key = extend_key(fold_path(path), item)
+        return self._family.level(level).hash_int(key)
+
+    def extension_values(
+        self, path: Sequence[int], items: Iterable[int], level: int
+    ) -> np.ndarray:
+        """Vector of hash values for extending ``path`` with each of ``items``."""
+        hash_function = self._family.level(level)
+        prefix_key = fold_path(path)
+        values = [hash_function.hash_int(extend_key(prefix_key, item)) for item in items]
+        return np.asarray(values, dtype=np.float64)
+
+    def extension_values_from_key(
+        self, prefix_key: int, items: Iterable[int], level: int
+    ) -> np.ndarray:
+        """Like :meth:`extension_values` but reusing a precomputed prefix key."""
+        hash_function = self._family.level(level)
+        values = [hash_function.hash_int(extend_key(prefix_key, item)) for item in items]
+        return np.asarray(values, dtype=np.float64)
+
+    def path_key(self, path: Sequence[int]) -> int:
+        """Stable 64-bit key identifying a path (used by inverted indexes)."""
+        return fold_path(path)
+
+    def __repr__(self) -> str:
+        return f"PathHasher(seed={self._seed})"

@@ -1,0 +1,42 @@
+"""Similarity measures for sparse binary vectors (sets).
+
+The paper measures similarity by Braun-Blanquet similarity
+``B(x, q) = |x ∩ q| / max(|x|, |q|)`` and relates it to Pearson correlation
+of the underlying boolean vectors (Lemma 10).  This subpackage implements
+the usual binary similarity measures together with conversion helpers
+between their thresholds.
+"""
+
+from repro.similarity.measures import (
+    braun_blanquet,
+    cosine,
+    dice,
+    hamming_distance,
+    intersection_size,
+    jaccard,
+    overlap_coefficient,
+    pearson_binary,
+    similarity_matrix,
+)
+from repro.similarity.predicates import (
+    SimilarityPredicate,
+    braun_blanquet_from_jaccard,
+    jaccard_from_braun_blanquet,
+    measure_by_name,
+)
+
+__all__ = [
+    "braun_blanquet",
+    "cosine",
+    "dice",
+    "hamming_distance",
+    "intersection_size",
+    "jaccard",
+    "overlap_coefficient",
+    "pearson_binary",
+    "similarity_matrix",
+    "SimilarityPredicate",
+    "braun_blanquet_from_jaccard",
+    "jaccard_from_braun_blanquet",
+    "measure_by_name",
+]

@@ -1,0 +1,106 @@
+"""Similarity predicates and threshold conversions.
+
+Different set-similarity systems use different measures (the paper uses
+Braun-Blanquet, the prefix-filtering literature mostly uses Jaccard, MinHash
+estimates Jaccard).  When sets have (approximately) equal size the measures
+are monotone transformations of each other; this module provides the
+conversions used when configuring baselines so that all indexes answer the
+same underlying question.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Collection
+
+from repro.similarity import measures
+
+SetLike = Collection[int]
+
+_MEASURES: dict[str, Callable[[SetLike, SetLike], float]] = {
+    "braun_blanquet": measures.braun_blanquet,
+    "jaccard": measures.jaccard,
+    "dice": measures.dice,
+    "overlap": measures.overlap_coefficient,
+    "cosine": measures.cosine,
+}
+
+
+def measure_by_name(name: str) -> Callable[[SetLike, SetLike], float]:
+    """Look up a similarity function by its canonical name.
+
+    Raises
+    ------
+    KeyError
+        If the name is not one of ``braun_blanquet``, ``jaccard``, ``dice``,
+        ``overlap``, ``cosine``.
+    """
+    key = name.lower()
+    if key not in _MEASURES:
+        raise KeyError(
+            f"unknown similarity measure {name!r}; expected one of {sorted(_MEASURES)}"
+        )
+    return _MEASURES[key]
+
+
+def jaccard_from_braun_blanquet(threshold: float) -> float:
+    """Convert a Braun-Blanquet threshold to the equivalent Jaccard threshold.
+
+    For sets of equal size ``|x| = |q| = m`` with intersection ``c`` we have
+    ``B = c / m`` and ``J = c / (2m - c)``, hence ``J = B / (2 - B)``.  For
+    unequal sizes the conversion is a lower bound on the Jaccard value of any
+    pair meeting the Braun-Blanquet threshold, which keeps baseline indexes
+    recall-safe.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+    return threshold / (2.0 - threshold)
+
+
+def braun_blanquet_from_jaccard(threshold: float) -> float:
+    """Inverse of :func:`jaccard_from_braun_blanquet`: ``B = 2J / (1 + J)``."""
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+    return 2.0 * threshold / (1.0 + threshold)
+
+
+@dataclass(frozen=True)
+class SimilarityPredicate:
+    """A named similarity measure together with an acceptance threshold.
+
+    Instances are used by the search indexes to decide whether a candidate
+    should be reported, and by the evaluation harness to compute ground
+    truth.
+    """
+
+    measure: str = "braun_blanquet"
+    threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {self.threshold}")
+        measure_by_name(self.measure)  # validates the name
+
+    def similarity(self, x: SetLike, q: SetLike) -> float:
+        """Similarity of ``x`` and ``q`` under this predicate's measure."""
+        return measure_by_name(self.measure)(x, q)
+
+    def accepts(self, x: SetLike, q: SetLike) -> bool:
+        """True if ``similarity(x, q) >= threshold``."""
+        return self.similarity(x, q) >= self.threshold
+
+    def with_threshold(self, threshold: float) -> "SimilarityPredicate":
+        """Copy of this predicate with a different threshold."""
+        return SimilarityPredicate(measure=self.measure, threshold=threshold)
+
+    def as_jaccard(self) -> "SimilarityPredicate":
+        """Equivalent (recall-safe) Jaccard predicate.
+
+        Only meaningful when the current measure is Braun-Blanquet; other
+        measures are returned unchanged.
+        """
+        if self.measure != "braun_blanquet":
+            return self
+        return SimilarityPredicate(
+            measure="jaccard", threshold=jaccard_from_braun_blanquet(self.threshold)
+        )

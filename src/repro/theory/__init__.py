@@ -1,0 +1,46 @@
+"""Analytic cost models: the ρ exponents of the paper and its competitors.
+
+The paper's performance bounds are stated as ``n^ρ`` where ``ρ`` solves an
+equation in the item probabilities (Theorems 1 and 2).  This subpackage
+provides numerical solvers for those equations, closed forms for the
+baselines (Chosen Path, MinHash, prefix filtering), Chernoff-bound helpers
+used in correctness arguments, and the comparison sweeps behind Figure 1 and
+the Section 7 worked examples.
+"""
+
+from repro.theory.rho import (
+    chosen_path_rho,
+    minhash_rho,
+    prefix_filter_exponent,
+    solve_adversarial_rho,
+    solve_adversarial_rho_weighted,
+    solve_correlated_rho,
+    solve_correlated_rho_weighted,
+)
+from repro.theory.bounds import (
+    chernoff_upper_tail,
+    chernoff_lower_tail,
+    expected_filters_bound,
+    required_expected_size,
+)
+from repro.theory.comparison import MethodComparison, compare_methods, figure1_curve
+from repro.theory.motivating import motivating_example_exponents, split_query_exponents
+
+__all__ = [
+    "chosen_path_rho",
+    "minhash_rho",
+    "prefix_filter_exponent",
+    "solve_adversarial_rho",
+    "solve_adversarial_rho_weighted",
+    "solve_correlated_rho",
+    "solve_correlated_rho_weighted",
+    "chernoff_upper_tail",
+    "chernoff_lower_tail",
+    "expected_filters_bound",
+    "required_expected_size",
+    "MethodComparison",
+    "compare_methods",
+    "figure1_curve",
+    "motivating_example_exponents",
+    "split_query_exponents",
+]

@@ -1,0 +1,125 @@
+"""Probability bounds and resource predictions used by the analysis.
+
+The module collects the quantitative ingredients of the paper's proofs that
+are also useful at runtime:
+
+* the weighted Chernoff bounds of Lemma 4 (used by tests that check the
+  concentration claims of Lemma 10 empirically),
+* the expected-filters bound of Lemma 6, giving a prediction for
+  ``E[|F(x)|]`` that the evaluation harness compares against measurements,
+* the "how large must ``Σ p_i`` be" helper implied by the paper's
+  requirement ``Σ_i p_i ≥ C log n``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+def chernoff_upper_tail(expectation: float, epsilon: float, max_weight: float = 1.0) -> float:
+    """Upper-tail bound of Lemma 4: ``Pr[S ≥ (1+ε)E[S]] ≤ exp(−ε²E[S]/(3a))``.
+
+    Parameters
+    ----------
+    expectation:
+        ``E[S]`` of the weighted sum.
+    epsilon:
+        The relative deviation ``ε ≥ 0``.
+    max_weight:
+        The bound ``a`` on the individual weights.
+    """
+    if expectation < 0.0:
+        raise ValueError(f"expectation must be non-negative, got {expectation}")
+    if epsilon < 0.0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    if max_weight <= 0.0:
+        raise ValueError(f"max_weight must be positive, got {max_weight}")
+    return math.exp(-(epsilon**2) * expectation / (3.0 * max_weight))
+
+
+def chernoff_lower_tail(expectation: float, epsilon: float, max_weight: float = 1.0) -> float:
+    """Lower-tail bound of Lemma 4: ``Pr[S ≤ (1−ε)E[S]] ≤ exp(−ε²E[S]/(2a))``."""
+    if expectation < 0.0:
+        raise ValueError(f"expectation must be non-negative, got {expectation}")
+    if epsilon < 0.0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    if max_weight <= 0.0:
+        raise ValueError(f"max_weight must be positive, got {max_weight}")
+    return math.exp(-(epsilon**2) * expectation / (2.0 * max_weight))
+
+
+def expected_filters_bound(num_vectors: int, rho: float, slack: float = 1.1) -> float:
+    """The Lemma 6 style prediction ``E[|F(x)|] = O(n^ρ)`` with a slack factor.
+
+    The constant hidden in the O() depends on ``c^{log n}`` with ``c`` close
+    to 1 for large C; ``slack`` lets callers encode that constant when
+    comparing against measurements.
+    """
+    if num_vectors <= 0:
+        raise ValueError(f"num_vectors must be positive, got {num_vectors}")
+    if rho < 0.0:
+        raise ValueError(f"rho must be non-negative, got {rho}")
+    if slack <= 0.0:
+        raise ValueError(f"slack must be positive, got {slack}")
+    return slack * float(num_vectors) ** rho
+
+
+def required_expected_size(num_vectors: int, capital_c: float) -> float:
+    """The paper's requirement ``Σ_i p_i ≥ C log n`` as an absolute number.
+
+    Natural logarithm is used; the theorems hold for "sufficiently large C"
+    so the base only shifts the constant.
+    """
+    if num_vectors <= 1:
+        return 0.0
+    if capital_c <= 0.0:
+        raise ValueError(f"capital_c must be positive, got {capital_c}")
+    return capital_c * math.log(num_vectors)
+
+
+def correlated_pair_similarity_bounds(
+    probabilities: Sequence[float] | np.ndarray, alpha: float
+) -> tuple[float, float]:
+    """The Lemma 10 concentration levels (close, far) for Braun-Blanquet similarity.
+
+    Returns ``(α/1.3, α/1.5)``: with high probability a correlated pair has
+    similarity at least the first value while an uncorrelated pair stays
+    below the second, provided ``Σ p_i`` is large enough and ``p_i ≤ α/2``.
+    The probabilities argument is accepted so callers can assert the
+    precondition ``max p_i ≤ α/2`` in one place.
+    """
+    array = np.asarray(probabilities, dtype=np.float64)
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    if array.size and float(array.max()) > alpha / 2.0 + 1e-12:
+        raise ValueError(
+            "Lemma 10 requires all item probabilities to be at most alpha/2; "
+            f"got max p_i = {float(array.max()):.4f} for alpha = {alpha}"
+        )
+    return alpha / 1.3, alpha / 1.5
+
+
+def success_probability_lower_bound(num_vectors: int, repetitions: int) -> float:
+    """Probability that at least one repetition succeeds, per Lemma 5.
+
+    Each repetition succeeds (the similar pair shares a filter) with
+    probability at least ``1/log n``; with ``r`` independent repetitions the
+    failure probability is at most ``(1 − 1/log n)^r``.
+    """
+    if num_vectors <= 2:
+        return 1.0
+    if repetitions <= 0:
+        raise ValueError(f"repetitions must be positive, got {repetitions}")
+    per_repetition = 1.0 / math.log(num_vectors)
+    per_repetition = min(1.0, per_repetition)
+    return 1.0 - (1.0 - per_repetition) ** repetitions
+
+
+def space_bound(num_vectors: int, rho: float, dimension: int, slack: float = 1.1) -> float:
+    """Theorem 1/2 space prediction ``O(n^{1+ρ} + d n)`` with a slack factor."""
+    if dimension <= 0:
+        raise ValueError(f"dimension must be positive, got {dimension}")
+    return slack * (float(num_vectors) ** (1.0 + rho) + float(dimension) * num_vectors)

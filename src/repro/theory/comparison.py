@@ -1,0 +1,183 @@
+"""Method comparison sweeps: the analytics behind Figure 1 and Section 7.
+
+The central artefact is :func:`figure1_curve`, which reproduces Figure 1 of
+the paper: for a distribution in which half the bits are set with
+probability ``p`` and the other half with probability ``p/8``, and a
+correlation of ``α = 2/3``, it computes
+
+* the ρ value of the paper's data structure (red line), by solving the
+  Theorem 1 equation, and
+* the ρ value achieved by Chosen Path on the same instance (blue line),
+  ``log(b1)/log(b2)`` with ``b1``/``b2`` the expected similarity of
+  correlated/uncorrelated pairs,
+
+while prefix filtering has exponent 1 in this regime (all probabilities are
+Θ(1)) and is therefore not plotted.
+
+:func:`compare_methods` is the general-purpose version used by the empirical
+benches: given any probability profile it reports the exponents of all
+methods side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.theory.rho import (
+    chosen_path_rho,
+    prefix_filter_exponent,
+    solve_adversarial_rho,
+    solve_correlated_rho,
+)
+
+
+@dataclass(frozen=True)
+class MethodComparison:
+    """Exponents of the competing methods on one instance."""
+
+    skew_adaptive_rho: float
+    chosen_path_rho: float
+    prefix_filter_exponent: float
+    expected_close_similarity: float
+    expected_far_similarity: float
+
+    @property
+    def improvement_over_chosen_path(self) -> float:
+        """Difference ``ρ_CP − ρ_ours`` (positive when the paper's method wins)."""
+        return self.chosen_path_rho - self.skew_adaptive_rho
+
+
+def _expected_similarities(
+    probabilities: np.ndarray, alpha: float
+) -> tuple[float, float]:
+    """Expected Braun-Blanquet similarity of correlated / uncorrelated pairs.
+
+    Uses the concentration approximations of Section 7.2: sizes concentrate
+    at ``Σ p_i``, the uncorrelated intersection at ``Σ p_i²`` and the
+    correlated intersection at ``Σ (p_i²(1−α) + p_i α)``.
+    """
+    expected_size = float(probabilities.sum())
+    if expected_size == 0.0:
+        return 0.0, 0.0
+    far = float(np.sum(probabilities**2)) / expected_size
+    close = float(np.sum(probabilities**2 * (1.0 - alpha) + probabilities * alpha)) / expected_size
+    return close, far
+
+
+def compare_methods(
+    probabilities: Sequence[float] | np.ndarray,
+    alpha: float,
+    num_vectors: int = 1_000_000,
+) -> MethodComparison:
+    """Compare the analytic exponents of all methods on one correlated instance.
+
+    Parameters
+    ----------
+    probabilities:
+        The item-probability profile of the distribution.
+    alpha:
+        Correlation of the planted pair.
+    num_vectors:
+        Dataset size used for the prefix-filter exponent (the other two
+        exponents are size-free).
+    """
+    array = np.asarray(probabilities, dtype=np.float64)
+    close, far = _expected_similarities(array, alpha)
+    ours = solve_correlated_rho(array, alpha)
+    if 0.0 < far < close <= 1.0:
+        baseline = chosen_path_rho(close, far)
+    else:
+        baseline = float("nan")
+    prefix = prefix_filter_exponent(array, num_vectors)
+    return MethodComparison(
+        skew_adaptive_rho=ours,
+        chosen_path_rho=baseline,
+        prefix_filter_exponent=prefix,
+        expected_close_similarity=close,
+        expected_far_similarity=far,
+    )
+
+
+def figure1_curve(
+    p_values: Sequence[float] | np.ndarray | None = None,
+    alpha: float = 2.0 / 3.0,
+    rare_divisor: float = 8.0,
+    block_size: int = 500,
+) -> list[dict[str, float]]:
+    """The Figure 1 sweep: ρ of our structure vs Chosen Path as ``p`` varies.
+
+    Parameters
+    ----------
+    p_values:
+        The grid of frequent-block probabilities ``p``; defaults to 60 points
+        spanning (0, 1) exclusive (the paper plots p from 0 to 1).
+    alpha:
+        Correlation level; the paper uses 2/3.
+    rare_divisor:
+        The rare block has probability ``p / rare_divisor``; the paper uses 8.
+    block_size:
+        Number of items per block (the exponents depend only on the *ratio*
+        of the block sizes, so any equal sizes give the paper's setting).
+
+    Returns
+    -------
+    list of dict
+        One row per ``p`` with keys ``p``, ``ours``, ``chosen_path``,
+        ``prefix_filter``, ``b1`` and ``b2``.
+    """
+    if p_values is None:
+        p_values = np.linspace(0.02, 0.98, 49)
+    rows: list[dict[str, float]] = []
+    for p in np.asarray(p_values, dtype=np.float64):
+        p = float(p)
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"p values must lie strictly inside (0, 1), got {p}")
+        rare = min(1.0, p / rare_divisor)
+        probabilities = np.concatenate(
+            [np.full(block_size, p), np.full(block_size, rare)]
+        )
+        comparison = compare_methods(probabilities, alpha)
+        rows.append(
+            {
+                "p": p,
+                "ours": comparison.skew_adaptive_rho,
+                "chosen_path": comparison.chosen_path_rho,
+                "prefix_filter": comparison.prefix_filter_exponent,
+                "b1": comparison.expected_close_similarity,
+                "b2": comparison.expected_far_similarity,
+            }
+        )
+    return rows
+
+
+def adversarial_comparison(
+    query_probabilities: Sequence[float] | np.ndarray,
+    b1: float,
+    num_vectors: int,
+) -> dict[str, float]:
+    """Section 7.1 style comparison for an adversarial query.
+
+    Returns the paper's exponent (Theorem 2 equation restricted to the query
+    items), the Chosen Path exponent with ``b2`` equal to the average item
+    probability of the query (the expected similarity of the query to a
+    random dataset vector), and the prefix-filtering exponent.
+    """
+    array = np.asarray(query_probabilities, dtype=np.float64)
+    if array.ndim != 1 or array.size == 0:
+        raise ValueError("query_probabilities must be a non-empty 1-d array")
+    ours = solve_adversarial_rho(array, b1)
+    b2 = float(array.mean())
+    if 0.0 < b2 < b1:
+        baseline = chosen_path_rho(b1, b2)
+    else:
+        baseline = float("nan")
+    prefix = prefix_filter_exponent(array, num_vectors)
+    return {
+        "ours": ours,
+        "chosen_path": baseline,
+        "prefix_filter": prefix,
+        "b2": b2,
+    }

@@ -1,0 +1,84 @@
+"""Tests for the brute-force (ground truth) index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.brute_force import BruteForceIndex
+from repro.similarity.predicates import SimilarityPredicate
+
+DATASET = [
+    frozenset({1, 2, 3, 4}),
+    frozenset({1, 2, 3, 9}),
+    frozenset({10, 11, 12}),
+    frozenset({1, 2}),
+]
+
+
+@pytest.fixture()
+def index() -> BruteForceIndex:
+    brute = BruteForceIndex(SimilarityPredicate("braun_blanquet", 0.6))
+    brute.build(DATASET)
+    return brute
+
+
+class TestQuery:
+    def test_exact_self_match(self, index):
+        result, stats = index.query(DATASET[0], mode="best")
+        assert result == 0
+        assert stats.found
+
+    def test_first_mode_returns_first_qualifying(self, index):
+        result, _stats = index.query({1, 2, 3, 4}, mode="first")
+        assert result == 0
+
+    def test_no_match_returns_none(self, index):
+        result, stats = index.query({50, 51, 52}, mode="best")
+        assert result is None
+        assert not stats.found
+
+    def test_examines_everything(self, index):
+        _result, stats = index.query({1, 2, 3, 4}, mode="best")
+        assert stats.candidates_examined == len(DATASET)
+        assert stats.similarity_evaluations == len(DATASET)
+
+    def test_invalid_mode(self, index):
+        with pytest.raises(ValueError):
+            index.query({1}, mode="other")
+
+    def test_best_returns_most_similar(self, index):
+        result, _stats = index.query({1, 2, 3, 4, 9}, mode="best")
+        assert result in (0, 1)
+
+
+class TestCandidatesAndMatches:
+    def test_query_candidates_is_everything(self, index):
+        candidates, stats = index.query_candidates({1})
+        assert candidates == {0, 1, 2, 3}
+        assert stats.candidates_examined == 4
+
+    def test_all_matches_sorted_by_similarity(self, index):
+        matches = index.all_matches({1, 2, 3, 4})
+        assert matches[0][0] == 0
+        similarities = [similarity for _id, similarity in matches]
+        assert similarities == sorted(similarities, reverse=True)
+
+    def test_all_matches_respects_threshold_override(self, index):
+        strict = SimilarityPredicate("braun_blanquet", 0.99)
+        assert index.all_matches({1, 2, 3, 4}, predicate=strict) == [(0, 1.0)]
+
+    def test_nearest_without_threshold(self, index):
+        best_id, best_similarity = index.nearest({10, 11})
+        assert best_id == 2
+        assert best_similarity > 0.6
+
+    def test_nearest_on_empty_index(self):
+        empty = BruteForceIndex()
+        empty.build([])
+        assert empty.nearest({1}) == (None, 0.0)
+
+    def test_get_vector(self, index):
+        assert index.get_vector(2) == frozenset({10, 11, 12})
+
+    def test_num_indexed(self, index):
+        assert index.num_indexed == len(DATASET)

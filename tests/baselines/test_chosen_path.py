@@ -1,0 +1,115 @@
+"""Tests for the Chosen Path baseline."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.chosen_path import ChosenPathIndex, chosen_path_depth
+from repro.similarity.measures import braun_blanquet
+
+
+class TestDepth:
+    def test_formula(self):
+        assert chosen_path_depth(1000, 0.25) == math.ceil(math.log(1000) / math.log(4))
+
+    def test_small_dataset(self):
+        assert chosen_path_depth(1, 0.25) == 1
+
+    def test_invalid_b2(self):
+        with pytest.raises(ValueError):
+            chosen_path_depth(100, 1.0)
+
+    def test_depth_grows_with_b2(self):
+        assert chosen_path_depth(1000, 0.5) > chosen_path_depth(1000, 0.1)
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ChosenPathIndex(0, b1=0.5, b2=0.2)
+        with pytest.raises(ValueError):
+            ChosenPathIndex(10, b1=0.0, b2=0.2)
+        with pytest.raises(ValueError):
+            ChosenPathIndex(10, b1=0.5, b2=1.0)
+        with pytest.raises(ValueError):
+            ChosenPathIndex(10, b1=0.3, b2=0.5)  # b2 >= b1
+
+    def test_rho_property(self):
+        index = ChosenPathIndex(10, b1=0.5, b2=0.25)
+        assert index.rho == pytest.approx(0.5)
+
+    def test_query_before_build(self):
+        with pytest.raises(RuntimeError):
+            ChosenPathIndex(10, b1=0.5, b2=0.25).query({1})
+
+
+class TestSearch:
+    @pytest.fixture(scope="class")
+    def built(self, uniform_distribution, uniform_dataset):
+        index = ChosenPathIndex(
+            uniform_distribution.dimension,
+            b1=0.5,
+            b2=max(uniform_distribution.expected_similarity(), 0.05),
+            repetitions=6,
+            seed=4,
+        )
+        index.build(uniform_dataset)
+        return index
+
+    def test_build_stats(self, built, uniform_dataset):
+        assert built.num_indexed == len(uniform_dataset)
+        assert built.build_stats.total_filters > 0
+        assert built.total_stored_filters == built.build_stats.total_filters
+
+    def test_self_queries_found(self, built, uniform_dataset):
+        found = 0
+        for index in range(30):
+            result, _stats = built.query(uniform_dataset[index])
+            if result is not None:
+                assert braun_blanquet(built.get_vector(result), uniform_dataset[index]) >= 0.5
+                found += 1
+        assert found >= 25
+
+    def test_returned_results_meet_threshold(self, built, uniform_dataset):
+        for index in range(15):
+            result, _stats = built.query(uniform_dataset[index])
+            if result is not None:
+                assert braun_blanquet(built.get_vector(result), uniform_dataset[index]) >= built.b1
+
+    def test_query_candidates(self, built, uniform_dataset):
+        candidates, stats = built.query_candidates(uniform_dataset[0])
+        assert stats.unique_candidates == len(candidates)
+
+    def test_repr(self, built):
+        assert "ChosenPathIndex" in repr(built)
+
+
+class TestSkewObliviousness:
+    def test_work_similar_on_skewed_and_uniform_data(
+        self, skewed_distribution, uniform_distribution
+    ):
+        """Chosen Path cannot exploit skew: its per-query filter count is
+        driven by (b1, b2) only, not by the shape of the distribution."""
+        rng = np.random.default_rng(2)
+        filters = {}
+        for name, distribution in (
+            ("skewed", skewed_distribution),
+            ("uniform", uniform_distribution),
+        ):
+            dataset = [
+                v if v else frozenset({0}) for v in distribution.sample_many(100, rng)
+            ]
+            index = ChosenPathIndex(
+                distribution.dimension, b1=0.5, b2=0.12, repetitions=4, seed=6
+            )
+            index.build(dataset)
+            generated = []
+            for query_index in range(20):
+                _result, stats = index.query(dataset[query_index], mode="best")
+                generated.append(stats.filters_generated)
+            filters[name] = float(np.mean(generated))
+        ratio = filters["skewed"] / max(filters["uniform"], 1e-9)
+        assert 0.2 < ratio < 5.0

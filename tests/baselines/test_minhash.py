@@ -1,0 +1,104 @@
+"""Tests for the MinHash LSH baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.minhash import MinHashIndex, banding_parameters, estimate_rho_minhash
+from repro.similarity.measures import braun_blanquet
+
+
+class TestBandingParameters:
+    def test_returns_positive_parameters(self):
+        bands, rows = banding_parameters(0.5)
+        assert bands > 0 and rows > 0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            banding_parameters(0.0)
+        with pytest.raises(ValueError):
+            banding_parameters(1.0)
+
+    def test_higher_threshold_needs_more_rows(self):
+        _bands_low, rows_low = banding_parameters(0.2)
+        _bands_high, rows_high = banding_parameters(0.9)
+        assert rows_high >= rows_low
+
+
+class TestEstimateRho:
+    def test_known_value(self):
+        assert estimate_rho_minhash(0.5, 0.25) == pytest.approx(0.5)
+
+    def test_perfect_similarity_is_zero(self):
+        assert estimate_rho_minhash(1.0, 0.5) == 0.0
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            estimate_rho_minhash(0.2, 0.5)
+
+
+class TestMinHashIndex:
+    @pytest.fixture(scope="class")
+    def built(self, uniform_distribution, uniform_dataset):
+        index = MinHashIndex(threshold=0.6, num_bands=24, rows_per_band=2, seed=1)
+        index.build(uniform_dataset)
+        return index
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MinHashIndex(threshold=0.0)
+        with pytest.raises(ValueError):
+            MinHashIndex(threshold=0.5, num_bands=0, rows_per_band=2)
+
+    def test_collision_probability_s_curve(self):
+        index = MinHashIndex(threshold=0.5, num_bands=16, rows_per_band=4, seed=0)
+        low = index.collision_probability(0.1)
+        high = index.collision_probability(0.9)
+        assert low < high
+        assert 0.0 <= low <= 1.0 and 0.0 <= high <= 1.0
+
+    def test_collision_probability_validation(self):
+        index = MinHashIndex(threshold=0.5, seed=0)
+        with pytest.raises(ValueError):
+            index.collision_probability(1.5)
+
+    def test_build_stats(self, built, uniform_dataset):
+        assert built.num_indexed == len(uniform_dataset)
+
+    def test_self_queries_found(self, built, uniform_dataset):
+        found = 0
+        for index in range(30):
+            result, _stats = built.query(uniform_dataset[index])
+            if result is not None:
+                assert braun_blanquet(built.get_vector(result), uniform_dataset[index]) >= 0.6
+                found += 1
+        assert found >= 25
+
+    def test_returned_results_meet_threshold(self, built, uniform_dataset):
+        for index in range(10):
+            result, _stats = built.query(uniform_dataset[index], mode="best")
+            if result is not None:
+                assert braun_blanquet(built.get_vector(result), uniform_dataset[index]) >= 0.6
+
+    def test_empty_query(self, built):
+        result, stats = built.query(frozenset())
+        assert result is None
+        assert stats.candidates_examined == 0
+
+    def test_invalid_mode(self, built):
+        with pytest.raises(ValueError):
+            built.query({1}, mode="xyz")
+
+    def test_query_candidates_deduplicated(self, built, uniform_dataset):
+        candidates, stats = built.query_candidates(uniform_dataset[0])
+        assert stats.unique_candidates == len(candidates)
+
+    def test_dissimilar_query_returns_few_candidates(self, built, uniform_distribution):
+        rng = np.random.default_rng(9)
+        fresh = uniform_distribution.sample(rng)
+        candidates, _stats = built.query_candidates(fresh)
+        assert len(candidates) <= built.num_indexed // 2
+
+    def test_repr(self, built):
+        assert "MinHashIndex" in repr(built)

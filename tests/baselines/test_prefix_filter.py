@@ -1,0 +1,126 @@
+"""Tests for the prefix filtering baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute_force import BruteForceIndex
+from repro.baselines.prefix_filter import PrefixFilterIndex, prefix_length
+from repro.similarity.measures import braun_blanquet
+from repro.similarity.predicates import SimilarityPredicate
+
+
+class TestPrefixLength:
+    def test_formula(self):
+        # |x| = 10, b1 = 0.5: overlap >= 5, prefix length = 10 - 5 + 1 = 6.
+        assert prefix_length(10, 0.5) == 6
+
+    def test_threshold_one_single_item(self):
+        assert prefix_length(10, 1.0) == 1
+
+    def test_empty_set(self):
+        assert prefix_length(0, 0.5) == 0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            prefix_length(10, 0.0)
+
+    def test_never_exceeds_size(self):
+        for size in range(1, 30):
+            for threshold in (0.1, 0.5, 0.9):
+                assert 1 <= prefix_length(size, threshold) <= size
+
+
+class TestPrefixFilterIndex:
+    @pytest.fixture(scope="class")
+    def built(self, skewed_distribution, skewed_dataset):
+        index = PrefixFilterIndex(0.5, item_frequencies=skewed_distribution.probabilities)
+        index.build(skewed_dataset)
+        return index
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PrefixFilterIndex(0.0)
+
+    def test_build_statistics(self, built, skewed_dataset):
+        assert built.num_indexed == len(skewed_dataset)
+        assert 0 < built.total_postings <= sum(len(s) for s in skewed_dataset)
+
+    def test_exactness_of_search(self, built, skewed_distribution, skewed_dataset):
+        """Prefix filtering is exact: whenever brute force finds a qualifying
+        vector, so does the prefix filter."""
+        predicate = SimilarityPredicate("braun_blanquet", 0.5)
+        brute = BruteForceIndex(predicate)
+        brute.build(skewed_dataset)
+        rng = np.random.default_rng(4)
+        for trial in range(25):
+            stored = sorted(skewed_dataset[trial])
+            keep = max(1, int(0.85 * len(stored)))
+            query = frozenset(rng.choice(stored, size=keep, replace=False).tolist())
+            exact_result, _ = brute.query(query, mode="best")
+            prefix_result, _ = built.query(query, mode="best")
+            if exact_result is not None:
+                assert prefix_result is not None
+                assert braun_blanquet(built.get_vector(prefix_result), query) >= 0.5
+
+    def test_returned_results_meet_threshold(self, built, skewed_dataset):
+        for index in range(20):
+            result, _stats = built.query(skewed_dataset[index])
+            if result is not None:
+                assert braun_blanquet(built.get_vector(result), skewed_dataset[index]) >= 0.5
+
+    def test_self_queries_found(self, built, skewed_dataset):
+        for index in range(20):
+            result, _stats = built.query(skewed_dataset[index], mode="best")
+            assert result is not None
+
+    def test_empty_query(self, built):
+        result, stats = built.query(frozenset())
+        assert result is None
+        assert stats.candidates_examined == 0
+
+    def test_invalid_mode(self, built):
+        with pytest.raises(ValueError):
+            built.query({1}, mode="zzz")
+
+    def test_query_candidates(self, built, skewed_dataset):
+        candidates, stats = built.query_candidates(skewed_dataset[0])
+        assert stats.unique_candidates == len(candidates)
+        assert stats.filters_generated == prefix_length(len(skewed_dataset[0]), 0.5)
+
+    def test_empirical_frequencies_used_when_not_provided(self, skewed_dataset):
+        index = PrefixFilterIndex(0.5)
+        index.build(skewed_dataset)
+        result, _stats = index.query(skewed_dataset[0], mode="best")
+        assert result is not None
+
+    def test_repr(self, built):
+        assert "PrefixFilterIndex" in repr(built)
+
+
+class TestSkewSensitivity:
+    def test_rare_prefixes_mean_few_candidates(self, skewed_distribution, skewed_dataset):
+        """On skewed data the prefix (rarest items) generates short candidate
+        lists; on uniform data of the same size the lists are longer."""
+        prefix_skewed = PrefixFilterIndex(0.5, item_frequencies=skewed_distribution.probabilities)
+        prefix_skewed.build(skewed_dataset)
+        candidates_skewed = []
+        for index in range(25):
+            _result, stats = prefix_skewed.query(skewed_dataset[index], mode="best")
+            candidates_skewed.append(stats.candidates_examined)
+
+        rng = np.random.default_rng(11)
+        uniform_probabilities = np.full(60, 0.25)
+        uniform_sets = [
+            frozenset(np.flatnonzero(rng.random(60) < uniform_probabilities).tolist())
+            for _ in range(len(skewed_dataset))
+        ]
+        prefix_uniform = PrefixFilterIndex(0.5, item_frequencies=uniform_probabilities)
+        prefix_uniform.build(uniform_sets)
+        candidates_uniform = []
+        for index in range(25):
+            _result, stats = prefix_uniform.query(uniform_sets[index], mode="best")
+            candidates_uniform.append(stats.candidates_examined)
+
+        assert float(np.mean(candidates_skewed)) < float(np.mean(candidates_uniform))

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are deliberately small (hundreds of vectors at most, few
+repetitions) so that the whole suite runs in well under a minute; the
+benchmark harness is where larger instances live.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.distributions import ItemDistribution
+from repro.data.families import two_block_probabilities, uniform_probabilities
+
+
+@pytest.fixture(scope="session")
+def skewed_distribution() -> ItemDistribution:
+    """A small two-block skewed distribution (frequent block + rare tail)."""
+    probabilities = np.concatenate(
+        [
+            two_block_probabilities(40, 0.30, 0.30 / 8.0),
+            np.full(400, 0.02),
+        ]
+    )
+    return ItemDistribution(probabilities)
+
+
+@pytest.fixture(scope="session")
+def uniform_distribution() -> ItemDistribution:
+    """A no-skew distribution with comparable expected set size."""
+    return ItemDistribution(uniform_probabilities(150, 0.10))
+
+
+@pytest.fixture(scope="session")
+def skewed_dataset(skewed_distribution: ItemDistribution) -> list[frozenset[int]]:
+    """150 vectors sampled from the skewed distribution (deterministic)."""
+    rng = np.random.default_rng(12345)
+    vectors = skewed_distribution.sample_many(150, rng)
+    return [vector if vector else frozenset({0}) for vector in vectors]
+
+
+@pytest.fixture(scope="session")
+def uniform_dataset(uniform_distribution: ItemDistribution) -> list[frozenset[int]]:
+    """150 vectors sampled from the uniform distribution (deterministic)."""
+    rng = np.random.default_rng(54321)
+    vectors = uniform_distribution.sample_many(150, rng)
+    return [vector if vector else frozenset({0}) for vector in vectors]

@@ -1,0 +1,189 @@
+"""Tests for the shared locality-sensitive filtering engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import FilterEngine, default_repetitions
+from repro.core.thresholds import AdversarialThreshold
+from repro.similarity.measures import braun_blanquet
+
+
+def make_engine(probabilities: np.ndarray, num_vectors: int, **kwargs) -> FilterEngine:
+    defaults = dict(
+        threshold_policy=AdversarialThreshold(0.5),
+        acceptance_threshold=0.5,
+        num_vectors_hint=num_vectors,
+        repetitions=4,
+        seed=0,
+    )
+    defaults.update(kwargs)
+    return FilterEngine(probabilities, **defaults)
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    rng = np.random.default_rng(42)
+    probabilities = np.full(120, 0.15)
+    mask = rng.random((80, 120)) < probabilities
+    return probabilities, [frozenset(np.flatnonzero(row).tolist()) for row in mask]
+
+
+class TestDefaultRepetitions:
+    def test_small(self):
+        assert default_repetitions(1) == 1
+
+    def test_logarithmic_growth(self):
+        assert default_repetitions(1024) == 11
+
+    def test_monotone(self):
+        assert default_repetitions(10_000) >= default_repetitions(100)
+
+
+class TestConstruction:
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            make_engine(np.array([]), 10)
+
+    def test_invalid_acceptance_threshold(self):
+        with pytest.raises(ValueError):
+            make_engine(np.full(5, 0.2), 10, acceptance_threshold=1.5)
+
+    def test_invalid_num_vectors_hint(self):
+        with pytest.raises(ValueError):
+            make_engine(np.full(5, 0.2), 0)
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ValueError):
+            make_engine(np.full(5, 0.2), 10, repetitions=0)
+
+    def test_invalid_query_mode(self, small_dataset):
+        probabilities, dataset = small_dataset
+        engine = make_engine(probabilities, len(dataset))
+        engine.build(dataset)
+        with pytest.raises(ValueError):
+            engine.query(dataset[0], mode="weird")
+
+
+class TestBuild:
+    def test_build_stats(self, small_dataset):
+        probabilities, dataset = small_dataset
+        engine = make_engine(probabilities, len(dataset))
+        stats = engine.build(dataset)
+        assert stats.num_vectors == len(dataset)
+        assert stats.repetitions == 4
+        assert stats.total_filters > 0
+        assert engine.total_stored_filters == stats.total_filters
+
+    def test_rebuild_replaces_data(self, small_dataset):
+        probabilities, dataset = small_dataset
+        engine = make_engine(probabilities, len(dataset))
+        engine.build(dataset)
+        engine.build(dataset[:10])
+        assert len(engine.vectors) == 10
+
+    def test_empty_vectors_skipped(self, small_dataset):
+        probabilities, _dataset = small_dataset
+        engine = make_engine(probabilities, 10)
+        stats = engine.build([frozenset(), frozenset({1, 2, 3})])
+        assert stats.num_vectors == 2
+        assert stats.total_filters >= 0
+
+
+class TestQuery:
+    def test_self_query_finds_self(self, small_dataset):
+        """Querying with a stored vector should find a vector at similarity 1."""
+        probabilities, dataset = small_dataset
+        engine = make_engine(probabilities, len(dataset), repetitions=6)
+        engine.build(dataset)
+        found = 0
+        for index in range(0, 30):
+            result, _stats = engine.query(dataset[index])
+            if result is not None and braun_blanquet(dataset[result], dataset[index]) >= 0.5:
+                found += 1
+        assert found >= 27  # near-perfect self-recall
+
+    def test_query_empty_set(self, small_dataset):
+        probabilities, dataset = small_dataset
+        engine = make_engine(probabilities, len(dataset))
+        engine.build(dataset)
+        result, stats = engine.query(frozenset())
+        assert result is None
+        assert stats.total_work == 0
+
+    def test_query_before_build(self, small_dataset):
+        probabilities, _dataset = small_dataset
+        engine = make_engine(probabilities, 10)
+        result, _stats = engine.query(frozenset({1, 2}))
+        assert result is None
+
+    def test_returned_vector_meets_threshold(self, small_dataset):
+        """Anything returned must actually satisfy the acceptance threshold."""
+        probabilities, dataset = small_dataset
+        engine = make_engine(probabilities, len(dataset), repetitions=6)
+        engine.build(dataset)
+        for index in range(20):
+            result, _stats = engine.query(dataset[index])
+            if result is not None:
+                assert braun_blanquet(dataset[result], dataset[index]) >= 0.5
+
+    def test_best_mode_returns_most_similar(self, small_dataset):
+        probabilities, dataset = small_dataset
+        engine = make_engine(probabilities, len(dataset), repetitions=6)
+        engine.build(dataset)
+        result, _stats = engine.query(dataset[5], mode="best")
+        assert result is not None
+        assert braun_blanquet(dataset[result], dataset[5]) == 1.0
+
+    def test_first_mode_no_more_work_than_best(self, small_dataset):
+        probabilities, dataset = small_dataset
+        engine = make_engine(probabilities, len(dataset), repetitions=6)
+        engine.build(dataset)
+        _result_first, stats_first = engine.query(dataset[3], mode="first")
+        _result_best, stats_best = engine.query(dataset[3], mode="best")
+        assert stats_first.candidates_examined <= stats_best.candidates_examined
+
+    def test_dissimilar_query_returns_none(self, small_dataset):
+        probabilities, dataset = small_dataset
+        engine = make_engine(probabilities, len(dataset))
+        engine.build(dataset)
+        # A query over items that no dataset vector can cover densely.
+        query = frozenset(range(115, 120))
+        result, _stats = engine.query(query)
+        if result is not None:
+            assert braun_blanquet(dataset[result], query) >= 0.5
+
+    def test_query_stats_populated(self, small_dataset):
+        probabilities, dataset = small_dataset
+        engine = make_engine(probabilities, len(dataset))
+        engine.build(dataset)
+        _result, stats = engine.query(dataset[0])
+        assert stats.repetitions_used >= 1
+        assert stats.filters_generated >= 0
+        assert stats.unique_candidates <= stats.candidates_examined
+
+
+class TestQueryFiltersAndCandidates:
+    def test_query_filters_deterministic(self, small_dataset):
+        probabilities, dataset = small_dataset
+        engine = make_engine(probabilities, len(dataset))
+        engine.build(dataset)
+        assert engine.query_filters(dataset[0], 0) == engine.query_filters(dataset[0], 0)
+
+    def test_query_candidates_superset_of_query_result(self, small_dataset):
+        probabilities, dataset = small_dataset
+        engine = make_engine(probabilities, len(dataset), repetitions=6)
+        engine.build(dataset)
+        result, _stats = engine.query(dataset[7])
+        candidates, _cstats = engine.query_candidates(dataset[7])
+        if result is not None:
+            assert result in candidates
+
+    def test_query_candidates_empty_query(self, small_dataset):
+        probabilities, dataset = small_dataset
+        engine = make_engine(probabilities, len(dataset))
+        engine.build(dataset)
+        candidates, stats = engine.query_candidates(frozenset())
+        assert candidates == set()
+        assert stats.unique_candidates == 0

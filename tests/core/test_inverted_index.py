@@ -1,0 +1,84 @@
+"""Tests for the filter inverted index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.inverted_index import InvertedFilterIndex
+
+
+class TestAdd:
+    def test_add_returns_count(self):
+        index = InvertedFilterIndex()
+        assert index.add(0, [(1, 2), (3,)]) == 2
+
+    def test_negative_vector_id_rejected(self):
+        with pytest.raises(ValueError):
+            InvertedFilterIndex().add(-1, [(1,)])
+
+    def test_add_many_uses_positions(self):
+        index = InvertedFilterIndex()
+        total = index.add_many([[(1,)], [(1,), (2,)]])
+        assert total == 3
+        assert index.lookup((1,)) == [0, 1]
+        assert index.lookup((2,)) == [1]
+
+    def test_duplicate_paths_allowed(self):
+        index = InvertedFilterIndex()
+        index.add(0, [(1, 2), (1, 2)])
+        assert index.lookup((1, 2)) == [0, 0]
+        assert index.total_entries == 2
+
+
+class TestLookup:
+    def test_missing_path_empty(self):
+        assert InvertedFilterIndex().lookup((9, 9)) == []
+
+    def test_contains(self):
+        index = InvertedFilterIndex()
+        index.add(3, [(4, 5)])
+        assert (4, 5) in index
+        assert (5, 4) not in index
+
+    def test_candidates_counts_multiplicity(self):
+        """candidates() yields one entry per shared filter, matching the
+        paper's work measure sum_x |F(q) ∩ F(x)|."""
+        index = InvertedFilterIndex()
+        index.add(0, [(1,), (2,)])
+        index.add(1, [(1,)])
+        candidates = list(index.candidates([(1,), (2,), (3,)]))
+        assert sorted(candidates) == [0, 0, 1]
+
+    def test_lists_convert_to_tuples(self):
+        index = InvertedFilterIndex()
+        index.add(0, [[7, 8]])
+        assert index.lookup((7, 8)) == [0]
+
+
+class TestStatistics:
+    def test_counts(self):
+        index = InvertedFilterIndex()
+        index.add(0, [(1,), (2,)])
+        index.add(1, [(1,)])
+        assert index.num_filters == 2
+        assert index.total_entries == 3
+        assert len(index) == 2
+
+    def test_posting_sizes(self):
+        index = InvertedFilterIndex()
+        index.add(0, [(1,), (2,)])
+        index.add(1, [(1,)])
+        assert sorted(index.posting_sizes()) == [1, 2]
+
+    def test_heaviest_filters(self):
+        index = InvertedFilterIndex()
+        index.add(0, [(1,)])
+        index.add(1, [(1,), (2,)])
+        index.add(2, [(1,)])
+        heaviest = index.heaviest_filters(1)
+        assert heaviest == [((1,), 3)]
+
+    def test_repr(self):
+        index = InvertedFilterIndex()
+        index.add(0, [(1,)])
+        assert "num_filters=1" in repr(index)

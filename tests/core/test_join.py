@@ -1,0 +1,126 @@
+"""Tests for similarity join built on repeated search queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute_force import BruteForceIndex
+from repro.core.config import SkewAdaptiveIndexConfig
+from repro.core.join import JoinResult, similarity_join, similarity_self_join
+from repro.core.skewed_index import SkewAdaptiveIndex
+from repro.similarity.measures import braun_blanquet
+from repro.similarity.predicates import SimilarityPredicate
+
+
+@pytest.fixture(scope="module")
+def join_data(skewed_distribution):
+    """A dataset with planted near-duplicates plus probe sets overlapping them."""
+    rng = np.random.default_rng(7)
+    base = skewed_distribution.sample_many(60, rng)
+    base = [v if v else frozenset({0}) for v in base]
+    probes = []
+    for index in range(20):
+        stored = sorted(base[index])
+        keep = max(1, int(0.9 * len(stored)))
+        probes.append(frozenset(rng.choice(stored, size=keep, replace=False).tolist()))
+    return base, probes
+
+
+def build_index(distribution, dataset, b1=0.5, seed=11):
+    index = SkewAdaptiveIndex(
+        distribution, config=SkewAdaptiveIndexConfig(b1=b1, repetitions=6, seed=seed)
+    )
+    index.build(dataset)
+    return index
+
+
+class TestSimilarityJoin:
+    def test_pairs_meet_predicate(self, skewed_distribution, join_data):
+        dataset, probes = join_data
+        index = build_index(skewed_distribution, dataset)
+        predicate = SimilarityPredicate("braun_blanquet", 0.5)
+        result = similarity_join(index, probes, predicate)
+        for probe_index, candidate_id, similarity in result.pairs:
+            recomputed = braun_blanquet(dataset[candidate_id], probes[probe_index])
+            assert recomputed == pytest.approx(similarity)
+            assert similarity >= 0.5
+
+    def test_recall_against_brute_force(self, skewed_distribution, join_data):
+        dataset, probes = join_data
+        predicate = SimilarityPredicate("braun_blanquet", 0.5)
+        index = build_index(skewed_distribution, dataset)
+        approximate = similarity_join(index, probes, predicate).pair_set()
+
+        brute = BruteForceIndex(predicate)
+        brute.build(dataset)
+        exact = similarity_join(brute, probes, predicate).pair_set()
+
+        assert approximate.issubset(exact)
+        if exact:
+            recall = len(approximate & exact) / len(exact)
+            assert recall >= 0.8
+
+    def test_counts_populated(self, skewed_distribution, join_data):
+        dataset, probes = join_data
+        index = build_index(skewed_distribution, dataset)
+        result = similarity_join(index, probes, SimilarityPredicate("braun_blanquet", 0.5))
+        assert result.num_probes == len(probes)
+        assert result.similarity_evaluations <= result.candidates_examined + len(probes)
+
+    def test_empty_probe_skipped(self, skewed_distribution, join_data):
+        dataset, _probes = join_data
+        index = build_index(skewed_distribution, dataset)
+        result = similarity_join(index, [frozenset()], SimilarityPredicate("braun_blanquet", 0.5))
+        assert result.num_pairs == 0
+        assert result.num_probes == 1
+
+
+class TestSelfJoin:
+    def test_pairs_are_canonical_and_unique(self, skewed_distribution, join_data):
+        dataset, _probes = join_data
+        index = build_index(skewed_distribution, dataset, b1=0.4)
+        result = similarity_self_join(index, dataset, SimilarityPredicate("braun_blanquet", 0.4))
+        seen = set()
+        for low, high, _similarity in result.pairs:
+            assert low < high
+            assert (low, high) not in seen
+            seen.add((low, high))
+
+    def test_self_pairs_excluded_by_default(self, skewed_distribution, join_data):
+        dataset, _probes = join_data
+        index = build_index(skewed_distribution, dataset, b1=0.4)
+        result = similarity_self_join(index, dataset, SimilarityPredicate("braun_blanquet", 0.4))
+        assert all(low != high for low, high, _ in result.pairs)
+
+    def test_self_pairs_included_when_requested(self, skewed_distribution, join_data):
+        dataset, _probes = join_data
+        index = build_index(skewed_distribution, dataset, b1=0.4)
+        result = similarity_self_join(
+            index, dataset, SimilarityPredicate("braun_blanquet", 0.4), include_self_pairs=True
+        )
+        assert any(low == high for low, high, _ in result.pairs)
+
+    def test_finds_planted_duplicates(self, skewed_distribution):
+        """Exact duplicates must be reported by the self-join."""
+        rng = np.random.default_rng(3)
+        base = skewed_distribution.sample_many(40, rng)
+        base = [v if v else frozenset({0}) for v in base]
+        dataset = base + [base[0], base[1]]  # two exact duplicates appended
+        index = build_index(skewed_distribution, dataset, b1=0.8)
+        result = similarity_self_join(index, dataset, SimilarityPredicate("braun_blanquet", 0.8))
+        reported = result.pair_set()
+        assert (0, len(base)) in reported
+        assert (1, len(base) + 1) in reported
+
+
+class TestJoinResult:
+    def test_pair_set(self):
+        result = JoinResult(pairs=[(1, 2, 0.9), (3, 4, 0.8)])
+        assert result.pair_set() == {(1, 2), (3, 4)}
+        assert result.num_pairs == 2
+
+    def test_empty(self):
+        result = JoinResult()
+        assert result.num_pairs == 0
+        assert result.pair_set() == set()

@@ -1,0 +1,125 @@
+"""Tests for saving and loading built indexes."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import CorrelatedIndexConfig, SkewAdaptiveIndexConfig
+from repro.core.correlated_index import CorrelatedIndex
+from repro.core.serialization import FORMAT_VERSION, load_index, save_index
+from repro.core.skewed_index import SkewAdaptiveIndex
+
+
+@pytest.fixture()
+def adversarial_index(skewed_distribution, skewed_dataset):
+    index = SkewAdaptiveIndex(
+        skewed_distribution, config=SkewAdaptiveIndexConfig(b1=0.5, repetitions=4, seed=31)
+    )
+    index.build(skewed_dataset[:80])
+    return index
+
+
+@pytest.fixture()
+def correlated_index(skewed_distribution, skewed_dataset):
+    index = CorrelatedIndex(
+        skewed_distribution, config=CorrelatedIndexConfig(alpha=0.7, repetitions=4, seed=32)
+    )
+    index.build(skewed_dataset[:80])
+    return index
+
+
+class TestSaveValidation:
+    def test_unbuilt_index_rejected(self, skewed_distribution, tmp_path):
+        index = SkewAdaptiveIndex(skewed_distribution, b1=0.5)
+        with pytest.raises(ValueError):
+            save_index(index, tmp_path / "index.json")
+
+    def test_wrong_type_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_index(object(), tmp_path / "index.json")  # type: ignore[arg-type]
+
+    def test_file_is_json_with_version(self, adversarial_index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(adversarial_index, path)
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == FORMAT_VERSION
+        assert payload["config"]["kind"] == "skew_adaptive"
+
+
+class TestRoundTrip:
+    def test_adversarial_round_trip_identical_queries(
+        self, adversarial_index, skewed_dataset, tmp_path
+    ):
+        path = tmp_path / "adversarial.json"
+        save_index(adversarial_index, path)
+        loaded = load_index(path)
+        assert isinstance(loaded, SkewAdaptiveIndex)
+        assert loaded.num_indexed == adversarial_index.num_indexed
+        assert loaded.total_stored_filters == adversarial_index.total_stored_filters
+        for query_id in range(25):
+            original_result, original_stats = adversarial_index.query(skewed_dataset[query_id])
+            loaded_result, loaded_stats = loaded.query(skewed_dataset[query_id])
+            assert original_result == loaded_result
+            assert original_stats.candidates_examined == loaded_stats.candidates_examined
+            assert original_stats.filters_generated == loaded_stats.filters_generated
+
+    def test_correlated_round_trip_identical_queries(
+        self, correlated_index, skewed_distribution, skewed_dataset, tmp_path
+    ):
+        path = tmp_path / "correlated.json"
+        save_index(correlated_index, path)
+        loaded = load_index(path)
+        assert isinstance(loaded, CorrelatedIndex)
+        rng = np.random.default_rng(3)
+        for target in range(15):
+            query = skewed_distribution.sample_correlated(skewed_dataset[target], 0.7, rng)
+            assert correlated_index.query(query)[0] == loaded.query(query)[0]
+
+    def test_round_trip_preserves_vectors(self, adversarial_index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(adversarial_index, path)
+        loaded = load_index(path)
+        for vector_id in range(adversarial_index.num_indexed):
+            assert loaded.get_vector(vector_id) == adversarial_index.get_vector(vector_id)
+
+    def test_round_trip_preserves_removals(self, adversarial_index, skewed_dataset, tmp_path):
+        adversarial_index.remove(2)
+        path = tmp_path / "index.json"
+        save_index(adversarial_index, path)
+        loaded = load_index(path)
+        result, _stats = loaded.query(skewed_dataset[2], mode="best")
+        assert result != 2
+
+    def test_loaded_index_supports_insert(self, adversarial_index, skewed_dataset, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(adversarial_index, path)
+        loaded = load_index(path)
+        new_id = loaded.insert(skewed_dataset[90])
+        assert loaded.get_vector(new_id) == skewed_dataset[90]
+
+
+class TestLoadValidation:
+    def test_wrong_version_rejected(self, adversarial_index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(adversarial_index, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="format version"):
+            load_index(path)
+
+    def test_unknown_kind_rejected(self, adversarial_index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(adversarial_index, path)
+        payload = json.loads(path.read_text())
+        payload["config"]["kind"] = "mystery"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="kind"):
+            load_index(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_index(tmp_path / "does_not_exist.json")

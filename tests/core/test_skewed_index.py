@@ -1,0 +1,120 @@
+"""Tests for the adversarial-query skew-adaptive index (Theorem 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SkewAdaptiveIndexConfig
+from repro.core.skewed_index import SkewAdaptiveIndex
+from repro.data.datasets import SetCollection
+from repro.similarity.measures import braun_blanquet
+
+
+@pytest.fixture(scope="module")
+def built_index(skewed_distribution, skewed_dataset):
+    index = SkewAdaptiveIndex(
+        skewed_distribution,
+        config=SkewAdaptiveIndexConfig(b1=0.5, repetitions=6, seed=3),
+    )
+    index.build(skewed_dataset)
+    return index
+
+
+class TestConstruction:
+    def test_accepts_raw_probabilities(self):
+        index = SkewAdaptiveIndex(np.full(20, 0.1), b1=0.4)
+        assert index.distribution.dimension == 20
+        assert index.b1 == 0.4
+
+    def test_config_overrides_arguments(self):
+        config = SkewAdaptiveIndexConfig(b1=0.7)
+        index = SkewAdaptiveIndex(np.full(5, 0.1), b1=0.2, config=config)
+        assert index.b1 == 0.7
+
+    def test_query_before_build_raises(self):
+        index = SkewAdaptiveIndex(np.full(5, 0.1))
+        with pytest.raises(RuntimeError):
+            index.query({1, 2})
+
+    def test_properties_before_build(self):
+        index = SkewAdaptiveIndex(np.full(5, 0.1))
+        assert index.num_indexed == 0
+        with pytest.raises(RuntimeError):
+            _ = index.build_stats
+
+    def test_repr(self, built_index):
+        assert "SkewAdaptiveIndex" in repr(built_index)
+
+
+class TestBuild:
+    def test_build_stats(self, built_index, skewed_dataset):
+        stats = built_index.build_stats
+        assert stats.num_vectors == len(skewed_dataset)
+        assert stats.total_filters > 0
+        assert built_index.total_stored_filters == stats.total_filters
+        assert built_index.num_indexed == len(skewed_dataset)
+
+    def test_from_collection_uses_empirical_frequencies(self, skewed_dataset):
+        collection = SetCollection(skewed_dataset)
+        index = SkewAdaptiveIndex.from_collection(
+            collection, b1=0.5, config=SkewAdaptiveIndexConfig(b1=0.5, repetitions=4, seed=1)
+        )
+        assert index.num_indexed == len(skewed_dataset)
+        assert index.distribution.dimension == collection.dimension
+
+    def test_from_collection_accepts_plain_iterables(self):
+        data = [{1, 2, 3}, {2, 3, 4}, {8, 9}]
+        index = SkewAdaptiveIndex.from_collection(
+            data, config=SkewAdaptiveIndexConfig(b1=0.5, repetitions=3, seed=0), dimension=12
+        )
+        assert index.num_indexed == 3
+
+
+class TestQuery:
+    def test_self_queries_found(self, built_index, skewed_dataset):
+        """Querying with stored vectors finds something at similarity >= b1."""
+        found = 0
+        for index in range(0, 40):
+            result, _stats = built_index.query(skewed_dataset[index])
+            if result is not None:
+                assert braun_blanquet(built_index.get_vector(result), skewed_dataset[index]) >= 0.5
+                found += 1
+        assert found >= 36
+
+    def test_perturbed_queries_found(self, built_index, skewed_dataset):
+        """Queries sharing ~70% of a stored vector's items are still answered."""
+        rng = np.random.default_rng(0)
+        found = 0
+        for index in range(0, 30):
+            stored = sorted(skewed_dataset[index])
+            if len(stored) < 6:
+                found += 1  # too small to perturb meaningfully; skip as success
+                continue
+            keep = max(1, int(0.8 * len(stored)))
+            query = frozenset(rng.choice(stored, size=keep, replace=False).tolist())
+            result, _stats = built_index.query(query)
+            if result is not None and braun_blanquet(built_index.get_vector(result), query) >= 0.5:
+                found += 1
+        assert found >= 22
+
+    def test_returned_result_meets_threshold(self, built_index, skewed_dataset):
+        for index in range(25):
+            result, _stats = built_index.query(skewed_dataset[index])
+            if result is not None:
+                similarity = braun_blanquet(built_index.get_vector(result), skewed_dataset[index])
+                assert similarity >= built_index.b1
+
+    def test_query_candidates_and_get_vector(self, built_index, skewed_dataset):
+        candidates, stats = built_index.query_candidates(skewed_dataset[0])
+        assert stats.unique_candidates == len(candidates)
+        for candidate in list(candidates)[:5]:
+            assert isinstance(built_index.get_vector(candidate), frozenset)
+
+    def test_work_is_sublinear_on_average(self, built_index, skewed_dataset):
+        """Candidates examined per query stay well below a linear scan."""
+        totals = []
+        for index in range(30):
+            _result, stats = built_index.query(skewed_dataset[index])
+            totals.append(stats.candidates_examined)
+        assert float(np.mean(totals)) < 0.6 * len(skewed_dataset) * built_index.config.repetitions

@@ -1,0 +1,71 @@
+"""Tests for build/query statistics accounting."""
+
+from __future__ import annotations
+
+from repro.core.stats import AggregatedQueryStats, BuildStats, QueryStats
+
+
+class TestBuildStats:
+    def test_filters_per_vector(self):
+        stats = BuildStats(num_vectors=10, total_filters=50)
+        assert stats.filters_per_vector == 5.0
+
+    def test_filters_per_vector_empty(self):
+        assert BuildStats().filters_per_vector == 0.0
+
+    def test_merge_sums_filters(self):
+        merged = BuildStats(num_vectors=10, total_filters=5, repetitions=1).merge(
+            BuildStats(num_vectors=10, total_filters=7, truncated_vectors=2, repetitions=1)
+        )
+        assert merged.total_filters == 12
+        assert merged.truncated_vectors == 2
+        assert merged.repetitions == 2
+        assert merged.num_vectors == 10
+
+
+class TestQueryStats:
+    def test_total_work(self):
+        stats = QueryStats(filters_generated=3, candidates_examined=7)
+        assert stats.total_work == 10
+
+    def test_add_accumulates(self):
+        first = QueryStats(filters_generated=1, candidates_examined=2, found=False)
+        second = QueryStats(
+            filters_generated=3,
+            candidates_examined=4,
+            unique_candidates=2,
+            similarity_evaluations=2,
+            found=True,
+            repetitions_used=1,
+        )
+        first.add(second)
+        assert first.filters_generated == 4
+        assert first.candidates_examined == 6
+        assert first.unique_candidates == 2
+        assert first.found is True
+        assert first.repetitions_used == 1
+
+
+class TestAggregatedQueryStats:
+    def test_record_and_means(self):
+        aggregate = AggregatedQueryStats()
+        aggregate.record(QueryStats(filters_generated=2, candidates_examined=10, found=True))
+        aggregate.record(QueryStats(filters_generated=4, candidates_examined=20, found=False))
+        assert aggregate.num_queries == 2
+        assert aggregate.mean_candidates == 15.0
+        assert aggregate.mean_filters == 3.0
+        assert aggregate.mean_work == 18.0
+        assert aggregate.success_rate == 0.5
+
+    def test_empty_aggregate(self):
+        aggregate = AggregatedQueryStats()
+        assert aggregate.mean_candidates == 0.0
+        assert aggregate.mean_filters == 0.0
+        assert aggregate.mean_work == 0.0
+        assert aggregate.success_rate == 0.0
+
+    def test_per_query_retained(self):
+        aggregate = AggregatedQueryStats()
+        stats = QueryStats(filters_generated=1)
+        aggregate.record(stats)
+        assert aggregate.per_query == [stats]

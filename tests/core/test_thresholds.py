@@ -1,0 +1,135 @@
+"""Tests for the sampling-threshold policies (Sections 5 and 6)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.thresholds import (
+    AdversarialThreshold,
+    ConstantThreshold,
+    CorrelatedThreshold,
+)
+
+
+class TestAdversarialThreshold:
+    def test_formula(self):
+        """s(x, j, i) = 1 / (b1 |x| - j), identical across items."""
+        policy = AdversarialThreshold(b1=0.5)
+        bound = policy.bind(list(range(20)))  # |x| = 20
+        values = bound.sampling_probabilities(3, np.array([1, 5, 9]))
+        assert np.allclose(values, 1.0 / (0.5 * 20 - 3))
+
+    def test_level_increases_probability(self):
+        policy = AdversarialThreshold(b1=0.5)
+        bound = policy.bind(list(range(20)))
+        level0 = bound.sampling_probabilities(0, np.array([1]))[0]
+        level5 = bound.sampling_probabilities(5, np.array([1]))[0]
+        assert level5 > level0
+
+    def test_clamped_to_one(self):
+        policy = AdversarialThreshold(b1=0.5)
+        bound = policy.bind(list(range(4)))  # b1 |x| = 2
+        values = bound.sampling_probabilities(5, np.array([1, 2]))
+        assert np.all(values == 1.0)
+
+    def test_invalid_b1(self):
+        with pytest.raises(ValueError):
+            AdversarialThreshold(0.0)
+        with pytest.raises(ValueError):
+            AdversarialThreshold(1.2)
+
+    def test_describe_mentions_b1(self):
+        assert "0.4" in AdversarialThreshold(0.4).describe()
+
+
+class TestConstantThreshold:
+    def test_formula_ignores_level(self):
+        """Chosen Path's s(x, j, i) = 1 / (b1 |x|) is level-independent."""
+        policy = ConstantThreshold(b1=0.25)
+        bound = policy.bind(list(range(16)))
+        level0 = bound.sampling_probabilities(0, np.array([1, 2]))
+        level7 = bound.sampling_probabilities(7, np.array([1, 2]))
+        assert np.allclose(level0, 1.0 / (0.25 * 16))
+        assert np.allclose(level0, level7)
+
+    def test_larger_sets_get_smaller_threshold(self):
+        policy = ConstantThreshold(b1=0.5)
+        small = policy.bind(list(range(4))).sampling_probabilities(0, np.array([0]))[0]
+        large = policy.bind(list(range(40))).sampling_probabilities(0, np.array([0]))[0]
+        assert large < small
+
+    def test_invalid_b1(self):
+        with pytest.raises(ValueError):
+            ConstantThreshold(-0.1)
+
+
+class TestCorrelatedThreshold:
+    def setup_method(self):
+        self.probabilities = np.concatenate([np.full(20, 0.25), np.full(400, 0.02)])
+        self.alpha = 0.6
+        self.num_vectors = 500
+
+    def test_rare_items_sampled_more_aggressively(self):
+        """Smaller p̂_i means larger sampling probability — the skew adaptation."""
+        policy = CorrelatedThreshold(self.probabilities, self.alpha, self.num_vectors)
+        bound = policy.bind([0, 100])  # item 0 frequent (0.25), item 100 rare (0.02)
+        values = bound.sampling_probabilities(0, np.array([0, 100]))
+        assert values[1] > values[0]
+
+    def test_formula_matches_paper(self):
+        """s(x, j, i) = (1 + δ) / (p̂_i m − j) with m = Σ p_i."""
+        policy = CorrelatedThreshold(
+            self.probabilities, self.alpha, self.num_vectors, boost_delta=0.5
+        )
+        expected_size = float(self.probabilities.sum())
+        conditional = 0.25 * (1 - self.alpha) + self.alpha
+        bound = policy.bind([0, 5])
+        value = bound.sampling_probabilities(2, np.array([0]))[0]
+        assert value == pytest.approx(min(1.0, 1.5 / (conditional * expected_size - 2)))
+
+    def test_default_delta_matches_formula(self):
+        policy = CorrelatedThreshold(self.probabilities, self.alpha, self.num_vectors)
+        expected_size = float(self.probabilities.sum())
+        capital_c = expected_size / math.log(self.num_vectors)
+        assert policy.boost_delta == pytest.approx(3.0 / math.sqrt(self.alpha * capital_c))
+
+    def test_default_delta_degenerate_inputs(self):
+        assert CorrelatedThreshold.default_boost_delta(0.5, 0.0, 100) == 0.0
+
+    def test_conditional_probabilities_exposed(self):
+        policy = CorrelatedThreshold(self.probabilities, self.alpha, self.num_vectors)
+        expected = self.probabilities * (1 - self.alpha) + self.alpha
+        assert np.allclose(policy.conditional_probabilities, expected)
+
+    def test_probabilities_validation(self):
+        with pytest.raises(ValueError):
+            CorrelatedThreshold(np.array([1.5]), 0.5, 10)
+        with pytest.raises(ValueError):
+            CorrelatedThreshold(np.array([]), 0.5, 10)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            CorrelatedThreshold(self.probabilities, 0.0, 10)
+
+    def test_num_vectors_validation(self):
+        with pytest.raises(ValueError):
+            CorrelatedThreshold(self.probabilities, 0.5, 0)
+
+    def test_bind_rejects_out_of_universe_items(self):
+        policy = CorrelatedThreshold(self.probabilities, self.alpha, self.num_vectors)
+        with pytest.raises(ValueError):
+            policy.bind([10_000])
+
+    def test_values_clamped_to_unit_interval(self):
+        tiny = CorrelatedThreshold(np.full(5, 0.01), 0.9, 10, boost_delta=100.0)
+        bound = tiny.bind([0, 1, 2])
+        values = bound.sampling_probabilities(0, np.array([0, 1, 2]))
+        assert np.all(values <= 1.0)
+        assert np.all(values >= 0.0)
+
+    def test_describe(self):
+        description = CorrelatedThreshold(self.probabilities, self.alpha, self.num_vectors).describe()
+        assert "correlated" in description

@@ -1,0 +1,103 @@
+"""Tests for dynamic insert/remove on the built indexes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import CorrelatedIndexConfig, SkewAdaptiveIndexConfig
+from repro.core.correlated_index import CorrelatedIndex
+from repro.core.skewed_index import SkewAdaptiveIndex
+from repro.similarity.measures import braun_blanquet
+
+
+@pytest.fixture()
+def built_adversarial(skewed_distribution, skewed_dataset):
+    index = SkewAdaptiveIndex(
+        skewed_distribution, config=SkewAdaptiveIndexConfig(b1=0.5, repetitions=5, seed=21)
+    )
+    index.build(skewed_dataset[:100])
+    return index
+
+
+class TestInsert:
+    def test_insert_returns_new_id(self, built_adversarial, skewed_dataset):
+        new_id = built_adversarial.insert(skewed_dataset[120])
+        assert new_id == 100
+        assert built_adversarial.get_vector(new_id) == skewed_dataset[120]
+
+    def test_inserted_vector_is_findable(self, skewed_distribution, skewed_dataset):
+        index = SkewAdaptiveIndex(
+            skewed_distribution, config=SkewAdaptiveIndexConfig(b1=0.5, repetitions=6, seed=22)
+        )
+        index.build(skewed_dataset[:80])
+        found = 0
+        for offset in range(15):
+            new_vector = skewed_dataset[100 + offset]
+            new_id = index.insert(new_vector)
+            result, _stats = index.query(new_vector)
+            if result is not None and braun_blanquet(index.get_vector(result), new_vector) >= 0.5:
+                found += 1
+            assert index.get_vector(new_id) == new_vector
+        assert found >= 12
+
+    def test_insert_updates_build_stats(self, built_adversarial, skewed_dataset):
+        before = built_adversarial.build_stats.total_filters
+        built_adversarial.insert(skewed_dataset[130])
+        assert built_adversarial.build_stats.num_vectors == 101
+        assert built_adversarial.build_stats.total_filters >= before
+
+    def test_insert_empty_vector(self, built_adversarial):
+        new_id = built_adversarial.insert(frozenset())
+        assert built_adversarial.get_vector(new_id) == frozenset()
+
+    def test_insert_before_build_raises(self, skewed_distribution):
+        index = SkewAdaptiveIndex(skewed_distribution, b1=0.5)
+        with pytest.raises(RuntimeError):
+            index.insert({1, 2})
+
+    def test_insert_on_correlated_index(self, skewed_distribution, skewed_dataset):
+        index = CorrelatedIndex(
+            skewed_distribution, config=CorrelatedIndexConfig(alpha=0.7, repetitions=5, seed=23)
+        )
+        index.build(skewed_dataset[:60])
+        new_id = index.insert(skewed_dataset[70])
+        rng = np.random.default_rng(1)
+        query = skewed_distribution.sample_correlated(skewed_dataset[70], 0.8, rng)
+        result, _stats = index.query(query, mode="best")
+        if result is not None:
+            assert braun_blanquet(index.get_vector(result), query) >= index.acceptance_threshold
+        assert index.get_vector(new_id) == skewed_dataset[70]
+
+
+class TestRemove:
+    def test_removed_vector_not_returned(self, skewed_distribution, skewed_dataset):
+        index = SkewAdaptiveIndex(
+            skewed_distribution, config=SkewAdaptiveIndexConfig(b1=0.5, repetitions=6, seed=24)
+        )
+        index.build(skewed_dataset[:100])
+        # Remove a vector and query with it: the removed id must never come back.
+        target = 7
+        index.remove(target)
+        result, _stats = index.query(skewed_dataset[target], mode="best")
+        assert result != target
+
+    def test_remove_out_of_range(self, built_adversarial):
+        with pytest.raises(IndexError):
+            built_adversarial.remove(10_000)
+
+    def test_remove_then_reinsert(self, built_adversarial, skewed_dataset):
+        built_adversarial.remove(3)
+        new_id = built_adversarial.insert(skewed_dataset[3])
+        result, _stats = built_adversarial.query(skewed_dataset[3], mode="best")
+        assert result == new_id
+
+    def test_removed_excluded_from_candidates(self, built_adversarial, skewed_dataset):
+        built_adversarial.remove(5)
+        candidates, _stats = built_adversarial.query_candidates(skewed_dataset[5])
+        assert 5 not in candidates
+
+    def test_remove_before_build_raises(self, skewed_distribution):
+        index = CorrelatedIndex(skewed_distribution, alpha=0.5)
+        with pytest.raises(RuntimeError):
+            index.remove(0)

@@ -1,0 +1,147 @@
+"""Tests for the Section 8 dataset analyses (Figure 2 / Table 1 statistics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.analysis import (
+    empirical_frequencies,
+    frequency_profile,
+    independence_ratio,
+    skew_summary,
+)
+from repro.data.datasets import SetCollection
+from repro.data.distributions import ItemDistribution
+from repro.data.families import zipfian_probabilities
+
+
+class TestEmpiricalFrequencies:
+    def test_sorted_descending(self):
+        collection = SetCollection([{0}, {0, 1}, {0, 1, 2}], dimension=4)
+        frequencies = empirical_frequencies(collection)
+        assert np.all(np.diff(frequencies) <= 0.0)
+
+    def test_sorted_ascending(self):
+        collection = SetCollection([{0}, {0, 1}], dimension=3)
+        frequencies = empirical_frequencies(collection, descending=False)
+        assert np.all(np.diff(frequencies) >= 0.0)
+
+    def test_includes_zero_frequency_items(self):
+        collection = SetCollection([{0}], dimension=5)
+        assert empirical_frequencies(collection).size == 5
+
+
+class TestFrequencyProfile:
+    def test_axes_lengths_match(self):
+        collection = SetCollection([{0, 1}, {1, 2}, {0}], dimension=10)
+        profile = frequency_profile(collection)
+        assert profile.relative_rank.size == 10
+        assert profile.log_rank.size == 10
+        assert profile.normalized_log_frequency.size == 10
+
+    def test_relative_rank_in_unit_interval(self):
+        collection = SetCollection([{0, 1}], dimension=8)
+        profile = frequency_profile(collection)
+        assert profile.relative_rank[0] == pytest.approx(1.0 / 8.0)
+        assert profile.relative_rank[-1] == pytest.approx(1.0)
+
+    def test_normalized_log_frequency_at_most_one(self):
+        """An item present in every set has y = 1 + log_n(1) = 1."""
+        collection = SetCollection([{0}, {0}, {0}], dimension=2)
+        profile = frequency_profile(collection)
+        assert profile.normalized_log_frequency.max() <= 1.0 + 1e-12
+        assert profile.normalized_log_frequency[0] == pytest.approx(1.0)
+
+    def test_curve_non_increasing(self):
+        rng = np.random.default_rng(0)
+        distribution = ItemDistribution(zipfian_probabilities(200, exponent=1.0, maximum=0.5))
+        collection = SetCollection(distribution.sample_many(300, rng), dimension=200)
+        profile = frequency_profile(collection)
+        assert np.all(np.diff(profile.normalized_log_frequency) <= 1e-12)
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(ValueError):
+            frequency_profile(SetCollection([], dimension=5))
+
+    def test_sampled_reduces_points(self):
+        collection = SetCollection([{i} for i in range(100)], dimension=100)
+        profile = frequency_profile(collection).sampled(10)
+        assert profile.relative_rank.size <= 11
+
+    def test_sampled_invalid(self):
+        collection = SetCollection([{0}], dimension=2)
+        with pytest.raises(ValueError):
+            frequency_profile(collection).sampled(0)
+
+
+class TestIndependenceRatio:
+    def test_independent_data_close_to_one(self):
+        distribution = ItemDistribution(np.full(50, 0.2))
+        collection = SetCollection(
+            distribution.sample_many(800, np.random.default_rng(1)), dimension=50
+        )
+        ratio = independence_ratio(collection, subset_size=2, num_samples=800, seed=0)
+        assert 0.8 < ratio < 1.25
+
+    def test_perfectly_dependent_data_large_ratio(self):
+        """Sets are either {0..9} or empty-ish: items co-occur far more than predicted."""
+        sets = [frozenset(range(10)) if i % 4 == 0 else frozenset({20 + i % 3}) for i in range(200)]
+        collection = SetCollection(sets, dimension=30)
+        ratio = independence_ratio(collection, subset_size=2, num_samples=500, seed=0)
+        assert ratio > 1.5
+
+    def test_triples_deviate_at_least_as_much_as_pairs(self):
+        sets = [frozenset(range(8)) if i % 3 == 0 else frozenset({10 + (i % 5)}) for i in range(300)]
+        collection = SetCollection(sets, dimension=20)
+        pair_ratio = independence_ratio(collection, 2, num_samples=700, seed=1)
+        triple_ratio = independence_ratio(collection, 3, num_samples=700, seed=1)
+        assert triple_ratio >= pair_ratio * 0.9
+
+    def test_invalid_subset_size(self):
+        collection = SetCollection([{0, 1}], dimension=2)
+        with pytest.raises(ValueError):
+            independence_ratio(collection, subset_size=0)
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(ValueError):
+            independence_ratio(SetCollection([], dimension=5), 2)
+
+    def test_not_enough_items_rejected(self):
+        collection = SetCollection([{0}], dimension=1)
+        with pytest.raises(ValueError):
+            independence_ratio(collection, subset_size=2)
+
+    def test_reproducible(self):
+        collection = SetCollection([{0, 1, 2}, {1, 2}, {0, 2}], dimension=3)
+        a = independence_ratio(collection, 2, num_samples=100, seed=5)
+        b = independence_ratio(collection, 2, num_samples=100, seed=5)
+        assert a == b
+
+
+class TestSkewSummary:
+    def test_uniform_data_low_gini(self):
+        collection = SetCollection([{i % 20} for i in range(200)], dimension=20)
+        summary = skew_summary(collection)
+        assert summary.gini < 0.1
+        assert summary.zipf_exponent < 0.2
+
+    def test_skewed_data_high_gini(self):
+        rng = np.random.default_rng(3)
+        distribution = ItemDistribution(zipfian_probabilities(300, exponent=1.2, maximum=0.5))
+        collection = SetCollection(distribution.sample_many(400, rng), dimension=300)
+        summary = skew_summary(collection)
+        assert summary.gini > 0.4
+        assert summary.zipf_exponent > 0.5
+
+    def test_empty_collection(self):
+        summary = skew_summary(SetCollection([], dimension=5))
+        assert summary.gini == 0.0
+        assert summary.max_frequency == 0.0
+
+    def test_top_mass_monotone(self):
+        rng = np.random.default_rng(4)
+        distribution = ItemDistribution(zipfian_probabilities(200, exponent=1.0))
+        collection = SetCollection(distribution.sample_many(200, rng), dimension=200)
+        summary = skew_summary(collection)
+        assert summary.top_1_percent_mass <= summary.top_10_percent_mass <= 1.0

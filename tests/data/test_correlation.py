@@ -1,0 +1,98 @@
+"""Tests for correlated-query and planted-pair generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.correlation import (
+    correlated_queries,
+    correlated_query,
+    plant_correlated_pairs,
+)
+from repro.data.distributions import ItemDistribution
+from repro.similarity.measures import braun_blanquet
+
+
+@pytest.fixture(scope="module")
+def distribution() -> ItemDistribution:
+    return ItemDistribution(np.full(500, 0.04))
+
+
+class TestCorrelatedQuery:
+    def test_reproducible(self, distribution):
+        x = frozenset(range(0, 40, 2))
+        assert correlated_query(distribution, x, 0.7, seed=3) == correlated_query(
+            distribution, x, 0.7, seed=3
+        )
+
+    def test_different_seeds_differ(self, distribution):
+        x = frozenset(range(0, 40, 2))
+        assert correlated_query(distribution, x, 0.7, seed=3) != correlated_query(
+            distribution, x, 0.7, seed=4
+        )
+
+    def test_batch_matches_length(self, distribution):
+        targets = [frozenset({i, i + 1}) for i in range(0, 20, 2)]
+        queries = correlated_queries(distribution, targets, 0.5, seed=0)
+        assert len(queries) == len(targets)
+
+    def test_batch_reproducible(self, distribution):
+        targets = [frozenset({i, i + 1}) for i in range(0, 20, 2)]
+        assert correlated_queries(distribution, targets, 0.5, seed=1) == correlated_queries(
+            distribution, targets, 0.5, seed=1
+        )
+
+
+class TestPlantCorrelatedPairs:
+    def test_count_and_pairs(self, distribution):
+        vectors, pairs = plant_correlated_pairs(distribution, count=50, num_pairs=5, alpha=0.8, seed=0)
+        assert len(vectors) == 50
+        assert len(pairs) == 5
+
+    def test_pair_indices_valid(self, distribution):
+        vectors, pairs = plant_correlated_pairs(distribution, count=40, num_pairs=4, alpha=0.8, seed=1)
+        for pair in pairs:
+            assert 0 <= pair.first_index < len(vectors)
+            assert 0 <= pair.second_index < len(vectors)
+            assert pair.first_index != pair.second_index
+            assert pair.alpha == 0.8
+
+    def test_planted_pairs_are_similar(self, distribution):
+        """Planted pairs should have much higher similarity than random pairs."""
+        vectors, pairs = plant_correlated_pairs(
+            distribution, count=60, num_pairs=6, alpha=0.9, seed=2
+        )
+        planted_similarities = [
+            braun_blanquet(vectors[pair.first_index], vectors[pair.second_index])
+            for pair in pairs
+        ]
+        random_similarities = [
+            braun_blanquet(vectors[i], vectors[i + 1]) for i in range(0, 20, 2)
+        ]
+        assert min(planted_similarities) > max(random_similarities)
+
+    def test_no_pairs(self, distribution):
+        vectors, pairs = plant_correlated_pairs(distribution, count=10, num_pairs=0, alpha=0.5, seed=0)
+        assert len(vectors) == 10
+        assert pairs == []
+
+    def test_too_many_pairs_rejected(self, distribution):
+        with pytest.raises(ValueError):
+            plant_correlated_pairs(distribution, count=10, num_pairs=6, alpha=0.5, seed=0)
+
+    def test_invalid_count(self, distribution):
+        with pytest.raises(ValueError):
+            plant_correlated_pairs(distribution, count=0, num_pairs=0, alpha=0.5, seed=0)
+
+    def test_no_empty_anchor_vectors(self):
+        sparse = ItemDistribution(np.full(20, 0.02))
+        vectors, pairs = plant_correlated_pairs(sparse, count=30, num_pairs=3, alpha=0.9, seed=3)
+        for pair in pairs:
+            assert len(vectors[pair.first_index]) > 0
+
+    def test_reproducible(self, distribution):
+        first = plant_correlated_pairs(distribution, count=30, num_pairs=3, alpha=0.7, seed=9)
+        second = plant_correlated_pairs(distribution, count=30, num_pairs=3, alpha=0.7, seed=9)
+        assert first[0] == second[0]
+        assert first[1] == second[1]

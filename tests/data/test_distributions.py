@@ -1,0 +1,201 @@
+"""Tests for the product distribution D[p_1, ..., p_d]."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.distributions import ItemDistribution, sample_dataset
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ItemDistribution([])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ItemDistribution([0.5, 1.5])
+        with pytest.raises(ValueError):
+            ItemDistribution([-0.1])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            ItemDistribution(np.zeros((2, 2)))
+
+    def test_probabilities_read_only(self):
+        distribution = ItemDistribution([0.1, 0.2])
+        with pytest.raises(ValueError):
+            distribution.probabilities[0] = 0.9
+
+    def test_equality(self):
+        assert ItemDistribution([0.1, 0.2]) == ItemDistribution([0.1, 0.2])
+        assert ItemDistribution([0.1, 0.2]) != ItemDistribution([0.2, 0.1])
+
+    def test_from_counts(self):
+        distribution = ItemDistribution.from_counts([5, 10, 0], total=20)
+        assert np.allclose(distribution.probabilities, [0.25, 0.5, 0.0])
+
+    def test_from_counts_invalid_total(self):
+        with pytest.raises(ValueError):
+            ItemDistribution.from_counts([1], total=0)
+
+
+class TestMoments:
+    def test_expected_size(self):
+        distribution = ItemDistribution([0.5, 0.25, 0.25])
+        assert distribution.expected_size == pytest.approx(1.0)
+
+    def test_expected_intersection(self):
+        distribution = ItemDistribution([0.5, 0.5])
+        assert distribution.expected_intersection == pytest.approx(0.5)
+
+    def test_expected_similarity_uniform(self):
+        # For all p_i = p, the uncorrelated similarity estimate is p.
+        distribution = ItemDistribution(np.full(100, 0.2))
+        assert distribution.expected_similarity() == pytest.approx(0.2)
+
+    def test_expected_correlated_similarity_at_full_correlation(self):
+        distribution = ItemDistribution(np.full(100, 0.2))
+        assert distribution.expected_correlated_similarity(1.0) == pytest.approx(1.0)
+
+    def test_expected_correlated_similarity_interpolates(self):
+        distribution = ItemDistribution(np.full(100, 0.2))
+        alpha = 0.5
+        expected = alpha + (1.0 - alpha) * 0.2
+        assert distribution.expected_correlated_similarity(alpha) == pytest.approx(expected)
+
+    def test_conditional_probabilities(self):
+        distribution = ItemDistribution([0.1, 0.4])
+        conditional = distribution.conditional_probabilities(0.5)
+        assert np.allclose(conditional, [0.55, 0.7])
+
+    def test_conditional_probabilities_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ItemDistribution([0.1]).conditional_probabilities(2.0)
+
+    def test_validate_paper_assumptions(self):
+        ItemDistribution([0.5, 0.1]).validate_paper_assumptions()
+        with pytest.raises(ValueError):
+            ItemDistribution([0.7]).validate_paper_assumptions()
+
+
+class TestSampling:
+    def test_sample_within_universe(self):
+        distribution = ItemDistribution(np.full(30, 0.3))
+        sample = distribution.sample(np.random.default_rng(0))
+        assert all(0 <= item < 30 for item in sample)
+
+    def test_sample_many_count(self):
+        distribution = ItemDistribution(np.full(30, 0.3))
+        samples = distribution.sample_many(25, np.random.default_rng(0))
+        assert len(samples) == 25
+
+    def test_sample_many_negative_count(self):
+        with pytest.raises(ValueError):
+            ItemDistribution([0.5]).sample_many(-1, np.random.default_rng(0))
+
+    def test_sample_mean_size_close_to_expectation(self):
+        distribution = ItemDistribution(np.full(200, 0.1))
+        samples = distribution.sample_many(400, np.random.default_rng(1))
+        mean_size = np.mean([len(sample) for sample in samples])
+        assert abs(mean_size - 20.0) < 2.0
+
+    def test_zero_probability_item_never_sampled(self):
+        probabilities = np.full(50, 0.5)
+        probabilities[7] = 0.0
+        distribution = ItemDistribution(probabilities)
+        samples = distribution.sample_many(200, np.random.default_rng(2))
+        assert all(7 not in sample for sample in samples)
+
+    def test_probability_one_item_always_sampled(self):
+        probabilities = np.full(20, 0.1)
+        probabilities[3] = 1.0
+        distribution = ItemDistribution(probabilities)
+        samples = distribution.sample_many(50, np.random.default_rng(3))
+        assert all(3 in sample for sample in samples)
+
+    def test_item_frequency_matches_probability(self):
+        probabilities = np.array([0.8, 0.05, 0.5])
+        distribution = ItemDistribution(probabilities)
+        samples = distribution.sample_many(2000, np.random.default_rng(4))
+        counts = np.zeros(3)
+        for sample in samples:
+            for item in sample:
+                counts[item] += 1
+        assert np.allclose(counts / 2000.0, probabilities, atol=0.05)
+
+
+class TestCorrelatedSampling:
+    def test_alpha_one_copies_exactly(self):
+        distribution = ItemDistribution(np.full(40, 0.2))
+        x = frozenset({1, 5, 9})
+        q = distribution.sample_correlated(x, 1.0, np.random.default_rng(0))
+        assert q == x
+
+    def test_alpha_zero_is_independent_sample(self):
+        distribution = ItemDistribution(np.full(2000, 0.01))
+        x = frozenset(range(100))
+        q = distribution.sample_correlated(x, 0.0, np.random.default_rng(1))
+        # With alpha=0, q ~ D independent of x; overlap should be tiny.
+        assert len(q & x) <= 6
+
+    def test_marginal_distribution_preserved(self):
+        """If x ~ D and q ~ D_alpha(x), then q ~ D (Definition 3 remark)."""
+        probabilities = np.array([0.4, 0.1, 0.25, 0.05])
+        distribution = ItemDistribution(probabilities)
+        rng = np.random.default_rng(5)
+        counts = np.zeros(4)
+        trials = 3000
+        for _ in range(trials):
+            x = distribution.sample(rng)
+            q = distribution.sample_correlated(x, 0.6, rng)
+            for item in q:
+                counts[item] += 1
+        assert np.allclose(counts / trials, probabilities, atol=0.04)
+
+    def test_correlated_query_has_larger_overlap_than_independent(self):
+        distribution = ItemDistribution(np.full(300, 0.05))
+        rng = np.random.default_rng(6)
+        x = distribution.sample(rng)
+        correlated = distribution.sample_correlated(x, 0.8, rng)
+        independent = distribution.sample(rng)
+        assert len(correlated & x) > len(independent & x)
+
+    def test_rejects_out_of_universe_vector(self):
+        distribution = ItemDistribution(np.full(10, 0.2))
+        with pytest.raises(ValueError):
+            distribution.sample_correlated({100}, 0.5, np.random.default_rng(0))
+
+    def test_rejects_bad_alpha(self):
+        distribution = ItemDistribution(np.full(10, 0.2))
+        with pytest.raises(ValueError):
+            distribution.sample_correlated({1}, 1.5, np.random.default_rng(0))
+
+
+class TestRestrictedTo:
+    def test_restriction_order(self):
+        distribution = ItemDistribution([0.1, 0.2, 0.3])
+        assert np.allclose(distribution.restricted_to([2, 0]), [0.3, 0.1])
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            ItemDistribution([0.1]).restricted_to([5])
+
+
+class TestSampleDataset:
+    def test_reproducible(self):
+        distribution = ItemDistribution(np.full(60, 0.2))
+        a = sample_dataset(distribution, 30, seed=7)
+        b = sample_dataset(distribution, 30, seed=7)
+        assert a == b
+
+    def test_drop_empty(self):
+        distribution = ItemDistribution(np.full(3, 0.01))
+        vectors = sample_dataset(distribution, 200, seed=1, drop_empty=True)
+        assert all(len(vector) > 0 for vector in vectors)
+
+    def test_keep_empty(self):
+        distribution = ItemDistribution(np.full(3, 0.01))
+        vectors = sample_dataset(distribution, 200, seed=1, drop_empty=False)
+        assert len(vectors) == 200

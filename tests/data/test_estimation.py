@@ -1,0 +1,143 @@
+"""Tests for probability estimation and parameter recommendation (Section 9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import SetCollection
+from repro.data.distributions import ItemDistribution
+from repro.data.estimation import (
+    estimate_probabilities,
+    estimation_error_bound,
+    recommend_parameters,
+)
+
+
+@pytest.fixture(scope="module")
+def sampled_collection() -> tuple[ItemDistribution, SetCollection]:
+    true_distribution = ItemDistribution(
+        np.concatenate([np.full(30, 0.4), np.full(200, 0.05)])
+    )
+    collection = SetCollection.from_distribution(true_distribution, count=600, seed=5)
+    return true_distribution, collection
+
+
+class TestEstimateProbabilities:
+    def test_estimates_close_to_truth(self, sampled_collection):
+        true_distribution, collection = sampled_collection
+        estimated = estimate_probabilities(collection)
+        error = np.abs(estimated.probabilities - true_distribution.probabilities)
+        assert float(error.max()) < 0.08
+        assert float(error.mean()) < 0.02
+
+    def test_smoothing_keeps_unseen_items_positive(self):
+        collection = SetCollection([{0}, {0, 1}], dimension=5)
+        estimated = estimate_probabilities(collection, smoothing=0.5)
+        assert float(estimated.probabilities.min()) > 0.0
+
+    def test_zero_smoothing_reproduces_frequencies(self):
+        collection = SetCollection([{0}, {0, 1}], dimension=3)
+        estimated = estimate_probabilities(collection, smoothing=0.0, maximum=1.0)
+        assert np.allclose(estimated.probabilities, [1.0, 0.5, 0.0])
+
+    def test_clipped_to_maximum(self):
+        collection = SetCollection([{0}] * 10, dimension=2)
+        estimated = estimate_probabilities(collection, maximum=0.5)
+        assert float(estimated.probabilities.max()) <= 0.5
+
+    def test_accepts_plain_iterables(self):
+        estimated = estimate_probabilities([{0, 1}, {1, 2}], dimension=4)
+        assert estimated.dimension == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_probabilities(SetCollection([], dimension=3))
+        with pytest.raises(ValueError):
+            estimate_probabilities(SetCollection([{0}]), smoothing=-1.0)
+        with pytest.raises(ValueError):
+            estimate_probabilities(SetCollection([{0}]), maximum=0.0)
+
+
+class TestEstimationErrorBound:
+    def test_decreases_with_sample_size(self):
+        assert estimation_error_bound(10_000) < estimation_error_bound(100)
+
+    def test_increases_with_confidence(self):
+        assert estimation_error_bound(1000, confidence=0.999) > estimation_error_bound(
+            1000, confidence=0.9
+        )
+
+    def test_empirical_coverage(self):
+        """The bound actually covers the deviation of an empirical frequency."""
+        rng = np.random.default_rng(0)
+        true_probability = 0.3
+        num_sets = 500
+        bound = estimation_error_bound(num_sets, confidence=0.99)
+        violations = 0
+        for _ in range(200):
+            estimate = rng.binomial(num_sets, true_probability) / num_sets
+            if abs(estimate - true_probability) > bound:
+                violations += 1
+        assert violations <= 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimation_error_bound(0)
+        with pytest.raises(ValueError):
+            estimation_error_bound(10, confidence=1.5)
+
+
+class TestRecommendParameters:
+    def test_recommendation_fields(self, sampled_collection):
+        _true, collection = sampled_collection
+        recommendation = recommend_parameters(collection, alpha=0.7)
+        assert recommendation.repetitions >= 1
+        assert 0.0 <= recommendation.expected_rho <= 1.0
+        assert recommendation.expected_size > 0.0
+        assert recommendation.estimation_error > 0.0
+
+    def test_more_repetitions_for_higher_target(self, sampled_collection):
+        _true, collection = sampled_collection
+        modest = recommend_parameters(collection, alpha=0.7, target_success=0.5)
+        strict = recommend_parameters(collection, alpha=0.7, target_success=0.99)
+        assert strict.repetitions > modest.repetitions
+
+    def test_size_requirement_flag(self, sampled_collection):
+        _true, collection = sampled_collection
+        generous = recommend_parameters(collection, alpha=0.7, capital_c=1.0)
+        demanding = recommend_parameters(collection, alpha=0.7, capital_c=1000.0)
+        assert generous.meets_size_requirement
+        assert not demanding.meets_size_requirement
+
+    def test_recommended_index_works(self, sampled_collection):
+        """Build an index with the recommended parameters and check recall."""
+        from repro.core.config import CorrelatedIndexConfig
+        from repro.core.correlated_index import CorrelatedIndex
+
+        true_distribution, collection = sampled_collection
+        alpha = 0.75
+        recommendation = recommend_parameters(collection, alpha=alpha, target_success=0.9)
+        index = CorrelatedIndex(
+            recommendation.distribution,
+            config=CorrelatedIndexConfig(
+                alpha=alpha, repetitions=min(recommendation.repetitions, 8), seed=9
+            ),
+        )
+        subset = list(collection)[:150]
+        index.build(subset)
+        rng = np.random.default_rng(11)
+        hits = 0
+        for target in range(20):
+            query = true_distribution.sample_correlated(subset[target], alpha, rng)
+            result, _stats = index.query(query)
+            if result == target:
+                hits += 1
+        assert hits >= 14
+
+    def test_validation(self, sampled_collection):
+        _true, collection = sampled_collection
+        with pytest.raises(ValueError):
+            recommend_parameters(collection, alpha=0.0)
+        with pytest.raises(ValueError):
+            recommend_parameters(collection, alpha=0.5, target_success=1.0)

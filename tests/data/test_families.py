@@ -1,0 +1,166 @@
+"""Tests for the named probability families."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.families import (
+    block_probabilities,
+    harmonic_probabilities,
+    piecewise_zipfian_probabilities,
+    two_block_probabilities,
+    uniform_probabilities,
+    zipfian_probabilities,
+)
+
+
+class TestUniform:
+    def test_all_equal(self):
+        probabilities = uniform_probabilities(10, 0.3)
+        assert np.all(probabilities == 0.3)
+        assert probabilities.size == 10
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            uniform_probabilities(0, 0.3)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            uniform_probabilities(5, 1.2)
+
+
+class TestTwoBlock:
+    def test_half_and_half(self):
+        probabilities = two_block_probabilities(10, 0.4, 0.05)
+        assert np.all(probabilities[:5] == 0.4)
+        assert np.all(probabilities[5:] == 0.05)
+
+    def test_custom_fraction(self):
+        probabilities = two_block_probabilities(10, 0.4, 0.05, frequent_fraction=0.2)
+        assert np.count_nonzero(probabilities == 0.4) == 2
+
+    def test_figure1_shape(self):
+        """The Figure 1 setting: half at p, half at p/8."""
+        p = 0.2
+        probabilities = two_block_probabilities(100, p, p / 8.0)
+        assert probabilities.sum() == pytest.approx(50 * p + 50 * p / 8.0)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            two_block_probabilities(10, 0.4, 0.05, frequent_fraction=1.5)
+
+
+class TestBlocks:
+    def test_sizes_and_values(self):
+        probabilities = block_probabilities([3, 2], [0.5, 0.1])
+        assert probabilities.tolist() == [0.5, 0.5, 0.5, 0.1, 0.1]
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            block_probabilities([3], [0.5, 0.1])
+
+    def test_empty_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            block_probabilities([], [])
+
+    def test_zero_total_items_rejected(self):
+        with pytest.raises(ValueError):
+            block_probabilities([0, 0], [0.5, 0.1])
+
+    def test_invalid_value(self):
+        with pytest.raises(ValueError):
+            block_probabilities([2], [1.5])
+
+
+class TestHarmonic:
+    def test_follows_one_over_k(self):
+        probabilities = harmonic_probabilities(10, maximum=1.0)
+        assert probabilities[0] == pytest.approx(1.0)
+        assert probabilities[4] == pytest.approx(1.0 / 5.0)
+
+    def test_cap_applied(self):
+        probabilities = harmonic_probabilities(10, maximum=0.5)
+        assert probabilities[0] == 0.5
+        assert probabilities.max() <= 0.5
+
+    def test_expected_size_close_to_log_d(self):
+        d = 5000
+        probabilities = harmonic_probabilities(d, maximum=1.0)
+        assert probabilities.sum() == pytest.approx(np.log(d), rel=0.1)
+
+    def test_monotone_decreasing(self):
+        probabilities = harmonic_probabilities(50)
+        assert np.all(np.diff(probabilities) <= 0.0)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            harmonic_probabilities(10, scale=0.0)
+
+
+class TestZipfian:
+    def test_maximum_at_rank_one(self):
+        probabilities = zipfian_probabilities(100, exponent=1.0, maximum=0.4)
+        assert probabilities[0] == pytest.approx(0.4)
+
+    def test_monotone_decreasing(self):
+        probabilities = zipfian_probabilities(100, exponent=1.5)
+        assert np.all(np.diff(probabilities) <= 1e-15)
+
+    def test_zero_exponent_is_uniform(self):
+        probabilities = zipfian_probabilities(20, exponent=0.0, maximum=0.3)
+        assert np.allclose(probabilities, 0.3)
+
+    def test_minimum_floor(self):
+        probabilities = zipfian_probabilities(1000, exponent=2.0, maximum=0.5, minimum=1e-4)
+        assert probabilities.min() >= 1e-4
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            zipfian_probabilities(10, exponent=-1.0)
+
+
+class TestPiecewiseZipfian:
+    def test_head_decays_slower_than_tail(self):
+        probabilities = piecewise_zipfian_probabilities(
+            1000, breakpoints=[0.05], exponents=[0.4, 1.6], maximum=0.5
+        )
+        log_p = np.log(probabilities)
+        log_rank = np.log(np.arange(1, 1001))
+        head_slope = np.polyfit(log_rank[2:40], log_p[2:40], 1)[0]
+        tail_slope = np.polyfit(log_rank[200:900], log_p[200:900], 1)[0]
+        assert tail_slope < head_slope  # tail decays faster (more negative slope)
+
+    def test_monotone_non_increasing(self):
+        probabilities = piecewise_zipfian_probabilities(
+            500, breakpoints=[0.1], exponents=[0.5, 1.5]
+        )
+        assert np.all(np.diff(probabilities) <= 1e-12)
+
+    def test_continuity_at_breakpoint(self):
+        probabilities = piecewise_zipfian_probabilities(
+            1000, breakpoints=[0.1], exponents=[0.5, 2.0], maximum=0.5, minimum=0.0
+        )
+        boundary = int(0.1 * 1000)
+        ratio = probabilities[boundary] / probabilities[boundary - 1]
+        assert 0.5 < ratio <= 1.01
+
+    def test_maximum_respected(self):
+        probabilities = piecewise_zipfian_probabilities(
+            100, breakpoints=[0.2], exponents=[0.3, 1.0], maximum=0.25
+        )
+        assert probabilities.max() <= 0.25 + 1e-12
+
+    def test_mismatched_exponent_count(self):
+        with pytest.raises(ValueError):
+            piecewise_zipfian_probabilities(100, breakpoints=[0.1], exponents=[1.0])
+
+    def test_unsorted_breakpoints_rejected(self):
+        with pytest.raises(ValueError):
+            piecewise_zipfian_probabilities(
+                100, breakpoints=[0.5, 0.1], exponents=[0.5, 1.0, 1.5]
+            )
+
+    def test_breakpoints_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            piecewise_zipfian_probabilities(100, breakpoints=[1.5], exponents=[0.5, 1.0])

@@ -1,0 +1,118 @@
+"""Tests for the synthetic benchmark-like dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.analysis import independence_ratio, skew_summary
+from repro.data.generators import (
+    BENCHMARK_PROFILES,
+    BenchmarkProfile,
+    all_benchmark_names,
+    generate_benchmark_like,
+    generate_topic_model,
+)
+
+
+class TestProfiles:
+    def test_all_ten_datasets_present(self):
+        expected = {
+            "AOL",
+            "BMS-POS",
+            "DBLP",
+            "ENRON",
+            "FLICKR",
+            "KOSARAK",
+            "LIVEJOURNAL",
+            "NETFLIX",
+            "ORKUT",
+            "SPOTIFY",
+        }
+        assert set(BENCHMARK_PROFILES) == expected
+        assert set(all_benchmark_names()) == expected
+
+    def test_dependence_ordering_matches_paper(self):
+        """SPOTIFY and KOSARAK are the most dependent datasets in Table 1."""
+        dependence = {name: profile.dependence for name, profile in BENCHMARK_PROFILES.items()}
+        assert dependence["SPOTIFY"] == max(dependence.values())
+        assert dependence["KOSARAK"] > dependence["DBLP"]
+        assert dependence["KOSARAK"] > dependence["AOL"]
+
+
+class TestTopicModel:
+    def test_respects_num_sets(self):
+        probabilities = np.full(100, 0.05)
+        collection = generate_topic_model(probabilities, 40, dependence=0.2, num_topics=5, seed=0)
+        assert len(collection) == 40
+        assert collection.dimension == 100
+
+    def test_zero_dependence_matches_marginals(self):
+        probabilities = np.full(200, 0.1)
+        collection = generate_topic_model(probabilities, 400, dependence=0.0, num_topics=5, seed=1)
+        assert abs(collection.average_size() - 20.0) < 2.0
+
+    def test_zero_dependence_is_nearly_independent(self):
+        probabilities = np.full(60, 0.15)
+        collection = generate_topic_model(probabilities, 500, dependence=0.0, num_topics=5, seed=2)
+        ratio = independence_ratio(collection, subset_size=2, num_samples=500, seed=0)
+        assert 0.7 < ratio < 1.4
+
+    def test_high_dependence_increases_ratio(self):
+        probabilities = np.full(60, 0.05)
+        independent = generate_topic_model(probabilities, 500, dependence=0.0, num_topics=4, seed=3)
+        dependent = generate_topic_model(probabilities, 500, dependence=0.7, num_topics=4, seed=3)
+        ratio_independent = independence_ratio(independent, 2, num_samples=600, seed=1)
+        ratio_dependent = independence_ratio(dependent, 2, num_samples=600, seed=1)
+        assert ratio_dependent > ratio_independent
+
+    def test_invalid_dependence(self):
+        with pytest.raises(ValueError):
+            generate_topic_model(np.full(10, 0.1), 5, dependence=1.0, num_topics=2, seed=0)
+
+    def test_invalid_topics(self):
+        with pytest.raises(ValueError):
+            generate_topic_model(np.full(10, 0.1), 5, dependence=0.1, num_topics=0, seed=0)
+
+    def test_reproducible(self):
+        probabilities = np.full(50, 0.1)
+        a = generate_topic_model(probabilities, 20, 0.3, 5, seed=7)
+        b = generate_topic_model(probabilities, 20, 0.3, 5, seed=7)
+        assert list(a) == list(b)
+
+
+class TestBenchmarkLike:
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            generate_benchmark_like("NOT-A-DATASET")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            generate_benchmark_like("DBLP", scale=0.0)
+
+    def test_scale_controls_size(self):
+        small = generate_benchmark_like("DBLP", scale=0.05, seed=0)
+        large = generate_benchmark_like("DBLP", scale=0.15, seed=0)
+        assert len(large) > len(small)
+        assert large.dimension > small.dimension
+
+    def test_case_insensitive_name(self):
+        assert len(generate_benchmark_like("dblp", scale=0.05, seed=0)) > 0
+
+    def test_generated_data_is_skewed(self):
+        collection = generate_benchmark_like("KOSARAK", scale=0.2, seed=1)
+        summary = skew_summary(collection)
+        assert summary.gini > 0.3
+        assert summary.top_10_percent_mass > 0.3
+
+    def test_explicit_profile(self):
+        profile = BenchmarkProfile("CUSTOM", 50, 80, 4.0, 0.5, 1.2, 0.1, 0.2, num_topics=4)
+        collection = generate_benchmark_like("ignored", profile=profile, seed=0)
+        assert len(collection) == 50
+        assert collection.dimension == 80
+
+    def test_average_size_in_reasonable_range(self):
+        profile = BENCHMARK_PROFILES["DBLP"]
+        collection = generate_benchmark_like("DBLP", scale=0.2, seed=2)
+        # The generator targets the profile's average size approximately.
+        assert 0.3 * profile.average_size < collection.average_size() < 3.0 * profile.average_size

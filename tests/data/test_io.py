@@ -1,0 +1,91 @@
+"""Tests for transaction-format I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.datasets import SetCollection
+from repro.data.io import (
+    read_frequencies,
+    read_transactions,
+    write_frequencies,
+    write_transactions,
+)
+
+
+class TestTransactionsRoundTrip:
+    def test_round_trip(self, tmp_path):
+        collection = SetCollection([{3, 1, 7}, {2}, {5, 9}], dimension=12)
+        path = tmp_path / "data.txt"
+        write_transactions(collection, path)
+        loaded = read_transactions(path, dimension=12)
+        assert list(loaded) == list(collection)
+        assert loaded.dimension == 12
+
+    def test_sorted_output(self, tmp_path):
+        collection = SetCollection([{9, 1, 4}])
+        path = tmp_path / "data.txt"
+        write_transactions(collection, path, sort_items=True)
+        assert path.read_text().strip() == "1 4 9"
+
+    def test_unsorted_output_allowed(self, tmp_path):
+        collection = SetCollection([{9, 1, 4}])
+        path = tmp_path / "data.txt"
+        write_transactions(collection, path, sort_items=False)
+        tokens = set(path.read_text().split())
+        assert tokens == {"1", "4", "9"}
+
+    def test_dimension_inferred_on_read(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("0 5\n2\n")
+        assert read_transactions(path).dimension == 6
+
+    def test_skip_empty_lines(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("1 2\n\n3\n")
+        loaded = read_transactions(path)
+        assert len(loaded) == 2
+
+    def test_keep_empty_lines(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("1 2\n\n3\n")
+        loaded = read_transactions(path, skip_empty=False)
+        assert len(loaded) == 3
+        assert loaded[1] == frozenset()
+
+    def test_non_integer_token_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 two 3\n")
+        with pytest.raises(ValueError, match="non-integer"):
+            read_transactions(path)
+
+    def test_negative_item_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 -4\n")
+        with pytest.raises(ValueError, match="negative"):
+            read_transactions(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        assert len(read_transactions(path)) == 0
+
+
+class TestFrequenciesRoundTrip:
+    def test_round_trip(self, tmp_path):
+        collection = SetCollection([{0, 1}, {1}], dimension=3)
+        path = tmp_path / "freq.txt"
+        write_frequencies(collection, path)
+        frequencies = read_frequencies(path)
+        assert frequencies == pytest.approx([0.5, 1.0, 0.0])
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "freq.txt"
+        path.write_text("0 0.5 extra\n")
+        with pytest.raises(ValueError):
+            read_frequencies(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "freq.txt"
+        path.write_text("0 0.5\n\n1 0.25\n")
+        assert read_frequencies(path) == pytest.approx([0.5, 0.25])

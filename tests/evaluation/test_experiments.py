@@ -1,0 +1,176 @@
+"""Tests for the per-figure/table experiment modules."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.evaluation.experiments import (
+    empirical,
+    figure1,
+    figure2,
+    motivating,
+    section7_adversarial,
+    section7_correlated,
+    table1,
+)
+
+
+class TestFigure1Experiment:
+    def test_run_and_render(self):
+        rows = figure1.run(p_values=np.linspace(0.1, 0.8, 8))
+        assert len(rows) == 8
+        text = figure1.render(rows)
+        assert "Figure 1" in text
+        assert "ours (red)" in text
+
+    def test_headline_numbers(self):
+        rows = figure1.run(p_values=np.linspace(0.1, 0.8, 8))
+        headline = figure1.headline_numbers(rows)
+        assert headline["fraction_better"] == 1.0
+        assert headline["max_gap"] > 0.0
+        assert headline["mean_gap"] > 0.0
+
+
+class TestFigure2Experiment:
+    def test_run_subset(self):
+        profiles = figure2.run(dataset_names=["DBLP", "KOSARAK"], scale=0.1, num_points=20)
+        assert set(profiles) == {"DBLP", "KOSARAK"}
+        for profile in profiles.values():
+            assert profile.normalized_log_frequency.size <= 21
+
+    def test_render_both_axes(self):
+        profiles = figure2.run(dataset_names=["DBLP"], scale=0.1, num_points=10)
+        assert "DBLP" in figure2.render(profiles, axis="relative")
+        assert "DBLP" in figure2.render(profiles, axis="log")
+        with pytest.raises(ValueError):
+            figure2.render(profiles, axis="bogus")
+
+    def test_all_profiles_skewed(self):
+        profiles = figure2.run(dataset_names=["AOL", "SPOTIFY", "NETFLIX"], scale=0.1)
+        indicators = figure2.skew_indicators(profiles)
+        assert len(indicators) == 3
+        for row in indicators:
+            assert row["drop"] > 0.2  # head frequency far above tail frequency
+
+
+class TestTable1Experiment:
+    def test_run_shape_and_paper_columns(self):
+        rows = table1.run(dataset_names=["DBLP", "KOSARAK", "SPOTIFY"], scale=0.1, num_samples=400)
+        assert len(rows) == 3
+        for row in rows:
+            assert row["paper |I|=2"] == table1.PAPER_TABLE1[str(row["dataset"]).upper()][0]
+
+    def test_measured_ratios_at_least_one_ish(self):
+        rows = table1.run(dataset_names=["DBLP", "SPOTIFY"], scale=0.1, num_samples=400)
+        for row in rows:
+            assert float(row["measured |I|=2"]) > 0.6
+
+    def test_dependent_dataset_larger_ratio(self):
+        rows = table1.run(dataset_names=["DBLP", "SPOTIFY"], scale=0.15, num_samples=800, seed=1)
+        by_name = {str(row["dataset"]): row for row in rows}
+        assert float(by_name["SPOTIFY"]["measured |I|=2"]) > float(
+            by_name["DBLP"]["measured |I|=2"]
+        )
+
+    def test_render(self):
+        rows = table1.run(dataset_names=["DBLP"], scale=0.1, num_samples=200)
+        assert "Table 1" in table1.render(rows)
+
+
+class TestSection7Adversarial:
+    def test_matches_paper_constants(self):
+        rows = section7_adversarial.run()
+        by_b1 = {round(float(row["b1"]), 2): row for row in rows}
+        assert float(by_b1[0.33]["ours"]) == pytest.approx(0.293, abs=0.01)
+        assert float(by_b1[0.33]["chosen_path"]) == pytest.approx(0.528, abs=0.01)
+        assert float(by_b1[0.67]["ours"]) < 0.05
+        assert float(by_b1[0.67]["chosen_path"]) == pytest.approx(0.194, abs=0.01)
+
+    def test_closed_form_check(self):
+        check = section7_adversarial.closed_form_check()
+        assert check["solver"] == pytest.approx(check["closed_form"], abs=5e-3)
+
+    def test_query_profile_validation(self):
+        with pytest.raises(ValueError):
+            section7_adversarial.query_profile(1)
+        with pytest.raises(ValueError):
+            section7_adversarial.query_profile(100, query_size=7)
+
+    def test_render(self):
+        assert "Section 7.1" in section7_adversarial.render(section7_adversarial.run())
+
+
+class TestSection7Correlated:
+    def test_extreme_skew_rho_small(self):
+        rows = section7_correlated.run(num_vectors=10**9)
+        extreme = rows[0]
+        assert float(extreme["ours"]) < 0.1
+        assert float(extreme["prefix_filter_exponent"]) == pytest.approx(0.1, abs=0.01)
+
+    def test_theta1_rows_beat_chosen_path(self):
+        rows = section7_correlated.run(num_vectors=10**6)
+        for row in rows[1:]:
+            assert float(row["ours"]) < float(row["chosen_path"])
+            assert float(row["prefix_filter_exponent"]) > 0.5
+
+    def test_extreme_profile_validation(self):
+        with pytest.raises(ValueError):
+            section7_correlated.extreme_skew_profile(1)
+
+    def test_extreme_profile_masses_balanced(self):
+        probabilities, weights = section7_correlated.extreme_skew_profile(10**6, capital_c=10.0)
+        frequent_mass = probabilities[0] * weights[0]
+        rare_mass = probabilities[1] * weights[1]
+        log_n = math.log(10**6)
+        assert frequent_mass == pytest.approx(10.0 * log_n, rel=1e-6)
+        assert rare_mass == pytest.approx(10.0 * log_n, rel=1e-6)
+
+    def test_render(self):
+        assert "Section 7.2" in section7_correlated.render(section7_correlated.run())
+
+
+class TestMotivatingExperiment:
+    def test_run_columns(self):
+        rows = motivating.run(i1_values=(0.3, 0.5), dimension=1024)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["skew_adaptive_rho"] <= row["single_rho"] + 1e-9
+
+    def test_render(self):
+        assert "motivating" in motivating.render(motivating.run(i1_values=(0.4,), dimension=512))
+
+
+class TestEmpiricalExperiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return empirical.run(num_vectors=120, num_queries=12, repetitions=3, seed=0)
+
+    def test_all_methods_and_settings_present(self, rows):
+        settings = {row["setting"] for row in rows}
+        methods = {row["method"] for row in rows}
+        assert settings == {"skewed", "uniform"}
+        assert "correlated (ours)" in methods
+        assert "chosen_path" in methods
+        assert "brute_force" in methods
+
+    def test_brute_force_perfect_recall(self, rows):
+        for row in rows:
+            if row["method"] == "brute_force":
+                assert float(row["recall@1"]) >= 0.9
+
+    def test_ours_reasonable_recall(self, rows):
+        for row in rows:
+            if row["method"] == "correlated (ours)":
+                assert float(row["recall@1"]) >= 0.6
+
+    def test_ours_fewer_candidates_than_brute_force_on_skewed(self, rows):
+        by_key = {(row["setting"], row["method"]): row for row in rows}
+        ours = by_key[("skewed", "correlated (ours)")]
+        brute = by_key[("skewed", "brute_force")]
+        assert float(ours["mean_candidates"]) < float(brute["mean_candidates"])
+
+    def test_render(self, rows):
+        assert "Empirical comparison" in empirical.render(rows)

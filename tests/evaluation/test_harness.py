@@ -1,0 +1,111 @@
+"""Tests for the workload runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute_force import BruteForceIndex
+from repro.core.config import CorrelatedIndexConfig
+from repro.core.correlated_index import CorrelatedIndex
+from repro.evaluation.harness import QueryWorkload, compare_indexes, run_workload
+from repro.similarity.predicates import SimilarityPredicate
+
+
+@pytest.fixture(scope="module")
+def planted_workload(skewed_distribution, skewed_dataset):
+    rng = np.random.default_rng(21)
+    queries = []
+    expected = []
+    for target in range(15):
+        queries.append(
+            skewed_distribution.sample_correlated(skewed_dataset[target], 0.7, rng)
+        )
+        expected.append(target)
+    return QueryWorkload(queries=queries, expected_ids=expected)
+
+
+class TestQueryWorkload:
+    def test_normalises_queries(self):
+        workload = QueryWorkload(queries=[[1, 2, 2], {3}])
+        assert workload.queries[0] == frozenset({1, 2})
+        assert len(workload) == 2
+
+    def test_expected_ids_length_checked(self):
+        with pytest.raises(ValueError):
+            QueryWorkload(queries=[{1}], expected_ids=[0, 1])
+
+    def test_acceptable_ids_length_checked(self):
+        with pytest.raises(ValueError):
+            QueryWorkload(queries=[{1}], acceptable_ids=[{0}, {1}])
+
+
+class TestRunWorkload:
+    def test_brute_force_perfect_recall(self, skewed_dataset, planted_workload):
+        result = run_workload(
+            lambda: BruteForceIndex(SimilarityPredicate("braun_blanquet", 0.5)),
+            skewed_dataset,
+            planted_workload,
+            method_name="brute",
+            query_mode="best",
+        )
+        assert result.method == "brute"
+        assert result.num_queries == len(planted_workload)
+        assert result.recall is not None and result.recall >= 0.8
+        assert result.success >= result.recall
+        assert result.build_seconds >= 0.0
+        assert result.query_seconds >= 0.0
+        assert result.work is not None
+
+    def test_correlated_index_good_recall(
+        self, skewed_distribution, skewed_dataset, planted_workload
+    ):
+        result = run_workload(
+            lambda: CorrelatedIndex(
+                skewed_distribution,
+                config=CorrelatedIndexConfig(alpha=0.7, repetitions=5, seed=2),
+            ),
+            skewed_dataset,
+            planted_workload,
+            method_name="ours",
+        )
+        assert result.recall is not None and result.recall >= 0.7
+        assert result.total_stored_filters is not None and result.total_stored_filters > 0
+
+    def test_as_row_keys(self, skewed_dataset, planted_workload):
+        result = run_workload(
+            lambda: BruteForceIndex(SimilarityPredicate("braun_blanquet", 0.5)),
+            skewed_dataset,
+            planted_workload,
+            method_name="brute",
+        )
+        row = result.as_row()
+        assert {"method", "n", "queries", "build_s", "query_s", "success"} <= set(row)
+        assert "recall@1" in row
+
+    def test_acceptable_ids_scored(self, skewed_dataset):
+        workload = QueryWorkload(
+            queries=[skewed_dataset[0]], acceptable_ids=[{0}]
+        )
+        result = run_workload(
+            lambda: BruteForceIndex(SimilarityPredicate("braun_blanquet", 0.9)),
+            skewed_dataset,
+            workload,
+            method_name="brute",
+            query_mode="best",
+        )
+        assert result.acceptable is not None
+
+
+class TestCompareIndexes:
+    def test_runs_all_methods_in_order(self, skewed_distribution, skewed_dataset, planted_workload):
+        factories = {
+            "brute": lambda: BruteForceIndex(SimilarityPredicate("braun_blanquet", 0.5)),
+            "ours": lambda: CorrelatedIndex(
+                skewed_distribution,
+                config=CorrelatedIndexConfig(alpha=0.7, repetitions=4, seed=3),
+            ),
+        }
+        results = compare_indexes(factories, skewed_dataset, planted_workload)
+        assert [result.method for result in results] == ["brute", "ours"]
+        assert all(result.num_indexed == len(skewed_dataset) for result in results)

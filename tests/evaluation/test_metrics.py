@@ -1,0 +1,99 @@
+"""Tests for evaluation metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stats import QueryStats
+from repro.evaluation.metrics import (
+    acceptable_rate,
+    empirical_exponent,
+    recall_at_one,
+    success_rate,
+    work_summary,
+)
+
+
+class TestRecallAtOne:
+    def test_perfect_recall(self):
+        assert recall_at_one([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_partial_recall(self):
+        assert recall_at_one([0, None, 5], [0, 1, 2]) == pytest.approx(1.0 / 3.0)
+
+    def test_empty(self):
+        assert recall_at_one([], []) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            recall_at_one([0], [0, 1])
+
+
+class TestSuccessRate:
+    def test_all_found(self):
+        assert success_rate([1, 2, 3]) == 1.0
+
+    def test_none_found(self):
+        assert success_rate([None, None]) == 0.0
+
+    def test_empty(self):
+        assert success_rate([]) == 0.0
+
+    def test_zero_id_counts_as_found(self):
+        assert success_rate([0, None]) == 0.5
+
+
+class TestAcceptableRate:
+    def test_counts_acceptable_answers(self):
+        returned = [0, 3, None]
+        acceptable = [{0, 1}, {2}, {5}]
+        assert acceptable_rate(returned, acceptable) == pytest.approx(1.0 / 3.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            acceptable_rate([0], [{0}, {1}])
+
+    def test_empty(self):
+        assert acceptable_rate([], []) == 0.0
+
+
+class TestWorkSummary:
+    def test_empty(self):
+        summary = work_summary([])
+        assert summary.mean_candidates == 0.0
+        assert summary.max_total_work == 0.0
+
+    def test_aggregation(self):
+        stats = [
+            QueryStats(filters_generated=1, candidates_examined=10),
+            QueryStats(filters_generated=3, candidates_examined=30),
+        ]
+        summary = work_summary(stats)
+        assert summary.mean_candidates == 20.0
+        assert summary.median_candidates == 20.0
+        assert summary.mean_filters == 2.0
+        assert summary.mean_total_work == 22.0
+        assert summary.max_total_work == 33.0
+
+    def test_as_dict_keys(self):
+        summary = work_summary([QueryStats(candidates_examined=5)])
+        assert set(summary.as_dict()) == {
+            "mean_candidates",
+            "median_candidates",
+            "p90_candidates",
+            "mean_filters",
+            "mean_total_work",
+            "max_total_work",
+        }
+
+
+class TestEmpiricalExponent:
+    def test_known_value(self):
+        assert empirical_exponent(100.0, 10_000) == pytest.approx(0.5)
+
+    def test_tiny_work_clamped_to_zero(self):
+        assert empirical_exponent(0.5, 1000) == 0.0
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            empirical_exponent(10.0, 1)

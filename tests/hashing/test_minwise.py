@@ -1,0 +1,83 @@
+"""Tests for minwise hashing (MinHash signatures)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing.minwise import MinwiseHasher, minhash_signature
+from repro.hashing.tabulation import TabulationHash
+from repro.similarity.measures import jaccard
+
+
+class TestMinhashSignature:
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            minhash_signature([], [TabulationHash(0)])
+
+    def test_signature_length(self):
+        hashers = [TabulationHash(index) for index in range(5)]
+        assert minhash_signature([1, 2, 3], hashers).shape == (5,)
+
+    def test_signature_is_minimum(self):
+        hashers = [TabulationHash(3)]
+        items = [10, 20, 30]
+        expected = min(hashers[0].hash_int(item) for item in items)
+        assert int(minhash_signature(items, hashers)[0]) == expected
+
+    def test_order_invariant(self):
+        hashers = [TabulationHash(index) for index in range(4)]
+        assert np.array_equal(
+            minhash_signature([3, 1, 2], hashers), minhash_signature([1, 2, 3], hashers)
+        )
+
+
+class TestMinwiseHasher:
+    def test_invalid_num_hashes(self):
+        with pytest.raises(ValueError):
+            MinwiseHasher(0, seed=1)
+
+    def test_deterministic(self):
+        a = MinwiseHasher(8, seed=2).signature([1, 5, 9])
+        b = MinwiseHasher(8, seed=2).signature([1, 5, 9])
+        assert np.array_equal(a, b)
+
+    def test_identical_sets_identical_signatures(self):
+        hasher = MinwiseHasher(16, seed=0)
+        assert np.array_equal(hasher.signature([2, 4, 6]), hasher.signature([6, 4, 2]))
+
+    def test_signatures_stacking(self):
+        hasher = MinwiseHasher(4, seed=0)
+        stacked = hasher.signatures([[1, 2], [3, 4], [5, 6]])
+        assert stacked.shape == (3, 4)
+
+    def test_signatures_empty_collection(self):
+        hasher = MinwiseHasher(4, seed=0)
+        assert hasher.signatures([]).shape == (0, 4)
+
+    def test_estimate_jaccard_requires_matching_shapes(self):
+        with pytest.raises(ValueError):
+            MinwiseHasher.estimate_jaccard(np.zeros(3, dtype=np.uint64), np.zeros(4, dtype=np.uint64))
+
+    def test_estimate_jaccard_identical(self):
+        hasher = MinwiseHasher(32, seed=1)
+        signature = hasher.signature([1, 2, 3, 4])
+        assert MinwiseHasher.estimate_jaccard(signature, signature) == 1.0
+
+    def test_estimate_jaccard_tracks_true_jaccard(self):
+        """The MinHash estimate should be close to the true Jaccard similarity."""
+        hasher = MinwiseHasher(300, seed=5)
+        set_a = frozenset(range(0, 60))
+        set_b = frozenset(range(30, 90))
+        estimate = MinwiseHasher.estimate_jaccard(
+            hasher.signature(sorted(set_a)), hasher.signature(sorted(set_b))
+        )
+        truth = jaccard(set_a, set_b)
+        assert abs(estimate - truth) < 0.12
+
+    def test_disjoint_sets_low_estimate(self):
+        hasher = MinwiseHasher(200, seed=6)
+        estimate = MinwiseHasher.estimate_jaccard(
+            hasher.signature(list(range(50))), hasher.signature(list(range(1000, 1050)))
+        )
+        assert estimate < 0.1

@@ -1,0 +1,136 @@
+"""Tests for pairwise-independent hashing and the path hasher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing.pairwise import (
+    MERSENNE_PRIME,
+    PairwiseHash,
+    PairwiseHashFamily,
+    PathHasher,
+    extend_key,
+    fold_path,
+    splitmix64,
+)
+
+
+class TestSplitMix64:
+    def test_deterministic(self):
+        assert splitmix64(42) == splitmix64(42)
+
+    def test_range(self):
+        for value in [0, 1, 2**32, 2**63, 2**64 - 1]:
+            assert 0 <= splitmix64(value) < 2**64
+
+    def test_bijective_on_sample(self):
+        values = [splitmix64(v) for v in range(2000)]
+        assert len(set(values)) == 2000
+
+
+class TestFoldPath:
+    def test_empty_path_constant(self):
+        assert fold_path(()) == fold_path([])
+
+    def test_order_sensitive(self):
+        assert fold_path((1, 2)) != fold_path((2, 1))
+
+    def test_extend_key_matches_fold(self):
+        path = (3, 7, 11)
+        assert extend_key(fold_path(path), 5) == fold_path(path + (5,))
+
+    def test_distinct_paths_distinct_keys(self):
+        keys = {fold_path((a, b)) for a in range(30) for b in range(30) if a != b}
+        assert len(keys) == 30 * 29
+
+
+class TestPairwiseHash:
+    def test_unit_interval(self):
+        hash_function = PairwiseHash(0)
+        for key in range(100):
+            assert 0.0 <= hash_function.hash_int(key) < 1.0
+
+    def test_deterministic_per_seed(self):
+        assert PairwiseHash(5).hash_int(99) == PairwiseHash(5).hash_int(99)
+
+    def test_different_seeds_differ(self):
+        values_a = [PairwiseHash(1).hash_int(key) for key in range(20)]
+        values_b = [PairwiseHash(2).hash_int(key) for key in range(20)]
+        assert values_a != values_b
+
+    def test_coefficients_in_field(self):
+        a, b = PairwiseHash(3).coefficients
+        assert 1 <= a < MERSENNE_PRIME
+        assert 0 <= b < MERSENNE_PRIME
+
+    def test_hash_many_matches_scalar(self):
+        hash_function = PairwiseHash(7)
+        keys = np.arange(50, dtype=np.int64)
+        vector = hash_function.hash_many(keys)
+        scalar = [hash_function.hash_int(int(key)) for key in keys]
+        assert np.allclose(vector, scalar)
+
+    def test_roughly_uniform(self):
+        hash_function = PairwiseHash(11)
+        values = [hash_function.hash_int(splitmix64(key)) for key in range(4000)]
+        mean = float(np.mean(values))
+        assert 0.45 < mean < 0.55
+
+
+class TestPairwiseHashFamily:
+    def test_levels_lazily_created(self):
+        family = PairwiseHashFamily(0)
+        assert len(family) == 0
+        family.level(4)
+        assert len(family) == 5
+
+    def test_same_level_same_function(self):
+        family = PairwiseHashFamily(0)
+        assert family.level(2) is family.level(2)
+
+    def test_levels_differ(self):
+        family = PairwiseHashFamily(0)
+        assert family.level(0).hash_int(1) != family.level(1).hash_int(1)
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(IndexError):
+            PairwiseHashFamily(0).level(-1)
+
+
+class TestPathHasher:
+    def test_same_extension_same_value(self):
+        """Two vectors extending the same path with the same item see the same hash."""
+        hasher = PathHasher(3)
+        assert hasher.extension_value((1, 2), 7, level=2) == hasher.extension_value(
+            (1, 2), 7, level=2
+        )
+
+    def test_extension_values_match_scalar(self):
+        hasher = PathHasher(3)
+        items = [4, 9, 17]
+        vector = hasher.extension_values((1, 2), items, level=1)
+        scalar = [hasher.extension_value((1, 2), item, level=1) for item in items]
+        assert np.allclose(vector, scalar)
+
+    def test_extension_values_from_key_consistent(self):
+        hasher = PathHasher(3)
+        prefix = (5, 6)
+        via_key = hasher.extension_values_from_key(fold_path(prefix), [1, 2, 3], level=0)
+        direct = hasher.extension_values(prefix, [1, 2, 3], level=0)
+        assert np.allclose(via_key, direct)
+
+    def test_level_changes_value(self):
+        hasher = PathHasher(3)
+        assert hasher.extension_value((1,), 2, level=0) != hasher.extension_value(
+            (1,), 2, level=1
+        )
+
+    def test_different_seeds_give_different_hashers(self):
+        assert PathHasher(1).extension_value((), 5, 0) != PathHasher(2).extension_value(
+            (), 5, 0
+        )
+
+    def test_path_key_is_fold(self):
+        hasher = PathHasher(0)
+        assert hasher.path_key((1, 2, 3)) == fold_path((1, 2, 3))

@@ -1,0 +1,142 @@
+"""End-to-end integration tests exercising the full public API together."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BruteForceIndex,
+    ChosenPathIndex,
+    CorrelatedIndex,
+    CorrelatedIndexConfig,
+    ItemDistribution,
+    MinHashIndex,
+    PrefixFilterIndex,
+    SetCollection,
+    SimilarityPredicate,
+    SkewAdaptiveIndex,
+    SkewAdaptiveIndexConfig,
+    similarity_self_join,
+)
+from repro.data.correlation import plant_correlated_pairs
+from repro.data.io import read_transactions, write_transactions
+from repro.similarity.measures import braun_blanquet
+
+
+class TestDataToIndexPipeline:
+    def test_generate_save_load_index_query(self, tmp_path, skewed_distribution):
+        """Full pipeline: sample -> write -> read -> index from empirical
+        frequencies -> query."""
+        collection = SetCollection.from_distribution(skewed_distribution, count=80, seed=9)
+        path = tmp_path / "dataset.txt"
+        write_transactions(collection, path)
+        loaded = read_transactions(path, dimension=collection.dimension)
+        assert list(loaded) == list(collection)
+
+        index = SkewAdaptiveIndex.from_collection(
+            loaded, config=SkewAdaptiveIndexConfig(b1=0.5, repetitions=5, seed=1)
+        )
+        hits = 0
+        for query_id in range(min(20, len(loaded))):
+            result, _stats = index.query(loaded[query_id])
+            if result is not None:
+                assert braun_blanquet(index.get_vector(result), loaded[query_id]) >= 0.5
+                hits += 1
+        assert hits >= 15
+
+
+class TestAllIndexesAgreeOnEasyQueries:
+    def test_exact_duplicates_found_by_every_method(self, skewed_distribution):
+        rng = np.random.default_rng(17)
+        dataset = [v if v else frozenset({0}) for v in skewed_distribution.sample_many(60, rng)]
+        query = dataset[7]
+
+        indexes = {
+            "skew_adaptive": SkewAdaptiveIndex(
+                skewed_distribution, config=SkewAdaptiveIndexConfig(b1=0.6, repetitions=6, seed=2)
+            ),
+            "correlated": CorrelatedIndex(
+                skewed_distribution,
+                config=CorrelatedIndexConfig(alpha=0.78, repetitions=6, seed=2),
+            ),
+            "chosen_path": ChosenPathIndex(
+                skewed_distribution.dimension, b1=0.6, b2=0.1, repetitions=6, seed=2
+            ),
+            "prefix": PrefixFilterIndex(0.6, item_frequencies=skewed_distribution.probabilities),
+            "minhash": MinHashIndex(0.6, num_bands=24, rows_per_band=2, seed=2),
+            "brute": BruteForceIndex(SimilarityPredicate("braun_blanquet", 0.6)),
+        }
+        for name, index in indexes.items():
+            index.build(dataset)
+            result, _stats = index.query(query, mode="best")
+            assert result is not None, f"{name} failed to answer an exact-duplicate query"
+            assert braun_blanquet(index.get_vector(result), query) >= 0.6, name
+
+
+class TestPlantedPairRecovery:
+    def test_correlated_index_recovers_planted_pairs_via_join(self, skewed_distribution):
+        """Plant correlated pairs, self-join with the correlated index, and
+        check the planted pairs are among the reported ones."""
+        alpha = 0.85
+        vectors, pairs = plant_correlated_pairs(
+            skewed_distribution, count=80, num_pairs=8, alpha=alpha, seed=3
+        )
+        index = CorrelatedIndex(
+            skewed_distribution,
+            config=CorrelatedIndexConfig(alpha=alpha, repetitions=6, seed=4),
+        )
+        index.build(vectors)
+        predicate = SimilarityPredicate("braun_blanquet", alpha / 1.3)
+        result = similarity_self_join(index, vectors, predicate)
+        reported = result.pair_set()
+        recovered = 0
+        for pair in pairs:
+            key = tuple(sorted((pair.first_index, pair.second_index)))
+            actual_similarity = braun_blanquet(
+                vectors[pair.first_index], vectors[pair.second_index]
+            )
+            if actual_similarity < predicate.threshold:
+                recovered += 1  # the pair itself fails the predicate; not the index's fault
+            elif key in reported:
+                recovered += 1
+        assert recovered >= 6
+
+    def test_join_precision_is_exact(self, skewed_distribution):
+        """Every reported pair genuinely meets the predicate (no false positives)."""
+        vectors, _pairs = plant_correlated_pairs(
+            skewed_distribution, count=60, num_pairs=5, alpha=0.8, seed=5
+        )
+        index = SkewAdaptiveIndex(
+            skewed_distribution, config=SkewAdaptiveIndexConfig(b1=0.55, repetitions=5, seed=6)
+        )
+        index.build(vectors)
+        predicate = SimilarityPredicate("braun_blanquet", 0.55)
+        result = similarity_self_join(index, vectors, predicate)
+        for low, high, similarity in result.pairs:
+            assert braun_blanquet(vectors[low], vectors[high]) >= 0.55
+            assert similarity == pytest.approx(braun_blanquet(vectors[low], vectors[high]))
+
+
+class TestWorkComparisonAcrossMethods:
+    def test_skew_adaptive_beats_brute_force_work(self, skewed_distribution):
+        rng = np.random.default_rng(23)
+        dataset = [v if v else frozenset({0}) for v in skewed_distribution.sample_many(150, rng)]
+        alpha = 0.75
+
+        correlated = CorrelatedIndex(
+            skewed_distribution, config=CorrelatedIndexConfig(alpha=alpha, repetitions=5, seed=7)
+        )
+        correlated.build(dataset)
+        brute = BruteForceIndex(SimilarityPredicate("braun_blanquet", alpha / 1.3))
+        brute.build(dataset)
+
+        ours_work = []
+        brute_work = []
+        for target in range(25):
+            query = skewed_distribution.sample_correlated(dataset[target], alpha, rng)
+            _r1, stats_ours = correlated.query(query)
+            _r2, stats_brute = brute.query(query, mode="first")
+            ours_work.append(stats_ours.candidates_examined)
+            brute_work.append(stats_brute.candidates_examined)
+        assert float(np.mean(ours_work)) < float(np.mean(brute_work))

@@ -1,0 +1,89 @@
+"""Property-based tests (hypothesis) for the similarity measures."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity.measures import (
+    braun_blanquet,
+    cosine,
+    dice,
+    hamming_distance,
+    intersection_size,
+    jaccard,
+    overlap_coefficient,
+)
+
+item_sets = st.frozensets(st.integers(min_value=0, max_value=200), max_size=40)
+nonempty_item_sets = st.frozensets(st.integers(min_value=0, max_value=200), min_size=1, max_size=40)
+
+
+@given(item_sets, item_sets)
+@settings(max_examples=200)
+def test_all_measures_bounded(x, q):
+    """Every similarity measure maps into [0, 1]."""
+    for measure in (braun_blanquet, jaccard, dice, overlap_coefficient, cosine):
+        value = measure(x, q)
+        assert 0.0 <= value <= 1.0
+
+
+@given(item_sets, item_sets)
+@settings(max_examples=200)
+def test_all_measures_symmetric(x, q):
+    for measure in (braun_blanquet, jaccard, dice, overlap_coefficient, cosine):
+        assert measure(x, q) == measure(q, x)
+
+
+@given(nonempty_item_sets)
+@settings(max_examples=100)
+def test_self_similarity_is_one(x):
+    for measure in (braun_blanquet, jaccard, dice, overlap_coefficient, cosine):
+        assert measure(x, x) == 1.0
+
+
+@given(item_sets, item_sets)
+@settings(max_examples=200)
+def test_measure_ordering_chain(x, q):
+    """jaccard <= braun_blanquet <= cosine (geometric mean) <= overlap."""
+    assert jaccard(x, q) <= braun_blanquet(x, q) + 1e-12
+    assert braun_blanquet(x, q) <= cosine(x, q) + 1e-12
+    assert cosine(x, q) <= overlap_coefficient(x, q) + 1e-12
+
+
+@given(item_sets, item_sets)
+@settings(max_examples=200)
+def test_jaccard_dice_relation(x, q):
+    """Dice = 2J / (1 + J) exactly."""
+    j = jaccard(x, q)
+    expected_dice = 2.0 * j / (1.0 + j) if j > 0 else 0.0
+    if len(x) + len(q) > 0:
+        assert abs(dice(x, q) - expected_dice) < 1e-12
+
+
+@given(item_sets, item_sets)
+@settings(max_examples=200)
+def test_hamming_consistent_with_intersection(x, q):
+    assert hamming_distance(x, q) == len(x) + len(q) - 2 * intersection_size(x, q)
+
+
+@given(item_sets, item_sets, item_sets)
+@settings(max_examples=150)
+def test_hamming_triangle_inequality(x, q, z):
+    assert hamming_distance(x, z) <= hamming_distance(x, q) + hamming_distance(q, z)
+
+
+@given(nonempty_item_sets, nonempty_item_sets)
+@settings(max_examples=200)
+def test_braun_blanquet_equals_intersection_over_max(x, q):
+    expected = intersection_size(x, q) / max(len(x), len(q))
+    assert abs(braun_blanquet(x, q) - expected) < 1e-12
+
+
+@given(item_sets, item_sets, st.integers(min_value=0, max_value=200))
+@settings(max_examples=200)
+def test_adding_shared_item_never_decreases_jaccard(x, q, item):
+    """Adding the same item to both sets cannot decrease Jaccard similarity."""
+    base = jaccard(x, q)
+    extended = jaccard(frozenset(set(x) | {item}), frozenset(set(q) | {item}))
+    assert extended >= base - 1e-12

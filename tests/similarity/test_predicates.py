@@ -1,0 +1,98 @@
+"""Tests for similarity predicates and threshold conversions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.similarity.measures import braun_blanquet, jaccard
+from repro.similarity.predicates import (
+    SimilarityPredicate,
+    braun_blanquet_from_jaccard,
+    jaccard_from_braun_blanquet,
+    measure_by_name,
+)
+
+
+class TestMeasureByName:
+    def test_known_measures(self):
+        for name in ("braun_blanquet", "jaccard", "dice", "overlap", "cosine"):
+            assert callable(measure_by_name(name))
+
+    def test_case_insensitive(self):
+        assert measure_by_name("JACCARD") is measure_by_name("jaccard")
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            measure_by_name("euclidean")
+
+
+class TestThresholdConversions:
+    def test_round_trip(self):
+        for threshold in (0.1, 0.3, 0.5, 0.8, 1.0):
+            jaccard_threshold = jaccard_from_braun_blanquet(threshold)
+            assert braun_blanquet_from_jaccard(jaccard_threshold) == pytest.approx(threshold)
+
+    def test_extremes(self):
+        assert jaccard_from_braun_blanquet(0.0) == 0.0
+        assert jaccard_from_braun_blanquet(1.0) == 1.0
+
+    def test_jaccard_threshold_is_lower(self):
+        # For B in (0, 1) the corresponding Jaccard threshold is strictly smaller.
+        assert jaccard_from_braun_blanquet(0.5) < 0.5
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            jaccard_from_braun_blanquet(1.5)
+        with pytest.raises(ValueError):
+            braun_blanquet_from_jaccard(-0.1)
+
+    def test_conversion_is_recall_safe_on_equal_sizes(self):
+        """A pair meeting the BB threshold also meets the converted Jaccard threshold."""
+        x = frozenset(range(10))
+        q = frozenset(range(5, 15))
+        bb = braun_blanquet(x, q)
+        assert jaccard(x, q) >= jaccard_from_braun_blanquet(bb) - 1e-12
+
+
+class TestSimilarityPredicate:
+    def test_accepts_above_threshold(self):
+        predicate = SimilarityPredicate("braun_blanquet", 0.5)
+        assert predicate.accepts({1, 2, 3}, {1, 2, 3, 4})  # similarity 0.75
+
+    def test_rejects_below_threshold(self):
+        predicate = SimilarityPredicate("braun_blanquet", 0.9)
+        assert not predicate.accepts({1, 2, 3}, {1, 2, 3, 4})
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            SimilarityPredicate("jaccard", 1.2)
+
+    def test_invalid_measure(self):
+        with pytest.raises(KeyError):
+            SimilarityPredicate("nonsense", 0.4)
+
+    def test_with_threshold_returns_copy(self):
+        predicate = SimilarityPredicate("jaccard", 0.4)
+        relaxed = predicate.with_threshold(0.2)
+        assert relaxed.threshold == 0.2
+        assert predicate.threshold == 0.4
+        assert relaxed.measure == "jaccard"
+
+    def test_similarity_delegates_to_measure(self):
+        predicate = SimilarityPredicate("jaccard", 0.1)
+        assert predicate.similarity({1, 2}, {2, 3}) == pytest.approx(jaccard({1, 2}, {2, 3}))
+
+    def test_as_jaccard_conversion(self):
+        predicate = SimilarityPredicate("braun_blanquet", 0.5)
+        converted = predicate.as_jaccard()
+        assert converted.measure == "jaccard"
+        assert converted.threshold == pytest.approx(jaccard_from_braun_blanquet(0.5))
+
+    def test_as_jaccard_noop_for_other_measures(self):
+        predicate = SimilarityPredicate("cosine", 0.5)
+        assert predicate.as_jaccard() is predicate
+
+    def test_frozen(self):
+        predicate = SimilarityPredicate("jaccard", 0.4)
+        with pytest.raises(AttributeError):
+            predicate.threshold = 0.9  # type: ignore[misc]

@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.io import read_transactions
+
+
+@pytest.fixture()
+def dataset_file(tmp_path):
+    path = tmp_path / "data.txt"
+    exit_code = main(["generate", "DBLP", "-o", str(path), "--scale", "0.08", "--seed", "1"])
+    assert exit_code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_experiments_choices_restricted(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiments", "figure99"])
+
+
+class TestGenerate:
+    def test_writes_transaction_file(self, dataset_file):
+        collection = read_transactions(dataset_file)
+        assert len(collection) > 0
+
+    def test_unknown_profile(self, tmp_path, capsys):
+        exit_code = main(["generate", "NOPE", "-o", str(tmp_path / "x.txt")])
+        assert exit_code == 2
+        assert "unknown dataset profile" in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_prints_skew_and_rho(self, dataset_file, capsys):
+        exit_code = main(["profile", str(dataset_file), "--samples", "200"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "gini" in output
+        assert "ours (rho)" in output
+
+    def test_empty_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("")
+        assert main(["profile", str(empty)]) == 2
+        assert "no sets" in capsys.readouterr().out
+
+
+class TestBuildAndQuery:
+    def test_build_query_round_trip(self, dataset_file, tmp_path, capsys):
+        index_path = tmp_path / "index.json"
+        exit_code = main(
+            [
+                "build",
+                str(dataset_file),
+                "-o",
+                str(index_path),
+                "--kind",
+                "adversarial",
+                "--b1",
+                "0.6",
+                "--repetitions",
+                "4",
+            ]
+        )
+        assert exit_code == 0
+        assert index_path.exists()
+
+        queries_path = tmp_path / "queries.txt"
+        lines = dataset_file.read_text().splitlines()
+        queries_path.write_text("\n".join(lines[:10]) + "\n")
+
+        exit_code = main(["query", str(index_path), str(queries_path), "--mode", "best"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "queries returned a match" in output
+
+    def test_build_correlated_kind(self, dataset_file, tmp_path):
+        index_path = tmp_path / "correlated.json"
+        exit_code = main(
+            [
+                "build",
+                str(dataset_file),
+                "-o",
+                str(index_path),
+                "--kind",
+                "correlated",
+                "--alpha",
+                "0.7",
+                "--repetitions",
+                "3",
+            ]
+        )
+        assert exit_code == 0
+        assert index_path.exists()
+
+    def test_build_empty_input(self, tmp_path, capsys):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("")
+        assert main(["build", str(empty), "-o", str(tmp_path / "x.json")]) == 2
+
+
+class TestExperiments:
+    def test_section71(self, capsys):
+        assert main(["experiments", "section7.1"]) == 0
+        assert "Section 7.1" in capsys.readouterr().out
+
+    def test_section72(self, capsys):
+        assert main(["experiments", "section7.2"]) == 0
+        assert "Section 7.2" in capsys.readouterr().out
+
+    def test_motivating(self, capsys):
+        assert main(["experiments", "motivating"]) == 0
+        assert "motivating" in capsys.readouterr().out
+
+    def test_table1_small_scale(self, capsys):
+        assert main(["experiments", "table1", "--scale", "0.05"]) == 0
+        assert "Table 1" in capsys.readouterr().out

@@ -1,0 +1,83 @@
+"""Tests of the public API surface: exports exist, are documented, and stable."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.core",
+    "repro.baselines",
+    "repro.data",
+    "repro.similarity",
+    "repro.hashing",
+    "repro.theory",
+    "repro.evaluation",
+]
+
+
+class TestTopLevelExports:
+    def test_version_present(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists {name} but it is not importable"
+
+    def test_key_classes_exported(self):
+        for name in (
+            "SkewAdaptiveIndex",
+            "CorrelatedIndex",
+            "ChosenPathIndex",
+            "PrefixFilterIndex",
+            "MinHashIndex",
+            "BruteForceIndex",
+            "ItemDistribution",
+            "SetCollection",
+            "SimilarityPredicate",
+        ):
+            assert name in repro.__all__
+
+    def test_module_docstring(self):
+        assert repro.__doc__ is not None
+        assert "PODS 2018" in repro.__doc__ or "Set Similarity" in repro.__doc__
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+class TestSubpackages:
+    def test_importable_with_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ is not None and module.__doc__.strip()
+
+    def test_all_exports_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.__all__ lists {name} but it is missing"
+
+
+class TestPublicDocstrings:
+    """Every public class and function exported at the top level is documented."""
+
+    def test_exported_objects_have_docstrings(self):
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            obj = getattr(repro, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__ is not None and obj.__doc__.strip(), f"{name} lacks a docstring"
+
+    def test_index_classes_have_documented_query(self):
+        for cls in (repro.SkewAdaptiveIndex, repro.CorrelatedIndex):
+            assert cls.query.__doc__
+            assert cls.build.__doc__
+
+    def test_public_methods_of_item_distribution_documented(self):
+        for name, member in inspect.getmembers(repro.ItemDistribution, inspect.isfunction):
+            if name.startswith("_"):
+                continue
+            assert member.__doc__, f"ItemDistribution.{name} lacks a docstring"

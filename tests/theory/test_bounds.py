@@ -1,0 +1,121 @@
+"""Tests for Chernoff helpers and resource-bound predictions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.theory.bounds import (
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    correlated_pair_similarity_bounds,
+    expected_filters_bound,
+    required_expected_size,
+    space_bound,
+    success_probability_lower_bound,
+)
+
+
+class TestChernoff:
+    def test_zero_epsilon_gives_trivial_bound(self):
+        assert chernoff_upper_tail(10.0, 0.0) == 1.0
+        assert chernoff_lower_tail(10.0, 0.0) == 1.0
+
+    def test_bounds_decrease_with_expectation(self):
+        assert chernoff_upper_tail(100.0, 0.5) < chernoff_upper_tail(10.0, 0.5)
+        assert chernoff_lower_tail(100.0, 0.5) < chernoff_lower_tail(10.0, 0.5)
+
+    def test_bounds_decrease_with_epsilon(self):
+        assert chernoff_upper_tail(50.0, 0.8) < chernoff_upper_tail(50.0, 0.2)
+
+    def test_lower_tail_tighter_than_upper(self):
+        """Lemma 4: the lower tail has constant 2 in the denominator, the upper 3."""
+        assert chernoff_lower_tail(50.0, 0.3) <= chernoff_upper_tail(50.0, 0.3)
+
+    def test_max_weight_loosens_bound(self):
+        assert chernoff_upper_tail(50.0, 0.3, max_weight=2.0) > chernoff_upper_tail(
+            50.0, 0.3, max_weight=1.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            chernoff_lower_tail(1.0, -0.5)
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(1.0, 0.5, max_weight=0.0)
+
+    def test_empirical_tail_respects_bound(self):
+        """Monte-Carlo check that the Lemma 4 upper bound actually holds."""
+        rng = np.random.default_rng(0)
+        n, p, epsilon = 400, 0.1, 0.5
+        expectation = n * p
+        exceed = 0
+        trials = 2000
+        for _ in range(trials):
+            sample = rng.binomial(n, p)
+            if sample >= (1 + epsilon) * expectation:
+                exceed += 1
+        assert exceed / trials <= chernoff_upper_tail(expectation, epsilon) + 0.02
+
+
+class TestResourceBounds:
+    def test_expected_filters_bound(self):
+        assert expected_filters_bound(1000, 0.5) == pytest.approx(1.1 * 1000**0.5)
+
+    def test_expected_filters_validation(self):
+        with pytest.raises(ValueError):
+            expected_filters_bound(0, 0.5)
+        with pytest.raises(ValueError):
+            expected_filters_bound(10, -0.1)
+        with pytest.raises(ValueError):
+            expected_filters_bound(10, 0.5, slack=0.0)
+
+    def test_required_expected_size(self):
+        assert required_expected_size(1000, 10.0) == pytest.approx(10.0 * np.log(1000))
+        assert required_expected_size(1, 10.0) == 0.0
+
+    def test_required_expected_size_validation(self):
+        with pytest.raises(ValueError):
+            required_expected_size(100, 0.0)
+
+    def test_space_bound_dominant_terms(self):
+        value = space_bound(1000, 0.5, dimension=50, slack=1.0)
+        assert value == pytest.approx(1000**1.5 + 50 * 1000)
+
+    def test_space_bound_validation(self):
+        with pytest.raises(ValueError):
+            space_bound(100, 0.5, dimension=0)
+
+
+class TestLemma10Bounds:
+    def test_returns_paper_constants(self):
+        close, far = correlated_pair_similarity_bounds(np.full(10, 0.1), alpha=0.65)
+        assert close == pytest.approx(0.65 / 1.3)
+        assert far == pytest.approx(0.65 / 1.5)
+        assert far < close
+
+    def test_precondition_enforced(self):
+        with pytest.raises(ValueError):
+            correlated_pair_similarity_bounds(np.full(10, 0.4), alpha=0.5)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            correlated_pair_similarity_bounds(np.full(3, 0.1), alpha=0.0)
+
+
+class TestSuccessProbability:
+    def test_tiny_dataset_certain(self):
+        assert success_probability_lower_bound(2, 1) == 1.0
+
+    def test_increases_with_repetitions(self):
+        small = success_probability_lower_bound(1000, 2)
+        large = success_probability_lower_bound(1000, 20)
+        assert large > small
+
+    def test_many_repetitions_approach_one(self):
+        assert success_probability_lower_bound(1000, 200) > 0.99
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            success_probability_lower_bound(1000, 0)

@@ -1,0 +1,100 @@
+"""Tests for the method-comparison sweeps (Figure 1, Section 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.theory.comparison import (
+    MethodComparison,
+    adversarial_comparison,
+    compare_methods,
+    figure1_curve,
+)
+
+
+class TestCompareMethods:
+    def test_skewed_instance_improvement_positive(self):
+        probabilities = np.concatenate([np.full(300, 0.3), np.full(300, 0.3 / 8.0)])
+        comparison = compare_methods(probabilities, alpha=2.0 / 3.0)
+        assert comparison.skew_adaptive_rho < comparison.chosen_path_rho
+        assert comparison.improvement_over_chosen_path > 0.0
+
+    def test_uniform_instance_no_improvement(self):
+        probabilities = np.full(500, 0.1)
+        comparison = compare_methods(probabilities, alpha=0.5)
+        assert comparison.skew_adaptive_rho == pytest.approx(comparison.chosen_path_rho, abs=1e-9)
+
+    def test_expected_similarities_ordered(self):
+        probabilities = np.concatenate([np.full(100, 0.2), np.full(100, 0.05)])
+        comparison = compare_methods(probabilities, alpha=0.6)
+        assert comparison.expected_far_similarity < comparison.expected_close_similarity
+
+    def test_prefix_exponent_one_for_theta1_probabilities(self):
+        probabilities = np.concatenate([np.full(100, 0.2), np.full(100, 0.05)])
+        comparison = compare_methods(probabilities, alpha=0.6, num_vectors=10**6)
+        assert comparison.prefix_filter_exponent > 0.7
+
+    def test_dataclass_fields(self):
+        comparison = MethodComparison(0.2, 0.5, 1.0, 0.7, 0.1)
+        assert comparison.improvement_over_chosen_path == pytest.approx(0.3)
+
+
+class TestFigure1Curve:
+    def test_default_grid(self):
+        rows = figure1_curve()
+        assert len(rows) >= 20
+        assert {"p", "ours", "chosen_path", "prefix_filter", "b1", "b2"} <= set(rows[0])
+
+    def test_ours_below_chosen_path_everywhere(self):
+        """The headline claim of Figure 1."""
+        rows = figure1_curve(p_values=np.linspace(0.05, 0.9, 18))
+        for row in rows:
+            assert row["ours"] < row["chosen_path"] + 1e-12
+
+    def test_curves_have_increasing_trend(self):
+        """Both curves rise with p overall (the exact equation allows small
+        local wiggles for our curve, so only the trend is asserted)."""
+        rows = figure1_curve(p_values=np.linspace(0.05, 0.9, 18))
+        ours = [row["ours"] for row in rows]
+        chosen = [row["chosen_path"] for row in rows]
+        assert ours[-1] > ours[0]
+        assert chosen == sorted(chosen)
+        for earlier, later in zip(ours, ours[1:]):
+            assert later >= earlier - 0.02
+
+    def test_rho_values_in_unit_interval(self):
+        rows = figure1_curve(p_values=np.linspace(0.05, 0.9, 10))
+        for row in rows:
+            assert 0.0 <= row["ours"] <= 1.0
+            assert 0.0 <= row["chosen_path"] <= 1.0
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            figure1_curve(p_values=[0.0])
+
+    def test_rare_divisor_one_removes_gap(self):
+        """With rare_divisor = 1 the two blocks are identical: no skew, no gap."""
+        rows = figure1_curve(p_values=[0.2, 0.4], rare_divisor=1.0)
+        for row in rows:
+            assert row["ours"] == pytest.approx(row["chosen_path"], abs=1e-9)
+
+    def test_larger_divisor_larger_gap(self):
+        mild = figure1_curve(p_values=[0.3], rare_divisor=2.0)[0]
+        strong = figure1_curve(p_values=[0.3], rare_divisor=16.0)[0]
+        gap_mild = mild["chosen_path"] - mild["ours"]
+        gap_strong = strong["chosen_path"] - strong["ours"]
+        assert gap_strong > gap_mild
+
+
+class TestAdversarialComparison:
+    def test_section71_shape(self):
+        n = 10**9
+        probabilities = np.concatenate([np.full(100, 0.25), np.full(100, n**-0.9)])
+        result = adversarial_comparison(probabilities, b1=1.0 / 3.0, num_vectors=n)
+        assert result["ours"] < result["chosen_path"]
+        assert result["prefix_filter"] == pytest.approx(0.1, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            adversarial_comparison(np.array([]), 0.5, 100)

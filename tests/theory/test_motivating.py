@@ -1,0 +1,120 @@
+"""Tests for the Section 1 motivating example analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.families import harmonic_probabilities, uniform_probabilities
+from repro.theory.motivating import (
+    SplitExponents,
+    motivating_example_exponents,
+    single_search_exponent,
+    skew_adaptive_exponent,
+    split_query_exponents,
+)
+
+
+def harmonic_query_probabilities(dimension: int = 4096) -> np.ndarray:
+    """Probabilities of a 'typical' harmonic query: the most frequent items."""
+    probabilities = harmonic_probabilities(dimension, maximum=1.0)
+    query_size = max(4, int(np.log(dimension)))
+    return probabilities[:query_size]
+
+
+class TestSingleSearchExponent:
+    def test_formula(self):
+        probabilities = np.full(10, 0.1)
+        assert single_search_exponent(probabilities, 0.3) == pytest.approx(
+            np.log(0.3) / np.log(0.1)
+        )
+
+    def test_degenerate_inputs_give_trivial_exponent(self):
+        assert single_search_exponent(np.full(5, 0.5), 0.3) == 1.0  # i1 <= i2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            single_search_exponent(np.array([]), 0.3)
+        with pytest.raises(ValueError):
+            single_search_exponent(np.array([0.1]), 0.0)
+
+
+class TestSkewAdaptiveExponent:
+    def test_beats_single_search_on_skewed_query(self):
+        """The paper's principled structure improves on the skew-oblivious
+        exponent whenever the query's item probabilities are skewed."""
+        probabilities = harmonic_query_probabilities()
+        i1 = 0.5
+        adaptive = skew_adaptive_exponent(probabilities, i1)
+        single = single_search_exponent(probabilities, i1)
+        assert adaptive <= single + 1e-12
+
+    def test_matches_single_search_without_skew(self):
+        probabilities = uniform_probabilities(100, 0.05)
+        i1 = 0.4
+        assert skew_adaptive_exponent(probabilities, i1) == pytest.approx(
+            single_search_exponent(probabilities, i1), abs=1e-6
+        )
+
+
+class TestSplitQueryExponents:
+    def test_returns_all_three_exponents(self):
+        result = split_query_exponents(harmonic_query_probabilities(), i1=0.5)
+        assert isinstance(result, SplitExponents)
+        assert 0.0 <= result.single_rho <= 1.0
+        assert 0.0 <= result.split_cost_exponent <= 1.0
+        assert 0.0 <= result.skew_adaptive_rho <= 1.0
+
+    def test_adaptive_no_worse_than_single(self):
+        result = split_query_exponents(harmonic_query_probabilities(), i1=0.5)
+        assert result.skew_adaptive_rho <= result.single_rho + 1e-12
+        assert result.adaptive_speedup_exponent >= -1e-12
+
+    def test_adaptive_strictly_better_on_harmonic_query(self):
+        """Harmonic queries mix very frequent and rarer items, so the
+        skew-adaptive exponent is strictly smaller."""
+        result = split_query_exponents(harmonic_query_probabilities(), i1=0.6)
+        assert result.adaptive_speedup_exponent > 0.01
+
+    def test_mass_split_consistent(self):
+        probabilities = harmonic_query_probabilities()
+        result = split_query_exponents(probabilities, i1=0.5)
+        assert result.i_frequent + result.i_rare == pytest.approx(result.i2)
+        assert result.i_frequent >= result.i_rare
+
+    def test_split_parameter_within_target(self):
+        result = split_query_exponents(harmonic_query_probabilities(), i1=0.5)
+        assert 0.0 < result.split_parameter <= 0.5
+
+    def test_uniform_query_no_adaptive_gain(self):
+        probabilities = uniform_probabilities(50, 0.02)
+        result = split_query_exponents(probabilities, i1=0.4)
+        assert result.adaptive_speedup_exponent == pytest.approx(0.0, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_query_exponents(np.array([0.5]), i1=0.3)
+        with pytest.raises(ValueError):
+            split_query_exponents(np.array([0.5, 0.2]), i1=0.0)
+        with pytest.raises(ValueError):
+            split_query_exponents(np.array([0.5, 0.2]), i1=0.3, num_split_candidates=0)
+
+
+class TestMotivatingExample:
+    def test_returns_split_exponents(self):
+        result = motivating_example_exponents(dimension=1024, i1=0.3)
+        assert isinstance(result, SplitExponents)
+
+    def test_reproducible(self):
+        a = motivating_example_exponents(dimension=1024, i1=0.3, seed=5)
+        b = motivating_example_exponents(dimension=1024, i1=0.3, seed=5)
+        assert a == b
+
+    def test_larger_i1_smaller_single_rho(self):
+        easy = motivating_example_exponents(dimension=1024, i1=0.6)
+        hard = motivating_example_exponents(dimension=1024, i1=0.2)
+        assert easy.single_rho <= hard.single_rho
+
+    def test_adaptive_gain_present(self):
+        result = motivating_example_exponents(dimension=4096, i1=0.5, seed=1)
+        assert result.skew_adaptive_rho <= result.single_rho + 1e-12

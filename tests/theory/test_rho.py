@@ -1,0 +1,239 @@
+"""Tests for the ρ-exponent solvers (Theorems 1 and 2, Section 7)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.theory.rho import (
+    balanced_correlated_rho,
+    chosen_path_rho,
+    minhash_rho,
+    prefix_filter_exponent,
+    solve_adversarial_rho,
+    solve_adversarial_rho_weighted,
+    solve_correlated_rho,
+    solve_correlated_rho_weighted,
+)
+
+
+class TestAdversarialRho:
+    def test_balanced_case_closed_form(self):
+        """With all p_i = p the equation gives p^rho = b1, i.e. rho = log b1 / log p."""
+        p, b1 = 0.2, 0.5
+        rho = solve_adversarial_rho(np.full(300, p), b1)
+        assert rho == pytest.approx(math.log(b1) / math.log(p), abs=1e-6)
+
+    def test_paper_example_b1_one_third(self):
+        """Section 7.1: p_a = 1/4, p_b = n^{-0.9}, b1 = 1/3 gives rho ≈ log(2/3)/log(1/4)."""
+        n = 10**9
+        probabilities = np.concatenate([np.full(200, 0.25), np.full(200, n**-0.9)])
+        rho = solve_adversarial_rho(probabilities, 1.0 / 3.0)
+        assert rho == pytest.approx(math.log(2.0 / 3.0) / math.log(0.25), abs=5e-3)
+        assert rho < 0.30
+
+    def test_paper_example_b1_two_thirds_near_zero(self):
+        """Section 7.1: at b1 = 2/3 the exponent tends to zero."""
+        n = 10**9
+        probabilities = np.concatenate([np.full(200, 0.25), np.full(200, n**-0.9)])
+        rho = solve_adversarial_rho(probabilities, 2.0 / 3.0)
+        assert rho < 0.05
+
+    def test_monotone_decreasing_in_b1(self):
+        probabilities = np.concatenate([np.full(50, 0.3), np.full(50, 0.01)])
+        rhos = [solve_adversarial_rho(probabilities, b1) for b1 in (0.2, 0.4, 0.6, 0.8)]
+        assert all(earlier >= later for earlier, later in zip(rhos, rhos[1:]))
+
+    def test_skew_reduces_rho(self):
+        """For the same b1 and mean probability, a skewed profile gives smaller rho."""
+        b1 = 0.4
+        uniform = np.full(100, 0.1)
+        skewed = np.concatenate([np.full(50, 0.19), np.full(50, 0.01)])
+        assert solve_adversarial_rho(skewed, b1) < solve_adversarial_rho(uniform, b1)
+
+    def test_b1_one_gives_zero_like_solution(self):
+        rho = solve_adversarial_rho(np.full(10, 0.5), 1.0)
+        assert rho == 0.0
+
+    def test_all_ones_impossible(self):
+        assert solve_adversarial_rho(np.ones(10), 0.5) == math.inf
+
+    def test_zero_probabilities_handled(self):
+        probabilities = np.concatenate([np.full(10, 0.2), np.zeros(10)])
+        rho = solve_adversarial_rho(probabilities, 0.4)
+        assert 0.0 <= rho < 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            solve_adversarial_rho(np.array([]), 0.5)
+        with pytest.raises(ValueError):
+            solve_adversarial_rho(np.array([0.5]), 0.0)
+        with pytest.raises(ValueError):
+            solve_adversarial_rho(np.array([1.5]), 0.5)
+
+    def test_solution_satisfies_equation(self):
+        probabilities = np.concatenate([np.full(30, 0.3), np.full(70, 0.02)])
+        b1 = 0.45
+        rho = solve_adversarial_rho(probabilities, b1)
+        assert float(np.sum(probabilities**rho)) <= b1 * probabilities.size + 1e-6
+
+    def test_weighted_solver_matches_unweighted(self):
+        probabilities = np.array([0.3, 0.02])
+        weights = np.array([30.0, 70.0])
+        materialised = np.concatenate([np.full(30, 0.3), np.full(70, 0.02)])
+        assert solve_adversarial_rho_weighted(probabilities, weights, 0.45) == pytest.approx(
+            solve_adversarial_rho(materialised, 0.45), abs=1e-9
+        )
+
+    def test_weighted_solver_validation(self):
+        with pytest.raises(ValueError):
+            solve_adversarial_rho_weighted(np.array([0.3]), np.array([1.0, 2.0]), 0.45)
+        with pytest.raises(ValueError):
+            solve_adversarial_rho_weighted(np.array([0.3]), np.array([-1.0]), 0.45)
+
+
+class TestCorrelatedRho:
+    def test_balanced_case_matches_closed_form(self):
+        """The no-skew case recovers the Chosen Path bound log(p + a(1-p))/log(p)."""
+        p, alpha = 0.15, 2.0 / 3.0
+        rho = solve_correlated_rho(np.full(500, p), alpha)
+        assert rho == pytest.approx(balanced_correlated_rho(p, alpha), abs=1e-9)
+
+    def test_solution_satisfies_equation(self):
+        probabilities = np.concatenate([np.full(40, 0.25), np.full(400, 0.02)])
+        alpha = 0.6
+        rho = solve_correlated_rho(probabilities, alpha)
+        conditional = probabilities * (1 - alpha) + alpha
+        lhs = float(np.sum(probabilities ** (1 + rho) / conditional))
+        assert lhs == pytest.approx(float(probabilities.sum()), rel=1e-6)
+
+    def test_monotone_decreasing_in_alpha(self):
+        probabilities = np.concatenate([np.full(40, 0.25), np.full(400, 0.02)])
+        rhos = [solve_correlated_rho(probabilities, alpha) for alpha in (0.2, 0.4, 0.6, 0.8)]
+        assert all(earlier > later for earlier, later in zip(rhos, rhos[1:]))
+
+    def test_skew_reduces_rho_below_chosen_path(self):
+        """The Figure 1 claim: on the two-block profile our rho is strictly
+        below the Chosen Path rho computed from expected similarities."""
+        alpha = 2.0 / 3.0
+        for p in (0.1, 0.2, 0.4):
+            probabilities = np.concatenate([np.full(500, p), np.full(500, p / 8.0)])
+            ours = solve_correlated_rho(probabilities, alpha)
+            expected_size = float(probabilities.sum())
+            b2 = float(np.sum(probabilities**2)) / expected_size
+            b1 = float(np.sum(probabilities**2 * (1 - alpha) + probabilities * alpha)) / expected_size
+            baseline = chosen_path_rho(b1, b2)
+            assert ours < baseline
+
+    def test_no_skew_matches_chosen_path(self):
+        """With a uniform profile the two exponents coincide (asymptotically)."""
+        alpha, p = 2.0 / 3.0, 0.1
+        probabilities = np.full(1000, p)
+        ours = solve_correlated_rho(probabilities, alpha)
+        b2 = p
+        b1 = alpha + (1 - alpha) * p
+        assert ours == pytest.approx(chosen_path_rho(b1, b2), abs=1e-9)
+
+    def test_extreme_skew_gives_tiny_rho(self):
+        """Section 7.2: the extreme-skew correlated instance has rho -> 0.
+
+        4 C log n items at 1/4 plus n^0.9 C log n items at n^-0.9; the rare
+        block is handled via the weighted solver (it has ~n^0.9 items).
+        """
+        capital_c = 20.0
+        previous = None
+        for n in (10**6, 10**9, 10**12):
+            log_n = math.log(n)
+            probabilities = np.array([0.25, float(n) ** -0.9])
+            weights = np.array([4.0 * capital_c * log_n, (float(n) ** 0.9) * capital_c * log_n])
+            rho = solve_correlated_rho_weighted(probabilities, weights, 2.0 / 3.0)
+            assert rho < 0.1
+            if previous is not None:
+                assert rho <= previous + 1e-9  # tends to zero as n grows
+            previous = rho
+
+    def test_weighted_solver_matches_unweighted(self):
+        probabilities = np.array([0.25, 0.02])
+        weights = np.array([40.0, 400.0])
+        materialised = np.concatenate([np.full(40, 0.25), np.full(400, 0.02)])
+        assert solve_correlated_rho_weighted(probabilities, weights, 0.6) == pytest.approx(
+            solve_correlated_rho(materialised, 0.6), abs=1e-9
+        )
+
+    def test_weighted_solver_validation(self):
+        with pytest.raises(ValueError):
+            solve_correlated_rho_weighted(np.array([0.2]), np.array([1.0, 2.0]), 0.5)
+        with pytest.raises(ValueError):
+            solve_correlated_rho_weighted(np.array([0.2]), np.array([-1.0]), 0.5)
+
+    def test_alpha_one_gives_zero(self):
+        rho = solve_correlated_rho(np.full(100, 0.2), 1.0)
+        assert rho == pytest.approx(math.log(1.0) / math.log(0.2), abs=1e-6) or rho >= 0.0
+        assert rho < 1e-6
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            solve_correlated_rho(np.array([]), 0.5)
+        with pytest.raises(ValueError):
+            solve_correlated_rho(np.array([0.5]), 0.0)
+
+
+class TestBaselineExponents:
+    def test_chosen_path_known_value(self):
+        assert chosen_path_rho(0.5, 0.25) == pytest.approx(0.5)
+
+    def test_chosen_path_validation(self):
+        with pytest.raises(ValueError):
+            chosen_path_rho(0.5, 0.5)
+        with pytest.raises(ValueError):
+            chosen_path_rho(0.0, 0.25)
+        with pytest.raises(ValueError):
+            chosen_path_rho(0.5, 1.0)
+
+    def test_chosen_path_b1_one(self):
+        assert chosen_path_rho(1.0, 0.5) == 0.0
+
+    def test_minhash_known_value(self):
+        assert minhash_rho(0.5, 0.25) == pytest.approx(0.5)
+
+    def test_minhash_validation(self):
+        with pytest.raises(ValueError):
+            minhash_rho(0.3, 0.5)
+
+    def test_prefix_filter_extreme_skew(self):
+        """Rarest item has probability n^{-0.9}: exponent ≈ 0.1 (Section 7.1)."""
+        n = 10**6
+        probabilities = np.concatenate([np.full(100, 0.25), np.full(100, n**-0.9)])
+        assert prefix_filter_exponent(probabilities, n) == pytest.approx(0.1, abs=1e-9)
+
+    def test_prefix_filter_no_rare_items(self):
+        """All probabilities Theta(1): the exponent is 1 (no useful prefix)."""
+        assert prefix_filter_exponent(np.full(50, 0.2), 10**6) > 0.8
+
+    def test_prefix_filter_zero_probability_item(self):
+        assert prefix_filter_exponent(np.array([0.5, 0.0]), 1000) == 0.0
+
+    def test_prefix_filter_validation(self):
+        with pytest.raises(ValueError):
+            prefix_filter_exponent(np.array([0.5]), 1)
+
+
+class TestBalancedClosedForm:
+    def test_matches_paper_related_work_formula(self):
+        """rho = log(beta + alpha(1-beta)) / log(beta), the improved-MinHash bound."""
+        beta, alpha = 0.05, 0.5
+        expected = math.log(beta + alpha * (1 - beta)) / math.log(beta)
+        assert balanced_correlated_rho(beta, alpha) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            balanced_correlated_rho(0.0, 0.5)
+        with pytest.raises(ValueError):
+            balanced_correlated_rho(0.5, 0.0)
+
+    def test_in_unit_interval(self):
+        for p in (0.01, 0.1, 0.3):
+            for alpha in (0.1, 0.5, 0.9):
+                assert 0.0 < balanced_correlated_rho(p, alpha) < 1.0
