@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""CI gate: fail when batched query throughput regresses below the bound.
+
+Reads a pytest-benchmark JSON export (produced by running
+``benchmarks/bench_batch_query.py`` with ``--benchmark-json=BENCH_batch.json``)
+and exits non-zero when any benchmark's recorded ``batched_speedup`` falls
+below the minimum ratio (default 1.5x, the project's acceptance bound).
+
+Stdlib-only on purpose so the gate can run anywhere the JSON exists::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_batch_query.py \
+        --benchmark-only --benchmark-json=BENCH_batch.json
+    python benchmarks/check_batch_regression.py BENCH_batch.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_MIN_SPEEDUP = 1.5
+
+
+def check(report_path: Path, min_speedup: float) -> int:
+    """Return a process exit code: 0 when every gate passes."""
+    try:
+        payload = json.loads(report_path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        print(f"FAIL: benchmark report {report_path} does not exist")
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"FAIL: {report_path} is not valid JSON: {error}")
+        return 2
+
+    gated = [
+        entry
+        for entry in payload.get("benchmarks", [])
+        if "batched_speedup" in entry.get("extra_info", {})
+    ]
+    if not gated:
+        print(f"FAIL: {report_path} contains no benchmarks with a 'batched_speedup'")
+        return 2
+
+    failures = 0
+    for entry in gated:
+        extra = entry["extra_info"]
+        speedup = float(extra["batched_speedup"])
+        name = entry.get("name", "<unnamed>")
+        detail = (
+            f"n={extra.get('num_vectors', '?')}, "
+            f"loop={extra.get('loop_qps', 0):.0f} q/s, "
+            f"batch={extra.get('batch_qps', 0):.0f} q/s"
+        )
+        if speedup < min_speedup:
+            print(f"FAIL: {name}: {speedup:.2f}x < {min_speedup}x ({detail})")
+            failures += 1
+        else:
+            print(f"OK:   {name}: {speedup:.2f}x >= {min_speedup}x ({detail})")
+
+    if failures:
+        print(f"\n{failures} benchmark(s) below the {min_speedup}x gate")
+        return 1
+    print(f"\nall {len(gated)} benchmark(s) meet the {min_speedup}x gate")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", type=Path, help="pytest-benchmark JSON export")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=DEFAULT_MIN_SPEEDUP,
+        help=f"minimum batched/looped throughput ratio (default {DEFAULT_MIN_SPEEDUP})",
+    )
+    args = parser.parse_args(argv)
+    return check(args.report, args.min_speedup)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,10 @@ an ablation / empirical validation of them).  Conventions:
   with ``-s`` to see it) and records the headline numbers in
   ``benchmark.extra_info`` so they end up in the pytest-benchmark JSON;
 * datasets are synthetic and scaled so a full ``pytest benchmarks/
-  --benchmark-only`` run completes in a few minutes on a laptop.
+  --benchmark-only`` run completes in a few minutes on a laptop;
+* all randomness is seeded through :mod:`repro.testing`, the deterministic
+  seed registry shared with ``tests/conftest.py``, so CI benchmark runs are
+  reproducible (override the base with ``REPRO_SEED_BASE``).
 """
 
 from __future__ import annotations
@@ -17,6 +20,13 @@ import pytest
 
 from repro.data.distributions import ItemDistribution
 from repro.data.families import two_block_probabilities, uniform_probabilities
+from repro.testing import base_seed, rng_for
+
+
+@pytest.fixture(scope="session")
+def deterministic_seed() -> int:
+    """The base seed every dataset fixture derives from (default 0)."""
+    return base_seed()
 
 
 @pytest.fixture(scope="session")
@@ -39,13 +49,11 @@ def bench_uniform_distribution() -> ItemDistribution:
 
 @pytest.fixture(scope="session")
 def bench_skewed_dataset(bench_skewed_distribution) -> list[frozenset[int]]:
-    rng = np.random.default_rng(2024)
-    vectors = bench_skewed_distribution.sample_many(400, rng)
+    vectors = bench_skewed_distribution.sample_many(400, rng_for("bench:skewed-dataset"))
     return [vector if vector else frozenset({0}) for vector in vectors]
 
 
 @pytest.fixture(scope="session")
 def bench_uniform_dataset(bench_uniform_distribution) -> list[frozenset[int]]:
-    rng = np.random.default_rng(4202)
-    vectors = bench_uniform_distribution.sample_many(400, rng)
+    vectors = bench_uniform_distribution.sample_many(400, rng_for("bench:uniform-dataset"))
     return [vector if vector else frozenset({0}) for vector in vectors]

@@ -29,6 +29,8 @@ from repro.baselines import (
     PrefixFilterIndex,
 )
 from repro.core import (
+    BatchQueryConfig,
+    BatchQueryStats,
     CorrelatedIndex,
     CorrelatedIndexConfig,
     JoinResult,
@@ -63,6 +65,8 @@ __all__ = [
     "SkewAdaptiveIndexConfig",
     "CorrelatedIndex",
     "CorrelatedIndexConfig",
+    "BatchQueryConfig",
+    "BatchQueryStats",
     "similarity_join",
     "similarity_self_join",
     "JoinResult",

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from repro.core.stats import BuildStats, QueryStats
+from repro.core.batch import run_loop_batch
+from repro.core.stats import BatchQueryStats, BuildStats, QueryStats
 from repro.similarity.measures import braun_blanquet
 from repro.similarity.predicates import SimilarityPredicate
 
@@ -81,6 +82,31 @@ class BruteForceIndex:
             repetitions_used=1,
         )
         return set(range(len(self._vectors))), stats
+
+    def query_batch(
+        self,
+        queries: Sequence[SetLike],
+        mode: str = "best",
+        batch_size: int | None = None,
+        max_workers: int | None = None,
+        deduplicate: bool = True,
+    ) -> tuple[list[int | None], BatchQueryStats]:
+        """Batched queries (loop-based executor with query deduplication)."""
+        del batch_size, max_workers
+        return run_loop_batch(
+            lambda query_set: self.query(query_set, mode=mode), queries, deduplicate
+        )
+
+    def query_candidates_batch(
+        self,
+        queries: Sequence[SetLike],
+        batch_size: int | None = None,
+        max_workers: int | None = None,
+        deduplicate: bool = True,
+    ) -> tuple[list[set[int]], BatchQueryStats]:
+        """Batched candidate enumeration (every stored id, per query)."""
+        del batch_size, max_workers
+        return run_loop_batch(self.query_candidates, queries, deduplicate)
 
     def get_vector(self, vector_id: int) -> frozenset[int]:
         return self._vectors[vector_id]

@@ -26,7 +26,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.core.engine import FilterEngine
-from repro.core.stats import BuildStats, QueryStats
+from repro.core.stats import BatchQueryStats, BuildStats, QueryStats
 from repro.core.thresholds import ConstantThreshold
 
 SetLike = Iterable[int]
@@ -152,10 +152,46 @@ class ChosenPathIndex:
         assert self._engine is not None
         return self._engine.query(query, mode=mode)
 
+    def query_batch(
+        self,
+        queries: Sequence[SetLike],
+        mode: str = "first",
+        batch_size: int | None = None,
+        max_workers: int | None = None,
+        deduplicate: bool = True,
+    ) -> tuple[list[int | None], BatchQueryStats]:
+        """Batched queries through the shared vectorised engine subsystem."""
+        self._require_built()
+        assert self._engine is not None
+        return self._engine.query_batch(
+            queries,
+            mode=mode,
+            batch_size=batch_size,
+            max_workers=max_workers,
+            deduplicate=deduplicate,
+        )
+
     def query_candidates(self, query: SetLike) -> tuple[set[int], QueryStats]:
         self._require_built()
         assert self._engine is not None
         return self._engine.query_candidates(query)
+
+    def query_candidates_batch(
+        self,
+        queries: Sequence[SetLike],
+        batch_size: int | None = None,
+        max_workers: int | None = None,
+        deduplicate: bool = True,
+    ) -> tuple[list[set[int]], BatchQueryStats]:
+        """Batched candidate enumeration (used by the similarity join)."""
+        self._require_built()
+        assert self._engine is not None
+        return self._engine.query_candidates_batch(
+            queries,
+            batch_size=batch_size,
+            max_workers=max_workers,
+            deduplicate=deduplicate,
+        )
 
     def get_vector(self, vector_id: int) -> frozenset[int]:
         self._require_built()

@@ -15,12 +15,13 @@ the standard practice as well.
 from __future__ import annotations
 
 import math
-from typing import Iterable
+from typing import Iterable, Sequence
 
-from repro.core.stats import BuildStats, QueryStats
+from repro.core.batch import run_loop_batch
+from repro.core.stats import BatchQueryStats, BuildStats, QueryStats
 from repro.hashing.minwise import MinwiseHasher
 from repro.similarity.measures import braun_blanquet
-from repro.similarity.predicates import SimilarityPredicate, jaccard_from_braun_blanquet
+from repro.similarity.predicates import jaccard_from_braun_blanquet
 
 SetLike = Iterable[int]
 
@@ -187,6 +188,37 @@ class MinHashIndex:
                 candidates.add(candidate_id)
         stats.unique_candidates = len(candidates)
         return candidates, stats
+
+    def query_batch(
+        self,
+        queries: Sequence[SetLike],
+        mode: str = "first",
+        batch_size: int | None = None,
+        max_workers: int | None = None,
+        deduplicate: bool = True,
+    ) -> tuple[list[int | None], BatchQueryStats]:
+        """Batched queries (loop-based executor with query deduplication).
+
+        ``batch_size`` and ``max_workers`` are accepted for interface
+        compatibility with the engine-backed indexes; the banding structure
+        has no filter generation to amortise, so only duplicate queries are
+        deduplicated.
+        """
+        del batch_size, max_workers
+        return run_loop_batch(
+            lambda query_set: self.query(query_set, mode=mode), queries, deduplicate
+        )
+
+    def query_candidates_batch(
+        self,
+        queries: Sequence[SetLike],
+        batch_size: int | None = None,
+        max_workers: int | None = None,
+        deduplicate: bool = True,
+    ) -> tuple[list[set[int]], BatchQueryStats]:
+        """Batched candidate enumeration (loop-based executor)."""
+        del batch_size, max_workers
+        return run_loop_batch(self.query_candidates, queries, deduplicate)
 
     def get_vector(self, vector_id: int) -> frozenset[int]:
         return self._vectors[vector_id]

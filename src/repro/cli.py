@@ -12,6 +12,9 @@ Python:
   save it to disk;
 * ``repro query`` — load a saved index and run queries from a transaction
   file, printing matches and work statistics.
+* ``repro query-batch`` — the same workload through the batched execution
+  engine: vectorised filter generation, probe deduplication across the
+  batch and optional worker-pool fan-out, with throughput reporting.
 * ``repro experiments`` — regenerate one of the paper's tables/figures as a
   text table.
 
@@ -152,6 +155,45 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_query_batch(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.config import DEFAULT_BATCH_SIZE, BatchQueryConfig
+    from repro.core.serialization import load_index
+    from repro.data.io import read_transactions
+    from repro.evaluation.reporting import format_table
+
+    config = BatchQueryConfig(
+        batch_size=args.batch_size if args.batch_size is not None else DEFAULT_BATCH_SIZE,
+        max_workers=args.workers,
+    )
+    index = load_index(args.index)
+    queries = list(read_transactions(args.queries))
+    start = time.perf_counter()
+    results, batch_stats = index.query_batch(queries, mode=args.mode, **config.as_kwargs())
+    elapsed = time.perf_counter() - start
+    rows = []
+    for query_number, (result, stats) in enumerate(zip(results, batch_stats.per_query)):
+        rows.append(
+            {
+                "query": query_number,
+                "match": "-" if result is None else result,
+                "candidates": stats.candidates_examined,
+                "filters": stats.filters_generated,
+            }
+        )
+    print(format_table(rows, title=f"{len(queries)} batched queries against {args.index}"))
+    found = sum(1 for result in results if result is not None)
+    throughput = len(queries) / elapsed if elapsed > 0 else float("inf")
+    print(f"\n{found}/{len(queries)} queries returned a match")
+    print(
+        f"batch of {len(queries)} in {elapsed:.4f}s ({throughput:.0f} queries/s); "
+        f"probe dedupe hit rate {batch_stats.dedupe_hit_rate:.1%}, "
+        f"{batch_stats.queries_deduplicated} duplicate queries answered from cache"
+    )
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.evaluation.experiments import (
         figure1,
@@ -179,6 +221,17 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         print(f"unknown experiment {args.which!r}")
         return 2
     return 0
+
+
+def _positive_int(value: str) -> int:
+    """argparse type for strictly positive integer options."""
+    try:
+        parsed = int(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(f"{value!r} is not an integer") from error
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {parsed}")
+    return parsed
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -218,6 +271,28 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("queries", type=Path, help="transaction file of query sets")
     query.add_argument("--mode", choices=["first", "best"], default="first")
     query.set_defaults(handler=_cmd_query)
+
+    query_batch = subparsers.add_parser(
+        "query-batch", help="run queries through the batched execution engine"
+    )
+    query_batch.add_argument("index", type=Path, help="index file written by 'repro build'")
+    query_batch.add_argument("queries", type=Path, help="transaction file of query sets")
+    query_batch.add_argument("--mode", choices=["first", "best"], default="first")
+    from repro.core.config import DEFAULT_BATCH_SIZE
+
+    query_batch.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=None,
+        help=f"queries per vectorised execution chunk (default {DEFAULT_BATCH_SIZE})",
+    )
+    query_batch.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="fan chunks out over a thread pool of this size",
+    )
+    query_batch.set_defaults(handler=_cmd_query_batch)
 
     experiments = subparsers.add_parser("experiments", help="regenerate a paper table/figure")
     experiments.add_argument(

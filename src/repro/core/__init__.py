@@ -13,7 +13,12 @@ Lower-level building blocks (path generation, thresholds, the inverted filter
 index and the generic engine) are exposed for baselines, ablations and tests.
 """
 
-from repro.core.config import CorrelatedIndexConfig, SkewAdaptiveIndexConfig
+from repro.core.config import (
+    DEFAULT_BATCH_SIZE,
+    BatchQueryConfig,
+    CorrelatedIndexConfig,
+    SkewAdaptiveIndexConfig,
+)
 from repro.core.correlated_index import CorrelatedIndex
 from repro.core.engine import FilterEngine
 from repro.core.inverted_index import InvertedFilterIndex
@@ -21,7 +26,7 @@ from repro.core.join import JoinResult, similarity_join, similarity_self_join
 from repro.core.paths import PathGenerator, default_max_depth
 from repro.core.serialization import load_index, save_index
 from repro.core.skewed_index import SkewAdaptiveIndex
-from repro.core.stats import BuildStats, QueryStats
+from repro.core.stats import BatchQueryStats, BuildStats, QueryStats
 from repro.core.thresholds import (
     AdversarialThreshold,
     ConstantThreshold,
@@ -30,6 +35,9 @@ from repro.core.thresholds import (
 )
 
 __all__ = [
+    "BatchQueryConfig",
+    "BatchQueryStats",
+    "DEFAULT_BATCH_SIZE",
     "CorrelatedIndex",
     "CorrelatedIndexConfig",
     "SkewAdaptiveIndex",

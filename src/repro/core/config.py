@@ -11,6 +11,48 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+#: Default number of queries processed per vectorised execution chunk by
+#: ``query_batch``.  Large enough to amortise per-level hashing across many
+#: frontiers, small enough to keep per-chunk memory modest.
+DEFAULT_BATCH_SIZE = 256
+
+
+@dataclass(frozen=True)
+class BatchQueryConfig:
+    """Execution parameters for the batched query subsystem.
+
+    Attributes
+    ----------
+    batch_size:
+        Number of queries per vectorised execution chunk.  Filter hashing,
+        probe deduplication and candidate verification are amortised within
+        a chunk.
+    max_workers:
+        When set, independent chunks are fanned out over a
+        ``concurrent.futures`` thread pool of this size.  ``None`` (default)
+        runs chunks serially.
+    deduplicate_queries:
+        Answer exact duplicate queries in a batch once and copy the result.
+    """
+
+    batch_size: int = DEFAULT_BATCH_SIZE
+    max_workers: int | None = None
+    deduplicate_queries: bool = True
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        if self.max_workers is not None and self.max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {self.max_workers}")
+
+    def as_kwargs(self) -> dict[str, object]:
+        """Keyword arguments accepted by the ``query_batch`` methods."""
+        return {
+            "batch_size": self.batch_size,
+            "max_workers": self.max_workers,
+            "deduplicate": self.deduplicate_queries,
+        }
+
 
 @dataclass(frozen=True)
 class SkewAdaptiveIndexConfig:

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.core.config import CorrelatedIndexConfig
 from repro.core.engine import FilterEngine
-from repro.core.stats import BuildStats, QueryStats
+from repro.core.stats import BatchQueryStats, BuildStats, QueryStats
 from repro.core.thresholds import CorrelatedThreshold
 from repro.data.distributions import ItemDistribution
 
@@ -136,11 +136,51 @@ class CorrelatedIndex:
         assert self._engine is not None
         return self._engine.query(query, mode=mode)
 
+    def query_batch(
+        self,
+        queries: Sequence[SetLike],
+        mode: str = "first",
+        batch_size: int | None = None,
+        max_workers: int | None = None,
+        deduplicate: bool = True,
+    ) -> tuple[list[int | None], BatchQueryStats]:
+        """Answer many queries through the vectorised batch subsystem.
+
+        Results are identical to ``[query(q, mode)[0] for q in queries]``;
+        see :meth:`repro.core.engine.FilterEngine.query_batch`.
+        """
+        self._require_built()
+        assert self._engine is not None
+        return self._engine.query_batch(
+            queries,
+            mode=mode,
+            batch_size=batch_size,
+            max_workers=max_workers,
+            deduplicate=deduplicate,
+        )
+
     def query_candidates(self, query: SetLike) -> tuple[set[int], QueryStats]:
         """All candidate ids colliding with the query (used by joins)."""
         self._require_built()
         assert self._engine is not None
         return self._engine.query_candidates(query)
+
+    def query_candidates_batch(
+        self,
+        queries: Sequence[SetLike],
+        batch_size: int | None = None,
+        max_workers: int | None = None,
+        deduplicate: bool = True,
+    ) -> tuple[list[set[int]], BatchQueryStats]:
+        """Batched candidate enumeration (the similarity join's primitive)."""
+        self._require_built()
+        assert self._engine is not None
+        return self._engine.query_candidates_batch(
+            queries,
+            batch_size=batch_size,
+            max_workers=max_workers,
+            deduplicate=deduplicate,
+        )
 
     def get_vector(self, vector_id: int) -> frozenset[int]:
         """The stored vector with the given id."""

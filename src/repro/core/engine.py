@@ -17,13 +17,17 @@ vector.
 from __future__ import annotations
 
 import math
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.core.config import DEFAULT_BATCH_SIZE
 from repro.core.inverted_index import InvertedFilterIndex
 from repro.core.paths import PathGenerator, default_max_depth
-from repro.core.stats import BuildStats, QueryStats
+from repro.core.stats import BatchQueryStats, BuildStats, QueryStats
 from repro.core.thresholds import ThresholdPolicy
 from repro.hashing.pairwise import PathHasher
 from repro.hashing.random_source import derive_seed
@@ -31,6 +35,9 @@ from repro.similarity.measures import braun_blanquet
 
 SetLike = Iterable[int]
 SimilarityFunction = Callable[[frozenset[int], frozenset[int]], float]
+
+#: Vectors per generation chunk during :meth:`FilterEngine.build`.
+_BUILD_GENERATION_BATCH = 512
 
 
 def default_repetitions(num_vectors: int) -> int:
@@ -141,6 +148,11 @@ class FilterEngine:
         self._vectors: list[frozenset[int]] = []
         self._removed: set[int] = set()
         self._build_stats = BuildStats()
+        # CSR view of the stored vectors, built lazily for vectorised
+        # candidate verification; invalidated by build()/insert().
+        self._store_flat_items: np.ndarray | None = None
+        self._store_offsets: np.ndarray | None = None
+        self._store_sizes: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     # Properties
@@ -177,22 +189,37 @@ class FilterEngine:
     # ------------------------------------------------------------------ #
 
     def build(self, collection: Iterable[SetLike]) -> BuildStats:
-        """Index a dataset.  Replaces any previously indexed data."""
+        """Index a dataset.  Replaces any previously indexed data.
+
+        Filter generation runs through the batched path generator: the
+        vectors are processed in chunks whose candidate extensions are
+        hashed in one vectorised call per recursion level, which is
+        substantially faster than per-vector generation while producing
+        exactly the same filters.
+        """
+        build_start = time.perf_counter()
         self._vectors = [frozenset(int(item) for item in members) for members in collection]
         self._indexes = [InvertedFilterIndex() for _ in range(self._repetitions)]
         self._removed = set()
+        self._invalidate_candidate_store()
         stats = BuildStats(num_vectors=len(self._vectors), repetitions=self._repetitions)
-        for repetition, (generator, index) in enumerate(zip(self._generators, self._indexes)):
-            for vector_id, members in enumerate(self._vectors):
-                if not members:
-                    continue
-                bound = self._threshold_policy.bind(sorted(members))
-                result = generator.generate(sorted(members), bound)
-                index.add(vector_id, result.paths)
-                stats.total_filters += len(result.paths)
-                if result.truncated:
-                    stats.truncated_vectors += 1
-            del repetition
+        non_empty = [
+            (vector_id, sorted(members))
+            for vector_id, members in enumerate(self._vectors)
+            if members
+        ]
+        for generator, index in zip(self._generators, self._indexes):
+            for start in range(0, len(non_empty), _BUILD_GENERATION_BATCH):
+                chunk = non_empty[start : start + _BUILD_GENERATION_BATCH]
+                bounds = [self._threshold_policy.bind(members) for _, members in chunk]
+                results = generator.generate_batch([members for _, members in chunk], bounds)
+                for (vector_id, _members), result in zip(chunk, results):
+                    index.add(vector_id, result.paths)
+                    stats.total_filters += len(result.paths)
+                    if result.truncated:
+                        stats.truncated_vectors += 1
+                stats.generation_batches += 1
+        stats.build_seconds = time.perf_counter() - build_start
         self._build_stats = stats
         return stats
 
@@ -212,6 +239,7 @@ class FilterEngine:
         vector = frozenset(int(item) for item in members)
         vector_id = len(self._vectors)
         self._vectors.append(vector)
+        self._invalidate_candidate_store()
         self._build_stats.num_vectors += 1
         if not vector:
             return vector_id
@@ -343,3 +371,360 @@ class FilterEngine:
                 candidates.add(candidate_id)
         stats.unique_candidates = len(candidates)
         return candidates, stats
+
+    # ------------------------------------------------------------------ #
+    # Batched queries
+    # ------------------------------------------------------------------ #
+
+    def query_batch(
+        self,
+        queries: Sequence[SetLike],
+        mode: str = "first",
+        batch_size: int | None = None,
+        max_workers: int | None = None,
+        deduplicate: bool = True,
+    ) -> tuple[list[int | None], BatchQueryStats]:
+        """Answer many queries at once, amortising work across the batch.
+
+        Returns exactly the ids ``[query(q, mode)[0] for q in queries]``
+        would return, but executes the batch through the vectorised
+        subsystem: filter generation is level-synchronous across the whole
+        batch (one hash call per level per repetition), identical filter
+        probes are deduplicated through a batch probe cache, candidate
+        verification runs as array operations over a CSR view of the stored
+        vectors, and exact duplicate queries are answered once.
+
+        Parameters
+        ----------
+        queries:
+            The query sets, in answer order.
+        mode:
+            ``"first"`` or ``"best"``; see :meth:`query`.
+        batch_size:
+            Queries per vectorised execution chunk
+            (default :data:`~repro.core.config.DEFAULT_BATCH_SIZE`).
+        max_workers:
+            When set, independent chunks run on a ``concurrent.futures``
+            thread pool of this size.
+        deduplicate:
+            Answer exact duplicate queries once (default True).
+        """
+        if mode not in ("first", "best"):
+            raise ValueError(f"mode must be 'first' or 'best', got {mode!r}")
+        return self._execute_batched(
+            queries,
+            lambda chunk: self._query_batch_chunk(chunk, mode),
+            batch_size=batch_size,
+            max_workers=max_workers,
+            deduplicate=deduplicate,
+        )
+
+    def query_candidates_batch(
+        self,
+        queries: Sequence[SetLike],
+        batch_size: int | None = None,
+        max_workers: int | None = None,
+        deduplicate: bool = True,
+    ) -> tuple[list[set[int]], BatchQueryStats]:
+        """Batched :meth:`query_candidates`: one candidate set per query.
+
+        The similarity join consumes this to turn ``|R|`` single probes into
+        a streamed sequence of vectorised batches.  Results are exactly
+        ``[query_candidates(q)[0] for q in queries]``.
+        """
+        return self._execute_batched(
+            queries,
+            self._query_candidates_chunk,
+            batch_size=batch_size,
+            max_workers=max_workers,
+            deduplicate=deduplicate,
+        )
+
+    def _execute_batched(
+        self,
+        queries: Sequence[SetLike],
+        chunk_runner: Callable,
+        batch_size: int | None,
+        max_workers: int | None,
+        deduplicate: bool,
+    ) -> tuple[list, BatchQueryStats]:
+        """Shared orchestration: dedupe, chunk, (optionally) fan out, merge."""
+        start = time.perf_counter()
+        query_sets = [frozenset(int(item) for item in query) for query in queries]
+        chunk_size = int(batch_size) if batch_size is not None else DEFAULT_BATCH_SIZE
+        if chunk_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {chunk_size}")
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+
+        if deduplicate:
+            position_of: dict[frozenset[int], int] = {}
+            unique_sets: list[frozenset[int]] = []
+            source: list[int] = []
+            for query_set in query_sets:
+                position = position_of.get(query_set)
+                if position is None:
+                    position = len(unique_sets)
+                    position_of[query_set] = position
+                    unique_sets.append(query_set)
+                source.append(position)
+        else:
+            unique_sets = query_sets
+            source = list(range(len(query_sets)))
+
+        chunks = [
+            unique_sets[index : index + chunk_size]
+            for index in range(0, len(unique_sets), chunk_size)
+        ]
+        if max_workers and len(chunks) > 1 and self._vectors:
+            # Pre-instantiate lazily-created shared state so worker threads
+            # only ever read it.
+            for generator in self._generators:
+                generator.ensure_hash_levels()
+            self._ensure_candidate_store()
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                outputs = list(pool.map(chunk_runner, chunks))
+        else:
+            outputs = [chunk_runner(chunk) for chunk in chunks]
+
+        merged = BatchQueryStats(num_queries=len(query_sets))
+        unique_results: list = []
+        unique_stats: list[QueryStats] = []
+        for results, chunk_stats in outputs:
+            unique_results.extend(results)
+            unique_stats.extend(chunk_stats.per_query)
+            merged.distinct_filter_probes += chunk_stats.distinct_filter_probes
+            merged.duplicate_filter_probes += chunk_stats.duplicate_filter_probes
+            merged.generation_seconds += chunk_stats.generation_seconds
+            merged.verification_seconds += chunk_stats.verification_seconds
+
+        final_results: list = []
+        for position in source:
+            value = unique_results[position]
+            final_results.append(set(value) if isinstance(value, set) else value)
+            merged.per_query.append(replace(unique_stats[position]))
+        merged.queries_deduplicated = len(query_sets) - len(unique_sets)
+        merged.elapsed_seconds = time.perf_counter() - start
+        return final_results, merged
+
+    def _query_batch_chunk(
+        self, chunk: Sequence[frozenset[int]], mode: str
+    ) -> tuple[list[int | None], BatchQueryStats]:
+        """Answer one chunk of (already normalised, deduplicated) queries."""
+        chunk_stats = BatchQueryStats(
+            num_queries=len(chunk), per_query=[QueryStats() for _ in chunk]
+        )
+        results: list[int | None] = [None] * len(chunk)
+        if not self._vectors:
+            return results, chunk_stats
+        active = [index for index, query_set in enumerate(chunk) if query_set]
+        if not active:
+            return results, chunk_stats
+        members = {index: sorted(chunk[index]) for index in active}
+        bounds = {
+            index: self._threshold_policy.bind(members[index]) for index in active
+        }
+        evaluated: dict[int, set[int]] = {index: set() for index in active}
+        best: dict[int, tuple[int | None, float]] = {index: (None, -1.0) for index in active}
+        probe_cache: dict[tuple[int, tuple[int, ...]], list[int]] = {}
+        membership = np.zeros(self._probabilities.size, dtype=bool)
+
+        for repetition in range(self._repetitions):
+            if not active:
+                break
+            generation_start = time.perf_counter()
+            generations = self._generators[repetition].generate_batch(
+                [members[index] for index in active],
+                [bounds[index] for index in active],
+            )
+            chunk_stats.generation_seconds += time.perf_counter() - generation_start
+            inverted = self._indexes[repetition]
+            surviving: list[int] = []
+            for index, generation in zip(active, generations):
+                query_stats = chunk_stats.per_query[index]
+                query_stats.filters_generated += len(generation.paths)
+                query_stats.repetitions_used += 1
+                seen = evaluated[index]
+                ordered_new: list[int] = []
+                for path in generation.paths:
+                    postings = probe_cache.get((repetition, path))
+                    if postings is None:
+                        postings = inverted.lookup(path)
+                        probe_cache[(repetition, path)] = postings
+                        chunk_stats.distinct_filter_probes += 1
+                    else:
+                        chunk_stats.duplicate_filter_probes += 1
+                    query_stats.candidates_examined += len(postings)
+                    for candidate_id in postings:
+                        if candidate_id in seen or candidate_id in self._removed:
+                            continue
+                        seen.add(candidate_id)
+                        ordered_new.append(candidate_id)
+                resolved = False
+                if ordered_new:
+                    query_stats.unique_candidates += len(ordered_new)
+                    verification_start = time.perf_counter()
+                    similarities = self._batch_similarities(
+                        chunk[index], ordered_new, membership
+                    )
+                    query_stats.similarity_evaluations += len(ordered_new)
+                    chunk_stats.verification_seconds += (
+                        time.perf_counter() - verification_start
+                    )
+                    if mode == "first":
+                        hits = np.flatnonzero(similarities >= self._acceptance_threshold)
+                        if hits.size:
+                            results[index] = ordered_new[int(hits[0])]
+                            query_stats.found = True
+                            resolved = True
+                    else:
+                        top_position = int(np.argmax(similarities))
+                        top_similarity = float(similarities[top_position])
+                        if (
+                            top_similarity >= self._acceptance_threshold
+                            and top_similarity > best[index][1]
+                        ):
+                            best[index] = (ordered_new[top_position], top_similarity)
+                if not resolved:
+                    surviving.append(index)
+            active = surviving
+
+        if mode == "best":
+            for index, (best_id, _best_similarity) in best.items():
+                if best_id is not None:
+                    results[index] = best_id
+                    chunk_stats.per_query[index].found = True
+        return results, chunk_stats
+
+    def _query_candidates_chunk(
+        self, chunk: Sequence[frozenset[int]]
+    ) -> tuple[list[set[int]], BatchQueryStats]:
+        """Batched candidate enumeration for one chunk of queries."""
+        chunk_stats = BatchQueryStats(
+            num_queries=len(chunk), per_query=[QueryStats() for _ in chunk]
+        )
+        results: list[set[int]] = [set() for _ in chunk]
+        if not self._vectors:
+            return results, chunk_stats
+        active = [index for index, query_set in enumerate(chunk) if query_set]
+        if not active:
+            return results, chunk_stats
+        members = {index: sorted(chunk[index]) for index in active}
+        bounds = {
+            index: self._threshold_policy.bind(members[index]) for index in active
+        }
+        probe_cache: dict[tuple[int, tuple[int, ...]], list[int]] = {}
+
+        for repetition in range(self._repetitions):
+            generation_start = time.perf_counter()
+            generations = self._generators[repetition].generate_batch(
+                [members[index] for index in active],
+                [bounds[index] for index in active],
+            )
+            chunk_stats.generation_seconds += time.perf_counter() - generation_start
+            inverted = self._indexes[repetition]
+            for index, generation in zip(active, generations):
+                query_stats = chunk_stats.per_query[index]
+                query_stats.filters_generated += len(generation.paths)
+                query_stats.repetitions_used += 1
+                candidates = results[index]
+                for path in generation.paths:
+                    postings = probe_cache.get((repetition, path))
+                    if postings is None:
+                        postings = inverted.lookup(path)
+                        probe_cache[(repetition, path)] = postings
+                        chunk_stats.distinct_filter_probes += 1
+                    else:
+                        chunk_stats.duplicate_filter_probes += 1
+                    query_stats.candidates_examined += len(postings)
+                    for candidate_id in postings:
+                        if candidate_id not in self._removed:
+                            candidates.add(candidate_id)
+        for index in active:
+            chunk_stats.per_query[index].unique_candidates = len(results[index])
+        return results, chunk_stats
+
+    # ------------------------------------------------------------------ #
+    # Vectorised candidate verification
+    # ------------------------------------------------------------------ #
+
+    def _invalidate_candidate_store(self) -> None:
+        self._store_flat_items = None
+        self._store_offsets = None
+        self._store_sizes = None
+
+    def _ensure_candidate_store(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR view (flat items, start offsets, sizes) of the stored vectors."""
+        if self._store_flat_items is None:
+            sizes = np.fromiter(
+                (len(vector) for vector in self._vectors),
+                dtype=np.int64,
+                count=len(self._vectors),
+            )
+            offsets = np.zeros(len(self._vectors), dtype=np.int64)
+            if sizes.size:
+                offsets[1:] = np.cumsum(sizes)[:-1]
+            flat_items = np.fromiter(
+                (item for vector in self._vectors for item in vector),
+                dtype=np.int64,
+                count=int(sizes.sum()),
+            )
+            self._store_sizes = sizes
+            self._store_offsets = offsets
+            self._store_flat_items = flat_items
+        assert self._store_offsets is not None and self._store_sizes is not None
+        return self._store_flat_items, self._store_offsets, self._store_sizes
+
+    def _batch_similarities(
+        self,
+        query_set: frozenset[int],
+        candidate_ids: Sequence[int],
+        membership: np.ndarray,
+    ) -> np.ndarray:
+        """Similarities of many candidates against one query, vectorised.
+
+        Braun-Blanquet (the default) is computed with array operations: the
+        candidates' item lists are gathered from the CSR store and their
+        intersection sizes with the query's membership mask are obtained via
+        a single segmented reduction.  Custom similarity functions fall back
+        to per-pair evaluation.
+        """
+        if self._similarity is not braun_blanquet:
+            return np.asarray(
+                [
+                    self._similarity(self._vectors[candidate_id], query_set)
+                    for candidate_id in candidate_ids
+                ],
+                dtype=np.float64,
+            )
+        flat_items, offsets, sizes = self._ensure_candidate_store()
+        candidates = np.asarray(candidate_ids, dtype=np.int64)
+        lengths = sizes[candidates]
+        if lengths.size == 0 or int(lengths.min()) == 0:
+            # Degenerate (empty) stored vectors cannot use the segmented
+            # reduction; they should never be candidates, but stay exact.
+            return np.asarray(
+                [
+                    braun_blanquet(self._vectors[candidate_id], query_set)
+                    for candidate_id in candidate_ids
+                ],
+                dtype=np.float64,
+            )
+        query_items = np.fromiter(query_set, dtype=np.int64, count=len(query_set))
+        membership[query_items] = True
+        starts = offsets[candidates]
+        segment_ends = np.cumsum(lengths)
+        total = int(segment_ends[-1])
+        gather = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(segment_ends - lengths, lengths)
+            + np.repeat(starts, lengths)
+        )
+        hits = membership[flat_items[gather]].astype(np.int64)
+        boundaries = np.concatenate(([0], segment_ends[:-1]))
+        counts = np.add.reduceat(hits, boundaries)
+        membership[query_items] = False
+        denominators = np.maximum(lengths, len(query_set))
+        return counts / denominators

@@ -25,7 +25,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.thresholds import BoundThreshold
-from repro.hashing.pairwise import PathHasher
+from repro.hashing.pairwise import PathHasher, fold_path
 
 Path = tuple[int, ...]
 
@@ -51,6 +51,47 @@ class PathGenerationResult:
     paths: list[Path]
     truncated: bool
     expansions: int
+
+
+class _BatchState:
+    """Per-vector bookkeeping used by :meth:`PathGenerator.generate_batch`.
+
+    Frontier entries are ``(path, prefix_key, log_product, used_mask)``
+    tuples; the used-item set is a plain integer bitmask over the vector's
+    (sorted) item positions, which is both compact and fast to copy.
+    """
+
+    __slots__ = (
+        "items",
+        "item_array",
+        "log_probs",
+        "bound",
+        "frontier",
+        "finished",
+        "truncated",
+        "expansions",
+        "active",
+    )
+
+    def __init__(
+        self,
+        items: list[int],
+        item_array: np.ndarray,
+        log_probs: list[float],
+        bound: BoundThreshold,
+        root_key: int,
+    ):
+        self.items = items
+        self.item_array = item_array
+        self.log_probs = log_probs
+        self.bound = bound
+        self.frontier: list[tuple[Path, int, float, int]] = (
+            [((), root_key, 0.0, 0)] if items else []
+        )
+        self.finished: list[Path] = []
+        self.truncated = False
+        self.expansions = 0
+        self.active = bool(items)
 
 
 class PathGenerator:
@@ -118,6 +159,15 @@ class PathGenerator:
     @property
     def stop_product(self) -> float | None:
         return self._stop_product
+
+    def ensure_hash_levels(self) -> None:
+        """Pre-instantiate every hash level this generator can reach.
+
+        The per-level hash functions are created lazily; calling this before
+        fanning generation out over worker threads guarantees the shared
+        family is only ever read concurrently.
+        """
+        self._hasher.ensure_levels(self._max_depth)
 
     def generate(self, items: Sequence[int], threshold: BoundThreshold) -> PathGenerationResult:
         """Generate the filters of the vector whose set bits are ``items``.
@@ -205,3 +255,133 @@ class PathGenerator:
             finished.extend(path for path, _log_product, _mask in frontier)
 
         return PathGenerationResult(paths=finished, truncated=truncated, expansions=expansions)
+
+    def generate_batch(
+        self,
+        items_per_vector: Sequence[Sequence[int]],
+        thresholds: Sequence[BoundThreshold],
+    ) -> list[PathGenerationResult]:
+        """Generate the filters of many vectors in one level-synchronous pass.
+
+        Semantically equivalent to ``[generate(items, bound) for items, bound
+        in zip(...)]`` — every vector's paths come back in the same order,
+        with the same truncation behaviour — but the candidate extensions of
+        the *entire batch frontier* are hashed in a single vectorised call
+        per level, and each vector's sampling thresholds are evaluated once
+        per level instead of once per frontier entry.  This amortisation is
+        the core of the batched query subsystem.
+        """
+        if len(items_per_vector) != len(thresholds):
+            raise ValueError("need exactly one threshold per vector")
+
+        root_key = fold_path(())
+        states: list[_BatchState] = []
+        for members, bound in zip(items_per_vector, thresholds):
+            sorted_items = sorted(int(item) for item in members)
+            if sorted_items and (
+                sorted_items[0] < 0 or sorted_items[-1] >= self._probabilities.size
+            ):
+                raise ValueError("vector contains an item outside the universe")
+            item_array = np.asarray(sorted_items, dtype=np.int64)
+            clamped = np.maximum(
+                self._probabilities[item_array], self._probability_floor
+            ) if sorted_items else np.empty(0, dtype=np.float64)
+            log_probs = [math.log(value) for value in clamped.tolist()]
+            states.append(_BatchState(sorted_items, item_array, log_probs, bound, root_key))
+
+        log_stop = math.log(self._stop_product) if self._stop_product is not None else None
+
+        for level in range(self._max_depth):
+            # -- collection: flatten every candidate extension of the level --
+            work: list[tuple[_BatchState, list[tuple[tuple[Path, int, float, int], list[int]]], int]] = []
+            key_parts: list[np.ndarray] = []
+            item_parts: list[np.ndarray] = []
+            probability_parts: list[np.ndarray] = []
+            for state in states:
+                if not state.active or not state.frontier:
+                    continue
+                entries: list[tuple[tuple[Path, int, float, int], list[int]]] = []
+                flat_items: list[int] = []
+                entry_keys: list[int] = []
+                entry_counts: list[int] = []
+                for entry in state.frontier:
+                    mask = entry[3]
+                    positions = [
+                        position
+                        for position in range(len(state.items))
+                        if not (mask >> position) & 1
+                    ]
+                    if not positions:
+                        continue
+                    entries.append((entry, positions))
+                    flat_items.extend(state.items[position] for position in positions)
+                    entry_keys.append(entry[1])
+                    entry_counts.append(len(positions))
+                if not entries:
+                    state.frontier = []
+                    continue
+                item_array = np.asarray(flat_items, dtype=np.int64)
+                probability_parts.append(state.bound.sampling_probabilities(level, item_array))
+                item_parts.append(item_array)
+                key_parts.append(
+                    np.repeat(np.asarray(entry_keys, dtype=np.uint64), entry_counts)
+                )
+                work.append((state, entries, len(flat_items)))
+            if not work:
+                break
+
+            extended_keys, hash_values = self._hasher.extension_pairs_flat(
+                np.concatenate(key_parts), np.concatenate(item_parts), level
+            )
+            chosen_flat = hash_values < np.concatenate(probability_parts)
+
+            # -- materialisation: replay the serial order per vector --
+            query_start = 0
+            for state, entries, total_candidates in work:
+                offset = query_start
+                query_start += total_candidates
+                next_frontier: list[tuple[Path, int, float, int]] = []
+                for entry, positions in entries:
+                    if state.truncated:
+                        break
+                    path, _key, log_product, mask = entry
+                    state.expansions += 1
+                    for local_index, position in enumerate(positions):
+                        if not chosen_flat[offset + local_index]:
+                            continue
+                        new_path = path + (state.items[position],)
+                        new_log_product = log_product + state.log_probs[position]
+                        if log_stop is not None and new_log_product <= log_stop:
+                            state.finished.append(new_path)
+                        else:
+                            next_frontier.append(
+                                (
+                                    new_path,
+                                    int(extended_keys[offset + local_index]),
+                                    new_log_product,
+                                    mask | (1 << position),
+                                )
+                            )
+                        if (
+                            self._max_paths is not None
+                            and len(state.finished) + len(next_frontier) >= self._max_paths
+                        ):
+                            state.truncated = True
+                            break
+                    offset += len(positions)
+                state.frontier = next_frontier
+                if state.truncated:
+                    state.active = False
+
+        results: list[PathGenerationResult] = []
+        for state in states:
+            if self._collect_at_max_depth:
+                state.finished.extend(path for path, _key, _log, _mask in state.frontier)
+            results.append(
+                PathGenerationResult(
+                    paths=state.finished,
+                    truncated=state.truncated,
+                    expansions=state.expansions,
+                )
+            )
+        return results

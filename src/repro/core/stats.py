@@ -8,17 +8,25 @@ analytic predictions of :mod:`repro.theory`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Any, Mapping
 
 
 @dataclass
 class BuildStats:
-    """Statistics collected while building an index."""
+    """Statistics collected while building an index.
+
+    ``build_seconds`` records the wall-clock time of the build;
+    ``generation_batches`` counts the vectorised generation batches the
+    build was executed in (0 for non-batched builders).
+    """
 
     num_vectors: int = 0
     total_filters: int = 0
     truncated_vectors: int = 0
     repetitions: int = 0
+    build_seconds: float = 0.0
+    generation_batches: int = 0
 
     @property
     def filters_per_vector(self) -> float:
@@ -34,7 +42,19 @@ class BuildStats:
             total_filters=self.total_filters + other.total_filters,
             truncated_vectors=self.truncated_vectors + other.truncated_vectors,
             repetitions=self.repetitions + other.repetitions,
+            build_seconds=self.build_seconds + other.build_seconds,
+            generation_batches=self.generation_batches + other.generation_batches,
         )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-serialisable)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "BuildStats":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored."""
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{key: value for key, value in payload.items() if key in known})
 
 
 @dataclass
@@ -81,6 +101,114 @@ class QueryStats:
     def total_work(self) -> int:
         """A single work figure: filters generated plus candidates examined."""
         return self.filters_generated + self.candidates_examined
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-serialisable)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "QueryStats":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored."""
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{key: value for key, value in payload.items() if key in known})
+
+
+@dataclass
+class BatchQueryStats:
+    """Statistics for one ``query_batch`` / ``query_candidates_batch`` call.
+
+    The per-query entries reflect the work the *batched* execution actually
+    performed for each query: results are identical to running the queries
+    one by one, but some counters (e.g. ``similarity_evaluations``) can
+    differ from the serial execution because verification is vectorised over
+    whole candidate lists and filter generation is amortised.
+
+    Attributes
+    ----------
+    num_queries:
+        Number of queries in the batch (including deduplicated ones).
+    per_query:
+        One :class:`QueryStats` per input query, in input order.
+    distinct_filter_probes:
+        Number of distinct (repetition, filter) inverted-index lookups the
+        batch performed.
+    duplicate_filter_probes:
+        Lookups answered from the batch probe cache because another query in
+        the batch (or an earlier repetition pass) already probed the same
+        filter — the "dedupe hits".
+    queries_deduplicated:
+        Queries that were exact duplicates of an earlier query in the batch
+        and were answered without re-executing.
+    elapsed_seconds:
+        Wall-clock time of the whole batch call.
+    generation_seconds / verification_seconds:
+        Time spent in batched filter generation and in candidate
+        verification (0 for loop-based fallbacks that do not split phases).
+    """
+
+    num_queries: int = 0
+    per_query: list[QueryStats] = field(default_factory=list)
+    distinct_filter_probes: int = 0
+    duplicate_filter_probes: int = 0
+    queries_deduplicated: int = 0
+    elapsed_seconds: float = 0.0
+    generation_seconds: float = 0.0
+    verification_seconds: float = 0.0
+
+    @property
+    def dedupe_hit_rate(self) -> float:
+        """Fraction of filter probes answered from the batch probe cache."""
+        total = self.distinct_filter_probes + self.duplicate_filter_probes
+        if total == 0:
+            return 0.0
+        return self.duplicate_filter_probes / total
+
+    @property
+    def num_found(self) -> int:
+        """Number of queries that found an acceptable vector."""
+        return sum(1 for stats in self.per_query if stats.found)
+
+    @property
+    def queries_per_second(self) -> float:
+        """Throughput of the batch call (0 when no time was recorded)."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.num_queries / self.elapsed_seconds
+
+    @property
+    def total_work(self) -> int:
+        """Total filters generated plus candidates examined over the batch."""
+        return sum(stats.total_work for stats in self.per_query)
+
+    def merge(self, other: "BatchQueryStats") -> "BatchQueryStats":
+        """Combine two batch results (e.g. chunks of a larger batch)."""
+        return BatchQueryStats(
+            num_queries=self.num_queries + other.num_queries,
+            per_query=self.per_query + other.per_query,
+            distinct_filter_probes=self.distinct_filter_probes + other.distinct_filter_probes,
+            duplicate_filter_probes=self.duplicate_filter_probes
+            + other.duplicate_filter_probes,
+            queries_deduplicated=self.queries_deduplicated + other.queries_deduplicated,
+            elapsed_seconds=self.elapsed_seconds + other.elapsed_seconds,
+            generation_seconds=self.generation_seconds + other.generation_seconds,
+            verification_seconds=self.verification_seconds + other.verification_seconds,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-serialisable, nested per-query stats)."""
+        payload = asdict(self)
+        payload["per_query"] = [stats.to_dict() for stats in self.per_query]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "BatchQueryStats":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored."""
+        known = {f for f in cls.__dataclass_fields__}
+        fields = {key: value for key, value in payload.items() if key in known}
+        fields["per_query"] = [
+            QueryStats.from_dict(entry) for entry in fields.get("per_query", [])
+        ]
+        return cls(**fields)
 
 
 @dataclass

@@ -18,7 +18,7 @@ seconds; the generator accepts a ``scale`` argument to grow them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -12,7 +12,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Protocol, Sequence
 
-from repro.core.stats import QueryStats
+from repro.core.stats import BatchQueryStats, QueryStats
 from repro.evaluation.metrics import (
     WorkSummary,
     acceptable_rate,
@@ -81,6 +81,7 @@ class ExperimentResult:
     acceptable: float | None = None
     work: WorkSummary | None = None
     total_stored_filters: int | None = None
+    batch_stats: BatchQueryStats | None = None
 
     def as_row(self) -> dict[str, object]:
         """Flat dictionary suitable for the text-table reporter."""
@@ -101,6 +102,8 @@ class ExperimentResult:
             row["mean_filters"] = round(self.work.mean_filters, 1)
         if self.total_stored_filters is not None:
             row["stored_filters"] = self.total_stored_filters
+        if self.batch_stats is not None:
+            row["dedupe_rate"] = round(self.batch_stats.dedupe_hit_rate, 3)
         return row
 
 
@@ -110,6 +113,8 @@ def run_workload(
     workload: QueryWorkload,
     method_name: str,
     query_mode: str = "first",
+    batch_size: int | None = None,
+    max_workers: int | None = None,
 ) -> ExperimentResult:
     """Build an index over ``dataset`` and run every query of the workload.
 
@@ -125,6 +130,13 @@ def run_workload(
         Label recorded in the result (used by the reporters).
     query_mode:
         Forwarded to the index's ``query`` method.
+    batch_size:
+        When set and the index exposes ``query_batch``, the workload runs
+        through the batched subsystem in chunks of this size (the results
+        are identical to the per-query loop); the returned result then
+        carries the batch statistics.
+    max_workers:
+        Optional worker-pool fan-out for the batched execution.
     """
     index = index_factory()
     build_start = time.perf_counter()
@@ -133,11 +145,21 @@ def run_workload(
 
     returned: list[int | None] = []
     stats: list[QueryStats] = []
+    batch_stats: BatchQueryStats | None = None
     query_start = time.perf_counter()
-    for query in workload.queries:
-        result_id, query_stat = index.query(query, mode=query_mode)
-        returned.append(result_id)
-        stats.append(query_stat)
+    if batch_size is not None and hasattr(index, "query_batch"):
+        returned, batch_stats = index.query_batch(
+            workload.queries,
+            mode=query_mode,
+            batch_size=batch_size,
+            max_workers=max_workers,
+        )
+        stats = batch_stats.per_query
+    else:
+        for query in workload.queries:
+            result_id, query_stat = index.query(query, mode=query_mode)
+            returned.append(result_id)
+            stats.append(query_stat)
     query_seconds = time.perf_counter() - query_start
 
     result = ExperimentResult(
@@ -151,6 +173,7 @@ def run_workload(
         success=success_rate(returned),
         work=work_summary(stats),
         total_stored_filters=getattr(index, "total_stored_filters", None),
+        batch_stats=batch_stats,
     )
     if workload.expected_ids is not None:
         result.recall = recall_at_one(returned, workload.expected_ids)
@@ -164,13 +187,25 @@ def compare_indexes(
     dataset: Sequence[SetLike],
     workload: QueryWorkload,
     query_mode: str = "first",
+    batch_size: int | None = None,
+    max_workers: int | None = None,
 ) -> list[ExperimentResult]:
     """Run the same workload against several index factories.
 
     Returns one :class:`ExperimentResult` per method, in the iteration order
-    of the ``factories`` mapping.
+    of the ``factories`` mapping.  ``batch_size`` (and optionally
+    ``max_workers``) route the workload through each index's batched
+    execution path where available.
     """
     return [
-        run_workload(factory, dataset, workload, method_name=name, query_mode=query_mode)
+        run_workload(
+            factory,
+            dataset,
+            workload,
+            method_name=name,
+            query_mode=query_mode,
+            batch_size=batch_size,
+            max_workers=max_workers,
+        )
         for name, factory in factories.items()
     ]

@@ -28,6 +28,22 @@ MERSENNE_PRIME = (1 << 61) - 1
 
 _MASK_64 = (1 << 64) - 1
 
+_PRIME_U64 = np.uint64(MERSENNE_PRIME)
+_PRIME_FLOAT = float(MERSENNE_PRIME)
+_LOW32_U64 = np.uint64((1 << 32) - 1)
+_LOW29_U64 = np.uint64((1 << 29) - 1)
+
+
+def _mod_mersenne(values: np.ndarray) -> np.ndarray:
+    """Reduce an array of uint64 values modulo ``2^61 - 1`` exactly.
+
+    Uses the identity ``2^61 ≡ 1 (mod p)``: folding the top bits down gives a
+    value below ``2p``, after which a single conditional subtract finishes the
+    reduction.
+    """
+    folded = (values & _PRIME_U64) + (values >> np.uint64(61))
+    return np.where(folded >= _PRIME_U64, folded - _PRIME_U64, folded)
+
 
 def splitmix64(value: int) -> int:
     """Mix a 64-bit integer using the SplitMix64 finalizer.
@@ -39,6 +55,14 @@ def splitmix64(value: int) -> int:
     value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK_64
     value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK_64
     return (value ^ (value >> 31)) & _MASK_64
+
+
+def splitmix64_array(values: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`splitmix64` over a uint64 array (bit-identical)."""
+    values = (values + np.uint64(0x9E3779B97F4A7C15))
+    values = (values ^ (values >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    values = (values ^ (values >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return values ^ (values >> np.uint64(31))
 
 
 def fold_path(path: Sequence[int]) -> int:
@@ -64,6 +88,23 @@ def extend_key(prefix_key: int, item: int) -> int:
     return splitmix64(prefix_key ^ ((int(item) + 1) & _MASK_64))
 
 
+def extend_keys(prefix_keys: np.ndarray, items: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`extend_key`: extended keys for many (path, item) pairs.
+
+    Parameters
+    ----------
+    prefix_keys:
+        uint64 array of folded prefix keys, one per extension considered.
+    items:
+        Integer array of the items extending each prefix (non-negative).
+
+    Bit-identical to calling :func:`extend_key` elementwise.
+    """
+    prefix_keys = np.ascontiguousarray(prefix_keys, dtype=np.uint64)
+    item_keys = np.ascontiguousarray(items, dtype=np.uint64) + np.uint64(1)
+    return splitmix64_array(prefix_keys ^ item_keys)
+
+
 class PairwiseHash:
     """A single pairwise independent hash function ``h : Z -> [0, 1)``.
 
@@ -85,23 +126,44 @@ class PairwiseHash:
         return self._a, self._b
 
     def hash_int(self, key: int) -> float:
-        """Hash an integer key to a float in ``[0, 1)``."""
+        """Hash an integer key to a float in ``[0, 1)``.
+
+        The float conversion happens before the division (rather than
+        dividing exact integers) so that the scalar and the vectorised
+        :meth:`hash_many` paths produce bit-identical values.
+        """
         value = (self._a * (int(key) % MERSENNE_PRIME) + self._b) % MERSENNE_PRIME
-        return value / MERSENNE_PRIME
+        return float(value) / _PRIME_FLOAT
 
     def hash_many(self, keys: np.ndarray) -> np.ndarray:
         """Hash an array of integer keys to floats in ``[0, 1)``.
 
-        Uses Python-object arithmetic per element to avoid 64-bit overflow;
-        keys are expected to be modest in number (one per candidate
-        extension), so this is not a hot loop in vectorised form.
+        Fully vectorised and bit-identical to :meth:`hash_int`: the
+        multiply-add over the Mersenne prime ``p = 2^61 - 1`` is carried out
+        in uint64 arithmetic by splitting both operands into 32-bit halves
+        and folding the partial products with ``2^61 ≡ 1 (mod p)``
+        (``2^64 ≡ 8`` and ``2^32 · m ≡ (m >> 29) + ((m & (2^29−1)) << 32)``),
+        so no intermediate ever exceeds 64 bits.
         """
-        out = np.empty(len(keys), dtype=np.float64)
-        a = self._a
-        b = self._b
-        for index, key in enumerate(keys):
-            out[index] = ((a * (int(key) % MERSENNE_PRIME) + b) % MERSENNE_PRIME) / MERSENNE_PRIME
-        return out
+        keys_u64 = np.ascontiguousarray(keys, dtype=np.uint64)
+        reduced = _mod_mersenne(keys_u64)
+
+        a_hi = np.uint64(self._a >> 32)
+        a_lo = np.uint64(self._a & ((1 << 32) - 1))
+        x_hi = reduced >> np.uint64(32)
+        x_lo = reduced & _LOW32_U64
+
+        # a·x = a_hi·x_hi·2^64 + (a_hi·x_lo + a_lo·x_hi)·2^32 + a_lo·x_lo,
+        # with every partial product below 2^64.
+        high = _mod_mersenne(np.uint64(8) * (a_hi * x_hi))
+        middle = _mod_mersenne(a_hi * x_lo + a_lo * x_hi)
+        middle = _mod_mersenne(
+            (middle >> np.uint64(29)) + ((middle & _LOW29_U64) << np.uint64(32))
+        )
+        low = _mod_mersenne(a_lo * x_lo)
+
+        total = _mod_mersenne(high + middle + low + np.uint64(self._b))
+        return total.astype(np.float64) / float(MERSENNE_PRIME)
 
     def __call__(self, key: int) -> float:
         return self.hash_int(key)
@@ -166,22 +228,62 @@ class PathHasher:
         self, path: Sequence[int], items: Iterable[int], level: int
     ) -> np.ndarray:
         """Vector of hash values for extending ``path`` with each of ``items``."""
-        hash_function = self._family.level(level)
-        prefix_key = fold_path(path)
-        values = [hash_function.hash_int(extend_key(prefix_key, item)) for item in items]
-        return np.asarray(values, dtype=np.float64)
+        return self.extension_values_from_key(fold_path(path), items, level)
 
     def extension_values_from_key(
         self, prefix_key: int, items: Iterable[int], level: int
     ) -> np.ndarray:
         """Like :meth:`extension_values` but reusing a precomputed prefix key."""
-        hash_function = self._family.level(level)
-        values = [hash_function.hash_int(extend_key(prefix_key, item)) for item in items]
-        return np.asarray(values, dtype=np.float64)
+        item_array = np.fromiter((int(item) for item in items), dtype=np.int64)
+        prefix_keys = np.full(item_array.size, np.uint64(prefix_key), dtype=np.uint64)
+        return self.extension_values_flat(prefix_keys, item_array, level)
+
+    def extension_values_flat(
+        self, prefix_keys: np.ndarray, items: np.ndarray, level: int
+    ) -> np.ndarray:
+        """Hash many path extensions at once, all at the same level.
+
+        Parameters
+        ----------
+        prefix_keys:
+            uint64 array of folded prefix keys — one per extension, so
+            extensions of *different* paths (and different queries) can be
+            hashed in a single call.
+        items:
+            The item extending each prefix (same length as ``prefix_keys``).
+        level:
+            The recursion level shared by every extension in the call.
+
+        This is the batched-query hot path: one call hashes every candidate
+        extension of an entire batch frontier.
+        """
+        return self._family.level(level).hash_many(extend_keys(prefix_keys, items))
+
+    def extension_pairs_flat(
+        self, prefix_keys: np.ndarray, items: np.ndarray, level: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Like :meth:`extension_values_flat` but also returns the extended keys.
+
+        The keys are the folded identifiers of each extended path
+        ``v ∘ item``; a batched generator reuses them as prefix keys at the
+        next level, avoiding any per-path re-folding.
+        """
+        keys = extend_keys(prefix_keys, items)
+        return keys, self._family.level(level).hash_many(keys)
 
     def path_key(self, path: Sequence[int]) -> int:
         """Stable 64-bit key identifying a path (used by inverted indexes)."""
         return fold_path(path)
+
+    def ensure_levels(self, count: int) -> None:
+        """Eagerly instantiate the first ``count`` per-level hash functions.
+
+        Levels are otherwise created lazily on first use, which is not safe
+        when multiple threads share one hasher; call this before any
+        concurrent use.
+        """
+        if count > 0:
+            self._family.level(count - 1)
 
     def __repr__(self) -> str:
         return f"PathHasher(seed={self._seed})"

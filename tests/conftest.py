@@ -3,6 +3,11 @@
 Fixtures are deliberately small (hundreds of vectors at most, few
 repetitions) so that the whole suite runs in well under a minute; the
 benchmark harness is where larger instances live.
+
+All randomness is seeded through :mod:`repro.testing`, the deterministic
+seed registry shared with ``benchmarks/conftest.py``, so test and benchmark
+datasets stay reproducible from a single source of truth (override the base
+with the ``REPRO_SEED_BASE`` environment variable).
 """
 
 from __future__ import annotations
@@ -12,6 +17,13 @@ import pytest
 
 from repro.data.distributions import ItemDistribution
 from repro.data.families import two_block_probabilities, uniform_probabilities
+from repro.testing import base_seed, rng_for
+
+
+@pytest.fixture(scope="session")
+def deterministic_seed() -> int:
+    """The base seed every dataset fixture derives from (default 0)."""
+    return base_seed()
 
 
 @pytest.fixture(scope="session")
@@ -35,14 +47,12 @@ def uniform_distribution() -> ItemDistribution:
 @pytest.fixture(scope="session")
 def skewed_dataset(skewed_distribution: ItemDistribution) -> list[frozenset[int]]:
     """150 vectors sampled from the skewed distribution (deterministic)."""
-    rng = np.random.default_rng(12345)
-    vectors = skewed_distribution.sample_many(150, rng)
+    vectors = skewed_distribution.sample_many(150, rng_for("tests:skewed-dataset"))
     return [vector if vector else frozenset({0}) for vector in vectors]
 
 
 @pytest.fixture(scope="session")
 def uniform_dataset(uniform_distribution: ItemDistribution) -> list[frozenset[int]]:
     """150 vectors sampled from the uniform distribution (deterministic)."""
-    rng = np.random.default_rng(54321)
-    vectors = uniform_distribution.sample_many(150, rng)
+    vectors = uniform_distribution.sample_many(150, rng_for("tests:uniform-dataset"))
     return [vector if vector else frozenset({0}) for vector in vectors]

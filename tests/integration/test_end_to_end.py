@@ -10,7 +10,6 @@ from repro import (
     ChosenPathIndex,
     CorrelatedIndex,
     CorrelatedIndexConfig,
-    ItemDistribution,
     MinHashIndex,
     PrefixFilterIndex,
     SetCollection,
