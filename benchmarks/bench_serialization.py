@@ -1,0 +1,147 @@
+"""Binary persistence (format v2) vs the legacy v1 JSON dump.
+
+Builds a skew-adaptive index over ``n`` vectors (``REPRO_BENCH_SER_N``,
+default 10 000), saves it in both formats and measures file size, save time
+and load time.  The acceptance bound of the persistence subsystem is that
+the v2 container is >= 5x smaller and ``load_index`` >= 5x faster than the
+v1 JSON path at the default size, with the loaded index answering a query
+sample identically to the original — all asserted here.
+
+CI runs this on a small size (``REPRO_BENCH_SER_N=2000``) as a smoke check
+and uploads the pytest-benchmark JSON (``BENCH_serialization.json``) as an
+artifact; the acceptance-level configuration is the default n=10000.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.config import SkewAdaptiveIndexConfig
+from repro.core.serialization import _save_legacy_v1, load_index, save_index
+from repro.core.skewed_index import SkewAdaptiveIndex
+from repro.evaluation.reporting import format_table
+from repro.testing import rng_for
+
+#: Acceptance bounds at the default n=10000 (smaller sizes are smoke-only:
+#: fixed overheads dominate tiny files, so the gates scale down with n).
+MIN_SIZE_RATIO = 5.0
+MIN_LOAD_SPEEDUP = 5.0
+
+#: Below this dataset size the 5x bounds are relaxed to this floor.
+SMOKE_FLOOR = 2.0
+ACCEPTANCE_N = 10_000
+
+
+def _run(distribution, num_vectors: int, tmp_path) -> dict:
+    rng = rng_for("bench:serialization-dataset")
+    dataset = [
+        vector if vector else frozenset({0})
+        for vector in distribution.sample_many(num_vectors, rng)
+    ]
+    index = SkewAdaptiveIndex(
+        distribution, config=SkewAdaptiveIndexConfig(b1=0.5, repetitions=4, seed=1)
+    )
+    index.build(dataset)
+
+    v1_path = tmp_path / "index_v1.json"
+    v2_path = tmp_path / "index_v2.bin"
+
+    v1_save_start = time.perf_counter()
+    _save_legacy_v1(index, v1_path)
+    v1_save_seconds = time.perf_counter() - v1_save_start
+
+    v2_save_start = time.perf_counter()
+    save_index(index, v2_path)
+    v2_save_seconds = time.perf_counter() - v2_save_start
+
+    v1_load_start = time.perf_counter()
+    loaded_v1 = load_index(v1_path)
+    v1_load_seconds = time.perf_counter() - v1_load_start
+
+    v2_load_start = time.perf_counter()
+    loaded_v2 = load_index(v2_path)
+    v2_load_seconds = time.perf_counter() - v2_load_start
+
+    sample = dataset[: min(50, len(dataset))]
+    original = [index.query(query)[0] for query in sample]
+    assert [loaded_v2.query(query)[0] for query in sample] == original, (
+        "v2-loaded index diverged from the original"
+    )
+    assert [loaded_v1.query(query)[0] for query in sample] == original, (
+        "v1-loaded index diverged from the original"
+    )
+
+    v1_size = v1_path.stat().st_size
+    v2_size = v2_path.stat().st_size
+    return {
+        "num_vectors": num_vectors,
+        "v1_size": v1_size,
+        "v2_size": v2_size,
+        "size_ratio": v1_size / v2_size,
+        "v1_save_seconds": v1_save_seconds,
+        "v2_save_seconds": v2_save_seconds,
+        "v1_load_seconds": v1_load_seconds,
+        "v2_load_seconds": v2_load_seconds,
+        "load_speedup": v1_load_seconds / v2_load_seconds,
+    }
+
+
+def test_binary_persistence_vs_v1_json(benchmark, bench_skewed_distribution, tmp_path):
+    num_vectors = int(os.environ.get("REPRO_BENCH_SER_N", str(ACCEPTANCE_N)))
+
+    result = benchmark.pedantic(
+        _run,
+        kwargs=dict(
+            distribution=bench_skewed_distribution,
+            num_vectors=num_vectors,
+            tmp_path=tmp_path,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(
+        format_table(
+            [
+                {
+                    "n": result["num_vectors"],
+                    "v1 bytes": result["v1_size"],
+                    "v2 bytes": result["v2_size"],
+                    "size ratio": round(result["size_ratio"], 2),
+                    "v1 load s": round(result["v1_load_seconds"], 3),
+                    "v2 load s": round(result["v2_load_seconds"], 3),
+                    "load speedup": round(result["load_speedup"], 2),
+                }
+            ],
+            title="Binary persistence (v2) vs legacy JSON (v1), identical queries",
+        )
+    )
+
+    benchmark.extra_info.update(
+        {
+            "paper_expectation": "build once, reload everywhere: the filter "
+            "structure costs O(d n^(1+rho)) to build, so loads must be cheap",
+            "num_vectors": result["num_vectors"],
+            "v1_size_bytes": result["v1_size"],
+            "v2_size_bytes": result["v2_size"],
+            "serialization_size_ratio": result["size_ratio"],
+            "v1_load_seconds": result["v1_load_seconds"],
+            "v2_load_seconds": result["v2_load_seconds"],
+            "serialization_load_speedup": result["load_speedup"],
+            "min_size_ratio_gate": MIN_SIZE_RATIO,
+            "min_load_speedup_gate": MIN_LOAD_SPEEDUP,
+        }
+    )
+
+    size_bound = MIN_SIZE_RATIO if num_vectors >= ACCEPTANCE_N else SMOKE_FLOOR
+    load_bound = MIN_LOAD_SPEEDUP if num_vectors >= ACCEPTANCE_N else SMOKE_FLOOR
+    assert result["size_ratio"] >= size_bound, (
+        f"v2 files regressed: only {result['size_ratio']:.2f}x smaller than v1 "
+        f"(bound {size_bound}x at n={num_vectors})"
+    )
+    assert result["load_speedup"] >= load_bound, (
+        f"v2 loads regressed: only {result['load_speedup']:.2f}x faster than v1 "
+        f"(bound {load_bound}x at n={num_vectors})"
+    )

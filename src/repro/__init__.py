@@ -34,8 +34,12 @@ from repro.core import (
     CorrelatedIndex,
     CorrelatedIndexConfig,
     JoinResult,
+    PersistenceConfig,
     SkewAdaptiveIndex,
     SkewAdaptiveIndexConfig,
+    convert_index_file,
+    load_index,
+    save_index,
     similarity_join,
     similarity_self_join,
 )
@@ -70,6 +74,11 @@ __all__ = [
     "similarity_join",
     "similarity_self_join",
     "JoinResult",
+    # Persistence
+    "PersistenceConfig",
+    "save_index",
+    "load_index",
+    "convert_index_file",
     # Baselines
     "BruteForceIndex",
     "ChosenPathIndex",

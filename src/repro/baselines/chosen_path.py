@@ -92,6 +92,11 @@ class ChosenPathIndex:
     # ------------------------------------------------------------------ #
 
     @property
+    def dimension(self) -> int:
+        """Universe size ``d`` the structure was sized for."""
+        return self._dimension
+
+    @property
     def b1(self) -> float:
         return self._b1
 
@@ -127,12 +132,21 @@ class ChosenPathIndex:
     def build(self, collection: Iterable[SetLike]) -> BuildStats:
         """Index a dataset."""
         vectors = [frozenset(int(item) for item in members) for members in collection]
-        num_vectors = max(len(vectors), 1)
+        self._engine = self._create_engine(max(len(vectors), 1))
+        return self._engine.build(vectors)
+
+    def _create_engine(self, num_vectors: int) -> FilterEngine:
+        """A fresh, empty engine for a dataset of the given size.
+
+        Exposed so that :mod:`repro.core.serialization` can reconstruct the
+        engine from the saved configuration and restore the saved state
+        directly, without a placeholder build.
+        """
         depth = chosen_path_depth(num_vectors, self._b2)
         # The engine needs per-item probabilities only for its stopping rule,
         # which Chosen Path does not use; pass a uniform placeholder.
         placeholder = np.full(self._dimension, 0.5, dtype=np.float64)
-        self._engine = FilterEngine(
+        return FilterEngine(
             probabilities=placeholder,
             threshold_policy=ConstantThreshold(self._b1),
             acceptance_threshold=self._b1,
@@ -144,7 +158,6 @@ class ChosenPathIndex:
             max_paths_per_vector=self._max_paths_per_vector,
             seed=self._seed,
         )
-        return self._engine.build(vectors)
 
     def query(self, query: SetLike, mode: str = "first") -> tuple[int | None, QueryStats]:
         """Return a stored vector with ``B(x, q) >= b1``, or ``None``."""
@@ -197,6 +210,23 @@ class ChosenPathIndex:
         self._require_built()
         assert self._engine is not None
         return self._engine.vectors[vector_id]
+
+    def insert(self, members: SetLike) -> int:
+        """Insert one vector into the built index and return its id.
+
+        Note that the fixed Chosen Path depth was derived from the dataset
+        size at build time; as with the paper indexes, large growth warrants
+        a rebuild.
+        """
+        self._require_built()
+        assert self._engine is not None
+        return self._engine.insert(members)
+
+    def remove(self, vector_id: int) -> None:
+        """Remove a stored vector by id (it stops appearing in results)."""
+        self._require_built()
+        assert self._engine is not None
+        self._engine.remove(vector_id)
 
     def _require_built(self) -> None:
         if self._engine is None:

@@ -9,12 +9,16 @@ Python:
   the predicted query exponents (the Section 8 analyses applied to your own
   data);
 * ``repro build`` — build a skew-adaptive index over a transaction file and
-  save it to disk;
+  save it to disk (binary format v2);
 * ``repro query`` — load a saved index and run queries from a transaction
   file, printing matches and work statistics.
 * ``repro query-batch`` — the same workload through the batched execution
   engine: vectorised filter generation, probe deduplication across the
   batch and optional worker-pool fan-out, with throughput reporting.
+* ``repro convert`` — rewrite a saved index (e.g. a legacy v1 JSON file) in
+  the current binary format;
+* ``repro inspect`` — print the configuration, build statistics and storage
+  footprint of a saved index without running queries;
 * ``repro experiments`` — regenerate one of the paper's tables/figures as a
   text table.
 
@@ -95,7 +99,11 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
-    from repro.core.config import CorrelatedIndexConfig, SkewAdaptiveIndexConfig
+    from repro.core.config import (
+        CorrelatedIndexConfig,
+        PersistenceConfig,
+        SkewAdaptiveIndexConfig,
+    )
     from repro.core.correlated_index import CorrelatedIndex
     from repro.core.serialization import save_index
     from repro.core.skewed_index import SkewAdaptiveIndex
@@ -122,12 +130,59 @@ def _cmd_build(args: argparse.Namespace) -> int:
             ),
         )
     stats = index.build(list(collection))
-    save_index(index, args.output)
+    save_index(index, args.output, config=PersistenceConfig(compress=not args.no_compress))
+    size = Path(args.output).stat().st_size
     print(
         f"built a {args.kind} index over {stats.num_vectors} sets "
         f"({stats.total_filters} filters, {stats.repetitions} repetitions) and saved it to "
-        f"{args.output}"
+        f"{args.output} ({size} bytes)"
     )
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from repro.core.serialization import FORMAT_VERSION, convert_index_file
+
+    try:
+        source_size = Path(args.input).stat().st_size
+        convert_index_file(args.input, args.output)
+    except (ValueError, OSError) as error:
+        print(f"cannot convert {args.input}: {error}")
+        return 2
+    output_size = Path(args.output).stat().st_size
+    if output_size and source_size / output_size >= 1.05:
+        comparison = f", {source_size / output_size:.1f}x smaller"
+    else:
+        comparison = ""
+    print(
+        f"converted {args.input} ({source_size} bytes) to format v{FORMAT_VERSION} at "
+        f"{args.output} ({output_size} bytes{comparison})"
+    )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.core.serialization import load_index
+    from repro.evaluation.reporting import format_table
+
+    try:
+        index = load_index(args.index)
+    except (ValueError, OSError) as error:
+        print(f"cannot load {args.index}: {error}")
+        return 2
+    stats = index.build_stats
+    rows = [
+        {
+            "kind": type(index).__name__,
+            "vectors": stats.num_vectors,
+            "filters": stats.total_filters,
+            "repetitions": stats.repetitions,
+            "truncated": stats.truncated_vectors,
+            "build seconds": round(stats.build_seconds, 3),
+            "file bytes": Path(args.index).stat().st_size,
+        }
+    ]
+    print(format_table(rows, title=f"Saved index {args.index}"))
     return 0
 
 
@@ -136,7 +191,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from repro.data.io import read_transactions
     from repro.evaluation.reporting import format_table
 
-    index = load_index(args.index)
+    try:
+        index = load_index(args.index)
+    except (ValueError, OSError) as error:
+        print(f"cannot load {args.index}: {error}")
+        return 2
     queries = read_transactions(args.queries)
     rows = []
     for query_number, query in enumerate(queries):
@@ -167,7 +226,11 @@ def _cmd_query_batch(args: argparse.Namespace) -> int:
         batch_size=args.batch_size if args.batch_size is not None else DEFAULT_BATCH_SIZE,
         max_workers=args.workers,
     )
-    index = load_index(args.index)
+    try:
+        index = load_index(args.index)
+    except (ValueError, OSError) as error:
+        print(f"cannot load {args.index}: {error}")
+        return 2
     queries = list(read_transactions(args.queries))
     start = time.perf_counter()
     results, batch_stats = index.query_batch(queries, mode=args.mode, **config.as_kwargs())
@@ -264,7 +327,25 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--alpha", type=float, default=2.0 / 3.0, help="correlation level (correlated)")
     build.add_argument("--repetitions", type=int, default=None)
     build.add_argument("--seed", type=int, default=0)
+    build.add_argument(
+        "--no-compress",
+        action="store_true",
+        help="write the index file without compression (larger but faster saves)",
+    )
     build.set_defaults(handler=_cmd_build)
+
+    convert = subparsers.add_parser(
+        "convert", help="rewrite a saved index in the current binary format"
+    )
+    convert.add_argument("input", type=Path, help="saved index file (any readable version)")
+    convert.add_argument("--output", "-o", type=Path, required=True, help="output index file")
+    convert.set_defaults(handler=_cmd_convert)
+
+    inspect = subparsers.add_parser(
+        "inspect", help="print the stats and footprint of a saved index"
+    )
+    inspect.add_argument("index", type=Path, help="saved index file")
+    inspect.set_defaults(handler=_cmd_inspect)
 
     query = subparsers.add_parser("query", help="run queries against a saved index")
     query.add_argument("index", type=Path, help="index file written by 'repro build'")

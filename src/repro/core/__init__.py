@@ -17,6 +17,7 @@ from repro.core.config import (
     DEFAULT_BATCH_SIZE,
     BatchQueryConfig,
     CorrelatedIndexConfig,
+    PersistenceConfig,
     SkewAdaptiveIndexConfig,
 )
 from repro.core.correlated_index import CorrelatedIndex
@@ -24,7 +25,7 @@ from repro.core.engine import FilterEngine
 from repro.core.inverted_index import InvertedFilterIndex
 from repro.core.join import JoinResult, similarity_join, similarity_self_join
 from repro.core.paths import PathGenerator, default_max_depth
-from repro.core.serialization import load_index, save_index
+from repro.core.serialization import convert_index_file, load_index, save_index
 from repro.core.skewed_index import SkewAdaptiveIndex
 from repro.core.stats import BatchQueryStats, BuildStats, QueryStats
 from repro.core.thresholds import (
@@ -48,9 +49,11 @@ __all__ = [
     "similarity_join",
     "similarity_self_join",
     "PathGenerator",
+    "PersistenceConfig",
     "default_max_depth",
     "save_index",
     "load_index",
+    "convert_index_file",
     "BuildStats",
     "QueryStats",
     "AdversarialThreshold",

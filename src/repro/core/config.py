@@ -55,6 +55,28 @@ class BatchQueryConfig:
 
 
 @dataclass(frozen=True)
+class PersistenceConfig:
+    """Knobs of the binary index persistence layer (format v2).
+
+    Attributes
+    ----------
+    compress:
+        Write the array container deflate-compressed (default).  Disabling
+        trades larger files for slightly faster saves; loading handles both
+        transparently.
+    validate_postings:
+        Verify on load that every repetition's postings reference only
+        stored vectors and in-universe items (vectorised cross-checks over
+        the whole store).  Catches corrupted or hand-edited files before
+        they can produce wrong query results; the cost is a few array
+        passes, so leaving it on is recommended.
+    """
+
+    compress: bool = True
+    validate_postings: bool = True
+
+
+@dataclass(frozen=True)
 class SkewAdaptiveIndexConfig:
     """Parameters of the adversarial-query index (Theorem 2).
 

@@ -104,14 +104,23 @@ class CorrelatedIndex:
     def build(self, collection: Iterable[SetLike]) -> BuildStats:
         """Index a dataset (any iterable of item-id collections)."""
         vectors = [frozenset(int(item) for item in members) for members in collection]
-        num_vectors = max(len(vectors), 1)
+        self._engine = self._create_engine(max(len(vectors), 1))
+        return self._engine.build(vectors)
+
+    def _create_engine(self, num_vectors: int) -> FilterEngine:
+        """A fresh, empty engine for a dataset of the given size.
+
+        Exposed so that :mod:`repro.core.serialization` can reconstruct the
+        engine from the saved configuration and restore the saved state
+        directly, without a placeholder build.
+        """
         threshold_policy = CorrelatedThreshold(
             probabilities=self._distribution.probabilities,
             alpha=self._config.alpha,
             num_vectors=num_vectors,
             boost_delta=self._config.boost_delta,
         )
-        self._engine = FilterEngine(
+        return FilterEngine(
             probabilities=self._distribution.probabilities,
             threshold_policy=threshold_policy,
             acceptance_threshold=self._config.acceptance_threshold,
@@ -123,7 +132,6 @@ class CorrelatedIndex:
             max_paths_per_vector=self._config.max_paths_per_vector,
             seed=self._config.seed,
         )
-        return self._engine.build(vectors)
 
     def query(self, query: SetLike, mode: str = "first") -> tuple[int | None, QueryStats]:
         """Return the id of the stored vector the query is correlated with.

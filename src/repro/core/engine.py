@@ -163,6 +163,18 @@ class FilterEngine:
         return self._repetitions
 
     @property
+    def num_vectors_hint(self) -> int:
+        """The dataset-size hint the engine's parameters were derived from.
+
+        The stopping product, default repetition count, default depth and
+        (for the correlated policy) the sampling thresholds all depend on
+        this value, so persistence must reconstruct the engine with the
+        *original* hint — not the current vector count, which drifts as
+        vectors are inserted after the build.
+        """
+        return self._num_vectors_hint
+
+    @property
     def acceptance_threshold(self) -> float:
         return self._acceptance_threshold
 
@@ -183,6 +195,56 @@ class FilterEngine:
     def total_stored_filters(self) -> int:
         """Total number of (filter, vector) postings across repetitions."""
         return sum(index.total_entries for index in self._indexes)
+
+    @property
+    def filter_indexes(self) -> Sequence[InvertedFilterIndex]:
+        """The per-repetition postings stores (read-only view)."""
+        return tuple(self._indexes)
+
+    @property
+    def removed_ids(self) -> frozenset[int]:
+        """The currently tombstoned vector ids."""
+        return frozenset(self._removed)
+
+    # ------------------------------------------------------------------ #
+    # State restoration (persistence)
+    # ------------------------------------------------------------------ #
+
+    def restore_state(
+        self,
+        vectors: Sequence[frozenset[int]],
+        removed: Iterable[int],
+        build_stats: BuildStats,
+        filter_indexes: Sequence[InvertedFilterIndex],
+    ) -> None:
+        """Adopt a previously built engine state (used by ``load_index``).
+
+        Replaces the stored vectors, tombstones, build statistics and
+        per-repetition postings stores wholesale — no filters are generated.
+        The engine must have been constructed with the same configuration
+        (seed, thresholds, repetitions) as the one that produced the state,
+        otherwise queries will not line up with the stored postings.
+        """
+        if len(filter_indexes) != self._repetitions:
+            raise ValueError(
+                f"state has {len(filter_indexes)} repetitions, "
+                f"engine expects {self._repetitions}"
+            )
+        vectors = [
+            members
+            if type(members) is frozenset
+            else frozenset(int(item) for item in members)
+            for members in vectors
+        ]
+        removed_set = {int(vector_id) for vector_id in removed}
+        out_of_range = [v for v in removed_set if not 0 <= v < len(vectors)]
+        if out_of_range:
+            raise ValueError(f"removed ids out of range: {sorted(out_of_range)}")
+        self._vectors = vectors
+        self._removed = removed_set
+        self._build_stats = build_stats
+        self._indexes = list(filter_indexes)
+        self._invalidate_candidate_store()
 
     # ------------------------------------------------------------------ #
     # Build
@@ -214,11 +276,13 @@ class FilterEngine:
                 bounds = [self._threshold_policy.bind(members) for _, members in chunk]
                 results = generator.generate_batch([members for _, members in chunk], bounds)
                 for (vector_id, _members), result in zip(chunk, results):
-                    index.add(vector_id, result.paths)
+                    index.add(vector_id, result.paths, keys=result.keys)
                     stats.total_filters += len(result.paths)
                     if result.truncated:
                         stats.truncated_vectors += 1
                 stats.generation_batches += 1
+        for index in self._indexes:
+            index.compact()
         stats.build_seconds = time.perf_counter() - build_start
         self._build_stats = stats
         return stats
@@ -246,7 +310,7 @@ class FilterEngine:
         for generator, index in zip(self._generators, self._indexes):
             bound = self._threshold_policy.bind(sorted(vector))
             result = generator.generate(sorted(vector), bound)
-            index.add(vector_id, result.paths)
+            index.add(vector_id, result.paths, keys=result.keys)
             self._build_stats.total_filters += len(result.paths)
             if result.truncated:
                 self._build_stats.truncated_vectors += 1
@@ -325,7 +389,9 @@ class FilterEngine:
             stats.filters_generated += len(generation.paths)
             stats.repetitions_used += 1
 
-            for candidate_id in self._indexes[repetition].candidates(generation.paths):
+            for candidate_id in self._indexes[repetition].candidates(
+                generation.paths, generation.keys
+            ):
                 stats.candidates_examined += 1
                 if candidate_id in evaluated or candidate_id in self._removed:
                     continue
@@ -364,7 +430,9 @@ class FilterEngine:
             generation = self._generators[repetition].generate(members, bound)
             stats.filters_generated += len(generation.paths)
             stats.repetitions_used += 1
-            for candidate_id in self._indexes[repetition].candidates(generation.paths):
+            for candidate_id in self._indexes[repetition].candidates(
+                generation.paths, generation.keys
+            ):
                 stats.candidates_examined += 1
                 if candidate_id in self._removed:
                     continue
@@ -546,10 +614,10 @@ class FilterEngine:
                 query_stats.repetitions_used += 1
                 seen = evaluated[index]
                 ordered_new: list[int] = []
-                for path in generation.paths:
+                for path, path_key in zip(generation.paths, generation.keys):
                     postings = probe_cache.get((repetition, path))
                     if postings is None:
-                        postings = inverted.lookup(path)
+                        postings = inverted.lookup_keyed(path, path_key)
                         probe_cache[(repetition, path)] = postings
                         chunk_stats.distinct_filter_probes += 1
                     else:
@@ -628,10 +696,10 @@ class FilterEngine:
                 query_stats.filters_generated += len(generation.paths)
                 query_stats.repetitions_used += 1
                 candidates = results[index]
-                for path in generation.paths:
+                for path, path_key in zip(generation.paths, generation.keys):
                     postings = probe_cache.get((repetition, path))
                     if postings is None:
-                        postings = inverted.lookup(path)
+                        postings = inverted.lookup_keyed(path, path_key)
                         probe_cache[(repetition, path)] = postings
                         chunk_stats.distinct_filter_probes += 1
                     else:

@@ -5,35 +5,195 @@ some dataset vector, the list of vector ids that chose ``f`` ("a standard
 dictionary data structure", Section 3).  Queries then look up each of their
 own filters and examine the stored vectors.
 
-Paths are tuples of item ids; the index keys them by the tuple itself inside
-a Python dict, which gives exact (collision-free) lookups.
+The store is array-backed rather than a dict-of-lists: each distinct filter
+occupies one *slot*, and the compacted state lives in five flat numpy arrays
+
+* ``path_items`` / ``path_offsets`` — the filters themselves in CSR form,
+* ``path_keys`` — the 64-bit folded key (:func:`~repro.hashing.pairwise.
+  fold_path`) of each filter, and
+* ``posting_ids`` / ``posting_offsets`` — the posting lists in CSR form,
+
+which is also, verbatim, the on-disk representation used by
+:mod:`repro.core.serialization` (one file holds the arrays, nothing else).
+Lookups go through a ``uint64 key → slot`` dict; because a 64-bit key could
+in principle collide, the stored path is compared exactly before a slot is
+accepted, so lookups remain collision-free like the original dict-of-tuples.
+
+Additions land in a small per-slot overlay and are merged into the flat
+arrays by :meth:`InvertedFilterIndex.compact` (called automatically at the
+end of a build and before serialisation), so dynamic inserts stay cheap
+without giving up the compact layout.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.hashing.pairwise import fold_path, fold_paths_csr
 
 Path = tuple[int, ...]
+
+#: Array names of the compacted store, in serialisation order.  The folded
+#: path keys are deliberately absent: they are high-entropy (incompressible)
+#: and deterministically recomputable, so the on-disk format re-derives them
+#: on load instead of storing 8 random-looking bytes per filter.
+STATE_ARRAY_NAMES = (
+    "path_items",
+    "path_offsets",
+    "posting_ids",
+    "posting_offsets",
+)
 
 
 class InvertedFilterIndex:
     """Maps each filter to the sorted list of vector ids that chose it."""
 
     def __init__(self) -> None:
-        self._postings: dict[Path, list[int]] = {}
+        # Compacted (frozen) slots: CSR arrays over paths and postings.
+        self._path_items = np.empty(0, dtype=np.int64)
+        self._path_offsets = np.zeros(1, dtype=np.int64)
+        self._path_keys = np.empty(0, dtype=np.uint64)
+        self._posting_ids = np.empty(0, dtype=np.int64)
+        self._posting_offsets = np.zeros(1, dtype=np.int64)
+        # Lookup structure: folded 64-bit path key -> slot (or slots, in the
+        # astronomically unlikely event of a key collision).
+        self._slot_by_key: dict[int, int | list[int]] = {}
+        # Mutable overlay for additions since the last compact().
+        self._pending_paths: list[Path] = []
+        self._pending_keys: list[int] = []
+        self._pending_postings: dict[int, list[int]] = {}
         self._total_entries = 0
+
+    # ------------------------------------------------------------------ #
+    # Slot resolution
+    # ------------------------------------------------------------------ #
+
+    @property
+    def _num_frozen(self) -> int:
+        return self._path_keys.size
+
+    def _path_at(self, slot: int) -> Path:
+        frozen = self._num_frozen
+        if slot < frozen:
+            start = int(self._path_offsets[slot])
+            end = int(self._path_offsets[slot + 1])
+            return tuple(self._path_items[start:end].tolist())
+        return self._pending_paths[slot - frozen]
+
+    def _slot_for(self, path: Path, key: int) -> int | None:
+        bucket = self._slot_by_key.get(key)
+        if bucket is None:
+            return None
+        if isinstance(bucket, int):
+            return bucket if self._path_at(bucket) == path else None
+        for slot in bucket:
+            if self._path_at(slot) == path:
+                return slot
+        return None
+
+    @staticmethod
+    def _bucket_insert(slot_by_key: dict[int, int | list[int]], key: int, slot: int) -> None:
+        """Insert a slot into the key dict, chaining on 64-bit key collision."""
+        bucket = slot_by_key.get(key)
+        if bucket is None:
+            slot_by_key[key] = slot
+        elif isinstance(bucket, int):
+            slot_by_key[key] = [bucket, slot]
+        else:
+            bucket.append(slot)
+
+    def _register(self, path: Path, key: int) -> int:
+        slot = self._num_frozen + len(self._pending_paths)
+        self._pending_paths.append(path)
+        self._pending_keys.append(key)
+        self._bucket_insert(self._slot_by_key, key, slot)
+        return slot
+
+    def _postings_at(self, slot: int) -> list[int]:
+        if slot < self._num_frozen:
+            start = int(self._posting_offsets[slot])
+            end = int(self._posting_offsets[slot + 1])
+            stored = self._posting_ids[start:end].tolist()
+        else:
+            stored = []
+        pending = self._pending_postings.get(slot)
+        if pending:
+            return stored + pending
+        return stored
 
     # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
 
-    def add(self, vector_id: int, paths: Iterable[Path]) -> int:
-        """Register all filters of one vector.  Returns the number added."""
+    def add(
+        self,
+        vector_id: int,
+        paths: Iterable[Path],
+        keys: Sequence[int] | None = None,
+    ) -> int:
+        """Register all filters of one vector.  Returns the number added.
+
+        ``keys``, when given, must hold the folded key of each path (as
+        produced by the path generators); this skips the per-path re-fold on
+        the build hot path.
+        """
         if vector_id < 0:
             raise ValueError(f"vector_id must be non-negative, got {vector_id}")
+        if keys is None:
+            paths = [tuple(path) for path in paths]
+            keys = [fold_path(path) for path in paths]
+        else:
+            paths = [tuple(path) for path in paths]
+            if len(paths) != len(keys):
+                raise ValueError(
+                    f"got {len(keys)} keys for {len(paths)} paths; need one per path"
+                )
+        # Build hot loop: local bindings and an inlined slot resolution keep
+        # the per-posting cost close to the plain dict-of-lists it replaced.
+        slot_by_key = self._slot_by_key
+        pending_postings = self._pending_postings
+        pending_paths = self._pending_paths
+        pending_keys = self._pending_keys
+        frozen = self._path_keys.size
         count = 0
-        for path in paths:
-            self._postings.setdefault(tuple(path), []).append(vector_id)
+        for path, key in zip(paths, keys):
+            bucket = slot_by_key.get(key)
+            if bucket is None:
+                slot = frozen + len(pending_paths)
+                pending_paths.append(path)
+                pending_keys.append(key)
+                slot_by_key[key] = slot
+            elif type(bucket) is int:
+                stored = (
+                    pending_paths[bucket - frozen]
+                    if bucket >= frozen
+                    else self._path_at(bucket)
+                )
+                if stored == path:
+                    slot = bucket
+                else:  # 64-bit key collision: chain the slots
+                    slot = frozen + len(pending_paths)
+                    pending_paths.append(path)
+                    pending_keys.append(key)
+                    slot_by_key[key] = [bucket, slot]
+            else:
+                slot = -1
+                for candidate in bucket:
+                    if self._path_at(candidate) == path:
+                        slot = candidate
+                        break
+                if slot < 0:
+                    slot = frozen + len(pending_paths)
+                    pending_paths.append(path)
+                    pending_keys.append(key)
+                    bucket.append(slot)
+            postings = pending_postings.get(slot)
+            if postings is None:
+                pending_postings[slot] = [vector_id]
+            else:
+                postings.append(vector_id)
             count += 1
         self._total_entries += count
         return count
@@ -48,10 +208,154 @@ class InvertedFilterIndex:
     def add_postings(self, path: Path, vector_ids: Sequence[int]) -> None:
         """Restore a full posting list for one filter (used when loading a
         serialised index); appends to any existing postings for that filter."""
+        vector_ids = [int(v) for v in vector_ids]
         if any(vector_id < 0 for vector_id in vector_ids):
             raise ValueError("vector ids must be non-negative")
-        self._postings.setdefault(tuple(path), []).extend(int(v) for v in vector_ids)
+        path = tuple(path)
+        key = fold_path(path)
+        slot = self._slot_for(path, key)
+        if slot is None:
+            slot = self._register(path, key)
+        self._pending_postings.setdefault(slot, []).extend(vector_ids)
         self._total_entries += len(vector_ids)
+
+    def compact(self) -> None:
+        """Merge the mutable overlay into the flat CSR arrays.
+
+        Per-slot posting order is preserved (frozen entries first, then the
+        overlay's appends, in insertion order), so queries behave identically
+        before and after compaction.  Idempotent and cheap when nothing is
+        pending.
+        """
+        if not self._pending_paths and not self._pending_postings:
+            return
+        frozen = self._num_frozen
+        total_slots = frozen + len(self._pending_paths)
+
+        if frozen == 0:
+            # Build fast path: every slot is pending, so one flat pass over
+            # the per-slot lists beats per-slot numpy slice assignments.
+            pending_postings = self._pending_postings
+            sizes = np.zeros(total_slots, dtype=np.int64)
+            flat: list[int] = []
+            extend = flat.extend
+            for slot in range(total_slots):
+                ids = pending_postings.get(slot)
+                if ids:
+                    sizes[slot] = len(ids)
+                    extend(ids)
+            posting_offsets = np.zeros(total_slots + 1, dtype=np.int64)
+            np.cumsum(sizes, out=posting_offsets[1:])
+            posting_ids = np.asarray(flat, dtype=np.int64)
+        else:
+            sizes = np.zeros(total_slots, dtype=np.int64)
+            sizes[:frozen] = np.diff(self._posting_offsets)
+            for slot, pending in self._pending_postings.items():
+                sizes[slot] += len(pending)
+            posting_offsets = np.zeros(total_slots + 1, dtype=np.int64)
+            np.cumsum(sizes, out=posting_offsets[1:])
+            posting_ids = np.empty(int(posting_offsets[-1]), dtype=np.int64)
+
+            # Scatter the frozen entries to their (possibly shifted) ranges.
+            frozen_total = int(self._posting_ids.size)
+            if frozen_total:
+                frozen_sizes = np.diff(self._posting_offsets)
+                shift = np.repeat(
+                    posting_offsets[:frozen] - self._posting_offsets[:-1], frozen_sizes
+                )
+                posting_ids[np.arange(frozen_total, dtype=np.int64) + shift] = (
+                    self._posting_ids
+                )
+            for slot, pending in self._pending_postings.items():
+                end = int(posting_offsets[slot + 1])
+                posting_ids[end - len(pending) : end] = pending
+
+        if self._pending_paths:
+            new_items = [item for path in self._pending_paths for item in path]
+            new_lengths = np.asarray(
+                [len(path) for path in self._pending_paths], dtype=np.int64
+            )
+            self._path_items = np.concatenate(
+                [self._path_items, np.asarray(new_items, dtype=np.int64)]
+            )
+            self._path_offsets = np.concatenate(
+                [self._path_offsets, self._path_offsets[-1] + np.cumsum(new_lengths)]
+            )
+            self._path_keys = np.concatenate(
+                [self._path_keys, np.asarray(self._pending_keys, dtype=np.uint64)]
+            )
+
+        self._posting_ids = posting_ids
+        self._posting_offsets = posting_offsets
+        self._pending_paths = []
+        self._pending_keys = []
+        self._pending_postings = {}
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+
+    def to_state(self) -> dict[str, np.ndarray]:
+        """The compacted store as flat arrays (the on-disk representation).
+
+        Compacts first; the returned arrays are the live internal ones, so
+        treat them as read-only.
+        """
+        self.compact()
+        return {
+            "path_items": self._path_items,
+            "path_offsets": self._path_offsets,
+            "posting_ids": self._posting_ids,
+            "posting_offsets": self._posting_offsets,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, np.ndarray]) -> "InvertedFilterIndex":
+        """Rebuild an index from :meth:`to_state` arrays, validating them.
+
+        The folded path keys are re-derived from the stored paths with the
+        vectorised :func:`~repro.hashing.pairwise.fold_paths_csr` (one array
+        pass per recursion level).  Raises :class:`ValueError` on missing
+        arrays, malformed offsets, mismatched array lengths or negative
+        vector ids.
+        """
+        missing = [name for name in STATE_ARRAY_NAMES if name not in state]
+        if missing:
+            raise ValueError(f"postings state is missing arrays: {missing}")
+        path_items = np.ascontiguousarray(state["path_items"], dtype=np.int64)
+        path_offsets = np.ascontiguousarray(state["path_offsets"], dtype=np.int64)
+        posting_ids = np.ascontiguousarray(state["posting_ids"], dtype=np.int64)
+        posting_offsets = np.ascontiguousarray(state["posting_offsets"], dtype=np.int64)
+
+        for name, offsets, flat in (
+            ("path", path_offsets, path_items),
+            ("posting", posting_offsets, posting_ids),
+        ):
+            if offsets.ndim != 1 or offsets.size == 0 or int(offsets[0]) != 0:
+                raise ValueError(f"malformed {name}_offsets in postings state")
+            if np.any(np.diff(offsets) < 0) or int(offsets[-1]) != flat.size:
+                raise ValueError(f"{name}_offsets do not describe the {name} array")
+        num_slots = path_offsets.size - 1
+        if posting_offsets.size - 1 != num_slots:
+            raise ValueError("postings state arrays disagree on the number of filters")
+        if posting_ids.size and int(posting_ids.min()) < 0:
+            raise ValueError("vector ids must be non-negative")
+        if path_items.size and int(path_items.min()) < 0:
+            raise ValueError("path items must be non-negative")
+        path_keys = fold_paths_csr(path_items, path_offsets)
+
+        index = cls()
+        index._path_items = path_items
+        index._path_offsets = path_offsets
+        index._path_keys = path_keys
+        index._posting_ids = posting_ids
+        index._posting_offsets = posting_offsets
+        slot_by_key: dict[int, int | list[int]] = {}
+        for slot, key in enumerate(path_keys.tolist()):
+            cls._bucket_insert(slot_by_key, key, slot)
+        index._slot_by_key = slot_by_key
+        index._total_entries = int(posting_ids.size)
+        return index
 
     # ------------------------------------------------------------------ #
     # Lookup
@@ -59,20 +363,40 @@ class InvertedFilterIndex:
 
     def lookup(self, path: Path) -> list[int]:
         """Vector ids that chose ``path`` (empty list if none)."""
-        return self._postings.get(tuple(path), [])
+        path = tuple(path)
+        return self.lookup_keyed(path, fold_path(path))
 
-    def candidates(self, paths: Iterable[Path]) -> Iterator[int]:
+    def lookup_keyed(self, path: Path, key: int) -> list[int]:
+        """:meth:`lookup` with the path's folded key already in hand.
+
+        The generators return the keys alongside the paths, so query probes
+        use this to skip re-folding.
+        """
+        slot = self._slot_for(path, key)
+        if slot is None:
+            return []
+        return self._postings_at(slot)
+
+    def candidates(
+        self, paths: Iterable[Path], keys: Sequence[int] | None = None
+    ) -> Iterator[int]:
         """Yield every (vector id) collision for the given query filters.
 
         A vector id is yielded once per shared filter, matching the paper's
         work measure ``Σ_x |F(q) ∩ F(x)|``; callers that want distinct
-        candidates deduplicate downstream.
+        candidates deduplicate downstream.  ``keys``, when given, must hold
+        the folded key of each path.
         """
-        for path in paths:
-            yield from self._postings.get(tuple(path), [])
+        if keys is None:
+            for path in paths:
+                yield from self.lookup(path)
+        else:
+            for path, key in zip(paths, keys):
+                yield from self.lookup_keyed(tuple(path), key)
 
     def __contains__(self, path: Path) -> bool:
-        return tuple(path) in self._postings
+        path = tuple(path)
+        return self._slot_for(path, fold_path(path)) is not None
 
     # ------------------------------------------------------------------ #
     # Statistics
@@ -81,7 +405,7 @@ class InvertedFilterIndex:
     @property
     def num_filters(self) -> int:
         """Number of distinct filters stored."""
-        return len(self._postings)
+        return self._num_frozen + len(self._pending_paths)
 
     @property
     def total_entries(self) -> int:
@@ -90,17 +414,20 @@ class InvertedFilterIndex:
 
     def posting_sizes(self) -> list[int]:
         """Sizes of all posting lists (useful for skew diagnostics)."""
-        return [len(vector_ids) for vector_ids in self._postings.values()]
+        sizes = np.diff(self._posting_offsets).tolist()
+        sizes.extend(0 for _ in self._pending_paths)
+        for slot, pending in self._pending_postings.items():
+            sizes[slot] += len(pending)
+        return sizes
 
     def heaviest_filters(self, count: int = 10) -> list[tuple[Path, int]]:
         """The ``count`` filters with the largest posting lists."""
-        ranked = sorted(
-            self._postings.items(), key=lambda entry: len(entry[1]), reverse=True
-        )
-        return [(path, len(vector_ids)) for path, vector_ids in ranked[:count]]
+        sizes = self.posting_sizes()
+        ranked = sorted(range(len(sizes)), key=lambda slot: sizes[slot], reverse=True)
+        return [(self._path_at(slot), sizes[slot]) for slot in ranked[:count]]
 
     def __len__(self) -> int:
-        return len(self._postings)
+        return self.num_filters
 
     def __repr__(self) -> str:
         return (

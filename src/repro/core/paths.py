@@ -25,7 +25,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.thresholds import BoundThreshold
-from repro.hashing.pairwise import PathHasher, fold_path
+from repro.hashing.pairwise import PathHasher, extend_key, fold_path
 
 Path = tuple[int, ...]
 
@@ -46,11 +46,28 @@ def default_max_depth(num_vectors: int, max_probability: float) -> int:
 
 @dataclass
 class PathGenerationResult:
-    """Outcome of generating the filters of one vector."""
+    """Outcome of generating the filters of one vector.
+
+    ``keys`` carries the folded 64-bit key (:func:`~repro.hashing.pairwise.
+    fold_path`) of each path, parallel to ``paths``.  The generators track
+    keys incrementally anyway (they are the hash inputs), so exposing them
+    lets the inverted index file and probe postings without re-folding every
+    path in Python.  The field is required and validated against ``paths``
+    because downstream consumers zip the two lists — a silent length
+    mismatch would truncate candidate enumeration to nothing.
+    """
 
     paths: list[Path]
     truncated: bool
     expansions: int
+    keys: list[int]
+
+    def __post_init__(self) -> None:
+        if len(self.keys) != len(self.paths):
+            raise ValueError(
+                f"got {len(self.keys)} keys for {len(self.paths)} paths; "
+                "need exactly one key per path"
+            )
 
 
 class _BatchState:
@@ -67,7 +84,8 @@ class _BatchState:
         "log_probs",
         "bound",
         "frontier",
-        "finished",
+        "finished_paths",
+        "finished_keys",
         "truncated",
         "expansions",
         "active",
@@ -88,7 +106,8 @@ class _BatchState:
         self.frontier: list[tuple[Path, int, float, int]] = (
             [((), root_key, 0.0, 0)] if items else []
         )
-        self.finished: list[Path] = []
+        self.finished_paths: list[Path] = []
+        self.finished_keys: list[int] = []
         self.truncated = False
         self.expansions = 0
         self.active = bool(items)
@@ -189,7 +208,7 @@ class PathGenerator:
         """
         sorted_items = sorted(int(item) for item in items)
         if not sorted_items:
-            return PathGenerationResult(paths=[], truncated=False, expansions=0)
+            return PathGenerationResult(paths=[], truncated=False, expansions=0, keys=[])
         if sorted_items[0] < 0 or sorted_items[-1] >= self._probabilities.size:
             raise ValueError("vector contains an item outside the universe")
 
@@ -198,23 +217,25 @@ class PathGenerator:
             self._probabilities[item_array], self._probability_floor
         )
 
-        finished: list[Path] = []
+        finished_paths: list[Path] = []
+        finished_keys: list[int] = []
         truncated = False
         expansions = 0
 
-        # Each frontier entry: (path tuple, log-product of probabilities,
-        # boolean mask of items already used).  Using log-products avoids
-        # underflow for long paths of rare items.
+        # Each frontier entry: (path tuple, folded path key, log-product of
+        # probabilities, boolean mask of items already used).  Carrying the
+        # key forward avoids re-folding the prefix at every expansion, and
+        # log-products avoid underflow for long paths of rare items.
         log_stop = math.log(self._stop_product) if self._stop_product is not None else None
-        frontier: list[tuple[Path, float, np.ndarray]] = [
-            ((), 0.0, np.zeros(len(sorted_items), dtype=bool))
+        frontier: list[tuple[Path, int, float, np.ndarray]] = [
+            ((), fold_path(()), 0.0, np.zeros(len(sorted_items), dtype=bool))
         ]
 
         for level in range(self._max_depth):
             if not frontier:
                 break
-            next_frontier: list[tuple[Path, float, np.ndarray]] = []
-            for path, log_product, used_mask in frontier:
+            next_frontier: list[tuple[Path, int, float, np.ndarray]] = []
+            for path, path_key, log_product, used_mask in frontier:
                 available = ~used_mask
                 if not np.any(available):
                     continue
@@ -222,7 +243,9 @@ class PathGenerator:
                 candidate_positions = np.flatnonzero(available)
                 candidate_items = item_array[candidate_positions]
                 probabilities = threshold.sampling_probabilities(level, candidate_items)
-                hash_values = self._hasher.extension_values(path, candidate_items, level)
+                hash_values = self._hasher.extension_values_from_key(
+                    path_key, candidate_items, level
+                )
                 chosen = hash_values < probabilities
                 for position, item, take in zip(
                     candidate_positions, candidate_items, chosen
@@ -230,16 +253,18 @@ class PathGenerator:
                     if not take:
                         continue
                     new_path = path + (int(item),)
+                    new_key = extend_key(path_key, int(item))
                     new_log_product = log_product + math.log(item_probabilities[position])
                     if log_stop is not None and new_log_product <= log_stop:
-                        finished.append(new_path)
+                        finished_paths.append(new_path)
+                        finished_keys.append(new_key)
                     else:
                         new_mask = used_mask.copy()
                         new_mask[position] = True
-                        next_frontier.append((new_path, new_log_product, new_mask))
+                        next_frontier.append((new_path, new_key, new_log_product, new_mask))
                     if (
                         self._max_paths is not None
-                        and len(finished) + len(next_frontier) >= self._max_paths
+                        and len(finished_paths) + len(next_frontier) >= self._max_paths
                     ):
                         truncated = True
                         break
@@ -249,12 +274,17 @@ class PathGenerator:
             if truncated:
                 break
 
-        if self._collect_at_max_depth and not truncated:
-            finished.extend(path for path, _log_product, _mask in frontier)
-        elif self._collect_at_max_depth and truncated:
-            finished.extend(path for path, _log_product, _mask in frontier)
+        if self._collect_at_max_depth:
+            for path, path_key, _log_product, _mask in frontier:
+                finished_paths.append(path)
+                finished_keys.append(path_key)
 
-        return PathGenerationResult(paths=finished, truncated=truncated, expansions=expansions)
+        return PathGenerationResult(
+            paths=finished_paths,
+            truncated=truncated,
+            expansions=expansions,
+            keys=finished_keys,
+        )
 
     def generate_batch(
         self,
@@ -352,7 +382,10 @@ class PathGenerator:
                         new_path = path + (state.items[position],)
                         new_log_product = log_product + state.log_probs[position]
                         if log_stop is not None and new_log_product <= log_stop:
-                            state.finished.append(new_path)
+                            state.finished_paths.append(new_path)
+                            state.finished_keys.append(
+                                int(extended_keys[offset + local_index])
+                            )
                         else:
                             next_frontier.append(
                                 (
@@ -364,7 +397,8 @@ class PathGenerator:
                             )
                         if (
                             self._max_paths is not None
-                            and len(state.finished) + len(next_frontier) >= self._max_paths
+                            and len(state.finished_paths) + len(next_frontier)
+                            >= self._max_paths
                         ):
                             state.truncated = True
                             break
@@ -376,12 +410,15 @@ class PathGenerator:
         results: list[PathGenerationResult] = []
         for state in states:
             if self._collect_at_max_depth:
-                state.finished.extend(path for path, _key, _log, _mask in state.frontier)
+                for path, key, _log, _mask in state.frontier:
+                    state.finished_paths.append(path)
+                    state.finished_keys.append(key)
             results.append(
                 PathGenerationResult(
-                    paths=state.finished,
+                    paths=state.finished_paths,
                     truncated=state.truncated,
                     expansions=state.expansions,
+                    keys=state.finished_keys,
                 )
             )
         return results

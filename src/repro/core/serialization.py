@@ -1,64 +1,84 @@
-"""Saving and loading built indexes.
+"""Saving and loading built indexes (binary format v2).
 
 Building the filter structure is the expensive step (``O(d n^{1+ρ})``), so a
-production deployment wants to build once and reload across processes.  The
-format is a single JSON document containing the configuration, the item
-probabilities, the stored vectors and every repetition's filter postings, so
-a loaded index answers queries identically to the one that was saved (the
-hash functions are reconstructed from the saved seed, and the postings are
-restored verbatim rather than regenerated).
+production deployment wants to build once and reload across processes.  A
+saved index is a single ``.npz``-style container (a zip of raw numpy arrays,
+written with ``numpy.savez``) holding
 
-JSON is chosen over pickle so the files are portable, diffable and safe to
-load from untrusted sources.
+* a small JSON metadata block — format version, index kind and
+  configuration, the full extended :class:`~repro.core.stats.BuildStats`;
+* the item probabilities and the stored vectors in CSR form;
+* the tombstone (removed-id) set;
+* per repetition, the postings store's flat arrays (``path_items``,
+  ``path_lengths``, ``posting_ids``, ``posting_lengths``) — the in-memory
+  CSR arrays of :class:`~repro.core.inverted_index.InvertedFilterIndex`
+  with the offsets delta-encoded as per-row lengths and the integer dtypes
+  narrowed, both purely for compression; the folded ``path_keys`` are *not*
+  stored (they are high-entropy and deterministic) and are re-derived on
+  load with the vectorised :func:`~repro.hashing.pairwise.fold_paths_csr`.
+
+Because the on-disk layout maps 1:1 onto the in-memory store,
+:func:`load_index` reconstructs the engine from the saved configuration and
+adopts the arrays directly — no placeholder build, no filter regeneration —
+and a loaded index answers single and batched queries bit-identically to
+the one that was saved.  Arrays are loaded with ``allow_pickle=False``, so
+files remain safe to load from untrusted sources, and malformed layouts are
+rejected with :class:`ValueError` before they can affect query results.
+
+Format v1 (the original JSON dump of nested posting lists) is still
+*readable*: :func:`load_index` detects it and restores it through the same
+direct-restore path, and :func:`convert_index_file` rewrites a v1 file as
+v2.  New files are always written as v2.
 """
 
 from __future__ import annotations
 
 import json
+import zipfile
+import zlib
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 
-from repro.core.config import CorrelatedIndexConfig, SkewAdaptiveIndexConfig
+from repro.baselines.chosen_path import ChosenPathIndex
+from repro.core.config import (
+    CorrelatedIndexConfig,
+    PersistenceConfig,
+    SkewAdaptiveIndexConfig,
+)
 from repro.core.correlated_index import CorrelatedIndex
+from repro.core.inverted_index import InvertedFilterIndex
 from repro.core.skewed_index import SkewAdaptiveIndex
+from repro.core.stats import BuildStats
 from repro.data.distributions import ItemDistribution
 
 #: Format version written into every file; bumped on incompatible changes.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
-_INDEX_KINDS = {
-    "skew_adaptive": SkewAdaptiveIndex,
-    "correlated": CorrelatedIndex,
-}
+#: The legacy all-JSON format this module can still read (and convert).
+LEGACY_JSON_VERSION = 1
 
+AnyIndex = SkewAdaptiveIndex | CorrelatedIndex | ChosenPathIndex
 
-def _engine_state(index: SkewAdaptiveIndex | CorrelatedIndex) -> dict[str, Any]:
-    engine = index._engine  # noqa: SLF001 - serialization is a trusted friend module
-    if engine is None:
-        raise ValueError("only a built index can be saved; call build() first")
-    postings_per_repetition = []
-    for inverted in engine._indexes:  # noqa: SLF001
-        postings_per_repetition.append(
-            [[list(path), vector_ids] for path, vector_ids in inverted._postings.items()]  # noqa: SLF001
-        )
-    return {
-        "vectors": [sorted(vector) for vector in engine.vectors],
-        "removed": sorted(engine._removed),  # noqa: SLF001
-        "postings": postings_per_repetition,
-        "build_stats": {
-            "num_vectors": engine.build_stats.num_vectors,
-            "total_filters": engine.build_stats.total_filters,
-            "truncated_vectors": engine.build_stats.truncated_vectors,
-            "repetitions": engine.build_stats.repetitions,
-        },
-    }
+_INDEX_KINDS = ("skew_adaptive", "correlated", "chosen_path")
+
+_ZIP_MAGIC = b"PK\x03\x04"
+
+#: Per-repetition array names as stored on disk (offsets are delta-encoded
+#: to lengths there; :data:`repro.core.inverted_index.STATE_ARRAY_NAMES` is
+#: the in-memory contract).
+_DISK_POSTINGS_NAMES = ("path_items", "path_lengths", "posting_ids", "posting_lengths")
 
 
-def _config_payload(index: SkewAdaptiveIndex | CorrelatedIndex) -> dict[str, Any]:
-    config = index.config
+# --------------------------------------------------------------------- #
+# Configuration payloads
+# --------------------------------------------------------------------- #
+
+
+def _config_payload(index: AnyIndex) -> dict[str, Any]:
     if isinstance(index, SkewAdaptiveIndex):
+        config = index.config
         return {
             "kind": "skew_adaptive",
             "b1": config.b1,
@@ -67,115 +87,460 @@ def _config_payload(index: SkewAdaptiveIndex | CorrelatedIndex) -> dict[str, Any
             "max_paths_per_vector": config.max_paths_per_vector,
             "seed": config.seed,
         }
+    if isinstance(index, CorrelatedIndex):
+        config = index.config
+        return {
+            "kind": "correlated",
+            "alpha": config.alpha,
+            "acceptance_divisor": config.acceptance_divisor,
+            "boost_delta": config.boost_delta,
+            "repetitions": config.repetitions,
+            "max_depth": config.max_depth,
+            "max_paths_per_vector": config.max_paths_per_vector,
+            "seed": config.seed,
+        }
     return {
-        "kind": "correlated",
-        "alpha": config.alpha,
-        "acceptance_divisor": config.acceptance_divisor,
-        "boost_delta": config.boost_delta,
-        "repetitions": config.repetitions,
-        "max_depth": config.max_depth,
-        "max_paths_per_vector": config.max_paths_per_vector,
-        "seed": config.seed,
+        "kind": "chosen_path",
+        "dimension": index.dimension,
+        "b1": index.b1,
+        "b2": index.b2,
+        "repetitions": index._repetitions,  # noqa: SLF001 - friend module
+        "max_paths_per_vector": index._max_paths_per_vector,  # noqa: SLF001
+        "seed": index._seed,  # noqa: SLF001
     }
 
 
-def save_index(index: SkewAdaptiveIndex | CorrelatedIndex, path: str | Path) -> None:
-    """Serialise a built index to a JSON file.
-
-    Parameters
-    ----------
-    index:
-        A built :class:`SkewAdaptiveIndex` or :class:`CorrelatedIndex`.
-    path:
-        Destination file path (overwritten if it exists).
-    """
-    if not isinstance(index, (SkewAdaptiveIndex, CorrelatedIndex)):
-        raise TypeError(f"cannot serialise index of type {type(index).__name__}")
-    payload = {
-        "format_version": FORMAT_VERSION,
-        "config": _config_payload(index),
-        "probabilities": index.distribution.probabilities.tolist(),
-        "engine": _engine_state(index),
-    }
-    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+def _construct_index(
+    config_payload: dict[str, Any], probabilities: np.ndarray | None
+) -> AnyIndex:
+    if not isinstance(config_payload, dict):
+        raise ValueError("malformed configuration block in saved file")
+    kind = config_payload.get("kind")
+    if kind not in _INDEX_KINDS:
+        raise ValueError(f"unknown index kind {kind!r} in saved file")
+    try:
+        return _construct_index_checked(kind, config_payload, probabilities)
+    except KeyError as error:
+        raise ValueError(
+            f"saved {kind} configuration is missing field {error.args[0]!r}"
+        ) from error
 
 
-def _restore_config(config_payload: dict[str, Any]):
-    kind = config_payload["kind"]
+def _construct_index_checked(
+    kind: str, config_payload: dict[str, Any], probabilities: np.ndarray | None
+) -> AnyIndex:
+    if kind == "chosen_path":
+        return ChosenPathIndex(
+            dimension=config_payload["dimension"],
+            b1=config_payload["b1"],
+            b2=config_payload["b2"],
+            repetitions=config_payload["repetitions"],
+            max_paths_per_vector=config_payload["max_paths_per_vector"],
+            seed=config_payload["seed"],
+        )
+    if probabilities is None:
+        raise ValueError(f"saved {kind} index is missing its item probabilities")
+    distribution = ItemDistribution(np.asarray(probabilities, dtype=np.float64))
     if kind == "skew_adaptive":
-        return SkewAdaptiveIndexConfig(
+        config: SkewAdaptiveIndexConfig | CorrelatedIndexConfig = SkewAdaptiveIndexConfig(
             b1=config_payload["b1"],
             repetitions=config_payload["repetitions"],
             max_depth=config_payload["max_depth"],
             max_paths_per_vector=config_payload["max_paths_per_vector"],
             seed=config_payload["seed"],
         )
-    if kind == "correlated":
-        return CorrelatedIndexConfig(
-            alpha=config_payload["alpha"],
-            acceptance_divisor=config_payload["acceptance_divisor"],
-            boost_delta=config_payload["boost_delta"],
-            repetitions=config_payload["repetitions"],
-            max_depth=config_payload["max_depth"],
-            max_paths_per_vector=config_payload["max_paths_per_vector"],
-            seed=config_payload["seed"],
-        )
-    raise ValueError(f"unknown index kind {kind!r} in saved file")
+        return SkewAdaptiveIndex(distribution, config=config)
+    config = CorrelatedIndexConfig(
+        alpha=config_payload["alpha"],
+        acceptance_divisor=config_payload["acceptance_divisor"],
+        boost_delta=config_payload["boost_delta"],
+        repetitions=config_payload["repetitions"],
+        max_depth=config_payload["max_depth"],
+        max_paths_per_vector=config_payload["max_paths_per_vector"],
+        seed=config_payload["seed"],
+    )
+    return CorrelatedIndex(distribution, config=config)
 
 
-def load_index(path: str | Path) -> SkewAdaptiveIndex | CorrelatedIndex:
-    """Load an index previously written by :func:`save_index`.
+def _require_engine(index: AnyIndex):
+    engine = index._engine  # noqa: SLF001 - serialization is a trusted friend module
+    if engine is None:
+        raise ValueError("only a built index can be saved; call build() first")
+    return engine
 
-    The returned index answers queries identically to the saved one: the
-    stored postings are restored verbatim and the hash functions are rebuilt
-    deterministically from the saved seed.
+
+# --------------------------------------------------------------------- #
+# Save (format v2)
+# --------------------------------------------------------------------- #
+
+
+def _compact_ints(array: np.ndarray) -> np.ndarray:
+    """Narrow a non-negative integer array to the smallest unsigned dtype.
+
+    Item ids, vector ids and per-row lengths are far below ``2^64`` in any
+    realistic dataset, so this shrinks the dominant arrays of the file by
+    2–8×; loading widens them back to int64.
     """
-    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    peak = int(array.max()) if array.size else 0
+    for dtype in (np.uint8, np.uint16, np.uint32):
+        if peak < np.iinfo(dtype).max + 1:
+            return array.astype(dtype)
+    return array
+
+
+def _lengths_from_offsets(offsets: np.ndarray) -> np.ndarray:
+    """Delta-encode a CSR offsets array for storage (lengths compress well)."""
+    return _compact_ints(np.diff(offsets))
+
+
+def _offsets_from_lengths(lengths: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_lengths_from_offsets`, rejecting negative lengths.
+
+    (A negative length would make the reconstructed offsets non-monotone and
+    silently scramble the rows; files we write store unsigned lengths, so
+    this only fires on corrupted or hand-crafted input.)
+    """
+    lengths = np.asarray(lengths)
+    if lengths.ndim != 1:
+        raise ValueError("length arrays must be one-dimensional")
+    if lengths.size and int(lengths.min()) < 0:
+        raise ValueError("negative row length in saved index; the file is corrupted")
+    offsets = np.zeros(lengths.size + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    return offsets
+
+
+def _vectors_csr(vectors) -> tuple[np.ndarray, np.ndarray]:
+    """The stored vectors as (flat sorted items, per-vector lengths)."""
+    lengths = np.fromiter(
+        (len(vector) for vector in vectors), dtype=np.int64, count=len(vectors)
+    )
+    items = np.fromiter(
+        (item for vector in vectors for item in sorted(vector)),
+        dtype=np.int64,
+        count=int(lengths.sum()),
+    )
+    return items, lengths
+
+
+def save_index(
+    index: AnyIndex, path: str | Path, config: PersistenceConfig | None = None
+) -> None:
+    """Serialise a built index to a binary (format v2) file.
+
+    Parameters
+    ----------
+    index:
+        A built :class:`SkewAdaptiveIndex`, :class:`CorrelatedIndex` or
+        :class:`~repro.baselines.chosen_path.ChosenPathIndex`.
+    path:
+        Destination file path (overwritten if it exists).
+    config:
+        Optional :class:`~repro.core.config.PersistenceConfig` (compression
+        on by default).
+    """
+    if not isinstance(index, (SkewAdaptiveIndex, CorrelatedIndex, ChosenPathIndex)):
+        raise TypeError(f"cannot serialise index of type {type(index).__name__}")
+    persistence = config if config is not None else PersistenceConfig()
+    engine = _require_engine(index)
+
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "config": _config_payload(index),
+        "num_vectors": len(engine.vectors),
+        "num_vectors_hint": engine.num_vectors_hint,
+        "repetitions": engine.repetitions,
+        "build_stats": engine.build_stats.to_dict(),
+    }
+    arrays: dict[str, np.ndarray] = {
+        "meta": np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+    }
+    if not isinstance(index, ChosenPathIndex):
+        arrays["probabilities"] = np.asarray(
+            index.distribution.probabilities, dtype=np.float64
+        )
+    vector_items, vector_lengths = _vectors_csr(engine.vectors)
+    arrays["vector_items"] = _compact_ints(vector_items)
+    arrays["vector_lengths"] = _compact_ints(vector_lengths)
+    arrays["removed"] = _compact_ints(np.asarray(sorted(engine.removed_ids), dtype=np.int64))
+    for repetition, inverted in enumerate(engine.filter_indexes):
+        state = inverted.to_state()
+        prefix = f"rep{repetition:04d}_"
+        arrays[prefix + "path_items"] = _compact_ints(state["path_items"])
+        arrays[prefix + "path_lengths"] = _lengths_from_offsets(state["path_offsets"])
+        arrays[prefix + "posting_ids"] = _compact_ints(state["posting_ids"])
+        arrays[prefix + "posting_lengths"] = _lengths_from_offsets(state["posting_offsets"])
+
+    writer = np.savez_compressed if persistence.compress else np.savez
+    # Write through an open handle so numpy cannot append an ``.npz`` suffix
+    # behind the caller's back — the file lands exactly at ``path``.
+    with open(path, "wb") as handle:
+        writer(handle, **arrays)
+
+
+# --------------------------------------------------------------------- #
+# Load (v2 fast path + legacy v1)
+# --------------------------------------------------------------------- #
+
+
+def _restore_engine(
+    index: AnyIndex,
+    num_vectors_hint: int,
+    vectors,
+    removed,
+    build_stats: BuildStats,
+    filter_indexes,
+) -> AnyIndex:
+    engine = index._create_engine(max(num_vectors_hint, 1))  # noqa: SLF001
+    # restore_state rejects a repetition count that disagrees with the
+    # engine the saved configuration reconstructs.
+    engine.restore_state(vectors, removed, build_stats, filter_indexes)
+    index._engine = engine  # noqa: SLF001
+    return index
+
+
+def _load_v2(path: Path, persistence: PersistenceConfig) -> AnyIndex:
+    try:
+        return _load_v2_container(path, persistence)
+    except (zipfile.BadZipFile, zlib.error, EOFError) as error:
+        # A file can carry the zip magic yet be truncated or corrupt; keep
+        # the documented ValueError contract for every malformed input.
+        raise ValueError(f"{path} is not a valid index file: {error}") from error
+
+
+def _load_v2_container(path: Path, persistence: PersistenceConfig) -> AnyIndex:
+    with np.load(path, allow_pickle=False) as container:
+        try:
+            meta = json.loads(bytes(container["meta"]).decode("utf-8"))
+        except (KeyError, ValueError) as error:
+            raise ValueError(
+                f"{path} is not a valid index file: missing or corrupt metadata"
+            ) from error
+        if not isinstance(meta, dict):
+            raise ValueError(f"{path} is not a valid index file: metadata is not an object")
+        version = meta.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported index file format version {version!r}; "
+                f"expected {FORMAT_VERSION}"
+            )
+        missing_meta = [
+            key
+            for key in ("config", "build_stats", "num_vectors", "num_vectors_hint", "repetitions")
+            if key not in meta
+        ]
+        missing_arrays = [
+            name
+            for name in ("vector_items", "vector_lengths", "removed")
+            if name not in container
+        ]
+        if missing_meta or missing_arrays:
+            raise ValueError(
+                f"{path} is not a valid index file: missing "
+                f"{missing_meta + missing_arrays}"
+            )
+        probabilities = (
+            np.asarray(container["probabilities"]) if "probabilities" in container else None
+        )
+        index = _construct_index(meta["config"], probabilities)
+        build_stats = BuildStats.from_dict(meta["build_stats"], strict=True)
+
+        vector_items = container["vector_items"].tolist()
+        vector_offsets = _offsets_from_lengths(container["vector_lengths"]).tolist()
+        if vector_offsets[-1] != len(vector_items):
+            raise ValueError(f"{path} has a malformed stored-vector layout")
+        vectors = [
+            frozenset(vector_items[start:end])
+            for start, end in zip(vector_offsets, vector_offsets[1:])
+        ]
+        num_vectors = int(meta["num_vectors"])
+        if len(vectors) != num_vectors:
+            raise ValueError(
+                f"{path} declares {num_vectors} vectors but stores {len(vectors)}"
+            )
+        removed = container["removed"].tolist()
+
+        config_payload = meta["config"]
+        if config_payload["kind"] == "chosen_path":
+            dimension = int(config_payload["dimension"])
+        else:
+            assert probabilities is not None
+            dimension = int(probabilities.size)
+
+        repetitions = int(meta["repetitions"])
+        filter_indexes = []
+        for repetition in range(repetitions):
+            prefix = f"rep{repetition:04d}_"
+            missing = [
+                name
+                for name in _DISK_POSTINGS_NAMES
+                if prefix + name not in container
+            ]
+            if missing:
+                raise ValueError(
+                    f"{path} is missing arrays for repetition {repetition}: {missing}"
+                )
+            state = {
+                "path_items": container[prefix + "path_items"],
+                "path_offsets": _offsets_from_lengths(container[prefix + "path_lengths"]),
+                "posting_ids": container[prefix + "posting_ids"],
+                "posting_offsets": _offsets_from_lengths(
+                    container[prefix + "posting_lengths"]
+                ),
+            }
+            if persistence.validate_postings:
+                ids = state["posting_ids"]
+                if ids.size and int(ids.max()) >= num_vectors:
+                    raise ValueError(
+                        f"{path} repetition {repetition} references vector ids beyond "
+                        f"the {num_vectors} stored vectors; the file is corrupted"
+                    )
+                items = state["path_items"]
+                if items.size and int(items.max()) >= dimension:
+                    raise ValueError(
+                        f"{path} repetition {repetition} references items beyond the "
+                        f"universe of size {dimension}; the file is corrupted"
+                    )
+            filter_indexes.append(InvertedFilterIndex.from_state(state))
+
+    return _restore_engine(
+        index,
+        int(meta["num_vectors_hint"]),
+        vectors,
+        removed,
+        build_stats,
+        filter_indexes,
+    )
+
+
+def _load_v1(path: Path) -> AnyIndex:
+    payload = json.loads(path.read_text(encoding="utf-8"))
     version = payload.get("format_version")
-    if version != FORMAT_VERSION:
+    if version != LEGACY_JSON_VERSION:
         raise ValueError(
-            f"unsupported index file format version {version!r}; expected {FORMAT_VERSION}"
+            f"unsupported index file format version {version!r}; expected "
+            f"{FORMAT_VERSION} (or legacy {LEGACY_JSON_VERSION}, convertible with "
+            "'repro convert')"
         )
     config_payload = payload["config"]
-    kind = config_payload["kind"]
-    if kind not in _INDEX_KINDS:
-        raise ValueError(f"unknown index kind {kind!r} in saved file")
-
-    distribution = ItemDistribution(np.asarray(payload["probabilities"], dtype=np.float64))
-    config = _restore_config(config_payload)
-    index_class = _INDEX_KINDS[kind]
-    index = index_class(distribution, config=config)
+    probabilities = np.asarray(payload["probabilities"], dtype=np.float64)
+    index = _construct_index(config_payload, probabilities)
 
     engine_payload = payload["engine"]
-    vectors = [frozenset(int(item) for item in members) for members in engine_payload["vectors"]]
-    # build() recreates the engine (generators, hash functions, stopping rule,
-    # repetition count) from the dataset *size*, so it is called with the right
-    # number of placeholder empty vectors — generating no filters — and the
-    # saved vectors and postings are then restored verbatim.  Queries on the
-    # loaded index therefore generate exactly the same filters as on the
-    # original one.
-    index.build([frozenset()] * len(vectors))
-    engine = index._engine  # noqa: SLF001
-    assert engine is not None
-    engine._vectors = vectors  # noqa: SLF001
-    engine._removed = set(int(v) for v in engine_payload["removed"])  # noqa: SLF001
-    stats_payload = engine_payload["build_stats"]
-    engine._build_stats.num_vectors = stats_payload["num_vectors"]  # noqa: SLF001
-    engine._build_stats.total_filters = stats_payload["total_filters"]  # noqa: SLF001
-    engine._build_stats.truncated_vectors = stats_payload["truncated_vectors"]  # noqa: SLF001
-    engine._build_stats.repetitions = stats_payload["repetitions"]  # noqa: SLF001
+    vectors = [
+        frozenset(int(item) for item in members) for members in engine_payload["vectors"]
+    ]
+    removed = [int(v) for v in engine_payload["removed"]]
+    build_stats = BuildStats.from_dict(engine_payload["build_stats"], strict=True)
 
-    from repro.core.inverted_index import InvertedFilterIndex
-
-    restored_indexes = []
+    filter_indexes = []
     for repetition_postings in engine_payload["postings"]:
         inverted = InvertedFilterIndex()
-        for path, vector_ids in repetition_postings:
-            inverted.add_postings(tuple(int(item) for item in path), [int(v) for v in vector_ids])
-        restored_indexes.append(inverted)
-    if len(restored_indexes) != len(engine._indexes):  # noqa: SLF001
-        raise ValueError(
-            "saved index has a different number of repetitions than its configuration implies"
-        )
-    engine._indexes = restored_indexes  # noqa: SLF001
+        for stored_path, vector_ids in repetition_postings:
+            inverted.add_postings(
+                tuple(int(item) for item in stored_path), [int(v) for v in vector_ids]
+            )
+        inverted.compact()
+        filter_indexes.append(inverted)
+
+    return _restore_engine(
+        index,
+        len(vectors),
+        vectors,
+        removed,
+        build_stats,
+        filter_indexes,
+    )
+
+
+def load_index(
+    path: str | Path, config: PersistenceConfig | None = None
+) -> AnyIndex:
+    """Load an index previously written by :func:`save_index`.
+
+    The returned index answers single and batched queries identically to the
+    saved one: the engine (hash functions, thresholds, stopping rule) is
+    reconstructed deterministically from the saved configuration and the
+    postings arrays are adopted directly — nothing is rebuilt.
+
+    Both the current binary format (v2) and the legacy v1 JSON format are
+    accepted; anything else raises :class:`ValueError` with the offending
+    version.
+    """
+    path = Path(path)
+    persistence = config if config is not None else PersistenceConfig()
+    with open(path, "rb") as handle:
+        head = handle.read(64)
+    if head.startswith(_ZIP_MAGIC):
+        return _load_v2(path, persistence)
+    if head.lstrip().startswith(b"{"):
+        return _load_v1(path)
+    raise ValueError(
+        f"{path} is not a recognised index file (expected a format v{FORMAT_VERSION} "
+        f"binary container or a legacy v{LEGACY_JSON_VERSION} JSON document)"
+    )
+
+
+def convert_index_file(
+    source: str | Path, destination: str | Path, config: PersistenceConfig | None = None
+) -> AnyIndex:
+    """Convert a saved index (any readable version) to the current format.
+
+    Loads ``source`` — typically a legacy v1 JSON file — and rewrites it at
+    ``destination`` as a format v2 binary container.  Returns the loaded
+    index so callers can keep using it.
+    """
+    index = load_index(source, config=config)
+    save_index(index, destination, config=config)
     return index
+
+
+# --------------------------------------------------------------------- #
+# Legacy writer (benchmarks and migration tests only)
+# --------------------------------------------------------------------- #
+
+
+def _save_legacy_v1(index: SkewAdaptiveIndex | CorrelatedIndex, path: str | Path) -> None:
+    """Write the legacy v1 JSON format (kept for benchmarks and tests).
+
+    v1 never supported the Chosen Path baseline and stored only four
+    ``BuildStats`` fields; this writer reproduces that historical layout so
+    the migration path (:func:`convert_index_file`, the serialization
+    benchmark) can be exercised against real v1 files.
+    """
+    if not isinstance(index, (SkewAdaptiveIndex, CorrelatedIndex)):
+        raise TypeError(f"format v1 cannot store an index of type {type(index).__name__}")
+    engine = _require_engine(index)
+    postings_per_repetition = []
+    for inverted in engine.filter_indexes:
+        state = inverted.to_state()
+        offsets = state["path_offsets"].tolist()
+        items = state["path_items"].tolist()
+        posting_offsets = state["posting_offsets"].tolist()
+        posting_ids = state["posting_ids"].tolist()
+        postings_per_repetition.append(
+            [
+                [items[p_start:p_end], posting_ids[v_start:v_end]]
+                for p_start, p_end, v_start, v_end in zip(
+                    offsets, offsets[1:], posting_offsets, posting_offsets[1:]
+                )
+            ]
+        )
+    stats = engine.build_stats
+    payload = {
+        "format_version": LEGACY_JSON_VERSION,
+        "config": _config_payload(index),
+        "probabilities": index.distribution.probabilities.tolist(),
+        "engine": {
+            "vectors": [sorted(vector) for vector in engine.vectors],
+            "removed": sorted(engine.removed_ids),
+            "postings": postings_per_repetition,
+            "build_stats": {
+                "num_vectors": stats.num_vectors,
+                "total_filters": stats.total_filters,
+                "truncated_vectors": stats.truncated_vectors,
+                "repetitions": stats.repetitions,
+            },
+        },
+    }
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")

@@ -138,8 +138,18 @@ class SkewAdaptiveIndex:
     def build(self, collection: Iterable[SetLike]) -> BuildStats:
         """Index a dataset (any iterable of item-id collections)."""
         vectors = [frozenset(int(item) for item in members) for members in collection]
-        num_vectors = max(len(vectors), 1)
-        self._engine = FilterEngine(
+        self._engine = self._create_engine(max(len(vectors), 1))
+        return self._engine.build(vectors)
+
+    def _create_engine(self, num_vectors: int) -> FilterEngine:
+        """A fresh, empty engine for a dataset of the given size.
+
+        Exposed so that :mod:`repro.core.serialization` can reconstruct the
+        engine (hash functions, thresholds, stopping rule) from the saved
+        configuration and then restore the saved state directly, without a
+        placeholder build.
+        """
+        return FilterEngine(
             probabilities=self._distribution.probabilities,
             threshold_policy=AdversarialThreshold(self._config.b1),
             acceptance_threshold=self._config.b1,
@@ -151,7 +161,6 @@ class SkewAdaptiveIndex:
             max_paths_per_vector=self._config.max_paths_per_vector,
             seed=self._config.seed,
         )
-        return self._engine.build(vectors)
 
     # ------------------------------------------------------------------ #
     # Queries

@@ -12,6 +12,24 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Mapping
 
 
+def _known_fields(cls: type, payload: Mapping[str, Any], strict: bool) -> dict[str, Any]:
+    """Filter a payload down to the dataclass's fields.
+
+    With ``strict=True`` unknown keys raise :class:`ValueError` instead of
+    being dropped — persistence uses this so a file written by a newer (or
+    corrupted) version fails loudly rather than silently losing fields.
+    """
+    known = set(cls.__dataclass_fields__)  # type: ignore[attr-defined]
+    if strict:
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown {cls.__name__} fields {unknown}; "
+                f"expected a subset of {sorted(known)}"
+            )
+    return {key: value for key, value in payload.items() if key in known}
+
+
 @dataclass
 class BuildStats:
     """Statistics collected while building an index.
@@ -51,10 +69,13 @@ class BuildStats:
         return asdict(self)
 
     @classmethod
-    def from_dict(cls, payload: Mapping[str, Any]) -> "BuildStats":
-        """Inverse of :meth:`to_dict`; unknown keys are ignored."""
-        known = {f for f in cls.__dataclass_fields__}
-        return cls(**{key: value for key, value in payload.items() if key in known})
+    def from_dict(cls, payload: Mapping[str, Any], strict: bool = False) -> "BuildStats":
+        """Inverse of :meth:`to_dict`.
+
+        Unknown keys are ignored by default; with ``strict=True`` they raise
+        :class:`ValueError` (used by the persistence layer).
+        """
+        return cls(**_known_fields(cls, payload, strict))
 
 
 @dataclass
@@ -107,10 +128,13 @@ class QueryStats:
         return asdict(self)
 
     @classmethod
-    def from_dict(cls, payload: Mapping[str, Any]) -> "QueryStats":
-        """Inverse of :meth:`to_dict`; unknown keys are ignored."""
-        known = {f for f in cls.__dataclass_fields__}
-        return cls(**{key: value for key, value in payload.items() if key in known})
+    def from_dict(cls, payload: Mapping[str, Any], strict: bool = False) -> "QueryStats":
+        """Inverse of :meth:`to_dict`.
+
+        Unknown keys are ignored by default; with ``strict=True`` they raise
+        :class:`ValueError` (used by the persistence layer).
+        """
+        return cls(**_known_fields(cls, payload, strict))
 
 
 @dataclass
@@ -201,12 +225,18 @@ class BatchQueryStats:
         return payload
 
     @classmethod
-    def from_dict(cls, payload: Mapping[str, Any]) -> "BatchQueryStats":
-        """Inverse of :meth:`to_dict`; unknown keys are ignored."""
-        known = {f for f in cls.__dataclass_fields__}
-        fields = {key: value for key, value in payload.items() if key in known}
+    def from_dict(
+        cls, payload: Mapping[str, Any], strict: bool = False
+    ) -> "BatchQueryStats":
+        """Inverse of :meth:`to_dict`.
+
+        Unknown keys are ignored by default; with ``strict=True`` they raise
+        :class:`ValueError` (used by the persistence layer).
+        """
+        fields = _known_fields(cls, payload, strict)
         fields["per_query"] = [
-            QueryStats.from_dict(entry) for entry in fields.get("per_query", [])
+            QueryStats.from_dict(entry, strict=strict)
+            for entry in fields.get("per_query", [])
         ]
         return cls(**fields)
 

@@ -73,10 +73,45 @@ def fold_path(path: Sequence[int]) -> int:
     path:
         Ordered item indices forming the path.
     """
-    state = 0x243F6A8885A308D3  # pi-derived constant, arbitrary non-zero start
+    state = EMPTY_PATH_KEY  # pi-derived constant, arbitrary non-zero start
     for element in path:
         state = splitmix64(state ^ ((int(element) + 1) & _MASK_64))
     return state
+
+
+def fold_paths_csr(path_items: np.ndarray, path_offsets: np.ndarray) -> np.ndarray:
+    """Folded keys of many paths stored in CSR form, level-synchronously.
+
+    Parameters
+    ----------
+    path_items:
+        Item ids of all paths, concatenated.
+    path_offsets:
+        Monotone offsets of length ``num_paths + 1``; path ``k`` occupies
+        ``path_items[path_offsets[k]:path_offsets[k + 1]]``.
+
+    Bit-identical to calling :func:`fold_path` on each path, but folds one
+    recursion level of every path per vectorised call, so validating the keys
+    of a whole serialised postings store costs ``O(max_depth)`` array
+    operations instead of a Python loop per path element.
+    """
+    path_items = np.ascontiguousarray(path_items, dtype=np.int64)
+    path_offsets = np.ascontiguousarray(path_offsets, dtype=np.int64)
+    num_paths = path_offsets.size - 1
+    keys = np.full(num_paths, np.uint64(EMPTY_PATH_KEY), dtype=np.uint64)
+    if num_paths == 0:
+        return keys
+    lengths = np.diff(path_offsets)
+    starts = path_offsets[:-1]
+    for level in range(int(lengths.max(initial=0))):
+        alive = np.flatnonzero(lengths > level)
+        items = path_items[starts[alive] + level]
+        keys[alive] = extend_keys(keys[alive], items)
+    return keys
+
+
+#: Folded key of the empty path — the start state of :func:`fold_path`.
+EMPTY_PATH_KEY = 0x243F6A8885A308D3
 
 
 def extend_key(prefix_key: int, item: int) -> int:

@@ -1,10 +1,12 @@
-"""Tests for the filter inverted index."""
+"""Tests for the filter inverted index (compact array-backed postings)."""
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
-from repro.core.inverted_index import InvertedFilterIndex
+from repro.core.inverted_index import STATE_ARRAY_NAMES, InvertedFilterIndex
+from repro.hashing.pairwise import fold_path
 
 
 class TestAdd:
@@ -82,3 +84,179 @@ class TestStatistics:
         index = InvertedFilterIndex()
         index.add(0, [(1,)])
         assert "num_filters=1" in repr(index)
+
+
+def _populated() -> InvertedFilterIndex:
+    index = InvertedFilterIndex()
+    index.add(0, [(1,), (2, 3), (4,)])
+    index.add(1, [(2, 3), (4,)])
+    index.add(2, [(4,), (4,)])
+    return index
+
+
+class TestKeyedAdd:
+    def test_add_with_precomputed_keys(self):
+        index = InvertedFilterIndex()
+        paths = [(1, 2), (3,)]
+        index.add(5, paths, keys=[fold_path(path) for path in paths])
+        assert index.lookup((1, 2)) == [5]
+        assert index.lookup((3,)) == [5]
+
+    def test_key_count_mismatch_rejected(self):
+        index = InvertedFilterIndex()
+        with pytest.raises(ValueError):
+            index.add(0, [(1,), (2,)], keys=[fold_path((1,))])
+        # The failed add must not have mutated the index.
+        assert index.num_filters == 0
+        assert index.total_entries == 0
+        assert index.lookup((1,)) == []
+
+    def test_lookup_keyed_matches_lookup(self):
+        index = _populated()
+        for path in [(1,), (2, 3), (4,), (9, 9)]:
+            assert index.lookup_keyed(path, fold_path(path)) == index.lookup(path)
+
+    def test_candidates_with_keys(self):
+        index = _populated()
+        paths = [(2, 3), (4,)]
+        keys = [fold_path(path) for path in paths]
+        assert list(index.candidates(paths, keys)) == list(index.candidates(paths))
+
+
+class TestKeyCollisions:
+    """Distinct paths sharing one 64-bit key (forced via ``keys=``) must keep
+    separate postings on every path: add, lookup, compact, state rebuild."""
+
+    SAME_KEY = 12345
+
+    def _collided(self) -> InvertedFilterIndex:
+        index = InvertedFilterIndex()
+        index.add(0, [(1, 2)], keys=[self.SAME_KEY])
+        index.add(1, [(3, 4)], keys=[self.SAME_KEY])
+        index.add(2, [(1, 2)], keys=[self.SAME_KEY])
+        return index
+
+    def test_collided_paths_stay_separate(self):
+        index = self._collided()
+        assert index.num_filters == 2
+        assert index.lookup_keyed((1, 2), self.SAME_KEY) == [0, 2]
+        assert index.lookup_keyed((3, 4), self.SAME_KEY) == [1]
+        assert index.lookup_keyed((9, 9), self.SAME_KEY) == []
+
+    def test_collided_paths_survive_compaction(self):
+        index = self._collided()
+        index.compact()
+        assert index.lookup_keyed((1, 2), self.SAME_KEY) == [0, 2]
+        assert index.lookup_keyed((3, 4), self.SAME_KEY) == [1]
+        index.add(7, [(3, 4)], keys=[self.SAME_KEY])
+        assert index.lookup_keyed((3, 4), self.SAME_KEY) == [1, 7]
+
+    def test_from_state_rebuilds_collision_chain(self):
+        """True fold_path collisions are unobservable in practice, so force
+        one through the state arrays: two distinct stored paths whose keys
+        collide after reload must both stay reachable."""
+        import repro.core.inverted_index as inverted_module
+
+        index = self._collided()
+        state = index.to_state()
+        original_fold = inverted_module.fold_paths_csr
+        try:
+            inverted_module.fold_paths_csr = lambda items, offsets: np.full(
+                offsets.size - 1, np.uint64(self.SAME_KEY), dtype=np.uint64
+            )
+            restored = InvertedFilterIndex.from_state(state)
+        finally:
+            inverted_module.fold_paths_csr = original_fold
+        assert restored.lookup_keyed((1, 2), self.SAME_KEY) == [0, 2]
+        assert restored.lookup_keyed((3, 4), self.SAME_KEY) == [1]
+        assert restored.lookup_keyed((5, 6), self.SAME_KEY) == []
+
+
+class TestCompaction:
+    def test_compact_preserves_lookups(self):
+        index = _populated()
+        before = {path: index.lookup(path) for path in [(1,), (2, 3), (4,)]}
+        index.compact()
+        for path, postings in before.items():
+            assert index.lookup(path) == postings
+        assert index.num_filters == 3
+        assert index.total_entries == 7
+
+    def test_compact_is_idempotent(self):
+        index = _populated()
+        index.compact()
+        index.compact()
+        assert index.lookup((4,)) == [0, 1, 2, 2]
+
+    def test_adds_after_compact_append_in_order(self):
+        index = _populated()
+        index.compact()
+        index.add(7, [(4,), (8, 8)])
+        assert index.lookup((4,)) == [0, 1, 2, 2, 7]
+        assert index.lookup((8, 8)) == [7]
+        index.compact()
+        assert index.lookup((4,)) == [0, 1, 2, 2, 7]
+        assert index.lookup((8, 8)) == [7]
+        assert index.num_filters == 4
+
+    def test_posting_sizes_consistent_across_compaction(self):
+        index = _populated()
+        uncompacted = sorted(index.posting_sizes())
+        index.compact()
+        assert sorted(index.posting_sizes()) == uncompacted
+        assert index.heaviest_filters(1) == [((4,), 4)]
+
+
+class TestStateRoundTrip:
+    def test_to_state_from_state_round_trip(self):
+        index = _populated()
+        restored = InvertedFilterIndex.from_state(index.to_state())
+        for path in [(1,), (2, 3), (4,), (9,)]:
+            assert restored.lookup(path) == index.lookup(path)
+        assert restored.num_filters == index.num_filters
+        assert restored.total_entries == index.total_entries
+
+    def test_state_array_names(self):
+        state = _populated().to_state()
+        assert set(state) == set(STATE_ARRAY_NAMES)
+        for array in state.values():
+            assert isinstance(array, np.ndarray)
+
+    def test_restored_index_accepts_new_postings(self):
+        restored = InvertedFilterIndex.from_state(_populated().to_state())
+        restored.add(9, [(4,), (5, 6)])
+        assert restored.lookup((4,)) == [0, 1, 2, 2, 9]
+        assert restored.lookup((5, 6)) == [9]
+
+    def test_missing_array_rejected(self):
+        state = dict(_populated().to_state())
+        del state["posting_ids"]
+        with pytest.raises(ValueError, match="missing"):
+            InvertedFilterIndex.from_state(state)
+
+    def test_inconsistent_offsets_rejected(self):
+        state = dict(_populated().to_state())
+        state["posting_offsets"] = state["posting_offsets"][:-1]
+        with pytest.raises(ValueError):
+            InvertedFilterIndex.from_state(state)
+
+    def test_negative_ids_rejected(self):
+        state = dict(_populated().to_state())
+        bad = state["posting_ids"].copy()
+        bad[0] = -1
+        state["posting_ids"] = bad
+        with pytest.raises(ValueError, match="non-negative"):
+            InvertedFilterIndex.from_state(state)
+
+    def test_negative_path_items_rejected(self):
+        state = dict(_populated().to_state())
+        bad = state["path_items"].copy()
+        bad[0] = -1
+        state["path_items"] = bad
+        with pytest.raises(ValueError, match="non-negative"):
+            InvertedFilterIndex.from_state(state)
+
+    def test_empty_index_round_trip(self):
+        restored = InvertedFilterIndex.from_state(InvertedFilterIndex().to_state())
+        assert restored.num_filters == 0
+        assert restored.lookup((1,)) == []

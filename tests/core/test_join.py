@@ -76,6 +76,67 @@ class TestSimilarityJoin:
         assert result.num_probes == 1
 
 
+class _NoBatchIndex:
+    """Wraps an index exposing only the single-probe candidate surface, to
+    force :func:`similarity_join` onto its per-probe fallback branch."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def query_candidates(self, query):
+        return self._inner.query_candidates(query)
+
+    def get_vector(self, vector_id):
+        return self._inner.get_vector(vector_id)
+
+
+class TestJoinFallback:
+    def test_fallback_matches_batched_path(self, skewed_distribution, join_data):
+        """The per-probe fallback (indexes without query_candidates_batch)
+        must report exactly the pairs the batched consumer reports."""
+        dataset, probes = join_data
+        index = build_index(skewed_distribution, dataset)
+        predicate = SimilarityPredicate("braun_blanquet", 0.5)
+        batched = similarity_join(index, probes, predicate)
+        fallback = similarity_join(_NoBatchIndex(index), probes, predicate)
+        assert fallback.pair_set() == batched.pair_set()
+        assert fallback.num_probes == batched.num_probes
+        assert fallback.candidates_examined == batched.candidates_examined
+
+    def test_fallback_scores_match(self, skewed_distribution, join_data):
+        dataset, probes = join_data
+        index = build_index(skewed_distribution, dataset)
+        predicate = SimilarityPredicate("braun_blanquet", 0.5)
+        batched = {
+            (r, s): sim for r, s, sim in similarity_join(index, probes, predicate).pairs
+        }
+        fallback = {
+            (r, s): sim
+            for r, s, sim in similarity_join(_NoBatchIndex(index), probes, predicate).pairs
+        }
+        assert fallback == batched
+
+    def test_fallback_skips_empty_probes(self, skewed_distribution, join_data):
+        dataset, _probes = join_data
+        index = build_index(skewed_distribution, dataset)
+        result = similarity_join(
+            _NoBatchIndex(index), [frozenset()], SimilarityPredicate("braun_blanquet", 0.5)
+        )
+        assert result.num_pairs == 0
+        assert result.num_probes == 1
+
+    def test_fallback_respects_tombstones(self, skewed_distribution, join_data):
+        dataset, probes = join_data
+        index = build_index(skewed_distribution, dataset)
+        removed = {0, 1, 2}
+        for vector_id in removed:
+            index.remove(vector_id)
+        result = similarity_join(
+            _NoBatchIndex(index), probes, SimilarityPredicate("braun_blanquet", 0.5)
+        )
+        assert removed.isdisjoint(s for _r, s, _sim in result.pairs)
+
+
 class TestSelfJoin:
     def test_pairs_are_canonical_and_unique(self, skewed_distribution, join_data):
         dataset, _probes = join_data

@@ -1,15 +1,28 @@
-"""Tests for saving and loading built indexes."""
+"""Tests for saving and loading built indexes (binary format v2 + legacy v1)."""
 
 from __future__ import annotations
 
 import json
+import zipfile
 
 import numpy as np
 import pytest
 
-from repro.core.config import CorrelatedIndexConfig, SkewAdaptiveIndexConfig
+from repro.baselines.chosen_path import ChosenPathIndex
+from repro.core.config import (
+    CorrelatedIndexConfig,
+    PersistenceConfig,
+    SkewAdaptiveIndexConfig,
+)
 from repro.core.correlated_index import CorrelatedIndex
-from repro.core.serialization import FORMAT_VERSION, load_index, save_index
+from repro.core.serialization import (
+    FORMAT_VERSION,
+    LEGACY_JSON_VERSION,
+    _save_legacy_v1,
+    convert_index_file,
+    load_index,
+    save_index,
+)
 from repro.core.skewed_index import SkewAdaptiveIndex
 
 
@@ -31,29 +44,66 @@ def correlated_index(skewed_distribution, skewed_dataset):
     return index
 
 
+@pytest.fixture()
+def chosen_path_index(skewed_distribution, skewed_dataset):
+    index = ChosenPathIndex(
+        dimension=skewed_distribution.dimension, b1=0.6, b2=0.3, repetitions=4, seed=33
+    )
+    index.build(skewed_dataset[:80])
+    return index
+
+
 class TestSaveValidation:
     def test_unbuilt_index_rejected(self, skewed_distribution, tmp_path):
         index = SkewAdaptiveIndex(skewed_distribution, b1=0.5)
         with pytest.raises(ValueError):
-            save_index(index, tmp_path / "index.json")
+            save_index(index, tmp_path / "index.bin")
 
     def test_wrong_type_rejected(self, tmp_path):
         with pytest.raises(TypeError):
-            save_index(object(), tmp_path / "index.json")  # type: ignore[arg-type]
+            save_index(object(), tmp_path / "index.bin")  # type: ignore[arg-type]
 
-    def test_file_is_json_with_version(self, adversarial_index, tmp_path):
-        path = tmp_path / "index.json"
+    def test_file_is_binary_container_with_version(self, adversarial_index, tmp_path):
+        path = tmp_path / "index.bin"
         save_index(adversarial_index, path)
-        payload = json.loads(path.read_text())
-        assert payload["format_version"] == FORMAT_VERSION
-        assert payload["config"]["kind"] == "skew_adaptive"
+        assert zipfile.is_zipfile(path)
+        with np.load(path, allow_pickle=False) as container:
+            meta = json.loads(bytes(container["meta"]).decode("utf-8"))
+        assert meta["format_version"] == FORMAT_VERSION
+        assert meta["config"]["kind"] == "skew_adaptive"
+        assert set(meta["build_stats"]) == set(
+            adversarial_index.build_stats.to_dict()
+        )
+
+    def test_no_pickled_objects_in_file(self, adversarial_index, tmp_path):
+        """The container must stay loadable with allow_pickle=False."""
+        path = tmp_path / "index.bin"
+        save_index(adversarial_index, path)
+        with np.load(path, allow_pickle=False) as container:
+            for name in container.files:
+                assert container[name].dtype != object
+
+    def test_uncompressed_save_supported(self, adversarial_index, tmp_path):
+        compressed = tmp_path / "small.bin"
+        plain = tmp_path / "large.bin"
+        save_index(adversarial_index, compressed)
+        save_index(adversarial_index, plain, config=PersistenceConfig(compress=False))
+        assert plain.stat().st_size > compressed.stat().st_size
+        assert load_index(plain).num_indexed == adversarial_index.num_indexed
+
+    def test_exact_output_path_is_used(self, adversarial_index, tmp_path):
+        """numpy must not silently append an .npz suffix."""
+        path = tmp_path / "index.bin"
+        save_index(adversarial_index, path)
+        assert path.exists()
+        assert not (tmp_path / "index.bin.npz").exists()
 
 
 class TestRoundTrip:
     def test_adversarial_round_trip_identical_queries(
         self, adversarial_index, skewed_dataset, tmp_path
     ):
-        path = tmp_path / "adversarial.json"
+        path = tmp_path / "adversarial.bin"
         save_index(adversarial_index, path)
         loaded = load_index(path)
         assert isinstance(loaded, SkewAdaptiveIndex)
@@ -63,13 +113,12 @@ class TestRoundTrip:
             original_result, original_stats = adversarial_index.query(skewed_dataset[query_id])
             loaded_result, loaded_stats = loaded.query(skewed_dataset[query_id])
             assert original_result == loaded_result
-            assert original_stats.candidates_examined == loaded_stats.candidates_examined
-            assert original_stats.filters_generated == loaded_stats.filters_generated
+            assert original_stats.to_dict() == loaded_stats.to_dict()
 
     def test_correlated_round_trip_identical_queries(
         self, correlated_index, skewed_distribution, skewed_dataset, tmp_path
     ):
-        path = tmp_path / "correlated.json"
+        path = tmp_path / "correlated.bin"
         save_index(correlated_index, path)
         loaded = load_index(path)
         assert isinstance(loaded, CorrelatedIndex)
@@ -78,48 +127,294 @@ class TestRoundTrip:
             query = skewed_distribution.sample_correlated(skewed_dataset[target], 0.7, rng)
             assert correlated_index.query(query)[0] == loaded.query(query)[0]
 
+    def test_chosen_path_round_trip_identical_queries(
+        self, chosen_path_index, skewed_dataset, tmp_path
+    ):
+        path = tmp_path / "chosen_path.bin"
+        save_index(chosen_path_index, path)
+        loaded = load_index(path)
+        assert isinstance(loaded, ChosenPathIndex)
+        assert loaded.rho == chosen_path_index.rho
+        for query_id in range(20):
+            assert (
+                chosen_path_index.query(skewed_dataset[query_id])[0]
+                == loaded.query(skewed_dataset[query_id])[0]
+            )
+
+    def test_batch_queries_identical_after_load(
+        self, adversarial_index, skewed_dataset, tmp_path
+    ):
+        path = tmp_path / "index.bin"
+        save_index(adversarial_index, path)
+        loaded = load_index(path)
+        queries = skewed_dataset[:40]
+        original_results, original_stats = adversarial_index.query_batch(queries)
+        loaded_results, loaded_stats = loaded.query_batch(queries)
+        assert original_results == loaded_results
+        assert [s.to_dict() for s in original_stats.per_query] == [
+            s.to_dict() for s in loaded_stats.per_query
+        ]
+
     def test_round_trip_preserves_vectors(self, adversarial_index, tmp_path):
-        path = tmp_path / "index.json"
+        path = tmp_path / "index.bin"
         save_index(adversarial_index, path)
         loaded = load_index(path)
         for vector_id in range(adversarial_index.num_indexed):
             assert loaded.get_vector(vector_id) == adversarial_index.get_vector(vector_id)
 
+    def test_round_trip_preserves_full_build_stats(self, adversarial_index, tmp_path):
+        """Every BuildStats field survives, including the extended ones
+        (build_seconds, generation_batches) that format v1 silently dropped."""
+        path = tmp_path / "index.bin"
+        save_index(adversarial_index, path)
+        loaded = load_index(path)
+        original = adversarial_index.build_stats.to_dict()
+        restored = loaded.build_stats.to_dict()
+        assert restored == original
+        assert restored["build_seconds"] > 0.0
+        assert restored["generation_batches"] > 0
+
     def test_round_trip_preserves_removals(self, adversarial_index, skewed_dataset, tmp_path):
         adversarial_index.remove(2)
-        path = tmp_path / "index.json"
+        path = tmp_path / "index.bin"
         save_index(adversarial_index, path)
         loaded = load_index(path)
         result, _stats = loaded.query(skewed_dataset[2], mode="best")
         assert result != 2
 
+    def test_round_trip_after_insert(self, adversarial_index, skewed_dataset, tmp_path):
+        """Postings added after the initial build (pending overlay) are saved."""
+        inserted_id = adversarial_index.insert(skewed_dataset[90])
+        path = tmp_path / "index.bin"
+        save_index(adversarial_index, path)
+        loaded = load_index(path)
+        assert loaded.get_vector(inserted_id) == skewed_dataset[90]
+        assert (
+            loaded.query(skewed_dataset[90], mode="best")[0]
+            == adversarial_index.query(skewed_dataset[90], mode="best")[0]
+        )
+
     def test_loaded_index_supports_insert(self, adversarial_index, skewed_dataset, tmp_path):
-        path = tmp_path / "index.json"
+        path = tmp_path / "index.bin"
         save_index(adversarial_index, path)
         loaded = load_index(path)
         new_id = loaded.insert(skewed_dataset[90])
         assert loaded.get_vector(new_id) == skewed_dataset[90]
 
+    def test_empty_dataset_round_trip(self, skewed_distribution, tmp_path):
+        index = SkewAdaptiveIndex(
+            skewed_distribution, config=SkewAdaptiveIndexConfig(b1=0.5, repetitions=3)
+        )
+        index.build([])
+        path = tmp_path / "empty.bin"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.num_indexed == 0
+        assert loaded.query({1, 2, 3})[0] is None
+
 
 class TestLoadValidation:
     def test_wrong_version_rejected(self, adversarial_index, tmp_path):
-        path = tmp_path / "index.json"
+        path = tmp_path / "index.bin"
         save_index(adversarial_index, path)
-        payload = json.loads(path.read_text())
-        payload["format_version"] = 999
-        path.write_text(json.dumps(payload))
+        with np.load(path, allow_pickle=False) as container:
+            arrays = {name: container[name] for name in container.files}
+        meta = json.loads(bytes(arrays["meta"]).decode("utf-8"))
+        meta["format_version"] = 999
+        arrays["meta"] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
         with pytest.raises(ValueError, match="format version"):
             load_index(path)
 
     def test_unknown_kind_rejected(self, adversarial_index, tmp_path):
-        path = tmp_path / "index.json"
+        path = tmp_path / "index.bin"
         save_index(adversarial_index, path)
-        payload = json.loads(path.read_text())
-        payload["config"]["kind"] = "mystery"
-        path.write_text(json.dumps(payload))
+        with np.load(path, allow_pickle=False) as container:
+            arrays = {name: container[name] for name in container.files}
+        meta = json.loads(bytes(arrays["meta"]).decode("utf-8"))
+        meta["config"]["kind"] = "mystery"
+        arrays["meta"] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
         with pytest.raises(ValueError, match="kind"):
+            load_index(path)
+
+    def test_unknown_build_stats_field_rejected(self, adversarial_index, tmp_path):
+        """A file claiming BuildStats fields this version does not know must
+        fail loudly instead of silently dropping them."""
+        path = tmp_path / "index.bin"
+        save_index(adversarial_index, path)
+        with np.load(path, allow_pickle=False) as container:
+            arrays = {name: container[name] for name in container.files}
+        meta = json.loads(bytes(arrays["meta"]).decode("utf-8"))
+        meta["build_stats"]["from_the_future"] = 42
+        arrays["meta"] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(ValueError, match="from_the_future"):
+            load_index(path)
+
+    def test_truncated_file_rejected(self, adversarial_index, tmp_path):
+        """Truncation behind a valid zip magic must still surface as the
+        documented ValueError (catchable by the CLI), not BadZipFile."""
+        path = tmp_path / "index.bin"
+        save_index(adversarial_index, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ValueError, match="not a valid index file"):
+            load_index(path)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.bin"
+        path.write_bytes(b"\x00\x01\x02definitely not an index\xff" * 10)
+        with pytest.raises(ValueError, match="not a recognised index file"):
+            load_index(path)
+
+    def test_out_of_range_posting_ids_rejected(self, adversarial_index, tmp_path):
+        """Corrupted posting ids referencing missing vectors fail the
+        validate_postings integrity check."""
+        path = tmp_path / "index.bin"
+        save_index(adversarial_index, path)
+        with np.load(path, allow_pickle=False) as container:
+            arrays = {name: container[name] for name in container.files}
+        ids = arrays["rep0000_posting_ids"].astype(np.int64)
+        ids[0] = 10_000_000
+        arrays["rep0000_posting_ids"] = ids
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(ValueError, match="corrupted"):
+            load_index(path)
+
+    def test_missing_repetition_arrays_rejected(self, adversarial_index, tmp_path):
+        path = tmp_path / "index.bin"
+        save_index(adversarial_index, path)
+        with np.load(path, allow_pickle=False) as container:
+            arrays = {name: container[name] for name in container.files}
+        del arrays["rep0001_posting_ids"]
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(ValueError, match="repetition 1"):
+            load_index(path)
+
+    def test_missing_top_level_arrays_rejected(self, adversarial_index, tmp_path):
+        """Missing top-level arrays must raise ValueError (catchable by the
+        CLI), not leak a KeyError."""
+        path = tmp_path / "index.bin"
+        save_index(adversarial_index, path)
+        with np.load(path, allow_pickle=False) as container:
+            arrays = {name: container[name] for name in container.files}
+        del arrays["vector_items"]
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(ValueError, match="vector_items"):
+            load_index(path)
+
+    def test_missing_meta_keys_rejected(self, adversarial_index, tmp_path):
+        path = tmp_path / "index.bin"
+        save_index(adversarial_index, path)
+        with np.load(path, allow_pickle=False) as container:
+            arrays = {name: container[name] for name in container.files}
+        meta = json.loads(bytes(arrays["meta"]).decode("utf-8"))
+        del meta["num_vectors_hint"]
+        arrays["meta"] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(ValueError, match="num_vectors_hint"):
+            load_index(path)
+
+    def test_missing_config_field_rejected(self, adversarial_index, tmp_path):
+        path = tmp_path / "index.bin"
+        save_index(adversarial_index, path)
+        with np.load(path, allow_pickle=False) as container:
+            arrays = {name: container[name] for name in container.files}
+        meta = json.loads(bytes(arrays["meta"]).decode("utf-8"))
+        del meta["config"]["b1"]
+        arrays["meta"] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(ValueError, match="missing field 'b1'"):
+            load_index(path)
+
+    def test_negative_vector_lengths_rejected(self, adversarial_index, tmp_path):
+        path = tmp_path / "index.bin"
+        save_index(adversarial_index, path)
+        with np.load(path, allow_pickle=False) as container:
+            arrays = {name: container[name] for name in container.files}
+        lengths = arrays["vector_lengths"].astype(np.int64)
+        lengths[0] += lengths[1]
+        lengths[1] = -lengths[1]
+        arrays["vector_lengths"] = lengths
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(ValueError, match="corrupted"):
+            load_index(path)
+
+    def test_non_object_meta_rejected(self, adversarial_index, tmp_path):
+        path = tmp_path / "index.bin"
+        save_index(adversarial_index, path)
+        with np.load(path, allow_pickle=False) as container:
+            arrays = {name: container[name] for name in container.files}
+        arrays["meta"] = np.frombuffer(b"[1, 2, 3]", dtype=np.uint8)
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(ValueError, match="metadata"):
             load_index(path)
 
     def test_missing_file(self, tmp_path):
         with pytest.raises(FileNotFoundError):
-            load_index(tmp_path / "does_not_exist.json")
+            load_index(tmp_path / "does_not_exist.bin")
+
+
+class TestLegacyV1:
+    def test_v1_file_still_loads(self, adversarial_index, skewed_dataset, tmp_path):
+        path = tmp_path / "legacy.json"
+        _save_legacy_v1(adversarial_index, path)
+        loaded = load_index(path)
+        for query_id in range(20):
+            assert (
+                adversarial_index.query(skewed_dataset[query_id])[0]
+                == loaded.query(skewed_dataset[query_id])[0]
+            )
+
+    def test_v1_preserves_removals(self, adversarial_index, skewed_dataset, tmp_path):
+        adversarial_index.remove(4)
+        path = tmp_path / "legacy.json"
+        _save_legacy_v1(adversarial_index, path)
+        loaded = load_index(path)
+        assert loaded.query(skewed_dataset[4], mode="best")[0] != 4
+
+    def test_v1_unknown_version_rejected(self, adversarial_index, tmp_path):
+        path = tmp_path / "legacy.json"
+        _save_legacy_v1(adversarial_index, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 7
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="format version"):
+            load_index(path)
+
+    def test_convert_v1_to_v2(self, adversarial_index, skewed_dataset, tmp_path):
+        source = tmp_path / "legacy.json"
+        destination = tmp_path / "converted.bin"
+        adversarial_index.remove(6)
+        _save_legacy_v1(adversarial_index, source)
+        convert_index_file(source, destination)
+        assert zipfile.is_zipfile(destination)
+        loaded = load_index(destination)
+        for query_id in range(20):
+            assert (
+                adversarial_index.query(skewed_dataset[query_id])[0]
+                == loaded.query(skewed_dataset[query_id])[0]
+            )
+        assert loaded.query(skewed_dataset[6], mode="best")[0] != 6
+
+    def test_convert_is_smaller(self, adversarial_index, tmp_path):
+        source = tmp_path / "legacy.json"
+        destination = tmp_path / "converted.bin"
+        _save_legacy_v1(adversarial_index, source)
+        convert_index_file(source, destination)
+        assert destination.stat().st_size < source.stat().st_size
+
+    def test_legacy_writer_version_constant(self):
+        assert LEGACY_JSON_VERSION == 1
+        assert FORMAT_VERSION == 2

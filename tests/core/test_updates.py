@@ -101,3 +101,80 @@ class TestRemove:
         index = CorrelatedIndex(skewed_distribution, alpha=0.5)
         with pytest.raises(RuntimeError):
             index.remove(0)
+
+
+class TestRemovalAudit:
+    """Removed vectors must be excluded on *every* query surface — the
+    single-query paths, both batched paths, the similarity join — and the
+    tombstone set must survive a save/load round trip."""
+
+    @pytest.fixture()
+    def tombstoned(self, skewed_distribution, skewed_dataset):
+        index = SkewAdaptiveIndex(
+            skewed_distribution, config=SkewAdaptiveIndexConfig(b1=0.4, repetitions=6, seed=25)
+        )
+        index.build(skewed_dataset[:100])
+        removed = {2, 9, 31, 57}
+        for vector_id in removed:
+            index.remove(vector_id)
+        return index, removed
+
+    def test_query_excludes_removed(self, tombstoned, skewed_dataset):
+        index, removed = tombstoned
+        for vector_id in removed:
+            for mode in ("first", "best"):
+                result, _stats = index.query(skewed_dataset[vector_id], mode=mode)
+                assert result not in removed
+
+    def test_query_candidates_excludes_removed(self, tombstoned, skewed_dataset):
+        index, removed = tombstoned
+        for query in skewed_dataset[:40]:
+            candidates, _stats = index.query_candidates(query)
+            assert not candidates & removed
+
+    def test_query_batch_excludes_removed(self, tombstoned, skewed_dataset):
+        index, removed = tombstoned
+        for mode in ("first", "best"):
+            results, _stats = index.query_batch(skewed_dataset[:60], mode=mode)
+            assert removed.isdisjoint(r for r in results if r is not None)
+
+    def test_query_candidates_batch_excludes_removed(self, tombstoned, skewed_dataset):
+        index, removed = tombstoned
+        candidate_sets, _stats = index.query_candidates_batch(skewed_dataset[:60])
+        for candidates in candidate_sets:
+            assert not candidates & removed
+
+    def test_similarity_join_excludes_removed(self, tombstoned, skewed_dataset):
+        from repro.core.join import similarity_join
+        from repro.similarity.predicates import SimilarityPredicate
+
+        index, removed = tombstoned
+        result = similarity_join(
+            index, skewed_dataset[:60], SimilarityPredicate("braun_blanquet", 0.4)
+        )
+        assert removed.isdisjoint(s_index for _r, s_index, _sim in result.pairs)
+
+    def test_batch_matches_serial_with_tombstones(self, tombstoned, skewed_dataset):
+        """The batched paths must apply tombstones identically to the serial
+        ones, not just 'somehow'."""
+        index, _removed = tombstoned
+        queries = skewed_dataset[:40]
+        serial = [index.query(q)[0] for q in queries]
+        batched, _stats = index.query_batch(queries)
+        assert batched == serial
+        serial_sets = [index.query_candidates(q)[0] for q in queries]
+        batched_sets, _stats = index.query_candidates_batch(queries)
+        assert batched_sets == serial_sets
+
+    def test_tombstones_survive_round_trip(self, tombstoned, skewed_dataset, tmp_path):
+        from repro.core.serialization import load_index, save_index
+
+        index, removed = tombstoned
+        path = tmp_path / "tombstoned.bin"
+        save_index(index, path)
+        loaded = load_index(path)
+        candidate_sets, _stats = loaded.query_candidates_batch(skewed_dataset[:60])
+        for candidates in candidate_sets:
+            assert not candidates & removed
+        results, _stats = loaded.query_batch(skewed_dataset[:60], mode="best")
+        assert removed.isdisjoint(r for r in results if r is not None)

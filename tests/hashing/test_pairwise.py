@@ -44,6 +44,27 @@ class TestFoldPath:
         keys = {fold_path((a, b)) for a in range(30) for b in range(30) if a != b}
         assert len(keys) == 30 * 29
 
+    def test_fold_paths_csr_bit_identical(self):
+        import numpy as np
+
+        from repro.hashing.pairwise import fold_paths_csr
+
+        paths = [(), (3,), (1, 2), (2, 1), (5, 9, 14), (0, 0)]
+        items = np.asarray([item for path in paths for item in path], dtype=np.int64)
+        offsets = np.zeros(len(paths) + 1, dtype=np.int64)
+        np.cumsum([len(path) for path in paths], out=offsets[1:])
+        keys = fold_paths_csr(items, offsets)
+        assert keys.dtype == np.uint64
+        assert keys.tolist() == [fold_path(path) for path in paths]
+
+    def test_fold_paths_csr_empty(self):
+        import numpy as np
+
+        from repro.hashing.pairwise import fold_paths_csr
+
+        keys = fold_paths_csr(np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64))
+        assert keys.size == 0
+
 
 class TestPairwiseHash:
     def test_unit_interval(self):

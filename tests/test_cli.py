@@ -110,6 +110,90 @@ class TestBuildAndQuery:
         assert main(["build", str(empty), "-o", str(tmp_path / "x.json")]) == 2
 
 
+class TestConvertAndInspect:
+    @pytest.fixture()
+    def built_index(self, dataset_file, tmp_path):
+        index_path = tmp_path / "index.bin"
+        exit_code = main(
+            ["build", str(dataset_file), "-o", str(index_path), "--repetitions", "4"]
+        )
+        assert exit_code == 0
+        return index_path
+
+    def test_query_batch_on_saved_index(self, built_index, dataset_file, capsys):
+        exit_code = main(
+            ["query-batch", str(built_index), str(dataset_file), "--batch-size", "64"]
+        )
+        assert exit_code == 0
+        assert "queries/s" in capsys.readouterr().out
+
+    def test_convert_round_trips(self, built_index, dataset_file, tmp_path, capsys):
+        converted = tmp_path / "converted.bin"
+        assert main(["convert", str(built_index), "-o", str(converted)]) == 0
+        assert "format v2" in capsys.readouterr().out
+        assert main(["query", str(converted), str(dataset_file)]) == 0
+
+    def test_convert_legacy_v1_file(self, built_index, dataset_file, tmp_path, capsys):
+        from repro.core.serialization import _save_legacy_v1, load_index
+
+        legacy = tmp_path / "legacy.json"
+        _save_legacy_v1(load_index(built_index), legacy)
+        converted = tmp_path / "from_v1.bin"
+        assert main(["convert", str(legacy), "-o", str(converted)]) == 0
+        assert "smaller" in capsys.readouterr().out
+        assert main(["query", str(converted), str(dataset_file)]) == 0
+
+    def test_convert_rejects_garbage(self, tmp_path, capsys):
+        garbage = tmp_path / "garbage.bin"
+        garbage.write_bytes(b"\x00\xffnot an index")
+        assert main(["convert", str(garbage), "-o", str(tmp_path / "out.bin")]) == 2
+        assert "cannot convert" in capsys.readouterr().out
+
+    def test_inspect_prints_stats(self, built_index, capsys):
+        assert main(["inspect", str(built_index)]) == 0
+        output = capsys.readouterr().out
+        assert "vectors" in output
+        assert "file bytes" in output
+
+    def test_inspect_rejects_garbage(self, tmp_path, capsys):
+        garbage = tmp_path / "garbage.bin"
+        garbage.write_bytes(b"\x00\xffnot an index")
+        assert main(["inspect", str(garbage)]) == 2
+        assert "cannot load" in capsys.readouterr().out
+
+    def test_query_rejects_garbage(self, dataset_file, tmp_path, capsys):
+        garbage = tmp_path / "garbage.bin"
+        garbage.write_bytes(b"PK\x03\x04truncated zip")
+        assert main(["query", str(garbage), str(dataset_file)]) == 2
+        assert "cannot load" in capsys.readouterr().out
+
+    def test_query_batch_rejects_garbage(self, dataset_file, tmp_path, capsys):
+        garbage = tmp_path / "garbage.bin"
+        garbage.write_bytes(b"\x00\xffnot an index")
+        assert main(["query-batch", str(garbage), str(dataset_file)]) == 2
+        assert "cannot load" in capsys.readouterr().out
+
+    def test_build_no_compress(self, dataset_file, tmp_path):
+        small = tmp_path / "compressed.bin"
+        large = tmp_path / "plain.bin"
+        assert main(["build", str(dataset_file), "-o", str(small), "--repetitions", "3"]) == 0
+        assert (
+            main(
+                [
+                    "build",
+                    str(dataset_file),
+                    "-o",
+                    str(large),
+                    "--repetitions",
+                    "3",
+                    "--no-compress",
+                ]
+            )
+            == 0
+        )
+        assert large.stat().st_size > small.stat().st_size
+
+
 class TestExperiments:
     def test_section71(self, capsys):
         assert main(["experiments", "section7.1"]) == 0
