@@ -1,10 +1,15 @@
 #!/usr/bin/env python
-"""CI gate: fail when batched query throughput regresses below the bound.
+"""CI gate: fail when a gated query-throughput ratio regresses below bound.
 
-Reads a pytest-benchmark JSON export (produced by running
-``benchmarks/bench_batch_query.py`` with ``--benchmark-json=BENCH_batch.json``)
-and exits non-zero when any benchmark's recorded ``batched_speedup`` falls
-below the minimum ratio (default 1.5x, the project's acceptance bound).
+Reads a pytest-benchmark JSON export and exits non-zero when any benchmark's
+recorded speedup ratio falls below the minimum (default 1.5x, the project's
+acceptance bound).  Two ratios are gated, each produced by its benchmark:
+
+* ``batched_speedup`` — batched vs looped execution
+  (``benchmarks/bench_batch_query.py``, exported as ``BENCH_batch.json``);
+* ``csr_merge_speedup`` — CSR-native vs set-based candidate merge
+  (``benchmarks/bench_candidate_throughput.py``, exported as
+  ``BENCH_candidates.json``).
 
 Stdlib-only on purpose so the gate can run anywhere the JSON exists::
 
@@ -22,6 +27,9 @@ from pathlib import Path
 
 DEFAULT_MIN_SPEEDUP = 1.5
 
+#: extra_info keys holding a gated throughput ratio.
+GATED_KEYS = ("batched_speedup", "csr_merge_speedup")
+
 
 def check(report_path: Path, min_speedup: float) -> int:
     """Return a process exit code: 0 when every gate passes."""
@@ -35,24 +43,24 @@ def check(report_path: Path, min_speedup: float) -> int:
         return 2
 
     gated = [
-        entry
+        (entry, key)
         for entry in payload.get("benchmarks", [])
-        if "batched_speedup" in entry.get("extra_info", {})
+        for key in GATED_KEYS
+        if key in entry.get("extra_info", {})
     ]
     if not gated:
-        print(f"FAIL: {report_path} contains no benchmarks with a 'batched_speedup'")
+        print(
+            f"FAIL: {report_path} contains no benchmarks with a gated speedup "
+            f"(looked for {', '.join(GATED_KEYS)})"
+        )
         return 2
 
     failures = 0
-    for entry in gated:
+    for entry, key in gated:
         extra = entry["extra_info"]
-        speedup = float(extra["batched_speedup"])
+        speedup = float(extra[key])
         name = entry.get("name", "<unnamed>")
-        detail = (
-            f"n={extra.get('num_vectors', '?')}, "
-            f"loop={extra.get('loop_qps', 0):.0f} q/s, "
-            f"batch={extra.get('batch_qps', 0):.0f} q/s"
-        )
+        detail = f"{key}, n={extra.get('num_vectors', '?')}"
         if speedup < min_speedup:
             print(f"FAIL: {name}: {speedup:.2f}x < {min_speedup}x ({detail})")
             failures += 1
@@ -60,9 +68,9 @@ def check(report_path: Path, min_speedup: float) -> int:
             print(f"OK:   {name}: {speedup:.2f}x >= {min_speedup}x ({detail})")
 
     if failures:
-        print(f"\n{failures} benchmark(s) below the {min_speedup}x gate")
+        print(f"\n{failures} gate(s) below the {min_speedup}x bound")
         return 1
-    print(f"\nall {len(gated)} benchmark(s) meet the {min_speedup}x gate")
+    print(f"\nall {len(gated)} gate(s) meet the {min_speedup}x bound")
     return 0
 
 
@@ -73,7 +81,7 @@ def main(argv: list[str] | None = None) -> int:
         "--min-speedup",
         type=float,
         default=DEFAULT_MIN_SPEEDUP,
-        help=f"minimum batched/looped throughput ratio (default {DEFAULT_MIN_SPEEDUP})",
+        help=f"minimum gated throughput ratio (default {DEFAULT_MIN_SPEEDUP})",
     )
     args = parser.parse_args(argv)
     return check(args.report, args.min_speedup)

@@ -60,6 +60,9 @@ class ChosenPathIndex:
         Safety cap on filters per vector.
     seed:
         Hash seed.
+    use_csr_merge:
+        Execute queries through the CSR-native probe/merge pipeline (the
+        default); ``False`` selects the set-based reference execution.
     """
 
     def __init__(
@@ -70,6 +73,7 @@ class ChosenPathIndex:
         repetitions: int | None = None,
         max_paths_per_vector: int | None = 50_000,
         seed: int = 0,
+        use_csr_merge: bool = True,
     ):
         if dimension <= 0:
             raise ValueError(f"dimension must be positive, got {dimension}")
@@ -85,6 +89,7 @@ class ChosenPathIndex:
         self._repetitions = repetitions
         self._max_paths_per_vector = max_paths_per_vector
         self._seed = int(seed)
+        self._use_csr_merge = bool(use_csr_merge)
         self._engine: FilterEngine | None = None
 
     # ------------------------------------------------------------------ #
@@ -157,6 +162,7 @@ class ChosenPathIndex:
             stop_product_enabled=False,
             max_paths_per_vector=self._max_paths_per_vector,
             seed=self._seed,
+            use_csr_merge=self._use_csr_merge,
         )
 
     def query(self, query: SetLike, mode: str = "first") -> tuple[int | None, QueryStats]:
@@ -205,6 +211,36 @@ class ChosenPathIndex:
             max_workers=max_workers,
             deduplicate=deduplicate,
         )
+
+    def query_candidates_arrays_batch(
+        self,
+        queries: Sequence[SetLike],
+        batch_size: int | None = None,
+        max_workers: int | None = None,
+        deduplicate: bool = True,
+    ) -> tuple[list[np.ndarray], BatchQueryStats]:
+        """Batched candidate enumeration as sorted id arrays (read-only)."""
+        self._require_built()
+        assert self._engine is not None
+        return self._engine.query_candidates_arrays_batch(
+            queries,
+            batch_size=batch_size,
+            max_workers=max_workers,
+            deduplicate=deduplicate,
+        )
+
+    @property
+    def use_csr_merge(self) -> bool:
+        """Whether queries run through the CSR-native probe/merge pipeline."""
+        if self._engine is not None:
+            return self._engine.use_csr_merge
+        return self._use_csr_merge
+
+    @use_csr_merge.setter
+    def use_csr_merge(self, enabled: bool) -> None:
+        self._require_built()
+        assert self._engine is not None
+        self._engine.use_csr_merge = enabled
 
     def get_vector(self, vector_id: int) -> frozenset[int]:
         self._require_built()

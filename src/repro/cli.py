@@ -11,10 +11,13 @@ Python:
 * ``repro build`` — build a skew-adaptive index over a transaction file and
   save it to disk (binary format v2);
 * ``repro query`` — load a saved index and run queries from a transaction
-  file, printing matches and work statistics.
+  file, printing matches and work statistics (``--candidates-only`` stops
+  after the CSR probe/merge phase and reports the merged candidate sets).
 * ``repro query-batch`` — the same workload through the batched execution
   engine: vectorised filter generation, probe deduplication across the
-  batch and optional worker-pool fan-out, with throughput reporting.
+  batch and optional worker-pool fan-out, with throughput and per-phase
+  (generation / merge / verification) timing reporting; also honours
+  ``--candidates-only``.
 * ``repro convert`` — rewrite a saved index (e.g. a legacy v1 JSON file) in
   the current binary format;
 * ``repro inspect`` — print the configuration, build statistics and storage
@@ -198,6 +201,30 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 2
     queries = read_transactions(args.queries)
     rows = []
+    if args.candidates_only:
+        for query_number, query in enumerate(queries):
+            candidates, stats = index.query_candidates(query)
+            rows.append(
+                {
+                    "query": query_number,
+                    "unique": stats.unique_candidates,
+                    "candidates": stats.candidates_examined,
+                    "filters": stats.filters_generated,
+                    "sample": ",".join(str(v) for v in sorted(candidates)[:5]) or "-",
+                }
+            )
+        print(
+            format_table(
+                rows, title=f"{len(queries)} candidate probes against {args.index}"
+            )
+        )
+        total = sum(row["candidates"] for row in rows)
+        unique = sum(row["unique"] for row in rows)
+        print(
+            f"\n{total} candidate collisions merged into {unique} distinct candidates "
+            "(verification skipped)"
+        )
+        return 0
     for query_number, query in enumerate(queries):
         result, stats = index.query(query, mode=args.mode)
         rows.append(
@@ -233,26 +260,51 @@ def _cmd_query_batch(args: argparse.Namespace) -> int:
         return 2
     queries = list(read_transactions(args.queries))
     start = time.perf_counter()
-    results, batch_stats = index.query_batch(queries, mode=args.mode, **config.as_kwargs())
+    if args.candidates_only:
+        candidate_lists, batch_stats = index.query_candidates_batch(
+            queries, **config.as_kwargs()
+        )
+        results = None
+    else:
+        results, batch_stats = index.query_batch(
+            queries, mode=args.mode, **config.as_kwargs()
+        )
     elapsed = time.perf_counter() - start
     rows = []
-    for query_number, (result, stats) in enumerate(zip(results, batch_stats.per_query)):
-        rows.append(
-            {
-                "query": query_number,
-                "match": "-" if result is None else result,
-                "candidates": stats.candidates_examined,
-                "filters": stats.filters_generated,
-            }
-        )
-    print(format_table(rows, title=f"{len(queries)} batched queries against {args.index}"))
-    found = sum(1 for result in results if result is not None)
+    for query_number, stats in enumerate(batch_stats.per_query):
+        row = {"query": query_number}
+        if results is None:
+            row["unique"] = stats.unique_candidates
+        else:
+            result = results[query_number]
+            row["match"] = "-" if result is None else result
+        row["candidates"] = stats.candidates_examined
+        row["filters"] = stats.filters_generated
+        row["cached"] = "yes" if stats.from_cache else ""
+        rows.append(row)
+    what = "batched candidate probes" if results is None else "batched queries"
+    print(format_table(rows, title=f"{len(queries)} {what} against {args.index}"))
     throughput = len(queries) / elapsed if elapsed > 0 else float("inf")
-    print(f"\n{found}/{len(queries)} queries returned a match")
+    if results is None:
+        distinct = len(set().union(*candidate_lists)) if candidate_lists else 0
+        memberships = sum(len(candidates) for candidates in candidate_lists)
+        print(
+            f"\n{memberships} per-query candidate memberships over "
+            f"{distinct} distinct vectors (verification skipped)"
+        )
+    else:
+        found = sum(1 for result in results if result is not None)
+        print(f"\n{found}/{len(queries)} queries returned a match")
     print(
         f"batch of {len(queries)} in {elapsed:.4f}s ({throughput:.0f} queries/s); "
         f"probe dedupe hit rate {batch_stats.dedupe_hit_rate:.1%}, "
         f"{batch_stats.queries_deduplicated} duplicate queries answered from cache"
+    )
+    print(
+        "phase seconds: "
+        f"generation {batch_stats.generation_seconds:.4f}, "
+        f"merge {batch_stats.merge_seconds:.4f}, "
+        f"verification {batch_stats.verification_seconds:.4f}"
     )
     return 0
 
@@ -351,6 +403,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("index", type=Path, help="index file written by 'repro build'")
     query.add_argument("queries", type=Path, help="transaction file of query sets")
     query.add_argument("--mode", choices=["first", "best"], default="first")
+    query.add_argument(
+        "--candidates-only",
+        action="store_true",
+        help="enumerate merged candidate sets without verification "
+        "(observes the CSR probe/merge phase in isolation)",
+    )
     query.set_defaults(handler=_cmd_query)
 
     query_batch = subparsers.add_parser(
@@ -372,6 +430,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=None,
         help="fan chunks out over a thread pool of this size",
+    )
+    query_batch.add_argument(
+        "--candidates-only",
+        action="store_true",
+        help="enumerate merged candidate sets without verification "
+        "(observes the CSR probe/merge phase in isolation)",
     )
     query_batch.set_defaults(handler=_cmd_query_batch)
 

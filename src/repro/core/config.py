@@ -101,6 +101,12 @@ class SkewAdaptiveIndexConfig:
         suffer but correctness of returned results is unaffected.
     seed:
         Seed for the hash functions.
+    use_csr_merge:
+        Execute queries through the CSR-native probe/merge pipeline (the
+        default).  ``False`` selects the set-based reference execution, kept
+        for one release as an escape hatch; results are identical either
+        way, so this is an execution knob — it is not persisted with the
+        index.
     """
 
     b1: float = 0.5
@@ -108,6 +114,7 @@ class SkewAdaptiveIndexConfig:
     max_depth: int | None = None
     max_paths_per_vector: int | None = 50_000
     seed: int = 0
+    use_csr_merge: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 < self.b1 <= 1.0:
@@ -140,7 +147,7 @@ class CorrelatedIndexConfig:
         The ``δ`` in the sampling threshold ``(1 + δ)/(p̂_i C log n − j)``.
         ``None`` means "use the paper's ``3 / sqrt(α C)``"; the paper notes a
         smaller constant is likely sufficient in practice.
-    repetitions, max_depth, max_paths_per_vector, seed:
+    repetitions, max_depth, max_paths_per_vector, seed, use_csr_merge:
         As in :class:`SkewAdaptiveIndexConfig`.
     """
 
@@ -151,6 +158,7 @@ class CorrelatedIndexConfig:
     max_depth: int | None = None
     max_paths_per_vector: int | None = 50_000
     seed: int = 0
+    use_csr_merge: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 < self.alpha <= 1.0:

@@ -131,6 +131,7 @@ class CorrelatedIndex:
             stop_product_enabled=True,
             max_paths_per_vector=self._config.max_paths_per_vector,
             seed=self._config.seed,
+            use_csr_merge=self._config.use_csr_merge,
         )
 
     def query(self, query: SetLike, mode: str = "first") -> tuple[int | None, QueryStats]:
@@ -189,6 +190,36 @@ class CorrelatedIndex:
             max_workers=max_workers,
             deduplicate=deduplicate,
         )
+
+    def query_candidates_arrays_batch(
+        self,
+        queries: Sequence[SetLike],
+        batch_size: int | None = None,
+        max_workers: int | None = None,
+        deduplicate: bool = True,
+    ) -> tuple[list[np.ndarray], BatchQueryStats]:
+        """Batched candidate enumeration as sorted id arrays (read-only)."""
+        self._require_built()
+        assert self._engine is not None
+        return self._engine.query_candidates_arrays_batch(
+            queries,
+            batch_size=batch_size,
+            max_workers=max_workers,
+            deduplicate=deduplicate,
+        )
+
+    @property
+    def use_csr_merge(self) -> bool:
+        """Whether queries run through the CSR-native probe/merge pipeline."""
+        if self._engine is not None:
+            return self._engine.use_csr_merge
+        return self._config.use_csr_merge
+
+    @use_csr_merge.setter
+    def use_csr_merge(self, enabled: bool) -> None:
+        self._require_built()
+        assert self._engine is not None
+        self._engine.use_csr_merge = enabled
 
     def get_vector(self, vector_id: int) -> frozenset[int]:
         """The stored vector with the given id."""

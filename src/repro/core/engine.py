@@ -12,6 +12,17 @@ probability of Lemma 5 (roughly ``1/log n``) to a constant; the engine builds
 ``repetitions`` copies of the filter structure, each with its own hash
 functions, and a query probes them in order until it finds an acceptable
 vector.
+
+Query execution is CSR-native: from probe-key lookup to the final candidate
+set, data stays in flat numpy arrays.  Every query surface resolves its
+folded path keys through :meth:`~repro.core.inverted_index.
+InvertedFilterIndex.probe_batch` (one ``searchsorted`` over the sorted key
+table per repetition), the gathered posting segments are merged with
+sort/unique array passes, tombstones are filtered as a vectorised mask, and
+verification consumes the merged id arrays directly.  The pre-refactor
+set-based execution is retained behind ``use_csr_merge=False`` as a
+reference implementation (results are identical; per-query work counters can
+differ because the array path always accounts a full repetition at a time).
 """
 
 from __future__ import annotations
@@ -25,8 +36,8 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from repro.core.config import DEFAULT_BATCH_SIZE
-from repro.core.inverted_index import InvertedFilterIndex
-from repro.core.paths import PathGenerator, default_max_depth
+from repro.core.inverted_index import InvertedFilterIndex, _segment_gather
+from repro.core.paths import PathGenerationResult, PathGenerator, default_max_depth
 from repro.core.stats import BatchQueryStats, BuildStats, QueryStats
 from repro.core.thresholds import ThresholdPolicy
 from repro.hashing.pairwise import PathHasher
@@ -39,6 +50,8 @@ SimilarityFunction = Callable[[frozenset[int], frozenset[int]], float]
 #: Vectors per generation chunk during :meth:`FilterEngine.build`.
 _BUILD_GENERATION_BATCH = 512
 
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
 
 def default_repetitions(num_vectors: int) -> int:
     """Default number of independent filter structures: ``ceil(log2 n) + 1``.
@@ -50,6 +63,17 @@ def default_repetitions(num_vectors: int) -> int:
     if num_vectors <= 1:
         return 1
     return int(math.ceil(math.log2(num_vectors))) + 1
+
+
+def _ordered_unique(ids: np.ndarray) -> np.ndarray:
+    """Distinct ids of a collision stream, in first-appearance order.
+
+    This is the array replacement for the ``seen.add`` dedupe loop: queries
+    must evaluate candidates in the order the probes surfaced them for the
+    "first acceptable candidate" semantics to match the reference loop.
+    """
+    unique, first_positions = np.unique(ids, return_index=True)
+    return unique[np.argsort(first_positions, kind="stable")]
 
 
 class FilterEngine:
@@ -83,6 +107,11 @@ class FilterEngine:
         Braun-Blanquet, the paper's measure).
     seed:
         Master seed for all hash functions.
+    use_csr_merge:
+        Execute queries through the CSR-native probe/merge pipeline (the
+        default).  ``False`` selects the set-based reference implementation,
+        kept for one release as an escape hatch and for equivalence testing;
+        results are identical either way.
     """
 
     def __init__(
@@ -98,6 +127,7 @@ class FilterEngine:
         max_paths_per_vector: int | None = 50_000,
         similarity: SimilarityFunction | None = None,
         seed: int = 0,
+        use_csr_merge: bool = True,
     ):
         self._probabilities = np.asarray(probabilities, dtype=np.float64)
         if self._probabilities.ndim != 1 or self._probabilities.size == 0:
@@ -130,6 +160,7 @@ class FilterEngine:
         self._max_paths_per_vector = max_paths_per_vector
         self._similarity = similarity if similarity is not None else braun_blanquet
         self._seed = int(seed)
+        self._use_csr_merge = bool(use_csr_merge)
 
         self._generators: list[PathGenerator] = [
             PathGenerator(
@@ -153,6 +184,10 @@ class FilterEngine:
         self._store_flat_items: np.ndarray | None = None
         self._store_offsets: np.ndarray | None = None
         self._store_sizes: np.ndarray | None = None
+        # Tombstones as a boolean mask over vector ids, built lazily for the
+        # vectorised filtering step; invalidated whenever the removed set or
+        # the vector count changes.
+        self._removed_mask: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     # Properties
@@ -206,6 +241,18 @@ class FilterEngine:
         """The currently tombstoned vector ids."""
         return frozenset(self._removed)
 
+    @property
+    def use_csr_merge(self) -> bool:
+        """Whether queries run through the CSR-native probe/merge pipeline."""
+        return self._use_csr_merge
+
+    @use_csr_merge.setter
+    def use_csr_merge(self, enabled: bool) -> None:
+        # Purely an execution-strategy knob: flipping it never changes
+        # results, so it is safe to toggle on a built engine (benchmarks
+        # compare both paths on one index this way).
+        self._use_csr_merge = bool(enabled)
+
     # ------------------------------------------------------------------ #
     # State restoration (persistence)
     # ------------------------------------------------------------------ #
@@ -245,6 +292,7 @@ class FilterEngine:
         self._build_stats = build_stats
         self._indexes = list(filter_indexes)
         self._invalidate_candidate_store()
+        self._removed_mask = None
 
     # ------------------------------------------------------------------ #
     # Build
@@ -257,13 +305,16 @@ class FilterEngine:
         vectors are processed in chunks whose candidate extensions are
         hashed in one vectorised call per recursion level, which is
         substantially faster than per-vector generation while producing
-        exactly the same filters.
+        exactly the same filters.  The generated postings land in the
+        stores' append-only buffers and are folded into the CSR arrays by
+        one vectorised bulk compaction per repetition at the end.
         """
         build_start = time.perf_counter()
         self._vectors = [frozenset(int(item) for item in members) for members in collection]
         self._indexes = [InvertedFilterIndex() for _ in range(self._repetitions)]
         self._removed = set()
         self._invalidate_candidate_store()
+        self._removed_mask = None
         stats = BuildStats(num_vectors=len(self._vectors), repetitions=self._repetitions)
         non_empty = [
             (vector_id, sorted(members))
@@ -304,6 +355,7 @@ class FilterEngine:
         vector_id = len(self._vectors)
         self._vectors.append(vector)
         self._invalidate_candidate_store()
+        self._removed_mask = None
         self._build_stats.num_vectors += 1
         if not vector:
             return vector_id
@@ -325,6 +377,7 @@ class FilterEngine:
         if not 0 <= vector_id < len(self._vectors):
             raise IndexError(f"vector id {vector_id} is out of range")
         self._removed.add(vector_id)
+        self._removed_mask = None
 
     @property
     def num_removed(self) -> int:
@@ -334,6 +387,18 @@ class FilterEngine:
     def is_removed(self, vector_id: int) -> bool:
         """Whether the given id has been removed."""
         return vector_id in self._removed
+
+    def _removed_lookup(self) -> np.ndarray | None:
+        """Tombstones as a boolean mask over vector ids (``None`` if empty)."""
+        if not self._removed:
+            return None
+        if self._removed_mask is None:
+            mask = np.zeros(len(self._vectors), dtype=bool)
+            mask[
+                np.fromiter(self._removed, dtype=np.int64, count=len(self._removed))
+            ] = True
+            self._removed_mask = mask
+        return self._removed_mask
 
     # ------------------------------------------------------------------ #
     # Query
@@ -377,7 +442,88 @@ class FilterEngine:
         stats = QueryStats()
         if not query_set or not self._vectors:
             return None, stats
+        if self._use_csr_merge:
+            return self._query_csr(query_set, mode, stats)
+        return self._query_loop(query_set, mode, stats)
 
+    def _query_csr(
+        self, query_set: frozenset[int], mode: str, stats: QueryStats
+    ) -> tuple[int | None, QueryStats]:
+        """CSR-native single query: batch-probe each repetition's filters,
+        dedupe the gathered postings in first-appearance order, and verify
+        the merged candidate array in one vectorised pass per repetition.
+
+        Results *and* work counters match the set-based reference exactly:
+        in ``"first"`` mode the counters are rolled back to the point where
+        the per-candidate loop would have stopped (the hit's first position
+        in the collision stream), because ``candidates_examined`` is the
+        paper's work measure and must not depend on the execution strategy.
+        """
+        members = sorted(query_set)
+        bound = self._threshold_policy.bind(members)
+        evaluated = np.zeros(len(self._vectors), dtype=bool)
+        removed = self._removed_lookup()
+        membership = np.zeros(self._probabilities.size, dtype=bool)
+        best_id: int | None = None
+        best_similarity = -1.0
+
+        for repetition in range(self._repetitions):
+            # Even for one query the level-synchronous generator wins: it
+            # hashes a whole frontier level per call instead of one call per
+            # frontier entry, and produces bit-identical paths.
+            generation = self._generators[repetition].generate_batch([members], [bound])[0]
+            stats.filters_generated += len(generation.paths)
+            stats.repetitions_used += 1
+            ids, _offsets = self._indexes[repetition].probe_batch(
+                generation.paths, generation.keys
+            )
+            if not ids.size:
+                continue
+            unique, first_positions = np.unique(ids, return_index=True)
+            order = np.argsort(first_positions, kind="stable")
+            ordered = unique[order]
+            ordered_first = first_positions[order]
+            fresh = ~evaluated[ordered]
+            if removed is not None:
+                fresh &= ~removed[ordered]
+            ordered_new = ordered[fresh]
+            if not ordered_new.size:
+                stats.candidates_examined += int(ids.size)
+                continue
+            evaluated[ordered_new] = True
+            similarities = self._batch_similarities(query_set, ordered_new, membership)
+            if mode == "first":
+                hits = np.flatnonzero(similarities >= self._acceptance_threshold)
+                if hits.size:
+                    # The reference loop stops at the hit's first appearance
+                    # in the collision stream; account only the work up to
+                    # that point.
+                    hit = int(hits[0])
+                    stats.candidates_examined += int(ordered_first[fresh][hit]) + 1
+                    stats.unique_candidates += hit + 1
+                    stats.similarity_evaluations += hit + 1
+                    stats.found = True
+                    return int(ordered_new[hit]), stats
+            else:
+                top_position = int(np.argmax(similarities))
+                top_similarity = float(similarities[top_position])
+                if (
+                    top_similarity >= self._acceptance_threshold
+                    and top_similarity > best_similarity
+                ):
+                    best_similarity = top_similarity
+                    best_id = int(ordered_new[top_position])
+            stats.candidates_examined += int(ids.size)
+            stats.unique_candidates += int(ordered_new.size)
+            stats.similarity_evaluations += int(ordered_new.size)
+
+        stats.found = best_id is not None
+        return best_id, stats
+
+    def _query_loop(
+        self, query_set: frozenset[int], mode: str, stats: QueryStats
+    ) -> tuple[int | None, QueryStats]:
+        """Set-based reference implementation of :meth:`query`."""
         best_id: int | None = None
         best_similarity = -1.0
         evaluated: set[int] = set()
@@ -421,9 +567,48 @@ class FilterEngine:
         """
         query_set = frozenset(int(item) for item in query)
         stats = QueryStats()
-        candidates: set[int] = set()
         if not query_set or not self._vectors:
-            return candidates, stats
+            return set(), stats
+        if self._use_csr_merge:
+            merged = self._query_candidates_csr(query_set, stats)
+            candidates = set(merged.tolist())
+        else:
+            candidates = self._query_candidates_loop(query_set, stats)
+        stats.unique_candidates = len(candidates)
+        return candidates, stats
+
+    def _query_candidates_csr(
+        self, query_set: frozenset[int], stats: QueryStats
+    ) -> np.ndarray:
+        """CSR-native candidate enumeration: one probe gather per repetition,
+        then a single sort/unique merge with a vectorised tombstone mask.
+        Returns the sorted array of distinct live candidate ids."""
+        members = sorted(query_set)
+        bound = self._threshold_policy.bind(members)
+        parts: list[np.ndarray] = []
+        for repetition in range(self._repetitions):
+            generation = self._generators[repetition].generate_batch([members], [bound])[0]
+            stats.filters_generated += len(generation.paths)
+            stats.repetitions_used += 1
+            ids, _offsets = self._indexes[repetition].probe_batch(
+                generation.paths, generation.keys
+            )
+            stats.candidates_examined += int(ids.size)
+            if ids.size:
+                parts.append(ids)
+        if not parts:
+            return _EMPTY_IDS
+        merged = np.unique(np.concatenate(parts))
+        removed = self._removed_lookup()
+        if removed is not None:
+            merged = merged[~removed[merged]]
+        return merged
+
+    def _query_candidates_loop(
+        self, query_set: frozenset[int], stats: QueryStats
+    ) -> set[int]:
+        """Set-based reference implementation of :meth:`query_candidates`."""
+        candidates: set[int] = set()
         members = sorted(query_set)
         for repetition in range(self._repetitions):
             bound = self._threshold_policy.bind(members)
@@ -437,8 +622,7 @@ class FilterEngine:
                 if candidate_id in self._removed:
                     continue
                 candidates.add(candidate_id)
-        stats.unique_candidates = len(candidates)
-        return candidates, stats
+        return candidates
 
     # ------------------------------------------------------------------ #
     # Batched queries
@@ -457,10 +641,11 @@ class FilterEngine:
         Returns exactly the ids ``[query(q, mode)[0] for q in queries]``
         would return, but executes the batch through the vectorised
         subsystem: filter generation is level-synchronous across the whole
-        batch (one hash call per level per repetition), identical filter
-        probes are deduplicated through a batch probe cache, candidate
-        verification runs as array operations over a CSR view of the stored
-        vectors, and exact duplicate queries are answered once.
+        batch (one hash call per level per repetition), the batch's folded
+        path keys are deduplicated and resolved in one array probe per
+        repetition, candidate merging and verification run as array
+        operations over CSR views, and exact duplicate queries are answered
+        once.
 
         Parameters
         ----------
@@ -496,13 +681,37 @@ class FilterEngine:
     ) -> tuple[list[set[int]], BatchQueryStats]:
         """Batched :meth:`query_candidates`: one candidate set per query.
 
-        The similarity join consumes this to turn ``|R|`` single probes into
-        a streamed sequence of vectorised batches.  Results are exactly
-        ``[query_candidates(q)[0] for q in queries]``.
+        Results are exactly ``[query_candidates(q)[0] for q in queries]``.
+        Consumers that can work on arrays directly (the similarity join)
+        should prefer :meth:`query_candidates_arrays_batch`, which skips the
+        final set materialisation.
         """
         return self._execute_batched(
             queries,
             self._query_candidates_chunk,
+            batch_size=batch_size,
+            max_workers=max_workers,
+            deduplicate=deduplicate,
+        )
+
+    def query_candidates_arrays_batch(
+        self,
+        queries: Sequence[SetLike],
+        batch_size: int | None = None,
+        max_workers: int | None = None,
+        deduplicate: bool = True,
+    ) -> tuple[list[np.ndarray], BatchQueryStats]:
+        """Batched candidate enumeration returning sorted id arrays.
+
+        Per query, the sorted ``int64`` array of distinct live candidate ids
+        — the CSR merge's native output, handed over without building a
+        Python set.  Treat the arrays as read-only (duplicate queries share
+        one array).  Results are elementwise equal to
+        ``sorted(query_candidates(q)[0])``.
+        """
+        return self._execute_batched(
+            queries,
+            self._candidate_arrays_chunk,
             batch_size=batch_size,
             max_workers=max_workers,
             deduplicate=deduplicate,
@@ -545,11 +754,15 @@ class FilterEngine:
             for index in range(0, len(unique_sets), chunk_size)
         ]
         if max_workers and len(chunks) > 1 and self._vectors:
-            # Pre-instantiate lazily-created shared state so worker threads
-            # only ever read it.
+            # Pre-instantiate lazily-created shared state (hash levels, the
+            # candidate store, compacted postings, the tombstone mask) so
+            # worker threads only ever read it.
             for generator in self._generators:
                 generator.ensure_hash_levels()
+            for inverted in self._indexes:
+                inverted.compact()
             self._ensure_candidate_store()
+            self._removed_lookup()
             with ThreadPoolExecutor(max_workers=max_workers) as pool:
                 outputs = list(pool.map(chunk_runner, chunks))
         else:
@@ -565,20 +778,288 @@ class FilterEngine:
             merged.duplicate_filter_probes += chunk_stats.duplicate_filter_probes
             merged.generation_seconds += chunk_stats.generation_seconds
             merged.verification_seconds += chunk_stats.verification_seconds
+            merged.merge_seconds += chunk_stats.merge_seconds
 
         final_results: list = []
+        answered: set[int] = set()
         for position in source:
             value = unique_results[position]
             final_results.append(set(value) if isinstance(value, set) else value)
-            merged.per_query.append(replace(unique_stats[position]))
+            if position in answered:
+                # A duplicate query answered from the batch cache: keep the
+                # answer's outcome but zero the work counters so per-query
+                # aggregation does not double-count the original execution.
+                merged.per_query.append(
+                    replace(
+                        unique_stats[position],
+                        filters_generated=0,
+                        candidates_examined=0,
+                        unique_candidates=0,
+                        similarity_evaluations=0,
+                        repetitions_used=0,
+                        from_cache=True,
+                    )
+                )
+            else:
+                answered.add(position)
+                merged.per_query.append(replace(unique_stats[position]))
         merged.queries_deduplicated = len(query_sets) - len(unique_sets)
         merged.elapsed_seconds = time.perf_counter() - start
         return final_results, merged
+
+    # ------------------------------------------------------------------ #
+    # Batched chunk execution (CSR-native)
+    # ------------------------------------------------------------------ #
+
+    def _probe_chunk_repetition(
+        self,
+        inverted: InvertedFilterIndex,
+        generations: Sequence[PathGenerationResult],
+    ) -> tuple[np.ndarray, np.ndarray, int, int] | None:
+        """Resolve one repetition's probes for a whole chunk in one gather.
+
+        The generations' filters are concatenated and deduplicated *by path*
+        (two queries sharing a filter probe it once; deduplicating by folded
+        key alone would let a 64-bit collision hand one path's postings to
+        another — the chunk dedupe must stay as collision-free as
+        :meth:`InvertedFilterIndex.probe_batch` itself), resolved in one
+        array probe, and the posting segments are re-expanded to per-query
+        collision streams.
+
+        Returns ``(occurrence_ids, query_offsets, distinct, duplicate)``
+        where query ``k`` of the chunk owns the collision stream
+        ``occurrence_ids[query_offsets[k]:query_offsets[k + 1]]`` in path
+        order, or ``None`` when no query generated any filter.
+        """
+        position_by_path: dict[tuple[int, ...], int] = {}
+        unique_paths: list[tuple[int, ...]] = []
+        unique_keys: list[int] = []
+        inverse_list: list[int] = []
+        path_counts = np.empty(len(generations), dtype=np.int64)
+        for position, generation in enumerate(generations):
+            path_counts[position] = len(generation.paths)
+            for path, key in zip(generation.paths, generation.keys):
+                probe = position_by_path.setdefault(path, len(unique_paths))
+                if probe == len(unique_paths):
+                    unique_paths.append(path)
+                    unique_keys.append(key)
+                inverse_list.append(probe)
+        if not inverse_list:
+            return None
+        inverse = np.asarray(inverse_list, dtype=np.int64)
+        ids, offsets = inverted.probe_batch(
+            unique_paths, np.asarray(unique_keys, dtype=np.uint64)
+        )
+        per_path = np.diff(offsets)[inverse]
+        occurrence_ids = _segment_gather(ids, offsets[:-1][inverse], per_path)
+        # Per-query boundaries of the expanded collision stream.
+        path_bounds = np.zeros(len(generations) + 1, dtype=np.int64)
+        np.cumsum(path_counts, out=path_bounds[1:])
+        occurrence_bounds = np.zeros(per_path.size + 1, dtype=np.int64)
+        np.cumsum(per_path, out=occurrence_bounds[1:])
+        query_offsets = occurrence_bounds[path_bounds]
+        distinct = len(unique_paths)
+        return occurrence_ids, query_offsets, distinct, int(inverse.size) - distinct
 
     def _query_batch_chunk(
         self, chunk: Sequence[frozenset[int]], mode: str
     ) -> tuple[list[int | None], BatchQueryStats]:
         """Answer one chunk of (already normalised, deduplicated) queries."""
+        if not self._use_csr_merge:
+            return self._query_batch_chunk_loop(chunk, mode)
+        chunk_stats = BatchQueryStats(
+            num_queries=len(chunk), per_query=[QueryStats() for _ in chunk]
+        )
+        results: list[int | None] = [None] * len(chunk)
+        if not self._vectors:
+            return results, chunk_stats
+        active = [index for index, query_set in enumerate(chunk) if query_set]
+        if not active:
+            return results, chunk_stats
+        members = {index: sorted(chunk[index]) for index in active}
+        bounds = {
+            index: self._threshold_policy.bind(members[index]) for index in active
+        }
+        evaluated: dict[int, np.ndarray] = {index: _EMPTY_IDS for index in active}
+        best: dict[int, tuple[int | None, float]] = {index: (None, -1.0) for index in active}
+        membership = np.zeros(self._probabilities.size, dtype=bool)
+        removed = self._removed_lookup()
+
+        for repetition in range(self._repetitions):
+            if not active:
+                break
+            generation_start = time.perf_counter()
+            generations = self._generators[repetition].generate_batch(
+                [members[index] for index in active],
+                [bounds[index] for index in active],
+            )
+            chunk_stats.generation_seconds += time.perf_counter() - generation_start
+            for index, generation in zip(active, generations):
+                query_stats = chunk_stats.per_query[index]
+                query_stats.filters_generated += len(generation.paths)
+                query_stats.repetitions_used += 1
+            merge_start = time.perf_counter()
+            probe = self._probe_chunk_repetition(self._indexes[repetition], generations)
+            chunk_stats.merge_seconds += time.perf_counter() - merge_start
+            if probe is None:
+                continue
+            occurrence_ids, query_offsets, distinct, duplicate = probe
+            chunk_stats.distinct_filter_probes += distinct
+            chunk_stats.duplicate_filter_probes += duplicate
+
+            surviving: list[int] = []
+            for position, index in enumerate(active):
+                query_stats = chunk_stats.per_query[index]
+                merge_start = time.perf_counter()
+                flat = occurrence_ids[query_offsets[position] : query_offsets[position + 1]]
+                query_stats.candidates_examined += int(flat.size)
+                ordered_new = _EMPTY_IDS
+                if flat.size:
+                    ordered = _ordered_unique(flat)
+                    fresh = ~np.isin(ordered, evaluated[index], assume_unique=True)
+                    if removed is not None:
+                        fresh &= ~removed[ordered]
+                    ordered_new = ordered[fresh]
+                    if ordered_new.size:
+                        evaluated[index] = np.union1d(evaluated[index], ordered_new)
+                chunk_stats.merge_seconds += time.perf_counter() - merge_start
+                resolved = False
+                if ordered_new.size:
+                    query_stats.unique_candidates += int(ordered_new.size)
+                    verification_start = time.perf_counter()
+                    similarities = self._batch_similarities(
+                        chunk[index], ordered_new, membership
+                    )
+                    query_stats.similarity_evaluations += int(ordered_new.size)
+                    chunk_stats.verification_seconds += (
+                        time.perf_counter() - verification_start
+                    )
+                    if mode == "first":
+                        hits = np.flatnonzero(similarities >= self._acceptance_threshold)
+                        if hits.size:
+                            results[index] = int(ordered_new[int(hits[0])])
+                            query_stats.found = True
+                            resolved = True
+                    else:
+                        top_position = int(np.argmax(similarities))
+                        top_similarity = float(similarities[top_position])
+                        if (
+                            top_similarity >= self._acceptance_threshold
+                            and top_similarity > best[index][1]
+                        ):
+                            best[index] = (int(ordered_new[top_position]), top_similarity)
+                if not resolved:
+                    surviving.append(index)
+            active = surviving
+
+        if mode == "best":
+            for index, (best_id, _best_similarity) in best.items():
+                if best_id is not None:
+                    results[index] = best_id
+                    chunk_stats.per_query[index].found = True
+        return results, chunk_stats
+
+    def _candidate_arrays_chunk(
+        self, chunk: Sequence[frozenset[int]]
+    ) -> tuple[list[np.ndarray], BatchQueryStats]:
+        """Batched candidate enumeration for one chunk, as sorted id arrays.
+
+        The CSR merge proper: every repetition contributes one labelled
+        collision stream, the streams are merged with a single lexsort over
+        ``(query, id)``, duplicates collapse on the boundary mask, and the
+        tombstone filter is one boolean gather.
+        """
+        if not self._use_csr_merge:
+            results, chunk_stats = self._query_candidates_chunk_loop(chunk)
+            return [
+                np.asarray(sorted(candidates), dtype=np.int64) for candidates in results
+            ], chunk_stats
+        chunk_stats = BatchQueryStats(
+            num_queries=len(chunk), per_query=[QueryStats() for _ in chunk]
+        )
+        results: list[np.ndarray] = [_EMPTY_IDS] * len(chunk)
+        if not self._vectors:
+            return results, chunk_stats
+        active = [index for index, query_set in enumerate(chunk) if query_set]
+        if not active:
+            return results, chunk_stats
+        members = [sorted(chunk[index]) for index in active]
+        bounds = [self._threshold_policy.bind(items) for items in members]
+        id_parts: list[np.ndarray] = []
+        label_parts: list[np.ndarray] = []
+
+        for repetition in range(self._repetitions):
+            generation_start = time.perf_counter()
+            generations = self._generators[repetition].generate_batch(members, bounds)
+            chunk_stats.generation_seconds += time.perf_counter() - generation_start
+            for index, generation in zip(active, generations):
+                query_stats = chunk_stats.per_query[index]
+                query_stats.filters_generated += len(generation.paths)
+                query_stats.repetitions_used += 1
+            merge_start = time.perf_counter()
+            probe = self._probe_chunk_repetition(self._indexes[repetition], generations)
+            if probe is not None:
+                occurrence_ids, query_offsets, distinct, duplicate = probe
+                chunk_stats.distinct_filter_probes += distinct
+                chunk_stats.duplicate_filter_probes += duplicate
+                counts = np.diff(query_offsets)
+                for position, index in enumerate(active):
+                    chunk_stats.per_query[index].candidates_examined += int(
+                        counts[position]
+                    )
+                id_parts.append(occurrence_ids)
+                label_parts.append(
+                    np.repeat(np.arange(len(active), dtype=np.int64), counts)
+                )
+            chunk_stats.merge_seconds += time.perf_counter() - merge_start
+
+        merge_start = time.perf_counter()
+        if id_parts:
+            all_ids = np.concatenate(id_parts)
+            all_labels = np.concatenate(label_parts)
+            if all_ids.size:
+                order = np.lexsort((all_ids, all_labels))
+                ids_sorted = all_ids[order]
+                labels_sorted = all_labels[order]
+                keep = np.empty(ids_sorted.size, dtype=bool)
+                keep[0] = True
+                keep[1:] = (ids_sorted[1:] != ids_sorted[:-1]) | (
+                    labels_sorted[1:] != labels_sorted[:-1]
+                )
+                ids_unique = ids_sorted[keep]
+                labels_unique = labels_sorted[keep]
+                removed = self._removed_lookup()
+                if removed is not None:
+                    alive = ~removed[ids_unique]
+                    ids_unique = ids_unique[alive]
+                    labels_unique = labels_unique[alive]
+                boundaries = np.searchsorted(
+                    labels_unique, np.arange(len(active) + 1, dtype=np.int64)
+                )
+                for position, index in enumerate(active):
+                    segment = ids_unique[boundaries[position] : boundaries[position + 1]]
+                    results[index] = segment
+                    chunk_stats.per_query[index].unique_candidates = int(segment.size)
+        chunk_stats.merge_seconds += time.perf_counter() - merge_start
+        return results, chunk_stats
+
+    def _query_candidates_chunk(
+        self, chunk: Sequence[frozenset[int]]
+    ) -> tuple[list[set[int]], BatchQueryStats]:
+        """Batched candidate enumeration for one chunk of queries (as sets)."""
+        if not self._use_csr_merge:
+            return self._query_candidates_chunk_loop(chunk)
+        arrays, chunk_stats = self._candidate_arrays_chunk(chunk)
+        return [set(candidates.tolist()) for candidates in arrays], chunk_stats
+
+    # ------------------------------------------------------------------ #
+    # Batched chunk execution (set-based reference)
+    # ------------------------------------------------------------------ #
+
+    def _query_batch_chunk_loop(
+        self, chunk: Sequence[frozenset[int]], mode: str
+    ) -> tuple[list[int | None], BatchQueryStats]:
+        """Set-based reference implementation of :meth:`_query_batch_chunk`."""
         chunk_stats = BatchQueryStats(
             num_queries=len(chunk), per_query=[QueryStats() for _ in chunk]
         )
@@ -664,10 +1145,10 @@ class FilterEngine:
                     chunk_stats.per_query[index].found = True
         return results, chunk_stats
 
-    def _query_candidates_chunk(
+    def _query_candidates_chunk_loop(
         self, chunk: Sequence[frozenset[int]]
     ) -> tuple[list[set[int]], BatchQueryStats]:
-        """Batched candidate enumeration for one chunk of queries."""
+        """Set-based reference implementation of candidate enumeration."""
         chunk_stats = BatchQueryStats(
             num_queries=len(chunk), per_query=[QueryStats() for _ in chunk]
         )
@@ -748,7 +1229,7 @@ class FilterEngine:
     def _batch_similarities(
         self,
         query_set: frozenset[int],
-        candidate_ids: Sequence[int],
+        candidate_ids: Sequence[int] | np.ndarray,
         membership: np.ndarray,
     ) -> np.ndarray:
         """Similarities of many candidates against one query, vectorised.

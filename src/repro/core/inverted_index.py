@@ -15,14 +15,19 @@ occupies one *slot*, and the compacted state lives in five flat numpy arrays
 
 which is also, verbatim, the on-disk representation used by
 :mod:`repro.core.serialization` (one file holds the arrays, nothing else).
-Lookups go through a ``uint64 key → slot`` dict; because a 64-bit key could
-in principle collide, the stored path is compared exactly before a slot is
-accepted, so lookups remain collision-free like the original dict-of-tuples.
 
-Additions land in a small per-slot overlay and are merged into the flat
-arrays by :meth:`InvertedFilterIndex.compact` (called automatically at the
-end of a build and before serialisation), so dynamic inserts stay cheap
-without giving up the compact layout.
+Ingestion is append-only: :meth:`InvertedFilterIndex.add` pushes flat
+``(key, path, vector_id)`` postings onto a pending buffer without resolving
+slots, and :meth:`InvertedFilterIndex.compact` folds the whole buffer into
+the CSR arrays with one stable sort over the folded keys plus ``np.unique``
+style group detection — no per-posting dict lookups.  Slots end up ordered
+by folded key, which doubles as the *probe table*: lookups (scalar and the
+batched :meth:`InvertedFilterIndex.probe_batch`) binary-search the sorted
+key array instead of going through a Python dict.  Because a 64-bit key
+could in principle collide, stored paths are compared exactly (vectorised
+during compaction and probing) before a slot is accepted, so lookups remain
+collision-free like the original dict-of-tuples; genuinely colliding keys
+are detected during compaction and handled by an exact chained fallback.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from repro.core.paths import paths_to_csr
 from repro.hashing.pairwise import fold_path, fold_paths_csr
 
 Path = tuple[int, ...]
@@ -47,84 +53,49 @@ STATE_ARRAY_NAMES = (
 )
 
 
+def _segment_gather(
+    source: np.ndarray, starts: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """Concatenate ``source[starts[k] : starts[k] + lengths[k]]`` for all k.
+
+    The workhorse of the CSR pipeline: one fancy-indexing pass replaces a
+    Python loop over variable-length segments.
+    """
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=source.dtype)
+    out_starts = np.cumsum(lengths) - lengths
+    indices = np.arange(total, dtype=np.int64) + np.repeat(starts - out_starts, lengths)
+    return source[indices]
+
+
 class InvertedFilterIndex:
     """Maps each filter to the sorted list of vector ids that chose it."""
 
     def __init__(self) -> None:
-        # Compacted (frozen) slots: CSR arrays over paths and postings.
+        # Compacted (frozen) slots: CSR arrays over paths and postings,
+        # ordered by folded key after a bulk compact.
         self._path_items = np.empty(0, dtype=np.int64)
         self._path_offsets = np.zeros(1, dtype=np.int64)
         self._path_keys = np.empty(0, dtype=np.uint64)
         self._posting_ids = np.empty(0, dtype=np.int64)
         self._posting_offsets = np.zeros(1, dtype=np.int64)
-        # Lookup structure: folded 64-bit path key -> slot (or slots, in the
-        # astronomically unlikely event of a key collision).
-        self._slot_by_key: dict[int, int | list[int]] = {}
-        # Mutable overlay for additions since the last compact().
-        self._pending_paths: list[Path] = []
+        # Probe tables: the slot keys in sorted order plus the permutation
+        # mapping sorted positions back to slots.  ``_has_duplicate_keys``
+        # records whether any two slots share a 64-bit key (forced
+        # collisions), which switches probing to the exact chained path.
+        self._sorted_keys = np.empty(0, dtype=np.uint64)
+        self._key_order = np.empty(0, dtype=np.int64)
+        self._has_duplicate_keys = False
+        # Append-only overlay: one (key, path, vector id) triple per posting
+        # added since the last compact().  No slot resolution happens here.
         self._pending_keys: list[int] = []
-        self._pending_postings: dict[int, list[int]] = {}
+        self._pending_paths: list[Path] = []
+        self._pending_ids: list[int] = []
         self._total_entries = 0
 
     # ------------------------------------------------------------------ #
-    # Slot resolution
-    # ------------------------------------------------------------------ #
-
-    @property
-    def _num_frozen(self) -> int:
-        return self._path_keys.size
-
-    def _path_at(self, slot: int) -> Path:
-        frozen = self._num_frozen
-        if slot < frozen:
-            start = int(self._path_offsets[slot])
-            end = int(self._path_offsets[slot + 1])
-            return tuple(self._path_items[start:end].tolist())
-        return self._pending_paths[slot - frozen]
-
-    def _slot_for(self, path: Path, key: int) -> int | None:
-        bucket = self._slot_by_key.get(key)
-        if bucket is None:
-            return None
-        if isinstance(bucket, int):
-            return bucket if self._path_at(bucket) == path else None
-        for slot in bucket:
-            if self._path_at(slot) == path:
-                return slot
-        return None
-
-    @staticmethod
-    def _bucket_insert(slot_by_key: dict[int, int | list[int]], key: int, slot: int) -> None:
-        """Insert a slot into the key dict, chaining on 64-bit key collision."""
-        bucket = slot_by_key.get(key)
-        if bucket is None:
-            slot_by_key[key] = slot
-        elif isinstance(bucket, int):
-            slot_by_key[key] = [bucket, slot]
-        else:
-            bucket.append(slot)
-
-    def _register(self, path: Path, key: int) -> int:
-        slot = self._num_frozen + len(self._pending_paths)
-        self._pending_paths.append(path)
-        self._pending_keys.append(key)
-        self._bucket_insert(self._slot_by_key, key, slot)
-        return slot
-
-    def _postings_at(self, slot: int) -> list[int]:
-        if slot < self._num_frozen:
-            start = int(self._posting_offsets[slot])
-            end = int(self._posting_offsets[slot + 1])
-            stored = self._posting_ids[start:end].tolist()
-        else:
-            stored = []
-        pending = self._pending_postings.get(slot)
-        if pending:
-            return stored + pending
-        return stored
-
-    # ------------------------------------------------------------------ #
-    # Construction
+    # Construction (append-only)
     # ------------------------------------------------------------------ #
 
     def add(
@@ -137,66 +108,25 @@ class InvertedFilterIndex:
 
         ``keys``, when given, must hold the folded key of each path (as
         produced by the path generators); this skips the per-path re-fold on
-        the build hot path.
+        the build hot path.  The postings land in a flat pending buffer and
+        are merged into the CSR arrays by the next :meth:`compact` (which
+        every read path triggers automatically), so the per-posting cost is
+        three list appends.
         """
         if vector_id < 0:
             raise ValueError(f"vector_id must be non-negative, got {vector_id}")
+        paths = [tuple(path) for path in paths]
         if keys is None:
-            paths = [tuple(path) for path in paths]
             keys = [fold_path(path) for path in paths]
-        else:
-            paths = [tuple(path) for path in paths]
-            if len(paths) != len(keys):
-                raise ValueError(
-                    f"got {len(keys)} keys for {len(paths)} paths; need one per path"
-                )
-        # Build hot loop: local bindings and an inlined slot resolution keep
-        # the per-posting cost close to the plain dict-of-lists it replaced.
-        slot_by_key = self._slot_by_key
-        pending_postings = self._pending_postings
-        pending_paths = self._pending_paths
-        pending_keys = self._pending_keys
-        frozen = self._path_keys.size
-        count = 0
-        for path, key in zip(paths, keys):
-            bucket = slot_by_key.get(key)
-            if bucket is None:
-                slot = frozen + len(pending_paths)
-                pending_paths.append(path)
-                pending_keys.append(key)
-                slot_by_key[key] = slot
-            elif type(bucket) is int:
-                stored = (
-                    pending_paths[bucket - frozen]
-                    if bucket >= frozen
-                    else self._path_at(bucket)
-                )
-                if stored == path:
-                    slot = bucket
-                else:  # 64-bit key collision: chain the slots
-                    slot = frozen + len(pending_paths)
-                    pending_paths.append(path)
-                    pending_keys.append(key)
-                    slot_by_key[key] = [bucket, slot]
-            else:
-                slot = -1
-                for candidate in bucket:
-                    if self._path_at(candidate) == path:
-                        slot = candidate
-                        break
-                if slot < 0:
-                    slot = frozen + len(pending_paths)
-                    pending_paths.append(path)
-                    pending_keys.append(key)
-                    bucket.append(slot)
-            postings = pending_postings.get(slot)
-            if postings is None:
-                pending_postings[slot] = [vector_id]
-            else:
-                postings.append(vector_id)
-            count += 1
-        self._total_entries += count
-        return count
+        elif len(paths) != len(keys):
+            raise ValueError(
+                f"got {len(keys)} keys for {len(paths)} paths; need one per path"
+            )
+        self._pending_paths.extend(paths)
+        self._pending_keys.extend(int(key) for key in keys)
+        self._pending_ids.extend([vector_id] * len(paths))
+        self._total_entries += len(paths)
+        return len(paths)
 
     def add_many(self, filters_per_vector: Sequence[Iterable[Path]]) -> int:
         """Register filters of many vectors, ids being their positions."""
@@ -213,83 +143,201 @@ class InvertedFilterIndex:
             raise ValueError("vector ids must be non-negative")
         path = tuple(path)
         key = fold_path(path)
-        slot = self._slot_for(path, key)
-        if slot is None:
-            slot = self._register(path, key)
-        self._pending_postings.setdefault(slot, []).extend(vector_ids)
+        self._pending_paths.extend([path] * len(vector_ids))
+        self._pending_keys.extend([key] * len(vector_ids))
+        self._pending_ids.extend(vector_ids)
         self._total_entries += len(vector_ids)
 
+    # ------------------------------------------------------------------ #
+    # Compaction (vectorised bulk ingestion)
+    # ------------------------------------------------------------------ #
+
     def compact(self) -> None:
-        """Merge the mutable overlay into the flat CSR arrays.
+        """Merge the pending postings into the flat CSR arrays.
 
-        Per-slot posting order is preserved (frozen entries first, then the
-        overlay's appends, in insertion order), so queries behave identically
-        before and after compaction.  Idempotent and cheap when nothing is
-        pending.
+        The whole pending stream — prefixed by the expanded frozen postings
+        when re-compacting after inserts — is stable-sorted by folded key,
+        group boundaries become slots, and the posting lists fall out in
+        original stream order (frozen entries first, then the overlay's
+        appends, in insertion order), so queries behave identically before
+        and after compaction.  Path identity within each key group is
+        verified with a vectorised item comparison; if two *distinct* paths
+        genuinely share a 64-bit key, compaction falls back to an exact
+        chained merge.  Idempotent and cheap when nothing is pending.
         """
-        if not self._pending_paths and not self._pending_postings:
+        if not self._pending_keys:
             return
-        frozen = self._num_frozen
-        total_slots = frozen + len(self._pending_paths)
 
-        if frozen == 0:
-            # Build fast path: every slot is pending, so one flat pass over
-            # the per-slot lists beats per-slot numpy slice assignments.
-            pending_postings = self._pending_postings
-            sizes = np.zeros(total_slots, dtype=np.int64)
-            flat: list[int] = []
-            extend = flat.extend
-            for slot in range(total_slots):
-                ids = pending_postings.get(slot)
-                if ids:
-                    sizes[slot] = len(ids)
-                    extend(ids)
-            posting_offsets = np.zeros(total_slots + 1, dtype=np.int64)
-            np.cumsum(sizes, out=posting_offsets[1:])
-            posting_ids = np.asarray(flat, dtype=np.int64)
+        pending_keys = np.asarray(self._pending_keys, dtype=np.uint64)
+        pending_ids = np.asarray(self._pending_ids, dtype=np.int64)
+        pending_items, pending_offsets = paths_to_csr(self._pending_paths)
+        num_pending = pending_keys.size
+        frozen_slots = self._path_keys.size
+        frozen_counts = np.diff(self._posting_offsets)
+
+        # The full posting stream plus, per entry, a reference into a
+        # combined path table (frozen slot paths first, then the pending
+        # entries' own paths).
+        if frozen_slots:
+            stream_keys = np.concatenate(
+                [np.repeat(self._path_keys, frozen_counts), pending_keys]
+            )
+            stream_ids = np.concatenate([self._posting_ids, pending_ids])
+            stream_refs = np.concatenate(
+                [
+                    np.repeat(np.arange(frozen_slots, dtype=np.int64), frozen_counts),
+                    frozen_slots + np.arange(num_pending, dtype=np.int64),
+                ]
+            )
+            table_offsets = np.concatenate(
+                [self._path_offsets, self._path_offsets[-1] + pending_offsets[1:]]
+            )
+            table_items = np.concatenate([self._path_items, pending_items])
         else:
-            sizes = np.zeros(total_slots, dtype=np.int64)
-            sizes[:frozen] = np.diff(self._posting_offsets)
-            for slot, pending in self._pending_postings.items():
-                sizes[slot] += len(pending)
-            posting_offsets = np.zeros(total_slots + 1, dtype=np.int64)
-            np.cumsum(sizes, out=posting_offsets[1:])
-            posting_ids = np.empty(int(posting_offsets[-1]), dtype=np.int64)
+            stream_keys = pending_keys
+            stream_ids = pending_ids
+            stream_refs = np.arange(num_pending, dtype=np.int64)
+            table_offsets = pending_offsets
+            table_items = pending_items
+        table_lengths = np.diff(table_offsets)
 
-            # Scatter the frozen entries to their (possibly shifted) ranges.
-            frozen_total = int(self._posting_ids.size)
-            if frozen_total:
-                frozen_sizes = np.diff(self._posting_offsets)
-                shift = np.repeat(
-                    posting_offsets[:frozen] - self._posting_offsets[:-1], frozen_sizes
-                )
-                posting_ids[np.arange(frozen_total, dtype=np.int64) + shift] = (
-                    self._posting_ids
-                )
-            for slot, pending in self._pending_postings.items():
-                end = int(posting_offsets[slot + 1])
-                posting_ids[end - len(pending) : end] = pending
+        order = np.argsort(stream_keys, kind="stable")
+        keys_sorted = stream_keys[order]
+        ids_sorted = stream_ids[order]
+        refs_sorted = stream_refs[order]
 
-        if self._pending_paths:
-            new_items = [item for path in self._pending_paths for item in path]
-            new_lengths = np.asarray(
-                [len(path) for path in self._pending_paths], dtype=np.int64
-            )
-            self._path_items = np.concatenate(
-                [self._path_items, np.asarray(new_items, dtype=np.int64)]
-            )
-            self._path_offsets = np.concatenate(
-                [self._path_offsets, self._path_offsets[-1] + np.cumsum(new_lengths)]
-            )
-            self._path_keys = np.concatenate(
-                [self._path_keys, np.asarray(self._pending_keys, dtype=np.uint64)]
-            )
+        group_start = np.empty(keys_sorted.size, dtype=bool)
+        group_start[0] = True
+        np.not_equal(keys_sorted[1:], keys_sorted[:-1], out=group_start[1:])
 
-        self._posting_ids = posting_ids
-        self._posting_offsets = posting_offsets
-        self._pending_paths = []
+        if not self._paths_consistent(
+            group_start, refs_sorted, table_items, table_offsets, table_lengths
+        ):
+            # A genuine 64-bit key collision between distinct paths: merge
+            # exactly, one posting at a time (astronomically rare in real
+            # data; exercised by tests that force equal keys).
+            self._compact_chained(stream_keys, stream_ids)
+            return
+
+        starts = np.flatnonzero(group_start)
+        counts = np.diff(np.concatenate([starts, [keys_sorted.size]]))
+        canonical = refs_sorted[starts]
+        path_lengths = table_lengths[canonical]
+
+        self._path_keys = keys_sorted[starts]
+        self._path_items = _segment_gather(
+            table_items, table_offsets[canonical], path_lengths
+        )
+        self._path_offsets = np.zeros(starts.size + 1, dtype=np.int64)
+        np.cumsum(path_lengths, out=self._path_offsets[1:])
+        self._posting_ids = ids_sorted
+        self._posting_offsets = np.zeros(starts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._posting_offsets[1:])
+        # Slots are in key order, so the probe table is the identity view.
+        self._sorted_keys = self._path_keys
+        self._key_order = np.arange(starts.size, dtype=np.int64)
+        self._has_duplicate_keys = False
+        self._clear_pending()
+
+    @staticmethod
+    def _paths_consistent(
+        group_start: np.ndarray,
+        refs_sorted: np.ndarray,
+        table_items: np.ndarray,
+        table_offsets: np.ndarray,
+        table_lengths: np.ndarray,
+    ) -> bool:
+        """Whether every key group references a single distinct path.
+
+        Checks each adjacent same-key pair of stream entries: identical path
+        references are trivially equal; the rest are compared by length and
+        then item-by-item, all vectorised.
+        """
+        adjacent = ~group_start[1:]
+        left = refs_sorted[:-1][adjacent]
+        right = refs_sorted[1:][adjacent]
+        differing = left != right
+        if not np.any(differing):
+            return True
+        left = left[differing]
+        right = right[differing]
+        lengths = table_lengths[left]
+        if np.any(lengths != table_lengths[right]):
+            return False
+        nonzero = lengths > 0
+        left, right, lengths = left[nonzero], right[nonzero], lengths[nonzero]
+        left_items = _segment_gather(table_items, table_offsets[left], lengths)
+        right_items = _segment_gather(table_items, table_offsets[right], lengths)
+        return bool(np.array_equal(left_items, right_items))
+
+    def _compact_chained(self, stream_keys: np.ndarray, stream_ids: np.ndarray) -> None:
+        """Exact sequential merge used when 64-bit key collisions exist."""
+        frozen_slots = self._path_keys.size
+        frozen_counts = np.diff(self._posting_offsets)
+        stream_paths: list[Path] = []
+        for slot in range(frozen_slots):
+            stream_paths.extend([self._path_at(slot)] * int(frozen_counts[slot]))
+        stream_paths.extend(self._pending_paths)
+
+        slot_by_key: dict[int, int | list[int]] = {}
+        slot_paths: list[Path] = []
+        slot_keys: list[int] = []
+        slot_postings: list[list[int]] = []
+        for key, path, vector_id in zip(
+            stream_keys.tolist(), stream_paths, stream_ids.tolist()
+        ):
+            bucket = slot_by_key.get(key)
+            slot = -1
+            if bucket is None:
+                slot_by_key[key] = slot = len(slot_paths)
+                slot_paths.append(path)
+                slot_keys.append(key)
+                slot_postings.append([])
+            elif isinstance(bucket, int):
+                if slot_paths[bucket] == path:
+                    slot = bucket
+                else:
+                    slot = len(slot_paths)
+                    slot_by_key[key] = [bucket, slot]
+                    slot_paths.append(path)
+                    slot_keys.append(key)
+                    slot_postings.append([])
+            else:
+                for candidate in bucket:
+                    if slot_paths[candidate] == path:
+                        slot = candidate
+                        break
+                if slot < 0:
+                    slot = len(slot_paths)
+                    bucket.append(slot)
+                    slot_paths.append(path)
+                    slot_keys.append(key)
+                    slot_postings.append([])
+            slot_postings[slot].append(vector_id)
+
+        self._path_items, self._path_offsets = paths_to_csr(slot_paths)
+        self._path_keys = np.asarray(slot_keys, dtype=np.uint64)
+        sizes = np.asarray([len(ids) for ids in slot_postings], dtype=np.int64)
+        self._posting_offsets = np.zeros(sizes.size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=self._posting_offsets[1:])
+        self._posting_ids = np.asarray(
+            [vector_id for ids in slot_postings for vector_id in ids], dtype=np.int64
+        )
+        self._build_probe_tables()
+        self._clear_pending()
+
+    def _clear_pending(self) -> None:
         self._pending_keys = []
-        self._pending_postings = {}
+        self._pending_paths = []
+        self._pending_ids = []
+
+    def _build_probe_tables(self) -> None:
+        self._key_order = np.argsort(self._path_keys, kind="stable").astype(np.int64)
+        self._sorted_keys = self._path_keys[self._key_order]
+        self._has_duplicate_keys = bool(
+            self._sorted_keys.size
+            and np.any(self._sorted_keys[1:] == self._sorted_keys[:-1])
+        )
 
     # ------------------------------------------------------------------ #
     # Serialisation
@@ -315,9 +363,12 @@ class InvertedFilterIndex:
 
         The folded path keys are re-derived from the stored paths with the
         vectorised :func:`~repro.hashing.pairwise.fold_paths_csr` (one array
-        pass per recursion level).  Raises :class:`ValueError` on missing
-        arrays, malformed offsets, mismatched array lengths or negative
-        vector ids.
+        pass per recursion level) and the sorted probe tables are rebuilt
+        with a single argsort — files written before the CSR-native probe
+        path (whose slots are in first-registration order rather than key
+        order) load through exactly the same code.  Raises
+        :class:`ValueError` on missing arrays, malformed offsets, mismatched
+        array lengths or negative vector ids.
         """
         missing = [name for name in STATE_ARRAY_NAMES if name not in state]
         if missing:
@@ -342,24 +393,37 @@ class InvertedFilterIndex:
             raise ValueError("vector ids must be non-negative")
         if path_items.size and int(path_items.min()) < 0:
             raise ValueError("path items must be non-negative")
-        path_keys = fold_paths_csr(path_items, path_offsets)
 
         index = cls()
         index._path_items = path_items
         index._path_offsets = path_offsets
-        index._path_keys = path_keys
+        index._path_keys = fold_paths_csr(path_items, path_offsets)
         index._posting_ids = posting_ids
         index._posting_offsets = posting_offsets
-        slot_by_key: dict[int, int | list[int]] = {}
-        for slot, key in enumerate(path_keys.tolist()):
-            cls._bucket_insert(slot_by_key, key, slot)
-        index._slot_by_key = slot_by_key
+        index._build_probe_tables()
         index._total_entries = int(posting_ids.size)
         return index
 
     # ------------------------------------------------------------------ #
     # Lookup
     # ------------------------------------------------------------------ #
+
+    def _path_at(self, slot: int) -> Path:
+        start = int(self._path_offsets[slot])
+        end = int(self._path_offsets[slot + 1])
+        return tuple(self._path_items[start:end].tolist())
+
+    def _slot_for(self, path: Path, key: int) -> int | None:
+        """The compacted slot storing ``path``, or ``None``.  Compacts."""
+        self.compact()
+        sorted_keys = self._sorted_keys
+        position = int(np.searchsorted(sorted_keys, np.uint64(key)))
+        while position < sorted_keys.size and int(sorted_keys[position]) == key:
+            slot = int(self._key_order[position])
+            if self._path_at(slot) == path:
+                return slot
+            position += 1
+        return None
 
     def lookup(self, path: Path) -> list[int]:
         """Vector ids that chose ``path`` (empty list if none)."""
@@ -375,7 +439,84 @@ class InvertedFilterIndex:
         slot = self._slot_for(path, key)
         if slot is None:
             return []
-        return self._postings_at(slot)
+        start = int(self._posting_offsets[slot])
+        end = int(self._posting_offsets[slot + 1])
+        return self._posting_ids[start:end].tolist()
+
+    def probe_batch(
+        self, paths: Sequence[Path], keys: Sequence[int] | np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Resolve many probes at once; CSR slices of their posting lists.
+
+        Parameters
+        ----------
+        paths:
+            The probed filters (used only to verify stored paths exactly, so
+            a 64-bit key collision cannot surface foreign postings).
+        keys:
+            The folded key of each path, as returned by the generators.
+
+        Returns
+        -------
+        (posting_ids, offsets):
+            ``posting_ids`` is the concatenation of every probe's posting
+            list (a gather from the store, in probe order) and ``offsets``
+            has length ``len(paths) + 1`` with probe ``k`` occupying
+            ``posting_ids[offsets[k]:offsets[k + 1]]``.  Missing filters
+            contribute empty segments.  This is the query hot path: one
+            ``searchsorted`` resolves the whole probe set against the sorted
+            key table, and no per-path Python list is materialised.
+        """
+        self.compact()
+        num_probes = len(paths)
+        empty = np.empty(0, dtype=np.int64)
+        if num_probes == 0:
+            return empty, np.zeros(1, dtype=np.int64)
+        keys_arr = np.ascontiguousarray(keys, dtype=np.uint64)
+        sorted_keys = self._sorted_keys
+        if sorted_keys.size == 0:
+            return empty, np.zeros(num_probes + 1, dtype=np.int64)
+
+        positions = np.searchsorted(sorted_keys, keys_arr)
+        clipped = np.minimum(positions, sorted_keys.size - 1)
+        found = sorted_keys[clipped] == keys_arr
+        slots = np.where(found, self._key_order[clipped], 0)
+
+        # Exact path verification, vectorised: lengths first, then items.
+        probe_items, probe_offsets = paths_to_csr(paths)
+        probe_lengths = np.diff(probe_offsets)
+        slot_lengths = self._path_offsets[slots + 1] - self._path_offsets[slots]
+        match = found & (slot_lengths == probe_lengths)
+        check = np.flatnonzero(match & (probe_lengths > 0))
+        if check.size:
+            lengths = probe_lengths[check]
+            stored = _segment_gather(
+                self._path_items, self._path_offsets[slots[check]], lengths
+            )
+            probed = _segment_gather(probe_items, probe_offsets[check], lengths)
+            mismatched = stored != probed
+            if np.any(mismatched):
+                bad = np.add.reduceat(mismatched, np.cumsum(lengths) - lengths) > 0
+                match[check[bad]] = False
+
+        if self._has_duplicate_keys:
+            # Slots with shared keys (forced collisions) need the chained
+            # scan: re-resolve every probe whose key exists in the table but
+            # whose first-position slot did not verify.
+            for probe in np.flatnonzero(found & ~match).tolist():
+                slot = self._slot_for(tuple(paths[probe]), int(keys_arr[probe]))
+                if slot is not None:
+                    slots[probe] = slot
+                    match[probe] = True
+
+        lengths = np.where(
+            match, self._posting_offsets[slots + 1] - self._posting_offsets[slots], 0
+        )
+        offsets = np.zeros(num_probes + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        if int(offsets[-1]) == 0:
+            return empty, offsets
+        return _segment_gather(self._posting_ids, self._posting_offsets[slots], lengths), offsets
 
     def candidates(
         self, paths: Iterable[Path], keys: Sequence[int] | None = None
@@ -405,7 +546,8 @@ class InvertedFilterIndex:
     @property
     def num_filters(self) -> int:
         """Number of distinct filters stored."""
-        return self._num_frozen + len(self._pending_paths)
+        self.compact()
+        return self._path_keys.size
 
     @property
     def total_entries(self) -> int:
@@ -414,11 +556,8 @@ class InvertedFilterIndex:
 
     def posting_sizes(self) -> list[int]:
         """Sizes of all posting lists (useful for skew diagnostics)."""
-        sizes = np.diff(self._posting_offsets).tolist()
-        sizes.extend(0 for _ in self._pending_paths)
-        for slot, pending in self._pending_postings.items():
-            sizes[slot] += len(pending)
-        return sizes
+        self.compact()
+        return np.diff(self._posting_offsets).tolist()
 
     def heaviest_filters(self, count: int = 10) -> list[tuple[Path, int]]:
         """The ``count`` filters with the largest posting lists."""

@@ -4,19 +4,24 @@ Section 1.1 of the paper observes that the indexing results transfer to the
 similarity join problem: preprocess ``S`` into the search structure and probe
 it once per element of ``R``, giving time ``O(d |R| |S|^ρ)`` when the output
 is small.  :func:`similarity_join` implements that strategy as a *batched
-consumer*: the probe collection is streamed through the index's
-``query_candidates_batch`` in chunks, so filter hashing, probe deduplication
-and candidate enumeration are amortised across probes instead of repeating
-an isolated single-query loop ``|R|`` times.  Indexes without a batch
-surface fall back to per-probe queries.  Candidates are always verified
-exactly against the requested similarity predicate, so the reported pairs
-are never false positives.
+consumer*: the probe collection is streamed through the index's batched
+candidate enumeration in chunks, so filter hashing, probe deduplication and
+candidate merging are amortised across probes instead of repeating an
+isolated single-query loop ``|R|`` times.  Indexes exposing
+``query_candidates_arrays_batch`` (the filter-engine family) hand the CSR
+merge's sorted id arrays straight to verification — no per-probe Python set
+is ever materialised; others fall back to ``query_candidates_batch`` and
+finally to per-probe queries.  Candidates are always verified exactly
+against the requested similarity predicate, so the reported pairs are never
+false positives.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Iterable, Protocol, Sequence
+
+import numpy as np
 
 from repro.core.config import DEFAULT_BATCH_SIZE
 from repro.core.stats import QueryStats
@@ -96,26 +101,33 @@ def similarity_join(
     probe_sets = [frozenset(int(item) for item in probe) for probe in probes]
     result.num_probes = len(probe_sets)
 
-    def verify(probe_index: int, probe_set: frozenset[int], candidates: set[int]) -> None:
-        for candidate_id in sorted(candidates):
+    def verify(probe_index: int, probe_set: frozenset[int], candidates) -> None:
+        # ``candidates`` is either a sorted id array (the CSR merge's native
+        # output, consumed as-is) or a set from a fallback path; both are
+        # verified in ascending id order, so results are identical.
+        ordered = candidates if isinstance(candidates, np.ndarray) else sorted(candidates)
+        for candidate_id in ordered:
+            candidate_id = int(candidate_id)
             stored = index.get_vector(candidate_id)
             similarity = predicate.similarity(stored, probe_set)
             result.similarity_evaluations += 1
             if similarity >= predicate.threshold:
                 result.pairs.append((probe_index, candidate_id, similarity))
 
-    batch_method = getattr(index, "query_candidates_batch", None)
+    batch_method = getattr(index, "query_candidates_arrays_batch", None)
+    if batch_method is None:
+        batch_method = getattr(index, "query_candidates_batch", None)
     if batch_method is not None:
         chunk_size = batch_size if batch_size is not None else DEFAULT_BATCH_SIZE
         if chunk_size <= 0:
             raise ValueError(f"batch_size must be positive, got {chunk_size}")
         for start in range(0, len(probe_sets), chunk_size):
             block = probe_sets[start : start + chunk_size]
-            candidate_sets, batch_stats = batch_method(block, batch_size=chunk_size)
+            candidate_lists, batch_stats = batch_method(block, batch_size=chunk_size)
             result.candidates_examined += sum(
                 stats.candidates_examined for stats in batch_stats.per_query
             )
-            for offset, (probe_set, candidates) in enumerate(zip(block, candidate_sets)):
+            for offset, (probe_set, candidates) in enumerate(zip(block, candidate_lists)):
                 if not probe_set:
                     continue
                 verify(start + offset, probe_set, candidates)

@@ -30,6 +30,25 @@ from repro.hashing.pairwise import PathHasher, extend_key, fold_path
 Path = tuple[int, ...]
 
 
+def paths_to_csr(paths: Sequence[Sequence[int]]) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten a list of paths into CSR form ``(items, offsets)``.
+
+    Path ``k`` occupies ``items[offsets[k]:offsets[k + 1]]``.  This is the
+    bridge between the tuple-of-ints world of the generators and the
+    array-native probe/merge pipeline: the inverted index consumes the CSR
+    view for vectorised path verification and bulk ingestion.
+    """
+    lengths = np.fromiter((len(path) for path in paths), dtype=np.int64, count=len(paths))
+    offsets = np.zeros(len(paths) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    items = np.fromiter(
+        (item for path in paths for item in path),
+        dtype=np.int64,
+        count=int(offsets[-1]),
+    )
+    return items, offsets
+
+
 def default_max_depth(num_vectors: int, max_probability: float) -> int:
     """Depth at which the product stopping rule must have fired.
 
@@ -73,9 +92,12 @@ class PathGenerationResult:
 class _BatchState:
     """Per-vector bookkeeping used by :meth:`PathGenerator.generate_batch`.
 
-    Frontier entries are ``(path, prefix_key, log_product, used_mask)``
-    tuples; the used-item set is a plain integer bitmask over the vector's
-    (sorted) item positions, which is both compact and fast to copy.
+    Frontier entries are ``(path, prefix_key, log_product, positions)``
+    tuples, where ``positions`` lists the vector's (sorted) item positions
+    still available for extension.  Carrying the positions forward — a child
+    inherits its parent's list minus the item just consumed — avoids
+    re-scanning a used-item bitmask at every level, which is the dominant
+    Python cost of the level loop.
     """
 
     __slots__ = (
@@ -103,8 +125,8 @@ class _BatchState:
         self.item_array = item_array
         self.log_probs = log_probs
         self.bound = bound
-        self.frontier: list[tuple[Path, int, float, int]] = (
-            [((), root_key, 0.0, 0)] if items else []
+        self.frontier: list[tuple[Path, int, float, list[int]]] = (
+            [((), root_key, 0.0, list(range(len(items))))] if items else []
         )
         self.finished_paths: list[Path] = []
         self.finished_keys: list[int] = []
@@ -323,28 +345,24 @@ class PathGenerator:
 
         for level in range(self._max_depth):
             # -- collection: flatten every candidate extension of the level --
-            work: list[tuple[_BatchState, list[tuple[tuple[Path, int, float, int], list[int]]], int]] = []
+            work: list[tuple[_BatchState, list[tuple[tuple[Path, int, float, list[int]], list[int]]], int]] = []
             key_parts: list[np.ndarray] = []
             item_parts: list[np.ndarray] = []
             probability_parts: list[np.ndarray] = []
             for state in states:
                 if not state.active or not state.frontier:
                     continue
-                entries: list[tuple[tuple[Path, int, float, int], list[int]]] = []
+                entries: list[tuple[tuple[Path, int, float, list[int]], list[int]]] = []
                 flat_items: list[int] = []
                 entry_keys: list[int] = []
                 entry_counts: list[int] = []
+                items = state.items
                 for entry in state.frontier:
-                    mask = entry[3]
-                    positions = [
-                        position
-                        for position in range(len(state.items))
-                        if not (mask >> position) & 1
-                    ]
+                    positions = entry[3]
                     if not positions:
                         continue
                     entries.append((entry, positions))
-                    flat_items.extend(state.items[position] for position in positions)
+                    flat_items.extend(items[position] for position in positions)
                     entry_keys.append(entry[1])
                     entry_counts.append(len(positions))
                 if not entries:
@@ -370,11 +388,11 @@ class PathGenerator:
             for state, entries, total_candidates in work:
                 offset = query_start
                 query_start += total_candidates
-                next_frontier: list[tuple[Path, int, float, int]] = []
+                next_frontier: list[tuple[Path, int, float, list[int]]] = []
                 for entry, positions in entries:
                     if state.truncated:
                         break
-                    path, _key, log_product, mask = entry
+                    path, _key, log_product, _positions = entry
                     state.expansions += 1
                     for local_index, position in enumerate(positions):
                         if not chosen_flat[offset + local_index]:
@@ -392,7 +410,7 @@ class PathGenerator:
                                     new_path,
                                     int(extended_keys[offset + local_index]),
                                     new_log_product,
-                                    mask | (1 << position),
+                                    [other for other in positions if other != position],
                                 )
                             )
                         if (

@@ -100,6 +100,11 @@ class QueryStats:
         Whether a vector satisfying the acceptance predicate was returned.
     repetitions_used:
         Number of repetitions inspected before the query terminated.
+    from_cache:
+        True when this entry describes a query answered from a batch's
+        duplicate-query cache: the result is the cached answer and the work
+        counters are zeroed, so aggregating ``per_query`` work never counts
+        the original execution twice.
     """
 
     filters_generated: int = 0
@@ -108,6 +113,7 @@ class QueryStats:
     similarity_evaluations: int = 0
     found: bool = False
     repetitions_used: int = 0
+    from_cache: bool = False
 
     def add(self, other: "QueryStats") -> None:
         """Accumulate another query's statistics into this one (in place)."""
@@ -168,6 +174,11 @@ class BatchQueryStats:
     generation_seconds / verification_seconds:
         Time spent in batched filter generation and in candidate
         verification (0 for loop-based fallbacks that do not split phases).
+    merge_seconds:
+        Time spent in the CSR probe/merge phase — resolving the batch's
+        folded path keys against the postings store and merging the gathered
+        posting segments into per-query candidate sets (0 when the set-based
+        reference path runs).
     """
 
     num_queries: int = 0
@@ -178,6 +189,7 @@ class BatchQueryStats:
     elapsed_seconds: float = 0.0
     generation_seconds: float = 0.0
     verification_seconds: float = 0.0
+    merge_seconds: float = 0.0
 
     @property
     def dedupe_hit_rate(self) -> float:
@@ -216,6 +228,7 @@ class BatchQueryStats:
             elapsed_seconds=self.elapsed_seconds + other.elapsed_seconds,
             generation_seconds=self.generation_seconds + other.generation_seconds,
             verification_seconds=self.verification_seconds + other.verification_seconds,
+            merge_seconds=self.merge_seconds + other.merge_seconds,
         )
 
     def to_dict(self) -> dict[str, Any]:

@@ -201,15 +201,49 @@ class TestBatchStatsAccounting:
 
         def query_function(query_set):
             calls.append(query_set)
-            return len(query_set), QueryStats(filters_generated=1)
+            return len(query_set), QueryStats(filters_generated=1, found=True)
 
         results, stats = run_loop_batch(query_function, [{1, 2}, {2, 1}, {3}])
         assert results == [2, 2, 1]
         assert len(calls) == 2
         assert stats.queries_deduplicated == 1
+        # The cache hit keeps the answer's outcome but reports no work of
+        # its own: cloning the original counters would double-count them.
+        assert stats.per_query[1].from_cache
+        assert stats.per_query[1].found
+        assert stats.per_query[1].filters_generated == 0
+        assert stats.per_query[1].total_work == 0
+        assert not stats.per_query[0].from_cache
+        assert not stats.per_query[2].from_cache
         # Per-query stats are copies, not aliases.
         stats.per_query[0].filters_generated = 99
-        assert stats.per_query[1].filters_generated == 1
+        assert stats.per_query[2].filters_generated == 1
+
+    def test_run_loop_batch_work_not_double_counted(self):
+        """Aggregating per-query work over a batch with duplicates must equal
+        the work of the distinct executions."""
+
+        def query_function(query_set):
+            return len(query_set), QueryStats(filters_generated=3, candidates_examined=7)
+
+        _results, stats = run_loop_batch(query_function, [{1}, {1}, {1}, {2}])
+        assert sum(entry.total_work for entry in stats.per_query) == 2 * 10
+        assert [entry.from_cache for entry in stats.per_query] == [
+            False,
+            True,
+            True,
+            False,
+        ]
+
+    def test_engine_batch_duplicates_marked_from_cache(self, built_indexes, batch_dataset):
+        index = built_indexes["skew_adaptive"]
+        queries = [batch_dataset[0], batch_dataset[0], batch_dataset[1]]
+        _results, stats = index.query_batch(queries)
+        assert not stats.per_query[0].from_cache
+        assert stats.per_query[1].from_cache
+        assert stats.per_query[1].total_work == 0
+        assert stats.per_query[1].found == stats.per_query[0].found
+        assert not stats.per_query[2].from_cache
 
 
 class TestStatsSerialization:

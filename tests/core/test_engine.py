@@ -164,6 +164,35 @@ class TestQuery:
         assert stats.unique_candidates <= stats.candidates_examined
 
 
+class TestChunkProbeDedupe:
+    def test_chunk_probe_dedupe_is_collision_free(self, small_dataset):
+        """Batched probe deduplication must be by *path*: two queries whose
+        distinct filters share a forced 64-bit key must not see each other's
+        postings (regression test for a key-only dedupe)."""
+        from repro.core.inverted_index import InvertedFilterIndex
+        from repro.core.paths import PathGenerationResult
+
+        probabilities, dataset = small_dataset
+        engine = make_engine(probabilities, len(dataset))
+        engine.build(dataset[:4])
+        inverted = InvertedFilterIndex()
+        inverted.add(0, [(1, 2)], keys=[777])
+        inverted.compact()
+        generations = [
+            PathGenerationResult(paths=[(1, 2)], truncated=False, expansions=1, keys=[777]),
+            PathGenerationResult(paths=[(3, 4)], truncated=False, expansions=1, keys=[777]),
+        ]
+        probe = engine._probe_chunk_repetition(inverted, generations)
+        assert probe is not None
+        occurrence_ids, query_offsets, distinct, duplicate = probe
+        first = occurrence_ids[query_offsets[0] : query_offsets[1]].tolist()
+        second = occurrence_ids[query_offsets[1] : query_offsets[2]].tolist()
+        assert first == [0]
+        assert second == []  # colliding key, different path: no foreign postings
+        assert distinct == 2
+        assert duplicate == 0
+
+
 class TestQueryFiltersAndCandidates:
     def test_query_filters_deterministic(self, small_dataset):
         probabilities, dataset = small_dataset

@@ -207,6 +207,123 @@ class TestCompaction:
         assert index.heaviest_filters(1) == [((4,), 4)]
 
 
+class TestProbeBatch:
+    def test_matches_scalar_lookups(self):
+        index = _populated()
+        paths = [(1,), (2, 3), (4,), (9, 9), (2, 3)]
+        keys = [fold_path(path) for path in paths]
+        ids, offsets = index.probe_batch(paths, keys)
+        assert offsets.tolist()[0] == 0
+        assert offsets.size == len(paths) + 1
+        for position, path in enumerate(paths):
+            segment = ids[offsets[position] : offsets[position + 1]].tolist()
+            assert segment == index.lookup(path)
+
+    def test_empty_probe_list(self):
+        ids, offsets = _populated().probe_batch([], [])
+        assert ids.size == 0
+        assert offsets.tolist() == [0]
+
+    def test_empty_index(self):
+        index = InvertedFilterIndex()
+        paths = [(1,), (2,)]
+        ids, offsets = index.probe_batch(paths, [fold_path(p) for p in paths])
+        assert ids.size == 0
+        assert offsets.tolist() == [0, 0, 0]
+
+    def test_auto_compacts_pending_postings(self):
+        index = _populated()
+        index.compact()
+        index.add(9, [(4,), (8, 8)])
+        paths = [(4,), (8, 8)]
+        ids, offsets = index.probe_batch(paths, [fold_path(p) for p in paths])
+        assert ids[offsets[0] : offsets[1]].tolist() == [0, 1, 2, 2, 9]
+        assert ids[offsets[1] : offsets[2]].tolist() == [9]
+
+    def test_key_collision_does_not_leak_foreign_postings(self):
+        """A probe whose 64-bit key matches a stored slot but whose path
+        differs (a forced fold collision) must come back empty."""
+        index = InvertedFilterIndex()
+        index.add(0, [(1, 2)], keys=[777])
+        index.compact()
+        ids, offsets = index.probe_batch([(3, 4), (1, 2)], [777, 777])
+        assert ids[offsets[0] : offsets[1]].tolist() == []
+        assert ids[offsets[1] : offsets[2]].tolist() == [0]
+
+    def test_chained_collision_slots_resolved(self):
+        index = InvertedFilterIndex()
+        index.add(0, [(1, 2)], keys=[777])
+        index.add(1, [(3, 4)], keys=[777])
+        index.add(2, [(1, 2)], keys=[777])
+        paths = [(1, 2), (3, 4), (5, 6)]
+        ids, offsets = index.probe_batch(paths, [777, 777, 777])
+        assert ids[offsets[0] : offsets[1]].tolist() == [0, 2]
+        assert ids[offsets[1] : offsets[2]].tolist() == [1]
+        assert ids[offsets[2] : offsets[3]].tolist() == []
+
+
+class TestBulkCompaction:
+    def test_slots_ordered_by_key_after_bulk_compact(self):
+        index = _populated()
+        index.compact()
+        keys = index._path_keys
+        assert np.all(keys[1:] >= keys[:-1])
+
+    def test_incremental_compact_matches_fresh_build(self):
+        """compact → add → compact must answer exactly like adding
+        everything before a single compact."""
+        incremental = _populated()
+        incremental.compact()
+        incremental.add(7, [(4,), (8, 8), (1,)])
+        incremental.compact()
+        fresh = _populated()
+        fresh.add(7, [(4,), (8, 8), (1,)])
+        fresh.compact()
+        for path in [(1,), (2, 3), (4,), (8, 8), (9, 9)]:
+            assert incremental.lookup(path) == fresh.lookup(path)
+        assert incremental.num_filters == fresh.num_filters
+        assert incremental.total_entries == fresh.total_entries
+
+    def test_from_state_accepts_unsorted_slot_order(self):
+        """Files written before the CSR-native probe pipeline store slots in
+        first-registration order; the rebuilt probe tables must resolve them
+        identically."""
+        index = _populated()
+        state = {name: array.copy() for name, array in index.to_state().items()}
+        # Reverse the slot order by hand, keeping rows consistent.
+        num_slots = state["path_offsets"].size - 1
+        order = list(range(num_slots))[::-1]
+        path_rows = [
+            state["path_items"][state["path_offsets"][s] : state["path_offsets"][s + 1]]
+            for s in order
+        ]
+        posting_rows = [
+            state["posting_ids"][
+                state["posting_offsets"][s] : state["posting_offsets"][s + 1]
+            ]
+            for s in order
+        ]
+        shuffled = {
+            "path_items": np.concatenate(path_rows),
+            "path_offsets": np.concatenate(
+                [[0], np.cumsum([row.size for row in path_rows])]
+            ),
+            "posting_ids": np.concatenate(posting_rows),
+            "posting_offsets": np.concatenate(
+                [[0], np.cumsum([row.size for row in posting_rows])]
+            ),
+        }
+        restored = InvertedFilterIndex.from_state(shuffled)
+        for path in [(1,), (2, 3), (4,), (9, 9)]:
+            assert restored.lookup(path) == index.lookup(path)
+        paths = [(1,), (2, 3), (4,)]
+        keys = [fold_path(p) for p in paths]
+        ids, offsets = restored.probe_batch(paths, keys)
+        expected_ids, expected_offsets = index.probe_batch(paths, keys)
+        assert ids.tolist() == expected_ids.tolist()
+        assert offsets.tolist() == expected_offsets.tolist()
+
+
 class TestStateRoundTrip:
     def test_to_state_from_state_round_trip(self):
         index = _populated()

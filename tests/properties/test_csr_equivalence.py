@@ -1,0 +1,216 @@
+"""Property tests: the CSR-native pipeline equals the set-based reference.
+
+The tentpole contract of the array-native query execution path: for all
+three filter-engine index kinds and all five public query surfaces (single
+query, single candidates, batched queries, batched candidates, similarity
+join), executing through the CSR probe/merge pipeline returns results
+*bit-identical* to the set-based reference kept behind
+``use_csr_merge=False`` — including after post-build inserts, tombstone
+removals, and a save/load round trip, and for the single-query surfaces the
+work counters must match too (they are the paper's work measure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.chosen_path import ChosenPathIndex
+from repro.core.config import CorrelatedIndexConfig, SkewAdaptiveIndexConfig
+from repro.core.correlated_index import CorrelatedIndex
+from repro.core.engine import FilterEngine
+from repro.core.join import similarity_join
+from repro.core.serialization import load_index, save_index
+from repro.core.skewed_index import SkewAdaptiveIndex
+from repro.core.thresholds import AdversarialThreshold
+from repro.similarity.predicates import SimilarityPredicate
+from repro.testing import rng_for
+
+KINDS = ["skew_adaptive", "correlated", "chosen_path"]
+
+
+def _make_index(kind: str, distribution):
+    if kind == "skew_adaptive":
+        return SkewAdaptiveIndex(
+            distribution, config=SkewAdaptiveIndexConfig(b1=0.5, repetitions=4, seed=61)
+        )
+    if kind == "correlated":
+        return CorrelatedIndex(
+            distribution, config=CorrelatedIndexConfig(alpha=0.7, repetitions=4, seed=62)
+        )
+    return ChosenPathIndex(
+        dimension=distribution.dimension, b1=0.6, b2=0.3, repetitions=4, seed=63
+    )
+
+
+def _workload(distribution, dataset, rng):
+    queries = list(dataset[:20])
+    queries += [
+        distribution.sample_correlated(dataset[i], 0.7, rng) for i in range(8)
+    ]
+    dimension = distribution.dimension
+    queries += [frozenset(rng.integers(0, dimension, size=7).tolist()) for _ in range(8)]
+    queries += [frozenset(), dataset[0], dataset[0]]
+    return queries
+
+
+def _all_surfaces(index, queries, probes, predicate):
+    """Results of every public query surface, as comparable structures."""
+    single = [index.query(query)[0] for query in queries]
+    best = [index.query(query, mode="best")[0] for query in queries]
+    candidates = [index.query_candidates(query)[0] for query in queries]
+    batched, _stats = index.query_batch(queries, batch_size=7)
+    candidates_batched, _cstats = index.query_candidates_batch(queries, batch_size=7)
+    arrays, _astats = index.query_candidates_arrays_batch(queries, batch_size=7)
+    join = similarity_join(index, probes, predicate, batch_size=9)
+    return {
+        "single": single,
+        "best": best,
+        "candidates": candidates,
+        "batched": batched,
+        "candidates_batched": candidates_batched,
+        "arrays": [array.tolist() for array in arrays],
+        "join": sorted(join.pairs),
+    }
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_csr_equals_reference_all_surfaces(
+    kind, skewed_distribution, skewed_dataset
+):
+    rng = rng_for("tests:skewed-dataset")
+    index = _make_index(kind, skewed_distribution)
+    index.build(skewed_dataset[:80])
+    queries = _workload(skewed_distribution, skewed_dataset, rng)
+    probes = skewed_dataset[:15] + [frozenset()]
+    predicate = SimilarityPredicate("braun_blanquet", 0.4)
+
+    index.use_csr_merge = True
+    csr = _all_surfaces(index, queries, probes, predicate)
+    index.use_csr_merge = False
+    reference = _all_surfaces(index, queries, probes, predicate)
+    assert csr == reference
+    # The arrays surface is the sorted view of the candidate sets.
+    assert csr["arrays"] == [sorted(c) for c in csr["candidates_batched"]]
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_csr_equals_reference_after_updates(
+    kind, skewed_distribution, skewed_dataset
+):
+    """Post-build inserts (pending postings) and removals (tombstone masks)
+    must flow through the CSR probe/merge identically to the reference."""
+    rng = rng_for("tests:skewed-dataset")
+    index = _make_index(kind, skewed_distribution)
+    index.build(skewed_dataset[:70])
+    inserted = [index.insert(skewed_dataset[100 + offset]) for offset in range(5)]
+    for vector_id in (0, 9, inserted[1]):
+        index.remove(vector_id)
+    queries = _workload(skewed_distribution, skewed_dataset, rng)
+    queries += [skewed_dataset[101]]  # hits a pending (post-build) posting
+    probes = skewed_dataset[:12]
+    predicate = SimilarityPredicate("braun_blanquet", 0.4)
+
+    index.use_csr_merge = True
+    csr = _all_surfaces(index, queries, probes, predicate)
+    index.use_csr_merge = False
+    reference = _all_surfaces(index, queries, probes, predicate)
+    assert csr == reference
+    removed = {0, 9, inserted[1]}
+    for candidates in csr["candidates"]:
+        assert not candidates & removed
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_csr_equals_reference_after_save_load(
+    kind, skewed_distribution, skewed_dataset, tmp_path
+):
+    index = _make_index(kind, skewed_distribution)
+    index.build(skewed_dataset[:60])
+    index.insert(skewed_dataset[90])
+    index.remove(2)
+    path = tmp_path / "index.bin"
+    save_index(index, path)
+    loaded = load_index(path)
+    queries = _workload(
+        skewed_distribution, skewed_dataset, rng_for("tests:skewed-dataset")
+    )
+    probes = skewed_dataset[:10]
+    predicate = SimilarityPredicate("braun_blanquet", 0.4)
+
+    loaded.use_csr_merge = True
+    csr = _all_surfaces(loaded, queries, probes, predicate)
+    loaded.use_csr_merge = False
+    reference = _all_surfaces(loaded, queries, probes, predicate)
+    assert csr == reference
+    index.use_csr_merge = True
+    original = _all_surfaces(index, queries, probes, predicate)
+    assert csr == original
+
+
+def test_single_query_stats_match_reference(skewed_distribution, skewed_dataset):
+    """The single-query surfaces must reproduce the reference's *work
+    counters* exactly, not just its results: ``candidates_examined`` is the
+    paper's work measure and must not depend on the execution strategy."""
+    index = _make_index("skew_adaptive", skewed_distribution)
+    index.build(skewed_dataset[:80])
+    index.remove(5)
+    rng = rng_for("tests:skewed-dataset")
+    for query in _workload(skewed_distribution, skewed_dataset, rng):
+        if not query:
+            continue
+        for mode in ("first", "best"):
+            index.use_csr_merge = True
+            result_csr, stats_csr = index.query(query, mode=mode)
+            index.use_csr_merge = False
+            result_ref, stats_ref = index.query(query, mode=mode)
+            assert result_csr == result_ref
+            assert stats_csr == stats_ref
+        index.use_csr_merge = True
+        candidates_csr, cstats_csr = index.query_candidates(query)
+        index.use_csr_merge = False
+        candidates_ref, cstats_ref = index.query_candidates(query)
+        assert candidates_csr == candidates_ref
+        assert cstats_csr == cstats_ref
+
+
+DIMENSION = 48
+
+item_sets = st.frozensets(
+    st.integers(min_value=0, max_value=DIMENSION - 1), min_size=0, max_size=14
+)
+
+
+@given(
+    st.lists(item_sets, min_size=2, max_size=12),
+    st.lists(item_sets, min_size=1, max_size=10),
+    st.integers(min_value=0, max_value=2**31),
+    st.sampled_from(["first", "best"]),
+)
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_engine_csr_equals_reference_random(dataset, queries, seed, mode):
+    """Hypothesis: random universes, datasets and queries — the CSR pipeline
+    and the set-based reference agree on every engine surface."""
+    probabilities = np.full(DIMENSION, 0.12)
+    engine = FilterEngine(
+        probabilities,
+        AdversarialThreshold(0.5),
+        acceptance_threshold=0.5,
+        num_vectors_hint=max(len(dataset), 1),
+        repetitions=3,
+        seed=seed,
+    )
+    engine.build(dataset)
+    engine.use_csr_merge = False
+    expected_ids = [engine.query(query, mode=mode)[0] for query in queries]
+    expected_candidates = [engine.query_candidates(query)[0] for query in queries]
+    expected_batch, _ = engine.query_batch(queries, mode=mode, batch_size=4)
+    engine.use_csr_merge = True
+    assert [engine.query(query, mode=mode)[0] for query in queries] == expected_ids
+    assert [engine.query_candidates(query)[0] for query in queries] == expected_candidates
+    batched, _stats = engine.query_batch(queries, mode=mode, batch_size=4)
+    assert batched == expected_batch
+    candidate_arrays, _astats = engine.query_candidates_arrays_batch(queries, batch_size=4)
+    assert [set(array.tolist()) for array in candidate_arrays] == expected_candidates
