@@ -1,0 +1,293 @@
+"""Cold start and resident memory: v2 full load vs v3 RAM vs v3 mmap.
+
+The point of the sharded, mmap-native format v3 is that a saved index can be
+*opened* instead of *loaded*: cold open-to-first-query latency should not
+pay for reading (and inflating) the whole container, and a query workload
+that touches a small fraction of the keys should keep a correspondingly
+small fraction of the index resident.
+
+This benchmark builds one skew-adaptive index over ``n`` vectors
+(``REPRO_BENCH_COLD_N``, default 50 000), saves it as a v2 container and a
+v3 shard directory, and then measures each serving scenario in a **fresh
+subprocess** (peak RSS via ``getrusage`` is monotone within a process, so
+scenarios must not share one):
+
+* ``v2`` — ``load_index`` of the compressed single-file container, then the
+  workload;
+* ``v3_ram`` — RAM-mode load of the shard directory (parallel shard reads,
+  stored keys adopted directly), then the workload;
+* ``v3_mmap`` — mmap-mode open (lazy ``np.memmap`` shards), then the
+  workload;
+* ``baseline`` — imports only, to subtract the interpreter + numpy floor
+  from the resident-memory comparison.
+
+Gated numbers (enforced here and by ``check_batch_regression.py`` via the
+exported ``BENCH_cold_start.json``):
+
+* ``cold_open_speedup`` — v2 open-to-first-query over v3-mmap
+  open-to-first-query: >= 10x at the acceptance size (n >= 50 000), >= 3x
+  on CI smoke sizes;
+* ``mmap_resident_ratio`` — baseline-adjusted peak RSS of the mmap workload
+  over the RAM-mode workload (the workload touches ~``n/1000`` queries, on
+  the order of 1% of the stored keys): <= 0.20 at the acceptance size,
+  <= 0.60 on smoke sizes;
+* ``sharded_save_speedup`` / ``sharded_load_speedup`` — writing/reading the
+  8-shard v3 layout vs the single-file v2 container: >= 2x at the
+  acceptance size, >= 1.2x on smoke sizes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.core.config import PersistenceConfig, SkewAdaptiveIndexConfig
+from repro.core.serialization import index_disk_bytes, save_index
+from repro.core.skewed_index import SkewAdaptiveIndex
+from repro.evaluation.reporting import format_table
+from repro.testing import rng_for
+
+ACCEPTANCE_N = 50_000
+
+#: Acceptance bounds at n >= ACCEPTANCE_N.
+MIN_COLD_OPEN_SPEEDUP = 10.0
+MAX_MMAP_RESIDENT_RATIO = 0.20
+MIN_SHARDED_IO_SPEEDUP = 2.0
+
+#: Relaxed smoke bounds below the acceptance size (fixed interpreter and
+#: per-file overheads dominate tiny indexes).
+SMOKE_MIN_COLD_OPEN_SPEEDUP = 3.0
+SMOKE_MAX_MMAP_RESIDENT_RATIO = 0.60
+SMOKE_MIN_SHARDED_IO_SPEEDUP = 1.2
+
+_SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+#: Subprocess scenario: open (or skip, for the baseline) an index, answer a
+#: first query, run the workload, and report timing + peak RSS as JSON.
+_CHILD_SCRIPT = """
+import json, sys, time
+
+scenario, index_path, queries_path = sys.argv[1], sys.argv[2], sys.argv[3]
+mode = {"v2": "ram", "v3_ram": "ram", "v3_mmap": "mmap"}.get(scenario, "ram")
+
+
+def peak_rss_kb():
+    # VmHWM from /proc is a true per-process high-water mark; getrusage's
+    # ru_maxrss is the fallback for platforms without procfs (it can report
+    # shared/cgroup peaks inside some sandboxes, so procfs wins when present).
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    import resource
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+from repro.core.serialization import load_index  # noqa: E402
+
+with open(queries_path, "r", encoding="utf-8") as handle:
+    queries = [frozenset(query) for query in json.load(handle)]
+
+result = {"scenario": scenario}
+if scenario == "baseline":
+    result["open_to_first_query_seconds"] = 0.0
+else:
+    start = time.perf_counter()
+    index = load_index(index_path, mode=mode)
+    index.query(queries[0])
+    result["open_to_first_query_seconds"] = time.perf_counter() - start
+    workload_start = time.perf_counter()
+    matches = sum(1 for query in queries if index.query(query)[0] is not None)
+    result["workload_seconds"] = time.perf_counter() - workload_start
+    result["workload_matches"] = matches
+result["max_rss_kb"] = peak_rss_kb()
+print(json.dumps(result))
+"""
+
+
+def _run_scenario(scenario: str, index_path: str, queries_path: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC_DIR + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    completed = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCRIPT, scenario, index_path, queries_path],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=False,
+    )
+    if completed.returncode != 0:
+        raise RuntimeError(
+            f"cold-start scenario {scenario!r} failed:\n{completed.stderr}"
+        )
+    return json.loads(completed.stdout.strip().splitlines()[-1])
+
+
+def _run(distribution, num_vectors: int, num_shards: int, tmp_path) -> dict:
+    rng = rng_for("bench:serialization-dataset")
+    dataset = [
+        vector if vector else frozenset({0})
+        for vector in distribution.sample_many(num_vectors, rng)
+    ]
+    index = SkewAdaptiveIndex(
+        distribution, config=SkewAdaptiveIndexConfig(b1=0.5, repetitions=4, seed=1)
+    )
+    build_stats = index.build(dataset)
+
+    # Workload: ~n/1000 queries drawn from the dataset — on the order of 1%
+    # of the stored keys once per-repetition filters are accounted.
+    num_queries = max(10, num_vectors // 1000)
+    step = max(1, len(dataset) // num_queries)
+    queries = [sorted(dataset[position]) for position in range(0, len(dataset), step)]
+    queries = queries[:num_queries]
+    queries_path = tmp_path / "queries.json"
+    queries_path.write_text(json.dumps(queries), encoding="utf-8")
+
+    v2_path = tmp_path / "index_v2.bin"
+    v3_path = tmp_path / "index_v3"
+
+    v2_save_start = time.perf_counter()
+    save_index(index, v2_path, config=PersistenceConfig(format_version=2))
+    v2_save_seconds = time.perf_counter() - v2_save_start
+
+    v3_save_start = time.perf_counter()
+    save_index(index, v3_path, config=PersistenceConfig(shards=num_shards))
+    v3_save_seconds = time.perf_counter() - v3_save_start
+
+    baseline = _run_scenario("baseline", str(v3_path), str(queries_path))
+    v2 = _run_scenario("v2", str(v2_path), str(queries_path))
+    v3_ram = _run_scenario("v3_ram", str(v3_path), str(queries_path))
+    v3_mmap = _run_scenario("v3_mmap", str(v3_path), str(queries_path))
+    assert v2["workload_matches"] == v3_ram["workload_matches"] == v3_mmap[
+        "workload_matches"
+    ], "serving modes disagreed on the workload results"
+
+    baseline_kb = baseline["max_rss_kb"]
+    ram_extra_kb = max(v3_ram["max_rss_kb"] - baseline_kb, 1)
+    mmap_extra_kb = max(v3_mmap["max_rss_kb"] - baseline_kb, 0)
+    return {
+        "num_vectors": num_vectors,
+        "num_shards": num_shards,
+        "num_queries": len(queries),
+        "build_seconds": build_stats.build_seconds,
+        "v2_size": v2_path.stat().st_size,
+        "v3_size": index_disk_bytes(v3_path),
+        "v2_save_seconds": v2_save_seconds,
+        "v3_save_seconds": v3_save_seconds,
+        "sharded_save_speedup": v2_save_seconds / v3_save_seconds,
+        "v2_open_first_seconds": v2["open_to_first_query_seconds"],
+        "v3_ram_open_first_seconds": v3_ram["open_to_first_query_seconds"],
+        "v3_mmap_open_first_seconds": v3_mmap["open_to_first_query_seconds"],
+        "cold_open_speedup": v2["open_to_first_query_seconds"]
+        / v3_mmap["open_to_first_query_seconds"],
+        "sharded_load_speedup": v2["open_to_first_query_seconds"]
+        / v3_ram["open_to_first_query_seconds"],
+        "baseline_rss_kb": baseline_kb,
+        "v2_rss_kb": v2["max_rss_kb"],
+        "v3_ram_rss_kb": v3_ram["max_rss_kb"],
+        "v3_mmap_rss_kb": v3_mmap["max_rss_kb"],
+        "mmap_resident_ratio": mmap_extra_kb / ram_extra_kb,
+        "v2_workload_seconds": v2["workload_seconds"],
+        "v3_ram_workload_seconds": v3_ram["workload_seconds"],
+        "v3_mmap_workload_seconds": v3_mmap["workload_seconds"],
+    }
+
+
+def test_cold_start_and_resident_memory(benchmark, bench_skewed_distribution, tmp_path):
+    num_vectors = int(os.environ.get("REPRO_BENCH_COLD_N", str(ACCEPTANCE_N)))
+    num_shards = int(os.environ.get("REPRO_BENCH_COLD_SHARDS", "8"))
+
+    result = benchmark.pedantic(
+        _run,
+        kwargs=dict(
+            distribution=bench_skewed_distribution,
+            num_vectors=num_vectors,
+            num_shards=num_shards,
+            tmp_path=tmp_path,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(
+        format_table(
+            [
+                {
+                    "n": result["num_vectors"],
+                    "shards": result["num_shards"],
+                    "v2 open+1q s": round(result["v2_open_first_seconds"], 4),
+                    "v3 ram open+1q s": round(result["v3_ram_open_first_seconds"], 4),
+                    "v3 mmap open+1q s": round(result["v3_mmap_open_first_seconds"], 4),
+                    "cold-open speedup": round(result["cold_open_speedup"], 1),
+                    "mmap/ram resident": round(result["mmap_resident_ratio"], 3),
+                }
+            ],
+            title="Cold open-to-first-query and resident memory (fresh process each)",
+        )
+    )
+    print(
+        format_table(
+            [
+                {
+                    "v2 save s": round(result["v2_save_seconds"], 3),
+                    "v3 save s": round(result["v3_save_seconds"], 3),
+                    "save speedup": round(result["sharded_save_speedup"], 2),
+                    "load speedup": round(result["sharded_load_speedup"], 2),
+                    "v2 bytes": result["v2_size"],
+                    "v3 bytes": result["v3_size"],
+                }
+            ],
+            title=f"Sharded ({result['num_shards']}-way) save/load vs single-file v2",
+        )
+    )
+
+    acceptance = num_vectors >= ACCEPTANCE_N
+    min_cold_open = MIN_COLD_OPEN_SPEEDUP if acceptance else SMOKE_MIN_COLD_OPEN_SPEEDUP
+    max_resident = (
+        MAX_MMAP_RESIDENT_RATIO if acceptance else SMOKE_MAX_MMAP_RESIDENT_RATIO
+    )
+    min_sharded_io = (
+        MIN_SHARDED_IO_SPEEDUP if acceptance else SMOKE_MIN_SHARDED_IO_SPEEDUP
+    )
+
+    benchmark.extra_info.update(
+        {
+            "paper_expectation": "the skew-adaptive structure is many small "
+            "postings lists; lazily paging them lets an index serve from "
+            "storage without fitting in RAM",
+            **{key: value for key, value in result.items()},
+            "min_cold_open_speedup": min_cold_open,
+            "max_mmap_resident_ratio": max_resident,
+            "min_sharded_save_speedup": min_sharded_io,
+            "min_sharded_load_speedup": min_sharded_io,
+        }
+    )
+
+    assert result["cold_open_speedup"] >= min_cold_open, (
+        f"cold open regressed: v3-mmap only {result['cold_open_speedup']:.1f}x "
+        f"faster to first query than a v2 full load (bound {min_cold_open}x "
+        f"at n={num_vectors})"
+    )
+    assert result["mmap_resident_ratio"] <= max_resident, (
+        f"mmap residency regressed: workload kept "
+        f"{result['mmap_resident_ratio']:.2f} of RAM-mode memory resident "
+        f"(bound {max_resident} at n={num_vectors})"
+    )
+    assert result["sharded_save_speedup"] >= min_sharded_io, (
+        f"sharded save regressed: {result['sharded_save_speedup']:.2f}x vs the "
+        f"single-file container (bound {min_sharded_io}x at n={num_vectors})"
+    )
+    assert result["sharded_load_speedup"] >= min_sharded_io, (
+        f"sharded load regressed: {result['sharded_load_speedup']:.2f}x vs the "
+        f"single-file container (bound {min_sharded_io}x at n={num_vectors})"
+    )

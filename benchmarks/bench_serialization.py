@@ -1,11 +1,15 @@
-"""Binary persistence (format v2) vs the legacy v1 JSON dump.
+"""Binary persistence (formats v2 and v3) vs the legacy v1 JSON dump.
 
 Builds a skew-adaptive index over ``n`` vectors (``REPRO_BENCH_SER_N``,
-default 10 000), saves it in both formats and measures file size, save time
-and load time.  The acceptance bound of the persistence subsystem is that
-the v2 container is >= 5x smaller and ``load_index`` >= 5x faster than the
-v1 JSON path at the default size, with the loaded index answering a query
-sample identically to the original — all asserted here.
+default 10 000), saves it as v1 JSON, a v2 compressed container and a v3
+sharded directory, and measures sizes, save times and load times.  The
+long-standing acceptance bound of the persistence subsystem is that the v2
+container is >= 5x smaller and ``load_index`` >= 5x faster than the v1 JSON
+path at the default size, with every loaded index answering a query sample
+identically to the original — all asserted here.  The v3 numbers (RAM load
+of the uncompressed sharded layout; cold-open behaviour has its own
+benchmark in ``bench_cold_start.py``) are reported alongside for the perf
+trajectory.
 
 CI runs this on a small size (``REPRO_BENCH_SER_N=2000``) as a smoke check
 and uploads the pytest-benchmark JSON (``BENCH_serialization.json``) as an
@@ -17,8 +21,13 @@ from __future__ import annotations
 import os
 import time
 
-from repro.core.config import SkewAdaptiveIndexConfig
-from repro.core.serialization import _save_legacy_v1, load_index, save_index
+from repro.core.config import PersistenceConfig, SkewAdaptiveIndexConfig
+from repro.core.serialization import (
+    _save_legacy_v1,
+    index_disk_bytes,
+    load_index,
+    save_index,
+)
 from repro.core.skewed_index import SkewAdaptiveIndex
 from repro.evaluation.reporting import format_table
 from repro.testing import rng_for
@@ -46,14 +55,19 @@ def _run(distribution, num_vectors: int, tmp_path) -> dict:
 
     v1_path = tmp_path / "index_v1.json"
     v2_path = tmp_path / "index_v2.bin"
+    v3_path = tmp_path / "index_v3"
 
     v1_save_start = time.perf_counter()
     _save_legacy_v1(index, v1_path)
     v1_save_seconds = time.perf_counter() - v1_save_start
 
     v2_save_start = time.perf_counter()
-    save_index(index, v2_path)
+    save_index(index, v2_path, config=PersistenceConfig(format_version=2))
     v2_save_seconds = time.perf_counter() - v2_save_start
+
+    v3_save_start = time.perf_counter()
+    save_index(index, v3_path)
+    v3_save_seconds = time.perf_counter() - v3_save_start
 
     v1_load_start = time.perf_counter()
     loaded_v1 = load_index(v1_path)
@@ -63,6 +77,10 @@ def _run(distribution, num_vectors: int, tmp_path) -> dict:
     loaded_v2 = load_index(v2_path)
     v2_load_seconds = time.perf_counter() - v2_load_start
 
+    v3_load_start = time.perf_counter()
+    loaded_v3 = load_index(v3_path)
+    v3_load_seconds = time.perf_counter() - v3_load_start
+
     sample = dataset[: min(50, len(dataset))]
     original = [index.query(query)[0] for query in sample]
     assert [loaded_v2.query(query)[0] for query in sample] == original, (
@@ -71,19 +89,27 @@ def _run(distribution, num_vectors: int, tmp_path) -> dict:
     assert [loaded_v1.query(query)[0] for query in sample] == original, (
         "v1-loaded index diverged from the original"
     )
+    assert [loaded_v3.query(query)[0] for query in sample] == original, (
+        "v3-loaded index diverged from the original"
+    )
 
     v1_size = v1_path.stat().st_size
     v2_size = v2_path.stat().st_size
+    v3_size = index_disk_bytes(v3_path)
     return {
         "num_vectors": num_vectors,
         "v1_size": v1_size,
         "v2_size": v2_size,
+        "v3_size": v3_size,
         "size_ratio": v1_size / v2_size,
         "v1_save_seconds": v1_save_seconds,
         "v2_save_seconds": v2_save_seconds,
+        "v3_save_seconds": v3_save_seconds,
         "v1_load_seconds": v1_load_seconds,
         "v2_load_seconds": v2_load_seconds,
+        "v3_load_seconds": v3_load_seconds,
         "load_speedup": v1_load_seconds / v2_load_seconds,
+        "v3_load_speedup_vs_v2": v2_load_seconds / v3_load_seconds,
     }
 
 
@@ -110,12 +136,14 @@ def test_binary_persistence_vs_v1_json(benchmark, bench_skewed_distribution, tmp
                     "v1 bytes": result["v1_size"],
                     "v2 bytes": result["v2_size"],
                     "size ratio": round(result["size_ratio"], 2),
+                    "v3 bytes": result["v3_size"],
                     "v1 load s": round(result["v1_load_seconds"], 3),
                     "v2 load s": round(result["v2_load_seconds"], 3),
+                    "v3 load s": round(result["v3_load_seconds"], 3),
                     "load speedup": round(result["load_speedup"], 2),
                 }
             ],
-            title="Binary persistence (v2) vs legacy JSON (v1), identical queries",
+            title="Persistence: v1 JSON vs v2 container vs v3 shards, identical queries",
         )
     )
 
@@ -129,6 +157,10 @@ def test_binary_persistence_vs_v1_json(benchmark, bench_skewed_distribution, tmp
             "serialization_size_ratio": result["size_ratio"],
             "v1_load_seconds": result["v1_load_seconds"],
             "v2_load_seconds": result["v2_load_seconds"],
+            "v3_load_seconds": result["v3_load_seconds"],
+            "v3_size_bytes": result["v3_size"],
+            "v3_save_seconds": result["v3_save_seconds"],
+            "v3_load_speedup_vs_v2": result["v3_load_speedup_vs_v2"],
             "serialization_load_speedup": result["load_speedup"],
             "min_size_ratio_gate": MIN_SIZE_RATIO,
             "min_load_speedup_gate": MIN_LOAD_SPEEDUP,

@@ -1,15 +1,28 @@
 #!/usr/bin/env python
-"""CI gate: fail when a gated query-throughput ratio regresses below bound.
+"""CI gate: fail when a gated benchmark ratio crosses its bound.
 
 Reads a pytest-benchmark JSON export and exits non-zero when any benchmark's
-recorded speedup ratio falls below the minimum (default 1.5x, the project's
-acceptance bound).  Two ratios are gated, each produced by its benchmark:
+recorded ratio violates its gate.  Two kinds of gates exist:
+
+*Lower-bounded speedups* (must be **at least** the bound; the bound is the
+benchmark-exported ``min_<key>`` when present, else ``--min-speedup``,
+default 1.5x):
 
 * ``batched_speedup`` — batched vs looped execution
   (``benchmarks/bench_batch_query.py``, exported as ``BENCH_batch.json``);
 * ``csr_merge_speedup`` — CSR-native vs set-based candidate merge
-  (``benchmarks/bench_candidate_throughput.py``, exported as
-  ``BENCH_candidates.json``).
+  (``benchmarks/bench_candidate_throughput.py``,
+  ``BENCH_candidates.json``);
+* ``cold_open_speedup``, ``sharded_save_speedup``, ``sharded_load_speedup``
+  — v3 cold open-to-first-query and sharded save/load vs the v2 container
+  (``benchmarks/bench_cold_start.py``, ``BENCH_cold_start.json``; these
+  always export their own scale-aware ``min_*`` bounds).
+
+*Upper-bounded ratios* (must be **at most** the benchmark-exported
+``max_<key>`` bound):
+
+* ``mmap_resident_ratio`` — baseline-adjusted resident memory of an mmap
+  workload over the RAM-mode load (``bench_cold_start.py``).
 
 Stdlib-only on purpose so the gate can run anywhere the JSON exists::
 
@@ -27,8 +40,17 @@ from pathlib import Path
 
 DEFAULT_MIN_SPEEDUP = 1.5
 
-#: extra_info keys holding a gated throughput ratio.
-GATED_KEYS = ("batched_speedup", "csr_merge_speedup")
+#: extra_info keys holding a gated lower-bounded ratio (>= bound).
+GATED_KEYS = (
+    "batched_speedup",
+    "csr_merge_speedup",
+    "cold_open_speedup",
+    "sharded_save_speedup",
+    "sharded_load_speedup",
+)
+
+#: extra_info keys holding a gated upper-bounded ratio (<= ``max_<key>``).
+GATED_MAX_KEYS = ("mmap_resident_ratio",)
 
 
 def check(report_path: Path, min_speedup: float) -> int:
@@ -43,34 +65,50 @@ def check(report_path: Path, min_speedup: float) -> int:
         return 2
 
     gated = [
-        (entry, key)
+        (entry, key, "min")
         for entry in payload.get("benchmarks", [])
         for key in GATED_KEYS
+        if key in entry.get("extra_info", {})
+    ] + [
+        (entry, key, "max")
+        for entry in payload.get("benchmarks", [])
+        for key in GATED_MAX_KEYS
         if key in entry.get("extra_info", {})
     ]
     if not gated:
         print(
-            f"FAIL: {report_path} contains no benchmarks with a gated speedup "
-            f"(looked for {', '.join(GATED_KEYS)})"
+            f"FAIL: {report_path} contains no benchmarks with a gated ratio "
+            f"(looked for {', '.join(GATED_KEYS + GATED_MAX_KEYS)})"
         )
         return 2
 
     failures = 0
-    for entry, key in gated:
+    for entry, key, direction in gated:
         extra = entry["extra_info"]
-        speedup = float(extra[key])
+        value = float(extra[key])
         name = entry.get("name", "<unnamed>")
         detail = f"{key}, n={extra.get('num_vectors', '?')}"
-        if speedup < min_speedup:
-            print(f"FAIL: {name}: {speedup:.2f}x < {min_speedup}x ({detail})")
-            failures += 1
+        if direction == "min":
+            bound = float(extra.get(f"min_{key}", min_speedup))
+            passed = value >= bound
+            relation = ">=" if passed else "<"
         else:
-            print(f"OK:   {name}: {speedup:.2f}x >= {min_speedup}x ({detail})")
+            if f"max_{key}" not in extra:
+                print(f"FAIL: {name}: {key} is gated but exports no max_{key} bound")
+                failures += 1
+                continue
+            bound = float(extra[f"max_{key}"])
+            passed = value <= bound
+            relation = "<=" if passed else ">"
+        status = "OK:  " if passed else "FAIL:"
+        print(f"{status} {name}: {key} {value:.2f} {relation} {bound} ({detail})")
+        if not passed:
+            failures += 1
 
     if failures:
-        print(f"\n{failures} gate(s) below the {min_speedup}x bound")
+        print(f"\n{failures} gate(s) violated their bound")
         return 1
-    print(f"\nall {len(gated)} gate(s) meet the {min_speedup}x bound")
+    print(f"\nall {len(gated)} gate(s) meet their bounds")
     return 0
 
 

@@ -38,6 +38,7 @@ from repro.core import (
     SkewAdaptiveIndex,
     SkewAdaptiveIndexConfig,
     convert_index_file,
+    describe_index_file,
     load_index,
     save_index,
     similarity_join,
@@ -79,6 +80,7 @@ __all__ = [
     "save_index",
     "load_index",
     "convert_index_file",
+    "describe_index_file",
     # Baselines
     "BruteForceIndex",
     "ChosenPathIndex",

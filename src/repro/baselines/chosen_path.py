@@ -60,9 +60,6 @@ class ChosenPathIndex:
         Safety cap on filters per vector.
     seed:
         Hash seed.
-    use_csr_merge:
-        Execute queries through the CSR-native probe/merge pipeline (the
-        default); ``False`` selects the set-based reference execution.
     """
 
     def __init__(
@@ -73,7 +70,6 @@ class ChosenPathIndex:
         repetitions: int | None = None,
         max_paths_per_vector: int | None = 50_000,
         seed: int = 0,
-        use_csr_merge: bool = True,
     ):
         if dimension <= 0:
             raise ValueError(f"dimension must be positive, got {dimension}")
@@ -89,7 +85,6 @@ class ChosenPathIndex:
         self._repetitions = repetitions
         self._max_paths_per_vector = max_paths_per_vector
         self._seed = int(seed)
-        self._use_csr_merge = bool(use_csr_merge)
         self._engine: FilterEngine | None = None
 
     # ------------------------------------------------------------------ #
@@ -162,7 +157,6 @@ class ChosenPathIndex:
             stop_product_enabled=False,
             max_paths_per_vector=self._max_paths_per_vector,
             seed=self._seed,
-            use_csr_merge=self._use_csr_merge,
         )
 
     def query(self, query: SetLike, mode: str = "first") -> tuple[int | None, QueryStats]:
@@ -178,6 +172,7 @@ class ChosenPathIndex:
         batch_size: int | None = None,
         max_workers: int | None = None,
         deduplicate: bool = True,
+        shard_workers: int | None = None,
     ) -> tuple[list[int | None], BatchQueryStats]:
         """Batched queries through the shared vectorised engine subsystem."""
         self._require_built()
@@ -188,6 +183,7 @@ class ChosenPathIndex:
             batch_size=batch_size,
             max_workers=max_workers,
             deduplicate=deduplicate,
+            shard_workers=shard_workers,
         )
 
     def query_candidates(self, query: SetLike) -> tuple[set[int], QueryStats]:
@@ -201,6 +197,7 @@ class ChosenPathIndex:
         batch_size: int | None = None,
         max_workers: int | None = None,
         deduplicate: bool = True,
+        shard_workers: int | None = None,
     ) -> tuple[list[set[int]], BatchQueryStats]:
         """Batched candidate enumeration (used by the similarity join)."""
         self._require_built()
@@ -210,6 +207,7 @@ class ChosenPathIndex:
             batch_size=batch_size,
             max_workers=max_workers,
             deduplicate=deduplicate,
+            shard_workers=shard_workers,
         )
 
     def query_candidates_arrays_batch(
@@ -218,6 +216,7 @@ class ChosenPathIndex:
         batch_size: int | None = None,
         max_workers: int | None = None,
         deduplicate: bool = True,
+        shard_workers: int | None = None,
     ) -> tuple[list[np.ndarray], BatchQueryStats]:
         """Batched candidate enumeration as sorted id arrays (read-only)."""
         self._require_built()
@@ -227,20 +226,21 @@ class ChosenPathIndex:
             batch_size=batch_size,
             max_workers=max_workers,
             deduplicate=deduplicate,
+            shard_workers=shard_workers,
         )
 
     @property
-    def use_csr_merge(self) -> bool:
-        """Whether queries run through the CSR-native probe/merge pipeline."""
-        if self._engine is not None:
-            return self._engine.use_csr_merge
-        return self._use_csr_merge
-
-    @use_csr_merge.setter
-    def use_csr_merge(self, enabled: bool) -> None:
+    def shard_workers(self) -> int | None:
+        """Default per-probe shard fan-out (mmap-loaded indexes only)."""
         self._require_built()
         assert self._engine is not None
-        self._engine.use_csr_merge = enabled
+        return self._engine.shard_workers
+
+    @shard_workers.setter
+    def shard_workers(self, workers: int | None) -> None:
+        self._require_built()
+        assert self._engine is not None
+        self._engine.shard_workers = workers
 
     def get_vector(self, vector_id: int) -> frozenset[int]:
         self._require_built()

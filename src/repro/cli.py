@@ -9,19 +9,25 @@ Python:
   the predicted query exponents (the Section 8 analyses applied to your own
   data);
 * ``repro build`` — build a skew-adaptive index over a transaction file and
-  save it to disk (binary format v2);
+  save it to disk (the sharded format v3 by default; ``--shards`` controls
+  the key-range shard count and ``--format 2`` writes the legacy container);
 * ``repro query`` — load a saved index and run queries from a transaction
   file, printing matches and work statistics (``--candidates-only`` stops
-  after the CSR probe/merge phase and reports the merged candidate sets).
+  after the CSR probe/merge phase and reports the merged candidate sets;
+  ``--load-mode mmap`` serves the queries from lazily mapped shards instead
+  of loading the index into RAM).
 * ``repro query-batch`` — the same workload through the batched execution
   engine: vectorised filter generation, probe deduplication across the
   batch and optional worker-pool fan-out, with throughput and per-phase
   (generation / merge / verification) timing reporting; also honours
-  ``--candidates-only``.
-* ``repro convert`` — rewrite a saved index (e.g. a legacy v1 JSON file) in
-  the current binary format;
-* ``repro inspect`` — print the configuration, build statistics and storage
-  footprint of a saved index without running queries;
+  ``--candidates-only``, ``--load-mode`` and ``--shard-workers`` (per-probe
+  shard fan-out on mmap-loaded indexes).
+* ``repro convert`` — rewrite a saved index in another format: v1/v2 → v3
+  upgrades by default, ``--format 2`` downgrades a v3 directory to the
+  legacy single-file container;
+* ``repro inspect`` — print the format version, configuration, build
+  statistics, shard layout and on-disk vs resident footprint of a saved
+  index (any format) without running queries;
 * ``repro experiments`` — regenerate one of the paper's tables/figures as a
   text table.
 
@@ -133,59 +139,94 @@ def _cmd_build(args: argparse.Namespace) -> int:
             ),
         )
     stats = index.build(list(collection))
-    save_index(index, args.output, config=PersistenceConfig(compress=not args.no_compress))
-    size = Path(args.output).stat().st_size
+    from repro.core.serialization import index_disk_bytes
+
+    persistence = PersistenceConfig(
+        format_version=args.format,
+        shards=args.shards,
+        compress=not args.no_compress,
+    )
+    save_index(index, args.output, config=persistence)
+    size = index_disk_bytes(args.output)
+    layout = (
+        f"format v{args.format}, {args.shards} shards" if args.format == 3 else "format v2"
+    )
     print(
         f"built a {args.kind} index over {stats.num_vectors} sets "
         f"({stats.total_filters} filters, {stats.repetitions} repetitions) and saved it to "
-        f"{args.output} ({size} bytes)"
+        f"{args.output} ({layout}, {size} bytes)"
     )
     return 0
 
 
 def _cmd_convert(args: argparse.Namespace) -> int:
-    from repro.core.serialization import FORMAT_VERSION, convert_index_file
+    from repro.core.config import PersistenceConfig
+    from repro.core.serialization import convert_index_file, index_disk_bytes
 
     try:
-        source_size = Path(args.input).stat().st_size
-        convert_index_file(args.input, args.output)
+        source_size = index_disk_bytes(args.input)
+        convert_index_file(
+            args.input,
+            args.output,
+            config=PersistenceConfig(format_version=args.format, shards=args.shards),
+        )
     except (ValueError, OSError) as error:
         print(f"cannot convert {args.input}: {error}")
         return 2
-    output_size = Path(args.output).stat().st_size
+    output_size = index_disk_bytes(args.output)
     if output_size and source_size / output_size >= 1.05:
         comparison = f", {source_size / output_size:.1f}x smaller"
     else:
         comparison = ""
     print(
-        f"converted {args.input} ({source_size} bytes) to format v{FORMAT_VERSION} at "
+        f"converted {args.input} ({source_size} bytes) to format v{args.format} at "
         f"{args.output} ({output_size} bytes{comparison})"
     )
     return 0
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
-    from repro.core.serialization import load_index
+    from repro.core.serialization import describe_index_file
     from repro.evaluation.reporting import format_table
 
     try:
-        index = load_index(args.index)
+        description = describe_index_file(args.index)
     except (ValueError, OSError) as error:
-        print(f"cannot load {args.index}: {error}")
+        print(f"cannot inspect {args.index}: {error}")
         return 2
-    stats = index.build_stats
+    build_stats = description["build_stats"]
     rows = [
         {
-            "kind": type(index).__name__,
-            "vectors": stats.num_vectors,
-            "filters": stats.total_filters,
-            "repetitions": stats.repetitions,
-            "truncated": stats.truncated_vectors,
-            "build seconds": round(stats.build_seconds, 3),
-            "file bytes": Path(args.index).stat().st_size,
+            "format": f"v{description['format_version']}",
+            "kind": description["kind"],
+            "vectors": description["num_vectors"],
+            "filters": build_stats.get("total_filters", 0),
+            "repetitions": description["repetitions"],
+            "shards": description["num_shards"] if description["num_shards"] else "-",
+            "disk bytes": description["disk_bytes"],
+            "resident bytes": description["resident_bytes"],
         }
     ]
     print(format_table(rows, title=f"Saved index {args.index}"))
+    if description["num_shards"]:
+        fences = description["fences"]
+        bounds = [0, *fences, 1 << 64]
+        shard_rows = [
+            {
+                "shard": shard,
+                "key range": f"[{bounds[shard]:#018x}, {bounds[shard + 1]:#018x})",
+                "slots": entry["slots"],
+                "postings": entry["postings"],
+            }
+            for shard, entry in enumerate(description["shards"])
+        ]
+        print()
+        print(
+            format_table(
+                shard_rows,
+                title=f"{description['num_shards']} key-range shards (all repetitions)",
+            )
+        )
     return 0
 
 
@@ -195,7 +236,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from repro.evaluation.reporting import format_table
 
     try:
-        index = load_index(args.index)
+        index = load_index(
+            args.index, mode=args.load_mode, shard_workers=args.shard_workers
+        )
     except (ValueError, OSError) as error:
         print(f"cannot load {args.index}: {error}")
         return 2
@@ -252,9 +295,10 @@ def _cmd_query_batch(args: argparse.Namespace) -> int:
     config = BatchQueryConfig(
         batch_size=args.batch_size if args.batch_size is not None else DEFAULT_BATCH_SIZE,
         max_workers=args.workers,
+        shard_workers=args.shard_workers,
     )
     try:
-        index = load_index(args.index)
+        index = load_index(args.index, mode=args.load_mode)
     except (ValueError, OSError) as error:
         print(f"cannot load {args.index}: {error}")
         return 2
@@ -380,29 +424,72 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--repetitions", type=int, default=None)
     build.add_argument("--seed", type=int, default=0)
     build.add_argument(
+        "--format",
+        type=int,
+        choices=[2, 3],
+        default=3,
+        help="on-disk format: 3 (sharded, mmap-native directory; default) "
+        "or 2 (legacy single-file compressed container)",
+    )
+    build.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=8,
+        help="number of folded-key-range shards a v3 save splits the index into "
+        "(default 8; ignored with --format 2)",
+    )
+    build.add_argument(
         "--no-compress",
         action="store_true",
-        help="write the index file without compression (larger but faster saves)",
+        help="write a v2 file without compression (larger but faster saves; "
+        "v3 is always uncompressed raw arrays)",
     )
     build.set_defaults(handler=_cmd_build)
 
     convert = subparsers.add_parser(
-        "convert", help="rewrite a saved index in the current binary format"
+        "convert", help="rewrite a saved index in another format (v3 upgrade / v2 downgrade)"
     )
-    convert.add_argument("input", type=Path, help="saved index file (any readable version)")
-    convert.add_argument("--output", "-o", type=Path, required=True, help="output index file")
+    convert.add_argument("input", type=Path, help="saved index (any readable version)")
+    convert.add_argument("--output", "-o", type=Path, required=True, help="output index path")
+    convert.add_argument(
+        "--format",
+        type=int,
+        choices=[2, 3],
+        default=3,
+        help="target format: 3 upgrades to the sharded mmap-native layout "
+        "(default), 2 downgrades to the legacy single-file container",
+    )
+    convert.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=8,
+        help="shard count of a v3 target (default 8; ignored with --format 2)",
+    )
     convert.set_defaults(handler=_cmd_convert)
 
     inspect = subparsers.add_parser(
-        "inspect", help="print the stats and footprint of a saved index"
+        "inspect", help="print the format, stats, shard layout and footprint of a saved index"
     )
-    inspect.add_argument("index", type=Path, help="saved index file")
+    inspect.add_argument("index", type=Path, help="saved index file or v3 directory")
     inspect.set_defaults(handler=_cmd_inspect)
 
     query = subparsers.add_parser("query", help="run queries against a saved index")
-    query.add_argument("index", type=Path, help="index file written by 'repro build'")
+    query.add_argument("index", type=Path, help="index written by 'repro build'")
     query.add_argument("queries", type=Path, help="transaction file of query sets")
     query.add_argument("--mode", choices=["first", "best"], default="first")
+    query.add_argument(
+        "--load-mode",
+        choices=["ram", "mmap"],
+        default="ram",
+        help="'ram' loads the whole index into memory; 'mmap' (v3 indexes only) "
+        "opens lazily mapped shards and pages in only what queries touch",
+    )
+    query.add_argument(
+        "--shard-workers",
+        type=_positive_int,
+        default=None,
+        help="per-probe shard fan-out on an mmap-loaded index (threads)",
+    )
     query.add_argument(
         "--candidates-only",
         action="store_true",
@@ -430,6 +517,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=None,
         help="fan chunks out over a thread pool of this size",
+    )
+    query_batch.add_argument(
+        "--load-mode",
+        choices=["ram", "mmap"],
+        default="ram",
+        help="'ram' loads the whole index into memory; 'mmap' (v3 indexes only) "
+        "opens lazily mapped shards and pages in only what queries touch",
+    )
+    query_batch.add_argument(
+        "--shard-workers",
+        type=_positive_int,
+        default=None,
+        help="per-probe shard fan-out on an mmap-loaded index (threads)",
     )
     query_batch.add_argument(
         "--candidates-only",

@@ -24,8 +24,15 @@ from repro.core.correlated_index import CorrelatedIndex
 from repro.core.engine import FilterEngine
 from repro.core.inverted_index import InvertedFilterIndex
 from repro.core.join import JoinResult, similarity_join, similarity_self_join
+from repro.core.mmap_store import LazyVectorStore, ShardedInvertedFilterIndex
 from repro.core.paths import PathGenerator, default_max_depth
-from repro.core.serialization import convert_index_file, load_index, save_index
+from repro.core.serialization import (
+    convert_index_file,
+    describe_index_file,
+    index_disk_bytes,
+    load_index,
+    save_index,
+)
 from repro.core.skewed_index import SkewAdaptiveIndex
 from repro.core.stats import BatchQueryStats, BuildStats, QueryStats
 from repro.core.thresholds import (
@@ -45,6 +52,8 @@ __all__ = [
     "SkewAdaptiveIndexConfig",
     "FilterEngine",
     "InvertedFilterIndex",
+    "LazyVectorStore",
+    "ShardedInvertedFilterIndex",
     "JoinResult",
     "similarity_join",
     "similarity_self_join",
@@ -54,6 +63,8 @@ __all__ = [
     "save_index",
     "load_index",
     "convert_index_file",
+    "describe_index_file",
+    "index_disk_bytes",
     "BuildStats",
     "QueryStats",
     "AdversarialThreshold",

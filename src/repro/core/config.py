@@ -33,17 +33,26 @@ class BatchQueryConfig:
         runs chunks serially.
     deduplicate_queries:
         Answer exact duplicate queries in a batch once and copy the result.
+    shard_workers:
+        Per-probe shard fan-out for sharded (mmap-loaded) postings stores:
+        each chunk-repetition probe resolves its touched key-range shards
+        concurrently on a thread pool of this size.  ``None`` (default)
+        resolves shards serially; the knob has no effect on unsharded
+        (RAM-mode) stores.
     """
 
     batch_size: int = DEFAULT_BATCH_SIZE
     max_workers: int | None = None
     deduplicate_queries: bool = True
+    shard_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {self.batch_size}")
         if self.max_workers is not None and self.max_workers <= 0:
             raise ValueError(f"max_workers must be positive, got {self.max_workers}")
+        if self.shard_workers is not None and self.shard_workers <= 0:
+            raise ValueError(f"shard_workers must be positive, got {self.shard_workers}")
 
     def as_kwargs(self) -> dict[str, object]:
         """Keyword arguments accepted by the ``query_batch`` methods."""
@@ -51,29 +60,59 @@ class BatchQueryConfig:
             "batch_size": self.batch_size,
             "max_workers": self.max_workers,
             "deduplicate": self.deduplicate_queries,
+            "shard_workers": self.shard_workers,
         }
 
 
 @dataclass(frozen=True)
 class PersistenceConfig:
-    """Knobs of the binary index persistence layer (format v2).
+    """Knobs of the index persistence layer (formats v2 and v3).
 
     Attributes
     ----------
+    format_version:
+        On-disk format ``save_index`` writes: 3 (default) is the sharded,
+        mmap-native directory layout; 2 is the legacy single-file compressed
+        ``.npz`` container, kept as the downgrade target for deployments
+        that have not migrated.  Loading auto-detects the format regardless.
+    shards:
+        Number of folded-key-range shards a v3 save splits each postings
+        store into.  More shards mean more parallel save/load/probe lanes
+        and finer-grained lazy paging; 8 is a good default for typical
+        multi-core hosts.  Ignored by v2.
+    io_workers:
+        Thread-pool width for writing (``save_index``) and reading
+        (``load_index(mode="ram")``) v3 shard files concurrently.  ``None``
+        (default) picks ``min(shards, cpu_count)``.  Ignored by v2.
     compress:
-        Write the array container deflate-compressed (default).  Disabling
-        trades larger files for slightly faster saves; loading handles both
-        transparently.
+        Write the v2 array container deflate-compressed (default).  v3 is
+        deliberately uncompressed — raw little-endian arrays at page-aligned
+        offsets are what ``np.memmap`` can serve zero-copy.
     validate_postings:
-        Verify on load that every repetition's postings reference only
+        Verify on (RAM) load that every repetition's postings reference only
         stored vectors and in-universe items (vectorised cross-checks over
         the whole store).  Catches corrupted or hand-edited files before
         they can produce wrong query results; the cost is a few array
-        passes, so leaving it on is recommended.
+        passes, so leaving it on is recommended.  mmap-mode loads validate
+        manifest consistency and file sizes instead — paging every shard in
+        just to cross-check it would defeat lazy loading.
     """
 
+    format_version: int = 3
+    shards: int = 8
+    io_workers: int | None = None
     compress: bool = True
     validate_postings: bool = True
+
+    def __post_init__(self) -> None:
+        if self.format_version not in (2, 3):
+            raise ValueError(
+                f"format_version must be 2 or 3, got {self.format_version}"
+            )
+        if self.shards <= 0:
+            raise ValueError(f"shards must be positive, got {self.shards}")
+        if self.io_workers is not None and self.io_workers <= 0:
+            raise ValueError(f"io_workers must be positive, got {self.io_workers}")
 
 
 @dataclass(frozen=True)
@@ -101,12 +140,6 @@ class SkewAdaptiveIndexConfig:
         suffer but correctness of returned results is unaffected.
     seed:
         Seed for the hash functions.
-    use_csr_merge:
-        Execute queries through the CSR-native probe/merge pipeline (the
-        default).  ``False`` selects the set-based reference execution, kept
-        for one release as an escape hatch; results are identical either
-        way, so this is an execution knob — it is not persisted with the
-        index.
     """
 
     b1: float = 0.5
@@ -114,7 +147,6 @@ class SkewAdaptiveIndexConfig:
     max_depth: int | None = None
     max_paths_per_vector: int | None = 50_000
     seed: int = 0
-    use_csr_merge: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 < self.b1 <= 1.0:
@@ -147,7 +179,7 @@ class CorrelatedIndexConfig:
         The ``δ`` in the sampling threshold ``(1 + δ)/(p̂_i C log n − j)``.
         ``None`` means "use the paper's ``3 / sqrt(α C)``"; the paper notes a
         smaller constant is likely sufficient in practice.
-    repetitions, max_depth, max_paths_per_vector, seed, use_csr_merge:
+    repetitions, max_depth, max_paths_per_vector, seed:
         As in :class:`SkewAdaptiveIndexConfig`.
     """
 
@@ -158,7 +190,6 @@ class CorrelatedIndexConfig:
     max_depth: int | None = None
     max_paths_per_vector: int | None = 50_000
     seed: int = 0
-    use_csr_merge: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 < self.alpha <= 1.0:

@@ -131,7 +131,6 @@ class CorrelatedIndex:
             stop_product_enabled=True,
             max_paths_per_vector=self._config.max_paths_per_vector,
             seed=self._config.seed,
-            use_csr_merge=self._config.use_csr_merge,
         )
 
     def query(self, query: SetLike, mode: str = "first") -> tuple[int | None, QueryStats]:
@@ -152,6 +151,7 @@ class CorrelatedIndex:
         batch_size: int | None = None,
         max_workers: int | None = None,
         deduplicate: bool = True,
+        shard_workers: int | None = None,
     ) -> tuple[list[int | None], BatchQueryStats]:
         """Answer many queries through the vectorised batch subsystem.
 
@@ -166,6 +166,7 @@ class CorrelatedIndex:
             batch_size=batch_size,
             max_workers=max_workers,
             deduplicate=deduplicate,
+            shard_workers=shard_workers,
         )
 
     def query_candidates(self, query: SetLike) -> tuple[set[int], QueryStats]:
@@ -180,6 +181,7 @@ class CorrelatedIndex:
         batch_size: int | None = None,
         max_workers: int | None = None,
         deduplicate: bool = True,
+        shard_workers: int | None = None,
     ) -> tuple[list[set[int]], BatchQueryStats]:
         """Batched candidate enumeration (the similarity join's primitive)."""
         self._require_built()
@@ -189,6 +191,7 @@ class CorrelatedIndex:
             batch_size=batch_size,
             max_workers=max_workers,
             deduplicate=deduplicate,
+            shard_workers=shard_workers,
         )
 
     def query_candidates_arrays_batch(
@@ -197,6 +200,7 @@ class CorrelatedIndex:
         batch_size: int | None = None,
         max_workers: int | None = None,
         deduplicate: bool = True,
+        shard_workers: int | None = None,
     ) -> tuple[list[np.ndarray], BatchQueryStats]:
         """Batched candidate enumeration as sorted id arrays (read-only)."""
         self._require_built()
@@ -206,20 +210,21 @@ class CorrelatedIndex:
             batch_size=batch_size,
             max_workers=max_workers,
             deduplicate=deduplicate,
+            shard_workers=shard_workers,
         )
 
     @property
-    def use_csr_merge(self) -> bool:
-        """Whether queries run through the CSR-native probe/merge pipeline."""
-        if self._engine is not None:
-            return self._engine.use_csr_merge
-        return self._config.use_csr_merge
-
-    @use_csr_merge.setter
-    def use_csr_merge(self, enabled: bool) -> None:
+    def shard_workers(self) -> int | None:
+        """Default per-probe shard fan-out (mmap-loaded indexes only)."""
         self._require_built()
         assert self._engine is not None
-        self._engine.use_csr_merge = enabled
+        return self._engine.shard_workers
+
+    @shard_workers.setter
+    def shard_workers(self, workers: int | None) -> None:
+        self._require_built()
+        assert self._engine is not None
+        self._engine.shard_workers = workers
 
     def get_vector(self, vector_id: int) -> frozenset[int]:
         """The stored vector with the given id."""

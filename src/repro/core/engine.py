@@ -19,10 +19,19 @@ folded path keys through :meth:`~repro.core.inverted_index.
 InvertedFilterIndex.probe_batch` (one ``searchsorted`` over the sorted key
 table per repetition), the gathered posting segments are merged with
 sort/unique array passes, tombstones are filtered as a vectorised mask, and
-verification consumes the merged id arrays directly.  The pre-refactor
-set-based execution is retained behind ``use_csr_merge=False`` as a
-reference implementation (results are identical; per-query work counters can
-differ because the array path always accounts a full repetition at a time).
+verification consumes the merged id arrays directly.  (The pre-refactor
+set-based execution that survived one release behind ``use_csr_merge=False``
+has been removed; the equivalence property suite now pins RAM-mode against
+mmap-mode execution instead.)
+
+The engine is storage-agnostic: the per-repetition postings stores may be
+in-memory :class:`~repro.core.inverted_index.InvertedFilterIndex` instances
+(built or RAM-loaded) or memory-mapped
+:class:`~repro.core.mmap_store.ShardedInvertedFilterIndex` views of a
+format v3 file set — both serve the same ``probe_batch`` contract, so every
+query surface answers bit-identically in either mode.  For sharded stores,
+``shard_workers`` (an engine-level default, overridable per batched call)
+fans each probe's shard gathers out over a thread pool.
 """
 
 from __future__ import annotations
@@ -35,8 +44,14 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None  # type: ignore[assignment]
+
 from repro.core.config import DEFAULT_BATCH_SIZE
 from repro.core.inverted_index import InvertedFilterIndex, _segment_gather
+from repro.core.mmap_store import LazyVectorStore
 from repro.core.paths import PathGenerationResult, PathGenerator, default_max_depth
 from repro.core.stats import BatchQueryStats, BuildStats, QueryStats
 from repro.core.thresholds import ThresholdPolicy
@@ -107,11 +122,6 @@ class FilterEngine:
         Braun-Blanquet, the paper's measure).
     seed:
         Master seed for all hash functions.
-    use_csr_merge:
-        Execute queries through the CSR-native probe/merge pipeline (the
-        default).  ``False`` selects the set-based reference implementation,
-        kept for one release as an escape hatch and for equivalence testing;
-        results are identical either way.
     """
 
     def __init__(
@@ -127,7 +137,6 @@ class FilterEngine:
         max_paths_per_vector: int | None = 50_000,
         similarity: SimilarityFunction | None = None,
         seed: int = 0,
-        use_csr_merge: bool = True,
     ):
         self._probabilities = np.asarray(probabilities, dtype=np.float64)
         if self._probabilities.ndim != 1 or self._probabilities.size == 0:
@@ -160,7 +169,9 @@ class FilterEngine:
         self._max_paths_per_vector = max_paths_per_vector
         self._similarity = similarity if similarity is not None else braun_blanquet
         self._seed = int(seed)
-        self._use_csr_merge = bool(use_csr_merge)
+        # Default per-probe shard fan-out for sharded (mmap) stores; batched
+        # surfaces can override per call.
+        self._shard_workers: int | None = None
 
         self._generators: list[PathGenerator] = [
             PathGenerator(
@@ -242,16 +253,20 @@ class FilterEngine:
         return frozenset(self._removed)
 
     @property
-    def use_csr_merge(self) -> bool:
-        """Whether queries run through the CSR-native probe/merge pipeline."""
-        return self._use_csr_merge
+    def shard_workers(self) -> int | None:
+        """Default per-probe shard fan-out for sharded (mmap-loaded) stores.
 
-    @use_csr_merge.setter
-    def use_csr_merge(self, enabled: bool) -> None:
-        # Purely an execution-strategy knob: flipping it never changes
-        # results, so it is safe to toggle on a built engine (benchmarks
-        # compare both paths on one index this way).
-        self._use_csr_merge = bool(enabled)
+        ``None`` resolves shards serially.  Purely an execution-strategy
+        knob — results are identical either way — so it is safe to change
+        on a live engine; it has no effect on unsharded stores.
+        """
+        return self._shard_workers
+
+    @shard_workers.setter
+    def shard_workers(self, workers: int | None) -> None:
+        if workers is not None and workers <= 0:
+            raise ValueError(f"shard_workers must be positive, got {workers}")
+        self._shard_workers = workers
 
     # ------------------------------------------------------------------ #
     # State restoration (persistence)
@@ -277,12 +292,17 @@ class FilterEngine:
                 f"state has {len(filter_indexes)} repetitions, "
                 f"engine expects {self._repetitions}"
             )
-        vectors = [
-            members
-            if type(members) is frozenset
-            else frozenset(int(item) for item in members)
-            for members in vectors
-        ]
+        if isinstance(vectors, LazyVectorStore):
+            # mmap mode: adopt the mapped view as-is — materialising it here
+            # would page the whole vector store in and defeat lazy loading.
+            pass
+        else:
+            vectors = [
+                members
+                if type(members) is frozenset
+                else frozenset(int(item) for item in members)
+                for members in vectors
+            ]
         removed_set = {int(vector_id) for vector_id in removed}
         out_of_range = [v for v in removed_set if not 0 <= v < len(vectors)]
         if out_of_range:
@@ -293,6 +313,13 @@ class FilterEngine:
         self._indexes = list(filter_indexes)
         self._invalidate_candidate_store()
         self._removed_mask = None
+        if isinstance(vectors, LazyVectorStore):
+            # Vectorised verification reads the mapped CSR arrays directly;
+            # only the small per-vector offset/size arrays are materialised.
+            flat_items, starts, sizes = vectors.csr_view()
+            self._store_flat_items = flat_items
+            self._store_offsets = starts
+            self._store_sizes = sizes
 
     # ------------------------------------------------------------------ #
     # Build
@@ -440,11 +467,9 @@ class FilterEngine:
             raise ValueError(f"mode must be 'first' or 'best', got {mode!r}")
         query_set = frozenset(int(item) for item in query)
         stats = QueryStats()
-        if not query_set or not self._vectors:
+        if not query_set or not len(self._vectors):
             return None, stats
-        if self._use_csr_merge:
-            return self._query_csr(query_set, mode, stats)
-        return self._query_loop(query_set, mode, stats)
+        return self._query_csr(query_set, mode, stats)
 
     def _query_csr(
         self, query_set: frozenset[int], mode: str, stats: QueryStats
@@ -453,11 +478,12 @@ class FilterEngine:
         dedupe the gathered postings in first-appearance order, and verify
         the merged candidate array in one vectorised pass per repetition.
 
-        Results *and* work counters match the set-based reference exactly:
-        in ``"first"`` mode the counters are rolled back to the point where
-        the per-candidate loop would have stopped (the hit's first position
-        in the collision stream), because ``candidates_examined`` is the
-        paper's work measure and must not depend on the execution strategy.
+        Work counters are execution-strategy independent: in ``"first"``
+        mode they are rolled back to the point where a per-candidate loop
+        would have stopped (the hit's first position in the collision
+        stream), because ``candidates_examined`` is the paper's work measure
+        — RAM-mode and mmap-mode execution therefore report identical work
+        (only ``shards_probed`` reflects the storage layout).
         """
         members = sorted(query_set)
         bound = self._threshold_policy.bind(members)
@@ -474,8 +500,10 @@ class FilterEngine:
             generation = self._generators[repetition].generate_batch([members], [bound])[0]
             stats.filters_generated += len(generation.paths)
             stats.repetitions_used += 1
-            ids, _offsets = self._indexes[repetition].probe_batch(
-                generation.paths, generation.keys
+            inverted = self._indexes[repetition]
+            stats.shards_probed += inverted.count_probe_shards(generation.keys)
+            ids, _offsets = inverted.probe_batch(
+                generation.paths, generation.keys, shard_workers=self._shard_workers
             )
             if not ids.size:
                 continue
@@ -520,45 +548,6 @@ class FilterEngine:
         stats.found = best_id is not None
         return best_id, stats
 
-    def _query_loop(
-        self, query_set: frozenset[int], mode: str, stats: QueryStats
-    ) -> tuple[int | None, QueryStats]:
-        """Set-based reference implementation of :meth:`query`."""
-        best_id: int | None = None
-        best_similarity = -1.0
-        evaluated: set[int] = set()
-
-        for repetition in range(self._repetitions):
-            members = sorted(query_set)
-            bound = self._threshold_policy.bind(members)
-            generation = self._generators[repetition].generate(members, bound)
-            stats.filters_generated += len(generation.paths)
-            stats.repetitions_used += 1
-
-            for candidate_id in self._indexes[repetition].candidates(
-                generation.paths, generation.keys
-            ):
-                stats.candidates_examined += 1
-                if candidate_id in evaluated or candidate_id in self._removed:
-                    continue
-                evaluated.add(candidate_id)
-                stats.unique_candidates += 1
-                similarity = self._similarity(self._vectors[candidate_id], query_set)
-                stats.similarity_evaluations += 1
-                if similarity >= self._acceptance_threshold:
-                    if mode == "first":
-                        stats.found = True
-                        return candidate_id, stats
-                    if similarity > best_similarity:
-                        best_similarity = similarity
-                        best_id = candidate_id
-
-            if mode == "first" and best_id is not None:
-                break
-
-        stats.found = best_id is not None
-        return best_id, stats
-
     def query_candidates(self, query: SetLike) -> tuple[set[int], QueryStats]:
         """All distinct candidate ids colliding with the query, plus stats.
 
@@ -567,13 +556,10 @@ class FilterEngine:
         """
         query_set = frozenset(int(item) for item in query)
         stats = QueryStats()
-        if not query_set or not self._vectors:
+        if not query_set or not len(self._vectors):
             return set(), stats
-        if self._use_csr_merge:
-            merged = self._query_candidates_csr(query_set, stats)
-            candidates = set(merged.tolist())
-        else:
-            candidates = self._query_candidates_loop(query_set, stats)
+        merged = self._query_candidates_csr(query_set, stats)
+        candidates = set(merged.tolist())
         stats.unique_candidates = len(candidates)
         return candidates, stats
 
@@ -590,8 +576,10 @@ class FilterEngine:
             generation = self._generators[repetition].generate_batch([members], [bound])[0]
             stats.filters_generated += len(generation.paths)
             stats.repetitions_used += 1
-            ids, _offsets = self._indexes[repetition].probe_batch(
-                generation.paths, generation.keys
+            inverted = self._indexes[repetition]
+            stats.shards_probed += inverted.count_probe_shards(generation.keys)
+            ids, _offsets = inverted.probe_batch(
+                generation.paths, generation.keys, shard_workers=self._shard_workers
             )
             stats.candidates_examined += int(ids.size)
             if ids.size:
@@ -604,26 +592,6 @@ class FilterEngine:
             merged = merged[~removed[merged]]
         return merged
 
-    def _query_candidates_loop(
-        self, query_set: frozenset[int], stats: QueryStats
-    ) -> set[int]:
-        """Set-based reference implementation of :meth:`query_candidates`."""
-        candidates: set[int] = set()
-        members = sorted(query_set)
-        for repetition in range(self._repetitions):
-            bound = self._threshold_policy.bind(members)
-            generation = self._generators[repetition].generate(members, bound)
-            stats.filters_generated += len(generation.paths)
-            stats.repetitions_used += 1
-            for candidate_id in self._indexes[repetition].candidates(
-                generation.paths, generation.keys
-            ):
-                stats.candidates_examined += 1
-                if candidate_id in self._removed:
-                    continue
-                candidates.add(candidate_id)
-        return candidates
-
     # ------------------------------------------------------------------ #
     # Batched queries
     # ------------------------------------------------------------------ #
@@ -635,6 +603,7 @@ class FilterEngine:
         batch_size: int | None = None,
         max_workers: int | None = None,
         deduplicate: bool = True,
+        shard_workers: int | None = None,
     ) -> tuple[list[int | None], BatchQueryStats]:
         """Answer many queries at once, amortising work across the batch.
 
@@ -661,12 +630,21 @@ class FilterEngine:
             thread pool of this size.
         deduplicate:
             Answer exact duplicate queries once (default True).
+        shard_workers:
+            Per-probe shard fan-out for sharded (mmap-loaded) postings
+            stores: each chunk-repetition probe resolves its touched shards
+            concurrently on a thread pool of this size.  ``None`` uses the
+            engine default (:attr:`shard_workers`); no effect on unsharded
+            stores.
         """
         if mode not in ("first", "best"):
             raise ValueError(f"mode must be 'first' or 'best', got {mode!r}")
+        effective_shard_workers = (
+            shard_workers if shard_workers is not None else self._shard_workers
+        )
         return self._execute_batched(
             queries,
-            lambda chunk: self._query_batch_chunk(chunk, mode),
+            lambda chunk: self._query_batch_chunk(chunk, mode, effective_shard_workers),
             batch_size=batch_size,
             max_workers=max_workers,
             deduplicate=deduplicate,
@@ -678,17 +656,22 @@ class FilterEngine:
         batch_size: int | None = None,
         max_workers: int | None = None,
         deduplicate: bool = True,
+        shard_workers: int | None = None,
     ) -> tuple[list[set[int]], BatchQueryStats]:
         """Batched :meth:`query_candidates`: one candidate set per query.
 
         Results are exactly ``[query_candidates(q)[0] for q in queries]``.
         Consumers that can work on arrays directly (the similarity join)
         should prefer :meth:`query_candidates_arrays_batch`, which skips the
-        final set materialisation.
+        final set materialisation.  ``shard_workers`` is the per-probe shard
+        fan-out on sharded stores (see :meth:`query_batch`).
         """
+        effective_shard_workers = (
+            shard_workers if shard_workers is not None else self._shard_workers
+        )
         return self._execute_batched(
             queries,
-            self._query_candidates_chunk,
+            lambda chunk: self._query_candidates_chunk(chunk, effective_shard_workers),
             batch_size=batch_size,
             max_workers=max_workers,
             deduplicate=deduplicate,
@@ -700,6 +683,7 @@ class FilterEngine:
         batch_size: int | None = None,
         max_workers: int | None = None,
         deduplicate: bool = True,
+        shard_workers: int | None = None,
     ) -> tuple[list[np.ndarray], BatchQueryStats]:
         """Batched candidate enumeration returning sorted id arrays.
 
@@ -707,11 +691,15 @@ class FilterEngine:
         — the CSR merge's native output, handed over without building a
         Python set.  Treat the arrays as read-only (duplicate queries share
         one array).  Results are elementwise equal to
-        ``sorted(query_candidates(q)[0])``.
+        ``sorted(query_candidates(q)[0])``.  ``shard_workers`` is the
+        per-probe shard fan-out on sharded stores (see :meth:`query_batch`).
         """
+        effective_shard_workers = (
+            shard_workers if shard_workers is not None else self._shard_workers
+        )
         return self._execute_batched(
             queries,
-            self._candidate_arrays_chunk,
+            lambda chunk: self._candidate_arrays_chunk(chunk, effective_shard_workers),
             batch_size=batch_size,
             max_workers=max_workers,
             deduplicate=deduplicate,
@@ -727,6 +715,7 @@ class FilterEngine:
     ) -> tuple[list, BatchQueryStats]:
         """Shared orchestration: dedupe, chunk, (optionally) fan out, merge."""
         start = time.perf_counter()
+        usage_before = resource.getrusage(resource.RUSAGE_SELF) if resource else None
         query_sets = [frozenset(int(item) for item in query) for query in queries]
         chunk_size = int(batch_size) if batch_size is not None else DEFAULT_BATCH_SIZE
         if chunk_size <= 0:
@@ -779,6 +768,7 @@ class FilterEngine:
             merged.generation_seconds += chunk_stats.generation_seconds
             merged.verification_seconds += chunk_stats.verification_seconds
             merged.merge_seconds += chunk_stats.merge_seconds
+            merged.shards_probed += chunk_stats.shards_probed
 
         final_results: list = []
         answered: set[int] = set()
@@ -797,6 +787,7 @@ class FilterEngine:
                         unique_candidates=0,
                         similarity_evaluations=0,
                         repetitions_used=0,
+                        shards_probed=0,
                         from_cache=True,
                     )
                 )
@@ -805,6 +796,10 @@ class FilterEngine:
                 merged.per_query.append(replace(unique_stats[position]))
         merged.queries_deduplicated = len(query_sets) - len(unique_sets)
         merged.elapsed_seconds = time.perf_counter() - start
+        if usage_before is not None:
+            usage_after = resource.getrusage(resource.RUSAGE_SELF)
+            merged.minor_page_faults = usage_after.ru_minflt - usage_before.ru_minflt
+            merged.major_page_faults = usage_after.ru_majflt - usage_before.ru_majflt
         return final_results, merged
 
     # ------------------------------------------------------------------ #
@@ -815,7 +810,8 @@ class FilterEngine:
         self,
         inverted: InvertedFilterIndex,
         generations: Sequence[PathGenerationResult],
-    ) -> tuple[np.ndarray, np.ndarray, int, int] | None:
+        shard_workers: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, int, int, int] | None:
         """Resolve one repetition's probes for a whole chunk in one gather.
 
         The generations' filters are concatenated and deduplicated *by path*
@@ -823,13 +819,15 @@ class FilterEngine:
         key alone would let a 64-bit collision hand one path's postings to
         another — the chunk dedupe must stay as collision-free as
         :meth:`InvertedFilterIndex.probe_batch` itself), resolved in one
-        array probe, and the posting segments are re-expanded to per-query
-        collision streams.
+        array probe (fanned out per shard when the store is sharded and
+        ``shard_workers`` is set), and the posting segments are re-expanded
+        to per-query collision streams.
 
-        Returns ``(occurrence_ids, query_offsets, distinct, duplicate)``
-        where query ``k`` of the chunk owns the collision stream
+        Returns ``(occurrence_ids, query_offsets, distinct, duplicate,
+        shards)`` where query ``k`` of the chunk owns the collision stream
         ``occurrence_ids[query_offsets[k]:query_offsets[k + 1]]`` in path
-        order, or ``None`` when no query generated any filter.
+        order and ``shards`` counts the distinct probe-table shards touched,
+        or ``None`` when no query generated any filter.
         """
         position_by_path: dict[tuple[int, ...], int] = {}
         unique_paths: list[tuple[int, ...]] = []
@@ -847,8 +845,10 @@ class FilterEngine:
         if not inverse_list:
             return None
         inverse = np.asarray(inverse_list, dtype=np.int64)
+        keys_arr = np.asarray(unique_keys, dtype=np.uint64)
+        shards = inverted.count_probe_shards(keys_arr)
         ids, offsets = inverted.probe_batch(
-            unique_paths, np.asarray(unique_keys, dtype=np.uint64)
+            unique_paths, keys_arr, shard_workers=shard_workers
         )
         per_path = np.diff(offsets)[inverse]
         occurrence_ids = _segment_gather(ids, offsets[:-1][inverse], per_path)
@@ -859,19 +859,20 @@ class FilterEngine:
         np.cumsum(per_path, out=occurrence_bounds[1:])
         query_offsets = occurrence_bounds[path_bounds]
         distinct = len(unique_paths)
-        return occurrence_ids, query_offsets, distinct, int(inverse.size) - distinct
+        return occurrence_ids, query_offsets, distinct, int(inverse.size) - distinct, shards
 
     def _query_batch_chunk(
-        self, chunk: Sequence[frozenset[int]], mode: str
+        self,
+        chunk: Sequence[frozenset[int]],
+        mode: str,
+        shard_workers: int | None = None,
     ) -> tuple[list[int | None], BatchQueryStats]:
         """Answer one chunk of (already normalised, deduplicated) queries."""
-        if not self._use_csr_merge:
-            return self._query_batch_chunk_loop(chunk, mode)
         chunk_stats = BatchQueryStats(
             num_queries=len(chunk), per_query=[QueryStats() for _ in chunk]
         )
         results: list[int | None] = [None] * len(chunk)
-        if not self._vectors:
+        if not len(self._vectors):
             return results, chunk_stats
         active = [index for index, query_set in enumerate(chunk) if query_set]
         if not active:
@@ -894,18 +895,21 @@ class FilterEngine:
                 [bounds[index] for index in active],
             )
             chunk_stats.generation_seconds += time.perf_counter() - generation_start
+            inverted = self._indexes[repetition]
             for index, generation in zip(active, generations):
                 query_stats = chunk_stats.per_query[index]
                 query_stats.filters_generated += len(generation.paths)
                 query_stats.repetitions_used += 1
+                query_stats.shards_probed += inverted.count_probe_shards(generation.keys)
             merge_start = time.perf_counter()
-            probe = self._probe_chunk_repetition(self._indexes[repetition], generations)
+            probe = self._probe_chunk_repetition(inverted, generations, shard_workers)
             chunk_stats.merge_seconds += time.perf_counter() - merge_start
             if probe is None:
                 continue
-            occurrence_ids, query_offsets, distinct, duplicate = probe
+            occurrence_ids, query_offsets, distinct, duplicate, shards = probe
             chunk_stats.distinct_filter_probes += distinct
             chunk_stats.duplicate_filter_probes += duplicate
+            chunk_stats.shards_probed += shards
 
             surviving: list[int] = []
             for position, index in enumerate(active):
@@ -960,7 +964,7 @@ class FilterEngine:
         return results, chunk_stats
 
     def _candidate_arrays_chunk(
-        self, chunk: Sequence[frozenset[int]]
+        self, chunk: Sequence[frozenset[int]], shard_workers: int | None = None
     ) -> tuple[list[np.ndarray], BatchQueryStats]:
         """Batched candidate enumeration for one chunk, as sorted id arrays.
 
@@ -969,16 +973,11 @@ class FilterEngine:
         ``(query, id)``, duplicates collapse on the boundary mask, and the
         tombstone filter is one boolean gather.
         """
-        if not self._use_csr_merge:
-            results, chunk_stats = self._query_candidates_chunk_loop(chunk)
-            return [
-                np.asarray(sorted(candidates), dtype=np.int64) for candidates in results
-            ], chunk_stats
         chunk_stats = BatchQueryStats(
             num_queries=len(chunk), per_query=[QueryStats() for _ in chunk]
         )
         results: list[np.ndarray] = [_EMPTY_IDS] * len(chunk)
-        if not self._vectors:
+        if not len(self._vectors):
             return results, chunk_stats
         active = [index for index, query_set in enumerate(chunk) if query_set]
         if not active:
@@ -992,16 +991,19 @@ class FilterEngine:
             generation_start = time.perf_counter()
             generations = self._generators[repetition].generate_batch(members, bounds)
             chunk_stats.generation_seconds += time.perf_counter() - generation_start
+            inverted = self._indexes[repetition]
             for index, generation in zip(active, generations):
                 query_stats = chunk_stats.per_query[index]
                 query_stats.filters_generated += len(generation.paths)
                 query_stats.repetitions_used += 1
+                query_stats.shards_probed += inverted.count_probe_shards(generation.keys)
             merge_start = time.perf_counter()
-            probe = self._probe_chunk_repetition(self._indexes[repetition], generations)
+            probe = self._probe_chunk_repetition(inverted, generations, shard_workers)
             if probe is not None:
-                occurrence_ids, query_offsets, distinct, duplicate = probe
+                occurrence_ids, query_offsets, distinct, duplicate, shards = probe
                 chunk_stats.distinct_filter_probes += distinct
                 chunk_stats.duplicate_filter_probes += duplicate
+                chunk_stats.shards_probed += shards
                 counts = np.diff(query_offsets)
                 for position, index in enumerate(active):
                     chunk_stats.per_query[index].candidates_examined += int(
@@ -1044,154 +1046,11 @@ class FilterEngine:
         return results, chunk_stats
 
     def _query_candidates_chunk(
-        self, chunk: Sequence[frozenset[int]]
+        self, chunk: Sequence[frozenset[int]], shard_workers: int | None = None
     ) -> tuple[list[set[int]], BatchQueryStats]:
         """Batched candidate enumeration for one chunk of queries (as sets)."""
-        if not self._use_csr_merge:
-            return self._query_candidates_chunk_loop(chunk)
-        arrays, chunk_stats = self._candidate_arrays_chunk(chunk)
+        arrays, chunk_stats = self._candidate_arrays_chunk(chunk, shard_workers)
         return [set(candidates.tolist()) for candidates in arrays], chunk_stats
-
-    # ------------------------------------------------------------------ #
-    # Batched chunk execution (set-based reference)
-    # ------------------------------------------------------------------ #
-
-    def _query_batch_chunk_loop(
-        self, chunk: Sequence[frozenset[int]], mode: str
-    ) -> tuple[list[int | None], BatchQueryStats]:
-        """Set-based reference implementation of :meth:`_query_batch_chunk`."""
-        chunk_stats = BatchQueryStats(
-            num_queries=len(chunk), per_query=[QueryStats() for _ in chunk]
-        )
-        results: list[int | None] = [None] * len(chunk)
-        if not self._vectors:
-            return results, chunk_stats
-        active = [index for index, query_set in enumerate(chunk) if query_set]
-        if not active:
-            return results, chunk_stats
-        members = {index: sorted(chunk[index]) for index in active}
-        bounds = {
-            index: self._threshold_policy.bind(members[index]) for index in active
-        }
-        evaluated: dict[int, set[int]] = {index: set() for index in active}
-        best: dict[int, tuple[int | None, float]] = {index: (None, -1.0) for index in active}
-        probe_cache: dict[tuple[int, tuple[int, ...]], list[int]] = {}
-        membership = np.zeros(self._probabilities.size, dtype=bool)
-
-        for repetition in range(self._repetitions):
-            if not active:
-                break
-            generation_start = time.perf_counter()
-            generations = self._generators[repetition].generate_batch(
-                [members[index] for index in active],
-                [bounds[index] for index in active],
-            )
-            chunk_stats.generation_seconds += time.perf_counter() - generation_start
-            inverted = self._indexes[repetition]
-            surviving: list[int] = []
-            for index, generation in zip(active, generations):
-                query_stats = chunk_stats.per_query[index]
-                query_stats.filters_generated += len(generation.paths)
-                query_stats.repetitions_used += 1
-                seen = evaluated[index]
-                ordered_new: list[int] = []
-                for path, path_key in zip(generation.paths, generation.keys):
-                    postings = probe_cache.get((repetition, path))
-                    if postings is None:
-                        postings = inverted.lookup_keyed(path, path_key)
-                        probe_cache[(repetition, path)] = postings
-                        chunk_stats.distinct_filter_probes += 1
-                    else:
-                        chunk_stats.duplicate_filter_probes += 1
-                    query_stats.candidates_examined += len(postings)
-                    for candidate_id in postings:
-                        if candidate_id in seen or candidate_id in self._removed:
-                            continue
-                        seen.add(candidate_id)
-                        ordered_new.append(candidate_id)
-                resolved = False
-                if ordered_new:
-                    query_stats.unique_candidates += len(ordered_new)
-                    verification_start = time.perf_counter()
-                    similarities = self._batch_similarities(
-                        chunk[index], ordered_new, membership
-                    )
-                    query_stats.similarity_evaluations += len(ordered_new)
-                    chunk_stats.verification_seconds += (
-                        time.perf_counter() - verification_start
-                    )
-                    if mode == "first":
-                        hits = np.flatnonzero(similarities >= self._acceptance_threshold)
-                        if hits.size:
-                            results[index] = ordered_new[int(hits[0])]
-                            query_stats.found = True
-                            resolved = True
-                    else:
-                        top_position = int(np.argmax(similarities))
-                        top_similarity = float(similarities[top_position])
-                        if (
-                            top_similarity >= self._acceptance_threshold
-                            and top_similarity > best[index][1]
-                        ):
-                            best[index] = (ordered_new[top_position], top_similarity)
-                if not resolved:
-                    surviving.append(index)
-            active = surviving
-
-        if mode == "best":
-            for index, (best_id, _best_similarity) in best.items():
-                if best_id is not None:
-                    results[index] = best_id
-                    chunk_stats.per_query[index].found = True
-        return results, chunk_stats
-
-    def _query_candidates_chunk_loop(
-        self, chunk: Sequence[frozenset[int]]
-    ) -> tuple[list[set[int]], BatchQueryStats]:
-        """Set-based reference implementation of candidate enumeration."""
-        chunk_stats = BatchQueryStats(
-            num_queries=len(chunk), per_query=[QueryStats() for _ in chunk]
-        )
-        results: list[set[int]] = [set() for _ in chunk]
-        if not self._vectors:
-            return results, chunk_stats
-        active = [index for index, query_set in enumerate(chunk) if query_set]
-        if not active:
-            return results, chunk_stats
-        members = {index: sorted(chunk[index]) for index in active}
-        bounds = {
-            index: self._threshold_policy.bind(members[index]) for index in active
-        }
-        probe_cache: dict[tuple[int, tuple[int, ...]], list[int]] = {}
-
-        for repetition in range(self._repetitions):
-            generation_start = time.perf_counter()
-            generations = self._generators[repetition].generate_batch(
-                [members[index] for index in active],
-                [bounds[index] for index in active],
-            )
-            chunk_stats.generation_seconds += time.perf_counter() - generation_start
-            inverted = self._indexes[repetition]
-            for index, generation in zip(active, generations):
-                query_stats = chunk_stats.per_query[index]
-                query_stats.filters_generated += len(generation.paths)
-                query_stats.repetitions_used += 1
-                candidates = results[index]
-                for path, path_key in zip(generation.paths, generation.keys):
-                    postings = probe_cache.get((repetition, path))
-                    if postings is None:
-                        postings = inverted.lookup_keyed(path, path_key)
-                        probe_cache[(repetition, path)] = postings
-                        chunk_stats.distinct_filter_probes += 1
-                    else:
-                        chunk_stats.duplicate_filter_probes += 1
-                    query_stats.candidates_examined += len(postings)
-                    for candidate_id in postings:
-                        if candidate_id not in self._removed:
-                            candidates.add(candidate_id)
-        for index in active:
-            chunk_stats.per_query[index].unique_candidates = len(results[index])
-        return results, chunk_stats
 
     # ------------------------------------------------------------------ #
     # Vectorised candidate verification

@@ -72,6 +72,8 @@ def _segment_gather(
 class InvertedFilterIndex:
     """Maps each filter to the sorted list of vector ids that chose it."""
 
+    is_sharded = False
+
     def __init__(self) -> None:
         # Compacted (frozen) slots: CSR arrays over paths and postings,
         # ordered by folded key after a bulk compact.
@@ -357,18 +359,59 @@ class InvertedFilterIndex:
             "posting_offsets": self._posting_offsets,
         }
 
+    def to_sorted_state(self) -> tuple[dict[str, np.ndarray], np.ndarray]:
+        """The state with slots stably re-ordered by folded key, plus keys.
+
+        This is the slot order format v3 requires on disk (shard slices must
+        be key-sorted so the mapped key arrays double as probe tables).
+        After a vectorised bulk compaction the store already satisfies it
+        and the live arrays are returned as-is; stores in another order
+        (loaded from older formats, or rebuilt by the chained-collision
+        fallback) are stably permuted, which preserves the relative order of
+        equal-key slots — probes that walk an equal-key run therefore visit
+        slots in the same order before and after.
+        """
+        self.compact()
+        num_slots = self._path_keys.size
+        if np.array_equal(self._key_order, np.arange(num_slots, dtype=np.int64)):
+            return self.to_state(), self._path_keys
+        order = self._key_order
+        path_lengths = np.diff(self._path_offsets)[order]
+        posting_lengths = np.diff(self._posting_offsets)[order]
+        path_offsets = np.zeros(num_slots + 1, dtype=np.int64)
+        np.cumsum(path_lengths, out=path_offsets[1:])
+        posting_offsets = np.zeros(num_slots + 1, dtype=np.int64)
+        np.cumsum(posting_lengths, out=posting_offsets[1:])
+        state = {
+            "path_items": _segment_gather(
+                self._path_items, self._path_offsets[order], path_lengths
+            ),
+            "path_offsets": path_offsets,
+            "posting_ids": _segment_gather(
+                self._posting_ids, self._posting_offsets[order], posting_lengths
+            ),
+            "posting_offsets": posting_offsets,
+        }
+        return state, self._sorted_keys
+
     @classmethod
-    def from_state(cls, state: Mapping[str, np.ndarray]) -> "InvertedFilterIndex":
+    def from_state(
+        cls, state: Mapping[str, np.ndarray], keys: np.ndarray | None = None
+    ) -> "InvertedFilterIndex":
         """Rebuild an index from :meth:`to_state` arrays, validating them.
 
-        The folded path keys are re-derived from the stored paths with the
-        vectorised :func:`~repro.hashing.pairwise.fold_paths_csr` (one array
-        pass per recursion level) and the sorted probe tables are rebuilt
-        with a single argsort — files written before the CSR-native probe
-        path (whose slots are in first-registration order rather than key
-        order) load through exactly the same code.  Raises
+        Without ``keys``, the folded path keys are re-derived from the
+        stored paths with the vectorised
+        :func:`~repro.hashing.pairwise.fold_paths_csr` (one array pass per
+        recursion level) and the sorted probe tables are rebuilt with a
+        single argsort — files written before the CSR-native probe path
+        (whose slots are in first-registration order rather than key order)
+        load through exactly the same code.  With ``keys`` (format v3 stores
+        them, already slot-aligned and ascending), the re-fold and the
+        argsort are both skipped: the key array is adopted as the probe
+        table directly, which is what makes the v3 RAM load fast.  Raises
         :class:`ValueError` on missing arrays, malformed offsets, mismatched
-        array lengths or negative vector ids.
+        array lengths, negative vector ids, or unsorted adopted keys.
         """
         missing = [name for name in STATE_ARRAY_NAMES if name not in state]
         if missing:
@@ -397,10 +440,25 @@ class InvertedFilterIndex:
         index = cls()
         index._path_items = path_items
         index._path_offsets = path_offsets
-        index._path_keys = fold_paths_csr(path_items, path_offsets)
         index._posting_ids = posting_ids
         index._posting_offsets = posting_offsets
-        index._build_probe_tables()
+        if keys is None:
+            index._path_keys = fold_paths_csr(path_items, path_offsets)
+            index._build_probe_tables()
+        else:
+            keys = np.ascontiguousarray(keys, dtype=np.uint64)
+            if keys.size != num_slots:
+                raise ValueError(
+                    f"postings state stores {num_slots} filters but {keys.size} keys"
+                )
+            if keys.size > 1 and np.any(keys[1:] < keys[:-1]):
+                raise ValueError("adopted path keys must be in ascending order")
+            index._path_keys = keys
+            index._sorted_keys = keys
+            index._key_order = np.arange(num_slots, dtype=np.int64)
+            index._has_duplicate_keys = bool(
+                keys.size and np.any(keys[1:] == keys[:-1])
+            )
         index._total_entries = int(posting_ids.size)
         return index
 
@@ -443,8 +501,21 @@ class InvertedFilterIndex:
         end = int(self._posting_offsets[slot + 1])
         return self._posting_ids[start:end].tolist()
 
+    def count_probe_shards(self, keys: Sequence[int] | np.ndarray) -> int:
+        """Distinct shards the probe keys touch: 1 (the whole store) or 0.
+
+        Interface parity with
+        :class:`~repro.core.mmap_store.ShardedInvertedFilterIndex`, which
+        routes keys through its manifest fences; the in-memory store is one
+        shard.
+        """
+        return 1 if len(keys) else 0
+
     def probe_batch(
-        self, paths: Sequence[Path], keys: Sequence[int] | np.ndarray
+        self,
+        paths: Sequence[Path],
+        keys: Sequence[int] | np.ndarray,
+        shard_workers: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Resolve many probes at once; CSR slices of their posting lists.
 
@@ -455,6 +526,9 @@ class InvertedFilterIndex:
             a 64-bit key collision cannot surface foreign postings).
         keys:
             The folded key of each path, as returned by the generators.
+        shard_workers:
+            Accepted for interface parity with the sharded (mmap) store and
+            ignored — the in-memory store has a single probe table.
 
         Returns
         -------

@@ -77,6 +77,7 @@ def similarity_join(
     probes: Sequence[SetLike],
     predicate: SimilarityPredicate,
     batch_size: int | None = None,
+    shard_workers: int | None = None,
 ) -> JoinResult:
     """Join a probe collection ``R`` against an already-built index over ``S``.
 
@@ -96,6 +97,12 @@ def similarity_join(
     batch_size:
         Probes per batch (default
         :data:`~repro.core.config.DEFAULT_BATCH_SIZE`).
+    shard_workers:
+        Per-probe shard fan-out forwarded to the index's batched candidate
+        enumeration — on an mmap-loaded (sharded) index each batch probe
+        resolves its touched key-range shards concurrently on a thread pool
+        of this size.  ``None`` (default) resolves shards serially and is
+        also what indexes without sharded storage expect.
     """
     result = JoinResult()
     probe_sets = [frozenset(int(item) for item in probe) for probe in probes]
@@ -121,9 +128,12 @@ def similarity_join(
         chunk_size = batch_size if batch_size is not None else DEFAULT_BATCH_SIZE
         if chunk_size <= 0:
             raise ValueError(f"batch_size must be positive, got {chunk_size}")
+        batch_kwargs: dict = {"batch_size": chunk_size}
+        if shard_workers is not None:
+            batch_kwargs["shard_workers"] = shard_workers
         for start in range(0, len(probe_sets), chunk_size):
             block = probe_sets[start : start + chunk_size]
-            candidate_lists, batch_stats = batch_method(block, batch_size=chunk_size)
+            candidate_lists, batch_stats = batch_method(block, **batch_kwargs)
             result.candidates_examined += sum(
                 stats.candidates_examined for stats in batch_stats.per_query
             )
@@ -148,6 +158,7 @@ def similarity_self_join(
     predicate: SimilarityPredicate,
     include_self_pairs: bool = False,
     batch_size: int | None = None,
+    shard_workers: int | None = None,
 ) -> JoinResult:
     """Self-join: find all similar pairs inside one collection.
 
@@ -165,10 +176,12 @@ def similarity_self_join(
         Similarity predicate for reported pairs.
     include_self_pairs:
         Report the trivial ``(i, i)`` pairs as well (disabled by default).
-    batch_size:
-        Probes per batch, forwarded to :func:`similarity_join`.
+    batch_size / shard_workers:
+        Forwarded to :func:`similarity_join`.
     """
-    raw = similarity_join(index, collection, predicate, batch_size=batch_size)
+    raw = similarity_join(
+        index, collection, predicate, batch_size=batch_size, shard_workers=shard_workers
+    )
     seen: set[tuple[int, int]] = set()
     deduplicated: list[tuple[int, int, float]] = []
     for probe_index, candidate_id, similarity in raw.pairs:

@@ -1,0 +1,621 @@
+"""Memory-mapped, sharded views of a saved postings store (format v3).
+
+Format v3 splits every repetition's postings store into ``S`` shards by
+folded-key range and lays each shard out as page-aligned raw arrays, so a
+saved index can be *opened* instead of *loaded*: the classes here wrap
+``np.memmap`` views of those arrays and serve the exact same probe contract
+as the in-memory :class:`~repro.core.inverted_index.InvertedFilterIndex`,
+paging in only the slots a query actually touches.
+
+Two pieces cooperate:
+
+* :class:`ShardedInvertedFilterIndex` — one per repetition.  Probes are
+  routed to their shard with one ``searchsorted`` over the manifest's
+  key-range fences, and each touched shard runs the standard
+  searchsorted/CSR-gather resolution against its mapped arrays (the shard
+  slices are key-sorted by construction, so the probe table is the arrays
+  themselves — nothing is rebuilt, nothing is copied at open time).
+  Optional per-shard fan-out overlaps the gathers of independent shards on
+  a thread pool.
+* :class:`LazyVectorStore` — the stored vectors as a read-only sequence
+  over the mapped CSR arrays, materialising a ``frozenset`` only when a
+  vector is actually asked for (verification normally runs against the
+  mapped arrays directly and never asks).
+
+A memory-mapped index is **read-only**: tombstone removals overlay at the
+engine level exactly as in RAM mode (they never touch the store), while
+mutating the postings (:meth:`ShardedInvertedFilterIndex.add`, engine
+inserts) raises a clear error directing the caller at ``mode="ram"``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Sequence as SequenceABC
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.inverted_index import InvertedFilterIndex, _segment_gather
+from repro.core.paths import paths_to_csr
+from repro.hashing.pairwise import fold_path
+
+Path = tuple[int, ...]
+
+_MMAP_READ_ONLY_ERROR = (
+    "a memory-mapped index is read-only: postings cannot be mutated in "
+    "mode='mmap'; reload the index with load_index(path, mode='ram') to "
+    "insert (removals are fine in either mode — tombstones overlay at the "
+    "engine level and never touch the mapped store)"
+)
+
+
+class MmapReadOnlyError(TypeError):
+    """Raised when a mutation is attempted on a memory-mapped index."""
+
+
+def shard_key_ranges(num_shards: int) -> np.ndarray:
+    """The inner fences splitting the uint64 key space into equal ranges.
+
+    Returns ``num_shards - 1`` boundaries; shard ``s`` owns keys in
+    ``[fences[s - 1], fences[s])`` with the implicit outer bounds ``0`` and
+    ``2**64``.  Folded path keys are (salted) hash values, so equal ranges
+    give balanced shards without looking at the data — and, crucially, the
+    same fences are valid for every repetition even though their key sets
+    differ.
+    """
+    if num_shards <= 0:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    return np.asarray(
+        [(step * (1 << 64)) // num_shards for step in range(1, num_shards)],
+        dtype=np.uint64,
+    )
+
+
+def route_keys(fences: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """Shard index of each folded key, given the inner fences."""
+    return np.searchsorted(fences, np.ascontiguousarray(keys, dtype=np.uint64), side="right")
+
+
+def probe_sorted_arrays(
+    keys: np.ndarray,
+    probe_items: np.ndarray,
+    probe_starts: np.ndarray,
+    probe_lengths: np.ndarray,
+    store_keys: np.ndarray,
+    path_items: np.ndarray,
+    path_offsets: np.ndarray,
+    posting_offsets: np.ndarray,
+    has_duplicate_keys: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Resolve probes against a *key-sorted* store; ``(slots, lengths)``.
+
+    The store arrays must hold slots in ascending folded-key order (the
+    invariant of every format v3 shard), so the key array doubles as the
+    probe table and slot indices are positions directly — no permutation
+    array exists, which is what makes this safe to run over ``np.memmap``
+    views without materialising anything proportional to the store.
+
+    ``lengths[k]`` is 0 for probes whose path is not stored; stored paths
+    are compared exactly (vectorised), so a 64-bit key collision can never
+    surface a foreign posting list, and genuinely duplicated keys (forced
+    collisions) fall back to an exact forward scan over the equal-key run.
+    """
+    num_probes = keys.size
+    if store_keys.size == 0:
+        return np.zeros(num_probes, dtype=np.int64), np.zeros(num_probes, dtype=np.int64)
+    positions = np.searchsorted(store_keys, keys)
+    clipped = np.minimum(positions, store_keys.size - 1)
+    found = store_keys[clipped] == keys
+    slots = np.where(found, clipped, 0)
+
+    slot_lengths = path_offsets[slots + 1] - path_offsets[slots]
+    match = found & (slot_lengths == probe_lengths)
+    check = np.flatnonzero(match & (probe_lengths > 0))
+    if check.size:
+        lengths = probe_lengths[check]
+        stored = _segment_gather(path_items, path_offsets[slots[check]], lengths)
+        probed = _segment_gather(probe_items, probe_starts[check], lengths)
+        mismatched = stored != probed
+        if np.any(mismatched):
+            bad = np.add.reduceat(mismatched, np.cumsum(lengths) - lengths) > 0
+            match[check[bad]] = False
+
+    if has_duplicate_keys:
+        for probe in np.flatnonzero(found & ~match).tolist():
+            key = keys[probe]
+            start = int(probe_starts[probe])
+            length = int(probe_lengths[probe])
+            target = probe_items[start : start + length]
+            position = int(positions[probe])
+            while position < store_keys.size and store_keys[position] == key:
+                slot_start = int(path_offsets[position])
+                slot_end = int(path_offsets[position + 1])
+                if slot_end - slot_start == length and np.array_equal(
+                    path_items[slot_start:slot_end], target
+                ):
+                    slots[probe] = position
+                    match[probe] = True
+                    break
+                position += 1
+
+    lengths = np.where(match, posting_offsets[slots + 1] - posting_offsets[slots], 0)
+    return slots, lengths
+
+
+class ShardSlice:
+    """One repetition's arrays within one shard (typically memmap views)."""
+
+    __slots__ = (
+        "keys",
+        "path_items",
+        "path_offsets",
+        "posting_ids",
+        "posting_offsets",
+        "has_duplicate_keys",
+    )
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        path_items: np.ndarray,
+        path_offsets: np.ndarray,
+        posting_ids: np.ndarray,
+        posting_offsets: np.ndarray,
+        has_duplicate_keys: bool,
+    ) -> None:
+        self.keys = keys
+        self.path_items = path_items
+        self.path_offsets = path_offsets
+        self.posting_ids = posting_ids
+        self.posting_offsets = posting_offsets
+        self.has_duplicate_keys = bool(has_duplicate_keys)
+
+    @property
+    def num_slots(self) -> int:
+        return self.keys.size
+
+    @property
+    def num_postings(self) -> int:
+        return int(self.posting_offsets[-1]) if self.posting_offsets.size else 0
+
+
+def concatenate_shard_slices(
+    slices: Sequence[ShardSlice],
+) -> tuple[dict[str, np.ndarray], np.ndarray]:
+    """Concatenate ascending key-range shard slices into one sorted store.
+
+    Returns the standard state arrays plus the slot-aligned folded keys.
+    Each slice's local offsets are rebased onto the running item/posting
+    totals; because shards are ascending key ranges and each slice is
+    key-sorted, the result is the globally key-sorted store.  Used both by
+    the RAM-mode v3 loader and by :meth:`ShardedInvertedFilterIndex.
+    to_sorted_state` (re-serialisation / v2 downgrade), so the rebasing
+    logic lives exactly once.  Every output array is a fresh RAM array —
+    callers may delete the backing files afterwards.
+    """
+    keys = (
+        np.concatenate([part.keys for part in slices])
+        if slices
+        else np.empty(0, dtype=np.uint64)
+    )
+    path_items = np.concatenate(
+        [np.asarray(part.path_items, dtype=np.int64) for part in slices]
+    ) if slices else np.empty(0, dtype=np.int64)
+    posting_ids = np.concatenate(
+        [np.asarray(part.posting_ids, dtype=np.int64) for part in slices]
+    ) if slices else np.empty(0, dtype=np.int64)
+    num_slots = sum(part.num_slots for part in slices)
+    path_offsets = np.zeros(num_slots + 1, dtype=np.int64)
+    posting_offsets = np.zeros(num_slots + 1, dtype=np.int64)
+    cursor = item_base = posting_base = 0
+    for part in slices:
+        span = part.num_slots
+        path_offsets[cursor + 1 : cursor + span + 1] = (
+            np.asarray(part.path_offsets[1:], dtype=np.int64) + item_base
+        )
+        posting_offsets[cursor + 1 : cursor + span + 1] = (
+            np.asarray(part.posting_offsets[1:], dtype=np.int64) + posting_base
+        )
+        item_base += int(part.path_offsets[-1]) if part.path_offsets.size else 0
+        posting_base += part.num_postings
+        cursor += span
+    state = {
+        "path_items": path_items,
+        "path_offsets": path_offsets,
+        "posting_ids": posting_ids,
+        "posting_offsets": posting_offsets,
+    }
+    return state, np.ascontiguousarray(keys, dtype=np.uint64)
+
+
+class ShardPoolCache:
+    """Persistent per-width thread pools shared by an index's repetitions.
+
+    Per-probe pool creation would cost more than the gathers it overlaps,
+    and pool-per-repetition would hoard ``repetitions × width`` idle
+    threads; one cache shared across every repetition of a loaded index
+    caps the thread count at the fan-out width actually requested.  Pools
+    are never shut down while the cache lives, so concurrent probes
+    requesting different widths can never race onto a closed executor.
+    """
+
+    def __init__(self) -> None:
+        self._pools: dict[int, ThreadPoolExecutor] = {}
+        self._lock = threading.Lock()
+
+    def get(self, width: int) -> ThreadPoolExecutor:
+        pool = self._pools.get(width)
+        if pool is None:
+            with self._lock:
+                pool = self._pools.get(width)
+                if pool is None:
+                    pool = ThreadPoolExecutor(
+                        max_workers=width, thread_name_prefix="repro-shard"
+                    )
+                    self._pools[width] = pool
+        return pool
+
+
+class ShardedInvertedFilterIndex:
+    """Read-only, shard-routed drop-in for :class:`InvertedFilterIndex`.
+
+    Parameters
+    ----------
+    fences:
+        The ``num_shards - 1`` inner key-range boundaries from the manifest
+        (:func:`shard_key_ranges` layout).
+    opener:
+        Callable mapping a shard index to that shard's :class:`ShardSlice`
+        for this repetition.  Called lazily, at most once per shard (the
+        slice is cached), so untouched shards never open their arrays.
+    slot_counts / posting_counts:
+        Per-shard slot and posting counts from the manifest; statistics
+        (``num_filters``, ``total_entries``) answer from these without
+        paging anything in.
+    shard_workers:
+        Default per-probe shard fan-out; ``None`` resolves shards serially.
+        Callers can override per :meth:`probe_batch` call.
+    pool_cache:
+        Optional :class:`ShardPoolCache` shared with sibling repetitions of
+        the same loaded index (one pool per width instead of one per
+        repetition); a private cache is created when omitted.
+    """
+
+    is_sharded = True
+
+    def __init__(
+        self,
+        fences: np.ndarray,
+        opener: Callable[[int], ShardSlice],
+        slot_counts: Sequence[int],
+        posting_counts: Sequence[int],
+        shard_workers: int | None = None,
+        pool_cache: ShardPoolCache | None = None,
+    ) -> None:
+        self._fences = np.ascontiguousarray(fences, dtype=np.uint64)
+        self._num_shards = self._fences.size + 1
+        if len(slot_counts) != self._num_shards or len(posting_counts) != self._num_shards:
+            raise ValueError(
+                f"expected {self._num_shards} per-shard counts, got "
+                f"{len(slot_counts)} slot and {len(posting_counts)} posting counts"
+            )
+        self._opener = opener
+        self._slot_counts = [int(count) for count in slot_counts]
+        self._posting_counts = [int(count) for count in posting_counts]
+        self.shard_workers = shard_workers
+        self._slices: dict[int, ShardSlice] = {}
+        self._lock = threading.Lock()
+        self._pool_cache = pool_cache if pool_cache is not None else ShardPoolCache()
+
+    # ------------------------------------------------------------------ #
+    # Shard access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_shards(self) -> int:
+        return self._num_shards
+
+    @property
+    def fences(self) -> np.ndarray:
+        """The inner key-range boundaries (read-only view)."""
+        return self._fences
+
+    @property
+    def shards_opened(self) -> int:
+        """How many shards have had their arrays opened so far."""
+        return len(self._slices)
+
+    def _slice(self, shard: int) -> ShardSlice:
+        cached = self._slices.get(shard)
+        if cached is not None:
+            return cached
+        with self._lock:
+            cached = self._slices.get(shard)
+            if cached is None:
+                cached = self._opener(shard)
+                if cached.num_slots != self._slot_counts[shard]:
+                    raise ValueError(
+                        f"shard {shard} holds {cached.num_slots} slots but the "
+                        f"manifest promises {self._slot_counts[shard]}; the index "
+                        "directory is corrupted or mixes files from different saves"
+                    )
+                self._slices[shard] = cached
+        return cached
+
+    def _executor(self, workers: int) -> ThreadPoolExecutor:
+        """The persistent fan-out pool for the requested width."""
+        return self._pool_cache.get(min(int(workers), self._num_shards))
+
+    # ------------------------------------------------------------------ #
+    # Probing (the query hot path)
+    # ------------------------------------------------------------------ #
+
+    def count_probe_shards(self, keys: Sequence[int] | np.ndarray) -> int:
+        """Distinct shards the given probe keys route to."""
+        if len(keys) == 0:
+            return 0
+        return int(np.unique(route_keys(self._fences, np.asarray(keys, dtype=np.uint64))).size)
+
+    def probe_batch(
+        self,
+        paths: Sequence[Path],
+        keys: Sequence[int] | np.ndarray,
+        shard_workers: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Resolve many probes at once; CSR slices of their posting lists.
+
+        Same contract as :meth:`InvertedFilterIndex.probe_batch` — one
+        concatenated ``posting_ids`` array plus ``len(paths) + 1`` offsets,
+        in probe order, missing filters contributing empty segments and
+        results bit-identical to probing the unsharded store.  Each probe
+        key is routed to its shard via the manifest fences; with
+        ``shard_workers`` set (or the instance default), independent shards
+        resolve and gather concurrently on a thread pool.
+        """
+        num_probes = len(paths)
+        empty = np.empty(0, dtype=np.int64)
+        if num_probes == 0:
+            return empty, np.zeros(1, dtype=np.int64)
+        keys_arr = np.ascontiguousarray(keys, dtype=np.uint64)
+        probe_items, probe_offsets = paths_to_csr(paths)
+        probe_starts = probe_offsets[:-1]
+        probe_lengths = np.diff(probe_offsets)
+        route = route_keys(self._fences, keys_arr)
+        touched = np.unique(route).tolist()
+
+        def resolve(shard: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+            members = np.flatnonzero(route == shard)
+            part = self._slice(shard)
+            slots, lengths = probe_sorted_arrays(
+                keys_arr[members],
+                probe_items,
+                probe_starts[members],
+                probe_lengths[members],
+                part.keys,
+                part.path_items,
+                part.path_offsets,
+                part.posting_offsets,
+                part.has_duplicate_keys,
+            )
+            gathered = _segment_gather(
+                part.posting_ids, part.posting_offsets[slots], lengths
+            ).astype(np.int64, copy=False)
+            return members, lengths, gathered
+
+        workers = shard_workers if shard_workers is not None else self.shard_workers
+        if workers is not None and workers > 1 and len(touched) > 1:
+            parts = list(self._executor(workers).map(resolve, touched))
+        else:
+            parts = [resolve(shard) for shard in touched]
+
+        per_probe = np.zeros(num_probes, dtype=np.int64)
+        for members, lengths, _gathered in parts:
+            per_probe[members] = lengths
+        offsets = np.zeros(num_probes + 1, dtype=np.int64)
+        np.cumsum(per_probe, out=offsets[1:])
+        total = int(offsets[-1])
+        if total == 0:
+            return empty, offsets
+        ids = np.empty(total, dtype=np.int64)
+        for members, lengths, gathered in parts:
+            if not gathered.size:
+                continue
+            starts = offsets[:-1][members]
+            destination = np.arange(gathered.size, dtype=np.int64) + np.repeat(
+                starts - (np.cumsum(lengths) - lengths), lengths
+            )
+            ids[destination] = gathered
+        return ids, offsets
+
+    def lookup(self, path: Path) -> list[int]:
+        """Vector ids that chose ``path`` (empty list if none)."""
+        path = tuple(path)
+        return self.lookup_keyed(path, fold_path(path))
+
+    def lookup_keyed(self, path: Path, key: int) -> list[int]:
+        """:meth:`lookup` with the path's folded key already in hand."""
+        ids, _offsets = self.probe_batch([tuple(path)], [int(key)])
+        return ids.tolist()
+
+    def candidates(
+        self, paths: Iterable[Path], keys: Sequence[int] | None = None
+    ) -> Iterator[int]:
+        """Yield every (vector id) collision for the given query filters."""
+        paths = [tuple(path) for path in paths]
+        if keys is None:
+            keys = [fold_path(path) for path in paths]
+        ids, _offsets = self.probe_batch(paths, keys)
+        yield from ids.tolist()
+
+    def __contains__(self, path: Path) -> bool:
+        return self._path_is_stored(tuple(path))
+
+    def _path_is_stored(self, path: Path) -> bool:
+        # A stored path with an empty posting list is indistinguishable from
+        # a missing one through probe_batch; resolve the slot explicitly.
+        key = np.uint64(fold_path(path))
+        shard = int(route_keys(self._fences, np.asarray([key]))[0])
+        part = self._slice(shard)
+        if part.keys.size == 0:
+            return False
+        probe_items, probe_offsets = paths_to_csr([path])
+        slots, _lengths = probe_sorted_arrays(
+            np.asarray([key], dtype=np.uint64),
+            probe_items,
+            probe_offsets[:-1],
+            np.diff(probe_offsets),
+            part.keys,
+            part.path_items,
+            part.path_offsets,
+            part.posting_offsets,
+            part.has_duplicate_keys,
+        )
+        slot = int(slots[0])
+        if part.keys[slot] != key:
+            return False
+        start = int(part.path_offsets[slot])
+        end = int(part.path_offsets[slot + 1])
+        return tuple(part.path_items[start:end].tolist()) == path
+
+    # ------------------------------------------------------------------ #
+    # Mutation (rejected) and compaction (no-op)
+    # ------------------------------------------------------------------ #
+
+    def add(self, *_args, **_kwargs) -> int:
+        raise MmapReadOnlyError(_MMAP_READ_ONLY_ERROR)
+
+    def add_many(self, *_args, **_kwargs) -> int:
+        raise MmapReadOnlyError(_MMAP_READ_ONLY_ERROR)
+
+    def add_postings(self, *_args, **_kwargs) -> None:
+        raise MmapReadOnlyError(_MMAP_READ_ONLY_ERROR)
+
+    def compact(self) -> None:
+        """No-op: a mapped store is always compact."""
+
+    # ------------------------------------------------------------------ #
+    # Statistics and serialisation
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_filters(self) -> int:
+        """Number of distinct filters stored (from the manifest counts)."""
+        return sum(self._slot_counts)
+
+    @property
+    def total_entries(self) -> int:
+        """Total number of (filter, vector) postings (manifest counts)."""
+        return sum(self._posting_counts)
+
+    def __len__(self) -> int:
+        return self.num_filters
+
+    def posting_sizes(self) -> list[int]:
+        """Sizes of all posting lists, in global (key) slot order."""
+        sizes: list[int] = []
+        for shard in range(self._num_shards):
+            if self._slot_counts[shard] == 0:
+                continue
+            sizes.extend(np.diff(self._slice(shard).posting_offsets).tolist())
+        return sizes
+
+    def to_state(self) -> dict[str, np.ndarray]:
+        """Materialise the full store as the standard state arrays.
+
+        Used by the v3 → v2 downgrade path; this reads every shard (it is
+        the one operation that genuinely needs the whole store).
+        """
+        state, _keys = self.to_sorted_state()
+        return state
+
+    def to_sorted_state(self) -> tuple[dict[str, np.ndarray], np.ndarray]:
+        """The full store plus its folded keys, slots in ascending key order.
+
+        Shards are key ranges in ascending order and each shard is sorted,
+        so concatenation *is* the globally sorted store.  All arrays are
+        materialised in RAM — no view into the mapped files survives.
+        """
+        return concatenate_shard_slices(
+            [self._slice(shard) for shard in range(self._num_shards)]
+        )
+
+    @property
+    def has_duplicate_keys(self) -> bool:
+        """Whether any shard carries a forced 64-bit key collision."""
+        # Duplicate-key flags live in the manifest-backed opener output; a
+        # shard must be opened to know.  Conservative callers should use the
+        # per-shard flags; this property is mainly diagnostic.
+        return any(
+            self._slices[shard].has_duplicate_keys for shard in self._slices
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedInvertedFilterIndex(num_shards={self._num_shards}, "
+            f"num_filters={self.num_filters}, total_entries={self.total_entries}, "
+            f"opened={self.shards_opened})"
+        )
+
+
+class LazyVectorStore(SequenceABC):
+    """The stored dataset vectors as a read-only view over mapped CSR arrays.
+
+    Quacks like the list of ``frozenset`` the engine holds in RAM mode, but
+    materialises a vector only when indexed — the vectorised verification
+    path reads the mapped arrays directly and normally never asks.
+    """
+
+    is_lazy = True
+
+    def __init__(self, items: np.ndarray, offsets: np.ndarray) -> None:
+        if offsets.ndim != 1 or offsets.size == 0:
+            raise ValueError("vector offsets must be a non-empty 1-d array")
+        self._items = items
+        self._offsets = offsets
+
+    def __len__(self) -> int:
+        return self._offsets.size - 1
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[position] for position in range(*index.indices(len(self)))]
+        length = len(self)
+        if index < 0:
+            index += length
+        if not 0 <= index < length:
+            raise IndexError(f"vector id {index} is out of range for {length} vectors")
+        start = int(self._offsets[index])
+        end = int(self._offsets[index + 1])
+        return frozenset(int(item) for item in self._items[start:end])
+
+    def __iter__(self) -> Iterator[frozenset[int]]:
+        for index in range(len(self)):
+            yield self[index]
+
+    def append(self, _vector) -> None:
+        raise MmapReadOnlyError(_MMAP_READ_ONLY_ERROR)
+
+    def csr_view(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(flat_items, start_offsets, sizes)`` for the candidate store.
+
+        ``flat_items`` stays a mapped view; the derived offset/size arrays
+        are small (one int64 per vector) and materialised eagerly.
+        """
+        starts = np.asarray(self._offsets[:-1], dtype=np.int64)
+        sizes = np.diff(np.asarray(self._offsets, dtype=np.int64))
+        return self._items, starts, sizes
+
+
+def sorted_state_of(index) -> tuple[Mapping[str, np.ndarray], np.ndarray]:
+    """A postings store's state with slots in ascending folded-key order.
+
+    Accepts both store classes: the sharded view is sorted by construction;
+    the in-memory :class:`InvertedFilterIndex` is stably re-ordered by key
+    when needed (slots loaded from older formats sit in file order, and the
+    chained-collision fallback leaves slots in insertion order).
+    """
+    if not isinstance(index, (ShardedInvertedFilterIndex, InvertedFilterIndex)):
+        raise TypeError(f"cannot shard a store of type {type(index).__name__}")
+    return index.to_sorted_state()

@@ -1,49 +1,62 @@
-"""Saving and loading built indexes (binary format v2).
+"""Saving and loading built indexes (sharded format v3, legacy v2/v1).
 
 Building the filter structure is the expensive step (``O(d n^{1+ρ})``), so a
-production deployment wants to build once and reload across processes.  A
-saved index is a single ``.npz``-style container (a zip of raw numpy arrays,
-written with ``numpy.savez``) holding
+production deployment wants to build once and reload across processes — and,
+past a certain scale, to *open* rather than *load*: an index bigger than RAM
+must still answer its first query promptly.
 
-* a small JSON metadata block — format version, index kind and
-  configuration, the full extended :class:`~repro.core.stats.BuildStats`;
-* the item probabilities and the stored vectors in CSR form;
-* the tombstone (removed-id) set;
-* per repetition, the postings store's flat arrays (``path_items``,
-  ``path_lengths``, ``posting_ids``, ``posting_lengths``) — the in-memory
-  CSR arrays of :class:`~repro.core.inverted_index.InvertedFilterIndex`
-  with the offsets delta-encoded as per-row lengths and the integer dtypes
-  narrowed, both purely for compression; the folded ``path_keys`` are *not*
-  stored (they are high-entropy and deterministic) and are re-derived on
-  load with the vectorised :func:`~repro.hashing.pairwise.fold_paths_csr`,
-  after which the sorted probe tables of the CSR-native query pipeline are
-  rebuilt with a single argsort.
+**Format v3 (default)** is a directory, sharded by folded-key range::
 
-Because the on-disk layout maps 1:1 onto the in-memory store,
-:func:`load_index` reconstructs the engine from the saved configuration and
-adopts the arrays directly — no placeholder build, no filter regeneration —
-and a loaded index answers single and batched queries bit-identically to
-the one that was saved.  Slot *order* is an implementation detail the format
-deliberately does not constrain: files written since the CSR-native probe
-pipeline hold slots in folded-key order (the bulk compaction's output, which
-makes the probe tables an identity view), while files written by earlier
-releases hold them in first-registration order — both load through the same
-path and answer queries identically, so pre-existing v2 files keep working
-unchanged.  Arrays are loaded with ``allow_pickle=False``, so files remain
-safe to load from untrusted sources, and malformed layouts are rejected
-with :class:`ValueError` before they can affect query results.
+    index.v3/
+      manifest.json        # version, config, BuildStats, fences, counts
+      store.bin            # vectors (CSR), probabilities, tombstones
+      shard_0000.bin ...   # per shard: every repetition's postings slice
 
-Format v1 (the original JSON dump of nested posting lists) is still
-*readable*: :func:`load_index` detects it and restores it through the same
-direct-restore path, and :func:`convert_index_file` rewrites a v1 file as
-v2.  New files are always written as v2.
+Each ``.bin`` file is a self-describing raw container: a small JSON header
+followed by little-endian numpy arrays at page-aligned offsets — exactly
+the layout ``np.memmap`` can serve zero-copy.  Every repetition's postings
+store is written with slots in ascending folded-key order and split at the
+manifest's key-range *fences*, so a shard's slice of any repetition is
+itself key-sorted: the mapped key array doubles as the probe table and
+nothing is rebuilt at open time.  Unlike v2, the folded ``path_keys`` *are*
+stored (8 bytes per slot buys skipping both the re-fold and the argsort on
+load — and in mmap mode makes lazy probing possible at all), offsets are
+stored directly rather than delta-encoded (random access must not cumsum),
+and nothing is compressed (deflate and ``memmap`` are mutually exclusive).
+
+:func:`load_index` takes ``mode="ram"`` (default) or ``mode="mmap"``:
+
+* RAM mode reads the shard files — concurrently, on a small thread pool —
+  concatenates each repetition's slices (shards are ascending key ranges,
+  so concatenation *is* the sorted store) and adopts the arrays into
+  ordinary :class:`~repro.core.inverted_index.InvertedFilterIndex` stores.
+* mmap mode opens ``np.memmap`` views lazily per shard and serves queries
+  through :class:`~repro.core.mmap_store.ShardedInvertedFilterIndex` and
+  :class:`~repro.core.mmap_store.LazyVectorStore` — cold start is
+  O(manifest), resident memory is proportional to the slots a workload
+  actually touches, and results are bit-identical to RAM mode on every
+  query surface.
+
+**Format v2** (single-file compressed ``.npz`` container) remains fully
+readable and writable (``PersistenceConfig(format_version=2)``), serving as
+the downgrade path; **format v1** (the original JSON dump) remains readable.
+:func:`convert_index_file` rewrites any readable format as any writable one.
+Malformed input of every format — bad zip data, corrupt manifests,
+truncated shard files, out-of-range postings — is rejected with
+:class:`ValueError` carrying an actionable message before it can affect
+query results, and v2 containers are still loaded with
+``allow_pickle=False`` so files are safe to accept from untrusted sources.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import struct
+import threading
 import zipfile
 import zlib
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any
 
@@ -57,12 +70,25 @@ from repro.core.config import (
 )
 from repro.core.correlated_index import CorrelatedIndex
 from repro.core.inverted_index import InvertedFilterIndex, _segment_gather
+from repro.core.mmap_store import (
+    LazyVectorStore,
+    ShardedInvertedFilterIndex,
+    ShardPoolCache,
+    ShardSlice,
+    concatenate_shard_slices,
+    shard_key_ranges,
+    sorted_state_of,
+)
 from repro.core.skewed_index import SkewAdaptiveIndex
 from repro.core.stats import BuildStats
 from repro.data.distributions import ItemDistribution
 
-#: Format version written into every file; bumped on incompatible changes.
-FORMAT_VERSION = 2
+#: Format version written by default; bumped on incompatible changes.
+FORMAT_VERSION = 3
+
+#: The single-file ``.npz`` container format (still written on request —
+#: the v3 → v2 downgrade path — and always readable).
+V2_FORMAT_VERSION = 2
 
 #: The legacy all-JSON format this module can still read (and convert).
 LEGACY_JSON_VERSION = 1
@@ -72,6 +98,29 @@ AnyIndex = SkewAdaptiveIndex | CorrelatedIndex | ChosenPathIndex
 _INDEX_KINDS = ("skew_adaptive", "correlated", "chosen_path")
 
 _ZIP_MAGIC = b"PK\x03\x04"
+
+#: Raw-container prefix of every v3 ``.bin`` file: magic, container
+#: revision, JSON header length, data start (all little-endian uint32
+#: after the 4-byte magic).
+_V3_MAGIC = b"RPV3"
+_V3_CONTAINER_REVISION = 1
+_V3_PREFIX = struct.Struct("<4sIII")
+
+#: Arrays inside a v3 container start at multiples of this (one page), so
+#: ``np.memmap`` views fall on page boundaries and lazy paging is clean.
+_V3_PAGE = 4096
+
+_MANIFEST_NAME = "manifest.json"
+_STORE_NAME = "store.bin"
+
+#: Per-repetition arrays inside each v3 shard file.
+_V3_SHARD_ARRAYS = (
+    "path_keys",
+    "path_items",
+    "path_offsets",
+    "posting_ids",
+    "posting_offsets",
+)
 
 #: Per-repetition array names as stored on disk (offsets are delta-encoded
 #: to lengths there; :data:`repro.core.inverted_index.STATE_ARRAY_NAMES` is
@@ -276,32 +325,53 @@ def _vectors_csr(vectors) -> tuple[np.ndarray, np.ndarray]:
 def save_index(
     index: AnyIndex, path: str | Path, config: PersistenceConfig | None = None
 ) -> None:
-    """Serialise a built index to a binary (format v2) file.
+    """Serialise a built index in the configured on-disk format.
 
     Parameters
     ----------
     index:
         A built :class:`SkewAdaptiveIndex`, :class:`CorrelatedIndex` or
-        :class:`~repro.baselines.chosen_path.ChosenPathIndex`.
+        :class:`~repro.baselines.chosen_path.ChosenPathIndex` — including
+        one loaded in ``mode="mmap"`` (its mapped shards are materialised
+        while writing).
     path:
-        Destination file path (overwritten if it exists).
+        Destination path (overwritten if it exists).  Format v3 writes a
+        *directory* of shard files here; format v2 a single file.
     config:
-        Optional :class:`~repro.core.config.PersistenceConfig` (compression
-        on by default).
+        Optional :class:`~repro.core.config.PersistenceConfig`; the default
+        writes format v3 with 8 shards.  ``format_version=2`` selects the
+        legacy single-file container (the downgrade path).
     """
     if not isinstance(index, (SkewAdaptiveIndex, CorrelatedIndex, ChosenPathIndex)):
         raise TypeError(f"cannot serialise index of type {type(index).__name__}")
     persistence = config if config is not None else PersistenceConfig()
     engine = _require_engine(index)
+    if persistence.format_version == V2_FORMAT_VERSION:
+        _save_v2(index, engine, Path(path), persistence)
+    else:
+        _save_v3(index, engine, Path(path), persistence)
 
-    meta = {
-        "format_version": FORMAT_VERSION,
+
+def _index_meta(index: AnyIndex, engine, format_version: int) -> dict[str, Any]:
+    """The JSON metadata block shared by the v2 and v3 writers."""
+    return {
+        "format_version": format_version,
         "config": _config_payload(index),
         "num_vectors": len(engine.vectors),
         "num_vectors_hint": engine.num_vectors_hint,
         "repetitions": engine.repetitions,
         "build_stats": engine.build_stats.to_dict(),
     }
+
+
+def _save_v2(index: AnyIndex, engine, path: Path, persistence: PersistenceConfig) -> None:
+    """Write the single-file compressed ``.npz`` container (format v2)."""
+    if path.is_dir():
+        raise ValueError(
+            f"cannot write a format v2 single-file container at {path}: it is a "
+            "directory (a v3 index?); pick a different destination path"
+        )
+    meta = _index_meta(index, engine, V2_FORMAT_VERSION)
     arrays: dict[str, np.ndarray] = {
         "meta": np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
     }
@@ -314,7 +384,7 @@ def save_index(
     arrays["vector_lengths"] = _compact_ints(vector_lengths)
     arrays["removed"] = _compact_ints(np.asarray(sorted(engine.removed_ids), dtype=np.int64))
     for repetition, inverted in enumerate(engine.filter_indexes):
-        state = _locality_order(inverted.to_state())
+        state = _locality_order(dict(inverted.to_state()))
         prefix = f"rep{repetition:04d}_"
         arrays[prefix + "path_items"] = _compact_ints(state["path_items"])
         arrays[prefix + "path_lengths"] = _lengths_from_offsets(state["path_offsets"])
@@ -326,6 +396,283 @@ def save_index(
     # behind the caller's back — the file lands exactly at ``path``.
     with open(path, "wb") as handle:
         writer(handle, **arrays)
+
+
+# --------------------------------------------------------------------- #
+# Format v3: page-aligned raw containers, sharded by folded-key range
+# --------------------------------------------------------------------- #
+
+
+def _align_page(offset: int) -> int:
+    return (offset + _V3_PAGE - 1) // _V3_PAGE * _V3_PAGE
+
+
+def _resolve_io_workers(persistence: PersistenceConfig, num_files: int) -> int:
+    if persistence.io_workers is not None:
+        return max(1, min(persistence.io_workers, num_files))
+    return max(1, min(num_files, os.cpu_count() or 1))
+
+
+def _write_raw_container(path: Path, arrays: dict[str, np.ndarray]) -> None:
+    """Write a self-describing raw-array container (one v3 ``.bin`` file).
+
+    Layout: a 16-byte prefix (magic, container revision, JSON header
+    length, data start), the JSON header mapping array names to
+    ``{dtype, shape, offset}`` (offsets relative to the data start, each
+    page-aligned), zero padding, then the raw little-endian array bytes.
+    """
+    entries: dict[str, dict[str, Any]] = {}
+    cursor = 0
+    contiguous: dict[str, np.ndarray] = {}
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        if array.dtype.byteorder == ">":  # pragma: no cover - big-endian hosts
+            array = array.astype(array.dtype.newbyteorder("<"))
+        contiguous[name] = array
+        entries[name] = {
+            "dtype": np.dtype(array.dtype).str,
+            "shape": list(array.shape),
+            "offset": cursor,
+        }
+        cursor = _align_page(cursor + array.nbytes)
+    header = json.dumps({"arrays": entries}).encode("utf-8")
+    data_start = _align_page(_V3_PREFIX.size + len(header))
+    with open(path, "wb") as handle:
+        handle.write(
+            _V3_PREFIX.pack(_V3_MAGIC, _V3_CONTAINER_REVISION, len(header), data_start)
+        )
+        handle.write(header)
+        for name, array in contiguous.items():
+            handle.seek(data_start + entries[name]["offset"])
+            array.tofile(handle)
+        # Pad the file out to a page boundary so the last mapped array never
+        # reads past EOF even when viewed a full page at a time.
+        end = data_start + (
+            max(
+                entries[name]["offset"] + contiguous[name].nbytes
+                for name in contiguous
+            )
+            if contiguous
+            else 0
+        )
+        handle.truncate(_align_page(end))
+
+
+def _read_raw_container(path: Path, mode: str) -> dict[str, np.ndarray]:
+    """Open a v3 ``.bin`` container as arrays (``mmap`` views or ``ram``).
+
+    Every malformed input — wrong magic, corrupt header, arrays extending
+    past the end of the file — raises :class:`ValueError` naming the file
+    and the problem, so a truncated copy fails loudly instead of serving
+    garbage postings.
+    """
+    file_size = path.stat().st_size
+    with open(path, "rb") as handle:
+        prefix = handle.read(_V3_PREFIX.size)
+        if len(prefix) < _V3_PREFIX.size:
+            raise ValueError(
+                f"{path} is truncated: too short to hold a v3 container prefix"
+            )
+        magic, revision, header_len, data_start = _V3_PREFIX.unpack(prefix)
+        if magic != _V3_MAGIC:
+            raise ValueError(f"{path} is not a v3 array container (bad magic)")
+        if revision != _V3_CONTAINER_REVISION:
+            raise ValueError(
+                f"{path} uses container revision {revision}; this version reads "
+                f"revision {_V3_CONTAINER_REVISION}"
+            )
+        header_bytes = handle.read(header_len)
+        if len(header_bytes) < header_len:
+            raise ValueError(f"{path} is truncated inside its container header")
+        try:
+            header = json.loads(header_bytes.decode("utf-8"))
+            entries = header["arrays"]
+            assert isinstance(entries, dict)
+        except (ValueError, KeyError, AssertionError) as error:
+            raise ValueError(f"{path} has a corrupt container header: {error}") from error
+
+        arrays: dict[str, np.ndarray] = {}
+        for name, entry in entries.items():
+            try:
+                dtype = np.dtype(entry["dtype"])
+                shape = tuple(int(axis) for axis in entry["shape"])
+                offset = int(entry["offset"])
+            except (KeyError, TypeError, ValueError) as error:
+                raise ValueError(
+                    f"{path} has a corrupt entry for array {name!r}: {error}"
+                ) from error
+            nbytes = dtype.itemsize * int(np.prod(shape, dtype=np.int64)) if shape else dtype.itemsize
+            end = data_start + offset + nbytes
+            if offset < 0 or end > file_size:
+                raise ValueError(
+                    f"{path} is truncated: array {name!r} needs bytes up to "
+                    f"{end} but the file holds {file_size}; the file is "
+                    "corrupted or was partially copied"
+                )
+            if mode == "mmap":
+                arrays[name] = np.memmap(
+                    path, dtype=dtype, mode="r", offset=data_start + offset, shape=shape
+                )
+            else:
+                handle.seek(data_start + offset)
+                count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+                arrays[name] = np.fromfile(handle, dtype=dtype, count=count).reshape(shape)
+    return arrays
+
+
+def _shard_file_name(shard: int) -> str:
+    return f"shard_{shard:04d}.bin"
+
+
+def _save_v3(index: AnyIndex, engine, path: Path, persistence: PersistenceConfig) -> None:
+    """Write the sharded, mmap-native directory layout (format v3).
+
+    The write is staged for crash safety: every array is materialised
+    *before* any existing file is touched (an mmap-loaded index may be
+    resaving over the very shards its views are backed by), the complete
+    new layout — manifest last — is written into a sibling staging
+    directory, and only then is the destination swapped with two directory
+    renames.  At every instant the destination path holds the complete old
+    index, the complete new index, or (for the one instant between the
+    renames, and after a crash in that window) nothing readable — never a
+    mixture of the two saves, which could answer queries inconsistently.
+    A crash before the swap leaves the old index untouched.
+    """
+    num_shards = persistence.shards
+    fences = shard_key_ranges(num_shards)
+    if path.is_dir():
+        existing = {entry.name for entry in path.iterdir()}
+        index_like = {
+            name
+            for name in existing
+            if name == _MANIFEST_NAME
+            or name == _STORE_NAME
+            or (name.startswith("shard_") and name.endswith(".bin"))
+        }
+        if existing - index_like:
+            raise ValueError(
+                f"refusing to overwrite {path}: it exists but does not look like "
+                f"an index directory (unexpected entries: "
+                f"{sorted(existing - index_like)[:5]})"
+            )
+
+    meta = _index_meta(index, engine, FORMAT_VERSION)
+
+    # Top-level store file: vectors in CSR form (offsets stored directly so
+    # mmap mode can slice without a cumsum), probabilities, tombstones.
+    vector_items, vector_lengths = _vectors_csr(engine.vectors)
+    vector_offsets = np.zeros(vector_lengths.size + 1, dtype=np.int64)
+    np.cumsum(vector_lengths, out=vector_offsets[1:])
+    store_arrays: dict[str, np.ndarray] = {
+        "vector_items": _compact_ints(vector_items),
+        "vector_offsets": vector_offsets,
+        "removed": np.asarray(sorted(engine.removed_ids), dtype=np.int64),
+    }
+    if not isinstance(index, ChosenPathIndex):
+        store_arrays["probabilities"] = np.asarray(
+            index.distribution.probabilities, dtype=np.float64
+        )
+
+    # Slice every repetition's key-sorted postings store at the fences.
+    # Shard s of repetition r holds the slots whose folded key falls in
+    # [fences[s-1], fences[s]) — a contiguous slot range, because slots are
+    # in ascending key order.
+    per_shard_arrays: list[dict[str, np.ndarray]] = [{} for _ in range(num_shards)]
+    shard_meta: list[list[dict[str, Any]]] = [[] for _ in range(num_shards)]
+    for repetition, inverted in enumerate(engine.filter_indexes):
+        state, keys = sorted_state_of(inverted)
+        path_offsets = np.ascontiguousarray(state["path_offsets"], dtype=np.int64)
+        posting_offsets = np.ascontiguousarray(state["posting_offsets"], dtype=np.int64)
+        path_items = _compact_ints(np.ascontiguousarray(state["path_items"], dtype=np.int64))
+        posting_ids = _compact_ints(np.ascontiguousarray(state["posting_ids"], dtype=np.int64))
+        cuts = np.concatenate(
+            [[0], np.searchsorted(keys, fences), [keys.size]]
+        ).astype(np.int64)
+        prefix = f"rep{repetition:04d}_"
+        for shard in range(num_shards):
+            low, high = int(cuts[shard]), int(cuts[shard + 1])
+            shard_keys = keys[low:high]
+            arrays = per_shard_arrays[shard]
+            arrays[prefix + "path_keys"] = shard_keys
+            arrays[prefix + "path_items"] = path_items[
+                int(path_offsets[low]) : int(path_offsets[high])
+            ]
+            arrays[prefix + "path_offsets"] = path_offsets[low : high + 1] - path_offsets[low]
+            arrays[prefix + "posting_ids"] = posting_ids[
+                int(posting_offsets[low]) : int(posting_offsets[high])
+            ]
+            arrays[prefix + "posting_offsets"] = (
+                posting_offsets[low : high + 1] - posting_offsets[low]
+            )
+            shard_meta[shard].append(
+                {
+                    "num_slots": high - low,
+                    "num_postings": int(posting_offsets[high] - posting_offsets[low]),
+                    "has_duplicate_keys": bool(
+                        shard_keys.size and np.any(shard_keys[1:] == shard_keys[:-1])
+                    ),
+                }
+            )
+
+    shard_files = [_shard_file_name(shard) for shard in range(num_shards)]
+
+    # Stage 1: write the complete new layout into a sibling staging
+    # directory, manifest last.  Nothing of a pre-existing index has been
+    # touched, and sorted_state_of above already materialised every source
+    # array, so an mmap-loaded index can safely resave over its own path.
+    staging = path.parent / (path.name + ".v3-staging")
+    if staging.exists():
+        _remove_index_path(staging)
+    staging.mkdir(parents=True)
+
+    def write_shard(shard: int) -> None:
+        _write_raw_container(staging / shard_files[shard], per_shard_arrays[shard])
+
+    workers = _resolve_io_workers(persistence, num_shards)
+    if workers > 1 and num_shards > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(write_shard, range(num_shards)))
+    else:
+        for shard in range(num_shards):
+            write_shard(shard)
+    _write_raw_container(staging / _STORE_NAME, store_arrays)
+
+    manifest = dict(meta)
+    manifest.update(
+        {
+            "container_revision": _V3_CONTAINER_REVISION,
+            "num_shards": num_shards,
+            "fences": [int(fence) for fence in fences],
+            "store_file": _STORE_NAME,
+            "shard_files": shard_files,
+            "shards": [{"repetitions": shard_meta[shard]} for shard in range(num_shards)],
+        }
+    )
+    # The manifest lands last even within the staging directory, so no
+    # directory with a manifest ever has incomplete shard files.
+    (staging / _MANIFEST_NAME).write_text(json.dumps(manifest), encoding="utf-8")
+
+    # Stage 2: swap.  The old index (directory or single file) is moved
+    # aside, the staging directory renamed into place, and the old copy
+    # removed only after the new one is live.
+    backup = path.parent / (path.name + ".v3-old")
+    if backup.exists():
+        _remove_index_path(backup)
+    if path.exists():
+        os.replace(path, backup)
+    os.replace(staging, path)
+    if backup.exists():
+        _remove_index_path(backup)
+
+
+def _remove_index_path(path: Path) -> None:
+    """Delete a saved index (single file or directory) from disk."""
+    if path.is_dir():
+        for entry in path.iterdir():
+            entry.unlink()
+        path.rmdir()
+    else:
+        path.unlink()
 
 
 # --------------------------------------------------------------------- #
@@ -369,10 +716,10 @@ def _load_v2_container(path: Path, persistence: PersistenceConfig) -> AnyIndex:
         if not isinstance(meta, dict):
             raise ValueError(f"{path} is not a valid index file: metadata is not an object")
         version = meta.get("format_version")
-        if version != FORMAT_VERSION:
+        if version != V2_FORMAT_VERSION:
             raise ValueError(
                 f"unsupported index file format version {version!r}; "
-                f"expected {FORMAT_VERSION}"
+                f"expected {V2_FORMAT_VERSION} in a single-file container"
             )
         missing_meta = [
             key
@@ -463,6 +810,305 @@ def _load_v2_container(path: Path, persistence: PersistenceConfig) -> AnyIndex:
     )
 
 
+def _read_manifest(path: Path) -> dict[str, Any]:
+    """Read and structurally validate a v3 directory's ``manifest.json``."""
+    manifest_path = path / _MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise ValueError(
+            f"{path} is a directory but holds no {_MANIFEST_NAME}; it is not a "
+            f"format v{FORMAT_VERSION} index (or the manifest was deleted)"
+        )
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except ValueError as error:
+        raise ValueError(
+            f"{manifest_path} is not valid JSON ({error}); the manifest is corrupted"
+        ) from error
+    if not isinstance(manifest, dict):
+        raise ValueError(f"{manifest_path} does not hold a JSON object; corrupted")
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported index file format version {version!r}; expected {FORMAT_VERSION}"
+        )
+    required = (
+        "config",
+        "build_stats",
+        "num_vectors",
+        "num_vectors_hint",
+        "repetitions",
+        "num_shards",
+        "fences",
+        "store_file",
+        "shard_files",
+        "shards",
+    )
+    missing = [key for key in required if key not in manifest]
+    if missing:
+        raise ValueError(
+            f"{manifest_path} is missing fields {missing}; the manifest is corrupted"
+        )
+    try:
+        num_shards = int(manifest["num_shards"])
+        repetitions = int(manifest["repetitions"])
+        fences = [int(fence) for fence in manifest["fences"]]
+    except (TypeError, ValueError) as error:
+        # Non-numeric counts or fences must surface as the documented
+        # ValueError (actionable, CLI-catchable), never a raw TypeError.
+        raise ValueError(
+            f"{manifest_path} holds non-numeric shard counts or fences "
+            f"({error}); the manifest is corrupted"
+        ) from error
+    if num_shards <= 0 or repetitions <= 0:
+        raise ValueError(f"{manifest_path} declares a non-positive shard/repetition count")
+    if (
+        len(fences) != num_shards - 1
+        or any(fences[i] >= fences[i + 1] for i in range(len(fences) - 1))
+        or any(not 0 < fence < 1 << 64 for fence in fences)
+    ):
+        raise ValueError(
+            f"{manifest_path} declares {num_shards} shards but its key-range "
+            "fences are inconsistent; the manifest is corrupted"
+        )
+    shard_files = manifest["shard_files"]
+    shards = manifest["shards"]
+    if len(shard_files) != num_shards or len(shards) != num_shards:
+        raise ValueError(
+            f"{manifest_path} lists {len(shard_files)} shard files and "
+            f"{len(shards)} shard entries for {num_shards} shards; corrupted"
+        )
+    for shard, entry in enumerate(shards):
+        reps = entry.get("repetitions") if isinstance(entry, dict) else None
+        if not isinstance(reps, list) or len(reps) != repetitions:
+            raise ValueError(
+                f"{manifest_path} shard {shard} does not describe all "
+                f"{repetitions} repetitions; the manifest is corrupted"
+            )
+        for repetition, counts in enumerate(reps):
+            if not isinstance(counts, dict) or any(
+                key not in counts
+                for key in ("num_slots", "num_postings", "has_duplicate_keys")
+            ):
+                raise ValueError(
+                    f"{manifest_path} shard {shard} repetition {repetition} is "
+                    "missing its slot/posting counts; the manifest is corrupted"
+                )
+    return manifest
+
+
+def _shard_slice_from_container(
+    arrays: dict[str, np.ndarray],
+    file_path: Path,
+    repetition: int,
+    counts: dict[str, Any],
+) -> ShardSlice:
+    """Assemble (and validate) one repetition's slice of a shard container."""
+    prefix = f"rep{repetition:04d}_"
+    missing = [name for name in _V3_SHARD_ARRAYS if prefix + name not in arrays]
+    if missing:
+        raise ValueError(
+            f"{file_path} is missing arrays for repetition {repetition}: {missing}; "
+            "the shard file is corrupted or from a different save"
+        )
+    num_slots = int(counts["num_slots"])
+    num_postings = int(counts["num_postings"])
+    keys = arrays[prefix + "path_keys"]
+    path_offsets = arrays[prefix + "path_offsets"]
+    posting_offsets = arrays[prefix + "posting_offsets"]
+    posting_ids = arrays[prefix + "posting_ids"]
+    if (
+        keys.size != num_slots
+        or path_offsets.size != num_slots + 1
+        or posting_offsets.size != num_slots + 1
+        or posting_ids.size != num_postings
+    ):
+        raise ValueError(
+            f"{file_path} repetition {repetition} disagrees with the manifest "
+            f"counts ({num_slots} slots, {num_postings} postings); the index "
+            "directory mixes files from different saves or is corrupted"
+        )
+    return ShardSlice(
+        keys=keys,
+        path_items=arrays[prefix + "path_items"],
+        path_offsets=path_offsets,
+        posting_ids=posting_ids,
+        posting_offsets=posting_offsets,
+        has_duplicate_keys=bool(counts["has_duplicate_keys"]),
+    )
+
+
+class _ShardContainerCache:
+    """Lazily opened, thread-safe mmap containers of a v3 shard directory."""
+
+    def __init__(self, directory: Path, shard_files: list[str]) -> None:
+        self._directory = directory
+        self._shard_files = shard_files
+        self._containers: dict[int, dict[str, np.ndarray]] = {}
+        self._lock = threading.Lock()
+
+    def path_of(self, shard: int) -> Path:
+        return self._directory / self._shard_files[shard]
+
+    def arrays(self, shard: int) -> dict[str, np.ndarray]:
+        cached = self._containers.get(shard)
+        if cached is not None:
+            return cached
+        with self._lock:
+            cached = self._containers.get(shard)
+            if cached is None:
+                cached = _read_raw_container(self.path_of(shard), "mmap")
+                self._containers[shard] = cached
+        return cached
+
+
+def _load_v3(
+    path: Path,
+    persistence: PersistenceConfig,
+    mode: str,
+    shard_workers: int | None,
+) -> AnyIndex:
+    manifest = _read_manifest(path)
+    num_shards = int(manifest["num_shards"])
+    repetitions = int(manifest["repetitions"])
+    num_vectors = int(manifest["num_vectors"])
+    fences = np.asarray([int(fence) for fence in manifest["fences"]], dtype=np.uint64)
+    shard_files = [str(name) for name in manifest["shard_files"]]
+    for name in [str(manifest["store_file"])] + shard_files:
+        if not (path / name).is_file():
+            raise ValueError(
+                f"{path} is missing {name}; the index directory is incomplete"
+            )
+
+    store = _read_raw_container(path / str(manifest["store_file"]), mode)
+    missing_store = [
+        name for name in ("vector_items", "vector_offsets", "removed") if name not in store
+    ]
+    if missing_store:
+        raise ValueError(f"{path} store file is missing arrays {missing_store}")
+    probabilities = (
+        np.asarray(store["probabilities"], dtype=np.float64)
+        if "probabilities" in store
+        else None
+    )
+    index = _construct_index(manifest["config"], probabilities)
+    build_stats = BuildStats.from_dict(manifest["build_stats"], strict=True)
+
+    vector_items = store["vector_items"]
+    vector_offsets = np.asarray(store["vector_offsets"], dtype=np.int64)
+    if (
+        vector_offsets.size != num_vectors + 1
+        or (vector_offsets.size and int(vector_offsets[0]) != 0)
+        or np.any(np.diff(vector_offsets) < 0)
+        or int(vector_offsets[-1]) != vector_items.size
+    ):
+        raise ValueError(f"{path} has a malformed stored-vector layout")
+    removed = np.asarray(store["removed"]).tolist()
+
+    config_payload = manifest["config"]
+    if config_payload["kind"] == "chosen_path":
+        dimension = int(config_payload["dimension"])
+    else:
+        assert probabilities is not None
+        dimension = int(probabilities.size)
+
+    counts_by_rep = [
+        [manifest["shards"][shard]["repetitions"][repetition] for shard in range(num_shards)]
+        for repetition in range(repetitions)
+    ]
+
+    if mode == "mmap":
+        vectors: Any = LazyVectorStore(vector_items, store["vector_offsets"])
+        cache = _ShardContainerCache(path, shard_files)
+        pool_cache = ShardPoolCache()
+        filter_indexes = []
+        for repetition in range(repetitions):
+            def opener(shard: int, _repetition: int = repetition) -> ShardSlice:
+                return _shard_slice_from_container(
+                    cache.arrays(shard),
+                    cache.path_of(shard),
+                    _repetition,
+                    counts_by_rep[_repetition][shard],
+                )
+
+            filter_indexes.append(
+                ShardedInvertedFilterIndex(
+                    fences,
+                    opener,
+                    slot_counts=[
+                        int(counts["num_slots"]) for counts in counts_by_rep[repetition]
+                    ],
+                    posting_counts=[
+                        int(counts["num_postings"]) for counts in counts_by_rep[repetition]
+                    ],
+                    shard_workers=shard_workers,
+                    pool_cache=pool_cache,
+                )
+            )
+    else:
+        items_list = vector_items.tolist()
+        offsets_list = vector_offsets.tolist()
+        vectors = [
+            frozenset(items_list[start:end])
+            for start, end in zip(offsets_list, offsets_list[1:])
+        ]
+
+        def read_shard(shard: int) -> dict[str, np.ndarray]:
+            return _read_raw_container(path / shard_files[shard], "ram")
+
+        workers = _resolve_io_workers(persistence, num_shards)
+        if workers > 1 and num_shards > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                containers = list(pool.map(read_shard, range(num_shards)))
+        else:
+            containers = [read_shard(shard) for shard in range(num_shards)]
+
+        filter_indexes = []
+        for repetition in range(repetitions):
+            slices = [
+                _shard_slice_from_container(
+                    containers[shard],
+                    path / shard_files[shard],
+                    repetition,
+                    counts_by_rep[repetition][shard],
+                )
+                for shard in range(num_shards)
+            ]
+            # Shards are ascending key ranges, so concatenating their
+            # key-sorted slices yields the globally sorted store; the keys
+            # are adopted directly (no re-fold, no argsort).
+            state, keys = concatenate_shard_slices(slices)
+            if persistence.validate_postings:
+                ids = state["posting_ids"]
+                if ids.size and int(ids.max()) >= num_vectors:
+                    raise ValueError(
+                        f"{path} repetition {repetition} references vector ids beyond "
+                        f"the {num_vectors} stored vectors; the file is corrupted"
+                    )
+                items = state["path_items"]
+                if items.size and int(items.max()) >= dimension:
+                    raise ValueError(
+                        f"{path} repetition {repetition} references items beyond the "
+                        f"universe of size {dimension}; the file is corrupted"
+                    )
+            try:
+                filter_indexes.append(InvertedFilterIndex.from_state(state, keys=keys))
+            except ValueError as error:
+                raise ValueError(f"{path} repetition {repetition}: {error}") from error
+
+    restored = _restore_engine(
+        index,
+        int(manifest["num_vectors_hint"]),
+        vectors,
+        removed,
+        build_stats,
+        filter_indexes,
+    )
+    engine = restored._engine  # noqa: SLF001 - friend module
+    assert engine is not None
+    engine.shard_workers = shard_workers
+    return restored
+
+
 def _load_v1(path: Path) -> AnyIndex:
     payload = json.loads(path.read_text(encoding="utf-8"))
     version = payload.get("format_version")
@@ -504,7 +1150,10 @@ def _load_v1(path: Path) -> AnyIndex:
 
 
 def load_index(
-    path: str | Path, config: PersistenceConfig | None = None
+    path: str | Path,
+    config: PersistenceConfig | None = None,
+    mode: str = "ram",
+    shard_workers: int | None = None,
 ) -> AnyIndex:
     """Load an index previously written by :func:`save_index`.
 
@@ -513,36 +1162,249 @@ def load_index(
     reconstructed deterministically from the saved configuration and the
     postings arrays are adopted directly — nothing is rebuilt.
 
-    Both the current binary format (v2) and the legacy v1 JSON format are
-    accepted; anything else raises :class:`ValueError` with the offending
-    version.
+    Parameters
+    ----------
+    path:
+        A format v3 index directory, a v2 single-file container, or a
+        legacy v1 JSON file; the format is auto-detected.  Anything else
+        raises :class:`ValueError` with the offending version.
+    config:
+        Optional :class:`~repro.core.config.PersistenceConfig` (controls
+        load-time validation and the RAM-mode shard-read thread pool).
+    mode:
+        ``"ram"`` (default) materialises every array in memory — shard
+        files are read concurrently and the stored keys make the load
+        cheaper than a v2 load ever was.  ``"mmap"`` (v3 only) opens the
+        arrays as lazy ``np.memmap`` views instead: cold start touches only
+        the manifest, resident memory tracks the slots queries actually
+        probe, and results stay bit-identical to RAM mode on every query
+        surface.  An mmap-loaded index is read-only (removals overlay fine;
+        inserts raise).
+    shard_workers:
+        Default per-probe shard fan-out installed on the loaded engine
+        (overridable per batched call); mainly useful with ``mode="mmap"``.
     """
     path = Path(path)
     persistence = config if config is not None else PersistenceConfig()
+    if mode not in ("ram", "mmap"):
+        raise ValueError(f"mode must be 'ram' or 'mmap', got {mode!r}")
+    if path.is_dir():
+        return _load_v3(path, persistence, mode, shard_workers)
+    if mode == "mmap":
+        raise ValueError(
+            f"mode='mmap' requires a format v{FORMAT_VERSION} index directory, but "
+            f"{path} is a single file; convert it first with "
+            "convert_index_file(source, destination) or 'repro convert'"
+        )
     with open(path, "rb") as handle:
         head = handle.read(64)
     if head.startswith(_ZIP_MAGIC):
-        return _load_v2(path, persistence)
-    if head.lstrip().startswith(b"{"):
-        return _load_v1(path)
-    raise ValueError(
-        f"{path} is not a recognised index file (expected a format v{FORMAT_VERSION} "
-        f"binary container or a legacy v{LEGACY_JSON_VERSION} JSON document)"
-    )
+        index = _load_v2(path, persistence)
+    elif head.lstrip().startswith(b"{"):
+        index = _load_v1(path)
+    else:
+        raise ValueError(
+            f"{path} is not a recognised index file (expected a format "
+            f"v{FORMAT_VERSION} directory, a v{V2_FORMAT_VERSION} binary container "
+            f"or a legacy v{LEGACY_JSON_VERSION} JSON document)"
+        )
+    if shard_workers is not None:
+        engine = index._engine  # noqa: SLF001 - friend module
+        assert engine is not None
+        engine.shard_workers = shard_workers
+    return index
 
 
 def convert_index_file(
     source: str | Path, destination: str | Path, config: PersistenceConfig | None = None
 ) -> AnyIndex:
-    """Convert a saved index (any readable version) to the current format.
+    """Convert a saved index (any readable version) to a writable format.
 
-    Loads ``source`` — typically a legacy v1 JSON file — and rewrites it at
-    ``destination`` as a format v2 binary container.  Returns the loaded
-    index so callers can keep using it.
+    Loads ``source`` (v1 JSON, v2 container or v3 directory) and rewrites
+    it at ``destination`` in the configured format — v3 by default, so this
+    is the v1/v2 → v3 upgrade path, and with
+    ``PersistenceConfig(format_version=2)`` the v3 → v2 downgrade path for
+    deployments that must hand files back to an older release.  Returns the
+    loaded index so callers can keep using it.
     """
     index = load_index(source, config=config)
     save_index(index, destination, config=config)
     return index
+
+
+def index_disk_bytes(path: str | Path) -> int:
+    """Total on-disk footprint of a saved index (file, or v3 directory)."""
+    path = Path(path)
+    if path.is_dir():
+        return sum(entry.stat().st_size for entry in path.iterdir() if entry.is_file())
+    return path.stat().st_size
+
+
+def _container_resident_bytes(path: Path) -> int:
+    """Sum of array sizes in a v3 container, from its header only."""
+    with open(path, "rb") as handle:
+        prefix = handle.read(_V3_PREFIX.size)
+        if len(prefix) < _V3_PREFIX.size:
+            raise ValueError(
+                f"{path} is truncated: too short to hold a v3 container prefix"
+            )
+        magic, _revision, header_len, _data_start = _V3_PREFIX.unpack(prefix)
+        if magic != _V3_MAGIC:
+            raise ValueError(f"{path} is not a v3 array container (bad magic)")
+        header_bytes = handle.read(header_len)
+        if len(header_bytes) < header_len:
+            raise ValueError(f"{path} is truncated inside its container header")
+        try:
+            header = json.loads(header_bytes.decode("utf-8"))
+            entries = header["arrays"].values()
+        except (ValueError, KeyError, AttributeError) as error:
+            raise ValueError(f"{path} has a corrupt container header: {error}") from error
+    total = 0
+    for entry in entries:
+        dtype = np.dtype(entry["dtype"])
+        total += dtype.itemsize * int(np.prod(entry["shape"], dtype=np.int64))
+    return total
+
+
+def _npz_array_counts(path: Path) -> dict[str, int]:
+    """Element counts of every array in an ``.npz`` container, header-only.
+
+    Reads each zip member's ``.npy`` header (a few dozen bytes, inflated
+    incrementally) instead of decompressing the array data, so inspecting a
+    large v2 file stays cheap.  Falls back to loading the container when a
+    member uses a ``.npy`` format revision the header readers reject.
+    """
+    counts: dict[str, int] = {}
+    try:
+        with zipfile.ZipFile(path) as archive:
+            for info in archive.infolist():
+                name = info.filename
+                if not name.endswith(".npy") or name == "meta.npy":
+                    continue
+                with archive.open(info) as member:
+                    version = np.lib.format.read_magic(member)
+                    if version == (1, 0):
+                        shape, _fortran, _dtype = np.lib.format.read_array_header_1_0(member)
+                    else:
+                        shape, _fortran, _dtype = np.lib.format.read_array_header_2_0(member)
+                counts[name[: -len(".npy")]] = int(np.prod(shape, dtype=np.int64))
+    except ValueError:  # pragma: no cover - future .npy header revisions
+        with np.load(path, allow_pickle=False) as container:
+            counts = {
+                name: int(container[name].size)
+                for name in container.files
+                if name != "meta"
+            }
+    return counts
+
+
+def describe_index_file(path: str | Path) -> dict[str, Any]:
+    """Metadata of a saved index without fully loading it (CLI ``inspect``).
+
+    Works for all three formats and returns a dict with ``format_version``,
+    ``kind``, ``num_vectors``, ``repetitions``, ``build_stats``,
+    ``disk_bytes``, ``resident_bytes`` (estimated size of the arrays once
+    loaded in RAM mode — for v3 this is also the ceiling an mmap workload
+    can page in), and for v3 additionally ``num_shards``, ``fences`` and a
+    per-shard ``shards`` table of slot/posting counts.
+    """
+    path = Path(path)
+    disk_bytes = index_disk_bytes(path)
+    if path.is_dir():
+        manifest = _read_manifest(path)
+        resident = sum(
+            _container_resident_bytes(path / str(name))
+            for name in [manifest["store_file"], *manifest["shard_files"]]
+        )
+        shards = [
+            {
+                "slots": sum(int(rep["num_slots"]) for rep in entry["repetitions"]),
+                "postings": sum(int(rep["num_postings"]) for rep in entry["repetitions"]),
+            }
+            for entry in manifest["shards"]
+        ]
+        return {
+            "format_version": FORMAT_VERSION,
+            "kind": manifest["config"].get("kind"),
+            "num_vectors": int(manifest["num_vectors"]),
+            "num_vectors_hint": int(manifest["num_vectors_hint"]),
+            "repetitions": int(manifest["repetitions"]),
+            "build_stats": dict(manifest["build_stats"]),
+            "num_shards": int(manifest["num_shards"]),
+            "fences": [int(fence) for fence in manifest["fences"]],
+            "shards": shards,
+            "disk_bytes": disk_bytes,
+            "resident_bytes": resident,
+        }
+    with open(path, "rb") as handle:
+        head = handle.read(64)
+    if head.startswith(_ZIP_MAGIC):
+        try:
+            with np.load(path, allow_pickle=False) as container:
+                try:
+                    meta = json.loads(bytes(container["meta"]).decode("utf-8"))
+                except (KeyError, ValueError) as error:
+                    raise ValueError(
+                        f"{path} is not a valid index file: missing or corrupt metadata"
+                    ) from error
+            # Estimate the footprint *after* a RAM load, on the same footing
+            # as the v3 figure: the narrowed ids/items widen back to int64,
+            # the delta-encoded lengths become int64 offsets, and every slot
+            # re-derives its folded key plus a probe-table entry (8+8 bytes)
+            # that v3 stores explicitly.  Element counts come from the
+            # ``.npy`` member headers — nothing is decompressed beyond a few
+            # bytes each.
+            resident = 0
+            for name, count in _npz_array_counts(path).items():
+                resident += (count + 1) * 8 if name.endswith("_lengths") else count * 8
+                if name.endswith("path_lengths"):
+                    resident += count * 16
+        except (zipfile.BadZipFile, zlib.error, EOFError) as error:
+            # Same contract as loading: zip-level corruption surfaces as the
+            # documented (CLI-catchable) ValueError.
+            raise ValueError(f"{path} is not a valid index file: {error}") from error
+        return {
+            "format_version": V2_FORMAT_VERSION,
+            "kind": meta.get("config", {}).get("kind"),
+            "num_vectors": int(meta.get("num_vectors", 0)),
+            "num_vectors_hint": int(meta.get("num_vectors_hint", 0)),
+            "repetitions": int(meta.get("repetitions", 0)),
+            "build_stats": dict(meta.get("build_stats", {})),
+            "num_shards": None,
+            "fences": None,
+            "shards": None,
+            "disk_bytes": disk_bytes,
+            "resident_bytes": resident,
+        }
+    if head.lstrip().startswith(b"{"):
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        engine_payload = payload.get("engine", {})
+        postings = engine_payload.get("postings", [])
+        entries = sum(
+            len(vector_ids)
+            for repetition in postings
+            for _stored_path, vector_ids in repetition
+        )
+        items = sum(
+            len(stored_path)
+            for repetition in postings
+            for stored_path, _vector_ids in repetition
+        )
+        vector_items = sum(len(members) for members in engine_payload.get("vectors", []))
+        return {
+            "format_version": LEGACY_JSON_VERSION,
+            "kind": payload.get("config", {}).get("kind"),
+            "num_vectors": len(engine_payload.get("vectors", [])),
+            "num_vectors_hint": len(engine_payload.get("vectors", [])),
+            "repetitions": len(postings),
+            "build_stats": dict(engine_payload.get("build_stats", {})),
+            "num_shards": None,
+            "fences": None,
+            "shards": None,
+            "disk_bytes": disk_bytes,
+            "resident_bytes": 8 * (entries + items + vector_items),
+        }
+    raise ValueError(f"{path} is not a recognised index file")
 
 
 # --------------------------------------------------------------------- #

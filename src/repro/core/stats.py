@@ -100,6 +100,13 @@ class QueryStats:
         Whether a vector satisfying the acceptance predicate was returned.
     repetitions_used:
         Number of repetitions inspected before the query terminated.
+    shards_probed:
+        Number of (repetition, shard) probe tables the query's filters
+        routed to.  An in-memory (RAM-mode) store counts as one shard per
+        repetition probed; a sharded mmap store counts the distinct
+        key-range shards actually touched — this is an execution-strategy
+        observable, not part of the paper's work measure, so it is the one
+        counter allowed to differ between RAM and mmap mode.
     from_cache:
         True when this entry describes a query answered from a batch's
         duplicate-query cache: the result is the cached answer and the work
@@ -113,6 +120,7 @@ class QueryStats:
     similarity_evaluations: int = 0
     found: bool = False
     repetitions_used: int = 0
+    shards_probed: int = 0
     from_cache: bool = False
 
     def add(self, other: "QueryStats") -> None:
@@ -123,6 +131,7 @@ class QueryStats:
         self.similarity_evaluations += other.similarity_evaluations
         self.found = self.found or other.found
         self.repetitions_used += other.repetitions_used
+        self.shards_probed += other.shards_probed
 
     @property
     def total_work(self) -> int:
@@ -177,8 +186,20 @@ class BatchQueryStats:
     merge_seconds:
         Time spent in the CSR probe/merge phase — resolving the batch's
         folded path keys against the postings store and merging the gathered
-        posting segments into per-query candidate sets (0 when the set-based
-        reference path runs).
+        posting segments into per-query candidate sets.
+    shards_probed:
+        Number of (chunk, repetition, shard) probe-table visits the batch's
+        deduplicated probe sets performed.  A RAM-mode store is one shard,
+        so this counts probed repetitions per chunk; a sharded mmap store
+        counts the distinct key-range shards each chunk-repetition probe
+        actually touched (the fan-out width the per-shard thread pool can
+        exploit).
+    minor_page_faults / major_page_faults:
+        Process-wide page-fault deltas (``getrusage``) across the batch
+        call.  Chiefly interesting in mmap mode, where major faults are the
+        cost of paging cold shards in from disk; 0 on platforms without
+        ``resource``.  Advisory — concurrent activity in the process is
+        included.
     """
 
     num_queries: int = 0
@@ -190,6 +211,9 @@ class BatchQueryStats:
     generation_seconds: float = 0.0
     verification_seconds: float = 0.0
     merge_seconds: float = 0.0
+    shards_probed: int = 0
+    minor_page_faults: int = 0
+    major_page_faults: int = 0
 
     @property
     def dedupe_hit_rate(self) -> float:
@@ -229,6 +253,9 @@ class BatchQueryStats:
             generation_seconds=self.generation_seconds + other.generation_seconds,
             verification_seconds=self.verification_seconds + other.verification_seconds,
             merge_seconds=self.merge_seconds + other.merge_seconds,
+            shards_probed=self.shards_probed + other.shards_probed,
+            minor_page_faults=self.minor_page_faults + other.minor_page_faults,
+            major_page_faults=self.major_page_faults + other.major_page_faults,
         )
 
     def to_dict(self) -> dict[str, Any]:

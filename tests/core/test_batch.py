@@ -187,11 +187,14 @@ class TestBatchStatsAccounting:
         assert stats.verification_seconds >= 0.0
 
     def test_batch_config_kwargs(self):
-        config = BatchQueryConfig(batch_size=32, max_workers=2, deduplicate_queries=False)
+        config = BatchQueryConfig(
+            batch_size=32, max_workers=2, deduplicate_queries=False, shard_workers=4
+        )
         assert config.as_kwargs() == {
             "batch_size": 32,
             "max_workers": 2,
             "deduplicate": False,
+            "shard_workers": 4,
         }
         with pytest.raises(ValueError):
             BatchQueryConfig(batch_size=0)

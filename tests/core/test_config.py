@@ -75,3 +75,50 @@ class TestCorrelatedIndexConfig:
     def test_invalid_max_paths(self):
         with pytest.raises(ValueError):
             CorrelatedIndexConfig(max_paths_per_vector=-5)
+
+
+class TestPersistenceConfig:
+    def test_defaults_are_v3_sharded(self):
+        from repro.core.config import PersistenceConfig
+
+        config = PersistenceConfig()
+        assert config.format_version == 3
+        assert config.shards == 8
+        assert config.io_workers is None
+        assert config.compress is True
+        assert config.validate_postings is True
+
+    def test_invalid_format_version(self):
+        from repro.core.config import PersistenceConfig
+
+        with pytest.raises(ValueError, match="format_version"):
+            PersistenceConfig(format_version=1)
+        with pytest.raises(ValueError, match="format_version"):
+            PersistenceConfig(format_version=4)
+
+    def test_invalid_shards_and_io_workers(self):
+        from repro.core.config import PersistenceConfig
+
+        with pytest.raises(ValueError, match="shards"):
+            PersistenceConfig(shards=0)
+        with pytest.raises(ValueError, match="io_workers"):
+            PersistenceConfig(io_workers=0)
+
+    def test_v2_downgrade_config_valid(self):
+        from repro.core.config import PersistenceConfig
+
+        config = PersistenceConfig(format_version=2, compress=False)
+        assert config.format_version == 2
+
+
+class TestBatchQueryConfigShardWorkers:
+    def test_shard_workers_default_none(self):
+        from repro.core.config import BatchQueryConfig
+
+        assert BatchQueryConfig().shard_workers is None
+
+    def test_invalid_shard_workers(self):
+        from repro.core.config import BatchQueryConfig
+
+        with pytest.raises(ValueError, match="shard_workers"):
+            BatchQueryConfig(shard_workers=0)

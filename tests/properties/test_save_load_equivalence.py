@@ -13,7 +13,11 @@ import numpy as np
 import pytest
 
 from repro.baselines.chosen_path import ChosenPathIndex
-from repro.core.config import CorrelatedIndexConfig, SkewAdaptiveIndexConfig
+from repro.core.config import (
+    CorrelatedIndexConfig,
+    PersistenceConfig,
+    SkewAdaptiveIndexConfig,
+)
 from repro.core.correlated_index import CorrelatedIndex
 from repro.core.join import similarity_join
 from repro.core.serialization import load_index, save_index
@@ -110,16 +114,27 @@ def test_save_load_equivalence_mixed_workload(
 
 @pytest.mark.parametrize("kind", ["skew_adaptive", "correlated"])
 def test_double_round_trip_is_stable(kind, skewed_distribution, skewed_dataset, tmp_path):
-    """save → load → save reproduces every stored array exactly (canonical
-    format: nothing drifts through a round trip)."""
+    """save → load → save reproduces every stored byte exactly (canonical
+    format: nothing drifts through a round trip), for both formats."""
     index = _make_index(kind, skewed_distribution)
     index.build(skewed_dataset[:60])
-    first = tmp_path / "first.bin"
-    second = tmp_path / "second.bin"
+    first = tmp_path / "first.v3"
+    second = tmp_path / "second.v3"
     save_index(index, first)
     save_index(load_index(first), second)
-    with np.load(first, allow_pickle=False) as container_a, np.load(
-        second, allow_pickle=False
+    names_a = sorted(entry.name for entry in first.iterdir())
+    names_b = sorted(entry.name for entry in second.iterdir())
+    assert names_a == names_b
+    for name in names_a:
+        assert (first / name).read_bytes() == (second / name).read_bytes(), name
+
+    first_v2 = tmp_path / "first.bin"
+    second_v2 = tmp_path / "second.bin"
+    v2_config = PersistenceConfig(format_version=2)
+    save_index(index, first_v2, config=v2_config)
+    save_index(load_index(first_v2), second_v2, config=v2_config)
+    with np.load(first_v2, allow_pickle=False) as container_a, np.load(
+        second_v2, allow_pickle=False
     ) as container_b:
         assert sorted(container_a.files) == sorted(container_b.files)
         for name in container_a.files:

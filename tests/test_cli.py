@@ -128,19 +128,32 @@ class TestConvertAndInspect:
         assert "queries/s" in capsys.readouterr().out
 
     def test_convert_round_trips(self, built_index, dataset_file, tmp_path, capsys):
-        converted = tmp_path / "converted.bin"
+        converted = tmp_path / "converted.v3"
         assert main(["convert", str(built_index), "-o", str(converted)]) == 0
-        assert "format v2" in capsys.readouterr().out
+        assert "format v3" in capsys.readouterr().out
         assert main(["query", str(converted), str(dataset_file)]) == 0
+        assert main(["query", str(converted), str(dataset_file), "--load-mode", "mmap"]) == 0
+
+    def test_convert_downgrades_to_v2(self, built_index, dataset_file, tmp_path, capsys):
+        import zipfile
+
+        downgraded = tmp_path / "downgraded.bin"
+        assert (
+            main(["convert", str(built_index), "-o", str(downgraded), "--format", "2"])
+            == 0
+        )
+        assert "format v2" in capsys.readouterr().out
+        assert zipfile.is_zipfile(downgraded)
+        assert main(["query", str(downgraded), str(dataset_file)]) == 0
 
     def test_convert_legacy_v1_file(self, built_index, dataset_file, tmp_path, capsys):
         from repro.core.serialization import _save_legacy_v1, load_index
 
         legacy = tmp_path / "legacy.json"
         _save_legacy_v1(load_index(built_index), legacy)
-        converted = tmp_path / "from_v1.bin"
+        converted = tmp_path / "from_v1.v3"
         assert main(["convert", str(legacy), "-o", str(converted)]) == 0
-        assert "smaller" in capsys.readouterr().out
+        assert "format v3" in capsys.readouterr().out
         assert main(["query", str(converted), str(dataset_file)]) == 0
 
     def test_convert_rejects_garbage(self, tmp_path, capsys):
@@ -153,13 +166,33 @@ class TestConvertAndInspect:
         assert main(["inspect", str(built_index)]) == 0
         output = capsys.readouterr().out
         assert "vectors" in output
-        assert "file bytes" in output
+        assert "disk bytes" in output
+        assert "resident bytes" in output
+        assert "v3" in output
+        assert "key-range shards" in output
+
+    def test_inspect_reports_v2_and_v1(self, built_index, tmp_path, capsys):
+        from repro.core.config import PersistenceConfig
+        from repro.core.serialization import _save_legacy_v1, load_index, save_index
+
+        index = load_index(built_index)
+        v2_path = tmp_path / "single_file.bin"
+        save_index(index, v2_path, config=PersistenceConfig(format_version=2))
+        assert main(["inspect", str(v2_path)]) == 0
+        output = capsys.readouterr().out
+        assert "v2" in output and "disk bytes" in output
+
+        v1_path = tmp_path / "legacy.json"
+        _save_legacy_v1(index, v1_path)
+        assert main(["inspect", str(v1_path)]) == 0
+        output = capsys.readouterr().out
+        assert "v1" in output and "disk bytes" in output
 
     def test_inspect_rejects_garbage(self, tmp_path, capsys):
         garbage = tmp_path / "garbage.bin"
         garbage.write_bytes(b"\x00\xffnot an index")
         assert main(["inspect", str(garbage)]) == 2
-        assert "cannot load" in capsys.readouterr().out
+        assert "cannot inspect" in capsys.readouterr().out
 
     def test_query_rejects_garbage(self, dataset_file, tmp_path, capsys):
         garbage = tmp_path / "garbage.bin"
@@ -176,7 +209,21 @@ class TestConvertAndInspect:
     def test_build_no_compress(self, dataset_file, tmp_path):
         small = tmp_path / "compressed.bin"
         large = tmp_path / "plain.bin"
-        assert main(["build", str(dataset_file), "-o", str(small), "--repetitions", "3"]) == 0
+        assert (
+            main(
+                [
+                    "build",
+                    str(dataset_file),
+                    "-o",
+                    str(small),
+                    "--repetitions",
+                    "3",
+                    "--format",
+                    "2",
+                ]
+            )
+            == 0
+        )
         assert (
             main(
                 [
@@ -186,12 +233,49 @@ class TestConvertAndInspect:
                     str(large),
                     "--repetitions",
                     "3",
+                    "--format",
+                    "2",
                     "--no-compress",
                 ]
             )
             == 0
         )
         assert large.stat().st_size > small.stat().st_size
+
+    def test_build_shards_and_mmap_query(self, dataset_file, tmp_path, capsys):
+        index_path = tmp_path / "index.v3"
+        assert (
+            main(
+                [
+                    "build",
+                    str(dataset_file),
+                    "-o",
+                    str(index_path),
+                    "--repetitions",
+                    "3",
+                    "--shards",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        assert "4 shards" in capsys.readouterr().out
+        assert index_path.is_dir()
+        assert (
+            main(
+                [
+                    "query-batch",
+                    str(index_path),
+                    str(dataset_file),
+                    "--load-mode",
+                    "mmap",
+                    "--shard-workers",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        assert "queries/s" in capsys.readouterr().out
 
 
 class TestExperiments:
