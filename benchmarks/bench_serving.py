@@ -1,0 +1,392 @@
+"""Serving throughput and latency: micro-batching vs per-request execution.
+
+The serving layer's claim is that coalescing concurrent requests into
+batched engine calls buys real capacity — not just on paper (the engine's
+batched surfaces amortise filter generation and dedupe shared probes) but
+end to end through a TCP socket, JSON parsing and the asyncio admission
+loop.  This benchmark measures that claim against the real server:
+
+* one ``repro serve`` subprocess per configuration, mmap-opening the same
+  saved v3 index (``--batch-window-ms 2`` vs ``--batch-window-ms 0``, the
+  latter executing every request as its own engine call);
+* a replay workload of ``REPRO_BENCH_SERVE_REQUESTS`` queries drawn with
+  repetition from a pool of stored vectors, issued over
+  ``REPRO_BENCH_SERVE_CLIENTS`` (default 32) concurrent keep-alive
+  connections;
+* **saturation throughput** — every client issues requests back to back;
+  the coalesced-over-uncoalesced ratio is the gated number;
+* **open-loop latency** — requests arrive on a fixed schedule at fractions
+  of the measured saturation rate (arrivals do not wait for completions, so
+  queueing delay is charged to the request like a real client would see
+  it), reported as p50/p99 per offered load.
+
+Gated number (enforced here and by ``check_batch_regression.py`` via the
+exported ``BENCH_serving.json``):
+
+* ``serving_coalescing_speedup`` — saturation throughput of the 2 ms-window
+  server over the window-0 server at 32 concurrent clients: >= 2x.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import re
+import statistics
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.core.config import PersistenceConfig, SkewAdaptiveIndexConfig
+from repro.core.skewed_index import SkewAdaptiveIndex
+from repro.evaluation.reporting import format_table
+from repro.testing import rng_for
+
+MIN_SERVING_COALESCING_SPEEDUP = 2.0
+
+#: Fractions of the measured saturation rate the open-loop sweep offers.
+OFFERED_LOAD_FRACTIONS = (0.3, 0.6, 0.9)
+
+_SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+_READY_PATTERN = re.compile(r"listening on http://[^:]+:(\d+)")
+
+
+class _ServerProcess:
+    """A ``repro serve`` subprocess on an ephemeral port."""
+
+    def __init__(self, index_path: str, batch_window_ms: float, max_batch: int):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _SRC_DIR + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self.process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                index_path,
+                "--port",
+                "0",
+                "--batch-window-ms",
+                str(batch_window_ms),
+                "--max-batch-size",
+                str(max_batch),
+                "--load-mode",
+                "mmap",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        assert self.process.stdout is not None
+        ready_line = self.process.stdout.readline()
+        match = _READY_PATTERN.search(ready_line)
+        if not match:
+            self.process.kill()
+            raise RuntimeError(f"server did not come up: {ready_line!r}")
+        self.port = int(match.group(1))
+
+    def stats(self) -> dict:
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{self.port}/stats", timeout=60
+        ) as response:
+            return json.loads(response.read())
+
+    def stop(self) -> None:
+        self.process.terminate()
+        try:
+            self.process.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait(timeout=30)
+
+
+async def _post_query(
+    reader: asyncio.StreamReader, writer: asyncio.StreamWriter, body: bytes
+) -> int:
+    """One keep-alive POST /query; returns the HTTP status."""
+    writer.write(
+        b"POST /query HTTP/1.1\r\nHost: bench\r\n"
+        b"Content-Type: application/json\r\n"
+        b"Content-Length: " + str(len(body)).encode() + b"\r\n\r\n" + body
+    )
+    await writer.drain()
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    content_length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            content_length = int(value)
+    await reader.readexactly(content_length)
+    return status
+
+
+async def _connect_pool(port: int, size: int) -> list:
+    return [await asyncio.open_connection("127.0.0.1", port) for _ in range(size)]
+
+
+async def _close_pool(pool: list) -> None:
+    for _, writer in pool:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+def _saturation_throughput(port: int, bodies: list[bytes], num_clients: int) -> dict:
+    """Closed-loop saturation: ``num_clients`` connections, back-to-back."""
+
+    async def run() -> dict:
+        pool = await _connect_pool(port, num_clients)
+        shares = [bodies[i::num_clients] for i in range(num_clients)]
+        statuses: list[int] = []
+
+        async def client(connection, share):
+            reader, writer = connection
+            for body in share:
+                statuses.append(await _post_query(reader, writer, body))
+
+        start = time.perf_counter()
+        await asyncio.gather(
+            *(client(pool[i], shares[i]) for i in range(num_clients))
+        )
+        elapsed = time.perf_counter() - start
+        await _close_pool(pool)
+        assert all(status == 200 for status in statuses), (
+            f"saturation run saw non-200 statuses: "
+            f"{sorted(set(statuses) - {200})}"
+        )
+        return {
+            "requests": len(statuses),
+            "seconds": elapsed,
+            "throughput_qps": len(statuses) / elapsed,
+        }
+
+    return asyncio.run(run())
+
+
+def _open_loop_latency(
+    port: int, bodies: list[bytes], rate_qps: float, num_clients: int
+) -> dict:
+    """Open-loop replay: arrivals on a fixed schedule at ``rate_qps``.
+
+    Arrivals do not wait for completions — each request's latency is
+    measured from its *scheduled* arrival, so client-side queueing for a
+    free connection is charged to the request exactly as a real open-loop
+    client would experience it.
+    """
+
+    async def run() -> dict:
+        pool = await _connect_pool(port, num_clients)
+        free: asyncio.Queue = asyncio.Queue()
+        for connection in pool:
+            free.put_nowait(connection)
+        latencies: list[float] = []
+        shed = 0
+
+        async def one(body: bytes, scheduled_at: float) -> None:
+            nonlocal shed
+            connection = await free.get()
+            try:
+                reader, writer = connection
+                status = await _post_query(reader, writer, body)
+                if status == 429:
+                    shed += 1
+                else:
+                    latencies.append(time.perf_counter() - scheduled_at)
+            finally:
+                free.put_nowait(connection)
+
+        start = time.perf_counter()
+        tasks = []
+        for i, body in enumerate(bodies):
+            scheduled_at = start + i / rate_qps
+            delay = scheduled_at - time.perf_counter()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            tasks.append(asyncio.ensure_future(one(body, scheduled_at)))
+        await asyncio.gather(*tasks)
+        elapsed = time.perf_counter() - start
+        await _close_pool(pool)
+        ordered = sorted(latencies)
+
+        def percentile(quantile: float) -> float:
+            rank = max(1, int(-(-quantile * len(ordered) // 1)))  # ceil
+            return ordered[rank - 1]
+
+        return {
+            "offered_qps": rate_qps,
+            "achieved_qps": len(bodies) / elapsed,
+            "completed": len(latencies),
+            "shed": shed,
+            "p50_ms": percentile(0.50) * 1000.0,
+            "p99_ms": percentile(0.99) * 1000.0,
+            "mean_ms": statistics.fmean(ordered) * 1000.0,
+        }
+
+    return asyncio.run(run())
+
+
+def _run(distribution, num_vectors, num_requests, num_clients, window_ms, tmp_path):
+    rng = rng_for("bench:serving-dataset")
+    dataset = [
+        vector if vector else frozenset({0})
+        for vector in distribution.sample_many(num_vectors, rng)
+    ]
+    index = SkewAdaptiveIndex(
+        distribution, config=SkewAdaptiveIndexConfig(b1=0.5, repetitions=4, seed=1)
+    )
+    index.build(dataset)
+    index_path = tmp_path / "index.v3"
+    save_shards = int(os.environ.get("REPRO_BENCH_SERVE_SHARDS", "8"))
+    from repro.core.serialization import save_index
+
+    save_index(index, index_path, config=PersistenceConfig(shards=save_shards))
+
+    # Replay trace: draw with repetition from a bounded pool of stored
+    # vectors (a serving workload revisits a working set; duplicates let the
+    # batch probe dedupe contribute, which is part of the claim).
+    pool_size = min(1000, len(dataset))
+    replay_rng = rng_for("bench:serving-replay")
+    picks = replay_rng.integers(0, pool_size, size=num_requests)
+    bodies = [
+        json.dumps({"query": sorted(dataset[int(pick)])}).encode() for pick in picks
+    ]
+
+    max_batch = max(num_clients * 2, 64)
+    coalesced_server = _ServerProcess(str(index_path), window_ms, max_batch)
+    try:
+        # Warm the page cache and the engine before timing.
+        _saturation_throughput(coalesced_server.port, bodies[: num_clients * 4], num_clients)
+        coalesced = _saturation_throughput(coalesced_server.port, bodies, num_clients)
+        sweep = [
+            _open_loop_latency(
+                coalesced_server.port,
+                bodies,
+                fraction * coalesced["throughput_qps"],
+                num_clients,
+            )
+            for fraction in OFFERED_LOAD_FRACTIONS
+        ]
+        server_stats = coalesced_server.stats()["indexes"]["default"]
+    finally:
+        coalesced_server.stop()
+
+    uncoalesced_server = _ServerProcess(str(index_path), 0.0, max_batch)
+    try:
+        _saturation_throughput(
+            uncoalesced_server.port, bodies[: num_clients * 4], num_clients
+        )
+        uncoalesced = _saturation_throughput(uncoalesced_server.port, bodies, num_clients)
+    finally:
+        uncoalesced_server.stop()
+
+    return {
+        "num_vectors": num_vectors,
+        "num_requests": len(bodies),
+        "num_clients": num_clients,
+        "batch_window_ms": window_ms,
+        "max_batch_queries": max_batch,
+        "replay_pool_size": pool_size,
+        "coalesced_throughput_qps": coalesced["throughput_qps"],
+        "uncoalesced_throughput_qps": uncoalesced["throughput_qps"],
+        "serving_coalescing_speedup": coalesced["throughput_qps"]
+        / uncoalesced["throughput_qps"],
+        "mean_batch_occupancy": server_stats["mean_batch_occupancy"],
+        "max_batch_occupancy": server_stats["max_batch_occupancy"],
+        "engine_calls": server_stats["engine_calls"],
+        "dedupe_hit_rate": server_stats["engine"]["dedupe_hit_rate"],
+        "open_loop": sweep,
+    }
+
+
+def test_serving_micro_batching_throughput(benchmark, bench_skewed_distribution, tmp_path):
+    num_vectors = int(os.environ.get("REPRO_BENCH_SERVE_N", "20000"))
+    num_requests = int(os.environ.get("REPRO_BENCH_SERVE_REQUESTS", "2000"))
+    num_clients = int(os.environ.get("REPRO_BENCH_SERVE_CLIENTS", "32"))
+    window_ms = float(os.environ.get("REPRO_BENCH_SERVE_WINDOW_MS", "2.0"))
+
+    result = benchmark.pedantic(
+        _run,
+        kwargs=dict(
+            distribution=bench_skewed_distribution,
+            num_vectors=num_vectors,
+            num_requests=num_requests,
+            num_clients=num_clients,
+            window_ms=window_ms,
+            tmp_path=tmp_path,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(
+        format_table(
+            [
+                {
+                    "n": result["num_vectors"],
+                    "clients": result["num_clients"],
+                    "window ms": result["batch_window_ms"],
+                    "coalesced qps": round(result["coalesced_throughput_qps"], 0),
+                    "window-0 qps": round(result["uncoalesced_throughput_qps"], 0),
+                    "speedup": round(result["serving_coalescing_speedup"], 2),
+                    "mean occupancy": round(result["mean_batch_occupancy"], 1),
+                    "dedupe rate": round(result["dedupe_hit_rate"], 3),
+                }
+            ],
+            title="Saturation throughput: 2 ms admission window vs per-request execution",
+        )
+    )
+    print(
+        format_table(
+            [
+                {
+                    "offered qps": round(entry["offered_qps"], 0),
+                    "achieved qps": round(entry["achieved_qps"], 0),
+                    "p50 ms": round(entry["p50_ms"], 2),
+                    "p99 ms": round(entry["p99_ms"], 2),
+                    "mean ms": round(entry["mean_ms"], 2),
+                    "shed": entry["shed"],
+                }
+                for entry in result["open_loop"]
+            ],
+            title="Open-loop latency vs offered load (coalescing server)",
+        )
+    )
+
+    extra = {key: value for key, value in result.items() if key != "open_loop"}
+    for fraction, entry in zip(OFFERED_LOAD_FRACTIONS, result["open_loop"]):
+        label = str(int(fraction * 100))
+        extra[f"p50_ms_at_{label}pct"] = entry["p50_ms"]
+        extra[f"p99_ms_at_{label}pct"] = entry["p99_ms"]
+        extra[f"offered_qps_at_{label}pct"] = entry["offered_qps"]
+    extra["min_serving_coalescing_speedup"] = MIN_SERVING_COALESCING_SPEEDUP
+    extra["paper_expectation"] = (
+        "batched query execution amortises filter generation and dedupes "
+        "shared probes; server-side micro-batching makes that win available "
+        "to concurrent independent clients"
+    )
+    benchmark.extra_info.update(extra)
+
+    assert result["mean_batch_occupancy"] > 1.0, (
+        "the coalescing server never batched anything — the admission "
+        "window is not seeing concurrent requests"
+    )
+    assert result["serving_coalescing_speedup"] >= MIN_SERVING_COALESCING_SPEEDUP, (
+        f"micro-batching regressed: only "
+        f"{result['serving_coalescing_speedup']:.2f}x the window-0 "
+        f"throughput at {num_clients} clients "
+        f"(bound {MIN_SERVING_COALESCING_SPEEDUP}x)"
+    )

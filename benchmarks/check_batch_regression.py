@@ -16,7 +16,11 @@ default 1.5x):
 * ``cold_open_speedup``, ``sharded_save_speedup``, ``sharded_load_speedup``
   — v3 cold open-to-first-query and sharded save/load vs the v2 container
   (``benchmarks/bench_cold_start.py``, ``BENCH_cold_start.json``; these
-  always export their own scale-aware ``min_*`` bounds).
+  always export their own scale-aware ``min_*`` bounds);
+* ``serving_coalescing_speedup`` — end-to-end saturation throughput of the
+  micro-batching server over the same server with the admission window
+  disabled (``benchmarks/bench_serving.py``, ``BENCH_serving.json``;
+  exports its own ``min_serving_coalescing_speedup`` bound of 2.0).
 
 *Upper-bounded ratios* (must be **at most** the benchmark-exported
 ``max_<key>`` bound):
@@ -47,6 +51,7 @@ GATED_KEYS = (
     "cold_open_speedup",
     "sharded_save_speedup",
     "sharded_load_speedup",
+    "serving_coalescing_speedup",
 )
 
 #: extra_info keys holding a gated upper-bounded ratio (<= ``max_<key>``).

@@ -23,6 +23,27 @@ from repro.data.families import two_block_probabilities, uniform_probabilities
 from repro.testing import base_seed, rng_for
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--drop-caches",
+        action="store_true",
+        default=False,
+        help=(
+            "sync and drop the kernel page cache (/proc/sys/vm/drop_caches) "
+            "before each cold-start scenario so 'cold' really means cold "
+            "disk, not warm page cache.  Needs root and Linux; intended for "
+            "off-CI acceptance runs of benchmarks/bench_cold_start.py "
+            "(see docs/benchmarks.md)."
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def drop_caches(request: pytest.FixtureRequest) -> bool:
+    """Whether ``--drop-caches`` was passed (see ``pytest_addoption``)."""
+    return bool(request.config.getoption("--drop-caches"))
+
+
 @pytest.fixture(scope="session")
 def deterministic_seed() -> int:
     """The base seed every dataset fixture derives from (default 0)."""

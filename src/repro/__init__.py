@@ -18,8 +18,8 @@ Quickstart
 >>> query = distribution.sample_correlated(dataset[3], 0.7, np.random.default_rng(2))
 >>> match, stats = index.query(query)
 
-See ``examples/`` for runnable scripts and ``DESIGN.md`` for the system
-inventory.
+See ``examples/`` for runnable scripts and ``docs/`` for the reference
+documentation (serving guide, on-disk index formats, CLI, benchmarks).
 """
 
 from repro.baselines import (

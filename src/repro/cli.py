@@ -1,7 +1,7 @@
 """Command-line interface.
 
-Four subcommands cover the workflows a downstream user needs without writing
-Python:
+Nine subcommands cover the workflows a downstream user needs without writing
+Python (``docs/cli.md`` is the full flag-by-flag reference and CI snapshot):
 
 * ``repro generate`` — write a synthetic benchmark-like dataset in
   transaction format;
@@ -28,6 +28,11 @@ Python:
 * ``repro inspect`` — print the format version, configuration, build
   statistics, shard layout and on-disk vs resident footprint of a saved
   index (any format) without running queries;
+* ``repro serve`` — serve one or more saved indexes over HTTP with
+  server-side micro-batching: concurrent requests are coalesced into
+  amortised ``query_batch`` calls (``--batch-window-ms``), bounded by a
+  load-shedding admission limit (``--max-pending``), with latency and
+  coalescing statistics on ``/stats``;
 * ``repro experiments`` — regenerate one of the paper's tables/figures as a
   text table.
 
@@ -353,6 +358,54 @@ def _cmd_query_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import IndexSpec, ServeConfig, run_server
+
+    try:
+        specs = [
+            IndexSpec(
+                name=args.name,
+                path=str(args.index),
+                load_mode=args.load_mode,
+                shard_workers=args.shard_workers,
+            )
+        ]
+        for extra in args.extra_index or []:
+            name, separator, path = extra.partition("=")
+            if not separator or not name or not path:
+                print(f"--index expects NAME=PATH, got {extra!r}")
+                return 2
+            specs.append(
+                IndexSpec(
+                    name=name,
+                    path=path,
+                    load_mode=args.load_mode,
+                    shard_workers=args.shard_workers,
+                )
+            )
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            print(f"duplicate index names: {sorted(names)}")
+            return 2
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            batch_window_ms=args.batch_window_ms,
+            max_batch_queries=args.max_batch_size,
+            max_pending_queries=args.max_pending,
+            retry_after_seconds=args.retry_after,
+        )
+    except ValueError as error:
+        print(f"cannot serve: {error}")
+        return 2
+    try:
+        run_server(specs, config)
+    except (ValueError, OSError) as error:
+        print(f"cannot serve: {error}")
+        return 2
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.evaluation.experiments import (
         figure1,
@@ -538,6 +591,74 @@ def build_parser() -> argparse.ArgumentParser:
         "(observes the CSR probe/merge phase in isolation)",
     )
     query_batch.set_defaults(handler=_cmd_query_batch)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve saved indexes over HTTP with server-side micro-batching",
+    )
+    serve.add_argument("index", type=Path, help="saved index to serve (name 'default')")
+    serve.add_argument(
+        "--name",
+        default="default",
+        help="name the positional index is addressed by (default 'default')",
+    )
+    serve.add_argument(
+        "--index",
+        dest="extra_index",
+        action="append",
+        metavar="NAME=PATH",
+        help="serve an additional index under NAME (repeatable)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="bind port; 0 picks an ephemeral port (default 8080)",
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        help="micro-batching admission window in milliseconds; concurrent "
+        "requests arriving within it coalesce into one engine call "
+        "(0 disables coalescing; default 2.0)",
+    )
+    serve.add_argument(
+        "--max-batch-size",
+        type=_positive_int,
+        default=DEFAULT_BATCH_SIZE,
+        help="dispatch a forming batch once it holds this many queries "
+        f"(default {DEFAULT_BATCH_SIZE})",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=_positive_int,
+        default=4096,
+        help="load-shedding bound on queued + executing queries per index; "
+        "beyond it requests get 429 with Retry-After (default 4096)",
+    )
+    serve.add_argument(
+        "--retry-after",
+        type=float,
+        default=None,
+        help="fixed Retry-After seconds for shed requests "
+        "(default: estimate from the current backlog)",
+    )
+    serve.add_argument(
+        "--load-mode",
+        choices=["ram", "mmap"],
+        default="mmap",
+        help="'mmap' (default) opens v3 indexes lazily — the serving "
+        "configuration; 'ram' loads everything for maximum throughput",
+    )
+    serve.add_argument(
+        "--shard-workers",
+        type=_positive_int,
+        default=None,
+        help="per-probe shard fan-out on mmap-loaded indexes (threads)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     experiments = subparsers.add_parser("experiments", help="regenerate a paper table/figure")
     experiments.add_argument(

@@ -240,6 +240,43 @@ class BatchQueryStats:
         """Total filters generated plus candidates examined over the batch."""
         return sum(stats.total_work for stats in self.per_query)
 
+    def accumulate(self, other: "BatchQueryStats", per_query: bool = False) -> None:
+        """Fold another batch's counters into this one, in place.
+
+        The in-place counterpart of :meth:`merge` for long-running
+        aggregation (the serving layer folds every coalesced engine call
+        into one accumulator for ``/stats``): all scalar counters and phase
+        timings are added, while the ``per_query`` list is **not** extended
+        unless explicitly requested — an accumulator that lives for the
+        process lifetime must stay bounded.
+        """
+        self.num_queries += other.num_queries
+        self.distinct_filter_probes += other.distinct_filter_probes
+        self.duplicate_filter_probes += other.duplicate_filter_probes
+        self.queries_deduplicated += other.queries_deduplicated
+        self.elapsed_seconds += other.elapsed_seconds
+        self.generation_seconds += other.generation_seconds
+        self.verification_seconds += other.verification_seconds
+        self.merge_seconds += other.merge_seconds
+        self.shards_probed += other.shards_probed
+        self.minor_page_faults += other.minor_page_faults
+        self.major_page_faults += other.major_page_faults
+        if per_query:
+            self.per_query.extend(other.per_query)
+
+    def summary(self) -> dict[str, Any]:
+        """Compact scalar view (no per-query entries), JSON-serialisable.
+
+        The serving layer exposes this on ``/stats``: everything
+        :meth:`to_dict` reports except the unbounded ``per_query`` list,
+        plus the derived ``dedupe_hit_rate`` and ``queries_per_second``.
+        """
+        payload = asdict(self)
+        del payload["per_query"]
+        payload["dedupe_hit_rate"] = self.dedupe_hit_rate
+        payload["queries_per_second"] = self.queries_per_second
+        return payload
+
     def merge(self, other: "BatchQueryStats") -> "BatchQueryStats":
         """Combine two batch results (e.g. chunks of a larger batch)."""
         return BatchQueryStats(

@@ -9,7 +9,8 @@ straight line on the right plot, and the observed curves are approximately
 
 Real datasets are not available offline, so the experiment profiles the
 synthetic stand-ins from :mod:`repro.data.generators`, which were
-parameterised to reproduce that shape (see DESIGN.md, substitution table).
+parameterised to reproduce that shape (that module's docstring records the
+substitution rationale and the per-dataset profiles).
 """
 
 from __future__ import annotations

@@ -1,0 +1,44 @@
+"""Async query service with server-side micro-batching.
+
+The serving layer turns the library into a network service: an
+asyncio-native HTTP front end (:mod:`repro.serve.http`) over a
+transport-independent core (:class:`~repro.serve.service.QueryService`)
+that owns one or more saved indexes — mmap-opened by default — and
+coalesces concurrent requests into amortised ``query_batch`` calls through
+a :class:`~repro.serve.batcher.MicroBatcher`.
+
+Start it from the CLI (``python -m repro serve index.v3``) or embed it::
+
+    from repro.serve import IndexSpec, QueryService, ServeConfig
+
+    service = QueryService(
+        [IndexSpec(name="default", path="index.v3", load_mode="mmap")],
+        ServeConfig(batch_window_ms=2.0, max_pending_queries=4096),
+    )
+
+See ``docs/serving.md`` for the operations guide (endpoint payloads,
+tuning the admission window, reading ``/stats``).
+"""
+
+from repro.serve.batcher import BatcherStats, MicroBatcher, Overloaded
+from repro.serve.config import ENDPOINTS, IndexSpec, ServeConfig
+from repro.serve.http import HttpServer, run_server
+from repro.serve.metrics import EndpointMetrics, LatencyWindow, ServiceMetrics
+from repro.serve.service import DEFAULT_INDEX_NAME, ApiError, QueryService
+
+__all__ = [
+    "ApiError",
+    "BatcherStats",
+    "DEFAULT_INDEX_NAME",
+    "ENDPOINTS",
+    "EndpointMetrics",
+    "HttpServer",
+    "IndexSpec",
+    "LatencyWindow",
+    "MicroBatcher",
+    "Overloaded",
+    "QueryService",
+    "ServeConfig",
+    "ServiceMetrics",
+    "run_server",
+]

@@ -1,0 +1,360 @@
+"""The micro-batching admission loop.
+
+The engine's batched surfaces already amortise filter hashing, deduplicate
+shared probes and vectorise verification across a batch — but only if
+somebody hands them a batch.  :class:`MicroBatcher` is that somebody for a
+network service: concurrent requests that arrive within a small admission
+window are coalesced into **one** ``query_batch`` call and the per-request
+results are scattered back, so independent clients pay amortised cost for
+work they happen to share.
+
+Mechanics
+---------
+Requests enter through :meth:`MicroBatcher.submit`, which enqueues a *job*
+(one or more queries sharing a mode — a ``/query`` request is a one-query
+job, a ``/query-batch`` request is one job with many) and returns a future.
+A single admission task runs the loop:
+
+1. sleep until a job arrives;
+2. hold the forming batch open until the **window** elapses (anchored at
+   the first job's arrival) or the batch reaches **max_batch_queries**,
+   whichever is first;
+3. drain whole jobs up to the size cap (a job is never split — its queries
+   must execute in one engine call so its results are a clean slice), group
+   them by query mode, and run one engine call per mode group on the
+   executor;
+4. scatter each job's result slice to its future and start over.
+
+While an engine call is executing the admission loop is *not* draining, so
+the next batch forms behind it naturally — under load the effective batch
+size grows with the service time, which is exactly the feedback loop that
+makes micro-batching stable.
+
+A window of ``0`` disables coalescing: ``submit`` dispatches each job as
+its own single-job batch immediately (still through the executor and still
+bounded by the shedding limit).  This is the baseline configuration the
+serving benchmark measures the coalescing win against.
+
+Load shedding
+-------------
+``max_pending_queries`` bounds queued plus executing queries.  A ``submit``
+that would exceed the bound raises :class:`Overloaded` (the HTTP layer maps
+it to ``429`` with a ``Retry-After`` hint) — with one exception: a job
+larger than the whole bound is admitted when the batcher is otherwise idle,
+otherwise it could never run at all.  Shed jobs never execute, so a client
+that receives 429 is guaranteed its request had no effect — there are no
+partial results to reason about.
+
+Everything except the executor-side engine call happens on the event-loop
+thread; the batcher needs no locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.core.stats import BatchQueryStats, QueryStats
+
+#: An engine batch call: ``(query_sets, mode) -> (results, BatchQueryStats)``.
+BatchRunner = Callable[[Sequence[frozenset[int]], str], tuple[list, BatchQueryStats]]
+
+
+class Overloaded(RuntimeError):
+    """Raised by :meth:`MicroBatcher.submit` when admission would exceed the
+    in-flight bound; carries the suggested client backoff in seconds."""
+
+    def __init__(self, message: str, retry_after_seconds: float):
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
+@dataclass
+class _Job:
+    """One admitted request: a slice-to-be of a coalesced engine call."""
+
+    queries: list[frozenset[int]]
+    mode: str
+    future: asyncio.Future
+    enqueued_at: float
+
+
+@dataclass
+class BatcherStats:
+    """Counters the admission loop maintains (event-loop thread only)."""
+
+    jobs_submitted: int = 0
+    jobs_shed: int = 0
+    engine_calls: int = 0
+    coalesced_calls: int = 0
+    queries_executed: int = 0
+    occupancy_sum: int = 0
+    occupancy_max: int = 0
+    engine_seconds: float = 0.0
+    #: Bounded accumulation of every engine call's BatchQueryStats.
+    engine_stats: BatchQueryStats = field(default_factory=BatchQueryStats)
+    queries_found: int = 0
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Average queries per engine call (1.0 means no coalescing won)."""
+        if self.engine_calls == 0:
+            return 0.0
+        return self.occupancy_sum / self.engine_calls
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_shed": self.jobs_shed,
+            "engine_calls": self.engine_calls,
+            "coalesced_calls": self.coalesced_calls,
+            "queries_executed": self.queries_executed,
+            "queries_found": self.queries_found,
+            "mean_batch_occupancy": self.mean_occupancy,
+            "max_batch_occupancy": self.occupancy_max,
+            "engine_seconds": self.engine_seconds,
+            "engine": self.engine_stats.summary(),
+        }
+
+
+class MicroBatcher:
+    """Coalesce concurrent query jobs into amortised engine calls.
+
+    Parameters
+    ----------
+    run_batch:
+        Synchronous engine call executed on the worker thread; typically a
+        bound ``index.query_batch``.  Must return results in input order.
+    window_seconds:
+        Admission window anchored at the first queued job; ``0`` disables
+        coalescing (every job is its own engine call).
+    max_batch_queries:
+        Dispatch a forming batch once it holds this many queries.
+    max_pending_queries:
+        Shedding bound on queued + executing queries (see module docs).
+    """
+
+    def __init__(
+        self,
+        run_batch: BatchRunner,
+        *,
+        window_seconds: float = 0.002,
+        max_batch_queries: int = 256,
+        max_pending_queries: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if window_seconds < 0:
+            raise ValueError(f"window_seconds must be non-negative, got {window_seconds}")
+        if max_batch_queries <= 0:
+            raise ValueError(
+                f"max_batch_queries must be positive, got {max_batch_queries}"
+            )
+        if max_pending_queries <= 0:
+            raise ValueError(
+                f"max_pending_queries must be positive, got {max_pending_queries}"
+            )
+        self._run_batch = run_batch
+        self.window_seconds = window_seconds
+        self.max_batch_queries = max_batch_queries
+        self.max_pending_queries = max_pending_queries
+        self._clock = clock
+        self._queue: deque[_Job] = deque()
+        self._queued_queries = 0
+        self._executing_queries = 0
+        self._arrival = asyncio.Event()
+        self._admission_task: asyncio.Task | None = None
+        # One worker thread: a single engine lane is what makes coalescing
+        # meaningful (and keeps CPU-bound numpy calls from fighting the GIL).
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-engine"
+        )
+        self._closed = False
+        self.stats = BatcherStats()
+
+    # ------------------------------------------------------------------ #
+    # Admission
+    # ------------------------------------------------------------------ #
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs currently waiting for admission."""
+        return len(self._queue)
+
+    @property
+    def inflight_queries(self) -> int:
+        """Queries queued plus queries inside the running engine call."""
+        return self._queued_queries + self._executing_queries
+
+    def estimate_retry_after(self) -> float:
+        """Suggested backoff: the backlog at the observed per-query rate.
+
+        Falls back to 1 second before any call has completed; clamped to
+        [0.05, 30] so a transient spike never tells clients to go away for
+        minutes.
+        """
+        if self.stats.queries_executed and self.stats.engine_seconds > 0:
+            per_query = self.stats.engine_seconds / self.stats.queries_executed
+            estimate = self.inflight_queries * per_query
+        else:
+            estimate = 1.0
+        return min(max(estimate, 0.05), 30.0)
+
+    def submit(
+        self, queries: Sequence[frozenset[int]], mode: str = "first"
+    ) -> asyncio.Future:
+        """Enqueue a job; the returned future resolves to
+        ``(results, per_query_stats)`` with one entry per input query.
+
+        Raises :class:`Overloaded` when admission would exceed the
+        in-flight bound, and :class:`RuntimeError` after :meth:`close`.
+        """
+        if self._closed:
+            raise RuntimeError("the batcher is closed")
+        if not queries:
+            raise ValueError("a job must contain at least one query")
+        loop = asyncio.get_running_loop()
+        num = len(queries)
+        if self.inflight_queries + num > self.max_pending_queries and (
+            self.inflight_queries > 0
+        ):
+            self.stats.jobs_shed += 1
+            raise Overloaded(
+                f"{self.inflight_queries} queries in flight; admitting {num} more "
+                f"would exceed the max_pending_queries={self.max_pending_queries} "
+                "bound",
+                retry_after_seconds=self.estimate_retry_after(),
+            )
+        job = _Job(
+            queries=list(queries),
+            mode=mode,
+            future=loop.create_future(),
+            enqueued_at=self._clock(),
+        )
+        self.stats.jobs_submitted += 1
+        self._queued_queries += num
+        if self.window_seconds == 0:
+            # No coalescing: dispatch immediately as a single-job batch.
+            loop.create_task(self._execute([job]))
+        else:
+            self._queue.append(job)
+            if self._admission_task is None or self._admission_task.done():
+                self._admission_task = loop.create_task(self._admission_loop())
+            self._arrival.set()
+        return job.future
+
+    async def _admission_loop(self) -> None:
+        """Form batches: wait for the window or the size cap, then execute."""
+        while not self._closed:
+            if not self._queue:
+                self._arrival.clear()
+                try:
+                    await self._arrival.wait()
+                except asyncio.CancelledError:
+                    return
+                continue
+            deadline = self._queue[0].enqueued_at + self.window_seconds
+            while self._queued_queries < self.max_batch_queries:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    break
+                self._arrival.clear()
+                try:
+                    await asyncio.wait_for(self._arrival.wait(), timeout=remaining)
+                except asyncio.TimeoutError:
+                    break
+                except asyncio.CancelledError:
+                    return
+            batch = self._drain()
+            if batch:
+                await self._execute(batch)
+
+    def _drain(self) -> list[_Job]:
+        """Pop whole jobs up to the size cap (always at least one)."""
+        batch: list[_Job] = []
+        total = 0
+        while self._queue:
+            job = self._queue[0]
+            if batch and total + len(job.queries) > self.max_batch_queries:
+                break
+            batch.append(self._queue.popleft())
+            total += len(job.queries)
+        return batch
+
+    # ------------------------------------------------------------------ #
+    # Execution + scatter
+    # ------------------------------------------------------------------ #
+
+    async def _execute(self, batch: list[_Job]) -> None:
+        """Run one coalesced batch: one engine call per mode group."""
+        loop = asyncio.get_running_loop()
+        num_queries = sum(len(job.queries) for job in batch)
+        self._queued_queries -= num_queries
+        self._executing_queries += num_queries
+        try:
+            # Preserve arrival order within each mode group; modes are
+            # executed in first-appearance order.
+            groups: dict[str, list[_Job]] = {}
+            for job in batch:
+                groups.setdefault(job.mode, []).append(job)
+            for mode, jobs in groups.items():
+                flat = [query for job in jobs for query in job.queries]
+                self.stats.engine_calls += 1
+                if len(flat) > 1:
+                    self.stats.coalesced_calls += 1
+                self.stats.occupancy_sum += len(flat)
+                self.stats.occupancy_max = max(self.stats.occupancy_max, len(flat))
+                call_start = self._clock()
+                try:
+                    results, batch_stats = await loop.run_in_executor(
+                        self._executor, self._run_batch, flat, mode
+                    )
+                except Exception as error:  # scatter the failure, keep serving
+                    for job in jobs:
+                        if not job.future.done():
+                            job.future.set_exception(error)
+                    continue
+                self.stats.engine_seconds += self._clock() - call_start
+                self.stats.queries_executed += len(flat)
+                self.stats.queries_found += batch_stats.num_found
+                self.stats.engine_stats.accumulate(batch_stats)
+                self._scatter(jobs, results, batch_stats.per_query)
+        finally:
+            self._executing_queries -= num_queries
+
+    @staticmethod
+    def _scatter(
+        jobs: Sequence[_Job], results: list, per_query: list[QueryStats]
+    ) -> None:
+        """Slice the engine call's results back onto each job's future."""
+        offset = 0
+        for job in jobs:
+            end = offset + len(job.queries)
+            if not job.future.done():  # the client may have disconnected
+                job.future.set_result((results[offset:end], per_query[offset:end]))
+            offset = end
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def close(self) -> None:
+        """Stop admitting, fail queued jobs, and release the worker thread."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._admission_task is not None:
+            self._admission_task.cancel()
+            try:
+                await self._admission_task
+            except asyncio.CancelledError:
+                pass
+        for job in self._queue:
+            if not job.future.done():
+                job.future.set_exception(RuntimeError("the batcher is closed"))
+        self._queue.clear()
+        self._queued_queries = 0
+        self._executor.shutdown(wait=True)

@@ -1,0 +1,265 @@
+"""Minimal asyncio HTTP/1.1 front end for :class:`QueryService`.
+
+The container ships no web framework, so this module implements the small
+HTTP subset a JSON query service needs directly on ``asyncio`` streams:
+request-line + header parsing, ``Content-Length`` bodies, keep-alive
+connections, and JSON responses.  It is deliberately not a general server —
+no chunked transfer, no TLS, no compression — but it is robust against the
+failure modes a benchmark or misbehaving client will actually produce
+(oversized bodies, garbage request lines, mid-request disconnects), and a
+single event loop multiplexes thousands of connections, which is what lets
+the micro-batcher see concurrent requests in the first place.
+
+Endpoints (all JSON; see ``docs/serving.md`` for payloads):
+
+========  =================  ==============================================
+method    path               handled by
+========  =================  ==============================================
+POST      /query             :meth:`QueryService.query`
+POST      /query-batch       :meth:`QueryService.query_batch`
+POST      /similarity-join   :meth:`QueryService.similarity_join_endpoint`
+GET       /healthz           :meth:`QueryService.healthz`
+GET       /stats             :meth:`QueryService.stats`
+POST      /reload            :meth:`QueryService.reload`
+========  =================  ==============================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, Sequence
+
+from repro.serve.config import IndexSpec, ServeConfig
+from repro.serve.service import ApiError, QueryService
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Endpoints that accept a body.
+_POST_PATHS = frozenset({"/query", "/query-batch", "/similarity-join", "/reload"})
+_GET_PATHS = frozenset({"/healthz", "/stats"})
+
+_MAX_HEADER_BYTES = 16 * 1024
+
+
+class _BadRequest(Exception):
+    """Unacceptable request framing; answered with ``status`` and closed."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+def _encode_response(
+    status: int, payload: Any, headers: dict[str, str] | None = None, close: bool = False
+) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'close' if close else 'keep-alive'}",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+class HttpServer:
+    """Bind a :class:`QueryService` to a TCP port."""
+
+    def __init__(self, service: QueryService, host: str, port: int):
+        self.service = service
+        self.host = host
+        self.port = port  # replaced by the bound port after start()
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _BadRequest as error:
+                    writer.write(
+                        _encode_response(error.status, {"error": str(error)}, close=True)
+                    )
+                    await writer.drain()
+                    break
+                if request is None:  # clean EOF between requests
+                    break
+                method, path, headers, body = request
+                response = await self._dispatch(method, path, body)
+                writer.write(response)
+                await writer.drain()
+                if headers.get("connection", "").lower() == "close":
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes] | None:
+        """Parse one request; ``None`` on clean EOF before a request line."""
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _BadRequest(f"malformed request line {request_line[:80]!r}")
+        method, target = parts[0].upper(), parts[1]
+        path = target.split("?", 1)[0]
+        headers: dict[str, str] = {}
+        header_bytes = 0
+        while True:
+            line = await reader.readline()
+            header_bytes += len(line)
+            if header_bytes > _MAX_HEADER_BYTES:
+                raise _BadRequest("header section too large")
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        if headers.get("transfer-encoding"):
+            raise _BadRequest("chunked transfer encoding is not supported")
+        body = b""
+        if "content-length" in headers:
+            try:
+                length = int(headers["content-length"])
+            except ValueError:
+                raise _BadRequest("invalid Content-Length") from None
+            if length < 0:
+                raise _BadRequest("invalid Content-Length")
+            if length > self.service.config.max_body_bytes:
+                raise _BadRequest(
+                    f"body of {length} bytes exceeds the "
+                    f"{self.service.config.max_body_bytes}-byte limit",
+                    status=413,
+                )
+            body = await reader.readexactly(length)
+        return method, path, headers, body
+
+    async def _dispatch(self, method: str, path: str, body: bytes) -> bytes:
+        """Route one request and record endpoint metrics."""
+        service = self.service
+        known = path in _POST_PATHS or path in _GET_PATHS
+        endpoint = service.metrics.endpoint(path if known else "<unknown>")
+        start = time.monotonic()
+        status = 500
+        headers: dict[str, str] = {}
+        try:
+            if not known:
+                status, payload = 404, {"error": f"unknown endpoint {path!r}"}
+            elif (path in _POST_PATHS) != (method == "POST") and method != "HEAD":
+                status = 405
+                payload = {"error": f"{method} not allowed on {path}"}
+                headers["Allow"] = "POST" if path in _POST_PATHS else "GET"
+            elif path == "/healthz":
+                status, payload = service.healthz()
+            elif path == "/stats":
+                status, payload = 200, service.stats()
+            else:
+                try:
+                    request_payload = json.loads(body.decode("utf-8")) if body else {}
+                except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                    raise ApiError(400, f"request body is not valid JSON: {error}") from None
+                if not isinstance(request_payload, dict):
+                    raise ApiError(400, "request body must be a JSON object")
+                if path == "/query":
+                    payload = await service.query(request_payload)
+                elif path == "/query-batch":
+                    payload = await service.query_batch(request_payload)
+                elif path == "/similarity-join":
+                    payload = await service.similarity_join_endpoint(request_payload)
+                else:  # /reload
+                    payload = await service.reload(request_payload)
+                status = 200
+        except ApiError as error:
+            status = error.status
+            headers.update(error.headers)
+            payload = {"error": str(error)}
+            if "Retry-After" in headers:
+                payload["retry_after_seconds"] = float(headers["Retry-After"])
+        except Exception as error:  # never kill the connection loop
+            status = 500
+            payload = {"error": f"internal error: {type(error).__name__}: {error}"}
+        endpoint.record(
+            time.monotonic() - start,
+            error=status >= 400 and status != 429,
+            shed=status == 429,
+        )
+        return _encode_response(status, payload, headers)
+
+
+async def _run(specs: Sequence[IndexSpec], config: ServeConfig, ready_message: bool) -> None:
+    service = QueryService(specs, config)
+    await service.start()
+    server = HttpServer(service, config.host, config.port)
+    await server.start()
+    if ready_message:
+        names = ", ".join(
+            f"{spec.name}={spec.path} ({spec.load_mode})" for spec in service.specs
+        )
+        print(
+            f"repro-serve listening on http://{config.host}:{server.port} "
+            f"(window {config.batch_window_ms:g} ms, max batch "
+            f"{config.max_batch_queries}, max pending {config.max_pending_queries}) "
+            f"serving {names}",
+            flush=True,
+        )
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.close()
+        await service.close()
+
+
+def run_server(
+    specs: Sequence[IndexSpec],
+    config: ServeConfig | None = None,
+    ready_message: bool = True,
+) -> None:
+    """Blocking entry point: load the indexes, bind, serve until interrupted."""
+    try:
+        asyncio.run(_run(specs, config if config is not None else ServeConfig(), ready_message))
+    except KeyboardInterrupt:
+        pass

@@ -1,0 +1,111 @@
+"""Serving-side observability: latency percentiles and endpoint counters.
+
+The service keeps its metrics deliberately simple and allocation-free on the
+hot path: per endpoint, a fixed-size ring of recent request latencies (the
+p50/p99 on ``/stats`` are order statistics over that window, not a decaying
+sketch) plus monotone counters for requests, errors and shed admissions.
+Engine-level counters (probe dedupe, phase timings, page faults) are not
+re-invented — every coalesced engine call's
+:class:`~repro.core.stats.BatchQueryStats` is folded into one bounded
+accumulator via :meth:`~repro.core.stats.BatchQueryStats.accumulate` and
+surfaced through :meth:`~repro.core.stats.BatchQueryStats.summary`.
+
+Everything here is touched only from the event-loop thread, so no locking
+is needed.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any
+
+
+class LatencyWindow:
+    """Ring buffer of recent latencies with order-statistic percentiles.
+
+    ``record`` is O(1); ``snapshot`` sorts the window (a few thousand
+    floats) and is only paid when ``/stats`` is scraped.
+    """
+
+    def __init__(self, capacity: int = 2048):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._window: deque[float] = deque(maxlen=capacity)
+        self.count = 0
+        self.total_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        self._window.append(seconds)
+        self.count += 1
+        self.total_seconds += seconds
+
+    @staticmethod
+    def _percentile(ordered: list[float], quantile: float) -> float:
+        """Nearest-rank percentile of an already-sorted sample."""
+        rank = max(1, math.ceil(quantile * len(ordered)))
+        return ordered[rank - 1]
+
+    def snapshot(self) -> dict[str, Any]:
+        """Percentiles (milliseconds) over the retained window."""
+        if not self._window:
+            return {"count": 0, "p50_ms": 0.0, "p99_ms": 0.0, "mean_ms": 0.0, "max_ms": 0.0}
+        ordered = sorted(self._window)
+        scale = 1000.0
+        return {
+            "count": self.count,
+            "p50_ms": self._percentile(ordered, 0.50) * scale,
+            "p99_ms": self._percentile(ordered, 0.99) * scale,
+            "mean_ms": (sum(ordered) / len(ordered)) * scale,
+            "max_ms": ordered[-1] * scale,
+        }
+
+
+class EndpointMetrics:
+    """Counters and a latency window for one endpoint."""
+
+    def __init__(self, latency_window: int = 2048):
+        self.requests = 0
+        self.errors = 0
+        self.shed = 0
+        self.latency = LatencyWindow(latency_window)
+
+    def record(self, seconds: float, *, error: bool = False, shed: bool = False) -> None:
+        self.requests += 1
+        if error:
+            self.errors += 1
+        if shed:
+            self.shed += 1
+        else:
+            # Shed requests are refused in microseconds; including them
+            # would make the latency percentiles look better under the
+            # exact overload they are meant to expose.
+            self.latency.record(seconds)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "shed": self.shed,
+            "latency": self.latency.snapshot(),
+        }
+
+
+class ServiceMetrics:
+    """Per-endpoint metrics map with lazy creation."""
+
+    def __init__(self, latency_window: int = 2048):
+        self._latency_window = latency_window
+        self._endpoints: dict[str, EndpointMetrics] = {}
+
+    def endpoint(self, path: str) -> EndpointMetrics:
+        metrics = self._endpoints.get(path)
+        if metrics is None:
+            metrics = self._endpoints[path] = EndpointMetrics(self._latency_window)
+        return metrics
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            path: metrics.snapshot()
+            for path, metrics in sorted(self._endpoints.items())
+        }

@@ -1,0 +1,367 @@
+"""The query service: named indexes, coalesced execution, stats, reload.
+
+:class:`QueryService` is the transport-independent core of the serving
+layer: it owns one or more indexes loaded via
+:func:`~repro.core.serialization.load_index` (mmap mode by default — open,
+don't load), routes query traffic through one
+:class:`~repro.serve.batcher.MicroBatcher` per index, and answers the
+observability and lifecycle requests (``/healthz``, ``/stats``,
+``/reload``).  The HTTP layer in :mod:`repro.serve.http` is a thin JSON
+adapter over these methods, so tests and embedding applications can drive
+the service without a socket.
+
+Request execution guarantees:
+
+* results are **bit-identical** to un-coalesced single queries — the
+  micro-batcher hands whole batches to ``query_batch``, whose contract is
+  exactly ``[query(q, mode)[0] for q in queries]``;
+* a request shed with 429 never executed — there are no partial results;
+* a reload swaps the index atomically between engine calls: in-flight
+  batches finish on the old index, later batches see the new one, and
+  ``/healthz`` reports the index as reloading (503) for the duration.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from typing import Any, Mapping, Sequence
+
+from repro.core.join import similarity_join
+from repro.serve.batcher import MicroBatcher, Overloaded
+from repro.serve.config import IndexSpec, ServeConfig
+from repro.serve.metrics import ServiceMetrics
+from repro.similarity.predicates import SimilarityPredicate
+
+#: Index name used when a request omits the ``"index"`` field.
+DEFAULT_INDEX_NAME = "default"
+
+
+class ApiError(Exception):
+    """A request failure with an HTTP status and optional extra headers."""
+
+    def __init__(self, status: int, message: str, headers: Mapping[str, str] | None = None):
+        super().__init__(message)
+        self.status = status
+        self.headers = dict(headers or {})
+
+
+class _ServedIndex:
+    """One index the service owns: spec, loaded instance, batcher, status."""
+
+    def __init__(self, spec: IndexSpec, config: ServeConfig):
+        self.spec = spec
+        self.config = config
+        self.index = None
+        self.status = "loading"
+        self.load_seconds = 0.0
+        self.loaded_at: float | None = None
+        self.reloads = 0
+        self.batcher = MicroBatcher(
+            self._run_batch,
+            window_seconds=config.batch_window_seconds,
+            max_batch_queries=config.max_batch_queries,
+            max_pending_queries=config.max_pending_queries,
+        )
+
+    def _run_batch(self, queries, mode):
+        """The engine call the batcher runs on its worker thread.
+
+        Reads ``self.index`` at call time, so a reload's swap takes effect
+        for every batch dispatched after it.
+        """
+        return self.index.query_batch(
+            queries,
+            mode=mode,
+            batch_size=self.config.max_batch_queries,
+            shard_workers=self.spec.shard_workers,
+        )
+
+    def load_sync(self):
+        """Open the index as specced (runs on an executor thread)."""
+        from repro.core.serialization import load_index
+
+        start = time.perf_counter()
+        index = load_index(
+            self.spec.path,
+            mode=self.spec.load_mode,
+            shard_workers=self.spec.shard_workers,
+        )
+        self.load_seconds = time.perf_counter() - start
+        return index
+
+    def describe(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "path": self.spec.path,
+            "load_mode": self.spec.load_mode,
+            "shard_workers": self.spec.shard_workers,
+            "status": self.status,
+            "load_seconds": self.load_seconds,
+            "reloads": self.reloads,
+        }
+        if self.index is not None:
+            build = self.index.build_stats
+            payload["num_vectors"] = build.num_vectors
+            payload["repetitions"] = build.repetitions
+        return payload
+
+
+class QueryService:
+    """Serve one or more saved indexes with server-side micro-batching."""
+
+    def __init__(self, specs: Sequence[IndexSpec], config: ServeConfig | None = None):
+        if not specs:
+            raise ValueError("the service needs at least one IndexSpec")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate index names: {sorted(names)}")
+        self.config = config if config is not None else ServeConfig()
+        self._indexes = {
+            spec.name: _ServedIndex(spec, self.config) for spec in specs
+        }
+        self.metrics = ServiceMetrics(self.config.latency_window)
+        self._started_at = time.monotonic()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        """Load every index (concurrently, off the event loop)."""
+        loop = asyncio.get_running_loop()
+
+        async def load_one(served: _ServedIndex) -> None:
+            served.index = await loop.run_in_executor(None, served.load_sync)
+            served.status = "ok"
+
+        await asyncio.gather(*(load_one(s) for s in self._indexes.values()))
+
+    async def close(self) -> None:
+        for served in self._indexes.values():
+            await served.batcher.close()
+
+    @property
+    def index_names(self) -> list[str]:
+        return list(self._indexes)
+
+    @property
+    def specs(self) -> list[IndexSpec]:
+        """The (current) spec of every served index."""
+        return [served.spec for served in self._indexes.values()]
+
+    def _resolve(self, payload: Mapping[str, Any]) -> _ServedIndex:
+        name = payload.get("index", DEFAULT_INDEX_NAME)
+        if not isinstance(name, str):
+            raise ApiError(400, f"'index' must be a string, got {type(name).__name__}")
+        if name == DEFAULT_INDEX_NAME and name not in self._indexes and len(self._indexes) == 1:
+            # A single-index service answers index-less requests regardless
+            # of what the one index is called.
+            return next(iter(self._indexes.values()))
+        served = self._indexes.get(name)
+        if served is None:
+            raise ApiError(
+                404, f"unknown index {name!r}; serving {sorted(self._indexes)}"
+            )
+        if served.status != "ok":
+            raise ApiError(
+                503,
+                f"index {name!r} is {served.status}; retry shortly",
+                headers={"Retry-After": "1"},
+            )
+        return served
+
+    # ------------------------------------------------------------------ #
+    # Request payload validation
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _parse_query(value: Any, what: str = "query") -> frozenset[int]:
+        if not isinstance(value, (list, tuple)) or not value:
+            raise ApiError(400, f"'{what}' must be a non-empty list of item ids")
+        try:
+            return frozenset(int(item) for item in value)
+        except (TypeError, ValueError):
+            raise ApiError(400, f"'{what}' must contain only integers") from None
+
+    @staticmethod
+    def _parse_mode(payload: Mapping[str, Any]) -> str:
+        mode = payload.get("mode", "first")
+        if mode not in ("first", "best"):
+            raise ApiError(400, f"'mode' must be 'first' or 'best', got {mode!r}")
+        return mode
+
+    def _shed(self, error: Overloaded) -> ApiError:
+        retry_after = (
+            self.config.retry_after_seconds
+            if self.config.retry_after_seconds is not None
+            else error.retry_after_seconds
+        )
+        return ApiError(
+            429,
+            str(error),
+            headers={"Retry-After": str(max(1, math.ceil(retry_after)))},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+
+    async def query(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """``POST /query`` — one query through the micro-batcher."""
+        served = self._resolve(payload)
+        query = self._parse_query(payload.get("query"))
+        mode = self._parse_mode(payload)
+        try:
+            future = served.batcher.submit([query], mode)
+        except Overloaded as error:
+            raise self._shed(error) from None
+        results, per_query = await future
+        stats = per_query[0]
+        return {
+            "index": served.spec.name,
+            "match": results[0],
+            "found": stats.found,
+            "stats": stats.to_dict(),
+        }
+
+    async def query_batch(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """``POST /query-batch`` — many queries as one atomic job."""
+        served = self._resolve(payload)
+        raw = payload.get("queries")
+        if not isinstance(raw, (list, tuple)) or not raw:
+            raise ApiError(400, "'queries' must be a non-empty list of query sets")
+        queries = [self._parse_query(entry, what=f"queries[{i}]") for i, entry in enumerate(raw)]
+        mode = self._parse_mode(payload)
+        try:
+            future = served.batcher.submit(queries, mode)
+        except Overloaded as error:
+            raise self._shed(error) from None
+        results, per_query = await future
+        return {
+            "index": served.spec.name,
+            "results": results,
+            "num_found": sum(1 for stats in per_query if stats.found),
+            "stats": {"per_query": [stats.to_dict() for stats in per_query]},
+        }
+
+    async def similarity_join_endpoint(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """``POST /similarity-join`` — join a probe collection against an index.
+
+        The join is already a batched consumer of the engine, so it bypasses
+        the admission window but runs on the same single engine lane as the
+        coalesced batches (its executor), keeping the CPU story honest.
+        """
+        served = self._resolve(payload)
+        raw = payload.get("probes")
+        if not isinstance(raw, (list, tuple)) or not raw:
+            raise ApiError(400, "'probes' must be a non-empty list of probe sets")
+        probes = [self._parse_query(entry, what=f"probes[{i}]") for i, entry in enumerate(raw)]
+        if served.batcher.inflight_queries + len(probes) > self.config.max_pending_queries:
+            raise self._shed(
+                Overloaded(
+                    f"{served.batcher.inflight_queries} queries in flight; a join of "
+                    f"{len(probes)} probes would exceed max_pending_queries="
+                    f"{self.config.max_pending_queries}",
+                    retry_after_seconds=served.batcher.estimate_retry_after(),
+                )
+            )
+        measure = payload.get("measure", "braun_blanquet")
+        threshold = payload.get("threshold", 0.5)
+        try:
+            predicate = SimilarityPredicate(measure=str(measure), threshold=float(threshold))
+        except (KeyError, TypeError, ValueError) as error:
+            raise ApiError(400, f"invalid join predicate: {error}") from None
+        loop = asyncio.get_running_loop()
+        result = await loop.run_in_executor(
+            served.batcher._executor,  # noqa: SLF001 - same engine lane by design
+            lambda: similarity_join(
+                served.index,
+                probes,
+                predicate,
+                batch_size=self.config.max_batch_queries,
+                shard_workers=served.spec.shard_workers,
+            ),
+        )
+        return {
+            "index": served.spec.name,
+            "pairs": [[r, s, sim] for r, s, sim in result.pairs],
+            "num_pairs": result.num_pairs,
+            "num_probes": result.num_probes,
+            "candidates_examined": result.candidates_examined,
+            "similarity_evaluations": result.similarity_evaluations,
+        }
+
+    def healthz(self) -> tuple[int, dict[str, Any]]:
+        """``GET /healthz`` — 200 when every index is serving, 503 otherwise."""
+        statuses = {name: served.status for name, served in self._indexes.items()}
+        healthy = all(status == "ok" for status in statuses.values())
+        return (
+            200 if healthy else 503,
+            {"status": "ok" if healthy else "unavailable", "indexes": statuses},
+        )
+
+    def stats(self) -> dict[str, Any]:
+        """``GET /stats`` — counters, latency percentiles, engine aggregates."""
+        indexes: dict[str, Any] = {}
+        for name, served in self._indexes.items():
+            entry = served.describe()
+            entry["queue_depth"] = served.batcher.queue_depth
+            entry["inflight_queries"] = served.batcher.inflight_queries
+            entry.update(served.batcher.stats.snapshot())
+            indexes[name] = entry
+        return {
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "config": {
+                "batch_window_ms": self.config.batch_window_ms,
+                "max_batch_queries": self.config.max_batch_queries,
+                "max_pending_queries": self.config.max_pending_queries,
+            },
+            "endpoints": self.metrics.snapshot(),
+            "indexes": indexes,
+        }
+
+    async def reload(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """``POST /reload`` — re-open an index from disk and swap it in.
+
+        The canonical consumer is an external compactor: write a new index
+        generation (the staged-rename save guarantees the directory is never
+        half-written), then ``POST /reload``.  While the load runs the index
+        reports 503 on ``/healthz`` and sheds its query traffic; the swap
+        itself is a single reference assignment between engine calls.
+        """
+        name = payload.get("index", DEFAULT_INDEX_NAME)
+        served = self._indexes.get(name)
+        if served is None and name == DEFAULT_INDEX_NAME and len(self._indexes) == 1:
+            served = next(iter(self._indexes.values()))
+        if served is None:
+            raise ApiError(404, f"unknown index {name!r}; serving {sorted(self._indexes)}")
+        if served.status == "reloading":
+            raise ApiError(409, f"index {served.spec.name!r} is already reloading")
+        path = payload.get("path")
+        if path is not None:
+            served.spec = IndexSpec(
+                name=served.spec.name,
+                path=str(path),
+                load_mode=served.spec.load_mode,
+                shard_workers=served.spec.shard_workers,
+            )
+        served.status = "reloading"
+        loop = asyncio.get_running_loop()
+        try:
+            index = await loop.run_in_executor(None, served.load_sync)
+        except (ValueError, OSError) as error:
+            served.status = "ok" if served.index is not None else "error"
+            raise ApiError(
+                500, f"reload of {served.spec.path!r} failed: {error}"
+            ) from None
+        served.index = index
+        served.reloads += 1
+        served.loaded_at = time.monotonic()
+        served.status = "ok"
+        return {
+            "index": served.spec.name,
+            "path": served.spec.path,
+            "load_seconds": served.load_seconds,
+            "reloads": served.reloads,
+        }

@@ -31,6 +31,8 @@ ROLE_SEEDS: dict[str, int] = {
     "tests:save-load:correlated": 7101,
     "tests:save-load:chosen_path": 7102,
     "bench:serialization-dataset": 7200,
+    "bench:serving-dataset": 7300,
+    "bench:serving-replay": 7301,
 }
 
 

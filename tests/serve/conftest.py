@@ -1,0 +1,144 @@
+"""Fixtures for the serving-layer tests.
+
+``saved_index`` builds one small skew-adaptive index and saves it in the v3
+sharded format once per session; ``ServerHarness`` runs the real asyncio
+HTTP server on an ephemeral port inside a background thread so the (sync)
+tests can talk to it with plain :mod:`http.client` connections — the same
+code path a real client exercises, including keep-alive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+import pytest
+
+from repro import SkewAdaptiveIndex, save_index
+from repro.core.config import SkewAdaptiveIndexConfig
+from repro.serve import HttpServer, IndexSpec, QueryService, ServeConfig
+
+
+@dataclass
+class SavedIndex:
+    """A built index, its on-disk v3 path, and the dataset behind it."""
+
+    path: Path
+    index: SkewAdaptiveIndex
+    dataset: list[frozenset[int]]
+
+
+@pytest.fixture(scope="session")
+def saved_index(tmp_path_factory, skewed_distribution, skewed_dataset) -> SavedIndex:
+    index = SkewAdaptiveIndex(
+        skewed_distribution,
+        config=SkewAdaptiveIndexConfig(b1=0.5, repetitions=4, seed=7),
+    )
+    index.build(skewed_dataset)
+    path = tmp_path_factory.mktemp("serve") / "index.v3"
+    save_index(index, path)
+    return SavedIndex(path=path, index=index, dataset=skewed_dataset)
+
+
+@dataclass
+class ServerHarness:
+    """A live server on an ephemeral port, driven from a background thread."""
+
+    specs: Sequence[IndexSpec]
+    config: ServeConfig
+    port: int = 0
+    service: QueryService | None = None
+    loop: asyncio.AbstractEventLoop | None = None
+    _thread: threading.Thread | None = None
+    _ready: threading.Event = field(default_factory=threading.Event)
+    _stop: asyncio.Event | None = None
+    _error: BaseException | None = None
+
+    def start(self) -> "ServerHarness":
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(timeout=60), "server did not come up"
+        if self._error is not None:
+            raise self._error
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self.loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = None
+        try:
+            self.service = QueryService(self.specs, self.config)
+            await self.service.start()
+            server = HttpServer(self.service, self.config.host, self.config.port)
+            await server.start()
+            self.port = server.port
+        except BaseException as error:  # surface startup failures to the test
+            self._error = error
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._stop.wait()
+        await server.close()
+        await self.service.close()
+
+    def stop(self) -> None:
+        if self.loop is not None and self._stop is not None:
+            self.loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=60)
+            assert not self._thread.is_alive(), "server thread did not shut down"
+
+    def connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection("127.0.0.1", self.port, timeout=60)
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Any | None = None,
+        *,
+        connection: http.client.HTTPConnection | None = None,
+    ) -> tuple[int, dict[str, str], Any]:
+        """One request; returns ``(status, lowercase-headers, json-or-None)``."""
+        conn = connection if connection is not None else self.connect()
+        body = json.dumps(payload) if payload is not None else None
+        conn.request(method, path, body=body, headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        data = response.read()
+        headers = {name.lower(): value for name, value in response.getheaders()}
+        if connection is None:
+            conn.close()
+        return response.status, headers, json.loads(data) if data else None
+
+
+@pytest.fixture
+def make_server(saved_index: SavedIndex):
+    """Factory for live servers over ``saved_index`` with custom knobs."""
+    harnesses: list[ServerHarness] = []
+
+    def factory(**config_kwargs: Any) -> ServerHarness:
+        config_kwargs.setdefault("port", 0)
+        harness = ServerHarness(
+            specs=[IndexSpec(name="default", path=str(saved_index.path))],
+            config=ServeConfig(**config_kwargs),
+        ).start()
+        harnesses.append(harness)
+        return harness
+
+    yield factory
+    for harness in harnesses:
+        harness.stop()
+
+
+@pytest.fixture
+def server(make_server):
+    """A running server with a short admission window (the common case)."""
+    return make_server(batch_window_ms=2.0, max_batch_queries=64)

@@ -1,0 +1,254 @@
+"""Unit tests for the micro-batching admission loop.
+
+These drive :class:`MicroBatcher` against a fake engine runner that records
+every call, so the coalescing, capping, shedding and scatter behaviour can
+be asserted exactly without index-dependent timing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.core.stats import BatchQueryStats, QueryStats
+from repro.serve import MicroBatcher, Overloaded
+
+
+def run(coro):
+    """Run an async test body with a global hang guard."""
+    return asyncio.run(asyncio.wait_for(coro, timeout=60))
+
+
+class RecordingRunner:
+    """A fake engine: returns each query as its own result, records calls."""
+
+    def __init__(self, gate: threading.Event | None = None):
+        self.calls: list[tuple[list[frozenset[int]], str]] = []
+        self.gate = gate
+
+    def __call__(self, queries, mode):
+        if self.gate is not None:
+            assert self.gate.wait(timeout=60)
+        queries = list(queries)
+        self.calls.append((queries, mode))
+        stats = BatchQueryStats(
+            num_queries=len(queries),
+            per_query=[QueryStats(found=True, filters_generated=1) for _ in queries],
+            elapsed_seconds=0.001,
+        )
+        return queries, stats
+
+
+def q(*items: int) -> frozenset[int]:
+    return frozenset(items)
+
+
+def test_concurrent_jobs_coalesce_into_one_engine_call():
+    async def body():
+        runner = RecordingRunner()
+        batcher = MicroBatcher(runner, window_seconds=0.05, max_batch_queries=64)
+        futures = [batcher.submit([q(i)]) for i in range(5)]
+        results = await asyncio.gather(*futures)
+        await batcher.close()
+        return runner, batcher, results
+
+    runner, batcher, results = run(body())
+    assert len(runner.calls) == 1
+    assert runner.calls[0][0] == [q(i) for i in range(5)]
+    # Each job got exactly its own slice back, in order.
+    for i, (job_results, per_query) in enumerate(results):
+        assert job_results == [q(i)]
+        assert len(per_query) == 1 and per_query[0].found
+    assert batcher.stats.engine_calls == 1
+    assert batcher.stats.coalesced_calls == 1
+    assert batcher.stats.occupancy_max == 5
+    assert batcher.stats.mean_occupancy == 5.0
+
+
+def test_window_respects_max_batch_size():
+    """A forming batch dispatches at the query cap, not at the window."""
+
+    async def body():
+        runner = RecordingRunner()
+        # The window is far longer than the test timeout tolerates if the
+        # cap were ignored: dispatch must happen because the cap is hit.
+        batcher = MicroBatcher(runner, window_seconds=5.0, max_batch_queries=4)
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        futures = [batcher.submit([q(i)]) for i in range(8)]
+        await asyncio.gather(*futures)
+        elapsed = loop.time() - start
+        await batcher.close()
+        return runner, elapsed
+
+    runner, elapsed = run(body())
+    assert elapsed < 2.0, "batches must dispatch at the size cap, not the window"
+    assert all(len(queries) <= 4 for queries, _ in runner.calls)
+    assert [len(queries) for queries, _ in runner.calls] == [4, 4]
+    # Arrival order is preserved across the split.
+    flat = [query for queries, _ in runner.calls for query in queries]
+    assert flat == [q(i) for i in range(8)]
+
+
+def test_zero_window_disables_coalescing():
+    async def body():
+        runner = RecordingRunner()
+        batcher = MicroBatcher(runner, window_seconds=0.0)
+        futures = [batcher.submit([q(i)]) for i in range(5)]
+        await asyncio.gather(*futures)
+        await batcher.close()
+        return runner, batcher
+
+    runner, batcher = run(body())
+    assert len(runner.calls) == 5
+    assert batcher.stats.engine_calls == 5
+    assert batcher.stats.coalesced_calls == 0
+    assert batcher.stats.occupancy_max == 1
+
+
+def test_jobs_are_never_split_across_engine_calls():
+    async def body():
+        runner = RecordingRunner()
+        batcher = MicroBatcher(runner, window_seconds=0.05, max_batch_queries=4)
+        first = batcher.submit([q(1), q(2), q(3)])
+        second = batcher.submit([q(4), q(5), q(6)])
+        results = await asyncio.gather(first, second)
+        await batcher.close()
+        return runner, results
+
+    runner, results = run(body())
+    # 3 + 3 > 4, so the second job must wait for its own engine call —
+    # never be split to top up the first.
+    assert [len(queries) for queries, _ in runner.calls] == [3, 3]
+    assert results[0][0] == [q(1), q(2), q(3)]
+    assert results[1][0] == [q(4), q(5), q(6)]
+
+
+def test_modes_get_separate_engine_calls():
+    async def body():
+        runner = RecordingRunner()
+        batcher = MicroBatcher(runner, window_seconds=0.05)
+        futures = [
+            batcher.submit([q(1)], mode="first"),
+            batcher.submit([q(2)], mode="best"),
+            batcher.submit([q(3)], mode="first"),
+        ]
+        results = await asyncio.gather(*futures)
+        await batcher.close()
+        return runner, results
+
+    runner, results = run(body())
+    assert sorted((mode, len(queries)) for queries, mode in runner.calls) == [
+        ("best", 1),
+        ("first", 2),
+    ]
+    assert results[0][0] == [q(1)]
+    assert results[1][0] == [q(2)]
+    assert results[2][0] == [q(3)]
+
+
+def test_overload_sheds_and_shed_jobs_never_execute():
+    async def body():
+        gate = threading.Event()
+        runner = RecordingRunner(gate=gate)
+        batcher = MicroBatcher(runner, window_seconds=0.0, max_pending_queries=2)
+        first = batcher.submit([q(1)])  # occupies the lane (runner blocked)
+        with pytest.raises(Overloaded) as excinfo:
+            batcher.submit([q(2), q(3)])  # 1 in flight + 2 > 2 -> shed
+        gate.set()
+        await first
+        await batcher.close()
+        return runner, batcher, excinfo.value
+
+    runner, batcher, error = run(body())
+    assert error.retry_after_seconds >= 0.05
+    assert batcher.stats.jobs_shed == 1
+    # The shed job never reached the engine: no partial results exist.
+    assert [queries for queries, _ in runner.calls] == [[q(1)]]
+
+
+def test_oversized_job_admitted_when_idle():
+    """A job bigger than the whole bound must still run when nothing else is
+    in flight — otherwise it could never be served at all."""
+
+    async def body():
+        runner = RecordingRunner()
+        batcher = MicroBatcher(runner, window_seconds=0.0, max_pending_queries=2)
+        results, per_query = await batcher.submit([q(1), q(2), q(3)])
+        await batcher.close()
+        return results, per_query
+
+    results, per_query = run(body())
+    assert results == [q(1), q(2), q(3)]
+    assert len(per_query) == 3
+
+
+def test_engine_failure_is_scattered_not_fatal():
+    async def body():
+        calls = []
+
+        def runner(queries, mode):
+            calls.append(list(queries))
+            if len(calls) == 1:
+                raise RuntimeError("engine exploded")
+            stats = BatchQueryStats(
+                num_queries=len(queries),
+                per_query=[QueryStats() for _ in queries],
+            )
+            return list(queries), stats
+
+        batcher = MicroBatcher(runner, window_seconds=0.0)
+        with pytest.raises(RuntimeError, match="engine exploded"):
+            await batcher.submit([q(1)])
+        # The batcher keeps serving after a failed call.
+        results, _ = await batcher.submit([q(2)])
+        await batcher.close()
+        return results
+
+    assert run(body()) == [q(2)]
+
+
+def test_close_fails_queued_jobs():
+    async def body():
+        runner = RecordingRunner()
+        batcher = MicroBatcher(runner, window_seconds=30.0)
+        future = batcher.submit([q(1)])
+        await batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            await future
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit([q(2)])
+        return runner
+
+    runner = run(body())
+    assert runner.calls == []
+
+
+def test_retry_after_estimate_is_clamped():
+    async def body():
+        runner = RecordingRunner()
+        batcher = MicroBatcher(runner, window_seconds=0.0)
+        before_any_data = batcher.estimate_retry_after()
+        await batcher.submit([q(1)])
+        idle_estimate = batcher.estimate_retry_after()
+        await batcher.close()
+        return before_any_data, idle_estimate
+
+    before_any_data, idle_estimate = run(body())
+    assert before_any_data == 1.0
+    # Idle with throughput data: the backlog estimate is 0, clamped up.
+    assert idle_estimate == 0.05
+
+
+def test_constructor_validation():
+    def runner(queries, mode):  # pragma: no cover - never called
+        raise AssertionError
+
+    with pytest.raises(ValueError, match="window_seconds"):
+        MicroBatcher(runner, window_seconds=-0.001)
+    with pytest.raises(ValueError, match="max_batch_queries"):
+        MicroBatcher(runner, max_batch_queries=0)
+    with pytest.raises(ValueError, match="max_pending_queries"):
+        MicroBatcher(runner, max_pending_queries=0)

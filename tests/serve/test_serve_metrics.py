@@ -1,0 +1,69 @@
+"""Unit tests for the serving metrics primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import EndpointMetrics, LatencyWindow, ServiceMetrics
+
+
+class TestLatencyWindow:
+    def test_empty_snapshot_is_zeroed(self):
+        snapshot = LatencyWindow().snapshot()
+        assert snapshot == {
+            "count": 0,
+            "p50_ms": 0.0,
+            "p99_ms": 0.0,
+            "mean_ms": 0.0,
+            "max_ms": 0.0,
+        }
+
+    def test_percentiles_are_nearest_rank(self):
+        window = LatencyWindow(capacity=1000)
+        for i in range(1, 101):  # 1ms .. 100ms
+            window.record(i / 1000.0)
+        snapshot = window.snapshot()
+        assert snapshot["count"] == 100
+        assert snapshot["p50_ms"] == pytest.approx(50.0)
+        assert snapshot["p99_ms"] == pytest.approx(99.0)
+        assert snapshot["max_ms"] == pytest.approx(100.0)
+        assert snapshot["mean_ms"] == pytest.approx(50.5)
+
+    def test_window_is_bounded_but_count_is_total(self):
+        window = LatencyWindow(capacity=4)
+        for i in range(100):
+            window.record(0.001 * (i + 1))
+        snapshot = window.snapshot()
+        assert snapshot["count"] == 100
+        # Only the 4 most recent samples remain: 97..100 ms.
+        assert snapshot["p50_ms"] == pytest.approx(98.0)
+        assert snapshot["max_ms"] == pytest.approx(100.0)
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            LatencyWindow(capacity=0)
+
+
+class TestEndpointMetrics:
+    def test_shed_requests_are_counted_but_not_timed(self):
+        metrics = EndpointMetrics()
+        metrics.record(0.010)
+        metrics.record(0.000001, shed=True)
+        metrics.record(0.020, error=True)
+        snapshot = metrics.snapshot()
+        assert snapshot["requests"] == 3
+        assert snapshot["errors"] == 1
+        assert snapshot["shed"] == 1
+        # The shed refusal does not drag the percentiles down.
+        assert snapshot["latency"]["count"] == 2
+        assert snapshot["latency"]["p50_ms"] == pytest.approx(10.0)
+
+
+class TestServiceMetrics:
+    def test_lazy_creation_and_sorted_snapshot(self):
+        service = ServiceMetrics(latency_window=16)
+        service.endpoint("/query").record(0.001)
+        service.endpoint("/healthz").record(0.0001)
+        snapshot = service.snapshot()
+        assert list(snapshot) == ["/healthz", "/query"]
+        assert service.endpoint("/query") is service.endpoint("/query")

@@ -294,3 +294,69 @@ class TestExperiments:
     def test_table1_small_scale(self, capsys):
         assert main(["experiments", "table1", "--scale", "0.05"]) == 0
         assert "Table 1" in capsys.readouterr().out
+
+
+class TestServeParser:
+    def test_parses_defaults(self):
+        args = build_parser().parse_args(["serve", "index.v3"])
+        assert args.handler.__name__ == "_cmd_serve"
+        assert args.name == "default"
+        assert args.port == 8080
+        assert args.batch_window_ms == 2.0
+        assert args.load_mode == "mmap"
+        assert args.extra_index is None
+
+    def test_parses_all_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "a.v3",
+                "--name",
+                "primary",
+                "--index",
+                "b=b.v3",
+                "--index",
+                "c=c.v3",
+                "--host",
+                "0.0.0.0",
+                "--port",
+                "0",
+                "--batch-window-ms",
+                "0.5",
+                "--max-batch-size",
+                "128",
+                "--max-pending",
+                "100",
+                "--retry-after",
+                "3",
+                "--load-mode",
+                "ram",
+                "--shard-workers",
+                "2",
+            ]
+        )
+        assert args.extra_index == ["b=b.v3", "c=c.v3"]
+        assert args.batch_window_ms == 0.5
+        assert args.max_batch_size == 128
+        assert args.load_mode == "ram"
+
+    def test_rejects_bad_load_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "a.v3", "--load-mode", "disk"])
+
+    def test_malformed_extra_index_exits_2(self, capsys):
+        assert main(["serve", "a.v3", "--index", "missing-equals"]) == 2
+        assert "NAME=PATH" in capsys.readouterr().out
+
+    def test_duplicate_names_exit_2(self, capsys):
+        assert main(["serve", "a.v3", "--index", "default=b.v3"]) == 2
+        assert "duplicate" in capsys.readouterr().out
+
+    def test_invalid_config_exits_2(self, capsys):
+        assert main(["serve", "a.v3", "--retry-after", "-1"]) == 2
+        assert "cannot serve" in capsys.readouterr().out
+
+    def test_missing_index_path_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "does-not-exist.v3"
+        assert main(["serve", str(missing), "--port", "0"]) == 2
+        assert "cannot serve" in capsys.readouterr().out

@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""CI docs gate: relative links resolve and the CLI help snapshot is fresh.
+
+Two checks, stdlib-only:
+
+* every relative markdown link in ``README.md`` and ``docs/*.md`` points at
+  a file or directory that exists (external ``http(s)``/``mailto`` links,
+  pure ``#anchor`` links, and GitHub-web-relative links that escape the
+  repository root — like the CI badge — are skipped);
+* the fenced block between ``<!-- help:start -->`` and ``<!-- help:end -->``
+  in ``docs/cli.md`` matches the live ``python -m repro --help`` output
+  (rendered at ``COLUMNS=100``), so the committed reference cannot drift
+  from the argparse definitions.
+
+Run from anywhere::
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` links, excluding images' surrounding ``!`` is fine —
+#: image targets must resolve too.
+_LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_HELP_BLOCK_PATTERN = re.compile(
+    r"<!-- help:start -->\n```\n(.*?)```\n<!-- help:end -->", re.DOTALL
+)
+
+
+def _doc_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def check_links() -> list[str]:
+    """Return one error string per broken relative link."""
+    errors: list[str] = []
+    for doc in _doc_files():
+        text = doc.read_text(encoding="utf-8")
+        for match in _LINK_PATTERN.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.is_relative_to(REPO_ROOT):
+                continue  # GitHub-web-relative (e.g. the CI badge)
+            if not resolved.exists():
+                errors.append(
+                    f"{doc.relative_to(REPO_ROOT)}: broken link {target!r} "
+                    f"(resolved to {resolved.relative_to(REPO_ROOT)})"
+                )
+    return errors
+
+
+def check_help_snapshot() -> list[str]:
+    """Return errors when docs/cli.md's help block drifts from the CLI."""
+    cli_doc = REPO_ROOT / "docs" / "cli.md"
+    if not cli_doc.exists():
+        return ["docs/cli.md does not exist"]
+    text = cli_doc.read_text(encoding="utf-8")
+    match = _HELP_BLOCK_PATTERN.search(text)
+    if match is None:
+        return [
+            "docs/cli.md has no <!-- help:start -->/<!-- help:end --> "
+            "fenced block to snapshot-test"
+        ]
+    documented = match.group(1)
+
+    env = dict(os.environ)
+    env["COLUMNS"] = "100"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=False,
+    )
+    if completed.returncode != 0:
+        return [f"python -m repro --help failed:\n{completed.stderr}"]
+    live = completed.stdout
+    if documented.rstrip("\n") == live.rstrip("\n"):
+        return []
+    doc_lines = documented.rstrip("\n").splitlines()
+    live_lines = live.rstrip("\n").splitlines()
+    detail = next(
+        (
+            f"first difference at line {i + 1}:\n"
+            f"  docs: {doc!r}\n  live: {liv!r}"
+            for i, (doc, liv) in enumerate(zip(doc_lines, live_lines))
+            if doc != liv
+        ),
+        f"line counts differ: docs {len(doc_lines)}, live {len(live_lines)}",
+    )
+    return [
+        "docs/cli.md help snapshot is stale — regenerate with "
+        "COLUMNS=100 PYTHONPATH=src python -m repro --help\n" + detail
+    ]
+
+
+def main() -> int:
+    errors = check_links() + check_help_snapshot()
+    for error in errors:
+        print(f"FAIL: {error}")
+    if errors:
+        print(f"\n{len(errors)} docs problem(s)")
+        return 1
+    docs = ", ".join(str(path.relative_to(REPO_ROOT)) for path in _doc_files())
+    print(f"OK: links resolve and the CLI help snapshot is fresh ({docs})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""CI serving smoke: boot `repro serve`, hammer it, assert real coalescing.
+
+Starts a real server subprocess on an ephemeral port over the given saved
+index, fires concurrent single-query requests at it from a thread pool,
+and then asserts — via ``/stats`` — that server-side micro-batching
+actually coalesced them:
+
+* every request answered 200 and every response carries a match field;
+* ``engine_calls`` < requests (fewer engine calls than requests);
+* ``coalesced_calls`` >= 1 and ``mean_batch_occupancy`` > 1.0;
+* ``/healthz`` reports ok before and after the burst.
+
+Usage::
+
+    PYTHONPATH=src python tools/serving_smoke.py INDEX_PATH QUERIES_FILE
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from http.client import HTTPConnection
+from pathlib import Path
+
+NUM_REQUESTS = 64
+NUM_CLIENTS = 16
+
+_READY_PATTERN = re.compile(r"listening on http://127\.0\.0\.1:(\d+)")
+
+
+def _read_queries(path: Path, count: int) -> list[list[int]]:
+    queries: list[list[int]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            items = sorted({int(token) for token in line.split()})
+            if items:
+                queries.append(items)
+    if not queries:
+        raise SystemExit(f"no queries in {path}")
+    return [queries[i % len(queries)] for i in range(count)]
+
+
+def _get(port: int, path: str) -> tuple[int, dict]:
+    connection = HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def _post_query(port: int, query: list[int]) -> tuple[int, dict]:
+    connection = HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        body = json.dumps({"query": query}).encode()
+        connection.request(
+            "POST", "/query", body, {"Content-Type": "application/json"}
+        )
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    index_path, queries_file = argv
+    queries = _read_queries(Path(queries_file), NUM_REQUESTS)
+
+    server = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            index_path,
+            "--port",
+            "0",
+            "--batch-window-ms",
+            "5",
+            "--max-batch-size",
+            "64",
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        deadline = time.monotonic() + 60
+        port = None
+        assert server.stdout is not None
+        while time.monotonic() < deadline:
+            line = server.stdout.readline()
+            if not line:
+                raise SystemExit("server exited before printing the ready line")
+            match = _READY_PATTERN.search(line)
+            if match:
+                port = int(match.group(1))
+                break
+        if port is None:
+            raise SystemExit("server never printed the ready line")
+
+        status, payload = _get(port, "/healthz")
+        assert status == 200 and payload["status"] == "ok", (status, payload)
+
+        with ThreadPoolExecutor(max_workers=NUM_CLIENTS) as pool:
+            responses = list(pool.map(lambda q: _post_query(port, q), queries))
+        bad = [(s, p) for s, p in responses if s != 200 or "match" not in p]
+        assert not bad, f"{len(bad)} bad responses, first: {bad[0]}"
+
+        status, stats = _get(port, "/stats")
+        assert status == 200, status
+        (index_stats,) = stats["indexes"].values()
+        engine_calls = index_stats["engine_calls"]
+        coalesced = index_stats["coalesced_calls"]
+        occupancy = index_stats["mean_batch_occupancy"]
+        assert index_stats["queries_executed"] == NUM_REQUESTS, index_stats
+        assert engine_calls < NUM_REQUESTS, (
+            f"no coalescing: {engine_calls} engine calls for {NUM_REQUESTS} requests"
+        )
+        assert coalesced >= 1, f"coalesced_calls={coalesced}"
+        assert occupancy > 1.0, f"mean_batch_occupancy={occupancy}"
+        query_metrics = stats["endpoints"]["/query"]
+        assert query_metrics["requests"] == NUM_REQUESTS, query_metrics
+        assert query_metrics["errors"] == 0, query_metrics
+
+        status, payload = _get(port, "/healthz")
+        assert status == 200, (status, payload)
+
+        print(
+            f"OK: {NUM_REQUESTS} requests -> {engine_calls} engine calls "
+            f"({coalesced} coalesced, mean occupancy {occupancy:.1f}), "
+            f"p99 {query_metrics['latency']['p99_ms']:.1f} ms"
+        )
+        return 0
+    finally:
+        server.terminate()
+        server.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
