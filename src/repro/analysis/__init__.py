@@ -1,0 +1,38 @@
+"""Repo-specific static analysis: the ``repro lint`` rule suite.
+
+The invariants that keep this reproduction's results bit-identical —
+uint64 folded-key discipline, int64 id/offset arrays, read-only mmap
+views, one-engine-lane-per-index in the batcher, ``_lock``-guarded
+mutable state — are project contracts, not Python semantics, so no
+off-the-shelf linter can check them.  This package encodes them as
+AST-based rules (RPL001–RPL005, see ``docs/analysis.md``) with:
+
+* a rule registry with per-rule documentation (``--list-rules``),
+* structured findings carrying ``file:line:col``, a fix hint and a
+  stable fingerprint,
+* inline suppressions with mandatory reasons
+  (``# repro-lint: disable=RPL002 -- double-checked locking``),
+* a committed baseline file for grandfathered findings that expires
+  entries which stop firing, and
+* ``--format {text,json,github}`` output for humans, tooling and CI
+  annotations.
+
+Run it as ``repro lint`` or ``python tools/run_lint.py``.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, all_rules, get_rule, register
+from repro.analysis.runner import LintResult, lint_paths
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "register",
+]

@@ -1,0 +1,122 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline lets the lint gate land before every legacy finding is fixed:
+known findings are recorded by fingerprint *with a reason* and stop
+failing the build, while anything new still does.  Entries are not
+immortal — when a baselined finding no longer fires the entry is
+reported as *stale* and the build fails until ``--update-baseline``
+removes it, so the baseline only ever shrinks by itself.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    fingerprint: str
+    rule_id: str
+    path: str
+    reason: str
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "fingerprint": self.fingerprint,
+            "rule": self.rule_id,
+            "path": self.path,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class Baseline:
+    entries: list[BaselineEntry]
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries=[])
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls.empty()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError as error:
+            raise ValueError(f"{path} is not valid JSON: {error}") from error
+        if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"{path} is not a version-{BASELINE_VERSION} lint baseline"
+            )
+        entries = []
+        for raw in payload.get("findings", []):
+            if not isinstance(raw, dict) or "fingerprint" not in raw:
+                raise ValueError(f"{path} holds a malformed baseline entry: {raw!r}")
+            reason = str(raw.get("reason", "")).strip()
+            if not reason:
+                raise ValueError(
+                    f"{path} entry {raw.get('fingerprint')} has no reason; every "
+                    "baselined finding must say why it is grandfathered"
+                )
+            entries.append(
+                BaselineEntry(
+                    fingerprint=str(raw["fingerprint"]),
+                    rule_id=str(raw.get("rule", "")),
+                    path=str(raw.get("path", "")),
+                    reason=reason,
+                )
+            )
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": [entry.to_dict() for entry in self.entries],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Partition findings against the baseline.
+
+        Returns ``(new, grandfathered, stale)``: findings not in the
+        baseline, findings matched (and silenced) by it, and baseline
+        entries that matched nothing — which should fail the build as
+        stale until the baseline is regenerated.
+        """
+        by_fingerprint = {entry.fingerprint: entry for entry in self.entries}
+        new: list[Finding] = []
+        grandfathered: list[Finding] = []
+        matched: set[str] = set()
+        for finding in findings:
+            if finding.fingerprint in by_fingerprint:
+                matched.add(finding.fingerprint)
+                grandfathered.append(finding)
+            else:
+                new.append(finding)
+        stale = [entry for entry in self.entries if entry.fingerprint not in matched]
+        return new, grandfathered, stale
+
+    @classmethod
+    def from_findings(
+        cls, findings: list[Finding], reason: str = "grandfathered at baseline creation"
+    ) -> "Baseline":
+        return cls(
+            entries=[
+                BaselineEntry(
+                    fingerprint=finding.fingerprint,
+                    rule_id=finding.rule_id,
+                    path=finding.path,
+                    reason=reason,
+                )
+                for finding in findings
+            ]
+        )

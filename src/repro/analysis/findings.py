@@ -1,0 +1,83 @@
+"""Structured lint findings with stable fingerprints.
+
+A finding pins a rule violation to ``file:line:col`` for humans, but
+baselines and suppressions must survive unrelated edits, so each finding
+also carries a *fingerprint*: a hash of the rule id, the file, the
+enclosing scope (class/function qualname) and the normalised source line
+— stable under line-number shifts, invalidated when the flagged code
+itself changes.  Identical lines in the same scope are disambiguated by
+occurrence index.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific location."""
+
+    rule_id: str
+    path: str  # repo-relative, posix separators
+    line: int  # 1-based
+    col: int  # 0-based, as reported by ast
+    message: str
+    hint: str = ""
+    scope: str = "<module>"
+    fingerprint: str = field(default="", compare=False)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "scope": self.scope,
+            "fingerprint": self.fingerprint,
+        }
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+
+def _normalise(source_line: str) -> str:
+    """Collapse whitespace so reformatting does not change fingerprints."""
+    return " ".join(source_line.split())
+
+
+def fingerprint_findings(
+    findings: list[Finding], lines_by_path: dict[str, list[str]]
+) -> list[Finding]:
+    """Attach stable fingerprints to a batch of findings.
+
+    The occurrence index makes fingerprints unique when the same rule
+    fires on textually identical lines in the same scope (the index
+    counts within that (rule, path, scope, line-text) group, so deleting
+    one of two duplicates only expires one baseline entry).
+    """
+    seen: dict[str, int] = {}
+    stamped: list[Finding] = []
+    for finding in findings:
+        lines = lines_by_path.get(finding.path, [])
+        text = lines[finding.line - 1] if 0 < finding.line <= len(lines) else ""
+        key = f"{finding.rule_id}|{finding.path}|{finding.scope}|{_normalise(text)}"
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        digest = hashlib.sha256(f"{key}|{occurrence}".encode()).hexdigest()[:16]
+        stamped.append(
+            Finding(
+                rule_id=finding.rule_id,
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                message=finding.message,
+                hint=finding.hint,
+                scope=finding.scope,
+                fingerprint=digest,
+            )
+        )
+    return stamped

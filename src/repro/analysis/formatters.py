@@ -1,0 +1,79 @@
+"""Render a :class:`~repro.analysis.runner.LintResult` for its audience.
+
+``text`` is the human default, ``json`` feeds tooling (one stable object
+per finding, fingerprints included), and ``github`` emits workflow
+commands so CI annotates the diff in place.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.findings import Finding
+from repro.analysis.runner import LintResult
+
+FORMATS = ("text", "json", "github")
+
+
+def render(result: LintResult, fmt: str) -> str:
+    if fmt == "json":
+        return _render_json(result)
+    if fmt == "github":
+        return _render_github(result)
+    if fmt == "text":
+        return _render_text(result)
+    raise ValueError(f"unknown format {fmt!r}; expected one of {FORMATS}")
+
+
+def _iter_reportable(result: LintResult) -> list[Finding]:
+    return result.parse_errors + result.findings
+
+
+def _render_text(result: LintResult) -> str:
+    lines: list[str] = []
+    for finding in _iter_reportable(result):
+        lines.append(f"{finding.location()}: {finding.rule_id} {finding.message}")
+        if finding.hint:
+            lines.append(f"    hint: {finding.hint}")
+    for entry in result.stale_baseline:
+        lines.append(
+            f"{entry.path}: stale baseline entry {entry.fingerprint} "
+            f"({entry.rule_id}) no longer fires; regenerate with --update-baseline"
+        )
+    summary = (
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.grandfathered)} baselined, "
+        f"{len(result.suppressed)} suppressed, "
+        f"{len(result.stale_baseline)} stale baseline entr(y/ies), "
+        f"{result.files_checked} file(s) checked"
+    )
+    lines.append(("FAILED: " if not result.ok else "ok: ") + summary)
+    return "\n".join(lines)
+
+
+def _render_json(result: LintResult) -> str:
+    payload = {
+        "ok": result.ok,
+        "files_checked": result.files_checked,
+        "findings": [finding.to_dict() for finding in _iter_reportable(result)],
+        "grandfathered": [finding.to_dict() for finding in result.grandfathered],
+        "suppressed": [finding.to_dict() for finding in result.suppressed],
+        "stale_baseline": [entry.to_dict() for entry in result.stale_baseline],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def _render_github(result: LintResult) -> str:
+    lines = []
+    for finding in _iter_reportable(result):
+        message = finding.message.replace("%", "%25").replace("\n", "%0A")
+        lines.append(
+            f"::error file={finding.path},line={finding.line},"
+            f"col={finding.col + 1},title={finding.rule_id}::{message}"
+        )
+    for entry in result.stale_baseline:
+        lines.append(
+            f"::error file={entry.path},title=stale-baseline::baseline entry "
+            f"{entry.fingerprint} ({entry.rule_id}) no longer fires"
+        )
+    return "\n".join(lines)

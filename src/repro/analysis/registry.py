@@ -1,0 +1,93 @@
+"""The rule registry: every RPL rule registers itself at import time."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Type
+
+from repro.analysis.findings import Finding
+from repro.analysis.source import SourceModule
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    :meth:`applies_to` lets a rule scope itself to part of the tree
+    (e.g. RPL001 only reads ``serve/`` modules).  Rules yield findings
+    *without* fingerprints — the runner stamps those in one pass so the
+    occurrence-disambiguation is global per file.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+    hint: str = ""
+
+    def applies_to(self, module: SourceModule) -> bool:
+        return True
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        module: SourceModule,
+        line: int,
+        col: int,
+        message: str,
+        scope: str = "<module>",
+        hint: str | None = None,
+    ) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            path=module.relpath,
+            line=line,
+            col=col,
+            message=message,
+            hint=self.hint if hint is None else hint,
+            scope=scope,
+        )
+
+
+_REGISTRY: dict[str, Type[Rule]] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_class.rule_id:
+        raise ValueError(f"{rule_class.__name__} does not declare a rule_id")
+    if rule_class.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_class.rule_id}")
+    _REGISTRY[rule_class.rule_id] = rule_class
+    return rule_class
+
+
+def _load_builtin_rules() -> None:
+    # Importing the package registers every rule module via its __init__.
+    import repro.analysis.rules  # noqa: F401 - import-for-side-effect
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, sorted by id."""
+    _load_builtin_rules()
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    _load_builtin_rules()
+    try:
+        return _REGISTRY[rule_id]()
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known rules: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def select_rules(only: Iterable[str] | None = None) -> list[Rule]:
+    """The rules to run: all of them, or the ``only`` subset by id."""
+    if only is None:
+        return all_rules()
+    return [get_rule(rule_id) for rule_id in only]
+
+
+RuleFactory = Callable[[], Rule]

@@ -1,0 +1,9 @@
+"""Built-in rule modules; importing this package registers every rule."""
+
+from repro.analysis.rules import (  # noqa: F401 - imported for registration
+    rpl001_blocking_async,
+    rpl002_lock_discipline,
+    rpl003_dtype_contracts,
+    rpl004_mmap_mutation,
+    rpl005_stats_contract,
+)

@@ -1,0 +1,131 @@
+"""RPL001 — blocking call inside an ``async def`` in the serving tier.
+
+The whole serving layer runs on one event loop; a single synchronous
+engine call or filesystem touch inside a coroutine stalls *every*
+in-flight request for its duration.  The sanctioned escapes are the
+micro-batcher (which owns the engine lane) and
+``loop.run_in_executor(...)`` — so this rule flags direct calls to
+engine/index/filesystem surfaces inside ``async def`` bodies in
+``serve/`` unless they are awaited coroutines or routed through an
+executor.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.source import SourceModule, call_name
+
+#: Call targets (dotted or bare names) that block the event loop.
+BLOCKING_CALLS = frozenset(
+    {
+        "open",
+        "time.sleep",
+        "os.stat",
+        "os.listdir",
+        "os.replace",
+        "os.rename",
+        "os.remove",
+        "np.load",
+        "np.save",
+        "json.load",
+        "json.dump",
+        "load_index",
+        "save_index",
+        "convert_index_file",
+        "similarity_join",
+        "similarity_self_join",
+        "run_loop_batch",
+    }
+)
+
+#: Method names that hit the engine, an index or the filesystem no
+#: matter the receiver (``<anything>.query_batch(...)``).
+BLOCKING_METHODS = frozenset(
+    {
+        "query",
+        "query_batch",
+        "query_candidates",
+        "query_candidates_batch",
+        "query_candidates_arrays_batch",
+        "load_sync",
+        "compact",
+        "build",
+        "insert",
+        "read_text",
+        "write_text",
+        "read_bytes",
+        "write_bytes",
+    }
+)
+
+
+def _is_executor_call(call: ast.Call) -> bool:
+    name = call_name(call)
+    return name is not None and name.rsplit(".", 1)[-1] == "run_in_executor"
+
+
+@register
+class BlockingCallInAsync(Rule):
+    rule_id = "RPL001"
+    title = "blocking call inside async def"
+    rationale = (
+        "a synchronous engine/index/filesystem call in a coroutine stalls the "
+        "whole event loop; every request in flight pays its latency"
+    )
+    hint = (
+        "route the call through the micro-batcher lane or "
+        "await loop.run_in_executor(...)"
+    )
+
+    def applies_to(self, module: SourceModule) -> bool:
+        return module.in_package("serve")
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async_function(module, node)
+
+    def _check_async_function(
+        self, module: SourceModule, function: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        exempt: set[int] = set()
+        # Everything passed *to* run_in_executor runs on the executor, so
+        # a lambda/partial body there is the sanctioned blocking place.
+        for node in ast.walk(function):
+            if isinstance(node, ast.Call) and _is_executor_call(node):
+                for argument in [*node.args, *[kw.value for kw in node.keywords]]:
+                    exempt.update(id(child) for child in ast.walk(argument))
+        # Awaited calls are coroutines (``await service.query(...)``), not
+        # blocking sync calls; nested function definitions are analysed
+        # only if they are themselves async (they get their own visit).
+        awaited: set[int] = set()
+        nested: set[int] = set()
+        for node in ast.walk(function):
+            if isinstance(node, ast.Await) and isinstance(node.value, ast.Call):
+                awaited.add(id(node.value))
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+                and node is not function
+            ):
+                nested.update(id(child) for child in ast.walk(node))
+
+        for node in ast.walk(function):
+            if not isinstance(node, ast.Call):
+                continue
+            if id(node) in exempt or id(node) in awaited or id(node) in nested:
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            method = name.rsplit(".", 1)[-1]
+            if name in BLOCKING_CALLS or (method in BLOCKING_METHODS and "." in name):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"blocking call '{name}' inside 'async def {function.name}'",
+                )

@@ -1,0 +1,143 @@
+"""RPL002 — lock discipline: guarded attributes touched without the lock.
+
+If a class ever assigns ``self.x`` inside ``with self._lock:``, then
+``x`` is part of that lock's protected state, and any read or write of
+``self.x`` outside a lock block in the same class is a potential data
+race — exactly the bug class that corrupts the lazily-opened shard
+caches in ``mmap_store.py`` under concurrent queries.  ``__init__`` is
+exempt (object publication happens-before any cross-thread access);
+intentional racy fast paths (double-checked locking) must carry an
+inline suppression explaining why they are safe.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.source import SourceModule, is_self_attribute
+
+#: Methods where unguarded access is structurally safe.
+EXEMPT_METHODS = frozenset({"__init__", "__new__", "__repr__", "__del__"})
+
+
+def _lock_names(class_def: ast.ClassDef) -> set[str]:
+    """Attribute names of ``self.<name>`` lock objects used in ``with``."""
+    names: set[str] = set()
+    for node in ast.walk(class_def):
+        if isinstance(node, ast.With):
+            for item in node.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Attribute) and is_self_attribute(expr):
+                    if "lock" in expr.attr.lower():
+                        names.add(expr.attr)
+    return names
+
+
+def _nodes_under_lock(method: ast.AST, lock_names: set[str]) -> set[int]:
+    """Ids of every node lexically inside a ``with self.<lock>:`` block."""
+    guarded: set[int] = set()
+    for node in ast.walk(method):
+        if not isinstance(node, ast.With):
+            continue
+        if any(
+            isinstance(item.context_expr, ast.Attribute)
+            and is_self_attribute(item.context_expr)
+            and item.context_expr.attr in lock_names
+            for item in node.items
+        ):
+            for statement in node.body:
+                guarded.update(id(child) for child in ast.walk(statement))
+    return guarded
+
+
+def _assigned_attributes(node: ast.AST) -> set[str]:
+    """``self.x`` attribute names written by an assignment statement."""
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    names = set()
+    for target in targets:
+        # ``self.x[k] = v`` mutates self.x just as much as ``self.x = v``.
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if isinstance(target, ast.Attribute) and is_self_attribute(target):
+            names.add(target.attr)
+        elif isinstance(target, ast.Tuple):
+            for element in target.elts:
+                if isinstance(element, ast.Attribute) and is_self_attribute(element):
+                    names.add(element.attr)
+    return names
+
+
+@register
+class LockDiscipline(Rule):
+    rule_id = "RPL002"
+    title = "lock-guarded attribute accessed outside the lock"
+    rationale = (
+        "an attribute assigned under 'with self._lock' is shared mutable "
+        "state; touching it without the lock elsewhere in the class races "
+        "with the writer"
+    )
+    hint = (
+        "take the lock around the access, or suppress with a reason if this "
+        "is deliberate double-checked locking"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: SourceModule, class_def: ast.ClassDef
+    ) -> Iterator[Finding]:
+        lock_names = _lock_names(class_def)
+        if not lock_names:
+            return
+
+        methods = [
+            node
+            for node in class_def.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+
+        # Pass 1: which attributes does the class assign under a lock?
+        guarded_attrs: set[str] = set()
+        for method in methods:
+            under_lock = _nodes_under_lock(method, lock_names)
+            for node in ast.walk(method):
+                if id(node) in under_lock and isinstance(
+                    node, (ast.Assign, ast.AugAssign, ast.AnnAssign)
+                ):
+                    guarded_attrs.update(_assigned_attributes(node))
+        guarded_attrs -= lock_names
+        if not guarded_attrs:
+            return
+
+        # Pass 2: any access to those attributes outside a lock block.
+        for method in methods:
+            if method.name in EXEMPT_METHODS:
+                continue
+            under_lock = _nodes_under_lock(method, lock_names)
+            for node in ast.walk(method):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and is_self_attribute(node)
+                    and node.attr in guarded_attrs
+                    and id(node) not in under_lock
+                ):
+                    access = "write" if isinstance(node.ctx, (ast.Store, ast.Del)) else "read"
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"{access} of lock-guarded attribute 'self.{node.attr}' "
+                        f"outside 'with self.{sorted(lock_names)[0]}' in "
+                        f"'{class_def.name}.{method.name}'",
+                        scope=f"{class_def.name}.{method.name}",
+                    )

@@ -1,0 +1,184 @@
+"""RPL003 — dtype contracts in the core engine.
+
+Results are bit-identical across RAM and mmap modes only because every
+array obeys the declared dtype registry
+(:mod:`repro.core.dtypes`): folded path keys are ``uint64`` (the hash
+domain), vector ids and CSR offsets are ``int64`` (signed so
+searchsorted/diff arithmetic cannot wrap).  A dtype-less allocation in a
+hot path silently becomes platform-dependent (``np.array([...])`` picks
+C ``long``) or promotes to ``float64``; both break the on-disk format
+and the equivalence suites only *sometimes*, on some machines.  This
+rule flags dtype-less allocations in ``core/``, builtin dtypes
+(``dtype=float``), and named-contract mismatches (``*_keys`` arrays not
+``uint64``; ``*_ids``/``*_offsets`` arrays not ``int64``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.source import SourceModule, attribute_chain, call_name, keyword_value
+
+#: Constructors that must always carry an explicit ``dtype=``.
+ALLOCATORS = frozenset(
+    {
+        "np.array",
+        "np.empty",
+        "np.zeros",
+        "np.ones",
+        "np.full",
+        "np.arange",
+        "np.fromiter",
+        "numpy.array",
+        "numpy.empty",
+        "numpy.zeros",
+        "numpy.ones",
+        "numpy.full",
+        "numpy.arange",
+        "numpy.fromiter",
+    }
+)
+
+#: Calls checked for *contract* dtype only when the target name matches
+#: (``np.asarray`` without a dtype is a legitimate pass-through).
+CONVERTERS = frozenset(
+    {"np.asarray", "np.ascontiguousarray", "numpy.asarray", "numpy.ascontiguousarray"}
+)
+
+#: The declared registry (mirrors ``repro.core.dtypes``): name patterns
+#: → required dtype suffix.  Checked on assignment targets.
+KEY_SUFFIXES = ("key", "keys", "fence", "fences")
+ID_SUFFIXES = ("id", "ids", "offset", "offsets")
+
+#: Accepted spellings per contract (registry constants or numpy literals).
+KEY_DTYPES = frozenset({"np.uint64", "numpy.uint64", "KEY_DTYPE", "dtypes.KEY_DTYPE"})
+ID_DTYPES = frozenset(
+    {
+        "np.int64",
+        "numpy.int64",
+        "ID_DTYPE",
+        "OFFSET_DTYPE",
+        "dtypes.ID_DTYPE",
+        "dtypes.OFFSET_DTYPE",
+    }
+)
+
+#: Builtin dtypes whose width is implementation-defined (``int`` maps to
+#: C ``long``: 32-bit on Windows) or promoting.  ``bool`` is exempt —
+#: ``dtype=bool`` is exactly ``np.bool_`` and idiomatic for masks.
+BUILTIN_DTYPES = frozenset({"float", "int", "complex"})
+
+
+def _dtype_name(node: ast.expr | None) -> str | None:
+    if node is None:
+        return None
+    return attribute_chain(node)
+
+
+def _target_basename(target: ast.expr) -> str | None:
+    """The contract-relevant name of an assignment target, lowercased."""
+    if isinstance(target, ast.Name):
+        return target.id.lower()
+    if isinstance(target, ast.Attribute):
+        return target.attr.lower()
+    return None
+
+
+def _contract_for(name: str | None) -> tuple[str, frozenset[str]] | None:
+    if name is None:
+        return None
+    stem = name.lstrip("_")
+    parts = stem.split("_")
+    last = parts[-1] if parts else stem
+    if last in KEY_SUFFIXES:
+        return "uint64", KEY_DTYPES
+    if last in ID_SUFFIXES:
+        return "int64", ID_DTYPES
+    return None
+
+
+@register
+class DtypeContracts(Rule):
+    rule_id = "RPL003"
+    title = "dtype contract violation in core/"
+    rationale = (
+        "keys are uint64 and ids/offsets are int64 by declared contract "
+        "(repro.core.dtypes); dtype-less or builtin-dtype allocations are "
+        "platform-dependent and silently promote to float64"
+    )
+    hint = "pass an explicit dtype from repro.core.dtypes (KEY_DTYPE / ID_DTYPE)"
+
+    def applies_to(self, module: SourceModule) -> bool:
+        return module.in_package("core")
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                yield from self._check_assignment(module, node.targets[0], node.value)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(module, node, target_name=None)
+
+    def _check_assignment(
+        self, module: SourceModule, target: ast.expr, value: ast.expr
+    ) -> Iterator[Finding]:
+        if isinstance(value, ast.Call):
+            yield from self._check_contract(module, value, _target_basename(target))
+
+    def _check_call(
+        self, module: SourceModule, call: ast.Call, target_name: str | None
+    ) -> Iterator[Finding]:
+        name = call_name(call)
+        if name is None:
+            return
+        dtype = keyword_value(call, "dtype")
+        if name in ALLOCATORS and dtype is None:
+            yield self.finding(
+                module,
+                call.lineno,
+                call.col_offset,
+                f"'{name}(...)' without an explicit dtype in core/",
+            )
+            return
+        dtype_name = _dtype_name(dtype)
+        if dtype_name in BUILTIN_DTYPES:
+            yield self.finding(
+                module,
+                call.lineno,
+                call.col_offset,
+                f"builtin dtype '{dtype_name}' in '{name}(...)'; widths are "
+                "implementation-defined — use an explicit numpy dtype",
+            )
+
+    def _check_contract(
+        self, module: SourceModule, call: ast.Call, target_name: str | None
+    ) -> Iterator[Finding]:
+        """Contract check for ``target = np.<ctor>(..., dtype=...)``."""
+        name = call_name(call)
+        if name is None:
+            return
+        is_astype = name.rsplit(".", 1)[-1] == "astype"
+        if name not in ALLOCATORS and name not in CONVERTERS and not is_astype:
+            return
+        contract = _contract_for(target_name)
+        if contract is None:
+            return
+        required, accepted = contract
+        if is_astype and call.args and not call.keywords:
+            dtype_name = _dtype_name(call.args[0])
+        else:
+            dtype_name = _dtype_name(keyword_value(call, "dtype"))
+        if dtype_name is None:
+            # Dtype-less allocators are already flagged by _check_call;
+            # dtype-less converters are pass-throughs we cannot judge.
+            return
+        if dtype_name not in accepted:
+            yield self.finding(
+                module,
+                call.lineno,
+                call.col_offset,
+                f"'{target_name}' is declared {required} by the dtype registry "
+                f"but is allocated as '{dtype_name}'",
+            )

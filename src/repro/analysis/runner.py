@@ -1,0 +1,147 @@
+"""Collect files, run every rule, apply suppressions and the baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.findings import Finding, fingerprint_findings
+from repro.analysis.registry import Rule, select_rules
+from repro.analysis.source import SourceModule, scope_map
+from repro.analysis.suppressions import apply_suppressions, scan_suppressions
+
+#: Directory names never descended into when expanding a directory path.
+_SKIP_DIRS = {".git", "__pycache__", ".mypy_cache", ".ruff_cache", ".venv", "build"}
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced, pre-partitioned for reporting."""
+
+    findings: list[Finding]  # new findings that should fail the build
+    grandfathered: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+    parse_errors: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.stale_baseline and not self.parse_errors
+
+
+def iter_python_files(paths: Sequence[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    collected: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(part for part in candidate.parts):
+                    collected.add(candidate)
+        elif path.suffix == ".py":
+            collected.add(path)
+    return sorted(collected)
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    root: Path,
+    rules: Iterable[Rule] | None = None,
+    baseline: Baseline | None = None,
+    only: Sequence[str] | None = None,
+) -> LintResult:
+    """Run the rule suite over ``paths`` (files or directories).
+
+    ``root`` anchors the repo-relative paths used in findings and the
+    baseline.  ``rules`` overrides the registry (used by the fixture
+    tests); ``only`` selects registered rules by id.
+    """
+    active_rules = list(rules) if rules is not None else select_rules(only)
+    baseline = baseline if baseline is not None else Baseline.empty()
+
+    raw: list[Finding] = []
+    suppressed: list[Finding] = []
+    parse_errors: list[Finding] = []
+    lines_by_path: dict[str, list[str]] = {}
+    files = iter_python_files(paths)
+    for file_path in files:
+        try:
+            module = SourceModule.parse(file_path, root)
+        except (SyntaxError, UnicodeDecodeError) as error:
+            lineno = getattr(error, "lineno", None) or 1
+            parse_errors.append(
+                Finding(
+                    rule_id="E999",
+                    path=file_path.as_posix(),
+                    line=int(lineno),
+                    col=0,
+                    message=f"could not parse file: {error}",
+                )
+            )
+            continue
+        lines_by_path[module.relpath] = module.lines
+        scopes = scope_map(module.tree)
+        module_findings: list[Finding] = []
+        for rule in active_rules:
+            if not rule.applies_to(module):
+                continue
+            for finding in rule.check(module):
+                module_findings.append(finding)
+        module_findings = _attach_scopes(module_findings, module, scopes)
+        suppressions, malformed = scan_suppressions(module)
+        kept, silenced = apply_suppressions(module_findings, suppressions)
+        raw.extend(kept)
+        raw.extend(malformed)
+        suppressed.extend(silenced)
+
+    raw.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    stamped = fingerprint_findings(raw, lines_by_path)
+    new, grandfathered, stale = baseline.split(stamped)
+    return LintResult(
+        findings=new,
+        grandfathered=grandfathered,
+        suppressed=suppressed,
+        stale_baseline=stale,
+        parse_errors=parse_errors,
+        files_checked=len(files),
+    )
+
+
+def _attach_scopes(
+    findings: list[Finding], module: SourceModule, scopes: dict[object, str]
+) -> list[Finding]:
+    """Fill in each finding's enclosing scope from the line's AST nodes.
+
+    Rules may set ``scope`` themselves; for the rest, the innermost
+    scope owning any node that starts on the finding's line is used
+    (good enough for fingerprints — ties only matter within one line).
+    """
+    by_line: dict[int, str] = {}
+    for node, scope in scopes.items():
+        lineno = getattr(node, "lineno", None)
+        if lineno is None:
+            continue
+        # Prefer deeper (longer) qualnames when several nodes share a line.
+        current = by_line.get(lineno)
+        if current is None or len(scope) > len(current):
+            by_line[lineno] = scope
+    resolved: list[Finding] = []
+    for finding in findings:
+        if finding.scope != "<module>":
+            resolved.append(finding)
+            continue
+        scope = by_line.get(finding.line, "<module>")
+        resolved.append(
+            Finding(
+                rule_id=finding.rule_id,
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                message=finding.message,
+                hint=finding.hint,
+                scope=scope,
+            )
+        )
+    return resolved

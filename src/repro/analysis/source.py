@@ -1,0 +1,103 @@
+"""Parsed source files and shared AST helpers for the rule suite."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class SourceModule:
+    """One parsed Python file handed to every rule.
+
+    ``relpath`` is repo-relative with posix separators — it is what
+    findings, baselines and formatters all use, so output is stable
+    across checkouts.
+    """
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, path: Path, root: Path) -> "SourceModule":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        try:
+            relpath = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            relpath = path.as_posix()
+        return cls(
+            path=path,
+            relpath=relpath,
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+        )
+
+    def in_package(self, package: str) -> bool:
+        """Whether this file lives under ``src/repro/<package>/``."""
+        return f"/repro/{package}/" in f"/{self.relpath}"
+
+
+def scope_map(tree: ast.Module) -> dict[ast.AST, str]:
+    """Map every node to its enclosing class/function qualname.
+
+    Module-level nodes map to ``<module>``; a statement inside
+    ``class C: def m(...)`` maps to ``C.m``.  Used to give findings a
+    human-readable scope and a line-shift-stable fingerprint component.
+    """
+    scopes: dict[ast.AST, str] = {}
+
+    def visit(node: ast.AST, scope: str) -> None:
+        scopes[node] = scope
+        child_scope = scope
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            child_scope = node.name if scope == "<module>" else f"{scope}.{node.name}"
+            scopes[node] = child_scope
+        for child in ast.iter_child_nodes(node):
+            visit(child, child_scope)
+
+    visit(tree, "<module>")
+    return scopes
+
+
+def attribute_chain(node: ast.AST) -> str | None:
+    """Dotted name of an attribute/name expression, or ``None``.
+
+    ``np.memmap`` → ``"np.memmap"``; ``self._lock`` → ``"self._lock"``;
+    anything rooted in a call or subscript returns ``None``.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(call: ast.Call) -> str | None:
+    """Dotted name of a call target (``np.zeros(...)`` → ``"np.zeros"``)."""
+    return attribute_chain(call.func)
+
+
+def keyword_value(call: ast.Call, name: str) -> ast.expr | None:
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def is_self_attribute(node: ast.AST, attr: str | None = None) -> bool:
+    """Whether ``node`` is ``self.<attr>`` (any attribute when ``attr`` is None)."""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (attr is None or node.attr == attr)
+    )

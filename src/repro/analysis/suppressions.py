@@ -1,0 +1,77 @@
+"""Inline suppressions: ``# repro-lint: disable=RPL002 -- reason``.
+
+A suppression silences the named rule(s) on its own physical line (put
+it on the first line of a multi-line statement — findings anchor there).
+The reason after ``--`` is mandatory: a bare ``disable=`` does not
+suppress anything and is itself reported under the reserved id RPL000,
+so silent, unexplained waivers cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding
+from repro.analysis.source import SourceModule
+
+SUPPRESSION_RULE_ID = "RPL000"
+
+_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Z0-9, ]+?)\s*(?:--\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    line: int  # 1-based
+    rule_ids: frozenset[str]
+    reason: str
+
+
+def scan_suppressions(module: SourceModule) -> tuple[list[Suppression], list[Finding]]:
+    """All suppressions in a file, plus findings for malformed ones."""
+    suppressions: list[Suppression] = []
+    malformed: list[Finding] = []
+    for lineno, text in enumerate(module.lines, start=1):
+        match = _PATTERN.search(text)
+        if match is None:
+            continue
+        rule_ids = frozenset(
+            rule_id.strip() for rule_id in match.group("rules").split(",") if rule_id.strip()
+        )
+        reason = (match.group("reason") or "").strip()
+        if not reason:
+            malformed.append(
+                Finding(
+                    rule_id=SUPPRESSION_RULE_ID,
+                    path=module.relpath,
+                    line=lineno,
+                    col=match.start(),
+                    message=(
+                        "suppression has no reason; write "
+                        "'# repro-lint: disable=<RULE> -- <why>'"
+                    ),
+                    hint="a suppression without a reason does not suppress anything",
+                )
+            )
+            continue
+        suppressions.append(Suppression(line=lineno, rule_ids=rule_ids, reason=reason))
+    return suppressions, malformed
+
+
+def apply_suppressions(
+    findings: list[Finding], suppressions: list[Suppression]
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition findings into (kept, suppressed) using line-level matches."""
+    by_line: dict[int, set[str]] = {}
+    for suppression in suppressions:
+        by_line.setdefault(suppression.line, set()).update(suppression.rule_ids)
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        if finding.rule_id in by_line.get(finding.line, set()):
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+    return kept, suppressed

@@ -435,6 +435,93 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import Baseline, all_rules, lint_paths
+    from repro.analysis.formatters import render
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.title}")
+            print(f"    {rule.rationale}")
+        return 0
+
+    root = args.root.resolve()
+    paths = [Path(p) for p in args.paths] if args.paths else [root / "src" / "repro"]
+    try:
+        baseline = Baseline.load(args.baseline) if args.baseline else Baseline.empty()
+    except ValueError as error:
+        print(f"cannot load baseline: {error}", file=sys.stderr)
+        return 2
+    result = lint_paths(paths, root=root, baseline=baseline)
+
+    if args.update_baseline:
+        if args.baseline is None:
+            print("--update-baseline requires --baseline FILE", file=sys.stderr)
+            return 2
+        refreshed = Baseline.from_findings(
+            result.findings + result.grandfathered,
+            reason=args.baseline_reason,
+        )
+        refreshed.save(args.baseline)
+        print(
+            f"baseline updated: {len(refreshed.entries)} entr(y/ies) written "
+            f"to {args.baseline}"
+        )
+        return 0
+
+    print(render(result, args.format))
+    return 0 if result.ok else 1
+
+
+def lint_main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``tools/run_lint.py`` (lint without a subcommand)."""
+    parser = argparse.ArgumentParser(
+        prog="run_lint", description="repo-specific static analysis (RPL rules)"
+    )
+    _add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    return _cmd_lint(args)
+
+
+def _add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/repro under --root)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json", "github"],
+        default="text",
+        help="output format (github emits workflow error annotations)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path("."),
+        help="repository root anchoring the repo-relative finding paths",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline JSON of grandfathered findings (entries need reasons)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline from the current findings and exit",
+    )
+    parser.add_argument(
+        "--baseline-reason",
+        default="grandfathered at baseline creation",
+        help="reason recorded for entries written by --update-baseline",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+
+
 def _positive_int(value: str) -> int:
     """argparse type for strictly positive integer options."""
     try:
@@ -668,6 +755,13 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--scale", type=float, default=0.25)
     experiments.add_argument("--seed", type=int, default=0)
     experiments.set_defaults(handler=_cmd_experiments)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the repo-specific static-analysis suite (RPL rules)",
+    )
+    _add_lint_arguments(lint)
+    lint.set_defaults(handler=_cmd_lint)
 
     return parser
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import replace
-from typing import Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.core.stats import BatchQueryStats, QueryStats
 
@@ -52,7 +52,7 @@ def run_loop_batch(
     query_sets = [frozenset(int(item) for item in query) for query in queries]
     stats = BatchQueryStats(num_queries=len(query_sets))
     cache: dict[frozenset[int], tuple[object, QueryStats]] = {}
-    results: list = []
+    results: list[Any] = []
     for query_set in query_sets:
         if deduplicate and query_set in cache:
             value, cached_stats = cache[query_set]

@@ -40,7 +40,7 @@ import math
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
-from typing import Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -708,11 +708,11 @@ class FilterEngine:
     def _execute_batched(
         self,
         queries: Sequence[SetLike],
-        chunk_runner: Callable,
+        chunk_runner: Callable[[list[frozenset[int]]], tuple[list[Any], BatchQueryStats]],
         batch_size: int | None,
         max_workers: int | None,
         deduplicate: bool,
-    ) -> tuple[list, BatchQueryStats]:
+    ) -> tuple[list[Any], BatchQueryStats]:
         """Shared orchestration: dedupe, chunk, (optionally) fan out, merge."""
         start = time.perf_counter()
         usage_before = resource.getrusage(resource.RUSAGE_SELF) if resource else None
@@ -758,7 +758,7 @@ class FilterEngine:
             outputs = [chunk_runner(chunk) for chunk in chunks]
 
         merged = BatchQueryStats(num_queries=len(query_sets))
-        unique_results: list = []
+        unique_results: list[Any] = []
         unique_stats: list[QueryStats] = []
         for results, chunk_stats in outputs:
             unique_results.extend(results)
@@ -770,7 +770,7 @@ class FilterEngine:
             merged.merge_seconds += chunk_stats.merge_seconds
             merged.shards_probed += chunk_stats.shards_probed
 
-        final_results: list = []
+        final_results: list[Any] = []
         answered: set[int] = set()
         for position in source:
             value = unique_results[position]

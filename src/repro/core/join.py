@@ -19,7 +19,7 @@ false positives.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Protocol, Sequence
+from typing import Any, Iterable, Protocol, Sequence
 
 import numpy as np
 
@@ -108,7 +108,9 @@ def similarity_join(
     probe_sets = [frozenset(int(item) for item in probe) for probe in probes]
     result.num_probes = len(probe_sets)
 
-    def verify(probe_index: int, probe_set: frozenset[int], candidates) -> None:
+    def verify(
+        probe_index: int, probe_set: frozenset[int], candidates: Iterable[int]
+    ) -> None:
         # ``candidates`` is either a sorted id array (the CSR merge's native
         # output, consumed as-is) or a set from a fallback path; both are
         # verified in ascending id order, so results are identical.
@@ -128,7 +130,7 @@ def similarity_join(
         chunk_size = batch_size if batch_size is not None else DEFAULT_BATCH_SIZE
         if chunk_size <= 0:
             raise ValueError(f"batch_size must be positive, got {chunk_size}")
-        batch_kwargs: dict = {"batch_size": chunk_size}
+        batch_kwargs: dict[str, Any] = {"batch_size": chunk_size}
         if shard_workers is not None:
             batch_kwargs["shard_workers"] = shard_workers
         for start in range(0, len(probe_sets), chunk_size):

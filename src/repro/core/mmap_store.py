@@ -33,7 +33,7 @@ from __future__ import annotations
 import threading
 from collections.abc import Sequence as SequenceABC
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, Iterator, Mapping, Sequence
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -246,7 +246,9 @@ class ShardPoolCache:
         self._lock = threading.Lock()
 
     def get(self, width: int) -> ThreadPoolExecutor:
-        pool = self._pools.get(width)
+        # Double-checked locking: dict reads are atomic under the GIL and
+        # pools are only ever added, so a racy miss just takes the lock.
+        pool = self._pools.get(width)  # repro-lint: disable=RPL002 -- double-checked fast path; re-read under the lock below
         if pool is None:
             with self._lock:
                 pool = self._pools.get(width)
@@ -325,10 +327,14 @@ class ShardedInvertedFilterIndex:
     @property
     def shards_opened(self) -> int:
         """How many shards have had their arrays opened so far."""
-        return len(self._slices)
+        with self._lock:
+            return len(self._slices)
 
     def _slice(self, shard: int) -> ShardSlice:
-        cached = self._slices.get(shard)
+        # Double-checked locking: slices are only ever added, never
+        # replaced, so a racy hit returns the same immutable ShardSlice
+        # the locked path would.
+        cached = self._slices.get(shard)  # repro-lint: disable=RPL002 -- double-checked fast path; re-read under the lock below
         if cached is not None:
             return cached
         with self._lock:
@@ -483,13 +489,13 @@ class ShardedInvertedFilterIndex:
     # Mutation (rejected) and compaction (no-op)
     # ------------------------------------------------------------------ #
 
-    def add(self, *_args, **_kwargs) -> int:
+    def add(self, *_args: Any, **_kwargs: Any) -> int:
         raise MmapReadOnlyError(_MMAP_READ_ONLY_ERROR)
 
-    def add_many(self, *_args, **_kwargs) -> int:
+    def add_many(self, *_args: Any, **_kwargs: Any) -> int:
         raise MmapReadOnlyError(_MMAP_READ_ONLY_ERROR)
 
-    def add_postings(self, *_args, **_kwargs) -> None:
+    def add_postings(self, *_args: Any, **_kwargs: Any) -> None:
         raise MmapReadOnlyError(_MMAP_READ_ONLY_ERROR)
 
     def compact(self) -> None:
@@ -546,10 +552,12 @@ class ShardedInvertedFilterIndex:
         """Whether any shard carries a forced 64-bit key collision."""
         # Duplicate-key flags live in the manifest-backed opener output; a
         # shard must be opened to know.  Conservative callers should use the
-        # per-shard flags; this property is mainly diagnostic.
-        return any(
-            self._slices[shard].has_duplicate_keys for shard in self._slices
-        )
+        # per-shard flags; this property is mainly diagnostic.  The lock
+        # keeps the iteration consistent with a concurrent lazy open.
+        with self._lock:
+            return any(
+                opened.has_duplicate_keys for opened in self._slices.values()
+            )
 
     def __repr__(self) -> str:
         return (
@@ -578,7 +586,7 @@ class LazyVectorStore(SequenceABC):
     def __len__(self) -> int:
         return self._offsets.size - 1
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: int | slice) -> Any:
         if isinstance(index, slice):
             return [self[position] for position in range(*index.indices(len(self)))]
         length = len(self)
@@ -594,7 +602,7 @@ class LazyVectorStore(SequenceABC):
         for index in range(len(self)):
             yield self[index]
 
-    def append(self, _vector) -> None:
+    def append(self, _vector: Iterable[int]) -> None:
         raise MmapReadOnlyError(_MMAP_READ_ONLY_ERROR)
 
     def csr_view(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -608,7 +616,7 @@ class LazyVectorStore(SequenceABC):
         return self._items, starts, sizes
 
 
-def sorted_state_of(index) -> tuple[Mapping[str, np.ndarray], np.ndarray]:
+def sorted_state_of(index: Any) -> tuple[Mapping[str, np.ndarray], np.ndarray]:
     """A postings store's state with slots in ascending folded-key order.
 
     Accepts both store classes: the sharded view is sorted by construction;

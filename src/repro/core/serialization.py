@@ -69,6 +69,7 @@ from repro.core.config import (
     SkewAdaptiveIndexConfig,
 )
 from repro.core.correlated_index import CorrelatedIndex
+from repro.core.engine import FilterEngine
 from repro.core.inverted_index import InvertedFilterIndex, _segment_gather
 from repro.core.mmap_store import (
     LazyVectorStore,
@@ -219,7 +220,7 @@ def _construct_index_checked(
     return CorrelatedIndex(distribution, config=config)
 
 
-def _require_engine(index: AnyIndex):
+def _require_engine(index: AnyIndex) -> FilterEngine:
     engine = index._engine  # noqa: SLF001 - serialization is a trusted friend module
     if engine is None:
         raise ValueError("only a built index can be saved; call build() first")
@@ -309,7 +310,7 @@ def _locality_order(state: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
     }
 
 
-def _vectors_csr(vectors) -> tuple[np.ndarray, np.ndarray]:
+def _vectors_csr(vectors: Any) -> tuple[np.ndarray, np.ndarray]:
     """The stored vectors as (flat sorted items, per-vector lengths)."""
     lengths = np.fromiter(
         (len(vector) for vector in vectors), dtype=np.int64, count=len(vectors)
@@ -352,7 +353,7 @@ def save_index(
         _save_v3(index, engine, Path(path), persistence)
 
 
-def _index_meta(index: AnyIndex, engine, format_version: int) -> dict[str, Any]:
+def _index_meta(index: AnyIndex, engine: FilterEngine, format_version: int) -> dict[str, Any]:
     """The JSON metadata block shared by the v2 and v3 writers."""
     return {
         "format_version": format_version,
@@ -364,7 +365,9 @@ def _index_meta(index: AnyIndex, engine, format_version: int) -> dict[str, Any]:
     }
 
 
-def _save_v2(index: AnyIndex, engine, path: Path, persistence: PersistenceConfig) -> None:
+def _save_v2(
+    index: AnyIndex, engine: FilterEngine, path: Path, persistence: PersistenceConfig
+) -> None:
     """Write the single-file compressed ``.npz`` container (format v2)."""
     if path.is_dir():
         raise ValueError(
@@ -524,7 +527,9 @@ def _shard_file_name(shard: int) -> str:
     return f"shard_{shard:04d}.bin"
 
 
-def _save_v3(index: AnyIndex, engine, path: Path, persistence: PersistenceConfig) -> None:
+def _save_v3(
+    index: AnyIndex, engine: FilterEngine, path: Path, persistence: PersistenceConfig
+) -> None:
     """Write the sharded, mmap-native directory layout (format v3).
 
     The write is staged for crash safety: every array is materialised
@@ -683,10 +688,10 @@ def _remove_index_path(path: Path) -> None:
 def _restore_engine(
     index: AnyIndex,
     num_vectors_hint: int,
-    vectors,
-    removed,
+    vectors: Any,
+    removed: Any,
     build_stats: BuildStats,
-    filter_indexes,
+    filter_indexes: Any,
 ) -> AnyIndex:
     engine = index._create_engine(max(num_vectors_hint, 1))  # noqa: SLF001
     # restore_state rejects a repetition count that disagrees with the
@@ -950,7 +955,9 @@ class _ShardContainerCache:
         return self._directory / self._shard_files[shard]
 
     def arrays(self, shard: int) -> dict[str, np.ndarray]:
-        cached = self._containers.get(shard)
+        # Double-checked locking: containers are add-only, so a racy hit
+        # returns the same mapping the locked path would.
+        cached = self._containers.get(shard)  # repro-lint: disable=RPL002 -- double-checked fast path; re-read under the lock below
         if cached is not None:
             return cached
         with self._lock:

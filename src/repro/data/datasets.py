@@ -64,7 +64,9 @@ class SetCollection:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, SetCollection):
             return NotImplemented
-        return self._dimension == other._dimension and self._sets == other._sets
+        return (  # noqa: SLF001 - same-class comparison
+            self._dimension == other._dimension and self._sets == other._sets
+        )
 
     def __repr__(self) -> str:
         return (

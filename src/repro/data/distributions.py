@@ -177,7 +177,7 @@ class ItemDistribution:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ItemDistribution):
             return NotImplemented
-        return np.array_equal(self._probabilities, other._probabilities)
+        return np.array_equal(self._probabilities, other._probabilities)  # noqa: SLF001 - same class
 
     def __repr__(self) -> str:
         return (

@@ -61,7 +61,10 @@ from typing import Any, Callable, Sequence
 from repro.core.stats import BatchQueryStats, QueryStats
 
 #: An engine batch call: ``(query_sets, mode) -> (results, BatchQueryStats)``.
-BatchRunner = Callable[[Sequence[frozenset[int]], str], tuple[list, BatchQueryStats]]
+BatchRunner = Callable[[Sequence[frozenset[int]], str], tuple[list[Any], BatchQueryStats]]
+
+#: What a job's future resolves to: the job's result slice plus its stats.
+JobResult = tuple[list[Any], list[QueryStats]]
 
 
 class Overloaded(RuntimeError):
@@ -79,7 +82,7 @@ class _Job:
 
     queries: list[frozenset[int]]
     mode: str
-    future: asyncio.Future
+    future: asyncio.Future[JobResult]
     enqueued_at: float
 
 
@@ -166,7 +169,7 @@ class MicroBatcher:
         self._queued_queries = 0
         self._executing_queries = 0
         self._arrival = asyncio.Event()
-        self._admission_task: asyncio.Task | None = None
+        self._admission_task: asyncio.Task[None] | None = None
         # One worker thread: a single engine lane is what makes coalescing
         # meaningful (and keeps CPU-bound numpy calls from fighting the GIL).
         self._executor = ThreadPoolExecutor(
@@ -205,7 +208,7 @@ class MicroBatcher:
 
     def submit(
         self, queries: Sequence[frozenset[int]], mode: str = "first"
-    ) -> asyncio.Future:
+    ) -> asyncio.Future[JobResult]:
         """Enqueue a job; the returned future resolves to
         ``(results, per_query_stats)`` with one entry per input query.
 
@@ -327,7 +330,7 @@ class MicroBatcher:
 
     @staticmethod
     def _scatter(
-        jobs: Sequence[_Job], results: list, per_query: list[QueryStats]
+        jobs: Sequence[_Job], results: list[Any], per_query: list[QueryStats]
     ) -> None:
         """Slice the engine call's results back onto each job's future."""
         offset = 0
@@ -340,6 +343,20 @@ class MicroBatcher:
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
+
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Wait until nothing is queued or executing; ``False`` on timeout.
+
+        Used by graceful shutdown: the caller stops producing new jobs,
+        drains, then closes.  Queued jobs still dispatch normally while
+        draining, so every admitted request gets its answer.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self.inflight_queries > 0:
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            await asyncio.sleep(0.005)
+        return True
 
     async def close(self) -> None:
         """Stop admitting, fail queued jobs, and release the worker thread."""

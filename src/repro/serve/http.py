@@ -20,18 +20,31 @@ POST      /query-batch       :meth:`QueryService.query_batch`
 POST      /similarity-join   :meth:`QueryService.similarity_join_endpoint`
 GET       /healthz           :meth:`QueryService.healthz`
 GET       /stats             :meth:`QueryService.stats`
+GET       /metrics           :meth:`QueryService.metrics_text` (Prometheus)
 POST      /reload            :meth:`QueryService.reload`
 ========  =================  ==============================================
+
+``/metrics`` is the only non-JSON endpoint: it answers in the Prometheus
+text exposition format so a stock scraper can monitor the service without
+an adapter.
+
+Shutdown: ``run_server`` installs ``SIGTERM``/``SIGINT`` handlers that
+trigger a graceful drain — stop accepting connections, let every admitted
+batch finish and answer, then exit 0 — so a container orchestrator's stop
+sequence never drops an in-flight request.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
+import signal
 import time
 from typing import Any, Sequence
 
 from repro.serve.config import IndexSpec, ServeConfig
+from repro.serve.metrics import PROMETHEUS_CONTENT_TYPE
 from repro.serve.service import ApiError, QueryService
 
 _REASONS = {
@@ -48,7 +61,7 @@ _REASONS = {
 
 #: Endpoints that accept a body.
 _POST_PATHS = frozenset({"/query", "/query-batch", "/similarity-join", "/reload"})
-_GET_PATHS = frozenset({"/healthz", "/stats"})
+_GET_PATHS = frozenset({"/healthz", "/stats", "/metrics"})
 
 _MAX_HEADER_BYTES = 16 * 1024
 
@@ -61,19 +74,29 @@ class _BadRequest(Exception):
         self.status = status
 
 
-def _encode_response(
-    status: int, payload: Any, headers: dict[str, str] | None = None, close: bool = False
+def _encode_body(
+    status: int,
+    body: bytes,
+    content_type: str,
+    headers: dict[str, str] | None = None,
+    close: bool = False,
 ) -> bytes:
-    body = json.dumps(payload).encode("utf-8")
     lines = [
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-        "Content-Type: application/json",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
         f"Connection: {'close' if close else 'keep-alive'}",
     ]
     for name, value in (headers or {}).items():
         lines.append(f"{name}: {value}")
     return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+def _encode_response(
+    status: int, payload: Any, headers: dict[str, str] | None = None, close: bool = False
+) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    return _encode_body(status, body, "application/json", headers, close)
 
 
 class HttpServer:
@@ -184,6 +207,7 @@ class HttpServer:
         start = time.monotonic()
         status = 500
         headers: dict[str, str] = {}
+        text_body: str | None = None
         try:
             if not known:
                 status, payload = 404, {"error": f"unknown endpoint {path!r}"}
@@ -195,6 +219,9 @@ class HttpServer:
                 status, payload = service.healthz()
             elif path == "/stats":
                 status, payload = 200, service.stats()
+            elif path == "/metrics":
+                status, payload = 200, None
+                text_body = service.metrics_text()
             else:
                 try:
                     request_payload = json.loads(body.decode("utf-8")) if body else {}
@@ -225,7 +252,17 @@ class HttpServer:
             error=status >= 400 and status != 429,
             shed=status == 429,
         )
+        if text_body is not None and status == 200:
+            return _encode_body(
+                status, text_body.encode("utf-8"), PROMETHEUS_CONTENT_TYPE, headers
+            )
         return _encode_response(status, payload, headers)
+
+
+#: Upper bound on the graceful drain; a stuck engine call must not block
+#: shutdown forever (orchestrators send SIGKILL after their own grace period
+#: anyway, so this only matters when run by hand).
+DRAIN_TIMEOUT_SECONDS = 30.0
 
 
 async def _run(specs: Sequence[IndexSpec], config: ServeConfig, ready_message: bool) -> None:
@@ -244,13 +281,41 @@ async def _run(specs: Sequence[IndexSpec], config: ServeConfig, ready_message: b
             f"serving {names}",
             flush=True,
         )
+
+    # Graceful shutdown: SIGTERM/SIGINT stop the accept loop, admitted
+    # batches flush, and the process exits 0 — no in-flight request is
+    # dropped by an orchestrator's stop sequence.
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    handled_signals: list[signal.Signals] = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):
+            continue  # non-main thread or unsupported platform
+        handled_signals.append(signum)
+
+    serve_task = asyncio.ensure_future(server.serve_forever())
+    stop_task = asyncio.ensure_future(stop.wait())
     try:
-        await server.serve_forever()
-    except asyncio.CancelledError:
-        pass
+        await asyncio.wait({serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED)
     finally:
-        await server.close()
+        for task in (serve_task, stop_task):
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        await server.close()  # stop accepting; in-flight handlers continue
+        if stop.is_set():
+            drained = await service.drain(timeout=DRAIN_TIMEOUT_SECONDS)
+            # Give connection handlers one scheduling round to write the
+            # responses for the batches that just resolved.
+            await asyncio.sleep(0.05)
+            if ready_message:
+                outcome = "drained" if drained else "drain timed out"
+                print(f"repro-serve shutting down ({outcome})", flush=True)
         await service.close()
+        for signum in handled_signals:
+            loop.remove_signal_handler(signum)
 
 
 def run_server(
@@ -258,7 +323,11 @@ def run_server(
     config: ServeConfig | None = None,
     ready_message: bool = True,
 ) -> None:
-    """Blocking entry point: load the indexes, bind, serve until interrupted."""
+    """Blocking entry point: load the indexes, bind, and serve.
+
+    ``SIGTERM`` and ``SIGINT`` trigger a graceful drain (finish every
+    admitted request, then exit 0) rather than an abrupt teardown.
+    """
     try:
         asyncio.run(_run(specs, config if config is not None else ServeConfig(), ready_message))
     except KeyboardInterrupt:

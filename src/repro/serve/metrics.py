@@ -18,7 +18,41 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Any
+from typing import Any, Mapping, Sequence
+
+#: Content type of the ``/metrics`` response (Prometheus text exposition).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: One exposition family: ``(name, type, help, [(labels, value), ...])``.
+MetricFamily = tuple[str, str, str, Sequence[tuple[Mapping[str, str], float]]]
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    number = float(value)
+    if number.is_integer() and abs(number) < 2**53:
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(families: Sequence[MetricFamily]) -> str:
+    """Render metric families in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for name, kind, help_text, samples in families:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, value in samples:
+            if labels:
+                rendered = ",".join(
+                    f'{key}="{_escape_label(str(val))}"' for key, val in labels.items()
+                )
+                lines.append(f"{name}{{{rendered}}} {_format_value(value)}")
+            else:
+                lines.append(f"{name} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
 
 
 class LatencyWindow:
@@ -109,3 +143,63 @@ class ServiceMetrics:
             path: metrics.snapshot()
             for path, metrics in sorted(self._endpoints.items())
         }
+
+    def prometheus_text(self, extra: Sequence[MetricFamily] = ()) -> str:
+        """The endpoint counters and latency summaries as Prometheus text.
+
+        ``extra`` families (service-level gauges, batcher counters) are
+        appended after the per-endpoint ones so one scrape covers the whole
+        service.  Latency quantiles are order statistics over the retained
+        ring — windowed, not lifetime — so they are exposed as gauges;
+        ``repro_request_seconds_total`` is the lifetime total.
+        """
+        requests: list[tuple[Mapping[str, str], float]] = []
+        errors: list[tuple[Mapping[str, str], float]] = []
+        shed: list[tuple[Mapping[str, str], float]] = []
+        quantiles: list[tuple[Mapping[str, str], float]] = []
+        seconds: list[tuple[Mapping[str, str], float]] = []
+        for path, metrics in sorted(self._endpoints.items()):
+            label = {"endpoint": path}
+            requests.append((label, metrics.requests))
+            errors.append((label, metrics.errors))
+            shed.append((label, metrics.shed))
+            latency = metrics.latency.snapshot()
+            for quantile, key in (("0.5", "p50_ms"), ("0.99", "p99_ms")):
+                quantiles.append(
+                    ({"endpoint": path, "quantile": quantile}, latency[key] / 1000.0)
+                )
+            seconds.append((label, metrics.latency.total_seconds))
+        families: list[MetricFamily] = [
+            (
+                "repro_requests_total",
+                "counter",
+                "Requests received per endpoint.",
+                requests,
+            ),
+            (
+                "repro_errors_total",
+                "counter",
+                "Requests answered with a 4xx/5xx status (429 excluded).",
+                errors,
+            ),
+            (
+                "repro_shed_total",
+                "counter",
+                "Requests shed with 429 by admission control.",
+                shed,
+            ),
+            (
+                "repro_request_latency_seconds",
+                "gauge",
+                "Request latency quantiles over a bounded recent window.",
+                quantiles,
+            ),
+            (
+                "repro_request_seconds_total",
+                "counter",
+                "Total seconds spent serving measured (non-shed) requests.",
+                seconds,
+            ),
+        ]
+        families.extend(extra)
+        return render_prometheus(families)

@@ -29,6 +29,7 @@ import time
 from typing import Any, Mapping, Sequence
 
 from repro.core.join import similarity_join
+from repro.core.stats import BatchQueryStats
 from repro.serve.batcher import MicroBatcher, Overloaded
 from repro.serve.config import IndexSpec, ServeConfig
 from repro.serve.metrics import ServiceMetrics
@@ -53,7 +54,9 @@ class _ServedIndex:
     def __init__(self, spec: IndexSpec, config: ServeConfig):
         self.spec = spec
         self.config = config
-        self.index = None
+        # The concrete index class varies by file (skewed / correlated /
+        # chosen-path); the service only relies on the shared query surface.
+        self.index: Any = None
         self.status = "loading"
         self.load_seconds = 0.0
         self.loaded_at: float | None = None
@@ -65,7 +68,9 @@ class _ServedIndex:
             max_pending_queries=config.max_pending_queries,
         )
 
-    def _run_batch(self, queries, mode):
+    def _run_batch(
+        self, queries: Sequence[frozenset[int]], mode: str
+    ) -> tuple[list[Any], BatchQueryStats]:
         """The engine call the batcher runs on its worker thread.
 
         Reads ``self.index`` at call time, so a reload's swap takes effect
@@ -78,7 +83,7 @@ class _ServedIndex:
             shard_workers=self.spec.shard_workers,
         )
 
-    def load_sync(self):
+    def load_sync(self) -> Any:
         """Open the index as specced (runs on an executor thread)."""
         from repro.core.serialization import load_index
 
@@ -136,6 +141,13 @@ class QueryService:
             served.status = "ok"
 
         await asyncio.gather(*(load_one(s) for s in self._indexes.values()))
+
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Wait for every in-flight batch to finish; ``False`` on timeout."""
+        results = await asyncio.gather(
+            *(served.batcher.drain(timeout) for served in self._indexes.values())
+        )
+        return all(results)
 
     async def close(self) -> None:
         for served in self._indexes.values():
@@ -320,6 +332,98 @@ class QueryService:
             "endpoints": self.metrics.snapshot(),
             "indexes": indexes,
         }
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` — the whole service in Prometheus text format."""
+        from repro.serve.metrics import MetricFamily
+
+        up: list[tuple[Mapping[str, str], float]] = []
+        queue_depth: list[tuple[Mapping[str, str], float]] = []
+        inflight: list[tuple[Mapping[str, str], float]] = []
+        reloads: list[tuple[Mapping[str, str], float]] = []
+        engine_calls: list[tuple[Mapping[str, str], float]] = []
+        coalesced: list[tuple[Mapping[str, str], float]] = []
+        executed: list[tuple[Mapping[str, str], float]] = []
+        found: list[tuple[Mapping[str, str], float]] = []
+        shed_jobs: list[tuple[Mapping[str, str], float]] = []
+        engine_seconds: list[tuple[Mapping[str, str], float]] = []
+        for name, served in self._indexes.items():
+            label = {"index": name}
+            stats = served.batcher.stats
+            up.append((label, 1.0 if served.status == "ok" else 0.0))
+            queue_depth.append((label, served.batcher.queue_depth))
+            inflight.append((label, served.batcher.inflight_queries))
+            reloads.append((label, served.reloads))
+            engine_calls.append((label, stats.engine_calls))
+            coalesced.append((label, stats.coalesced_calls))
+            executed.append((label, stats.queries_executed))
+            found.append((label, stats.queries_found))
+            shed_jobs.append((label, stats.jobs_shed))
+            engine_seconds.append((label, stats.engine_seconds))
+        extra: list[MetricFamily] = [
+            (
+                "repro_uptime_seconds",
+                "gauge",
+                "Seconds since the service started.",
+                [({}, time.monotonic() - self._started_at)],
+            ),
+            ("repro_index_up", "gauge", "1 when the index is serving queries.", up),
+            (
+                "repro_index_queue_depth",
+                "gauge",
+                "Jobs waiting for batch admission.",
+                queue_depth,
+            ),
+            (
+                "repro_index_inflight_queries",
+                "gauge",
+                "Queries queued plus executing.",
+                inflight,
+            ),
+            (
+                "repro_index_reloads_total",
+                "counter",
+                "Completed index reloads.",
+                reloads,
+            ),
+            (
+                "repro_engine_calls_total",
+                "counter",
+                "Batched engine calls dispatched.",
+                engine_calls,
+            ),
+            (
+                "repro_engine_coalesced_calls_total",
+                "counter",
+                "Engine calls that coalesced more than one query.",
+                coalesced,
+            ),
+            (
+                "repro_engine_queries_total",
+                "counter",
+                "Queries executed by the engine.",
+                executed,
+            ),
+            (
+                "repro_engine_queries_found_total",
+                "counter",
+                "Executed queries that found a match.",
+                found,
+            ),
+            (
+                "repro_engine_jobs_shed_total",
+                "counter",
+                "Jobs refused by admission control.",
+                shed_jobs,
+            ),
+            (
+                "repro_engine_seconds_total",
+                "counter",
+                "Seconds spent inside engine calls.",
+                engine_seconds,
+            ),
+        ]
+        return self.metrics.prometheus_text(extra)
 
     async def reload(self, payload: Mapping[str, Any]) -> dict[str, Any]:
         """``POST /reload`` — re-open an index from disk and swap it in.

@@ -1,0 +1,32 @@
+"""Helpers for the static-analysis suite tests."""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.source import SourceModule
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def load_fixture(name: str, relpath: str) -> SourceModule:
+    """Parse a fixture file under a pretended repo-relative path.
+
+    Rules scope themselves by package (``serve/``, ``core/``), so the
+    tests choose where the fixture pretends to live.
+    """
+    path = FIXTURES / name
+    source = path.read_text(encoding="utf-8")
+    return SourceModule(
+        path=path,
+        relpath=relpath,
+        source=source,
+        tree=ast.parse(source, filename=name),
+        lines=source.splitlines(),
+    )
+
+
+@pytest.fixture
+def fixture_module():
+    return load_fixture

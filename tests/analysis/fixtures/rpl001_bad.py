@@ -1,0 +1,21 @@
+"""RPL001 fixture: blocking calls inside async def (must fire)."""
+
+import asyncio
+import json
+import time
+
+
+class Engine:
+    def query_batch(self, queries, mode):
+        return [], None
+
+
+engine = Engine()
+
+
+async def handle(request):
+    payload = json.load(request)  # blocking parse of a file object
+    time.sleep(0.01)  # blocking sleep on the event loop
+    results, _stats = engine.query_batch(payload, "first")  # engine lane bypass
+    await asyncio.sleep(0)
+    return results

@@ -1,0 +1,24 @@
+"""RPL001 fixture: the sanctioned patterns (must stay silent)."""
+
+import asyncio
+
+
+class Engine:
+    def query_batch(self, queries, mode):
+        return [], None
+
+
+engine = Engine()
+
+
+async def handle(loop, payload):
+    results, _stats = await loop.run_in_executor(
+        None, lambda: engine.query_batch(payload, "first")
+    )
+    await asyncio.sleep(0)
+    return results
+
+
+async def delegate(service, payload):
+    # Awaited coroutine methods are not blocking calls.
+    return await service.query(payload)

@@ -1,0 +1,19 @@
+"""RPL002 fixture: guarded attribute touched without the lock (must fire)."""
+
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._items[key] = value
+
+    def get(self, key):
+        return self._items.get(key)  # racy read outside the lock
+
+    def clear(self):
+        self._items = {}  # racy write outside the lock

@@ -1,0 +1,21 @@
+"""RPL002 fixture: every access takes the lock (must stay silent)."""
+
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._items[key] = value
+
+    def get(self, key):
+        with self._lock:
+            return self._items.get(key)
+
+    def snapshot(self):
+        # Suppressed racy read with a documented reason.
+        return dict(self._items)  # repro-lint: disable=RPL002 -- fixture: documented racy snapshot

@@ -1,0 +1,11 @@
+"""RPL003 fixture: dtype contract violations (must fire)."""
+
+import numpy as np
+
+
+def make_arrays(values):
+    raw = np.array(values)  # allocation without dtype
+    weights = np.zeros(len(values), dtype=float)  # builtin dtype
+    path_keys = np.asarray(values, dtype=np.int64)  # keys must be uint64
+    posting_ids = np.asarray(values, dtype=np.uint32)  # ids must be int64
+    return raw, weights, path_keys, posting_ids

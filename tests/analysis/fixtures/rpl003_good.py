@@ -1,0 +1,13 @@
+"""RPL003 fixture: registry-conformant allocations (must stay silent)."""
+
+import numpy as np
+
+
+def make_arrays(values):
+    raw = np.array(values, dtype=np.int64)
+    weights = np.zeros(len(values), dtype=np.float64)
+    mask = np.zeros(len(values), dtype=bool)  # masks are exempt
+    path_keys = np.asarray(values, dtype=np.uint64)
+    posting_ids = np.asarray(values, dtype=np.int64)
+    probabilities = np.asarray(values)  # dtype-less pass-through converter
+    return raw, weights, mask, path_keys, posting_ids, probabilities

@@ -1,0 +1,15 @@
+"""RPL004 fixture: writes into memmap-backed arrays (must fire)."""
+
+import numpy as np
+
+
+def patch_counts(path, updates):
+    counts = np.memmap(path, dtype=np.int64, mode="r+")  # writable mapping
+    for index, value in updates:
+        counts[index] = value  # in-place store into the mapping
+    return counts
+
+
+def unlock(view):
+    view.setflags(write=True)  # re-enables writes on a read-only view
+    view.posting_ids[0] = 0  # store into a postings-store field

@@ -1,0 +1,24 @@
+"""RPL004 fixture: sanctioned patterns (must stay silent)."""
+
+import numpy as np
+
+
+def open_counts(path):
+    return np.memmap(path, dtype=np.int64, mode="r")  # read-only mapping
+
+
+def materialise(view):
+    copy = np.array(view, dtype=np.int64)  # copy first, then mutate freely
+    copy[0] = 0
+    return copy
+
+
+class Store:
+    def __init__(self):
+        self.posting_ids = np.zeros(4, dtype=np.int64)
+        self.posting_offsets = np.zeros(2, dtype=np.int64)
+
+    def compact(self):
+        # Compaction is the sanctioned in-place rebuild path.
+        self.posting_ids[0] = 1
+        self.posting_offsets[-1] = 1

@@ -1,0 +1,9 @@
+"""RPL005 fixture: stats contract violations (must fire)."""
+
+from repro.core.stats import QueryStats
+
+
+def probe(index, query):
+    stats = QueryStats(filters_generated=0, candidate_count=3)  # unknown kwarg
+    stats.similarity_evals = 1  # misspelled field write
+    return index.probe(query), stats

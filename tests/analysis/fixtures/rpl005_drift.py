@@ -1,0 +1,13 @@
+"""RPL005 fixture: the stats dataclass drifting from the contract."""
+
+
+class QueryStats:
+    filters_generated: int = 0
+    candidates_examined: int = 0
+    unique_candidates: int = 0
+    similarity_evaluations: int = 0
+    found: bool = False
+    repetitions_used: int = 0
+    shards_probed: int = 0
+    from_cache: bool = False
+    brand_new_field: int = 0  # not declared in the lint contract

@@ -1,0 +1,10 @@
+"""RPL005 fixture: contract-conformant stats use (must stay silent)."""
+
+from repro.core.stats import QueryStats
+
+
+def probe(index, query):
+    stats = QueryStats(filters_generated=0, repetitions_used=1)
+    stats.similarity_evaluations = 1
+    stats.candidates_examined += 2
+    return index.probe(query), stats

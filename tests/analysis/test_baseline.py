@@ -1,0 +1,116 @@
+"""Baseline add/expire round-trip and validation."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.runner import lint_paths
+
+RACY = """import threading
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._items[key] = value
+
+    def get(self, key):
+        return self._items.get(key)
+"""
+
+FIXED = RACY.replace(
+    "    def get(self, key):\n        return self._items.get(key)\n",
+    "    def get(self, key):\n        with self._lock:\n"
+    "            return self._items.get(key)\n",
+)
+
+
+def _write(tmp_path: Path, source: str) -> Path:
+    path = tmp_path / "src" / "repro" / "core" / "cache.py"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+def test_baseline_round_trip_add_then_expire(tmp_path):
+    _write(tmp_path, RACY)
+
+    # 1. A fresh run fails with one finding.
+    first = lint_paths([tmp_path / "src"], root=tmp_path)
+    assert not first.ok and len(first.findings) == 1
+
+    # 2. Grandfather it into a baseline; the same run is now clean.
+    baseline = Baseline.from_findings(first.findings, reason="pre-existing race")
+    baseline_path = tmp_path / "lint_baseline.json"
+    baseline.save(baseline_path)
+    second = lint_paths(
+        [tmp_path / "src"], root=tmp_path, baseline=Baseline.load(baseline_path)
+    )
+    assert second.ok
+    assert len(second.grandfathered) == 1
+    assert not second.findings
+
+    # 3. Fixing the code expires the entry: the run fails as stale until
+    #    the baseline is regenerated.
+    _write(tmp_path, FIXED)
+    third = lint_paths(
+        [tmp_path / "src"], root=tmp_path, baseline=Baseline.load(baseline_path)
+    )
+    assert not third.ok
+    assert not third.findings
+    assert len(third.stale_baseline) == 1
+    assert third.stale_baseline[0].reason == "pre-existing race"
+
+    # 4. Regenerating from the (now clean) findings empties the baseline.
+    Baseline.from_findings(third.findings).save(baseline_path)
+    fourth = lint_paths(
+        [tmp_path / "src"], root=tmp_path, baseline=Baseline.load(baseline_path)
+    )
+    assert fourth.ok
+    assert not fourth.grandfathered
+
+
+def test_baseline_fingerprints_survive_line_shifts(tmp_path):
+    _write(tmp_path, RACY)
+    first = lint_paths([tmp_path / "src"], root=tmp_path)
+    baseline = Baseline.from_findings(first.findings, reason="pinned")
+
+    # Prepend a comment block: every line number moves, the fingerprint
+    # must not.
+    _write(tmp_path, "# leading comment\n# another\n" + RACY)
+    shifted = lint_paths([tmp_path / "src"], root=tmp_path, baseline=baseline)
+    assert shifted.ok
+    assert len(shifted.grandfathered) == 1
+    assert shifted.grandfathered[0].line != first.findings[0].line
+
+
+def test_baseline_requires_reasons(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(
+        json.dumps(
+            {
+                "version": 1,
+                "findings": [{"fingerprint": "abc", "rule": "RPL002", "path": "x.py"}],
+            }
+        ),
+        encoding="utf-8",
+    )
+    with pytest.raises(ValueError, match="no reason"):
+        Baseline.load(path)
+
+
+def test_baseline_rejects_other_versions(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "findings": []}), encoding="utf-8")
+    with pytest.raises(ValueError, match="version"):
+        Baseline.load(path)
+
+
+def test_missing_baseline_file_is_empty(tmp_path):
+    baseline = Baseline.load(tmp_path / "does-not-exist.json")
+    assert baseline.entries == []

@@ -1,0 +1,92 @@
+"""CLI surface of ``repro lint`` and ``tools/run_lint.py``."""
+
+import json
+from pathlib import Path
+
+from repro.cli import lint_main, main
+
+RACY = """import threading
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._items[key] = value
+
+    def get(self, key):
+        return self._items.get(key)
+"""
+
+
+def _write_racy(tmp_path: Path) -> Path:
+    path = tmp_path / "src" / "repro" / "core" / "cache.py"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(RACY, encoding="utf-8")
+    return path
+
+
+def test_lint_exit_one_on_findings(tmp_path, capsys):
+    _write_racy(tmp_path)
+    code = main(["lint", "--root", str(tmp_path), "--format", "json"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert payload["findings"][0]["rule"] == "RPL002"
+
+
+def test_lint_exit_zero_when_clean(tmp_path, capsys):
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "ok.py").write_text("x = 1\n", encoding="utf-8")
+    code = main(["lint", "--root", str(tmp_path)])
+    assert code == 0
+    assert "ok:" in capsys.readouterr().out
+
+
+def test_lint_list_rules(capsys):
+    code = main(["lint", "--list-rules"])
+    assert code == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005"):
+        assert rule_id in out
+
+
+def test_lint_update_baseline_then_clean(tmp_path, capsys):
+    _write_racy(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    code = main(
+        [
+            "lint",
+            "--root",
+            str(tmp_path),
+            "--baseline",
+            str(baseline),
+            "--update-baseline",
+            "--baseline-reason",
+            "legacy race, tracked separately",
+        ]
+    )
+    assert code == 0
+    assert baseline.exists()
+    capsys.readouterr()
+
+    code = main(["lint", "--root", str(tmp_path), "--baseline", str(baseline)])
+    assert code == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+
+def test_lint_update_baseline_requires_baseline_path(tmp_path, capsys):
+    _write_racy(tmp_path)
+    code = main(["lint", "--root", str(tmp_path), "--update-baseline"])
+    assert code == 2
+    assert "--baseline" in capsys.readouterr().err
+
+
+def test_run_lint_entry_point_matches_subcommand(tmp_path, capsys):
+    _write_racy(tmp_path)
+    code = lint_main(["--root", str(tmp_path), "--format", "github"])
+    assert code == 1
+    assert capsys.readouterr().out.startswith("::error file=")

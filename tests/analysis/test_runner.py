@@ -1,0 +1,136 @@
+"""Runner behaviour: suppressions, formats, and the clean-codebase gate."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.formatters import render
+from repro.analysis.runner import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _write(tmp_path: Path, relpath: str, source: str) -> Path:
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+RACY = """import threading
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {{}}
+
+    def put(self, key, value):
+        with self._lock:
+            self._items[key] = value
+
+    def get(self, key):
+        return self._items.get(key){suffix}
+"""
+
+
+def test_clean_codebase_stays_clean():
+    """The committed source tree must lint clean with no baseline."""
+    result = lint_paths([REPO_ROOT / "src" / "repro"], root=REPO_ROOT)
+    locations = [f.location() for f in result.findings]
+    assert result.ok, f"repo lint regressed: {locations}"
+    assert result.files_checked > 50
+
+
+def test_finding_detected_without_suppression(tmp_path):
+    _write(tmp_path, "src/repro/core/cache.py", RACY.format(suffix=""))
+    result = lint_paths([tmp_path / "src"], root=tmp_path)
+    assert not result.ok
+    assert [f.rule_id for f in result.findings] == ["RPL002"]
+    finding = result.findings[0]
+    assert finding.path == "src/repro/core/cache.py"
+    assert finding.fingerprint
+    assert finding.scope == "Cache.get"
+
+
+def test_suppression_with_reason_silences(tmp_path):
+    _write(
+        tmp_path,
+        "src/repro/core/cache.py",
+        RACY.format(suffix="  # repro-lint: disable=RPL002 -- benign racy read"),
+    )
+    result = lint_paths([tmp_path / "src"], root=tmp_path)
+    assert result.ok
+    assert len(result.suppressed) == 1
+
+
+def test_suppression_without_reason_is_reported(tmp_path):
+    _write(
+        tmp_path,
+        "src/repro/core/cache.py",
+        RACY.format(suffix="  # repro-lint: disable=RPL002"),
+    )
+    result = lint_paths([tmp_path / "src"], root=tmp_path)
+    assert not result.ok
+    rule_ids = sorted(f.rule_id for f in result.findings)
+    # The original finding survives AND the bare suppression is flagged.
+    assert rule_ids == ["RPL000", "RPL002"]
+
+
+def test_suppression_for_other_rule_does_not_silence(tmp_path):
+    _write(
+        tmp_path,
+        "src/repro/core/cache.py",
+        RACY.format(suffix="  # repro-lint: disable=RPL004 -- wrong rule"),
+    )
+    result = lint_paths([tmp_path / "src"], root=tmp_path)
+    assert [f.rule_id for f in result.findings] == ["RPL002"]
+
+
+def test_parse_error_is_reported(tmp_path):
+    _write(tmp_path, "src/repro/core/broken.py", "def f(:\n")
+    result = lint_paths([tmp_path / "src"], root=tmp_path)
+    assert not result.ok
+    assert result.parse_errors
+
+
+def test_json_format_is_machine_readable(tmp_path):
+    _write(tmp_path, "src/repro/core/cache.py", RACY.format(suffix=""))
+    result = lint_paths([tmp_path / "src"], root=tmp_path)
+    payload = json.loads(render(result, "json"))
+    assert payload["ok"] is False
+    assert payload["files_checked"] == 1
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "RPL002"
+    assert finding["path"] == "src/repro/core/cache.py"
+    assert finding["fingerprint"]
+
+
+def test_github_format_emits_error_annotations(tmp_path):
+    _write(tmp_path, "src/repro/core/cache.py", RACY.format(suffix=""))
+    result = lint_paths([tmp_path / "src"], root=tmp_path)
+    output = render(result, "github")
+    assert output.startswith("::error file=src/repro/core/cache.py,line=")
+    assert "title=RPL002" in output
+
+
+def test_text_format_mentions_summary(tmp_path):
+    _write(tmp_path, "src/repro/core/cache.py", RACY.format(suffix=""))
+    result = lint_paths([tmp_path / "src"], root=tmp_path)
+    output = render(result, "text")
+    assert "RPL002" in output
+    assert "FAILED" in output
+    assert "hint:" in output
+
+
+def test_unknown_format_rejected(tmp_path):
+    _write(tmp_path, "src/repro/core/cache.py", RACY.format(suffix=""))
+    result = lint_paths([tmp_path / "src"], root=tmp_path)
+    with pytest.raises(ValueError):
+        render(result, "xml")
+
+
+def test_rule_selection_by_id(tmp_path):
+    _write(tmp_path, "src/repro/core/cache.py", RACY.format(suffix=""))
+    result = lint_paths([tmp_path / "src"], root=tmp_path, only=["RPL003"])
+    assert result.ok  # RPL002 not selected, so nothing fires

@@ -17,6 +17,8 @@ import subprocess
 import sys
 from pathlib import Path
 
+import pytest
+
 
 def test_healthz_and_stats_shape(server):
     status, _, body = server.request("GET", "/healthz")
@@ -218,5 +220,99 @@ def test_cli_serve_subprocess_end_to_end(saved_index):
         try:
             process.wait(timeout=30)
         except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=30)
+
+
+def test_metrics_endpoint_prometheus_text(server, saved_index):
+    server.request("POST", "/query", {"query": sorted(saved_index.dataset[0])})
+
+    conn = server.connect()
+    try:
+        conn.request("GET", "/metrics")
+        response = conn.getresponse()
+        body = response.read().decode("utf-8")
+        assert response.status == 200
+        assert response.getheader("Content-Type", "").startswith("text/plain")
+        assert 'repro_requests_total{endpoint="/query"} 1' in body
+        assert 'repro_index_up{index="default"} 1' in body
+        assert 'repro_engine_queries_total{index="default"} 1' in body
+        assert "# TYPE repro_uptime_seconds gauge" in body
+        # The scrape itself is JSON-free: every line is a comment or sample.
+        assert not body.lstrip().startswith("{")
+    finally:
+        conn.close()
+
+    # The scrape is measured like any other endpoint.
+    _, _, stats = server.request("GET", "/stats")
+    assert stats["endpoints"]["/metrics"]["requests"] >= 1
+
+
+def test_metrics_rejects_post(server):
+    status, headers, _ = server.request("POST", "/metrics", {})
+    assert status == 405
+    assert headers["allow"] == "GET"
+
+
+def _spawn_serve(saved_index, *extra_args):
+    env = dict(os.environ)
+    repo_src = str(Path(__file__).resolve().parents[2] / "src")
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = repo_src + (os.pathsep + existing if existing else "")
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            str(saved_index.path),
+            "--port",
+            "0",
+            "--batch-window-ms",
+            "1",
+            *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+
+
+def test_sigterm_drains_and_exits_zero(saved_index):
+    """SIGTERM: in-flight work finishes, the drain is logged, exit code 0."""
+    import http.client
+    import signal as signal_module
+
+    process = _spawn_serve(saved_index)
+    try:
+        ready_line = process.stdout.readline()
+        match = re.search(r"listening on http://127\.0\.0\.1:(\d+)", ready_line)
+        assert match, f"unexpected startup line: {ready_line!r}"
+        port = int(match.group(1))
+
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        try:
+            conn.request(
+                "POST",
+                "/query",
+                body=json.dumps({"query": sorted(saved_index.dataset[0])}),
+                headers={"Content-Type": "application/json"},
+            )
+            assert conn.getresponse().status == 200
+        finally:
+            conn.close()
+
+        process.send_signal(signal_module.SIGTERM)
+        output, _ = process.communicate(timeout=60)
+        assert process.returncode == 0, f"exit {process.returncode}: {output!r}"
+        assert "shutting down (drained)" in output
+
+        # The socket is really gone.
+        with pytest.raises(OSError):
+            probe = socket.create_connection(("127.0.0.1", port), timeout=1)
+            probe.close()
+    finally:
+        if process.poll() is None:
             process.kill()
             process.wait(timeout=30)

@@ -67,3 +67,48 @@ class TestServiceMetrics:
         snapshot = service.snapshot()
         assert list(snapshot) == ["/healthz", "/query"]
         assert service.endpoint("/query") is service.endpoint("/query")
+
+
+class TestPrometheusExposition:
+    def test_families_render_with_labels_and_help(self):
+        metrics = ServiceMetrics()
+        metrics.endpoint("/query").record(0.010)
+        metrics.endpoint("/query").record(0.020, error=True)
+        metrics.endpoint("/healthz").record(0.001)
+        text = metrics.prometheus_text()
+        assert '# TYPE repro_requests_total counter' in text
+        assert 'repro_requests_total{endpoint="/query"} 2' in text
+        assert 'repro_errors_total{endpoint="/query"} 1' in text
+        assert 'repro_requests_total{endpoint="/healthz"} 1' in text
+        assert 'quantile="0.5"' in text and 'quantile="0.99"' in text
+        assert text.endswith("\n")
+        # Every non-comment line is "name{labels} value" or "name value".
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            float(value)  # parses as a number
+            assert name_part.startswith("repro_")
+
+    def test_shed_requests_do_not_pollute_latency(self):
+        metrics = ServiceMetrics()
+        metrics.endpoint("/query").record(0.0, shed=True)
+        text = metrics.prometheus_text()
+        assert 'repro_shed_total{endpoint="/query"} 1' in text
+        assert 'repro_request_seconds_total{endpoint="/query"} 0' in text
+
+    def test_extra_families_are_appended(self):
+        metrics = ServiceMetrics()
+        text = metrics.prometheus_text(
+            [("repro_uptime_seconds", "gauge", "Uptime.", [({}, 12.5)])]
+        )
+        assert "# TYPE repro_uptime_seconds gauge" in text
+        assert "repro_uptime_seconds 12.5" in text
+
+    def test_label_values_are_escaped(self):
+        from repro.serve.metrics import render_prometheus
+
+        text = render_prometheus(
+            [("repro_x", "gauge", "Escaping.", [({"name": 'a"b\\c\nd'}, 1.0)])]
+        )
+        assert 'name="a\\"b\\\\c\\nd"' in text

@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Standalone entry point for the repo lint suite (CI uses this).
+
+Equivalent to ``repro lint``; exists so the analysis job can run the
+linter without installing the package::
+
+    python tools/run_lint.py [--format {text,json,github}] [paths...]
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import lint_main  # noqa: E402 - path setup must come first
+
+if __name__ == "__main__":
+    sys.exit(lint_main(sys.argv[1:]))
