@@ -22,6 +22,8 @@ from repro.core.skewed_index import SkewAdaptiveIndex
 from repro.evaluation.reporting import format_table
 from repro.testing import rng_for
 
+from conftest import warm_up
+
 #: Minimum batched/looped throughput ratio; keep in sync with
 #: benchmarks/check_batch_regression.py (the CI gate).
 MIN_SPEEDUP = 1.5
@@ -52,9 +54,8 @@ def _run(distribution, num_vectors: int, num_queries: int) -> dict:
     build_stats = index.build(dataset)
     queries = _workload(distribution, dataset, num_queries, rng)
 
-    # Warm both paths (hash-level instantiation, CSR store) before timing.
-    index.query(queries[0])
-    index.query_batch(queries[:8])
+    # Warm both paths (hash levels, CSR store, kernel JIT) before timing.
+    warm_up(lambda: index.query(queries[0]), lambda: index.query_batch(queries[:8]))
 
     loop_start = time.perf_counter()
     looped = [index.query(query)[0] for query in queries]

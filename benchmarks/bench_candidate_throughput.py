@@ -25,6 +25,8 @@ from repro.core.skewed_index import SkewAdaptiveIndex
 from repro.evaluation.reporting import format_table
 from repro.testing import rng_for
 
+from conftest import warm_up
+
 #: Minimum CSR/reference throughput ratio; keep in sync with
 #: benchmarks/check_batch_regression.py (the CI gate).
 MIN_SPEEDUP = 1.5
@@ -79,9 +81,11 @@ def _run(distribution, num_vectors: int, num_queries: int) -> dict:
     build_stats = index.build(dataset)
     queries = _workload(distribution, dataset, num_queries, rng)
 
-    # Warm both paths (hash levels, probe tables, CSR store) before timing.
-    _reference_candidates(index, queries[0])
-    index.query_candidates(queries[0])
+    # Warm both paths (hash levels, probe tables, kernel JIT) before timing.
+    warm_up(
+        lambda: _reference_candidates(index, queries[0]),
+        lambda: index.query_candidates(queries[0]),
+    )
 
     reference_start = time.perf_counter()
     reference = [_reference_candidates(index, query) for query in queries]

@@ -20,7 +20,12 @@ default 1.5x):
 * ``serving_coalescing_speedup`` — end-to-end saturation throughput of the
   micro-batching server over the same server with the admission window
   disabled (``benchmarks/bench_serving.py``, ``BENCH_serving.json``;
-  exports its own ``min_serving_coalescing_speedup`` bound of 2.0).
+  exports its own ``min_serving_coalescing_speedup`` bound of 2.0);
+* ``kernel_extension_speedup``, ``kernel_compaction_speedup`` — the
+  hot-path kernel stages (batch path extension and build compaction) over
+  faithful copies of the replaced Python implementations
+  (``benchmarks/bench_kernels.py``, ``BENCH_kernels.json``; exports its own
+  ``min_*`` bounds of 2.0).
 
 *Upper-bounded ratios* (must be **at most** the benchmark-exported
 ``max_<key>`` bound):
@@ -52,6 +57,8 @@ GATED_KEYS = (
     "sharded_save_speedup",
     "sharded_load_speedup",
     "serving_coalescing_speedup",
+    "kernel_extension_speedup",
+    "kernel_compaction_speedup",
 )
 
 #: extra_info keys holding a gated upper-bounded ratio (<= ``max_<key>``).

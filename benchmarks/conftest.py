@@ -15,12 +15,30 @@ an ablation / empirical validation of them).  Conventions:
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 import pytest
 
 from repro.data.distributions import ItemDistribution
 from repro.data.families import two_block_probabilities, uniform_probabilities
 from repro.testing import base_seed, rng_for
+
+
+def warm_up(*actions: Callable[[], object], repeats: int = 1) -> None:
+    """Run each action before the timed region to exclude one-time costs.
+
+    The first execution of a query or build surface pays for hash-level
+    instantiation, CSR store materialisation, probe-table construction and —
+    when numba is installed — JIT compilation of the hot-path kernels (see
+    ``docs/kernels.md``).  Benchmarks measure steady state, so every timed
+    code path must be exercised once through this helper first; passing the
+    surfaces as thunks keeps the call sites explicit about exactly which
+    paths are warmed.
+    """
+    for _ in range(repeats):
+        for action in actions:
+            action()
 
 
 def pytest_addoption(parser: pytest.Parser) -> None:

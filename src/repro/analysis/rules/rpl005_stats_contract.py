@@ -27,6 +27,15 @@ from repro.analysis.source import SourceModule, call_name
 #: The declared stats contract; must match the dataclasses in
 #: ``repro/core/stats.py`` (checked by this rule when linting that file).
 DECLARED_FIELDS: dict[str, frozenset[str]] = {
+    "KernelStats": frozenset(
+        {
+            "paths_extended",
+            "keys_folded",
+            "chain_probes",
+            "merge_rows",
+            "dedupe_hits",
+        }
+    ),
     "QueryStats": frozenset(
         {
             "filters_generated",
@@ -37,6 +46,7 @@ DECLARED_FIELDS: dict[str, frozenset[str]] = {
             "repetitions_used",
             "shards_probed",
             "from_cache",
+            "kernel",
         }
     ),
     "BatchQueryStats": frozenset(
@@ -53,6 +63,7 @@ DECLARED_FIELDS: dict[str, frozenset[str]] = {
             "shards_probed",
             "minor_page_faults",
             "major_page_faults",
+            "kernel",
         }
     ),
     "AggregatedQueryStats": frozenset(

@@ -44,7 +44,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -112,6 +112,18 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_kernel_stats(kernel: Any) -> None:
+    """Render a :class:`~repro.core.stats.KernelStats` as a counter table."""
+    from repro.core.kernels import active_backend
+    from repro.evaluation.reporting import format_table
+
+    rows = [
+        {"counter": name, "count": value} for name, value in kernel.to_dict().items()
+    ]
+    print()
+    print(format_table(rows, title=f"Kernel counters ({active_backend()} backend)"))
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
     from repro.core.config import (
         CorrelatedIndexConfig,
@@ -161,6 +173,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
         f"({stats.total_filters} filters, {stats.repetitions} repetitions) and saved it to "
         f"{args.output} ({layout}, {size} bytes)"
     )
+    if args.kernel_stats:
+        _print_kernel_stats(stats.kernel)
     return 0
 
 
@@ -247,11 +261,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
     except (ValueError, OSError) as error:
         print(f"cannot load {args.index}: {error}")
         return 2
+    from repro.core.stats import KernelStats
+
     queries = read_transactions(args.queries)
     rows = []
+    kernel_total = KernelStats()
     if args.candidates_only:
         for query_number, query in enumerate(queries):
             candidates, stats = index.query_candidates(query)
+            kernel_total.add(stats.kernel)
             rows.append(
                 {
                     "query": query_number,
@@ -272,9 +290,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"\n{total} candidate collisions merged into {unique} distinct candidates "
             "(verification skipped)"
         )
+        if args.kernel_stats:
+            _print_kernel_stats(kernel_total)
         return 0
     for query_number, query in enumerate(queries):
         result, stats = index.query(query, mode=args.mode)
+        kernel_total.add(stats.kernel)
         rows.append(
             {
                 "query": query_number,
@@ -286,6 +307,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
     print(format_table(rows, title=f"{len(queries)} queries against {args.index}"))
     found = sum(1 for row in rows if row["match"] != "-")
     print(f"\n{found}/{len(queries)} queries returned a match")
+    if args.kernel_stats:
+        _print_kernel_stats(kernel_total)
     return 0
 
 
@@ -355,6 +378,8 @@ def _cmd_query_batch(args: argparse.Namespace) -> int:
         f"merge {batch_stats.merge_seconds:.4f}, "
         f"verification {batch_stats.verification_seconds:.4f}"
     )
+    if args.kernel_stats:
+        _print_kernel_stats(batch_stats.kernel)
     return 0
 
 
@@ -584,6 +609,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a v2 file without compression (larger but faster saves; "
         "v3 is always uncompressed raw arrays)",
     )
+    build.add_argument(
+        "--kernel-stats",
+        action="store_true",
+        help="print the per-stage kernel work counters of the build "
+        "(path extension, compaction chain resolution)",
+    )
     build.set_defaults(handler=_cmd_build)
 
     convert = subparsers.add_parser(
@@ -636,6 +667,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="enumerate merged candidate sets without verification "
         "(observes the CSR probe/merge phase in isolation)",
     )
+    query.add_argument(
+        "--kernel-stats",
+        action="store_true",
+        help="print the per-stage kernel work counters accumulated over the "
+        "queries (path extension, CSR merges)",
+    )
     query.set_defaults(handler=_cmd_query)
 
     query_batch = subparsers.add_parser(
@@ -676,6 +713,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="enumerate merged candidate sets without verification "
         "(observes the CSR probe/merge phase in isolation)",
+    )
+    query_batch.add_argument(
+        "--kernel-stats",
+        action="store_true",
+        help="print the per-stage kernel work counters of the batch "
+        "(path extension, CSR merges)",
     )
     query_batch.set_defaults(handler=_cmd_query_batch)
 

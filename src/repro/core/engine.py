@@ -51,9 +51,10 @@ except ImportError:  # pragma: no cover
 
 from repro.core.config import DEFAULT_BATCH_SIZE
 from repro.core.inverted_index import InvertedFilterIndex, _segment_gather
+from repro.core.kernels import get_impl, new_counters
 from repro.core.mmap_store import LazyVectorStore
 from repro.core.paths import PathGenerationResult, PathGenerator, default_max_depth
-from repro.core.stats import BatchQueryStats, BuildStats, QueryStats
+from repro.core.stats import BatchQueryStats, BuildStats, KernelStats, QueryStats
 from repro.core.thresholds import ThresholdPolicy
 from repro.hashing.pairwise import PathHasher
 from repro.hashing.random_source import derive_seed
@@ -80,15 +81,11 @@ def default_repetitions(num_vectors: int) -> int:
     return int(math.ceil(math.log2(num_vectors))) + 1
 
 
-def _ordered_unique(ids: np.ndarray) -> np.ndarray:
-    """Distinct ids of a collision stream, in first-appearance order.
-
-    This is the array replacement for the ``seen.add`` dedupe loop: queries
-    must evaluate candidates in the order the probes surfaced them for the
-    "first acceptable candidate" semantics to match the reference loop.
-    """
-    unique, first_positions = np.unique(ids, return_index=True)
-    return unique[np.argsort(first_positions, kind="stable")]
+def _route_shards(route: np.ndarray) -> int:
+    """Distinct probe-table shards a probe's routing vector touches."""
+    if not route.size:
+        return 0
+    return int(np.unique(route).size)
 
 
 class FilterEngine:
@@ -343,6 +340,7 @@ class FilterEngine:
         self._invalidate_candidate_store()
         self._removed_mask = None
         stats = BuildStats(num_vectors=len(self._vectors), repetitions=self._repetitions)
+        counters = new_counters()
         non_empty = [
             (vector_id, sorted(members))
             for vector_id, members in enumerate(self._vectors)
@@ -352,7 +350,9 @@ class FilterEngine:
             for start in range(0, len(non_empty), _BUILD_GENERATION_BATCH):
                 chunk = non_empty[start : start + _BUILD_GENERATION_BATCH]
                 bounds = [self._threshold_policy.bind(members) for _, members in chunk]
-                results = generator.generate_batch([members for _, members in chunk], bounds)
+                results = generator.generate_batch(
+                    [members for _, members in chunk], bounds, counters=counters
+                )
                 for (vector_id, _members), result in zip(chunk, results):
                     index.add(vector_id, result.paths, keys=result.keys)
                     stats.total_filters += len(result.paths)
@@ -361,6 +361,10 @@ class FilterEngine:
                 stats.generation_batches += 1
         for index in self._indexes:
             index.compact()
+            # Fresh stores: their lifetime counters are exactly this build's
+            # compaction work (forced-collision chain resolution).
+            stats.kernel.add_counters(index.kernel_counters)
+        stats.kernel.add_counters(counters)
         stats.build_seconds = time.perf_counter() - build_start
         self._build_stats = stats
         return stats
@@ -386,13 +390,15 @@ class FilterEngine:
         self._build_stats.num_vectors += 1
         if not vector:
             return vector_id
+        counters = new_counters()
         for generator, index in zip(self._generators, self._indexes):
             bound = self._threshold_policy.bind(sorted(vector))
-            result = generator.generate(sorted(vector), bound)
+            result = generator.generate(sorted(vector), bound, counters=counters)
             index.add(vector_id, result.paths, keys=result.keys)
             self._build_stats.total_filters += len(result.paths)
             if result.truncated:
                 self._build_stats.truncated_vectors += 1
+        self._build_stats.kernel.add_counters(counters)
         return vector_id
 
     def remove(self, vector_id: int) -> None:
@@ -492,25 +498,31 @@ class FilterEngine:
         membership = np.zeros(self._probabilities.size, dtype=bool)
         best_id: int | None = None
         best_similarity = -1.0
+        impl = get_impl()
+        counters = new_counters()
 
         for repetition in range(self._repetitions):
             # Even for one query the level-synchronous generator wins: it
             # hashes a whole frontier level per call instead of one call per
             # frontier entry, and produces bit-identical paths.
-            generation = self._generators[repetition].generate_batch([members], [bound])[0]
+            generation = self._generators[repetition].generate_batch(
+                [members], [bound], counters=counters
+            )[0]
             stats.filters_generated += len(generation.paths)
             stats.repetitions_used += 1
             inverted = self._indexes[repetition]
-            stats.shards_probed += inverted.count_probe_shards(generation.keys)
-            ids, _offsets = inverted.probe_batch(
+            # The routed probe reports which shard each key resolved to, so
+            # shard accounting no longer routes the same keys a second time.
+            ids, _offsets, route = inverted.probe_batch_routed(
                 generation.paths, generation.keys, shard_workers=self._shard_workers
             )
+            stats.shards_probed += _route_shards(route)
             if not ids.size:
                 continue
-            unique, first_positions = np.unique(ids, return_index=True)
-            order = np.argsort(first_positions, kind="stable")
-            ordered = unique[order]
-            ordered_first = first_positions[order]
+            # First-appearance dedupe: candidates must be evaluated in the
+            # order the probes surfaced them for the "first acceptable
+            # candidate" semantics to match the reference loop.
+            ordered, ordered_first = impl.ordered_unique(ids, counters)
             fresh = ~evaluated[ordered]
             if removed is not None:
                 fresh &= ~removed[ordered]
@@ -531,6 +543,7 @@ class FilterEngine:
                     stats.unique_candidates += hit + 1
                     stats.similarity_evaluations += hit + 1
                     stats.found = True
+                    stats.kernel.add_counters(counters)
                     return int(ordered_new[hit]), stats
             else:
                 top_position = int(np.argmax(similarities))
@@ -546,6 +559,7 @@ class FilterEngine:
             stats.similarity_evaluations += int(ordered_new.size)
 
         stats.found = best_id is not None
+        stats.kernel.add_counters(counters)
         return best_id, stats
 
     def query_candidates(self, query: SetLike) -> tuple[set[int], QueryStats]:
@@ -572,24 +586,30 @@ class FilterEngine:
         members = sorted(query_set)
         bound = self._threshold_policy.bind(members)
         parts: list[np.ndarray] = []
+        impl = get_impl()
+        counters = new_counters()
         for repetition in range(self._repetitions):
-            generation = self._generators[repetition].generate_batch([members], [bound])[0]
+            generation = self._generators[repetition].generate_batch(
+                [members], [bound], counters=counters
+            )[0]
             stats.filters_generated += len(generation.paths)
             stats.repetitions_used += 1
             inverted = self._indexes[repetition]
-            stats.shards_probed += inverted.count_probe_shards(generation.keys)
-            ids, _offsets = inverted.probe_batch(
+            ids, _offsets, route = inverted.probe_batch_routed(
                 generation.paths, generation.keys, shard_workers=self._shard_workers
             )
+            stats.shards_probed += _route_shards(route)
             stats.candidates_examined += int(ids.size)
             if ids.size:
                 parts.append(ids)
         if not parts:
+            stats.kernel.add_counters(counters)
             return _EMPTY_IDS
-        merged = np.unique(np.concatenate(parts))
+        merged = impl.sorted_unique(np.concatenate(parts), counters)
         removed = self._removed_lookup()
         if removed is not None:
             merged = merged[~removed[merged]]
+        stats.kernel.add_counters(counters)
         return merged
 
     # ------------------------------------------------------------------ #
@@ -769,6 +789,7 @@ class FilterEngine:
             merged.verification_seconds += chunk_stats.verification_seconds
             merged.merge_seconds += chunk_stats.merge_seconds
             merged.shards_probed += chunk_stats.shards_probed
+            merged.kernel.add(chunk_stats.kernel)
 
         final_results: list[Any] = []
         answered: set[int] = set()
@@ -789,11 +810,16 @@ class FilterEngine:
                         repetitions_used=0,
                         shards_probed=0,
                         from_cache=True,
+                        # replace() copies field references — a cached entry
+                        # must not share the original's mutable KernelStats.
+                        kernel=KernelStats(),
                     )
                 )
             else:
                 answered.add(position)
-                merged.per_query.append(replace(unique_stats[position]))
+                merged.per_query.append(
+                    replace(unique_stats[position], kernel=replace(unique_stats[position].kernel))
+                )
         merged.queries_deduplicated = len(query_sets) - len(unique_sets)
         merged.elapsed_seconds = time.perf_counter() - start
         if usage_before is not None:
@@ -811,7 +837,7 @@ class FilterEngine:
         inverted: InvertedFilterIndex,
         generations: Sequence[PathGenerationResult],
         shard_workers: int | None = None,
-    ) -> tuple[np.ndarray, np.ndarray, int, int, int] | None:
+    ) -> tuple[np.ndarray, np.ndarray, int, int, int, np.ndarray] | None:
         """Resolve one repetition's probes for a whole chunk in one gather.
 
         The generations' filters are concatenated and deduplicated *by path*
@@ -824,10 +850,14 @@ class FilterEngine:
         to per-query collision streams.
 
         Returns ``(occurrence_ids, query_offsets, distinct, duplicate,
-        shards)`` where query ``k`` of the chunk owns the collision stream
-        ``occurrence_ids[query_offsets[k]:query_offsets[k + 1]]`` in path
-        order and ``shards`` counts the distinct probe-table shards touched,
-        or ``None`` when no query generated any filter.
+        shards, query_shards)`` where query ``k`` of the chunk owns the
+        collision stream ``occurrence_ids[query_offsets[k]:query_offsets[k +
+        1]]`` in path order, ``shards`` counts the distinct probe-table
+        shards the deduplicated probe set touched, and ``query_shards[k]``
+        counts the distinct shards query ``k``'s own filters routed to —
+        both derived from the single routed probe, so the keys are routed
+        exactly once per chunk-repetition.  Returns ``None`` when no query
+        generated any filter.
         """
         position_by_path: dict[tuple[int, ...], int] = {}
         unique_paths: list[tuple[int, ...]] = []
@@ -846,10 +876,10 @@ class FilterEngine:
             return None
         inverse = np.asarray(inverse_list, dtype=np.int64)
         keys_arr = np.asarray(unique_keys, dtype=np.uint64)
-        shards = inverted.count_probe_shards(keys_arr)
-        ids, offsets = inverted.probe_batch(
+        ids, offsets, route = inverted.probe_batch_routed(
             unique_paths, keys_arr, shard_workers=shard_workers
         )
+        shards = _route_shards(route)
         per_path = np.diff(offsets)[inverse]
         occurrence_ids = _segment_gather(ids, offsets[:-1][inverse], per_path)
         # Per-query boundaries of the expanded collision stream.
@@ -858,8 +888,26 @@ class FilterEngine:
         occurrence_bounds = np.zeros(per_path.size + 1, dtype=np.int64)
         np.cumsum(per_path, out=occurrence_bounds[1:])
         query_offsets = occurrence_bounds[path_bounds]
+        # Per-query shard fan-out from the same routing vector (duplicate
+        # keys within a query route identically, so the dedupe is harmless).
+        occurrence_route = route[inverse]
+        query_shards = np.fromiter(
+            (
+                np.unique(occurrence_route[path_bounds[k] : path_bounds[k + 1]]).size
+                for k in range(len(generations))
+            ),
+            dtype=np.int64,
+            count=len(generations),
+        )
         distinct = len(unique_paths)
-        return occurrence_ids, query_offsets, distinct, int(inverse.size) - distinct, shards
+        return (
+            occurrence_ids,
+            query_offsets,
+            distinct,
+            int(inverse.size) - distinct,
+            shards,
+            query_shards,
+        )
 
     def _query_batch_chunk(
         self,
@@ -885,6 +933,8 @@ class FilterEngine:
         best: dict[int, tuple[int | None, float]] = {index: (None, -1.0) for index in active}
         membership = np.zeros(self._probabilities.size, dtype=bool)
         removed = self._removed_lookup()
+        impl = get_impl()
+        counters = new_counters()
 
         for repetition in range(self._repetitions):
             if not active:
@@ -893,6 +943,7 @@ class FilterEngine:
             generations = self._generators[repetition].generate_batch(
                 [members[index] for index in active],
                 [bounds[index] for index in active],
+                counters=counters,
             )
             chunk_stats.generation_seconds += time.perf_counter() - generation_start
             inverted = self._indexes[repetition]
@@ -900,13 +951,12 @@ class FilterEngine:
                 query_stats = chunk_stats.per_query[index]
                 query_stats.filters_generated += len(generation.paths)
                 query_stats.repetitions_used += 1
-                query_stats.shards_probed += inverted.count_probe_shards(generation.keys)
             merge_start = time.perf_counter()
             probe = self._probe_chunk_repetition(inverted, generations, shard_workers)
             chunk_stats.merge_seconds += time.perf_counter() - merge_start
             if probe is None:
                 continue
-            occurrence_ids, query_offsets, distinct, duplicate, shards = probe
+            occurrence_ids, query_offsets, distinct, duplicate, shards, query_shards = probe
             chunk_stats.distinct_filter_probes += distinct
             chunk_stats.duplicate_filter_probes += duplicate
             chunk_stats.shards_probed += shards
@@ -914,12 +964,13 @@ class FilterEngine:
             surviving: list[int] = []
             for position, index in enumerate(active):
                 query_stats = chunk_stats.per_query[index]
+                query_stats.shards_probed += int(query_shards[position])
                 merge_start = time.perf_counter()
                 flat = occurrence_ids[query_offsets[position] : query_offsets[position + 1]]
                 query_stats.candidates_examined += int(flat.size)
                 ordered_new = _EMPTY_IDS
                 if flat.size:
-                    ordered = _ordered_unique(flat)
+                    ordered, _first_positions = impl.ordered_unique(flat, counters)
                     fresh = ~np.isin(ordered, evaluated[index], assume_unique=True)
                     if removed is not None:
                         fresh &= ~removed[ordered]
@@ -961,6 +1012,7 @@ class FilterEngine:
                 if best_id is not None:
                     results[index] = best_id
                     chunk_stats.per_query[index].found = True
+        chunk_stats.kernel.add_counters(counters)
         return results, chunk_stats
 
     def _candidate_arrays_chunk(
@@ -986,29 +1038,34 @@ class FilterEngine:
         bounds = [self._threshold_policy.bind(items) for items in members]
         id_parts: list[np.ndarray] = []
         label_parts: list[np.ndarray] = []
+        impl = get_impl()
+        counters = new_counters()
 
         for repetition in range(self._repetitions):
             generation_start = time.perf_counter()
-            generations = self._generators[repetition].generate_batch(members, bounds)
+            generations = self._generators[repetition].generate_batch(
+                members, bounds, counters=counters
+            )
             chunk_stats.generation_seconds += time.perf_counter() - generation_start
             inverted = self._indexes[repetition]
             for index, generation in zip(active, generations):
                 query_stats = chunk_stats.per_query[index]
                 query_stats.filters_generated += len(generation.paths)
                 query_stats.repetitions_used += 1
-                query_stats.shards_probed += inverted.count_probe_shards(generation.keys)
             merge_start = time.perf_counter()
             probe = self._probe_chunk_repetition(inverted, generations, shard_workers)
             if probe is not None:
-                occurrence_ids, query_offsets, distinct, duplicate, shards = probe
+                occurrence_ids, query_offsets, distinct, duplicate, shards, query_shards = (
+                    probe
+                )
                 chunk_stats.distinct_filter_probes += distinct
                 chunk_stats.duplicate_filter_probes += duplicate
                 chunk_stats.shards_probed += shards
                 counts = np.diff(query_offsets)
                 for position, index in enumerate(active):
-                    chunk_stats.per_query[index].candidates_examined += int(
-                        counts[position]
-                    )
+                    query_stats = chunk_stats.per_query[index]
+                    query_stats.candidates_examined += int(counts[position])
+                    query_stats.shards_probed += int(query_shards[position])
                 id_parts.append(occurrence_ids)
                 label_parts.append(
                     np.repeat(np.arange(len(active), dtype=np.int64), counts)
@@ -1020,16 +1077,9 @@ class FilterEngine:
             all_ids = np.concatenate(id_parts)
             all_labels = np.concatenate(label_parts)
             if all_ids.size:
-                order = np.lexsort((all_ids, all_labels))
-                ids_sorted = all_ids[order]
-                labels_sorted = all_labels[order]
-                keep = np.empty(ids_sorted.size, dtype=bool)
-                keep[0] = True
-                keep[1:] = (ids_sorted[1:] != ids_sorted[:-1]) | (
-                    labels_sorted[1:] != labels_sorted[:-1]
+                labels_unique, ids_unique = impl.merge_labeled(
+                    all_labels, all_ids, counters
                 )
-                ids_unique = ids_sorted[keep]
-                labels_unique = labels_sorted[keep]
                 removed = self._removed_lookup()
                 if removed is not None:
                     alive = ~removed[ids_unique]
@@ -1043,6 +1093,7 @@ class FilterEngine:
                     results[index] = segment
                     chunk_stats.per_query[index].unique_candidates = int(segment.size)
         chunk_stats.merge_seconds += time.perf_counter() - merge_start
+        chunk_stats.kernel.add_counters(counters)
         return results, chunk_stats
 
     def _query_candidates_chunk(

@@ -36,6 +36,7 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from repro.core.kernels import get_impl, new_counters
 from repro.core.paths import paths_to_csr
 from repro.hashing.pairwise import fold_path, fold_paths_csr
 
@@ -95,6 +96,9 @@ class InvertedFilterIndex:
         self._pending_paths: list[Path] = []
         self._pending_ids: list[int] = []
         self._total_entries = 0
+        #: Kernel work counters accumulated by compaction (chain probes when
+        #: forced collisions are resolved); callers fold them into BuildStats.
+        self.kernel_counters = new_counters()
 
     # ------------------------------------------------------------------ #
     # Construction (append-only)
@@ -211,14 +215,26 @@ class InvertedFilterIndex:
         group_start = np.empty(keys_sorted.size, dtype=bool)
         group_start[0] = True
         np.not_equal(keys_sorted[1:], keys_sorted[:-1], out=group_start[1:])
+        group_ids = np.cumsum(group_start) - 1
 
-        if not self._paths_consistent(
-            group_start, refs_sorted, table_items, table_offsets, table_lengths
-        ):
-            # A genuine 64-bit key collision between distinct paths: merge
-            # exactly, one posting at a time (astronomically rare in real
-            # data; exercised by tests that force equal keys).
-            self._compact_chained(stream_keys, stream_ids)
+        dirty_groups = self._inconsistent_groups(
+            group_start, group_ids, refs_sorted, table_items, table_offsets, table_lengths
+        )
+        if dirty_groups.size:
+            # Genuine 64-bit key collisions between distinct paths
+            # (astronomically rare in real data; exercised by tests that
+            # force equal keys): resolve only the colliding groups through
+            # the chain kernel, keeping everything else vectorised.
+            self._compact_with_chains(
+                keys_sorted,
+                ids_sorted,
+                refs_sorted,
+                group_ids,
+                dirty_groups,
+                table_items,
+                table_offsets,
+                table_lengths,
+            )
             return
 
         starts = np.flatnonzero(group_start)
@@ -242,90 +258,132 @@ class InvertedFilterIndex:
         self._clear_pending()
 
     @staticmethod
-    def _paths_consistent(
+    def _inconsistent_groups(
         group_start: np.ndarray,
+        group_ids: np.ndarray,
         refs_sorted: np.ndarray,
         table_items: np.ndarray,
         table_offsets: np.ndarray,
         table_lengths: np.ndarray,
-    ) -> bool:
-        """Whether every key group references a single distinct path.
+    ) -> np.ndarray:
+        """Key groups referencing more than one distinct path (sorted ids).
 
         Checks each adjacent same-key pair of stream entries: identical path
         references are trivially equal; the rest are compared by length and
-        then item-by-item, all vectorised.
+        then item-by-item, all vectorised.  Any group holding two distinct
+        paths has an adjacent pair where the content changes, so pairwise
+        checks find every colliding group.
         """
-        adjacent = ~group_start[1:]
-        left = refs_sorted[:-1][adjacent]
-        right = refs_sorted[1:][adjacent]
+        empty = np.empty(0, dtype=np.int64)
+        adjacent = np.flatnonzero(~group_start[1:])
+        left = refs_sorted[adjacent]
+        right = refs_sorted[adjacent + 1]
         differing = left != right
         if not np.any(differing):
-            return True
+            return empty
+        adjacent = adjacent[differing]
         left = left[differing]
         right = right[differing]
         lengths = table_lengths[left]
-        if np.any(lengths != table_lengths[right]):
-            return False
-        nonzero = lengths > 0
-        left, right, lengths = left[nonzero], right[nonzero], lengths[nonzero]
-        left_items = _segment_gather(table_items, table_offsets[left], lengths)
-        right_items = _segment_gather(table_items, table_offsets[right], lengths)
-        return bool(np.array_equal(left_items, right_items))
+        dirty = lengths != table_lengths[right]
+        check = np.flatnonzero(~dirty & (lengths > 0))
+        if check.size:
+            check_lengths = lengths[check]
+            left_items = _segment_gather(
+                table_items, table_offsets[left[check]], check_lengths
+            )
+            right_items = _segment_gather(
+                table_items, table_offsets[right[check]], check_lengths
+            )
+            mismatched = left_items != right_items
+            if np.any(mismatched):
+                bad = (
+                    np.add.reduceat(mismatched, np.cumsum(check_lengths) - check_lengths)
+                    > 0
+                )
+                dirty[check[bad]] = True
+        if not np.any(dirty):
+            return empty
+        return np.unique(group_ids[adjacent[dirty] + 1])
 
-    def _compact_chained(self, stream_keys: np.ndarray, stream_ids: np.ndarray) -> None:
-        """Exact sequential merge used when 64-bit key collisions exist."""
-        frozen_slots = self._path_keys.size
-        frozen_counts = np.diff(self._posting_offsets)
-        stream_paths: list[Path] = []
-        for slot in range(frozen_slots):
-            stream_paths.extend([self._path_at(slot)] * int(frozen_counts[slot]))
-        stream_paths.extend(self._pending_paths)
+    def _compact_with_chains(
+        self,
+        keys_sorted: np.ndarray,
+        ids_sorted: np.ndarray,
+        refs_sorted: np.ndarray,
+        group_ids: np.ndarray,
+        dirty_groups: np.ndarray,
+        table_items: np.ndarray,
+        table_offsets: np.ndarray,
+        table_lengths: np.ndarray,
+    ) -> None:
+        """Compact a stream whose ``dirty_groups`` hold forced key collisions.
 
-        slot_by_key: dict[int, int | list[int]] = {}
-        slot_paths: list[Path] = []
-        slot_keys: list[int] = []
-        slot_postings: list[list[int]] = []
-        for key, path, vector_id in zip(
-            stream_keys.tolist(), stream_paths, stream_ids.tolist()
-        ):
-            bucket = slot_by_key.get(key)
-            slot = -1
-            if bucket is None:
-                slot_by_key[key] = slot = len(slot_paths)
-                slot_paths.append(path)
-                slot_keys.append(key)
-                slot_postings.append([])
-            elif isinstance(bucket, int):
-                if slot_paths[bucket] == path:
-                    slot = bucket
-                else:
-                    slot = len(slot_paths)
-                    slot_by_key[key] = [bucket, slot]
-                    slot_paths.append(path)
-                    slot_keys.append(key)
-                    slot_postings.append([])
-            else:
-                for candidate in bucket:
-                    if slot_paths[candidate] == path:
-                        slot = candidate
-                        break
-                if slot < 0:
-                    slot = len(slot_paths)
-                    bucket.append(slot)
-                    slot_paths.append(path)
-                    slot_keys.append(key)
-                    slot_postings.append([])
-            slot_postings[slot].append(vector_id)
+        Clean groups keep one slot each; the entries of colliding groups go
+        through the ``chain_resolve`` kernel, which assigns sub-slots in
+        first-appearance (stream) order — the same order the probe chain
+        walks — and counts one ``chain_probes`` unit per representative
+        comparison.  Slots come out ordered by key with equal-key runs in
+        stream order, so the probe tables are the identity permutation, and
+        posting lists stay in original stream order exactly as the clean
+        path produces them.
+        """
+        num_groups = int(group_ids[-1]) + 1
+        dirty_mask = np.zeros(num_groups, dtype=bool)
+        dirty_mask[dirty_groups] = True
+        entry_sel = np.flatnonzero(dirty_mask[group_ids])
+        sel_refs = refs_sorted[entry_sel]
+        sel_lengths = table_lengths[sel_refs]
+        entry_offsets = np.zeros(entry_sel.size + 1, dtype=np.int64)
+        np.cumsum(sel_lengths, out=entry_offsets[1:])
+        entry_items = _segment_gather(table_items, table_offsets[sel_refs], sel_lengths)
+        sel_groups = group_ids[entry_sel]
+        group_bounds = np.empty(sel_groups.size, dtype=bool)
+        group_bounds[0] = True
+        np.not_equal(sel_groups[1:], sel_groups[:-1], out=group_bounds[1:])
+        group_offsets = np.concatenate(
+            [np.flatnonzero(group_bounds), [sel_groups.size]]
+        ).astype(np.int64)
 
-        self._path_items, self._path_offsets = paths_to_csr(slot_paths)
-        self._path_keys = np.asarray(slot_keys, dtype=np.uint64)
-        sizes = np.asarray([len(ids) for ids in slot_postings], dtype=np.int64)
-        self._posting_offsets = np.zeros(sizes.size + 1, dtype=np.int64)
-        np.cumsum(sizes, out=self._posting_offsets[1:])
-        self._posting_ids = np.asarray(
-            [vector_id for ids in slot_postings for vector_id in ids], dtype=np.int64
+        sub_slots, group_counts = get_impl().chain_resolve(
+            group_offsets, entry_items, entry_offsets, self.kernel_counters
         )
-        self._build_probe_tables()
+
+        counts_per_group = np.ones(num_groups, dtype=np.int64)
+        counts_per_group[dirty_groups] = group_counts
+        slot_base = np.cumsum(counts_per_group) - counts_per_group
+        entry_slot = slot_base[group_ids]
+        entry_slot[entry_sel] += sub_slots
+        num_slots = int(counts_per_group.sum())
+
+        # The stream is already grouped by key — and therefore by slot base —
+        # so only the dirty groups' entries can be out of slot order.  Permute
+        # those entries alone (argsort over the dirty selection, stable to
+        # keep posting lists in stream order) instead of re-sorting the whole
+        # stream: the collision path then costs the clean path plus work
+        # proportional to the colliding entries.
+        by_slot = np.arange(entry_slot.size, dtype=np.int64)
+        by_slot[entry_sel] = entry_sel[np.argsort(entry_slot[entry_sel], kind="stable")]
+        slots_sorted = entry_slot[by_slot]
+        first_mask = np.empty(slots_sorted.size, dtype=bool)
+        first_mask[0] = True
+        np.not_equal(slots_sorted[1:], slots_sorted[:-1], out=first_mask[1:])
+        canonical = refs_sorted[by_slot][first_mask]
+        path_lengths = table_lengths[canonical]
+
+        self._path_keys = keys_sorted[by_slot][first_mask]
+        self._path_items = _segment_gather(
+            table_items, table_offsets[canonical], path_lengths
+        )
+        self._path_offsets = np.zeros(num_slots + 1, dtype=np.int64)
+        np.cumsum(path_lengths, out=self._path_offsets[1:])
+        self._posting_ids = ids_sorted[by_slot]
+        posting_counts = np.bincount(entry_slot, minlength=num_slots)
+        self._posting_offsets = np.zeros(num_slots + 1, dtype=np.int64)
+        np.cumsum(posting_counts, out=self._posting_offsets[1:])
+        self._sorted_keys = self._path_keys
+        self._key_order = np.arange(num_slots, dtype=np.int64)
+        self._has_duplicate_keys = True
         self._clear_pending()
 
     def _clear_pending(self) -> None:
@@ -517,6 +575,16 @@ class InvertedFilterIndex:
         keys: Sequence[int] | np.ndarray,
         shard_workers: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`probe_batch_routed` without the per-probe shard routes."""
+        ids, offsets, _route = self.probe_batch_routed(paths, keys, shard_workers)
+        return ids, offsets
+
+    def probe_batch_routed(
+        self,
+        paths: Sequence[Path],
+        keys: Sequence[int] | np.ndarray,
+        shard_workers: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Resolve many probes at once; CSR slices of their posting lists.
 
         Parameters
@@ -532,24 +600,29 @@ class InvertedFilterIndex:
 
         Returns
         -------
-        (posting_ids, offsets):
+        (posting_ids, offsets, route):
             ``posting_ids`` is the concatenation of every probe's posting
             list (a gather from the store, in probe order) and ``offsets``
             has length ``len(paths) + 1`` with probe ``k`` occupying
             ``posting_ids[offsets[k]:offsets[k + 1]]``.  Missing filters
-            contribute empty segments.  This is the query hot path: one
-            ``searchsorted`` resolves the whole probe set against the sorted
-            key table, and no per-path Python list is materialised.
+            contribute empty segments.  ``route`` holds the shard index each
+            probe key routes to — all zeros here, since the in-memory store
+            is a single shard — so callers account shard fan-out from the
+            probe itself instead of re-routing the same keys.  This is the
+            query hot path: one ``searchsorted`` resolves the whole probe
+            set against the sorted key table, and no per-path Python list is
+            materialised.
         """
         self.compact()
         num_probes = len(paths)
         empty = np.empty(0, dtype=np.int64)
+        route = np.zeros(num_probes, dtype=np.int64)
         if num_probes == 0:
-            return empty, np.zeros(1, dtype=np.int64)
+            return empty, np.zeros(1, dtype=np.int64), route
         keys_arr = np.ascontiguousarray(keys, dtype=np.uint64)
         sorted_keys = self._sorted_keys
         if sorted_keys.size == 0:
-            return empty, np.zeros(num_probes + 1, dtype=np.int64)
+            return empty, np.zeros(num_probes + 1, dtype=np.int64), route
 
         positions = np.searchsorted(sorted_keys, keys_arr)
         clipped = np.minimum(positions, sorted_keys.size - 1)
@@ -589,8 +662,9 @@ class InvertedFilterIndex:
         offsets = np.zeros(num_probes + 1, dtype=np.int64)
         np.cumsum(lengths, out=offsets[1:])
         if int(offsets[-1]) == 0:
-            return empty, offsets
-        return _segment_gather(self._posting_ids, self._posting_offsets[slots], lengths), offsets
+            return empty, offsets, route
+        gathered = _segment_gather(self._posting_ids, self._posting_offsets[slots], lengths)
+        return gathered, offsets, route
 
     def candidates(
         self, paths: Iterable[Path], keys: Sequence[int] | None = None

@@ -370,20 +370,32 @@ class ShardedInvertedFilterIndex:
         keys: Sequence[int] | np.ndarray,
         shard_workers: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`probe_batch_routed` without the per-probe shard routes."""
+        ids, offsets, _route = self.probe_batch_routed(paths, keys, shard_workers)
+        return ids, offsets
+
+    def probe_batch_routed(
+        self,
+        paths: Sequence[Path],
+        keys: Sequence[int] | np.ndarray,
+        shard_workers: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Resolve many probes at once; CSR slices of their posting lists.
 
-        Same contract as :meth:`InvertedFilterIndex.probe_batch` — one
-        concatenated ``posting_ids`` array plus ``len(paths) + 1`` offsets,
-        in probe order, missing filters contributing empty segments and
-        results bit-identical to probing the unsharded store.  Each probe
-        key is routed to its shard via the manifest fences; with
+        Same contract as :meth:`InvertedFilterIndex.probe_batch_routed` —
+        one concatenated ``posting_ids`` array plus ``len(paths) + 1``
+        offsets, in probe order, missing filters contributing empty segments
+        and results bit-identical to probing the unsharded store.  Each
+        probe key is routed to its shard via the manifest fences, and the
+        computed ``route`` (shard index per probe) is returned so callers
+        can account shard fan-out without re-routing the same keys; with
         ``shard_workers`` set (or the instance default), independent shards
         resolve and gather concurrently on a thread pool.
         """
         num_probes = len(paths)
         empty = np.empty(0, dtype=np.int64)
         if num_probes == 0:
-            return empty, np.zeros(1, dtype=np.int64)
+            return empty, np.zeros(1, dtype=np.int64), np.zeros(0, dtype=np.int64)
         keys_arr = np.ascontiguousarray(keys, dtype=np.uint64)
         probe_items, probe_offsets = paths_to_csr(paths)
         probe_starts = probe_offsets[:-1]
@@ -422,8 +434,9 @@ class ShardedInvertedFilterIndex:
         offsets = np.zeros(num_probes + 1, dtype=np.int64)
         np.cumsum(per_probe, out=offsets[1:])
         total = int(offsets[-1])
+        route64 = route.astype(np.int64, copy=False)
         if total == 0:
-            return empty, offsets
+            return empty, offsets, route64
         ids = np.empty(total, dtype=np.int64)
         for members, lengths, gathered in parts:
             if not gathered.size:
@@ -433,7 +446,7 @@ class ShardedInvertedFilterIndex:
                 starts - (np.cumsum(lengths) - lengths), lengths
             )
             ids[destination] = gathered
-        return ids, offsets
+        return ids, offsets, route64
 
     def lookup(self, path: Path) -> list[int]:
         """Vector ids that chose ``path`` (empty list if none)."""

@@ -24,8 +24,9 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.kernels import KEYS_FOLDED, PATHS_EXTENDED, get_impl, new_counters
 from repro.core.thresholds import BoundThreshold
-from repro.hashing.pairwise import PathHasher, extend_key, fold_path
+from repro.hashing.pairwise import EMPTY_PATH_KEY, PathHasher, extend_key, fold_path
 
 Path = tuple[int, ...]
 
@@ -47,6 +48,55 @@ def paths_to_csr(paths: Sequence[Sequence[int]]) -> tuple[np.ndarray, np.ndarray
         count=int(offsets[-1]),
     )
     return items, offsets
+
+
+#: Batches of at most this many vectors take the tuple-frontier path in
+#: :meth:`PathGenerator.generate_batch` instead of the CSR kernel pipeline.
+#: The pipeline's fixed per-level array-operation cost dominates tiny
+#: frontiers (the single-query surfaces generate one vector per repetition),
+#: while both paths produce bit-identical results and counter totals.
+_SMALL_BATCH_MAX = 8
+
+
+class _SmallBatchState:
+    """Per-vector bookkeeping of the small-batch tuple-frontier path.
+
+    Frontier entries are ``(path, prefix_key, log_product, positions)``
+    tuples, where ``positions`` lists the vector's (sorted) item positions
+    still available for extension — a child inherits its parent's list minus
+    the item just consumed.
+    """
+
+    __slots__ = (
+        "items",
+        "log_probs",
+        "bound",
+        "frontier",
+        "finished_paths",
+        "finished_keys",
+        "truncated",
+        "expansions",
+        "active",
+    )
+
+    def __init__(
+        self,
+        items: list[int],
+        log_probs: list[float],
+        bound: BoundThreshold,
+        root_key: int,
+    ):
+        self.items = items
+        self.log_probs = log_probs
+        self.bound = bound
+        self.frontier: list[tuple[Path, int, float, list[int]]] = (
+            [((), root_key, 0.0, list(range(len(items))))] if items else []
+        )
+        self.finished_paths: list[Path] = []
+        self.finished_keys: list[int] = []
+        self.truncated = False
+        self.expansions = 0
+        self.active = bool(items)
 
 
 def default_max_depth(num_vectors: int, max_probability: float) -> int:
@@ -87,52 +137,6 @@ class PathGenerationResult:
                 f"got {len(self.keys)} keys for {len(self.paths)} paths; "
                 "need exactly one key per path"
             )
-
-
-class _BatchState:
-    """Per-vector bookkeeping used by :meth:`PathGenerator.generate_batch`.
-
-    Frontier entries are ``(path, prefix_key, log_product, positions)``
-    tuples, where ``positions`` lists the vector's (sorted) item positions
-    still available for extension.  Carrying the positions forward — a child
-    inherits its parent's list minus the item just consumed — avoids
-    re-scanning a used-item bitmask at every level, which is the dominant
-    Python cost of the level loop.
-    """
-
-    __slots__ = (
-        "items",
-        "item_array",
-        "log_probs",
-        "bound",
-        "frontier",
-        "finished_paths",
-        "finished_keys",
-        "truncated",
-        "expansions",
-        "active",
-    )
-
-    def __init__(
-        self,
-        items: list[int],
-        item_array: np.ndarray,
-        log_probs: list[float],
-        bound: BoundThreshold,
-        root_key: int,
-    ):
-        self.items = items
-        self.item_array = item_array
-        self.log_probs = log_probs
-        self.bound = bound
-        self.frontier: list[tuple[Path, int, float, list[int]]] = (
-            [((), root_key, 0.0, list(range(len(items))))] if items else []
-        )
-        self.finished_paths: list[Path] = []
-        self.finished_keys: list[int] = []
-        self.truncated = False
-        self.expansions = 0
-        self.active = bool(items)
 
 
 class PathGenerator:
@@ -210,8 +214,17 @@ class PathGenerator:
         """
         self._hasher.ensure_levels(self._max_depth)
 
-    def generate(self, items: Sequence[int], threshold: BoundThreshold) -> PathGenerationResult:
+    def generate(
+        self,
+        items: Sequence[int],
+        threshold: BoundThreshold,
+        counters: np.ndarray | None = None,
+    ) -> PathGenerationResult:
         """Generate the filters of the vector whose set bits are ``items``.
+
+        This is the serial reference implementation pinned against the
+        kernel-backed :meth:`generate_batch` by the equivalence property
+        suites; it intentionally stays a plain tuple-walking loop.
 
         Parameters
         ----------
@@ -220,6 +233,10 @@ class PathGenerator:
             generator iterates items in sorted order for determinism.
         threshold:
             The vector-bound threshold policy supplying ``s(x, j, i)``.
+        counters:
+            Optional kernel counter vector (:func:`repro.core.kernels.
+            new_counters`); when given, ``keys_folded`` and
+            ``paths_extended`` are accumulated into it.
 
         Returns
         -------
@@ -243,6 +260,8 @@ class PathGenerator:
         finished_keys: list[int] = []
         truncated = False
         expansions = 0
+        keys_folded = 0
+        paths_extended = 0
 
         # Each frontier entry: (path tuple, folded path key, log-product of
         # probabilities, boolean mask of items already used).  Carrying the
@@ -269,11 +288,13 @@ class PathGenerator:
                     path_key, candidate_items, level
                 )
                 chosen = hash_values < probabilities
+                keys_folded += int(candidate_items.size)
                 for position, item, take in zip(
                     candidate_positions, candidate_items, chosen
                 ):
                     if not take:
                         continue
+                    paths_extended += 1
                     new_path = path + (int(item),)
                     new_key = extend_key(path_key, int(item))
                     new_log_product = log_product + math.log(item_probabilities[position])
@@ -301,6 +322,10 @@ class PathGenerator:
                 finished_paths.append(path)
                 finished_keys.append(path_key)
 
+        if counters is not None:
+            counters[KEYS_FOLDED] += keys_folded
+            counters[PATHS_EXTENDED] += paths_extended
+
         return PathGenerationResult(
             paths=finished_paths,
             truncated=truncated,
@@ -312,47 +337,319 @@ class PathGenerator:
         self,
         items_per_vector: Sequence[Sequence[int]],
         thresholds: Sequence[BoundThreshold],
+        counters: np.ndarray | None = None,
     ) -> list[PathGenerationResult]:
         """Generate the filters of many vectors in one level-synchronous pass.
 
         Semantically equivalent to ``[generate(items, bound) for items, bound
         in zip(...)]`` — every vector's paths come back in the same order,
-        with the same truncation behaviour — but the candidate extensions of
-        the *entire batch frontier* are hashed in a single vectorised call
-        per level, and each vector's sampling thresholds are evaluated once
-        per level instead of once per frontier entry.  This amortisation is
-        the core of the batched query subsystem.
+        with the same truncation behaviour — but the whole batch frontier is
+        carried as flat CSR arrays (extended keys, available-item bitmask
+        words, log products) and each level is extended by a single
+        ``extend_level`` kernel call (:func:`repro.core.kernels.get_impl`),
+        so the per-candidate work runs in compiled or vectorised code instead
+        of a Python loop per frontier tuple.  Paths only materialise as
+        tuples at the very end, by walking a parent-pointer arena.
+
+        ``counters`` (optional, from :func:`repro.core.kernels.new_counters`)
+        accumulates the kernel's per-stage work counts.
         """
         if len(items_per_vector) != len(thresholds):
             raise ValueError("need exactly one threshold per vector")
+        num_vectors = len(items_per_vector)
+        if num_vectors == 0:
+            return []
+        if counters is None:
+            counters = new_counters()
+        if num_vectors <= _SMALL_BATCH_MAX:
+            return self._generate_batch_small(items_per_vector, thresholds, counters)
+        impl = get_impl()
 
-        root_key = fold_path(())
-        states: list[_BatchState] = []
-        for members, bound in zip(items_per_vector, thresholds):
+        # --- per-vector universes: sorted items + clamped log-probabilities ---
+        bounds = list(thresholds)
+        vec_item_arrays: list[np.ndarray] = []
+        item_offsets = np.zeros(num_vectors + 1, dtype=np.int64)
+        max_items = 0
+        for index, members in enumerate(items_per_vector):
             sorted_items = sorted(int(item) for item in members)
             if sorted_items and (
                 sorted_items[0] < 0 or sorted_items[-1] >= self._probabilities.size
             ):
                 raise ValueError("vector contains an item outside the universe")
             item_array = np.asarray(sorted_items, dtype=np.int64)
-            clamped = np.maximum(
-                self._probabilities[item_array], self._probability_floor
-            ) if sorted_items else np.empty(0, dtype=np.float64)
-            log_probs = [math.log(value) for value in clamped.tolist()]
-            states.append(_BatchState(sorted_items, item_array, log_probs, bound, root_key))
+            vec_item_arrays.append(item_array)
+            item_offsets[index + 1] = item_offsets[index] + item_array.size
+            max_items = max(max_items, item_array.size)
+        items_concat = np.concatenate(vec_item_arrays) if max_items else np.zeros(0, dtype=np.int64)
+        if items_concat.size:
+            clamped = np.maximum(self._probabilities[items_concat], self._probability_floor)
+            # math.log per element keeps the values bit-identical to the
+            # serial generator's per-item math.log calls.
+            logs_concat = np.array(
+                [math.log(value) for value in clamped.tolist()], dtype=np.float64
+            )
+        else:
+            logs_concat = np.zeros(0, dtype=np.float64)
 
-        log_stop = math.log(self._stop_product) if self._stop_product is not None else None
+        # --- root frontier: one entry per non-empty vector ---------------
+        # Frontier entry fields, index-parallel and grouped by vector
+        # ascending: owning vector, extended path key, log product, arena
+        # node of the last item (-1 for the root), and the available-item
+        # bitmask (bit p set = vector item position p still usable).
+        f_vec = np.flatnonzero(np.diff(item_offsets)).astype(np.int64)
+        word_count = max(1, (max_items + 63) >> 6)
+        f_keys = np.full(f_vec.size, np.uint64(EMPTY_PATH_KEY), dtype=np.uint64)
+        f_logs = np.zeros(f_vec.size, dtype=np.float64)
+        f_nodes = np.full(f_vec.size, -1, dtype=np.int64)
+        f_masks = np.zeros((f_vec.size, word_count), dtype=np.uint64)
+        for row, vector in enumerate(f_vec.tolist()):
+            size = int(item_offsets[vector + 1] - item_offsets[vector])
+            full_words, remainder = divmod(size, 64)
+            f_masks[row, :full_words] = np.uint64(0xFFFFFFFFFFFFFFFF)
+            if remainder:
+                f_masks[row, full_words] = np.uint64((1 << remainder) - 1)
+
+        # Parent-pointer arena of every chosen extension; finished paths and
+        # surviving frontier entries are materialised from it at the end.
+        arena_items: list[np.ndarray] = []
+        arena_parents: list[np.ndarray] = []
+        arena_size = 0
+        finished_vec_parts: list[np.ndarray] = []
+        finished_node_parts: list[np.ndarray] = []
+        finished_key_parts: list[np.ndarray] = []
+        finished_counts = np.zeros(num_vectors, dtype=np.int64)
+        expansions = np.zeros(num_vectors, dtype=np.int64)
+        truncated = np.zeros(num_vectors, dtype=np.bool_)
+        #: Final frontier of vectors stopped by ``max_paths``: children chosen
+        #: up to the cutoff, exactly what the serial generator leaves behind.
+        parked: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+        use_stop = self._stop_product is not None
+        log_stop = math.log(self._stop_product) if self._stop_product is not None else 0.0
+        max_paths = -1 if self._max_paths is None else int(self._max_paths)
+
+        for level in range(self._max_depth):
+            if f_vec.size == 0:
+                break
+            # Little-endian bit enumeration: word w bit b = item position
+            # w * 64 + b.  np.nonzero walks C-order, so candidates come out
+            # entry-major with positions ascending — the serial order.
+            available = np.unpackbits(f_masks.view(np.uint8), axis=1, bitorder="little")
+            entry_index, position = np.nonzero(available)
+            if entry_index.size == 0:
+                # Serial semantics: entries with no remaining items are
+                # dropped, never collected — empty the frontier before
+                # leaving the level loop.
+                f_vec = f_vec[:0]
+                f_keys = f_keys[:0]
+                f_logs = f_logs[:0]
+                f_nodes = f_nodes[:0]
+                f_masks = f_masks[:0]
+                break
+            counts = np.bincount(entry_index, minlength=f_vec.size)
+            used_entries = np.flatnonzero(counts)
+            entry_vector = f_vec[used_entries]
+            entry_offsets = np.zeros(used_entries.size + 1, dtype=np.int64)
+            np.cumsum(counts[used_entries], out=entry_offsets[1:])
+
+            cand_vec = f_vec[entry_index]
+            gather = item_offsets[cand_vec] + position
+            cand_items = items_concat[gather]
+
+            # Thresholds are elementwise-pure, so evaluating each vector's
+            # item universe once per level and gathering per candidate is
+            # bit-identical to per-entry evaluation.
+            level_probs = np.empty(items_concat.size, dtype=np.float64)
+            for vector in np.unique(cand_vec).tolist():
+                segment = slice(int(item_offsets[vector]), int(item_offsets[vector + 1]))
+                level_probs[segment] = bounds[vector].sampling_probabilities(
+                    level, vec_item_arrays[vector]
+                )
+
+            coeff_a, coeff_b = self._hasher.level_coefficients(level)
+            new_keys, status, new_logs, level_expansions, level_truncated = impl.extend_level(
+                f_keys[entry_index],
+                cand_items,
+                level_probs[gather],
+                f_logs[entry_index],
+                logs_concat[gather],
+                entry_offsets,
+                entry_vector,
+                num_vectors,
+                finished_counts,
+                log_stop,
+                use_stop,
+                max_paths,
+                coeff_a,
+                coeff_b,
+                counters,
+            )
+            expansions += level_expansions
+
+            kept = np.flatnonzero(status)
+            kept_status = status[kept]
+            kept_vec = cand_vec[kept]
+            kept_keys = new_keys[kept]
+            node_ids = arena_size + np.arange(kept.size, dtype=np.int64)
+            arena_items.append(cand_items[kept])
+            arena_parents.append(f_nodes[entry_index[kept]])
+            arena_size += int(kept.size)
+
+            finished_sel = kept_status == 2
+            if finished_sel.any():
+                finished_vectors = kept_vec[finished_sel]
+                finished_vec_parts.append(finished_vectors)
+                finished_node_parts.append(node_ids[finished_sel])
+                finished_key_parts.append(kept_keys[finished_sel])
+                finished_counts += np.bincount(finished_vectors, minlength=num_vectors)
+
+            child_sel = kept_status == 1
+            child_cand = kept[child_sel]
+            child_vec = kept_vec[child_sel]
+            child_keys = kept_keys[child_sel]
+            child_nodes = node_ids[child_sel]
+            child_logs = new_logs[child_cand]
+            child_positions = position[child_cand]
+            child_masks = f_masks[entry_index[child_cand]]
+            if child_positions.size:
+                rows = np.arange(child_positions.size, dtype=np.int64)
+                child_masks[rows, child_positions >> 6] &= ~(
+                    np.uint64(1) << (child_positions & 63).astype(np.uint64)
+                )
+
+            if level_truncated.any():
+                truncated |= level_truncated
+                parked_sel = level_truncated[child_vec]
+                for vector in np.flatnonzero(level_truncated).tolist():
+                    vector_children = child_vec == vector
+                    parked[int(vector)] = (
+                        child_nodes[vector_children],
+                        child_keys[vector_children],
+                    )
+                live = ~parked_sel
+                child_vec = child_vec[live]
+                child_keys = child_keys[live]
+                child_nodes = child_nodes[live]
+                child_logs = child_logs[live]
+                child_masks = child_masks[live]
+
+            f_vec = child_vec
+            f_keys = child_keys
+            f_logs = child_logs
+            f_nodes = child_nodes
+            f_masks = np.ascontiguousarray(child_masks)
+
+        # --- materialisation: walk parent pointers back to path tuples ----
+        if arena_size:
+            all_node_items = np.concatenate(arena_items)
+            all_node_parents = np.concatenate(arena_parents)
+        else:
+            all_node_items = np.zeros(0, dtype=np.int64)
+            all_node_parents = np.zeros(0, dtype=np.int64)
+
+        def materialise(node: int) -> Path:
+            reversed_items: list[int] = []
+            while node >= 0:
+                reversed_items.append(int(all_node_items[node]))
+                node = int(all_node_parents[node])
+            reversed_items.reverse()
+            return tuple(reversed_items)
+
+        if finished_vec_parts:
+            finished_vec = np.concatenate(finished_vec_parts)
+            finished_nodes = np.concatenate(finished_node_parts)
+            finished_keys = np.concatenate(finished_key_parts)
+        else:
+            finished_vec = np.zeros(0, dtype=np.int64)
+            finished_nodes = np.zeros(0, dtype=np.int64)
+            finished_keys = np.zeros(0, dtype=np.uint64)
+        # Finished records accumulate level-major but grouped by vector
+        # within each level; a stable sort by vector therefore recovers each
+        # vector's serial generation order.
+        finished_order = np.argsort(finished_vec, kind="stable")
+        finished_vec = finished_vec[finished_order]
+        finished_nodes = finished_nodes[finished_order]
+        finished_keys = finished_keys[finished_order]
+        vector_range = np.arange(num_vectors, dtype=np.int64)
+        finished_starts = np.searchsorted(finished_vec, vector_range, side="left")
+        finished_ends = np.searchsorted(finished_vec, vector_range, side="right")
+        frontier_starts = np.searchsorted(f_vec, vector_range, side="left")
+        frontier_ends = np.searchsorted(f_vec, vector_range, side="right")
+
+        results: list[PathGenerationResult] = []
+        for vector in range(num_vectors):
+            span = slice(int(finished_starts[vector]), int(finished_ends[vector]))
+            paths = [materialise(node) for node in finished_nodes[span].tolist()]
+            keys = [int(key) for key in finished_keys[span].tolist()]
+            if self._collect_at_max_depth:
+                if vector in parked:
+                    tail_nodes, tail_keys = parked[vector]
+                else:
+                    tail = slice(int(frontier_starts[vector]), int(frontier_ends[vector]))
+                    tail_nodes = f_nodes[tail]
+                    tail_keys = f_keys[tail]
+                for node, key in zip(tail_nodes.tolist(), tail_keys.tolist()):
+                    paths.append(materialise(node))
+                    keys.append(int(key))
+            results.append(
+                PathGenerationResult(
+                    paths=paths,
+                    truncated=bool(truncated[vector]),
+                    expansions=int(expansions[vector]),
+                    keys=keys,
+                )
+            )
+        return results
+
+    def _generate_batch_small(
+        self,
+        items_per_vector: Sequence[Sequence[int]],
+        thresholds: Sequence[BoundThreshold],
+        counters: np.ndarray,
+    ) -> list[PathGenerationResult]:
+        """Tuple-frontier batch generation for very small batches.
+
+        The CSR kernel pipeline pays a fixed number of array operations per
+        level, which dominates when the whole frontier is a handful of
+        entries — the single-query surfaces call ``generate_batch`` with one
+        vector per repetition.  Below ``_SMALL_BATCH_MAX`` vectors this path
+        carries the frontier as Python tuples instead, still hashing each
+        level's candidates in one flat call, and produces bit-identical
+        results and counter totals: ``keys_folded`` counts every hashed
+        candidate and ``paths_extended`` every chosen extension up to the
+        truncation cutoff, exactly like ``extend_level``.
+        """
+        log_stop = (
+            math.log(self._stop_product) if self._stop_product is not None else None
+        )
+        root_key = fold_path(())
+        states: list[_SmallBatchState] = []
+        for members, bound in zip(items_per_vector, thresholds):
+            sorted_items = sorted(int(item) for item in members)
+            if sorted_items and (
+                sorted_items[0] < 0 or sorted_items[-1] >= self._probabilities.size
+            ):
+                raise ValueError("vector contains an item outside the universe")
+            if sorted_items:
+                item_array = np.asarray(sorted_items, dtype=np.int64)
+                clamped = np.maximum(
+                    self._probabilities[item_array], self._probability_floor
+                )
+                log_probs = [math.log(value) for value in clamped.tolist()]
+            else:
+                log_probs = []
+            states.append(_SmallBatchState(sorted_items, log_probs, bound, root_key))
 
         for level in range(self._max_depth):
             # -- collection: flatten every candidate extension of the level --
-            work: list[tuple[_BatchState, list[tuple[tuple[Path, int, float, list[int]], list[int]]], int]] = []
+            work: list[tuple[_SmallBatchState, list, int]] = []
             key_parts: list[np.ndarray] = []
             item_parts: list[np.ndarray] = []
             probability_parts: list[np.ndarray] = []
             for state in states:
                 if not state.active or not state.frontier:
                     continue
-                entries: list[tuple[tuple[Path, int, float, list[int]], list[int]]] = []
+                entries: list = []
                 flat_items: list[int] = []
                 entry_keys: list[int] = []
                 entry_counts: list[int] = []
@@ -369,7 +666,9 @@ class PathGenerator:
                     state.frontier = []
                     continue
                 item_array = np.asarray(flat_items, dtype=np.int64)
-                probability_parts.append(state.bound.sampling_probabilities(level, item_array))
+                probability_parts.append(
+                    state.bound.sampling_probabilities(level, item_array)
+                )
                 item_parts.append(item_array)
                 key_parts.append(
                     np.repeat(np.asarray(entry_keys, dtype=np.uint64), entry_counts)
@@ -382,8 +681,9 @@ class PathGenerator:
                 np.concatenate(key_parts), np.concatenate(item_parts), level
             )
             chosen_flat = hash_values < np.concatenate(probability_parts)
+            counters[KEYS_FOLDED] += int(chosen_flat.size)
 
-            # -- materialisation: replay the serial order per vector --
+            # -- materialisation: replay the serial order per vector --------
             query_start = 0
             for state, entries, total_candidates in work:
                 offset = query_start
@@ -397,6 +697,7 @@ class PathGenerator:
                     for local_index, position in enumerate(positions):
                         if not chosen_flat[offset + local_index]:
                             continue
+                        counters[PATHS_EXTENDED] += 1
                         new_path = path + (state.items[position],)
                         new_log_product = log_product + state.log_probs[position]
                         if log_stop is not None and new_log_product <= log_stop:
@@ -428,7 +729,7 @@ class PathGenerator:
         results: list[PathGenerationResult] = []
         for state in states:
             if self._collect_at_max_depth:
-                for path, key, _log, _mask in state.frontier:
+                for path, key, _log, _positions in state.frontier:
                     state.finished_paths.append(path)
                     state.finished_keys.append(key)
             results.append(

@@ -31,12 +31,89 @@ def _known_fields(cls: type, payload: Mapping[str, Any], strict: bool) -> dict[s
 
 
 @dataclass
+class KernelStats:
+    """Per-stage work counts reported by the hot-path kernels.
+
+    Each field mirrors one slot of the kernel counter vector (see
+    :mod:`repro.core.kernels._contract`); the totals are bit-identical
+    across the numba and numpy backends, so they double as an equivalence
+    observable in the cross-backend test suites.
+
+    Attributes
+    ----------
+    paths_extended:
+        Candidate extensions the path-extension kernel accepted (hash below
+        the sampling probability), before any truncation zeroing.
+    keys_folded:
+        Candidate keys submitted to the SplitMix64 fold, accepted or not.
+    chain_probes:
+        Pairwise path comparisons the forced-collision chain resolver
+        performed while bucketing same-key entries during ``compact``.
+    merge_rows:
+        Rows fed through the sort/unique merge kernels (CSR posting-segment
+        merges and candidate dedupe).
+    dedupe_hits:
+        Rows the merge kernels dropped as duplicates.
+    """
+
+    paths_extended: int = 0
+    keys_folded: int = 0
+    chain_probes: int = 0
+    merge_rows: int = 0
+    dedupe_hits: int = 0
+
+    def add(self, other: "KernelStats") -> None:
+        """Accumulate another kernel-stats record into this one (in place)."""
+        self.paths_extended += other.paths_extended
+        self.keys_folded += other.keys_folded
+        self.chain_probes += other.chain_probes
+        self.merge_rows += other.merge_rows
+        self.dedupe_hits += other.dedupe_hits
+
+    def add_counters(self, counters: Any) -> None:
+        """Fold a kernel counter vector (``int64[NUM_COUNTERS]``) in place.
+
+        The argument is the caller-owned numpy array the kernels accumulate
+        into; field order matches ``repro.core.kernels.COUNTER_NAMES``.
+        """
+        self.paths_extended += int(counters[0])
+        self.keys_folded += int(counters[1])
+        self.chain_probes += int(counters[2])
+        self.merge_rows += int(counters[3])
+        self.dedupe_hits += int(counters[4])
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-serialisable)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any], strict: bool = False) -> "KernelStats":
+        """Inverse of :meth:`to_dict`.
+
+        Unknown keys are ignored by default; with ``strict=True`` they raise
+        :class:`ValueError` (used by the persistence layer).
+        """
+        return cls(**_known_fields(cls, payload, strict))
+
+
+def _kernel_from_payload(payload: Any, strict: bool) -> KernelStats:
+    """Coerce a ``kernel`` payload entry back into :class:`KernelStats`."""
+    if isinstance(payload, KernelStats):
+        return payload
+    if payload is None:
+        return KernelStats()
+    return KernelStats.from_dict(payload, strict=strict)
+
+
+@dataclass
 class BuildStats:
     """Statistics collected while building an index.
 
     ``build_seconds`` records the wall-clock time of the build;
     ``generation_batches`` counts the vectorised generation batches the
-    build was executed in (0 for non-batched builders).
+    build was executed in (0 for non-batched builders); ``kernel`` carries
+    the per-stage kernel work counters accumulated across path generation
+    and index compaction.
     """
 
     num_vectors: int = 0
@@ -45,6 +122,7 @@ class BuildStats:
     repetitions: int = 0
     build_seconds: float = 0.0
     generation_batches: int = 0
+    kernel: KernelStats = field(default_factory=KernelStats)
 
     @property
     def filters_per_vector(self) -> float:
@@ -55,6 +133,9 @@ class BuildStats:
 
     def merge(self, other: "BuildStats") -> "BuildStats":
         """Combine statistics from two builds (e.g. per-repetition builds)."""
+        merged_kernel = KernelStats()
+        merged_kernel.add(self.kernel)
+        merged_kernel.add(other.kernel)
         return BuildStats(
             num_vectors=max(self.num_vectors, other.num_vectors),
             total_filters=self.total_filters + other.total_filters,
@@ -62,6 +143,7 @@ class BuildStats:
             repetitions=self.repetitions + other.repetitions,
             build_seconds=self.build_seconds + other.build_seconds,
             generation_batches=self.generation_batches + other.generation_batches,
+            kernel=merged_kernel,
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -75,7 +157,9 @@ class BuildStats:
         Unknown keys are ignored by default; with ``strict=True`` they raise
         :class:`ValueError` (used by the persistence layer).
         """
-        return cls(**_known_fields(cls, payload, strict))
+        fields = _known_fields(cls, payload, strict)
+        fields["kernel"] = _kernel_from_payload(fields.get("kernel"), strict)
+        return cls(**fields)
 
 
 @dataclass
@@ -112,6 +196,9 @@ class QueryStats:
         duplicate-query cache: the result is the cached answer and the work
         counters are zeroed, so aggregating ``per_query`` work never counts
         the original execution twice.
+    kernel:
+        Per-stage work counts reported by the hot-path kernels this query
+        drove (path extension, CSR merges); see :class:`KernelStats`.
     """
 
     filters_generated: int = 0
@@ -122,6 +209,7 @@ class QueryStats:
     repetitions_used: int = 0
     shards_probed: int = 0
     from_cache: bool = False
+    kernel: KernelStats = field(default_factory=KernelStats)
 
     def add(self, other: "QueryStats") -> None:
         """Accumulate another query's statistics into this one (in place)."""
@@ -132,6 +220,7 @@ class QueryStats:
         self.found = self.found or other.found
         self.repetitions_used += other.repetitions_used
         self.shards_probed += other.shards_probed
+        self.kernel.add(other.kernel)
 
     @property
     def total_work(self) -> int:
@@ -149,7 +238,9 @@ class QueryStats:
         Unknown keys are ignored by default; with ``strict=True`` they raise
         :class:`ValueError` (used by the persistence layer).
         """
-        return cls(**_known_fields(cls, payload, strict))
+        fields = _known_fields(cls, payload, strict)
+        fields["kernel"] = _kernel_from_payload(fields.get("kernel"), strict)
+        return cls(**fields)
 
 
 @dataclass
@@ -200,6 +291,10 @@ class BatchQueryStats:
         cost of paging cold shards in from disk; 0 on platforms without
         ``resource``.  Advisory — concurrent activity in the process is
         included.
+    kernel:
+        Batch-wide kernel work counts (path extension, chain resolution,
+        CSR merges) summed across every chunk and repetition; see
+        :class:`KernelStats`.
     """
 
     num_queries: int = 0
@@ -214,6 +309,7 @@ class BatchQueryStats:
     shards_probed: int = 0
     minor_page_faults: int = 0
     major_page_faults: int = 0
+    kernel: KernelStats = field(default_factory=KernelStats)
 
     @property
     def dedupe_hit_rate(self) -> float:
@@ -261,6 +357,7 @@ class BatchQueryStats:
         self.shards_probed += other.shards_probed
         self.minor_page_faults += other.minor_page_faults
         self.major_page_faults += other.major_page_faults
+        self.kernel.add(other.kernel)
         if per_query:
             self.per_query.extend(other.per_query)
 
@@ -279,6 +376,9 @@ class BatchQueryStats:
 
     def merge(self, other: "BatchQueryStats") -> "BatchQueryStats":
         """Combine two batch results (e.g. chunks of a larger batch)."""
+        merged_kernel = KernelStats()
+        merged_kernel.add(self.kernel)
+        merged_kernel.add(other.kernel)
         return BatchQueryStats(
             num_queries=self.num_queries + other.num_queries,
             per_query=self.per_query + other.per_query,
@@ -293,6 +393,7 @@ class BatchQueryStats:
             shards_probed=self.shards_probed + other.shards_probed,
             minor_page_faults=self.minor_page_faults + other.minor_page_faults,
             major_page_faults=self.major_page_faults + other.major_page_faults,
+            kernel=merged_kernel,
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -315,6 +416,7 @@ class BatchQueryStats:
             QueryStats.from_dict(entry, strict=strict)
             for entry in fields.get("per_query", [])
         ]
+        fields["kernel"] = _kernel_from_payload(fields.get("kernel"), strict)
         return cls(**fields)
 
 

@@ -140,6 +140,38 @@ def extend_keys(prefix_keys: np.ndarray, items: np.ndarray) -> np.ndarray:
     return splitmix64_array(prefix_keys ^ item_keys)
 
 
+def hash_keys(keys: np.ndarray, a: int, b: int) -> np.ndarray:
+    """Multiply-add-prime hash of a uint64 key array with coefficients ``(a, b)``.
+
+    Computes ``((a * (x mod p) + b) mod p) / p`` with ``p = 2^61 - 1``,
+    carried out entirely in uint64 arithmetic by splitting both operands into
+    32-bit halves and folding the partial products with ``2^61 ≡ 1 (mod p)``
+    (``2^64 ≡ 8`` and ``2^32 · m ≡ (m >> 29) + ((m & (2^29−1)) << 32)``), so
+    no intermediate ever exceeds 64 bits.  Bit-identical to
+    :meth:`PairwiseHash.hash_int` elementwise; the compiled kernels mirror
+    this exact arithmetic scalar-for-scalar.
+    """
+    keys_u64 = np.ascontiguousarray(keys, dtype=np.uint64)
+    reduced = _mod_mersenne(keys_u64)
+
+    a_hi = np.uint64(a >> 32)
+    a_lo = np.uint64(a & ((1 << 32) - 1))
+    x_hi = reduced >> np.uint64(32)
+    x_lo = reduced & _LOW32_U64
+
+    # a·x = a_hi·x_hi·2^64 + (a_hi·x_lo + a_lo·x_hi)·2^32 + a_lo·x_lo,
+    # with every partial product below 2^64.
+    high = _mod_mersenne(np.uint64(8) * (a_hi * x_hi))
+    middle = _mod_mersenne(a_hi * x_lo + a_lo * x_hi)
+    middle = _mod_mersenne(
+        (middle >> np.uint64(29)) + ((middle & _LOW29_U64) << np.uint64(32))
+    )
+    low = _mod_mersenne(a_lo * x_lo)
+
+    total = _mod_mersenne(high + middle + low + np.uint64(b))
+    return total.astype(np.float64) / float(MERSENNE_PRIME)
+
+
 class PairwiseHash:
     """A single pairwise independent hash function ``h : Z -> [0, 1)``.
 
@@ -173,32 +205,11 @@ class PairwiseHash:
     def hash_many(self, keys: np.ndarray) -> np.ndarray:
         """Hash an array of integer keys to floats in ``[0, 1)``.
 
-        Fully vectorised and bit-identical to :meth:`hash_int`: the
-        multiply-add over the Mersenne prime ``p = 2^61 - 1`` is carried out
-        in uint64 arithmetic by splitting both operands into 32-bit halves
-        and folding the partial products with ``2^61 ≡ 1 (mod p)``
-        (``2^64 ≡ 8`` and ``2^32 · m ≡ (m >> 29) + ((m & (2^29−1)) << 32)``),
-        so no intermediate ever exceeds 64 bits.
+        Fully vectorised and bit-identical to :meth:`hash_int`; delegates to
+        the module-level :func:`hash_keys`, which the compiled kernels also
+        mirror scalar-for-scalar.
         """
-        keys_u64 = np.ascontiguousarray(keys, dtype=np.uint64)
-        reduced = _mod_mersenne(keys_u64)
-
-        a_hi = np.uint64(self._a >> 32)
-        a_lo = np.uint64(self._a & ((1 << 32) - 1))
-        x_hi = reduced >> np.uint64(32)
-        x_lo = reduced & _LOW32_U64
-
-        # a·x = a_hi·x_hi·2^64 + (a_hi·x_lo + a_lo·x_hi)·2^32 + a_lo·x_lo,
-        # with every partial product below 2^64.
-        high = _mod_mersenne(np.uint64(8) * (a_hi * x_hi))
-        middle = _mod_mersenne(a_hi * x_lo + a_lo * x_hi)
-        middle = _mod_mersenne(
-            (middle >> np.uint64(29)) + ((middle & _LOW29_U64) << np.uint64(32))
-        )
-        low = _mod_mersenne(a_lo * x_lo)
-
-        total = _mod_mersenne(high + middle + low + np.uint64(self._b))
-        return total.astype(np.float64) / float(MERSENNE_PRIME)
+        return hash_keys(keys, self._a, self._b)
 
     def __call__(self, key: int) -> float:
         return self.hash_int(key)
@@ -305,6 +316,14 @@ class PathHasher:
         """
         keys = extend_keys(prefix_keys, items)
         return keys, self._family.level(level).hash_many(keys)
+
+    def level_coefficients(self, level: int) -> tuple[int, int]:
+        """The ``(a, b)`` multiply-add coefficients of a recursion level.
+
+        Compiled kernels take the raw coefficients and reproduce
+        :func:`hash_keys` internally rather than calling back into Python.
+        """
+        return self._family.level(level).coefficients
 
     def path_key(self, path: Sequence[int]) -> int:
         """Stable 64-bit key identifying a path (used by inverted indexes)."""

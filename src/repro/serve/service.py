@@ -335,6 +335,7 @@ class QueryService:
 
     def metrics_text(self) -> str:
         """``GET /metrics`` — the whole service in Prometheus text format."""
+        from repro.core.kernels import COUNTER_NAMES
         from repro.serve.metrics import MetricFamily
 
         up: list[tuple[Mapping[str, str], float]] = []
@@ -347,6 +348,7 @@ class QueryService:
         found: list[tuple[Mapping[str, str], float]] = []
         shed_jobs: list[tuple[Mapping[str, str], float]] = []
         engine_seconds: list[tuple[Mapping[str, str], float]] = []
+        kernel_ops: list[tuple[Mapping[str, str], float]] = []
         for name, served in self._indexes.items():
             label = {"index": name}
             stats = served.batcher.stats
@@ -360,6 +362,14 @@ class QueryService:
             found.append((label, stats.queries_found))
             shed_jobs.append((label, stats.jobs_shed))
             engine_seconds.append((label, stats.engine_seconds))
+            kernel = stats.engine_stats.kernel
+            for counter_name in COUNTER_NAMES:
+                kernel_ops.append(
+                    (
+                        {"index": name, "stage": counter_name},
+                        float(getattr(kernel, counter_name)),
+                    )
+                )
         extra: list[MetricFamily] = [
             (
                 "repro_uptime_seconds",
@@ -421,6 +431,13 @@ class QueryService:
                 "counter",
                 "Seconds spent inside engine calls.",
                 engine_seconds,
+            ),
+            (
+                "repro_kernel_ops_total",
+                "counter",
+                "Per-stage hot-path kernel work counts (label 'stage' is the "
+                "kernel counter name).",
+                kernel_ops,
             ),
         ]
         return self.metrics.prometheus_text(extra)

@@ -27,6 +27,7 @@ ROLE_SEEDS: dict[str, int] = {
     "bench:uniform-dataset": 4202,
     "bench:queries": 97,
     "bench:candidate-throughput": 98,
+    "bench:kernels-dataset": 99,
     "tests:save-load:skew_adaptive": 7100,
     "tests:save-load:correlated": 7101,
     "tests:save-load:chosen_path": 7102,

@@ -88,6 +88,14 @@ def test_rpl003_contract_and_allocation(fixture_module):
     assert any("declared int64" in m for m in messages)
 
 
+def test_rpl003_covers_kernels_subpackage(fixture_module):
+    """The kernels subpackage sits inside core/, so RPL003 applies there."""
+    rule = get_rule("RPL003")
+    module = fixture_module("rpl003_bad.py", "src/repro/core/kernels/fixture.py")
+    assert rule.applies_to(module)
+    assert any("without an explicit dtype" in f.message for f in rule.check(module))
+
+
 def test_rpl004_all_three_detections(fixture_module):
     rule = get_rule("RPL004")
     module = fixture_module("rpl004_bad.py", "src/repro/core/fixture.py")

@@ -184,7 +184,7 @@ class TestChunkProbeDedupe:
         ]
         probe = engine._probe_chunk_repetition(inverted, generations)
         assert probe is not None
-        occurrence_ids, query_offsets, distinct, duplicate, _shards = probe
+        occurrence_ids, query_offsets, distinct, duplicate, _shards, _query_shards = probe
         first = occurrence_ids[query_offsets[0] : query_offsets[1]].tolist()
         second = occurrence_ids[query_offsets[1] : query_offsets[2]].tolist()
         assert first == [0]

@@ -2,7 +2,56 @@
 
 from __future__ import annotations
 
-from repro.core.stats import AggregatedQueryStats, BuildStats, QueryStats
+import numpy as np
+import pytest
+
+from repro.core.kernels import new_counters
+from repro.core.stats import AggregatedQueryStats, BuildStats, KernelStats, QueryStats
+
+
+class TestKernelStats:
+    def test_add_accumulates(self):
+        first = KernelStats(paths_extended=1, keys_folded=2, merge_rows=3)
+        first.add(KernelStats(paths_extended=10, chain_probes=4, dedupe_hits=5))
+        assert first == KernelStats(
+            paths_extended=11, keys_folded=2, chain_probes=4, merge_rows=3, dedupe_hits=5
+        )
+
+    def test_add_counters_folds_vector(self):
+        counters = new_counters()
+        counters += np.arange(1, 6, dtype=np.int64)
+        stats = KernelStats(paths_extended=100)
+        stats.add_counters(counters)
+        assert stats == KernelStats(
+            paths_extended=101, keys_folded=2, chain_probes=3, merge_rows=4, dedupe_hits=5
+        )
+
+    def test_dict_round_trip(self):
+        stats = KernelStats(
+            paths_extended=1, keys_folded=2, chain_probes=3, merge_rows=4, dedupe_hits=5
+        )
+        assert KernelStats.from_dict(stats.to_dict()) == stats
+
+    def test_from_dict_ignores_unknown_keys_unless_strict(self):
+        payload = {"paths_extended": 7, "mystery": 1}
+        assert KernelStats.from_dict(payload).paths_extended == 7
+        with pytest.raises(ValueError):
+            KernelStats.from_dict(payload, strict=True)
+
+    def test_query_stats_round_trip_carries_kernel(self):
+        stats = QueryStats(
+            filters_generated=3, kernel=KernelStats(paths_extended=9, merge_rows=2)
+        )
+        restored = QueryStats.from_dict(stats.to_dict())
+        assert restored.kernel == stats.kernel
+
+    def test_build_stats_merge_sums_kernel(self):
+        merged = BuildStats(kernel=KernelStats(paths_extended=1, chain_probes=2)).merge(
+            BuildStats(kernel=KernelStats(paths_extended=10, dedupe_hits=3))
+        )
+        assert merged.kernel == KernelStats(
+            paths_extended=11, chain_probes=2, dedupe_hits=3
+        )
 
 
 class TestBuildStats:

@@ -21,7 +21,9 @@ DIMENSION = 48
 item_sets = st.frozensets(
     st.integers(min_value=0, max_value=DIMENSION - 1), min_size=0, max_size=14
 )
-set_lists = st.lists(item_sets, min_size=1, max_size=8)
+# Spans both generate_batch paths: <= 8 vectors ride the tuple-frontier
+# fast path, larger batches take the CSR kernel pipeline (see paths.py).
+set_lists = st.lists(item_sets, min_size=1, max_size=12)
 probability_arrays = st.lists(
     st.floats(min_value=0.01, max_value=0.5), min_size=DIMENSION, max_size=DIMENSION
 ).map(lambda values: np.asarray(values))

@@ -238,6 +238,9 @@ def test_metrics_endpoint_prometheus_text(server, saved_index):
         assert 'repro_index_up{index="default"} 1' in body
         assert 'repro_engine_queries_total{index="default"} 1' in body
         assert "# TYPE repro_uptime_seconds gauge" in body
+        assert "# TYPE repro_kernel_ops_total counter" in body
+        assert 'repro_kernel_ops_total{index="default",stage="paths_extended"}' in body
+        assert 'repro_kernel_ops_total{index="default",stage="dedupe_hits"}' in body
         # The scrape itself is JSON-free: every line is a comment or sample.
         assert not body.lstrip().startswith("{")
     finally:

@@ -297,6 +297,16 @@ def test_stats_shape_and_uptime(saved_index):
     assert entry["queries_executed"] == 1
     assert entry["engine"]["num_queries"] == 1
     assert "per_query" not in entry["engine"], "/stats must stay bounded"
+    kernel = entry["engine"]["kernel"]
+    assert set(kernel) == {
+        "paths_extended",
+        "keys_folded",
+        "chain_probes",
+        "merge_rows",
+        "dedupe_hits",
+    }
+    assert kernel["paths_extended"] > 0
+    assert kernel["merge_rows"] > 0
 
 
 def test_single_index_service_answers_default_alias(saved_index):

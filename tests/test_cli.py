@@ -110,6 +110,50 @@ class TestBuildAndQuery:
         assert main(["build", str(empty), "-o", str(tmp_path / "x.json")]) == 2
 
 
+class TestKernelStatsFlag:
+    @pytest.fixture()
+    def built_index(self, dataset_file, tmp_path, capsys):
+        index_path = tmp_path / "index.bin"
+        exit_code = main(
+            [
+                "build",
+                str(dataset_file),
+                "-o",
+                str(index_path),
+                "--repetitions",
+                "3",
+                "--kernel-stats",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Kernel counters" in output
+        assert "chain_probes" in output
+        return index_path
+
+    def test_query_prints_counter_table(self, built_index, dataset_file, capsys):
+        exit_code = main(["query", str(built_index), str(dataset_file), "--kernel-stats"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Kernel counters" in output
+        assert "paths_extended" in output
+        assert "keys_folded" in output
+
+    def test_query_batch_prints_counter_table(self, built_index, dataset_file, capsys):
+        exit_code = main(
+            ["query-batch", str(built_index), str(dataset_file), "--kernel-stats"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Kernel counters" in output
+        assert "merge_rows" in output
+
+    def test_no_flag_no_table(self, built_index, dataset_file, capsys):
+        exit_code = main(["query", str(built_index), str(dataset_file)])
+        assert exit_code == 0
+        assert "Kernel counters" not in capsys.readouterr().out
+
+
 class TestConvertAndInspect:
     @pytest.fixture()
     def built_index(self, dataset_file, tmp_path):
