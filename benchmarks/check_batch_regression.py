@@ -25,7 +25,13 @@ default 1.5x):
   hot-path kernel stages (batch path extension and build compaction) over
   faithful copies of the replaced Python implementations
   (``benchmarks/bench_kernels.py``, ``BENCH_kernels.json``; exports its own
-  ``min_*`` bounds of 2.0).
+  ``min_*`` bounds of 2.0);
+* ``shard_fanout_speedup`` — multi-process routed candidate-merge
+  throughput over the single-process mmap baseline
+  (``benchmarks/bench_shard_fanout.py``, ``BENCH_shard_fanout.json``;
+  always exports its own core- and scale-aware
+  ``min_shard_fanout_speedup`` — 1.8 with >= 4 cores at acceptance size,
+  guard bounds below that).
 
 *Upper-bounded ratios* (must be **at most** the benchmark-exported
 ``max_<key>`` bound):
@@ -59,6 +65,7 @@ GATED_KEYS = (
     "serving_coalescing_speedup",
     "kernel_extension_speedup",
     "kernel_compaction_speedup",
+    "shard_fanout_speedup",
 )
 
 #: extra_info keys holding a gated upper-bounded ratio (<= ``max_<key>``).

@@ -64,6 +64,7 @@ DECLARED_FIELDS: dict[str, frozenset[str]] = {
             "minor_page_faults",
             "major_page_faults",
             "kernel",
+            "fanout",
         }
     ),
     "AggregatedQueryStats": frozenset(

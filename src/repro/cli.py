@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Nine subcommands cover the workflows a downstream user needs without writing
+Ten subcommands cover the workflows a downstream user needs without writing
 Python (``docs/cli.md`` is the full flag-by-flag reference and CI snapshot):
 
 * ``repro generate`` — write a synthetic benchmark-like dataset in
@@ -32,7 +32,12 @@ Python (``docs/cli.md`` is the full flag-by-flag reference and CI snapshot):
   server-side micro-batching: concurrent requests are coalesced into
   amortised ``query_batch`` calls (``--batch-window-ms``), bounded by a
   load-shedding admission limit (``--max-pending``), with latency and
-  coalescing statistics on ``/stats``;
+  coalescing statistics on ``/stats``; ``--shard-procs N`` fans probes out
+  over N shard worker processes (``--shard-addr`` connects to pre-started
+  ``shard-worker`` servers instead), with per-shard health on ``/stats``
+  and ``/metrics`` (see ``docs/distributed.md``);
+* ``repro shard-worker`` — serve a subset of a v3 index's key-range shards
+  over a TCP or unix socket for a ``--shard-addr`` router to fan out to;
 * ``repro experiments`` — regenerate one of the paper's tables/figures as a
   text table.
 
@@ -386,6 +391,10 @@ def _cmd_query_batch(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import IndexSpec, ServeConfig, run_server
 
+    if args.shard_addr and args.extra_index:
+        print("--shard-addr applies to the positional index only; it cannot "
+              "be combined with --index NAME=PATH extras")
+        return 2
     try:
         specs = [
             IndexSpec(
@@ -393,6 +402,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 path=str(args.index),
                 load_mode=args.load_mode,
                 shard_workers=args.shard_workers,
+                shard_procs=args.shard_procs,
+                shard_addrs=tuple(args.shard_addr) if args.shard_addr else None,
             )
         ]
         for extra in args.extra_index or []:
@@ -406,6 +417,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     path=path,
                     load_mode=args.load_mode,
                     shard_workers=args.shard_workers,
+                    shard_procs=args.shard_procs,
                 )
             )
         names = [spec.name for spec in specs]
@@ -428,6 +440,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except (ValueError, OSError) as error:
         print(f"cannot serve: {error}")
         return 2
+    return 0
+
+
+def _parse_shard_set(text: str) -> list[int]:
+    """Parse a ``--shards`` spec: comma-separated ids and ``A-B`` ranges."""
+    shards: set[int] = set()
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        low, dash, high = part.partition("-")
+        if dash:
+            shards.update(range(int(low), int(high) + 1))
+        else:
+            shards.add(int(part))
+    if not shards:
+        raise ValueError(f"no shard ids in {text!r}")
+    return sorted(shards)
+
+
+def _cmd_shard_worker(args: argparse.Namespace) -> int:
+    from repro.dist import ShardServer, ShardWorkerState
+
+    try:
+        shards = _parse_shard_set(args.shards)
+        state = ShardWorkerState(str(args.index), shards)
+    except (ValueError, OSError) as error:
+        print(f"cannot start shard worker: {error}")
+        return 2
+    server = ShardServer(
+        state,
+        host=args.host,
+        port=args.port,
+        socket_path=str(args.socket) if args.socket else None,
+    )
+    try:
+        address = server.start()
+    except OSError as error:
+        print(f"cannot start shard worker: {error}")
+        return 2
+    # The "ready" line is the startup contract: a supervisor greps for it and
+    # takes the last whitespace-separated token as the bound address.
+    print(
+        f"shard-worker serving shards {','.join(map(str, shards))} of "
+        f"{args.index} — ready {address}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
     return 0
 
 
@@ -788,7 +853,53 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-probe shard fan-out on mmap-loaded indexes (threads)",
     )
+    serve.add_argument(
+        "--shard-procs",
+        type=_positive_int,
+        default=None,
+        help="serve v3 indexes through a shard router: this many worker "
+        "processes each mmap only their own shards, with per-shard health "
+        "on /stats and /metrics (requires --load-mode mmap)",
+    )
+    serve.add_argument(
+        "--shard-addr",
+        action="append",
+        metavar="ADDR",
+        help="connect the positional index to a pre-started `repro "
+        "shard-worker` at ADDR (host:port, a unix socket path, or "
+        "unix:PATH; repeatable, one per worker)",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    shard_worker = subparsers.add_parser(
+        "shard-worker",
+        help="serve a subset of a v3 index's shards to a router over a socket",
+    )
+    shard_worker.add_argument("index", type=Path, help="saved v3 index directory")
+    shard_worker.add_argument(
+        "--shards",
+        required=True,
+        help="shard ids this worker owns: comma-separated ids and A-B ranges "
+        "(e.g. '0-3' or '0,2,5'); the full worker set must cover every "
+        "shard of the index exactly once",
+    )
+    shard_worker.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind address (default 127.0.0.1)"
+    )
+    shard_worker.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP bind port; 0 picks an ephemeral port (default) — the "
+        "resolved address is printed on the 'ready' line",
+    )
+    shard_worker.add_argument(
+        "--socket",
+        type=Path,
+        default=None,
+        help="serve on a unix domain socket at PATH instead of TCP",
+    )
+    shard_worker.set_defaults(handler=_cmd_shard_worker)
 
     experiments = subparsers.add_parser("experiments", help="regenerate a paper table/figure")
     experiments.add_argument(

@@ -39,12 +39,22 @@ class BatchQueryConfig:
         concurrently on a thread pool of this size.  ``None`` (default)
         resolves shards serially; the knob has no effect on unsharded
         (RAM-mode) stores.
+    shard_transport / shard_procs:
+        Router-backed execution mode (``repro.dist``): when
+        ``shard_transport`` is set, loaders open the index through a
+        :class:`~repro.dist.router.ShardRouter` using that transport
+        (``"inproc"``, ``"spawn"``, or ``"socket"``) with ``shard_procs``
+        workers.  These are *load-time* knobs consumed by
+        :func:`repro.dist.load_routed_index` and the serving layer — they
+        are not per-call arguments, so :meth:`as_kwargs` excludes them.
     """
 
     batch_size: int = DEFAULT_BATCH_SIZE
     max_workers: int | None = None
     deduplicate_queries: bool = True
     shard_workers: int | None = None
+    shard_transport: str | None = None
+    shard_procs: int | None = None
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
@@ -53,6 +63,17 @@ class BatchQueryConfig:
             raise ValueError(f"max_workers must be positive, got {self.max_workers}")
         if self.shard_workers is not None and self.shard_workers <= 0:
             raise ValueError(f"shard_workers must be positive, got {self.shard_workers}")
+        if self.shard_transport is not None and self.shard_transport not in (
+            "inproc",
+            "spawn",
+            "socket",
+        ):
+            raise ValueError(
+                "shard_transport must be 'inproc', 'spawn', or 'socket', "
+                f"got {self.shard_transport!r}"
+            )
+        if self.shard_procs is not None and self.shard_procs <= 0:
+            raise ValueError(f"shard_procs must be positive, got {self.shard_procs}")
 
     def as_kwargs(self) -> dict[str, object]:
         """Keyword arguments accepted by the ``query_batch`` methods."""

@@ -169,6 +169,10 @@ class FilterEngine:
         # Default per-probe shard fan-out for sharded (mmap) stores; batched
         # surfaces can override per call.
         self._shard_workers: int | None = None
+        # Shard router behind a router-backed (multi-process) index; set by
+        # repro.dist.load_routed_index.  Typed loosely to keep core free of
+        # a dist dependency — the engine only drains its fan-out stats.
+        self._shard_router: Any | None = None
 
         self._generators: list[PathGenerator] = [
             PathGenerator(
@@ -264,6 +268,27 @@ class FilterEngine:
         if workers is not None and workers <= 0:
             raise ValueError(f"shard_workers must be positive, got {workers}")
         self._shard_workers = workers
+
+    @property
+    def shard_router(self) -> Any | None:
+        """The shard router fanning this engine's probes across workers.
+
+        ``None`` in every single-process mode.  Set by
+        :func:`repro.dist.load_routed_index`; the engine itself only drains
+        the router's per-batch fan-out accounting into
+        ``BatchQueryStats.fanout`` — probe routing happens inside the
+        router-backed per-repetition stores.
+        """
+        return self._shard_router
+
+    @shard_router.setter
+    def shard_router(self, router: Any | None) -> None:
+        if router is not None and not hasattr(router, "take_fanout_stats"):
+            raise ValueError(
+                "shard_router must expose take_fanout_stats() "
+                f"(got {type(router).__name__})"
+            )
+        self._shard_router = router
 
     # ------------------------------------------------------------------ #
     # State restoration (persistence)
@@ -821,6 +846,11 @@ class FilterEngine:
                     replace(unique_stats[position], kernel=replace(unique_stats[position].kernel))
                 )
         merged.queries_deduplicated = len(query_sets) - len(unique_sets)
+        if self._shard_router is not None:
+            # Drain the router's per-worker accounting accrued by this
+            # batch's probes (requests, rows, latency, failures) into the
+            # batch record; lifetime totals stay with the router.
+            merged.fanout.add(self._shard_router.take_fanout_stats())
         merged.elapsed_seconds = time.perf_counter() - start
         if usage_before is not None:
             usage_after = resource.getrusage(resource.RUSAGE_SELF)

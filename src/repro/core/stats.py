@@ -106,6 +106,132 @@ def _kernel_from_payload(payload: Any, strict: bool) -> KernelStats:
 
 
 @dataclass
+class ShardFanoutStats:
+    """Cross-shard execution accounting of the router-backed query mode.
+
+    One slot per shard *worker* (a process or remote server owning a
+    contiguous shard range), parallel lists so the record stays a flat,
+    JSON-friendly dataclass.  A non-routed execution leaves every list
+    empty — ``workers == 0`` means "no fan-out happened", not "one worker".
+
+    Attributes
+    ----------
+    workers:
+        Fan-out width (number of shard workers the router owns).
+    requests:
+        Probe round-trips sent to each worker.
+    rows:
+        Posting rows each worker returned (CSR ``ids`` lengths summed).
+    seconds:
+        Wall-clock seconds spent waiting on each worker, summed over
+        requests (includes transport + worker-side resolution time).
+    failures:
+        Transport failures observed per worker (timeouts, dead processes,
+        dropped connections) — counted even when recovery succeeded.
+    respawns:
+        Successful automatic recoveries per worker (process respawns for
+        the spawn transport, reconnects for sockets).
+    """
+
+    workers: int = 0
+    requests: list[int] = field(default_factory=list)
+    rows: list[int] = field(default_factory=list)
+    seconds: list[float] = field(default_factory=list)
+    failures: list[int] = field(default_factory=list)
+    respawns: list[int] = field(default_factory=list)
+
+    @classmethod
+    def sized(cls, workers: int) -> "ShardFanoutStats":
+        """A zeroed record with one slot per worker."""
+        return cls(
+            workers=workers,
+            requests=[0] * workers,
+            rows=[0] * workers,
+            seconds=[0.0] * workers,
+            failures=[0] * workers,
+            respawns=[0] * workers,
+        )
+
+    def _resize(self, workers: int) -> None:
+        if workers <= self.workers:
+            return
+        grow = workers - len(self.requests)
+        self.requests.extend([0] * grow)
+        self.rows.extend([0] * grow)
+        self.seconds.extend([0.0] * grow)
+        self.failures.extend([0] * grow)
+        self.respawns.extend([0] * grow)
+        self.workers = workers
+
+    def add(self, other: "ShardFanoutStats") -> None:
+        """Accumulate another fan-out record into this one (in place).
+
+        Worker slots are matched by position; the record grows to the wider
+        of the two, so folding a routed batch into a fresh accumulator just
+        adopts its shape.
+        """
+        self._resize(other.workers)
+        for worker in range(other.workers):
+            self.requests[worker] += other.requests[worker]
+            self.rows[worker] += other.rows[worker]
+            self.seconds[worker] += other.seconds[worker]
+            self.failures[worker] += other.failures[worker]
+            self.respawns[worker] += other.respawns[worker]
+
+    @property
+    def total_requests(self) -> int:
+        """Probe round-trips summed over all workers."""
+        return sum(self.requests)
+
+    @property
+    def total_rows(self) -> int:
+        """Posting rows returned, summed over all workers."""
+        return sum(self.rows)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-serialisable)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(
+        cls, payload: Mapping[str, Any], strict: bool = False
+    ) -> "ShardFanoutStats":
+        """Inverse of :meth:`to_dict`.
+
+        Unknown keys are ignored by default; with ``strict=True`` they raise
+        :class:`ValueError` (used by the persistence layer).  The parallel
+        lists must agree with ``workers`` — a payload whose lists drifted
+        apart is corrupt, not merely stale.
+        """
+        fields = _known_fields(cls, payload, strict)
+        record = cls(
+            workers=int(fields.get("workers", 0)),
+            requests=[int(v) for v in fields.get("requests", [])],
+            rows=[int(v) for v in fields.get("rows", [])],
+            seconds=[float(v) for v in fields.get("seconds", [])],
+            failures=[int(v) for v in fields.get("failures", [])],
+            respawns=[int(v) for v in fields.get("respawns", [])],
+        )
+        for name in ("requests", "rows", "seconds", "failures", "respawns"):
+            values = getattr(record, name)
+            if len(values) != record.workers:
+                raise ValueError(
+                    f"ShardFanoutStats payload is inconsistent: {name} has "
+                    f"{len(values)} entries for {record.workers} workers"
+                )
+        return record
+
+
+def _fanout_from_payload(payload: Any, strict: bool) -> ShardFanoutStats:
+    """Coerce a ``fanout`` payload entry back into :class:`ShardFanoutStats`."""
+    if isinstance(payload, ShardFanoutStats):
+        return payload
+    if payload is None:
+        return ShardFanoutStats()
+    return ShardFanoutStats.from_dict(payload, strict=strict)
+
+
+@dataclass
 class BuildStats:
     """Statistics collected while building an index.
 
@@ -295,6 +421,11 @@ class BatchQueryStats:
         Batch-wide kernel work counts (path extension, chain resolution,
         CSR merges) summed across every chunk and repetition; see
         :class:`KernelStats`.
+    fanout:
+        Cross-shard execution accounting when the batch ran through a
+        :class:`~repro.dist.router.ShardRouter` (per-worker requests, rows,
+        latency, failures); an empty record (``workers == 0``) in every
+        single-process mode.  See :class:`ShardFanoutStats`.
     """
 
     num_queries: int = 0
@@ -310,6 +441,7 @@ class BatchQueryStats:
     minor_page_faults: int = 0
     major_page_faults: int = 0
     kernel: KernelStats = field(default_factory=KernelStats)
+    fanout: ShardFanoutStats = field(default_factory=ShardFanoutStats)
 
     @property
     def dedupe_hit_rate(self) -> float:
@@ -358,6 +490,7 @@ class BatchQueryStats:
         self.minor_page_faults += other.minor_page_faults
         self.major_page_faults += other.major_page_faults
         self.kernel.add(other.kernel)
+        self.fanout.add(other.fanout)
         if per_query:
             self.per_query.extend(other.per_query)
 
@@ -379,6 +512,9 @@ class BatchQueryStats:
         merged_kernel = KernelStats()
         merged_kernel.add(self.kernel)
         merged_kernel.add(other.kernel)
+        merged_fanout = ShardFanoutStats()
+        merged_fanout.add(self.fanout)
+        merged_fanout.add(other.fanout)
         return BatchQueryStats(
             num_queries=self.num_queries + other.num_queries,
             per_query=self.per_query + other.per_query,
@@ -394,6 +530,7 @@ class BatchQueryStats:
             minor_page_faults=self.minor_page_faults + other.minor_page_faults,
             major_page_faults=self.major_page_faults + other.major_page_faults,
             kernel=merged_kernel,
+            fanout=merged_fanout,
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -417,6 +554,7 @@ class BatchQueryStats:
             for entry in fields.get("per_query", [])
         ]
         fields["kernel"] = _kernel_from_payload(fields.get("kernel"), strict)
+        fields["fanout"] = _fanout_from_payload(fields.get("fanout"), strict)
         return cls(**fields)
 
 

@@ -1,0 +1,49 @@
+"""Multi-process / multi-host shard serving on the v3 partition contract.
+
+The v3 manifest's key-range fences are a partitioning contract: every
+probe key routes to exactly one shard with one ``searchsorted``.  This
+package turns that contract into an execution layer — a
+:class:`~repro.dist.router.ShardRouter` that fans probe batches out to
+shard workers over a pluggable transport (in-process, spawned processes,
+TCP/unix sockets) and merges the returned CSR slices bit-identically to
+single-process mmap mode.  See ``docs/distributed.md``.
+"""
+
+from repro.dist import protocol
+from repro.dist.loader import default_shard_procs, load_routed_index, shard_router_of
+from repro.dist.router import RouterBackedFilterIndex, ShardRouter
+from repro.dist.transport import (
+    DEFAULT_TIMEOUT_SECONDS,
+    InprocTransport,
+    ShardTransport,
+    ShardUnavailableError,
+    ShardWorkerError,
+    SocketTransport,
+    SpawnTransport,
+    build_transport,
+    shard_to_worker_map,
+    worker_shard_ranges,
+)
+from repro.dist.worker import ShardServer, ShardWorkerState, pipe_worker_main
+
+__all__ = [
+    "DEFAULT_TIMEOUT_SECONDS",
+    "InprocTransport",
+    "RouterBackedFilterIndex",
+    "ShardRouter",
+    "ShardServer",
+    "ShardTransport",
+    "ShardUnavailableError",
+    "ShardWorkerError",
+    "ShardWorkerState",
+    "SocketTransport",
+    "SpawnTransport",
+    "build_transport",
+    "default_shard_procs",
+    "load_routed_index",
+    "pipe_worker_main",
+    "protocol",
+    "shard_router_of",
+    "shard_to_worker_map",
+    "worker_shard_ranges",
+]

@@ -1,0 +1,201 @@
+"""Wire format of the shard-serving layer.
+
+Every message between the :class:`~repro.dist.router.ShardRouter` and a
+shard worker — whatever the transport — is one *frame*: a small JSON
+header describing the message kind plus named raw numpy arrays, laid out
+back to back.  The format deliberately mirrors the v3 on-disk container
+(JSON header + little-endian raw arrays) so the whole stack speaks one
+idiom, and it is pickle-free by construction: a hostile or corrupt frame
+can fail decoding, but it can never execute code.
+
+Frame layout::
+
+    magic   4 bytes  b"RPD1"
+    header  u32 little-endian length, then that many JSON bytes
+    arrays  raw little-endian bytes at the offsets the header declares
+
+The header is ``{"meta": {...}, "arrays": {name: {dtype, shape, offset}}}``
+with offsets relative to the end of the header.  :func:`decode_message`
+returns zero-copy ``np.frombuffer`` views into the received buffer, so a
+worker's probe response is never copied again on the router side.
+
+Socket transports add one more u32 length prefix around the frame
+(:func:`send_frame` / :func:`recv_frame`); the multiprocessing pipe
+transport relies on ``send_bytes`` framing instead and ships the frame
+as-is.
+
+Message kinds (the ``meta["kind"]`` field):
+
+=========== ==========================================================
+``probe``    resolve a CSR batch of probes for one repetition
+``contains`` exact is-this-path-stored check for one key
+``describe`` worker topology/health (owned shards, repetitions, pid)
+``shutdown`` finish the current request loop and exit cleanly
+=========== ==========================================================
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Mapping
+
+import numpy as np
+
+MESSAGE_PROBE = "probe"
+MESSAGE_CONTAINS = "contains"
+MESSAGE_DESCRIBE = "describe"
+MESSAGE_SHUTDOWN = "shutdown"
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+_MAGIC = b"RPD1"
+_PREFIX = struct.Struct("<4sI")  # magic, header length
+_FRAME_PREFIX = struct.Struct("<I")  # socket-level frame length
+
+#: Upper bound on a single frame over a socket (guards a garbage length
+#: prefix from a mis-speaking peer; probe batches are far smaller).
+MAX_FRAME_BYTES = 1 << 30
+
+
+class ProtocolError(ValueError):
+    """A frame that does not decode as a shard-protocol message."""
+
+
+class ConnectionClosed(ConnectionError):
+    """The peer closed the connection mid-frame (or before one)."""
+
+
+def encode_message(
+    meta: Mapping[str, Any], arrays: Mapping[str, np.ndarray] | None = None
+) -> bytes:
+    """Serialise one message (header metadata + named arrays) to a frame."""
+    entries: dict[str, dict[str, Any]] = {}
+    contiguous: list[np.ndarray] = []
+    cursor = 0
+    for name, array in (arrays or {}).items():
+        array = np.ascontiguousarray(array)
+        if array.dtype.byteorder == ">":  # pragma: no cover - big-endian hosts
+            array = array.astype(array.dtype.newbyteorder("<"))
+        entries[name] = {
+            "dtype": np.dtype(array.dtype).str,
+            "shape": list(array.shape),
+            "offset": cursor,
+        }
+        contiguous.append(array)
+        cursor += array.nbytes
+    header = json.dumps({"meta": dict(meta), "arrays": entries}).encode("utf-8")
+    parts = [_PREFIX.pack(_MAGIC, len(header)), header]
+    parts.extend(memoryview(array).cast("B") for array in contiguous)
+    return b"".join(parts)
+
+
+def decode_message(payload: bytes) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+    """Inverse of :func:`encode_message`; arrays are zero-copy views.
+
+    The returned arrays alias ``payload`` (and are therefore read-only
+    when it is a ``bytes`` object); callers that need to mutate must copy.
+    Every malformed input raises :class:`ProtocolError`.
+    """
+    if len(payload) < _PREFIX.size:
+        raise ProtocolError("frame too short to hold a message prefix")
+    magic, header_len = _PREFIX.unpack_from(payload)
+    if magic != _MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    data_start = _PREFIX.size + header_len
+    if len(payload) < data_start:
+        raise ProtocolError("frame truncated inside its header")
+    try:
+        header = json.loads(payload[_PREFIX.size : data_start].decode("utf-8"))
+        meta = header["meta"]
+        entries = header["arrays"]
+        assert isinstance(meta, dict) and isinstance(entries, dict)
+    except (ValueError, KeyError, AssertionError) as error:
+        raise ProtocolError(f"corrupt message header: {error}") from error
+    arrays: dict[str, np.ndarray] = {}
+    for name, entry in entries.items():
+        try:
+            dtype = np.dtype(entry["dtype"])
+            shape = tuple(int(axis) for axis in entry["shape"])
+            offset = int(entry["offset"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise ProtocolError(f"corrupt entry for array {name!r}: {error}") from error
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        end = data_start + offset + dtype.itemsize * count
+        if offset < 0 or end > len(payload):
+            raise ProtocolError(
+                f"frame truncated: array {name!r} needs bytes up to {end} "
+                f"but the frame holds {len(payload)}"
+            )
+        arrays[name] = np.frombuffer(
+            payload, dtype=dtype, count=count, offset=data_start + offset
+        ).reshape(shape)
+    return meta, arrays
+
+
+def encode_error(kind: str, message: str) -> bytes:
+    """An error response frame carrying a human-readable reason."""
+    return encode_message({"kind": kind, "status": STATUS_ERROR, "error": message})
+
+
+def encode_probe_request(
+    repetition: int,
+    keys: np.ndarray,
+    probe_items: np.ndarray,
+    probe_offsets: np.ndarray,
+) -> bytes:
+    """A probe request: folded keys plus the probes' paths in CSR form."""
+    return encode_message(
+        {"kind": MESSAGE_PROBE, "repetition": int(repetition)},
+        {
+            "keys": np.ascontiguousarray(keys, dtype=np.uint64),
+            "probe_items": np.ascontiguousarray(probe_items, dtype=np.int64),
+            "probe_offsets": np.ascontiguousarray(probe_offsets, dtype=np.int64),
+        },
+    )
+
+
+def encode_probe_response(lengths: np.ndarray, ids: np.ndarray) -> bytes:
+    """A probe response: per-probe posting counts + concatenated ids."""
+    return encode_message(
+        {"kind": MESSAGE_PROBE, "status": STATUS_OK},
+        {
+            "lengths": np.ascontiguousarray(lengths, dtype=np.int64),
+            "ids": np.ascontiguousarray(ids, dtype=np.int64),
+        },
+    )
+
+
+# --------------------------------------------------------------------- #
+# Socket framing
+# --------------------------------------------------------------------- #
+
+
+def send_frame(sock: socket.socket, payload: bytes) -> None:
+    """Write one length-prefixed frame to a connected socket."""
+    sock.sendall(_FRAME_PREFIX.pack(len(payload)) + payload)
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes:
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionClosed(
+                f"peer closed the connection with {remaining} of {count} bytes unread"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> bytes:
+    """Read one length-prefixed frame; raises :class:`ConnectionClosed` on EOF."""
+    prefix = _recv_exactly(sock, _FRAME_PREFIX.size)
+    (length,) = _FRAME_PREFIX.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES} cap")
+    return _recv_exactly(sock, length)

@@ -1,0 +1,386 @@
+"""Shard worker: owns a subset of a v3 index's shards and answers probes.
+
+A worker is the *data plane* of the distributed layer.  It mmap-loads only
+the shard files it owns (lazily, via the same container cache the
+single-process mmap loader uses), resolves probe batches with the exact
+:func:`~repro.core.mmap_store.probe_sorted_arrays` path every other mode
+runs, and returns per-probe CSR slices.  Because the resolution code is
+shared — not reimplemented — results are bit-identical to single-process
+mmap mode by construction.
+
+The same :class:`ShardWorkerState` backs all three transports:
+
+* ``inproc`` calls :meth:`ShardWorkerState.probe` directly (zero copy);
+* ``spawn`` runs :func:`pipe_worker_main` in a spawned child, exchanging
+  :mod:`repro.dist.protocol` frames over a multiprocessing pipe
+  (``send_bytes``/``recv_bytes`` — raw buffers, never pickle);
+* ``tcp``/unix-socket runs :class:`ShardServer`, which frames the same
+  messages with a length prefix (``repro shard-worker`` is its CLI face).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+from pathlib import Path as FilePath
+from typing import Any
+
+import numpy as np
+
+from repro.core.inverted_index import _segment_gather
+from repro.core.mmap_store import ShardSlice, probe_sorted_arrays, route_keys
+from repro.core.serialization import (
+    _read_manifest,
+    _shard_slice_from_container,
+    _ShardContainerCache,
+)
+from repro.dist import protocol
+
+
+class ShardWorkerState:
+    """One worker's owned shards of a saved v3 index, opened lazily.
+
+    ``shards`` is the set of shard indices this worker answers for; a probe
+    whose keys route outside that set is a router bug and fails loudly.
+    """
+
+    def __init__(self, path: str | FilePath, shards: list[int] | tuple[int, ...]) -> None:
+        self._path = FilePath(path)
+        manifest = _read_manifest(self._path)
+        self._num_shards = int(manifest["num_shards"])
+        self._repetitions = int(manifest["repetitions"])
+        owned = sorted(int(shard) for shard in shards)
+        for shard in owned:
+            if not 0 <= shard < self._num_shards:
+                raise ValueError(
+                    f"shard {shard} out of range for an index with "
+                    f"{self._num_shards} shards"
+                )
+        if not owned:
+            raise ValueError("a shard worker must own at least one shard")
+        self._owned = frozenset(owned)
+        self._shards = tuple(owned)
+        self._fences = np.asarray(manifest["fences"], dtype=np.uint64)
+        self._counts = [
+            [shard_entry["repetitions"][rep] for rep in range(self._repetitions)]
+            for shard_entry in manifest["shards"]
+        ]
+        self._containers = _ShardContainerCache(self._path, list(manifest["shard_files"]))
+        self._slices: dict[tuple[int, int], ShardSlice] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def shards(self) -> tuple[int, ...]:
+        return self._shards
+
+    @property
+    def repetitions(self) -> int:
+        return self._repetitions
+
+    def _slice(self, repetition: int, shard: int) -> ShardSlice:
+        if shard not in self._owned:
+            raise ValueError(
+                f"worker owns shards {sorted(self._owned)} but was asked for "
+                f"shard {shard}; the router's worker map is inconsistent"
+            )
+        if not 0 <= repetition < self._repetitions:
+            raise ValueError(
+                f"repetition {repetition} out of range (index has "
+                f"{self._repetitions})"
+            )
+        key = (repetition, shard)
+        # Double-checked locking: slices are add-only, so a racy hit returns
+        # the same immutable ShardSlice the locked path would.
+        cached = self._slices.get(key)  # repro-lint: disable=RPL002 -- double-checked fast path; re-read under the lock below
+        if cached is not None:
+            return cached
+        with self._lock:
+            cached = self._slices.get(key)
+            if cached is None:
+                cached = _shard_slice_from_container(
+                    self._containers.arrays(shard),
+                    self._containers.path_of(shard),
+                    repetition,
+                    self._counts[shard][repetition],
+                )
+                self._slices[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------ #
+    # Request handlers
+    # ------------------------------------------------------------------ #
+
+    def probe(
+        self,
+        repetition: int,
+        keys: np.ndarray,
+        probe_items: np.ndarray,
+        probe_offsets: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Resolve a CSR probe batch against the owned shards.
+
+        Returns ``(lengths, ids)``: per-probe posting counts plus the
+        concatenated posting ids in probe order — the worker-local half of
+        the scatter-merge that ``probe_batch_routed`` performs globally.
+        """
+        keys_arr = np.ascontiguousarray(keys, dtype=np.uint64)
+        num_probes = keys_arr.size
+        empty = np.empty(0, dtype=np.int64)
+        if num_probes == 0:
+            return np.zeros(0, dtype=np.int64), empty
+        items = np.ascontiguousarray(probe_items, dtype=np.int64)
+        offsets = np.ascontiguousarray(probe_offsets, dtype=np.int64)
+        if offsets.size != num_probes + 1:
+            raise ValueError(
+                f"probe_offsets has {offsets.size} entries for {num_probes} keys"
+            )
+        probe_starts = offsets[:-1]
+        probe_lengths = np.diff(offsets)
+        route = route_keys(self._fences, keys_arr)
+        parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        for shard in np.unique(route).tolist():
+            members = np.flatnonzero(route == shard)
+            part = self._slice(shard=int(shard), repetition=repetition)
+            slots, lengths = probe_sorted_arrays(
+                keys_arr[members],
+                items,
+                probe_starts[members],
+                probe_lengths[members],
+                part.keys,
+                part.path_items,
+                part.path_offsets,
+                part.posting_offsets,
+                part.has_duplicate_keys,
+            )
+            gathered = _segment_gather(
+                part.posting_ids, part.posting_offsets[slots], lengths
+            ).astype(np.int64, copy=False)
+            parts.append((members, lengths, gathered))
+        per_probe = np.zeros(num_probes, dtype=np.int64)
+        for members, lengths, _gathered in parts:
+            per_probe[members] = lengths
+        out_offsets = np.zeros(num_probes + 1, dtype=np.int64)
+        np.cumsum(per_probe, out=out_offsets[1:])
+        total = int(out_offsets[-1])
+        if total == 0:
+            return per_probe, empty
+        ids = np.empty(total, dtype=np.int64)
+        for members, lengths, gathered in parts:
+            if not gathered.size:
+                continue
+            starts = out_offsets[:-1][members]
+            destination = np.arange(gathered.size, dtype=np.int64) + np.repeat(
+                starts - (np.cumsum(lengths) - lengths), lengths
+            )
+            ids[destination] = gathered
+        return per_probe, ids
+
+    def contains(self, repetition: int, key: int, items: np.ndarray) -> bool:
+        """Exact is-this-path-stored check (empty posting lists included)."""
+        key64 = np.uint64(key)
+        shard = int(route_keys(self._fences, np.asarray([key64]))[0])
+        part = self._slice(repetition=repetition, shard=shard)
+        if part.keys.size == 0:
+            return False
+        path_items = np.ascontiguousarray(items, dtype=np.int64)
+        slots, _lengths = probe_sorted_arrays(
+            np.asarray([key64], dtype=np.uint64),
+            path_items,
+            np.zeros(1, dtype=np.int64),
+            np.asarray([path_items.size], dtype=np.int64),
+            part.keys,
+            part.path_items,
+            part.path_offsets,
+            part.posting_offsets,
+            part.has_duplicate_keys,
+        )
+        slot = int(slots[0])
+        if part.keys[slot] != key64:
+            return False
+        start = int(part.path_offsets[slot])
+        end = int(part.path_offsets[slot + 1])
+        return bool(np.array_equal(part.path_items[start:end], path_items))
+
+    def describe(self) -> dict[str, Any]:
+        """Topology and liveness facts for router validation and /stats."""
+        return {
+            "path": str(self._path),
+            "shards": list(self._shards),
+            "num_shards": self._num_shards,
+            "repetitions": self._repetitions,
+            "pid": os.getpid(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Frame dispatch (shared by the pipe and socket servers)
+    # ------------------------------------------------------------------ #
+
+    def handle_frame(self, payload: bytes) -> tuple[bytes, bool]:
+        """Decode one request frame, run it, encode the response.
+
+        Never raises: every failure becomes a status-``error`` response so a
+        malformed request cannot take the worker down.  The second element
+        is ``True`` when the request was a clean shutdown.
+        """
+        kind = "unknown"
+        try:
+            meta, arrays = protocol.decode_message(payload)
+            kind = str(meta.get("kind", "unknown"))
+            if kind == protocol.MESSAGE_PROBE:
+                lengths, ids = self.probe(
+                    int(meta["repetition"]),
+                    arrays["keys"],
+                    arrays["probe_items"],
+                    arrays["probe_offsets"],
+                )
+                return protocol.encode_probe_response(lengths, ids), False
+            if kind == protocol.MESSAGE_CONTAINS:
+                stored = self.contains(
+                    int(meta["repetition"]), int(meta["key"]), arrays["items"]
+                )
+                return (
+                    protocol.encode_message(
+                        {
+                            "kind": kind,
+                            "status": protocol.STATUS_OK,
+                            "stored": stored,
+                        }
+                    ),
+                    False,
+                )
+            if kind == protocol.MESSAGE_DESCRIBE:
+                meta_out = {"kind": kind, "status": protocol.STATUS_OK}
+                meta_out.update(self.describe())
+                return protocol.encode_message(meta_out), False
+            if kind == protocol.MESSAGE_SHUTDOWN:
+                return (
+                    protocol.encode_message(
+                        {"kind": kind, "status": protocol.STATUS_OK}
+                    ),
+                    True,
+                )
+            return protocol.encode_error(kind, f"unknown message kind {kind!r}"), False
+        except Exception as error:  # noqa: BLE001 - worker must answer, not die
+            return protocol.encode_error(kind, f"{type(error).__name__}: {error}"), False
+
+
+def pipe_worker_main(connection: Any, path: str, shards: tuple[int, ...]) -> None:
+    """Entry point of a spawned shard worker (module-level for spawn pickling).
+
+    Loops over request frames on the pipe until the parent closes its end,
+    the process is killed, or a clean ``shutdown`` message arrives.  Frames
+    travel via ``send_bytes``/``recv_bytes``, so no pickle is ever involved
+    in the data path — only the (str, tuple) arguments of this function
+    cross via the spawn machinery.
+    """
+    state = ShardWorkerState(path, shards)
+    try:
+        while True:
+            try:
+                payload = connection.recv_bytes()
+            except (EOFError, OSError):
+                break
+            response, shutdown = state.handle_frame(payload)
+            try:
+                connection.send_bytes(response)
+            except (BrokenPipeError, OSError):
+                break
+            if shutdown:
+                break
+    finally:
+        connection.close()
+
+
+class ShardServer:
+    """Length-prefix-framed socket front end around a shard worker.
+
+    Listens on TCP (``host``/``port``, port 0 picks a free one) or a unix
+    domain socket (``socket_path``), one thread per connection, each
+    connection a sequential request/response loop over the same frames the
+    pipe transport uses.  This is what ``repro shard-worker`` runs.
+    """
+
+    def __init__(
+        self,
+        state: ShardWorkerState,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        socket_path: str | None = None,
+    ) -> None:
+        self._state = state
+        self._host = host
+        self._port = port
+        self._socket_path = socket_path
+        self._listener: socket.socket | None = None
+        self._closed = threading.Event()
+
+    def start(self) -> str:
+        """Bind and listen; returns the resolved address string."""
+        if self._socket_path is not None:
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(self._socket_path)
+            address = self._socket_path
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self._host, self._port))
+            self._port = listener.getsockname()[1]
+            address = f"{self._host}:{self._port}"
+        listener.listen()
+        self._listener = listener
+        return address
+
+    @property
+    def address(self) -> str:
+        if self._listener is None:
+            raise RuntimeError("server not started")
+        if self._socket_path is not None:
+            return self._socket_path
+        return f"{self._host}:{self._port}"
+
+    def serve_forever(self) -> None:
+        """Accept connections until :meth:`close`; blocks the calling thread."""
+        listener = self._listener
+        if listener is None:
+            raise RuntimeError("call start() before serve_forever()")
+        while not self._closed.is_set():
+            try:
+                connection, _peer = listener.accept()
+            except OSError:
+                break  # listener closed
+            thread = threading.Thread(
+                target=self._serve_connection, args=(connection,), daemon=True
+            )
+            thread.start()
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        with connection:
+            while not self._closed.is_set():
+                try:
+                    payload = protocol.recv_frame(connection)
+                except (protocol.ConnectionClosed, OSError):
+                    return
+                response, shutdown = self._state.handle_frame(payload)
+                try:
+                    protocol.send_frame(connection, response)
+                except OSError:
+                    return
+                if shutdown:
+                    self.close()
+                    return
+
+    def close(self) -> None:
+        """Stop accepting; in-flight connections finish their current frame."""
+        self._closed.set()
+        listener = self._listener
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+        if self._socket_path is not None:
+            try:
+                os.unlink(self._socket_path)
+            except OSError:
+                pass

@@ -45,7 +45,7 @@ def minhash_signature(items: Sequence[int], hashers: Sequence[TabulationHash]) -
 class MinwiseHasher:
     """Produces MinHash signatures of a fixed length for arbitrary sets."""
 
-    def __init__(self, num_hashes: int, seed: int):
+    def __init__(self, num_hashes: int, seed: int) -> None:
         if num_hashes <= 0:
             raise ValueError(f"num_hashes must be positive, got {num_hashes}")
         self._num_hashes = int(num_hashes)

@@ -182,7 +182,7 @@ class PairwiseHash:
     second-moment argument in the paper's Lemma 5.
     """
 
-    def __init__(self, seed: int):
+    def __init__(self, seed: int) -> None:
         generator = np.random.default_rng(derive_seed(seed, "pairwise-hash"))
         self._a = int(generator.integers(1, MERSENNE_PRIME))
         self._b = int(generator.integers(0, MERSENNE_PRIME))
@@ -225,7 +225,7 @@ class PairwiseHashFamily:
     callers do not need to know the maximum path length in advance.
     """
 
-    def __init__(self, seed: int):
+    def __init__(self, seed: int) -> None:
         self._seed = int(seed)
         self._levels: list[PairwiseHash] = []
 
@@ -257,7 +257,7 @@ class PathHasher:
     shared filter.
     """
 
-    def __init__(self, seed: int):
+    def __init__(self, seed: int) -> None:
         self._family = PairwiseHashFamily(seed)
         self._seed = int(seed)
 

@@ -70,7 +70,7 @@ class RandomSource:
     seeds (for constructing further reproducible components).
     """
 
-    def __init__(self, seed: int):
+    def __init__(self, seed: int) -> None:
         if seed < 0:
             raise ValueError(f"seed must be non-negative, got {seed}")
         self._seed = int(seed)
@@ -98,11 +98,13 @@ class RandomSource:
         """Return a new numpy generator seeded by the derived labels."""
         return np.random.default_rng(derive_seed(self._seed, *labels))
 
-    def integers(self, low: int, high: int, size: int | None = None):
+    def integers(
+        self, low: int, high: int, size: int | None = None
+    ) -> np.int64 | np.ndarray:
         """Sample integers in ``[low, high)`` from the shared generator."""
         return self._generator.integers(low, high, size=size)
 
-    def uniform(self, size: int | None = None):
+    def uniform(self, size: int | None = None) -> float | np.ndarray:
         """Sample uniform floats in ``[0, 1)`` from the shared generator."""
         return self._generator.random(size)
 

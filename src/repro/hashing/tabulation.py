@@ -26,7 +26,7 @@ class TabulationHash:
     #: Number of 8-bit characters in a 32-bit key.
     NUM_CHARACTERS = 4
 
-    def __init__(self, seed: int):
+    def __init__(self, seed: int) -> None:
         generator = np.random.default_rng(derive_seed(seed, "tabulation"))
         self._tables = generator.integers(
             0, 1 << 63, size=(self.NUM_CHARACTERS, 256), dtype=np.uint64

@@ -56,12 +56,25 @@ class IndexSpec:
     shard_workers:
         Per-probe shard fan-out installed on the loaded engine (mmap mode;
         ``None`` resolves shards serially).
+    shard_procs:
+        When set, the index is opened in router-backed multi-process mode
+        (``repro.dist.load_routed_index``): this many spawned shard worker
+        processes each mmap only their own shard files, and probes fan out
+        over real processes instead of GIL-bound threads.  Requires
+        ``load_mode="mmap"`` (the router's own store view is mmap-backed).
+    shard_addrs:
+        Addresses of pre-started ``repro shard-worker`` servers
+        (``host:port``, a unix socket path, or ``unix:PATH``) — the socket
+        variant of router-backed mode.  Mutually exclusive with
+        ``shard_procs``.
     """
 
     name: str
     path: str
     load_mode: str = "mmap"
     shard_workers: int | None = None
+    shard_procs: int | None = None
+    shard_addrs: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -74,6 +87,26 @@ class IndexSpec:
             raise ValueError(
                 f"shard_workers must be positive, got {self.shard_workers}"
             )
+        if self.shard_procs is not None and self.shard_procs <= 0:
+            raise ValueError(
+                f"shard_procs must be positive, got {self.shard_procs}"
+            )
+        if self.shard_procs is not None and self.shard_addrs:
+            raise ValueError(
+                "shard_procs and shard_addrs are mutually exclusive: spawn "
+                "local workers or connect to remote ones, not both"
+            )
+        if self.routed and self.load_mode != "mmap":
+            raise ValueError(
+                "router-backed serving requires load_mode='mmap' (the v3 "
+                "shard layout is the partition contract the router fans "
+                "out over)"
+            )
+
+    @property
+    def routed(self) -> bool:
+        """Whether this spec opens through the shard router (repro.dist)."""
+        return self.shard_procs is not None or bool(self.shard_addrs)
 
 
 @dataclass(frozen=True)

@@ -30,6 +30,7 @@ from typing import Any, Mapping, Sequence
 
 from repro.core.join import similarity_join
 from repro.core.stats import BatchQueryStats
+from repro.dist.transport import ShardUnavailableError
 from repro.serve.batcher import MicroBatcher, Overloaded
 from repro.serve.config import IndexSpec, ServeConfig
 from repro.serve.metrics import ServiceMetrics
@@ -46,6 +47,22 @@ class ApiError(Exception):
         super().__init__(message)
         self.status = status
         self.headers = dict(headers or {})
+
+
+def _router_of(index: Any) -> Any:
+    """The ShardRouter behind a routed index instance (None otherwise)."""
+    if index is None:
+        return None
+    from repro.dist import shard_router_of
+
+    return shard_router_of(index)
+
+
+def _close_router_of(index: Any) -> None:
+    """Stop the shard workers behind a routed index instance (if any)."""
+    router = _router_of(index)
+    if router is not None:
+        router.close()
 
 
 class _ServedIndex:
@@ -85,14 +102,24 @@ class _ServedIndex:
 
     def load_sync(self) -> Any:
         """Open the index as specced (runs on an executor thread)."""
-        from repro.core.serialization import load_index
-
         start = time.perf_counter()
-        index = load_index(
-            self.spec.path,
-            mode=self.spec.load_mode,
-            shard_workers=self.spec.shard_workers,
-        )
+        if self.spec.routed:
+            from repro.dist import load_routed_index
+
+            index = load_routed_index(
+                self.spec.path,
+                transport="socket" if self.spec.shard_addrs else "spawn",
+                shard_procs=self.spec.shard_procs,
+                shard_addrs=self.spec.shard_addrs,
+            )
+        else:
+            from repro.core.serialization import load_index
+
+            index = load_index(
+                self.spec.path,
+                mode=self.spec.load_mode,
+                shard_workers=self.spec.shard_workers,
+            )
         self.load_seconds = time.perf_counter() - start
         return index
 
@@ -105,6 +132,11 @@ class _ServedIndex:
             "load_seconds": self.load_seconds,
             "reloads": self.reloads,
         }
+        if self.spec.routed:
+            payload["shard_procs"] = self.spec.shard_procs
+            payload["shard_addrs"] = (
+                list(self.spec.shard_addrs) if self.spec.shard_addrs else None
+            )
         if self.index is not None:
             build = self.index.build_stats
             payload["num_vectors"] = build.num_vectors
@@ -152,6 +184,8 @@ class QueryService:
     async def close(self) -> None:
         for served in self._indexes.values():
             await served.batcher.close()
+        for served in self._indexes.values():
+            _close_router_of(served.index)
 
     @property
     def index_names(self) -> list[str]:
@@ -215,6 +249,15 @@ class QueryService:
             headers={"Retry-After": str(max(1, math.ceil(retry_after)))},
         )
 
+    @staticmethod
+    def _shard_unavailable(name: str, error: ShardUnavailableError) -> ApiError:
+        """503 for a dead shard worker: retryable, the respawn already ran."""
+        return ApiError(
+            503,
+            f"index {name!r}: {error}",
+            headers={"Retry-After": "1"},
+        )
+
     # ------------------------------------------------------------------ #
     # Endpoints
     # ------------------------------------------------------------------ #
@@ -228,7 +271,10 @@ class QueryService:
             future = served.batcher.submit([query], mode)
         except Overloaded as error:
             raise self._shed(error) from None
-        results, per_query = await future
+        try:
+            results, per_query = await future
+        except ShardUnavailableError as error:
+            raise self._shard_unavailable(served.spec.name, error) from None
         stats = per_query[0]
         return {
             "index": served.spec.name,
@@ -249,7 +295,10 @@ class QueryService:
             future = served.batcher.submit(queries, mode)
         except Overloaded as error:
             raise self._shed(error) from None
-        results, per_query = await future
+        try:
+            results, per_query = await future
+        except ShardUnavailableError as error:
+            raise self._shard_unavailable(served.spec.name, error) from None
         return {
             "index": served.spec.name,
             "results": results,
@@ -285,16 +334,19 @@ class QueryService:
         except (KeyError, TypeError, ValueError) as error:
             raise ApiError(400, f"invalid join predicate: {error}") from None
         loop = asyncio.get_running_loop()
-        result = await loop.run_in_executor(
-            served.batcher._executor,  # noqa: SLF001 - same engine lane by design
-            lambda: similarity_join(
-                served.index,
-                probes,
-                predicate,
-                batch_size=self.config.max_batch_queries,
-                shard_workers=served.spec.shard_workers,
-            ),
-        )
+        try:
+            result = await loop.run_in_executor(
+                served.batcher._executor,  # noqa: SLF001 - same engine lane by design
+                lambda: similarity_join(
+                    served.index,
+                    probes,
+                    predicate,
+                    batch_size=self.config.max_batch_queries,
+                    shard_workers=served.spec.shard_workers,
+                ),
+            )
+        except ShardUnavailableError as error:
+            raise self._shard_unavailable(served.spec.name, error) from None
         return {
             "index": served.spec.name,
             "pairs": [[r, s, sim] for r, s, sim in result.pairs],
@@ -321,6 +373,9 @@ class QueryService:
             entry["queue_depth"] = served.batcher.queue_depth
             entry["inflight_queries"] = served.batcher.inflight_queries
             entry.update(served.batcher.stats.snapshot())
+            router = _router_of(served.index)
+            if router is not None:
+                entry["shards"] = router.snapshot()
             indexes[name] = entry
         return {
             "uptime_seconds": time.monotonic() - self._started_at,
@@ -349,6 +404,12 @@ class QueryService:
         shed_jobs: list[tuple[Mapping[str, str], float]] = []
         engine_seconds: list[tuple[Mapping[str, str], float]] = []
         kernel_ops: list[tuple[Mapping[str, str], float]] = []
+        shard_up: list[tuple[Mapping[str, str], float]] = []
+        shard_requests: list[tuple[Mapping[str, str], float]] = []
+        shard_rows: list[tuple[Mapping[str, str], float]] = []
+        shard_latency: list[tuple[Mapping[str, str], float]] = []
+        shard_failures: list[tuple[Mapping[str, str], float]] = []
+        shard_respawns: list[tuple[Mapping[str, str], float]] = []
         for name, served in self._indexes.items():
             label = {"index": name}
             stats = served.batcher.stats
@@ -370,6 +431,18 @@ class QueryService:
                         float(getattr(kernel, counter_name)),
                     )
                 )
+            router = _router_of(served.index)
+            if router is not None:
+                for worker_entry in router.snapshot()["per_worker"]:
+                    shard_label = {"index": name, "shard": str(worker_entry["worker"])}
+                    shard_up.append(
+                        (shard_label, 1.0 if worker_entry.get("alive") else 0.0)
+                    )
+                    shard_requests.append((shard_label, float(worker_entry["requests"])))
+                    shard_rows.append((shard_label, float(worker_entry["rows"])))
+                    shard_latency.append((shard_label, float(worker_entry["seconds"])))
+                    shard_failures.append((shard_label, float(worker_entry["failures"])))
+                    shard_respawns.append((shard_label, float(worker_entry["respawns"])))
         extra: list[MetricFamily] = [
             (
                 "repro_uptime_seconds",
@@ -440,6 +513,48 @@ class QueryService:
                 kernel_ops,
             ),
         ]
+        if shard_requests:
+            extra.extend(
+                [
+                    (
+                        "repro_shard_up",
+                        "gauge",
+                        "1 when the shard worker is alive (label 'shard' is the "
+                        "worker index).",
+                        shard_up,
+                    ),
+                    (
+                        "repro_shard_requests_total",
+                        "counter",
+                        "Probe RPCs dispatched to the shard worker.",
+                        shard_requests,
+                    ),
+                    (
+                        "repro_shard_rows_total",
+                        "counter",
+                        "Posting rows returned by the shard worker.",
+                        shard_rows,
+                    ),
+                    (
+                        "repro_shard_latency_seconds",
+                        "counter",
+                        "Cumulative seconds spent waiting on the shard worker.",
+                        shard_latency,
+                    ),
+                    (
+                        "repro_shard_failures_total",
+                        "counter",
+                        "Transport failures (dead or timed-out worker round-trips).",
+                        shard_failures,
+                    ),
+                    (
+                        "repro_shard_respawns_total",
+                        "counter",
+                        "Automatic worker respawns / reconnects after a failure.",
+                        shard_respawns,
+                    ),
+                ]
+            )
         return self.metrics.prometheus_text(extra)
 
     async def reload(self, payload: Mapping[str, Any]) -> dict[str, Any]:
@@ -466,20 +581,28 @@ class QueryService:
                 path=str(path),
                 load_mode=served.spec.load_mode,
                 shard_workers=served.spec.shard_workers,
+                shard_procs=served.spec.shard_procs,
+                shard_addrs=served.spec.shard_addrs,
             )
         served.status = "reloading"
         loop = asyncio.get_running_loop()
         try:
             index = await loop.run_in_executor(None, served.load_sync)
-        except (ValueError, OSError) as error:
+        except (ValueError, OSError, ShardUnavailableError) as error:
             served.status = "ok" if served.index is not None else "error"
             raise ApiError(
                 500, f"reload of {served.spec.path!r} failed: {error}"
             ) from None
+        old_index = served.index
         served.index = index
         served.reloads += 1
         served.loaded_at = time.monotonic()
         served.status = "ok"
+        if old_index is not None and old_index is not index and _router_of(old_index):
+            # Let in-flight batches on the old index finish before stopping
+            # its workers; new batches already see the new index.
+            await served.batcher.drain(timeout=5.0)
+            _close_router_of(old_index)
         return {
             "index": served.spec.name,
             "path": served.spec.path,

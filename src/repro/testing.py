@@ -34,6 +34,9 @@ ROLE_SEEDS: dict[str, int] = {
     "bench:serialization-dataset": 7200,
     "bench:serving-dataset": 7300,
     "bench:serving-replay": 7301,
+    "tests:dist-queries": 7400,
+    "bench:shard-fanout-dataset": 7401,
+    "bench:shard-fanout-queries": 7402,
 }
 
 

@@ -1,0 +1,128 @@
+"""Failure semantics: dead workers, bounded respawn, the 503 surface."""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.dist import (
+    ShardUnavailableError,
+    SpawnTransport,
+    load_routed_index,
+    shard_router_of,
+    worker_shard_ranges,
+)
+from repro.serve.config import IndexSpec, ServeConfig
+from repro.serve.service import ApiError, QueryService
+
+# Mirror the conftest fixture geometry (pytest imports conftest outside a
+# package, so the constants cannot be imported from it directly).
+NUM_SHARDS = 4
+NUM_WORKERS = 2
+
+
+@pytest.fixture
+def killable_index(dist_index):
+    """A private spawn-routed index the test is allowed to damage."""
+    index = load_routed_index(
+        dist_index.path, transport="spawn", shard_procs=NUM_WORKERS, timeout=60.0
+    )
+    yield index
+    shard_router_of(index).close()
+
+
+def test_killed_worker_respawns_and_answers(mmap_index, killable_index, dist_index):
+    expected_arrays, _stats = mmap_index.query_candidates_arrays_batch(
+        dist_index.queries
+    )
+    router = shard_router_of(killable_index)
+    router.take_fanout_stats()
+
+    pid = router.transport.pid_of(0)
+    assert pid is not None
+    os.kill(pid, signal.SIGKILL)
+    time.sleep(0.2)
+
+    arrays, stats = killable_index.query_candidates_arrays_batch(dist_index.queries)
+    for expected, actual in zip(expected_arrays, arrays):
+        assert np.array_equal(expected, actual)
+    assert stats.fanout.failures[0] >= 1
+    assert stats.fanout.respawns[0] >= 1
+    # The respawned worker has a new pid and stays healthy afterwards.
+    assert router.transport.pid_of(0) != pid
+    health = router.snapshot()["per_worker"]
+    assert all(entry["alive"] for entry in health)
+
+
+def test_exhausted_respawns_raise_shard_unavailable(dist_index):
+    transport = SpawnTransport(
+        dist_index.path,
+        worker_shard_ranges(NUM_SHARDS, 1),
+        timeout=30.0,
+        max_respawns=0,
+    )
+    try:
+        keys = np.array([123], dtype=np.uint64)
+        items = np.array([1, 2], dtype=np.int64)
+        offsets = np.array([0, 2], dtype=np.int64)
+        transport.probe(0, 0, keys, items, offsets)  # the worker is healthy
+        os.kill(transport.pid_of(0), signal.SIGKILL)
+        time.sleep(0.2)
+        with pytest.raises(ShardUnavailableError):
+            transport.probe(0, 0, keys, items, offsets)
+        failures, recoveries = transport.counters()
+        assert failures[0] >= 1
+        assert recoveries[0] == 0
+    finally:
+        transport.close()
+
+
+def test_dead_shard_worker_surfaces_as_503_with_retry_after(dist_index):
+    """A ShardUnavailableError escaping the engine maps to 503 + Retry-After."""
+
+    async def scenario() -> None:
+        spec = IndexSpec(
+            name="default", path=str(dist_index.path), shard_procs=NUM_WORKERS
+        )
+        service = QueryService([spec], ServeConfig(batch_window_ms=0.0))
+        await service.start()
+        try:
+            query_payload = {"query": sorted(dist_index.dataset[0])}
+            response = await service.query(query_payload)
+            assert response["index"] == "default"
+
+            router = shard_router_of(service._indexes["default"].index)
+            assert router is not None
+
+            def dead_probe(*_args, **_kwargs):
+                raise ShardUnavailableError(
+                    "shard worker 0 (shards [0, 1]) is unavailable"
+                )
+
+            router.probe_batch_routed = dead_probe
+            with pytest.raises(ApiError) as excinfo:
+                await service.query(query_payload)
+            assert excinfo.value.status == 503
+            assert excinfo.value.headers.get("Retry-After") == "1"
+
+            with pytest.raises(ApiError) as excinfo:
+                await service.query_batch(
+                    {"queries": [sorted(v) for v in dist_index.dataset[:4]]}
+                )
+            assert excinfo.value.status == 503
+
+            with pytest.raises(ApiError) as excinfo:
+                await service.similarity_join_endpoint(
+                    {"probes": [sorted(v) for v in dist_index.dataset[:4]]}
+                )
+            assert excinfo.value.status == 503
+            assert excinfo.value.headers.get("Retry-After") == "1"
+        finally:
+            await service.close()
+
+    asyncio.run(scenario())

@@ -1,0 +1,101 @@
+"""Wire-protocol unit tests: round trips, framing, corruption rejection."""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro.dist import protocol
+
+
+def test_message_round_trip_preserves_meta_and_arrays():
+    meta = {"kind": protocol.MESSAGE_PROBE, "repetition": 2, "status": protocol.STATUS_OK}
+    arrays = {
+        "keys": np.array([1, 2, 2**63], dtype=np.uint64),
+        "items": np.array([[1, 2], [3, 4]], dtype=np.int64),
+        "empty": np.empty(0, dtype=np.int64),
+    }
+    decoded_meta, decoded = protocol.decode_message(protocol.encode_message(meta, arrays))
+    assert decoded_meta == meta
+    assert set(decoded) == set(arrays)
+    for name, array in arrays.items():
+        assert decoded[name].dtype == array.dtype
+        assert decoded[name].shape == array.shape
+        assert np.array_equal(decoded[name], array)
+
+
+def test_decoded_arrays_are_zero_copy_views():
+    payload = protocol.encode_message({"a": 1}, {"xs": np.arange(8, dtype=np.int64)})
+    _meta, arrays = protocol.decode_message(payload)
+    assert arrays["xs"].base is not None  # a view over the payload, not a copy
+
+
+def test_probe_request_and_response_round_trip():
+    keys = np.array([7, 9], dtype=np.uint64)
+    items = np.array([1, 2, 3], dtype=np.int64)
+    offsets = np.array([0, 2, 3], dtype=np.int64)
+    meta, arrays = protocol.decode_message(
+        protocol.encode_probe_request(1, keys, items, offsets)
+    )
+    assert meta["kind"] == protocol.MESSAGE_PROBE
+    assert meta["repetition"] == 1
+    assert np.array_equal(arrays["keys"], keys)
+
+    lengths = np.array([2, 0], dtype=np.int64)
+    ids = np.array([4, 5], dtype=np.int64)
+    meta, arrays = protocol.decode_message(protocol.encode_probe_response(lengths, ids))
+    assert meta["status"] == protocol.STATUS_OK
+    assert np.array_equal(arrays["lengths"], lengths)
+    assert np.array_equal(arrays["ids"], ids)
+
+
+def test_error_payload_round_trips_kind_and_message():
+    meta, arrays = protocol.decode_message(
+        protocol.encode_error(protocol.MESSAGE_PROBE, "boom")
+    )
+    assert meta["status"] == protocol.STATUS_ERROR
+    assert meta["kind"] == protocol.MESSAGE_PROBE
+    assert meta["error"] == "boom"
+    assert arrays == {}
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda payload: b"XXXX" + payload[4:],  # wrong magic
+        lambda payload: payload[:10],  # truncated header
+        lambda payload: payload[:-3],  # truncated array bytes
+        lambda payload: payload[:4] + struct.pack("<I", 2**30) + payload[8:],
+    ],
+    ids=["bad-magic", "short-header", "short-arrays", "huge-header-len"],
+)
+def test_corrupt_payloads_raise_protocol_error(mutate):
+    payload = protocol.encode_message(
+        {"type": protocol.MESSAGE_PROBE}, {"keys": np.arange(4, dtype=np.uint64)}
+    )
+    with pytest.raises(protocol.ProtocolError):
+        protocol.decode_message(mutate(payload))
+
+
+def test_socket_framing_round_trip():
+    left, right = socket.socketpair()
+    try:
+        payload = protocol.encode_message({"n": 3}, {"xs": np.arange(3, dtype=np.int64)})
+        protocol.send_frame(left, payload)
+        assert protocol.recv_frame(right) == payload
+    finally:
+        left.close()
+        right.close()
+
+
+def test_recv_frame_raises_connection_closed_on_eof():
+    left, right = socket.socketpair()
+    left.close()
+    try:
+        with pytest.raises(protocol.ConnectionClosed):
+            protocol.recv_frame(right)
+    finally:
+        right.close()

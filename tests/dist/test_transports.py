@@ -1,0 +1,133 @@
+"""Cross-transport equivalence: every router transport vs single-process mmap.
+
+The tentpole guarantee of the shard-router layer is *bit-identity*: routed
+execution answers every query surface with exactly the arrays, matches and
+work counters single-process mmap mode produces — only wall-clock timing
+(and the router-only fan-out record) may differ.  The suite sweeps all
+three transports (``inproc``, ``spawn``, ``socket``) over the five public
+query surfaces, plus a hypothesis sweep of random query sets on the
+in-process transport.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+#: QueryStats fields that must agree bit-for-bit across execution modes.
+_QUERY_STAT_FIELDS = (
+    "filters_generated",
+    "candidates_examined",
+    "unique_candidates",
+    "similarity_evaluations",
+    "found",
+    "repetitions_used",
+    "shards_probed",
+)
+
+#: BatchQueryStats counters that must agree (timing and fan-out excluded).
+_BATCH_STAT_FIELDS = (
+    "num_queries",
+    "distinct_filter_probes",
+    "duplicate_filter_probes",
+    "queries_deduplicated",
+    "shards_probed",
+)
+
+
+def _assert_query_stats_equal(expected, actual):
+    for field in _QUERY_STAT_FIELDS:
+        assert getattr(actual, field) == getattr(expected, field), field
+
+
+def _assert_batch_stats_equal(expected, actual):
+    for field in _BATCH_STAT_FIELDS:
+        assert getattr(actual, field) == getattr(expected, field), field
+    assert actual.kernel.to_dict() == expected.kernel.to_dict()
+
+
+def test_single_query_surface_matches_mmap(mmap_index, routed_index, dist_index):
+    for query in dist_index.queries:
+        for mode in ("first", "best"):
+            expected_match, expected_stats = mmap_index.query(query, mode=mode)
+            match, stats = routed_index.query(query, mode=mode)
+            assert match == expected_match
+            _assert_query_stats_equal(expected_stats, stats)
+
+
+def test_query_batch_surface_matches_mmap(mmap_index, routed_index, dist_index):
+    expected_results, expected_stats = mmap_index.query_batch(dist_index.queries)
+    results, stats = routed_index.query_batch(dist_index.queries)
+    assert results == expected_results
+    _assert_batch_stats_equal(expected_stats, stats)
+
+
+def test_query_candidates_surface_matches_mmap(mmap_index, routed_index, dist_index):
+    for query in dist_index.queries:
+        expected_set, expected_stats = mmap_index.query_candidates(query)
+        candidates, stats = routed_index.query_candidates(query)
+        assert candidates == expected_set
+        _assert_query_stats_equal(expected_stats, stats)
+
+
+def test_query_candidates_batch_surface_matches_mmap(
+    mmap_index, routed_index, dist_index
+):
+    expected_sets, expected_stats = mmap_index.query_candidates_batch(
+        dist_index.queries
+    )
+    candidate_sets, stats = routed_index.query_candidates_batch(dist_index.queries)
+    assert candidate_sets == expected_sets
+    _assert_batch_stats_equal(expected_stats, stats)
+
+
+def test_candidates_arrays_surface_matches_mmap(mmap_index, routed_index, dist_index):
+    expected_arrays, expected_stats = mmap_index.query_candidates_arrays_batch(
+        dist_index.queries
+    )
+    arrays, stats = routed_index.query_candidates_arrays_batch(dist_index.queries)
+    assert len(arrays) == len(expected_arrays)
+    for expected, actual in zip(expected_arrays, arrays):
+        assert np.array_equal(expected, actual)
+    _assert_batch_stats_equal(expected_stats, stats)
+
+
+def test_routed_fanout_covers_every_request(routed_index, dist_index):
+    """The router's fan-out record accounts for the work the batch did."""
+    from repro.dist import shard_router_of
+
+    router = shard_router_of(routed_index)
+    assert router is not None
+    router.take_fanout_stats()  # drain whatever earlier tests left pending
+    _arrays, stats = routed_index.query_candidates_arrays_batch(dist_index.queries)
+    fanout = stats.fanout
+    assert fanout.workers == router.num_workers
+    assert fanout.total_requests > 0
+    assert fanout.total_rows == sum(fanout.rows)
+    snapshot = router.snapshot()
+    assert snapshot["workers"] == router.num_workers
+    assert sum(entry["requests"] for entry in snapshot["per_worker"]) >= (
+        fanout.total_requests
+    )
+
+
+@given(
+    queries=st.lists(
+        st.frozensets(st.integers(min_value=0, max_value=439), min_size=1, max_size=10),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture, HealthCheck.too_slow],
+)
+def test_random_queries_equivalent_on_inproc(mmap_index, inproc_index, queries):
+    expected_arrays, expected_stats = mmap_index.query_candidates_arrays_batch(queries)
+    arrays, stats = inproc_index.query_candidates_arrays_batch(queries)
+    for expected, actual in zip(expected_arrays, arrays):
+        assert np.array_equal(expected, actual)
+    assert stats.kernel.to_dict() == expected_stats.kernel.to_dict()
+    assert stats.shards_probed == expected_stats.shards_probed

@@ -11,9 +11,18 @@ actually coalesced them:
 * ``coalesced_calls`` >= 1 and ``mean_batch_occupancy`` > 1.0;
 * ``/healthz`` reports ok before and after the burst.
 
+With ``--shard-procs N`` the server runs in router-backed multi-process
+mode (one shard router fanning probes out to N spawned shard workers) and
+the smoke additionally asserts the per-shard surface:
+
+* ``/stats`` carries a ``shards`` entry with exactly N workers, all alive,
+  and a positive total request count after the burst;
+* ``/metrics`` exposes the ``repro_shard_*`` families.
+
 Usage::
 
-    PYTHONPATH=src python tools/serving_smoke.py INDEX_PATH QUERIES_FILE
+    PYTHONPATH=src python tools/serving_smoke.py INDEX_PATH QUERIES_FILE \
+        [--shard-procs N]
 """
 
 from __future__ import annotations
@@ -69,29 +78,40 @@ def _post_query(port: int, query: list[int]) -> tuple[int, dict]:
 
 
 def main(argv: list[str]) -> int:
-    if len(argv) != 2:
+    shard_procs = None
+    positional: list[str] = []
+    arguments = list(argv)
+    while arguments:
+        argument = arguments.pop(0)
+        if argument == "--shard-procs":
+            if not arguments:
+                print(__doc__)
+                return 2
+            shard_procs = int(arguments.pop(0))
+        else:
+            positional.append(argument)
+    if len(positional) != 2:
         print(__doc__)
         return 2
-    index_path, queries_file = argv
+    index_path, queries_file = positional
     queries = _read_queries(Path(queries_file), NUM_REQUESTS)
 
-    server = subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro",
-            "serve",
-            index_path,
-            "--port",
-            "0",
-            "--batch-window-ms",
-            "5",
-            "--max-batch-size",
-            "64",
-        ],
-        stdout=subprocess.PIPE,
-        text=True,
-    )
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        index_path,
+        "--port",
+        "0",
+        "--batch-window-ms",
+        "5",
+        "--max-batch-size",
+        "64",
+    ]
+    if shard_procs is not None:
+        command += ["--shard-procs", str(shard_procs)]
+    server = subprocess.Popen(command, stdout=subprocess.PIPE, text=True)
     try:
         deadline = time.monotonic() + 60
         port = None
@@ -131,13 +151,28 @@ def main(argv: list[str]) -> int:
         assert query_metrics["requests"] == NUM_REQUESTS, query_metrics
         assert query_metrics["errors"] == 0, query_metrics
 
+        shard_note = ""
+        if shard_procs is not None:
+            shards = index_stats.get("shards")
+            assert shards is not None, "routed serve exported no shards stats"
+            per_worker = shards["per_worker"]
+            assert len(per_worker) == shard_procs, per_worker
+            assert all(entry["alive"] for entry in per_worker), per_worker
+            shard_requests = sum(entry["requests"] for entry in per_worker)
+            assert shard_requests > 0, per_worker
+            assert shards["transport"] == "spawn", shards
+            shard_note = (
+                f", {shard_procs} shard workers alive "
+                f"({shard_requests} fan-out requests)"
+            )
+
         status, payload = _get(port, "/healthz")
         assert status == 200, (status, payload)
 
         print(
             f"OK: {NUM_REQUESTS} requests -> {engine_calls} engine calls "
             f"({coalesced} coalesced, mean occupancy {occupancy:.1f}), "
-            f"p99 {query_metrics['latency']['p99_ms']:.1f} ms"
+            f"p99 {query_metrics['latency']['p99_ms']:.1f} ms{shard_note}"
         )
         return 0
     finally:
