@@ -1,0 +1,265 @@
+"""Open-loop per-request latency: routed vs single-process mmap serving.
+
+The throughput benches answer "how fast can a saturated batch go"; this one
+answers the ROADMAP's unmeasured question — *per-request p50/p99 under
+mixed load* — the number a tail-latency SLO is written against.  One
+skew-adaptive index (``REPRO_BENCH_LATENCY_N`` vectors, default 20 000) is
+saved in the sharded v3 format and served three ways off the same files:
+
+* ``mmap``   — ordinary single-process mmap open (the baseline);
+* ``routed`` — :class:`repro.dist.ShardRouter` over
+  ``REPRO_BENCH_LATENCY_PROCS`` spawned shard workers;
+* ``slow``   — the same routed setup with one injected slow worker
+  (``delay:worker=0`` via the fault subsystem,
+  ``REPRO_BENCH_LATENCY_DELAY`` seconds, default 2 ms) — what a p99 looks
+  like when one box in the fan-out is sick.
+
+The workload is mixed — three single-query requests to every batch of
+eight — and **open loop**: arrivals follow a Poisson schedule fixed before
+any mode runs, and a request's latency is measured from its *scheduled*
+arrival, so a slow mode pays its queueing delay instead of silently
+slowing the arrival process down (no coordinated omission).  The arrival
+rate is calibrated to ~50% utilisation of the slowest mode, keeping every
+mode in steady state.
+
+The gated number is ``routed_p99_ratio`` (routed p99 over mmap p99),
+bounded **above** by a deliberately loose, core-aware guard: per-request
+IPC costs real latency — tens of percent is expected, especially on the
+starved CI box — but a ratio past the guard means the fan-out path broke
+(per-request reconnects, serialisation storms, lock convoys).
+``check_batch_regression.py`` enforces it from ``BENCH_latency.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.config import PersistenceConfig, SkewAdaptiveIndexConfig
+from repro.core.serialization import load_index, save_index
+from repro.core.skewed_index import SkewAdaptiveIndex
+from repro.dist import load_routed_index, shard_router_of
+from repro.evaluation.reporting import format_table
+from repro.testing import rng_for
+
+from conftest import warm_up
+
+#: Target utilisation of the slowest mode the arrival rate is calibrated to.
+UTILIZATION = 0.5
+
+#: Queries per batch request; the mix is 3 singles to 1 batch.
+BATCH_REQUEST_QUERIES = 8
+SINGLES_PER_BATCH = 3
+
+#: Upper guard on routed-p99 / mmap-p99 by usable core count.  Loose on
+#: purpose: the gate catches a broken fan-out path, not IPC overhead.
+FOUR_CORE_MAX_P99_RATIO = 30.0
+TWO_CORE_MAX_P99_RATIO = 60.0
+ONE_CORE_MAX_P99_RATIO = 120.0
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def _p99_ratio_bound(cores: int) -> float:
+    if cores >= 4:
+        return FOUR_CORE_MAX_P99_RATIO
+    if cores >= 2:
+        return TWO_CORE_MAX_P99_RATIO
+    return ONE_CORE_MAX_P99_RATIO
+
+
+def _mixed_requests(distribution, dataset, num_requests, rng):
+    """A mixed open-loop workload: mostly singles, every 4th a batch."""
+    requests = []
+    for number in range(num_requests):
+        if number % (SINGLES_PER_BATCH + 1) == SINGLES_PER_BATCH:
+            size = BATCH_REQUEST_QUERIES
+        else:
+            size = 1
+        queries = []
+        for _ in range(size):
+            if rng.random() < 0.5:
+                queries.append(
+                    distribution.sample_correlated(
+                        dataset[int(rng.integers(len(dataset)))], 0.8, rng
+                    )
+                )
+            else:
+                fresh = distribution.sample(rng)
+                queries.append(fresh if fresh else frozenset({0}))
+        requests.append(queries)
+    return requests
+
+
+def _closed_loop_mean_seconds(index, requests) -> float:
+    start = time.perf_counter()
+    for request in requests:
+        index.query_batch(request)
+    return (time.perf_counter() - start) / len(requests)
+
+
+def _open_loop_latencies(index, requests, schedule, workers) -> np.ndarray:
+    """Issue requests at their scheduled arrival times; latency per request
+    runs from the scheduled arrival to completion (queueing included)."""
+    clock_zero = time.perf_counter()
+
+    def execute(request, arrival: float) -> float:
+        index.query_batch(request)
+        return time.perf_counter() - clock_zero - arrival
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = []
+        for arrival, request in zip(schedule, requests):
+            delay = clock_zero + arrival - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            futures.append(pool.submit(execute, request, arrival))
+        return np.asarray([future.result() for future in futures])
+
+
+def _percentiles_ms(latencies: np.ndarray) -> tuple[float, float]:
+    p50, p99 = np.percentile(latencies, [50, 99])
+    return float(p50) * 1e3, float(p99) * 1e3
+
+
+def _run(distribution, num_vectors, num_requests, shard_procs, delay_seconds, save_dir):
+    dataset_rng = rng_for("bench:latency-queries")
+    vectors = distribution.sample_many(num_vectors, dataset_rng)
+    dataset = [vector if vector else frozenset({0}) for vector in vectors]
+    requests = _mixed_requests(distribution, dataset, num_requests, dataset_rng)
+
+    index = SkewAdaptiveIndex(distribution, config=SkewAdaptiveIndexConfig(seed=3))
+    index.build(dataset)
+    path = save_dir / "latency.v3"
+    save_index(index, path, config=PersistenceConfig(shards=8))
+
+    modes = {
+        "mmap": load_index(path, mode="mmap"),
+        "routed": load_routed_index(path, transport="spawn", shard_procs=shard_procs),
+        "slow": load_routed_index(
+            path,
+            transport="spawn",
+            shard_procs=shard_procs,
+            fault_spec=f"delay:worker=0:seconds={delay_seconds:g}",
+        ),
+    }
+    try:
+        warm_up(*(lambda m=mode: m.query_batch(requests[0]) for mode in modes.values()))
+        expected, _ = modes["mmap"].query_batch(requests[-1])
+        routed_results, _ = modes["routed"].query_batch(requests[-1])
+        assert routed_results == expected, (
+            "routed execution diverged from single-process results"
+        )
+
+        # Calibrate one shared Poisson arrival schedule off the slowest
+        # mode, so every mode faces identical offered load in steady state.
+        mean_seconds = _closed_loop_mean_seconds(
+            modes["slow"], requests[: min(32, len(requests))]
+        )
+        rate = UTILIZATION / max(mean_seconds, 1e-6)
+        schedule_rng = np.random.default_rng(rng_for("bench:latency-queries").integers(2**32))
+        schedule = np.cumsum(
+            schedule_rng.exponential(1.0 / rate, size=len(requests))
+        )
+
+        latencies = {
+            name: _open_loop_latencies(index, requests, schedule, workers=8)
+            for name, index in modes.items()
+        }
+    finally:
+        for name in ("routed", "slow"):
+            shard_router_of(modes[name]).close()
+
+    result = {
+        "num_vectors": num_vectors,
+        "num_requests": num_requests,
+        "shard_procs": shard_procs,
+        "delay_seconds": delay_seconds,
+        "offered_rps": rate,
+    }
+    for name, values in latencies.items():
+        p50_ms, p99_ms = _percentiles_ms(values)
+        result[f"{name}_p50_ms"] = p50_ms
+        result[f"{name}_p99_ms"] = p99_ms
+    result["routed_p99_ratio"] = result["routed_p99_ms"] / result["mmap_p99_ms"]
+    return result
+
+
+def test_serving_latency_percentiles(benchmark, bench_skewed_distribution, tmp_path):
+    num_vectors = int(os.environ.get("REPRO_BENCH_LATENCY_N", "20000"))
+    num_requests = int(os.environ.get("REPRO_BENCH_LATENCY_REQUESTS", "400"))
+    shard_procs = int(os.environ.get("REPRO_BENCH_LATENCY_PROCS", "2"))
+    delay_seconds = float(os.environ.get("REPRO_BENCH_LATENCY_DELAY", "0.002"))
+    cores = _usable_cores()
+    bound = _p99_ratio_bound(cores)
+
+    result = benchmark.pedantic(
+        _run,
+        kwargs=dict(
+            distribution=bench_skewed_distribution,
+            num_vectors=num_vectors,
+            num_requests=num_requests,
+            shard_procs=shard_procs,
+            delay_seconds=delay_seconds,
+            save_dir=tmp_path,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(
+        format_table(
+            [
+                {
+                    "mode": name,
+                    "p50 ms": round(result[f"{name}_p50_ms"], 2),
+                    "p99 ms": round(result[f"{name}_p99_ms"], 2),
+                }
+                for name in ("mmap", "routed", "slow")
+            ],
+            title=f"Open-loop mixed-load latency (n={num_vectors}, "
+            f"{result['offered_rps']:.0f} req/s offered, procs={shard_procs}, "
+            f"slow worker +{delay_seconds * 1e3:g}ms)",
+        )
+    )
+
+    benchmark.extra_info.update(
+        {
+            "paper_expectation": "routed fan-out trades per-request IPC "
+            "latency for process parallelism; one slow worker surfaces in "
+            "the tail, not a failure",
+            "num_vectors": num_vectors,
+            "num_requests": num_requests,
+            "shard_procs": shard_procs,
+            "usable_cores": cores,
+            "offered_rps": result["offered_rps"],
+            "delay_seconds": delay_seconds,
+            **{
+                key: result[key]
+                for name in ("mmap", "routed", "slow")
+                for key in (f"{name}_p50_ms", f"{name}_p99_ms")
+            },
+            "routed_p99_ratio": result["routed_p99_ratio"],
+            "max_routed_p99_ratio": bound,
+        }
+    )
+
+    # The injected 2ms delay must actually be visible in the sick mode's
+    # tail — otherwise the fault wrapper silently stopped injecting.
+    assert result["slow_p99_ms"] >= delay_seconds * 1e3, (
+        f"slow-worker p99 {result['slow_p99_ms']:.2f}ms is below the "
+        f"injected {delay_seconds * 1e3:g}ms delay: fault injection broke"
+    )
+    assert result["routed_p99_ratio"] <= bound, (
+        f"routed per-request p99 regression: {result['routed_p99_ratio']:.1f}x "
+        f"mmap p99 > {bound}x guard (cores={cores}, n={num_vectors})"
+    )

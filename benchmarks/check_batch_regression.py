@@ -37,7 +37,12 @@ default 1.5x):
 ``max_<key>`` bound):
 
 * ``mmap_resident_ratio`` — baseline-adjusted resident memory of an mmap
-  workload over the RAM-mode load (``bench_cold_start.py``).
+  workload over the RAM-mode load (``bench_cold_start.py``);
+* ``routed_p99_ratio`` — open-loop mixed-load per-request p99 of routed
+  serving over single-process mmap (``benchmarks/bench_latency.py``,
+  ``BENCH_latency.json``; exports a core-aware ``max_routed_p99_ratio``
+  guard — loose on purpose, it catches a broken fan-out path, not IPC
+  overhead).
 
 Stdlib-only on purpose so the gate can run anywhere the JSON exists::
 
@@ -69,7 +74,7 @@ GATED_KEYS = (
 )
 
 #: extra_info keys holding a gated upper-bounded ratio (<= ``max_<key>``).
-GATED_MAX_KEYS = ("mmap_resident_ratio",)
+GATED_MAX_KEYS = ("mmap_resident_ratio", "routed_p99_ratio")
 
 
 def check(report_path: Path, min_speedup: float) -> int:

@@ -173,6 +173,8 @@ class ChosenPathIndex:
         max_workers: int | None = None,
         deduplicate: bool = True,
         shard_workers: int | None = None,
+        allow_partial: bool = False,
+        deadline: float | None = None,
     ) -> tuple[list[int | None], BatchQueryStats]:
         """Batched queries through the shared vectorised engine subsystem."""
         self._require_built()
@@ -184,6 +186,8 @@ class ChosenPathIndex:
             max_workers=max_workers,
             deduplicate=deduplicate,
             shard_workers=shard_workers,
+            allow_partial=allow_partial,
+            deadline=deadline,
         )
 
     def query_candidates(self, query: SetLike) -> tuple[set[int], QueryStats]:
@@ -198,6 +202,8 @@ class ChosenPathIndex:
         max_workers: int | None = None,
         deduplicate: bool = True,
         shard_workers: int | None = None,
+        allow_partial: bool = False,
+        deadline: float | None = None,
     ) -> tuple[list[set[int]], BatchQueryStats]:
         """Batched candidate enumeration (used by the similarity join)."""
         self._require_built()
@@ -208,6 +214,8 @@ class ChosenPathIndex:
             max_workers=max_workers,
             deduplicate=deduplicate,
             shard_workers=shard_workers,
+            allow_partial=allow_partial,
+            deadline=deadline,
         )
 
     def query_candidates_arrays_batch(
@@ -217,6 +225,8 @@ class ChosenPathIndex:
         max_workers: int | None = None,
         deduplicate: bool = True,
         shard_workers: int | None = None,
+        allow_partial: bool = False,
+        deadline: float | None = None,
     ) -> tuple[list[np.ndarray], BatchQueryStats]:
         """Batched candidate enumeration as sorted id arrays (read-only)."""
         self._require_built()
@@ -227,6 +237,8 @@ class ChosenPathIndex:
             max_workers=max_workers,
             deduplicate=deduplicate,
             shard_workers=shard_workers,
+            allow_partial=allow_partial,
+            deadline=deadline,
         )
 
     @property

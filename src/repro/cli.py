@@ -329,6 +329,7 @@ def _cmd_query_batch(args: argparse.Namespace) -> int:
         batch_size=args.batch_size if args.batch_size is not None else DEFAULT_BATCH_SIZE,
         max_workers=args.workers,
         shard_workers=args.shard_workers,
+        allow_partial=args.allow_partial,
     )
     try:
         index = load_index(args.index, mode=args.load_mode)
@@ -404,6 +405,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 shard_workers=args.shard_workers,
                 shard_procs=args.shard_procs,
                 shard_addrs=tuple(args.shard_addr) if args.shard_addr else None,
+                fault_spec=args.fault_spec,
             )
         ]
         for extra in args.extra_index or []:
@@ -431,6 +433,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch_queries=args.max_batch_size,
             max_pending_queries=args.max_pending,
             retry_after_seconds=args.retry_after,
+            default_deadline_ms=args.default_deadline_ms,
         )
     except ValueError as error:
         print(f"cannot serve: {error}")
@@ -774,6 +777,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-probe shard fan-out on an mmap-loaded index (threads)",
     )
     query_batch.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="router-backed indexes: serve from live shards when a worker's "
+        "circuit breaker is open instead of failing (degraded results)",
+    )
+    query_batch.add_argument(
         "--candidates-only",
         action="store_true",
         help="enumerate merged candidate sets without verification "
@@ -868,6 +877,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="connect the positional index to a pre-started `repro "
         "shard-worker` at ADDR (host:port, a unix socket path, or "
         "unix:PATH; repeatable, one per worker)",
+    )
+    serve.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=None,
+        help="deadline budget for requests without an X-Repro-Deadline-Ms "
+        "header; expired requests answer 504 (default: no deadline)",
+    )
+    serve.add_argument(
+        "--fault-spec",
+        default=None,
+        help="inject deterministic faults into the shard transport of "
+        "router-backed indexes (a spec like 'crash:worker=0:count=2' or a "
+        "preset name; chaos testing only)",
     )
     serve.set_defaults(handler=_cmd_serve)
 

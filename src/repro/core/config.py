@@ -47,6 +47,13 @@ class BatchQueryConfig:
         workers.  These are *load-time* knobs consumed by
         :func:`repro.dist.load_routed_index` and the serving layer — they
         are not per-call arguments, so :meth:`as_kwargs` excludes them.
+    allow_partial:
+        Router-backed execution only: serve degraded answers from the
+        live shards when a worker's circuit breaker is open, instead of
+        failing the batch.  Degraded batches mark the missing shards in
+        ``BatchQueryStats.fanout`` (``completeness`` / ``shards_missing``)
+        so callers can tell a full answer from a partial one.  No effect
+        on single-process modes, which have no workers to lose.
     """
 
     batch_size: int = DEFAULT_BATCH_SIZE
@@ -55,6 +62,7 @@ class BatchQueryConfig:
     shard_workers: int | None = None
     shard_transport: str | None = None
     shard_procs: int | None = None
+    allow_partial: bool = False
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
@@ -77,12 +85,17 @@ class BatchQueryConfig:
 
     def as_kwargs(self) -> dict[str, object]:
         """Keyword arguments accepted by the ``query_batch`` methods."""
-        return {
+        kwargs: dict[str, object] = {
             "batch_size": self.batch_size,
             "max_workers": self.max_workers,
             "deduplicate": self.deduplicate_queries,
             "shard_workers": self.shard_workers,
         }
+        # Only forwarded when set: non-engine implementations (baselines)
+        # accept the four standard knobs but not the degraded-mode flag.
+        if self.allow_partial:
+            kwargs["allow_partial"] = True
+        return kwargs
 
 
 @dataclass(frozen=True)

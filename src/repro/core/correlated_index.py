@@ -152,6 +152,8 @@ class CorrelatedIndex:
         max_workers: int | None = None,
         deduplicate: bool = True,
         shard_workers: int | None = None,
+        allow_partial: bool = False,
+        deadline: float | None = None,
     ) -> tuple[list[int | None], BatchQueryStats]:
         """Answer many queries through the vectorised batch subsystem.
 
@@ -167,6 +169,8 @@ class CorrelatedIndex:
             max_workers=max_workers,
             deduplicate=deduplicate,
             shard_workers=shard_workers,
+            allow_partial=allow_partial,
+            deadline=deadline,
         )
 
     def query_candidates(self, query: SetLike) -> tuple[set[int], QueryStats]:
@@ -182,6 +186,8 @@ class CorrelatedIndex:
         max_workers: int | None = None,
         deduplicate: bool = True,
         shard_workers: int | None = None,
+        allow_partial: bool = False,
+        deadline: float | None = None,
     ) -> tuple[list[set[int]], BatchQueryStats]:
         """Batched candidate enumeration (the similarity join's primitive)."""
         self._require_built()
@@ -192,6 +198,8 @@ class CorrelatedIndex:
             max_workers=max_workers,
             deduplicate=deduplicate,
             shard_workers=shard_workers,
+            allow_partial=allow_partial,
+            deadline=deadline,
         )
 
     def query_candidates_arrays_batch(
@@ -201,6 +209,8 @@ class CorrelatedIndex:
         max_workers: int | None = None,
         deduplicate: bool = True,
         shard_workers: int | None = None,
+        allow_partial: bool = False,
+        deadline: float | None = None,
     ) -> tuple[list[np.ndarray], BatchQueryStats]:
         """Batched candidate enumeration as sorted id arrays (read-only)."""
         self._require_built()
@@ -211,6 +221,8 @@ class CorrelatedIndex:
             max_workers=max_workers,
             deduplicate=deduplicate,
             shard_workers=shard_workers,
+            allow_partial=allow_partial,
+            deadline=deadline,
         )
 
     @property

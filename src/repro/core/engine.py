@@ -63,6 +63,18 @@ from repro.similarity.measures import braun_blanquet
 SetLike = Iterable[int]
 SimilarityFunction = Callable[[frozenset[int], frozenset[int]], float]
 
+
+class DeadlineExceededError(TimeoutError):
+    """A query's deadline expired before execution finished.
+
+    Deadlines are absolute wall-clock epochs (``time.time()`` scale) so
+    they survive process and host boundaries: the serving layer stamps one
+    from ``X-Repro-Deadline-Ms``, the engine checks it between execution
+    chunks, and the shard router forwards it inside each probe frame so
+    workers stop working — not just stop being waited on — once the budget
+    is spent.  The serving layer maps this to ``504 Gateway Timeout``.
+    """
+
 #: Vectors per generation chunk during :meth:`FilterEngine.build`.
 _BUILD_GENERATION_BATCH = 512
 
@@ -649,6 +661,8 @@ class FilterEngine:
         max_workers: int | None = None,
         deduplicate: bool = True,
         shard_workers: int | None = None,
+        allow_partial: bool = False,
+        deadline: float | None = None,
     ) -> tuple[list[int | None], BatchQueryStats]:
         """Answer many queries at once, amortising work across the batch.
 
@@ -681,6 +695,18 @@ class FilterEngine:
             concurrently on a thread pool of this size.  ``None`` uses the
             engine default (:attr:`shard_workers`); no effect on unsharded
             stores.
+        allow_partial:
+            Router-backed mode only: serve from the live shard workers when
+            a worker's circuit breaker is open instead of failing the whole
+            batch.  The returned ``BatchQueryStats.fanout`` then reports
+            ``completeness < 1`` and the skipped ``shards_missing``;
+            results are exactly the full results restricted to the live
+            shards.  No effect (complete results) in single-process modes.
+        deadline:
+            Absolute wall-clock epoch (``time.time()`` scale) after which
+            execution stops with :class:`DeadlineExceededError`; checked
+            between execution chunks and propagated into shard-worker probe
+            frames in router-backed mode.
         """
         if mode not in ("first", "best"):
             raise ValueError(f"mode must be 'first' or 'best', got {mode!r}")
@@ -693,6 +719,8 @@ class FilterEngine:
             batch_size=batch_size,
             max_workers=max_workers,
             deduplicate=deduplicate,
+            allow_partial=allow_partial,
+            deadline=deadline,
         )
 
     def query_candidates_batch(
@@ -702,6 +730,8 @@ class FilterEngine:
         max_workers: int | None = None,
         deduplicate: bool = True,
         shard_workers: int | None = None,
+        allow_partial: bool = False,
+        deadline: float | None = None,
     ) -> tuple[list[set[int]], BatchQueryStats]:
         """Batched :meth:`query_candidates`: one candidate set per query.
 
@@ -709,7 +739,8 @@ class FilterEngine:
         Consumers that can work on arrays directly (the similarity join)
         should prefer :meth:`query_candidates_arrays_batch`, which skips the
         final set materialisation.  ``shard_workers`` is the per-probe shard
-        fan-out on sharded stores (see :meth:`query_batch`).
+        fan-out on sharded stores, ``allow_partial``/``deadline`` the
+        degraded-results and budget knobs (see :meth:`query_batch`).
         """
         effective_shard_workers = (
             shard_workers if shard_workers is not None else self._shard_workers
@@ -720,6 +751,8 @@ class FilterEngine:
             batch_size=batch_size,
             max_workers=max_workers,
             deduplicate=deduplicate,
+            allow_partial=allow_partial,
+            deadline=deadline,
         )
 
     def query_candidates_arrays_batch(
@@ -729,6 +762,8 @@ class FilterEngine:
         max_workers: int | None = None,
         deduplicate: bool = True,
         shard_workers: int | None = None,
+        allow_partial: bool = False,
+        deadline: float | None = None,
     ) -> tuple[list[np.ndarray], BatchQueryStats]:
         """Batched candidate enumeration returning sorted id arrays.
 
@@ -737,7 +772,9 @@ class FilterEngine:
         Python set.  Treat the arrays as read-only (duplicate queries share
         one array).  Results are elementwise equal to
         ``sorted(query_candidates(q)[0])``.  ``shard_workers`` is the
-        per-probe shard fan-out on sharded stores (see :meth:`query_batch`).
+        per-probe shard fan-out on sharded stores, ``allow_partial``/
+        ``deadline`` the degraded-results and budget knobs (see
+        :meth:`query_batch`).
         """
         effective_shard_workers = (
             shard_workers if shard_workers is not None else self._shard_workers
@@ -748,6 +785,8 @@ class FilterEngine:
             batch_size=batch_size,
             max_workers=max_workers,
             deduplicate=deduplicate,
+            allow_partial=allow_partial,
+            deadline=deadline,
         )
 
     def _execute_batched(
@@ -757,6 +796,8 @@ class FilterEngine:
         batch_size: int | None,
         max_workers: int | None,
         deduplicate: bool,
+        allow_partial: bool = False,
+        deadline: float | None = None,
     ) -> tuple[list[Any], BatchQueryStats]:
         """Shared orchestration: dedupe, chunk, (optionally) fan out, merge."""
         start = time.perf_counter()
@@ -767,6 +808,25 @@ class FilterEngine:
             raise ValueError(f"batch_size must be positive, got {chunk_size}")
         if max_workers is not None and max_workers <= 0:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
+        if deadline is not None and time.time() >= deadline:
+            raise DeadlineExceededError(
+                f"deadline expired {time.time() - deadline:.3f}s before the "
+                "batch started executing"
+            )
+        if deadline is not None:
+            # Check the budget at every chunk boundary — coarse-grained on
+            # purpose: a chunk is the unit of vectorised work, and stopping
+            # between chunks never leaves partially merged state behind.
+            inner_runner = chunk_runner
+
+            def chunk_runner(  # noqa: E306 - guarded rebind, same contract
+                chunk: list[frozenset[int]],
+            ) -> tuple[list[Any], BatchQueryStats]:
+                if deadline is not None and time.time() >= deadline:
+                    raise DeadlineExceededError(
+                        "deadline expired between execution chunks"
+                    )
+                return inner_runner(chunk)
 
         if deduplicate:
             position_of: dict[frozenset[int], int] = {}
@@ -787,20 +847,37 @@ class FilterEngine:
             unique_sets[index : index + chunk_size]
             for index in range(0, len(unique_sets), chunk_size)
         ]
-        if max_workers and len(chunks) > 1 and self._vectors:
-            # Pre-instantiate lazily-created shared state (hash levels, the
-            # candidate store, compacted postings, the tombstone mask) so
-            # worker threads only ever read it.
-            for generator in self._generators:
-                generator.ensure_hash_levels()
-            for inverted in self._indexes:
-                inverted.compact()
-            self._ensure_candidate_store()
-            self._removed_lookup()
-            with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                outputs = list(pool.map(chunk_runner, chunks))
-        else:
-            outputs = [chunk_runner(chunk) for chunk in chunks]
+        # Router-backed execution reads the request scope (degraded-results
+        # opt-in + deadline) from the router instance: the scope must be
+        # visible to the chunk threads of this batch, which an engine-side
+        # thread-local could not provide.
+        scoped_router = (
+            self._shard_router
+            if self._shard_router is not None
+            and hasattr(self._shard_router, "set_request_scope")
+            and (allow_partial or deadline is not None)
+            else None
+        )
+        if scoped_router is not None:
+            scoped_router.set_request_scope(allow_partial=allow_partial, deadline=deadline)
+        try:
+            if max_workers and len(chunks) > 1 and self._vectors:
+                # Pre-instantiate lazily-created shared state (hash levels,
+                # the candidate store, compacted postings, the tombstone
+                # mask) so worker threads only ever read it.
+                for generator in self._generators:
+                    generator.ensure_hash_levels()
+                for inverted in self._indexes:
+                    inverted.compact()
+                self._ensure_candidate_store()
+                self._removed_lookup()
+                with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                    outputs = list(pool.map(chunk_runner, chunks))
+            else:
+                outputs = [chunk_runner(chunk) for chunk in chunks]
+        finally:
+            if scoped_router is not None:
+                scoped_router.clear_request_scope()
 
         merged = BatchQueryStats(num_queries=len(query_sets))
         unique_results: list[Any] = []

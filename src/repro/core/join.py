@@ -24,7 +24,7 @@ from typing import Any, Iterable, Protocol, Sequence
 import numpy as np
 
 from repro.core.config import DEFAULT_BATCH_SIZE
-from repro.core.stats import QueryStats
+from repro.core.stats import QueryStats, ShardFanoutStats
 from repro.similarity.predicates import SimilarityPredicate
 
 SetLike = Iterable[int]
@@ -56,12 +56,19 @@ class JoinResult:
         Number of exact similarity evaluations performed.
     num_probes:
         Number of probe sets processed.
+    fanout:
+        Accumulated shard fan-out telemetry across all probe batches.  On a
+        degraded router-backed join (``allow_partial=True`` with an open
+        circuit breaker) ``fanout.completeness`` drops below 1 and
+        ``fanout.shards_missing`` lists the skipped shards; everywhere else
+        it stays at the pristine default.
     """
 
     pairs: list[tuple[int, int, float]] = field(default_factory=list)
     candidates_examined: int = 0
     similarity_evaluations: int = 0
     num_probes: int = 0
+    fanout: ShardFanoutStats = field(default_factory=ShardFanoutStats)
 
     @property
     def num_pairs(self) -> int:
@@ -78,6 +85,8 @@ def similarity_join(
     predicate: SimilarityPredicate,
     batch_size: int | None = None,
     shard_workers: int | None = None,
+    allow_partial: bool = False,
+    deadline: float | None = None,
 ) -> JoinResult:
     """Join a probe collection ``R`` against an already-built index over ``S``.
 
@@ -103,6 +112,15 @@ def similarity_join(
         resolves its touched key-range shards concurrently on a thread pool
         of this size.  ``None`` (default) resolves shards serially and is
         also what indexes without sharded storage expect.
+    allow_partial:
+        Router-backed indexes only: serve the join from live shards when a
+        worker's circuit breaker is open instead of failing (degraded
+        pairs are a subset of the full join).  Forwarded only when set, so
+        baseline indexes without the flag keep working.
+    deadline:
+        Absolute ``time.time()`` epoch after which the join must stop;
+        forwarded to the batched candidate enumeration (engine-family
+        indexes raise ``DeadlineExceededError`` past it).
     """
     result = JoinResult()
     probe_sets = [frozenset(int(item) for item in probe) for probe in probes]
@@ -133,12 +151,17 @@ def similarity_join(
         batch_kwargs: dict[str, Any] = {"batch_size": chunk_size}
         if shard_workers is not None:
             batch_kwargs["shard_workers"] = shard_workers
+        if allow_partial:
+            batch_kwargs["allow_partial"] = True
+        if deadline is not None:
+            batch_kwargs["deadline"] = deadline
         for start in range(0, len(probe_sets), chunk_size):
             block = probe_sets[start : start + chunk_size]
             candidate_lists, batch_stats = batch_method(block, **batch_kwargs)
             result.candidates_examined += sum(
                 stats.candidates_examined for stats in batch_stats.per_query
             )
+            result.fanout.add(batch_stats.fanout)
             for offset, (probe_set, candidates) in enumerate(zip(block, candidate_lists)):
                 if not probe_set:
                     continue
@@ -204,4 +227,5 @@ def similarity_self_join(
         candidates_examined=raw.candidates_examined,
         similarity_evaluations=raw.similarity_evaluations,
         num_probes=raw.num_probes,
+        fanout=raw.fanout,
     )

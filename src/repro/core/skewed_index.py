@@ -184,6 +184,8 @@ class SkewAdaptiveIndex:
         max_workers: int | None = None,
         deduplicate: bool = True,
         shard_workers: int | None = None,
+        allow_partial: bool = False,
+        deadline: float | None = None,
     ) -> tuple[list[int | None], BatchQueryStats]:
         """Answer many queries through the vectorised batch subsystem.
 
@@ -201,6 +203,8 @@ class SkewAdaptiveIndex:
             max_workers=max_workers,
             deduplicate=deduplicate,
             shard_workers=shard_workers,
+            allow_partial=allow_partial,
+            deadline=deadline,
         )
 
     def query_candidates(self, query: SetLike) -> tuple[set[int], QueryStats]:
@@ -216,6 +220,8 @@ class SkewAdaptiveIndex:
         max_workers: int | None = None,
         deduplicate: bool = True,
         shard_workers: int | None = None,
+        allow_partial: bool = False,
+        deadline: float | None = None,
     ) -> tuple[list[set[int]], BatchQueryStats]:
         """Batched candidate enumeration (the similarity join's primitive)."""
         self._require_built()
@@ -226,6 +232,8 @@ class SkewAdaptiveIndex:
             max_workers=max_workers,
             deduplicate=deduplicate,
             shard_workers=shard_workers,
+            allow_partial=allow_partial,
+            deadline=deadline,
         )
 
     def query_candidates_arrays_batch(
@@ -235,6 +243,8 @@ class SkewAdaptiveIndex:
         max_workers: int | None = None,
         deduplicate: bool = True,
         shard_workers: int | None = None,
+        allow_partial: bool = False,
+        deadline: float | None = None,
     ) -> tuple[list[np.ndarray], BatchQueryStats]:
         """Batched candidate enumeration as sorted id arrays (read-only).
 
@@ -249,6 +259,8 @@ class SkewAdaptiveIndex:
             max_workers=max_workers,
             deduplicate=deduplicate,
             shard_workers=shard_workers,
+            allow_partial=allow_partial,
+            deadline=deadline,
         )
 
     @property

@@ -131,6 +131,18 @@ class ShardFanoutStats:
     respawns:
         Successful automatic recoveries per worker (process respawns for
         the spawn transport, reconnects for sockets).
+    aborts:
+        Requests per worker that were abandoned because the query's
+        deadline expired (router-side pre-send checks plus worker-side
+        mid-probe aborts) — budget outcomes, not worker faults.
+    completeness:
+        Fraction of shards that contributed to the answer: ``1.0`` for a
+        full answer, lower when ``allow_partial`` served around open
+        circuit breakers.  Accumulating records keeps the minimum (the
+        worst batch's guarantee is the honest one to report).
+    shards_missing:
+        Sorted shard ids whose postings are absent from a degraded
+        answer (empty for full answers); accumulating unions them.
     """
 
     workers: int = 0
@@ -139,6 +151,9 @@ class ShardFanoutStats:
     seconds: list[float] = field(default_factory=list)
     failures: list[int] = field(default_factory=list)
     respawns: list[int] = field(default_factory=list)
+    aborts: list[int] = field(default_factory=list)
+    completeness: float = 1.0
+    shards_missing: list[int] = field(default_factory=list)
 
     @classmethod
     def sized(cls, workers: int) -> "ShardFanoutStats":
@@ -150,6 +165,7 @@ class ShardFanoutStats:
             seconds=[0.0] * workers,
             failures=[0] * workers,
             respawns=[0] * workers,
+            aborts=[0] * workers,
         )
 
     def _resize(self, workers: int) -> None:
@@ -161,6 +177,7 @@ class ShardFanoutStats:
         self.seconds.extend([0.0] * grow)
         self.failures.extend([0] * grow)
         self.respawns.extend([0] * grow)
+        self.aborts.extend([0] * max(0, workers - len(self.aborts)))
         self.workers = workers
 
     def add(self, other: "ShardFanoutStats") -> None:
@@ -168,15 +185,26 @@ class ShardFanoutStats:
 
         Worker slots are matched by position; the record grows to the wider
         of the two, so folding a routed batch into a fresh accumulator just
-        adopts its shape.
+        adopts its shape.  Degradation markers accumulate pessimistically:
+        ``completeness`` keeps the minimum and ``shards_missing`` the
+        union, so a merged record never overstates what was answered.
         """
         self._resize(other.workers)
+        if len(self.aborts) < self.workers:
+            self.aborts.extend([0] * (self.workers - len(self.aborts)))
         for worker in range(other.workers):
             self.requests[worker] += other.requests[worker]
             self.rows[worker] += other.rows[worker]
             self.seconds[worker] += other.seconds[worker]
             self.failures[worker] += other.failures[worker]
             self.respawns[worker] += other.respawns[worker]
+            if worker < len(other.aborts):
+                self.aborts[worker] += other.aborts[worker]
+        self.completeness = min(self.completeness, other.completeness)
+        if other.shards_missing:
+            self.shards_missing = sorted(
+                set(self.shards_missing) | set(other.shards_missing)
+            )
 
     @property
     def total_requests(self) -> int:
@@ -204,21 +232,32 @@ class ShardFanoutStats:
         apart is corrupt, not merely stale.
         """
         fields = _known_fields(cls, payload, strict)
+        workers = int(fields.get("workers", 0))
         record = cls(
-            workers=int(fields.get("workers", 0)),
+            workers=workers,
             requests=[int(v) for v in fields.get("requests", [])],
             rows=[int(v) for v in fields.get("rows", [])],
             seconds=[float(v) for v in fields.get("seconds", [])],
             failures=[int(v) for v in fields.get("failures", [])],
             respawns=[int(v) for v in fields.get("respawns", [])],
+            # Absent in records written before degraded-mode support:
+            # default to "no aborts, full answer" rather than rejecting.
+            aborts=[int(v) for v in fields.get("aborts", [0] * workers)],
+            completeness=float(fields.get("completeness", 1.0)),
+            shards_missing=sorted(int(v) for v in fields.get("shards_missing", [])),
         )
-        for name in ("requests", "rows", "seconds", "failures", "respawns"):
+        for name in ("requests", "rows", "seconds", "failures", "respawns", "aborts"):
             values = getattr(record, name)
             if len(values) != record.workers:
                 raise ValueError(
                     f"ShardFanoutStats payload is inconsistent: {name} has "
                     f"{len(values)} entries for {record.workers} workers"
                 )
+        if not 0.0 <= record.completeness <= 1.0:
+            raise ValueError(
+                f"ShardFanoutStats payload is inconsistent: completeness "
+                f"{record.completeness} is outside [0, 1]"
+            )
         return record
 
 

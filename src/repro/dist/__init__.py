@@ -9,7 +9,10 @@ TCP/unix sockets) and merges the returned CSR slices bit-identically to
 single-process mmap mode.  See ``docs/distributed.md``.
 """
 
+from repro.core.engine import DeadlineExceededError
 from repro.dist import protocol
+from repro.dist.breaker import CircuitBreaker
+from repro.dist.faults import FAULT_PRESETS, FaultClause, FaultSpec, FaultyTransport
 from repro.dist.loader import default_shard_procs, load_routed_index, shard_router_of
 from repro.dist.router import RouterBackedFilterIndex, ShardRouter
 from repro.dist.transport import (
@@ -27,7 +30,13 @@ from repro.dist.transport import (
 from repro.dist.worker import ShardServer, ShardWorkerState, pipe_worker_main
 
 __all__ = [
+    "CircuitBreaker",
     "DEFAULT_TIMEOUT_SECONDS",
+    "DeadlineExceededError",
+    "FAULT_PRESETS",
+    "FaultClause",
+    "FaultSpec",
+    "FaultyTransport",
     "InprocTransport",
     "RouterBackedFilterIndex",
     "ShardRouter",

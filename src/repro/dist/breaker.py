@@ -1,0 +1,219 @@
+"""Per-worker circuit breakers for the shard router.
+
+The transports recover from a single failure transparently (one respawn
+for spawned workers, one reconnect for sockets), but a worker that keeps
+failing must not keep eating a full timeout per request: the breaker
+turns repeated failures into fast failures with an honest retry hint.
+
+State machine (the classic three states)::
+
+    closed ──failure──▶ open ──backoff elapsed──▶ half-open
+      ▲                   ▲                            │
+      │                   └───────probe fails──────────┤
+      └───────────────────probe succeeds───────────────┘
+
+* **closed** — requests flow; a failure opens the breaker.
+* **open** — requests fast-fail without touching the transport until the
+  backoff expires.  The backoff doubles with each consecutive incident
+  (``base * 2^(n-1)``, capped at ``max``) plus deterministic seeded
+  jitter so a fleet of routers does not thunder-herd a recovering worker.
+* **half-open** — exactly one in-flight probe request is let through; its
+  success closes the breaker and resets the backoff, its failure re-opens
+  with a doubled backoff.
+
+The clock and jitter source are injectable so tests (and the fault
+harness) can drive the state machine deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Any, Callable
+
+#: Breaker states, with the numeric encoding ``/metrics`` exposes as
+#: ``repro_shard_breaker_state`` (0 is healthy so dashboards can alert on
+#: ``> 0``).
+STATE_CLOSED = "closed"
+STATE_HALF_OPEN = "half_open"
+STATE_OPEN = "open"
+
+STATE_CODES = {STATE_CLOSED: 0, STATE_HALF_OPEN: 1, STATE_OPEN: 2}
+
+#: First backoff after a failure; doubles per consecutive incident.
+DEFAULT_BASE_BACKOFF_SECONDS = 0.25
+
+#: Backoff growth cap — a worker that has been dead for an hour is still
+#: probed every ``max`` seconds, so recovery is never more than one
+#: backoff away.
+DEFAULT_MAX_BACKOFF_SECONDS = 30.0
+
+
+class CircuitBreaker:
+    """One worker's failure gate: closed → open → half-open probing.
+
+    Thread-safe; every method takes the internal lock, and the router
+    calls them from its fan-out pool threads.
+
+    Parameters
+    ----------
+    base_backoff_seconds / max_backoff_seconds:
+        Exponential backoff schedule for the open state: the ``n``-th
+        consecutive incident waits ``min(base * 2^(n-1), max)`` seconds
+        (plus jitter) before the next half-open probe.
+    jitter_ratio:
+        Each backoff is stretched by ``U[0, jitter_ratio]`` of itself,
+        drawn from a ``seed``-deterministic RNG.
+    seed:
+        Jitter RNG seed; the router seeds each worker's breaker with the
+        worker index so schedules are reproducible but not in lockstep.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        base_backoff_seconds: float = DEFAULT_BASE_BACKOFF_SECONDS,
+        max_backoff_seconds: float = DEFAULT_MAX_BACKOFF_SECONDS,
+        jitter_ratio: float = 0.1,
+        seed: int = 0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if base_backoff_seconds <= 0:
+            raise ValueError(
+                f"base_backoff_seconds must be positive, got {base_backoff_seconds}"
+            )
+        if max_backoff_seconds < base_backoff_seconds:
+            raise ValueError(
+                f"max_backoff_seconds ({max_backoff_seconds}) must be at least "
+                f"base_backoff_seconds ({base_backoff_seconds})"
+            )
+        if not 0.0 <= jitter_ratio <= 1.0:
+            raise ValueError(f"jitter_ratio must be in [0, 1], got {jitter_ratio}")
+        self._base = float(base_backoff_seconds)
+        self._max = float(max_backoff_seconds)
+        self._jitter_ratio = float(jitter_ratio)
+        self._rng = random.Random(seed)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = STATE_CLOSED
+        self._consecutive_incidents = 0
+        self._open_until = 0.0
+        self._last_backoff = 0.0
+        self._probe_inflight = False
+
+    # ------------------------------------------------------------------ #
+    # Gate
+    # ------------------------------------------------------------------ #
+
+    def acquire(self) -> bool:
+        """Whether a request may reach the worker right now.
+
+        In the open state this returns ``False`` until the backoff
+        elapses, then transitions to half-open and admits exactly one
+        probe; concurrent requests keep fast-failing until the probe's
+        outcome is recorded.
+        """
+        with self._lock:
+            if self._state == STATE_CLOSED:
+                return True
+            if self._state == STATE_OPEN:
+                if self._clock() < self._open_until:
+                    return False
+                self._state = STATE_HALF_OPEN
+                self._probe_inflight = True
+                return True
+            # Half-open: one probe at a time.
+            if self._probe_inflight:
+                return False
+            self._probe_inflight = True
+            return True
+
+    @property
+    def probing(self) -> bool:
+        """True while a half-open recovery probe is in flight."""
+        with self._lock:
+            return self._state == STATE_HALF_OPEN and self._probe_inflight
+
+    # ------------------------------------------------------------------ #
+    # Outcomes
+    # ------------------------------------------------------------------ #
+
+    def record_success(self) -> None:
+        """The worker answered: close the breaker, reset the backoff."""
+        with self._lock:
+            self._state = STATE_CLOSED
+            self._consecutive_incidents = 0
+            self._open_until = 0.0
+            self._last_backoff = 0.0
+            self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        """The worker failed: (re-)open with a doubled, jittered backoff."""
+        with self._lock:
+            self._consecutive_incidents += 1
+            backoff = min(
+                self._max, self._base * (2.0 ** (self._consecutive_incidents - 1))
+            )
+            backoff *= 1.0 + self._jitter_ratio * self._rng.random()
+            self._last_backoff = backoff
+            self._open_until = self._clock() + backoff
+            self._state = STATE_OPEN
+            self._probe_inflight = False
+
+    def record_neutral(self) -> None:
+        """Outcome that says nothing about worker health (e.g. a deadline
+        expiring mid-probe): release the half-open probe slot so the next
+        request can probe, without closing or re-opening the breaker."""
+        with self._lock:
+            self._probe_inflight = False
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+
+    @property
+    def state(self) -> str:
+        """Current state name; an elapsed open backoff reads as half-open
+        (the next request would be admitted as the probe)."""
+        with self._lock:
+            if self._state == STATE_OPEN and self._clock() >= self._open_until:
+                return STATE_HALF_OPEN
+            return self._state
+
+    @property
+    def state_code(self) -> int:
+        """Numeric state for the ``repro_shard_breaker_state`` gauge."""
+        return STATE_CODES[self.state]
+
+    @property
+    def consecutive_incidents(self) -> int:
+        with self._lock:
+            return self._consecutive_incidents
+
+    def retry_after(self) -> float:
+        """Seconds until the next request could be admitted (0 if now)."""
+        with self._lock:
+            if self._state == STATE_CLOSED:
+                return 0.0
+            return max(0.0, self._open_until - self._clock())
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-friendly state for ``router.snapshot()`` / ``/stats``."""
+        with self._lock:
+            state = self._state
+            if state == STATE_OPEN and self._clock() >= self._open_until:
+                state = STATE_HALF_OPEN
+            return {
+                "state": state,
+                "state_code": STATE_CODES[state],
+                "consecutive_incidents": self._consecutive_incidents,
+                "retry_after_seconds": (
+                    0.0
+                    if self._state == STATE_CLOSED
+                    else max(0.0, self._open_until - self._clock())
+                ),
+                "last_backoff_seconds": self._last_backoff,
+            }

@@ -25,6 +25,7 @@ from repro.core.serialization import (
     _restore_engine,
 )
 from repro.core.stats import BuildStats
+from repro.dist.faults import FaultSpec, FaultyTransport, fault_spec_from_env
 from repro.dist.router import RouterBackedFilterIndex, ShardRouter
 from repro.dist.transport import (
     DEFAULT_TIMEOUT_SECONDS,
@@ -45,6 +46,7 @@ def load_routed_index(
     shard_procs: int | None = None,
     shard_addrs: Sequence[str] | None = None,
     timeout: float = DEFAULT_TIMEOUT_SECONDS,
+    fault_spec: str | FaultSpec | None = None,
 ) -> Any:
     """Load a v3 index with probes fanned out to shard workers.
 
@@ -72,6 +74,13 @@ def load_routed_index(
         treated as dead (killed + respawned once for ``spawn``,
         reconnected once for ``socket``) before
         :class:`~repro.dist.transport.ShardUnavailableError` escapes.
+    fault_spec:
+        Optional chaos schedule (a :class:`~repro.dist.faults.FaultSpec`,
+        a spec string, or a preset name like ``"crash-one-worker"``) that
+        wraps the transport in a
+        :class:`~repro.dist.faults.FaultyTransport`.  When unset, the
+        ``REPRO_FAULTS`` environment variable is consulted, so chaos
+        smoke runs can break an unmodified serving process from outside.
 
     Returns the same index type ``load_index`` would, with its engine's
     ``shard_router`` set; close the router (``shard_router_of(index).close()``)
@@ -107,6 +116,11 @@ def load_routed_index(
         shard_addrs=shard_addrs,
         timeout=timeout,
     )
+    spec = FaultSpec.from_spec(fault_spec)
+    if spec is None:
+        spec = fault_spec_from_env()
+    if spec is not None:
+        transport_obj = FaultyTransport(transport_obj, spec)
     try:
         if transport == "socket":
             # Remote workers must be serving a compatible index.

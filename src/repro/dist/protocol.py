@@ -14,10 +14,14 @@ Frame layout::
     header  u32 little-endian length, then that many JSON bytes
     arrays  raw little-endian bytes at the offsets the header declares
 
-The header is ``{"meta": {...}, "arrays": {name: {dtype, shape, offset}}}``
-with offsets relative to the end of the header.  :func:`decode_message`
-returns zero-copy ``np.frombuffer`` views into the received buffer, so a
-worker's probe response is never copied again on the router side.
+The header is ``{"meta": {...}, "arrays": {name: {dtype, shape, offset}},
+"data_len": N, "crc32": C}`` with offsets relative to the end of the
+header.  ``data_len``/``crc32`` protect the array bytes against a faulty
+network: a flipped payload byte (or a declared array that runs past the
+received bytes) raises an actionable :class:`ProtocolError` instead of
+decoding garbage.  :func:`decode_message` returns zero-copy
+``np.frombuffer`` views into the received buffer, so a worker's probe
+response is never copied again on the router side.
 
 Socket transports add one more u32 length prefix around the frame
 (:func:`send_frame` / :func:`recv_frame`); the multiprocessing pipe
@@ -39,6 +43,7 @@ from __future__ import annotations
 import json
 import socket
 import struct
+import zlib
 from typing import Any, Mapping
 
 import numpy as np
@@ -50,6 +55,13 @@ MESSAGE_SHUTDOWN = "shutdown"
 
 STATUS_OK = "ok"
 STATUS_ERROR = "error"
+
+#: ``meta["code"]`` of an error response meaning "the request's deadline
+#: expired before the worker finished" — an outcome of the request's own
+#: budget, not a worker fault, so transports surface it as
+#: :class:`~repro.core.engine.DeadlineExceededError` and the router does
+#: not count it against the worker's circuit breaker.
+ERROR_CODE_DEADLINE = "deadline"
 
 _MAGIC = b"RPD1"
 _PREFIX = struct.Struct("<4sI")  # magic, header length
@@ -86,7 +98,17 @@ def encode_message(
         }
         contiguous.append(array)
         cursor += array.nbytes
-    header = json.dumps({"meta": dict(meta), "arrays": entries}).encode("utf-8")
+    checksum = 0
+    for array in contiguous:
+        checksum = zlib.crc32(memoryview(array).cast("B"), checksum)
+    header = json.dumps(
+        {
+            "meta": dict(meta),
+            "arrays": entries,
+            "data_len": cursor,
+            "crc32": checksum,
+        }
+    ).encode("utf-8")
     parts = [_PREFIX.pack(_MAGIC, len(header)), header]
     parts.extend(memoryview(array).cast("B") for array in contiguous)
     return b"".join(parts)
@@ -104,9 +126,18 @@ def decode_message(payload: bytes) -> tuple[dict[str, Any], dict[str, np.ndarray
     magic, header_len = _PREFIX.unpack_from(payload)
     if magic != _MAGIC:
         raise ProtocolError(f"bad frame magic {magic!r}")
+    if header_len > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"declared header length {header_len} exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame cap (corrupt length prefix?)"
+        )
     data_start = _PREFIX.size + header_len
     if len(payload) < data_start:
-        raise ProtocolError("frame truncated inside its header")
+        raise ProtocolError(
+            f"frame truncated inside its header: the prefix declares "
+            f"{header_len} header bytes but only "
+            f"{len(payload) - _PREFIX.size} follow"
+        )
     try:
         header = json.loads(payload[_PREFIX.size : data_start].decode("utf-8"))
         meta = header["meta"]
@@ -114,6 +145,33 @@ def decode_message(payload: bytes) -> tuple[dict[str, Any], dict[str, np.ndarray
         assert isinstance(meta, dict) and isinstance(entries, dict)
     except (ValueError, KeyError, AssertionError) as error:
         raise ProtocolError(f"corrupt message header: {error}") from error
+    declared_len: int | None = None
+    if "data_len" in header:
+        try:
+            declared_len = int(header["data_len"])
+        except (TypeError, ValueError) as error:
+            raise ProtocolError(f"corrupt data_len in header: {error}") from error
+        if declared_len < 0 or declared_len > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"declared payload length {declared_len} is outside "
+                f"[0, {MAX_FRAME_BYTES}]"
+            )
+        if data_start + declared_len > len(payload):
+            raise ProtocolError(
+                f"frame truncated: the header declares {declared_len} array "
+                f"bytes but only {len(payload) - data_start} arrived"
+            )
+    if "crc32" in header:
+        if declared_len is None:
+            raise ProtocolError("header carries crc32 but no data_len to check it over")
+        received = zlib.crc32(memoryview(payload)[data_start : data_start + declared_len])
+        expected = int(header["crc32"]) & 0xFFFFFFFF
+        if received != expected:
+            raise ProtocolError(
+                f"payload checksum mismatch: header declares crc32 "
+                f"{expected:#010x} but the received bytes hash to "
+                f"{received:#010x} (corrupt frame)"
+            )
     arrays: dict[str, np.ndarray] = {}
     for name, entry in entries.items():
         try:
@@ -123,11 +181,22 @@ def decode_message(payload: bytes) -> tuple[dict[str, Any], dict[str, np.ndarray
         except (KeyError, TypeError, ValueError) as error:
             raise ProtocolError(f"corrupt entry for array {name!r}: {error}") from error
         count = int(np.prod(shape, dtype=np.int64)) if shape else 1
-        end = data_start + offset + dtype.itemsize * count
+        nbytes = dtype.itemsize * count
+        if nbytes > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"array {name!r} declares {nbytes} bytes, above the "
+                f"{MAX_FRAME_BYTES}-byte frame cap (corrupt shape?)"
+            )
+        end = data_start + offset + nbytes
         if offset < 0 or end > len(payload):
             raise ProtocolError(
                 f"frame truncated: array {name!r} needs bytes up to {end} "
                 f"but the frame holds {len(payload)}"
+            )
+        if declared_len is not None and offset + nbytes > declared_len:
+            raise ProtocolError(
+                f"array {name!r} runs past the declared payload "
+                f"({offset + nbytes} > data_len {declared_len})"
             )
         arrays[name] = np.frombuffer(
             payload, dtype=dtype, count=count, offset=data_start + offset
@@ -135,9 +204,17 @@ def decode_message(payload: bytes) -> tuple[dict[str, Any], dict[str, np.ndarray
     return meta, arrays
 
 
-def encode_error(kind: str, message: str) -> bytes:
-    """An error response frame carrying a human-readable reason."""
-    return encode_message({"kind": kind, "status": STATUS_ERROR, "error": message})
+def encode_error(kind: str, message: str, code: str | None = None) -> bytes:
+    """An error response frame carrying a human-readable reason.
+
+    ``code`` is an optional machine-readable discriminator (e.g.
+    :data:`ERROR_CODE_DEADLINE`) the transport can dispatch on without
+    parsing the message text.
+    """
+    meta: dict[str, Any] = {"kind": kind, "status": STATUS_ERROR, "error": message}
+    if code is not None:
+        meta["code"] = code
+    return encode_message(meta)
 
 
 def encode_probe_request(
@@ -145,10 +222,20 @@ def encode_probe_request(
     keys: np.ndarray,
     probe_items: np.ndarray,
     probe_offsets: np.ndarray,
+    deadline: float | None = None,
 ) -> bytes:
-    """A probe request: folded keys plus the probes' paths in CSR form."""
+    """A probe request: folded keys plus the probes' paths in CSR form.
+
+    ``deadline`` is an absolute wall-clock epoch (``time.time()`` scale —
+    the only clock that crosses process and host boundaries); a worker
+    that sees it in the past answers a deadline-coded error instead of
+    doing the work.
+    """
+    meta: dict[str, Any] = {"kind": MESSAGE_PROBE, "repetition": int(repetition)}
+    if deadline is not None:
+        meta["deadline"] = float(deadline)
     return encode_message(
-        {"kind": MESSAGE_PROBE, "repetition": int(repetition)},
+        meta,
         {
             "keys": np.ascontiguousarray(keys, dtype=np.uint64),
             "probe_items": np.ascontiguousarray(probe_items, dtype=np.int64),

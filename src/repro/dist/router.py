@@ -27,11 +27,18 @@ from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.core.engine import DeadlineExceededError
 from repro.core.inverted_index import _segment_gather
 from repro.core.mmap_store import MmapReadOnlyError, route_keys
 from repro.core.paths import paths_to_csr
 from repro.core.stats import ShardFanoutStats
-from repro.dist.transport import ShardTransport
+from repro.dist import protocol
+from repro.dist.breaker import CircuitBreaker
+from repro.dist.transport import (
+    ShardTransport,
+    ShardUnavailableError,
+    ShardWorkerError,
+)
 from repro.hashing.pairwise import fold_path
 
 Path = tuple[int, ...]
@@ -78,6 +85,14 @@ class ShardRouter:
         self._lifetime = ShardFanoutStats.sized(workers)
         self._seen_failures = [0] * workers
         self._seen_recoveries = [0] * workers
+        # One breaker per worker, seeded by index: jitter schedules are
+        # reproducible but the workers never back off in lockstep.
+        self._breakers = [CircuitBreaker(seed=worker) for worker in range(workers)]
+        self._retries = [0] * workers
+        # Per-request execution scope (degraded mode + deadline), set by
+        # the engine around each batch it executes through this router.
+        self._scope_allow_partial = False
+        self._scope_deadline: float | None = None
         self._pool = (
             ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-router")
             if workers > 1
@@ -101,6 +116,37 @@ class ShardRouter:
     def fences(self) -> np.ndarray:
         return self._fences
 
+    @property
+    def breakers(self) -> list[CircuitBreaker]:
+        """Per-worker circuit breakers (index-aligned with workers)."""
+        return self._breakers
+
+    # ------------------------------------------------------------------ #
+    # Request scope (degraded mode + deadline)
+    # ------------------------------------------------------------------ #
+
+    def set_request_scope(
+        self, *, allow_partial: bool = False, deadline: float | None = None
+    ) -> None:
+        """Arm degraded-mode / deadline handling for the next fan-outs.
+
+        The engine sets this around each batch it executes through the
+        router (and clears it in a ``finally``).  It is instance-level
+        rather than thread-local because the engine's chunk *threads*
+        perform the fan-outs — they must all see the scope the batch's
+        submitting thread set.  The serving layer serialises engine calls
+        on a single executor lane, so concurrent batches with different
+        scopes do not occur there; direct multi-threaded engine users
+        should dedicate a routed index per thread.
+        """
+        self._scope_allow_partial = bool(allow_partial)
+        self._scope_deadline = None if deadline is None else float(deadline)
+
+    def clear_request_scope(self) -> None:
+        """Reset the request scope to strict/full-answer semantics."""
+        self._scope_allow_partial = False
+        self._scope_deadline = None
+
     # ------------------------------------------------------------------ #
     # Fan-out accounting
     # ------------------------------------------------------------------ #
@@ -111,6 +157,23 @@ class ShardRouter:
                 record.requests[worker] += 1
                 record.rows[worker] += rows
                 record.seconds[worker] += seconds
+
+    def _record_abort(self, worker: int) -> None:
+        with self._stats_lock:
+            for record in (self._pending, self._lifetime):
+                record.aborts[worker] += 1
+
+    def _record_missing(self, shards: np.ndarray) -> None:
+        """Mark shards whose postings are absent from the current batch."""
+        shard_list = [int(shard) for shard in np.unique(shards)]
+        with self._stats_lock:
+            merged = set(self._pending.shards_missing)
+            merged.update(shard_list)
+            self._pending.shards_missing = sorted(merged)
+
+    def _record_retry(self, worker: int) -> None:
+        with self._stats_lock:
+            self._retries[worker] += 1
 
     def _fold_transport_counters(self) -> None:
         """Fold new transport failures/recoveries into both accumulators."""
@@ -137,6 +200,8 @@ class ShardRouter:
             self._fold_transport_counters()
             taken = self._pending
             self._pending = ShardFanoutStats.sized(self.num_workers)
+        if taken.shards_missing:
+            taken.completeness = 1.0 - len(taken.shards_missing) / self.num_shards
         return taken
 
     def snapshot(self) -> dict[str, Any]:
@@ -145,6 +210,8 @@ class ShardRouter:
             self._fold_transport_counters()
             lifetime = ShardFanoutStats()
             lifetime.add(self._lifetime)
+        with self._stats_lock:
+            retries = list(self._retries)
         health = self._transport.health()
         per_worker = []
         for worker in range(self.num_workers):
@@ -155,6 +222,9 @@ class ShardRouter:
                 seconds=lifetime.seconds[worker],
                 failures=lifetime.failures[worker],
                 respawns=lifetime.respawns[worker],
+                aborts=lifetime.aborts[worker],
+                retries=retries[worker],
+                breaker=self._breakers[worker].snapshot(),
             )
             per_worker.append(entry)
         return {
@@ -193,18 +263,72 @@ class ShardRouter:
         route = route_keys(self._fences, keys_arr)
         worker_route = self._shard_to_worker[route]
         touched = np.unique(worker_route).tolist()
+        # Snapshot the request scope once: the fan-out threads below must
+        # all run under the scope of the batch that submitted them.
+        allow_partial = self._scope_allow_partial
+        deadline = self._scope_deadline
+
+        def skip(worker: int, members: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+            """A degraded part: this worker's probes answer zero postings."""
+            self._record_missing(route[members])
+            return members, np.zeros(members.size, dtype=np.int64), empty
 
         def call(worker: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
             members = np.flatnonzero(worker_route == worker)
+            if deadline is not None and time.time() >= deadline:
+                self._record_abort(worker)
+                raise DeadlineExceededError(
+                    f"deadline expired before the fan-out to worker {worker}"
+                )
+            breaker = self._breakers[worker]
+            if not breaker.acquire():
+                if allow_partial:
+                    return skip(worker, members)
+                raise ShardUnavailableError(
+                    f"shard worker {worker} circuit breaker is "
+                    f"{breaker.state}: failing fast instead of waiting on a "
+                    "known-bad worker",
+                    retry_after=breaker.retry_after(),
+                )
+            if breaker.probing:
+                # This admission is a half-open recovery probe.
+                self._record_retry(worker)
             sub_keys = keys_arr[members]
             sub_lengths = probe_lengths[members]
             sub_items = _segment_gather(probe_items, probe_starts[members], sub_lengths)
             sub_offsets = np.zeros(members.size + 1, dtype=np.int64)
             np.cumsum(sub_lengths, out=sub_offsets[1:])
             started = time.perf_counter()
-            lengths, gathered = self._transport.probe(
-                worker, repetition, sub_keys, sub_items, sub_offsets
-            )
+            try:
+                lengths, gathered = self._transport.probe(
+                    worker, repetition, sub_keys, sub_items, sub_offsets,
+                    deadline=deadline,
+                )
+            except DeadlineExceededError:
+                # The request's budget ran out, which says nothing about
+                # the worker's health: release the breaker slot untouched.
+                breaker.record_neutral()
+                self._record_abort(worker)
+                raise
+            except ShardWorkerError:
+                # The worker answered (an application error): it is alive,
+                # so the incident streak resets before the error surfaces.
+                breaker.record_success()
+                raise
+            except (ShardUnavailableError, protocol.ProtocolError) as error:
+                breaker.record_failure()
+                if allow_partial:
+                    return skip(worker, members)
+                if isinstance(error, ShardUnavailableError):
+                    if error.retry_after is None:
+                        error.retry_after = breaker.retry_after()
+                    raise
+                raise ShardUnavailableError(
+                    f"shard worker {worker} answered an undecodable frame: "
+                    f"{error}",
+                    retry_after=breaker.retry_after(),
+                ) from error
+            breaker.record_success()
             self._record(
                 worker, rows=int(gathered.size), seconds=time.perf_counter() - started
             )

@@ -25,11 +25,13 @@ import multiprocessing
 import multiprocessing.connection
 import socket
 import threading
+import time
 from pathlib import Path as FilePath
 from typing import Any, Sequence
 
 import numpy as np
 
+from repro.core.engine import DeadlineExceededError
 from repro.dist import protocol
 from repro.dist.worker import ShardWorkerState, pipe_worker_main
 
@@ -48,7 +50,14 @@ class ShardUnavailableError(RuntimeError):
 
     The serving layer maps this to ``503`` + ``Retry-After``: the request
     may succeed on retry once the worker is respawned or reconnected.
+    ``retry_after`` carries the worker's actual backoff state in seconds
+    when the router's circuit breaker produced (or annotated) the error;
+    ``None`` means "no schedule known — retry whenever".
     """
+
+    def __init__(self, message: str, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 def worker_shard_ranges(num_shards: int, num_workers: int) -> list[tuple[int, ...]]:
@@ -140,7 +149,12 @@ class ShardTransport:
     def _decode_response(payload: bytes) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
         meta, arrays = protocol.decode_message(payload)
         if meta.get("status") != protocol.STATUS_OK:
-            raise ShardWorkerError(str(meta.get("error", "worker reported an error")))
+            message = str(meta.get("error", "worker reported an error"))
+            if meta.get("code") == protocol.ERROR_CODE_DEADLINE:
+                # The worker aborted because the request's own budget ran
+                # out — not a worker fault, so it must not look like one.
+                raise DeadlineExceededError(message)
+            raise ShardWorkerError(message)
         return meta, arrays
 
     def probe(
@@ -150,8 +164,16 @@ class ShardTransport:
         keys: np.ndarray,
         probe_items: np.ndarray,
         probe_offsets: np.ndarray,
+        deadline: float | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        payload = protocol.encode_probe_request(repetition, keys, probe_items, probe_offsets)
+        if deadline is not None and time.time() >= deadline:
+            raise DeadlineExceededError(
+                f"deadline expired before the probe request to worker {worker} "
+                "was sent"
+            )
+        payload = protocol.encode_probe_request(
+            repetition, keys, probe_items, probe_offsets, deadline=deadline
+        )
         _meta, arrays = self._decode_response(self._request(worker, payload))
         return arrays["lengths"], arrays["ids"]
 
@@ -209,8 +231,11 @@ class InprocTransport(ShardTransport):
         keys: np.ndarray,
         probe_items: np.ndarray,
         probe_offsets: np.ndarray,
+        deadline: float | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        return self._states[worker].probe(repetition, keys, probe_items, probe_offsets)
+        return self._states[worker].probe(
+            repetition, keys, probe_items, probe_offsets, deadline=deadline
+        )
 
     def contains(self, worker: int, repetition: int, key: int, items: np.ndarray) -> bool:
         return self._states[worker].contains(repetition, key, np.asarray(items, dtype=np.int64))

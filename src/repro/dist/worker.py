@@ -23,11 +23,13 @@ from __future__ import annotations
 import os
 import socket
 import threading
+import time
 from pathlib import Path as FilePath
 from typing import Any
 
 import numpy as np
 
+from repro.core.engine import DeadlineExceededError
 from repro.core.inverted_index import _segment_gather
 from repro.core.mmap_store import ShardSlice, probe_sorted_arrays, route_keys
 from repro.core.serialization import (
@@ -117,13 +119,22 @@ class ShardWorkerState:
         keys: np.ndarray,
         probe_items: np.ndarray,
         probe_offsets: np.ndarray,
+        deadline: float | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Resolve a CSR probe batch against the owned shards.
 
         Returns ``(lengths, ids)``: per-probe posting counts plus the
         concatenated posting ids in probe order — the worker-local half of
         the scatter-merge that ``probe_batch_routed`` performs globally.
+
+        ``deadline`` is an absolute wall-clock epoch; it is checked before
+        any work and again between owned shards, so a spent budget stops
+        the worker working, not just the router waiting.
         """
+        if deadline is not None and time.time() >= deadline:
+            raise DeadlineExceededError(
+                "request deadline expired before the worker started probing"
+            )
         keys_arr = np.ascontiguousarray(keys, dtype=np.uint64)
         num_probes = keys_arr.size
         empty = np.empty(0, dtype=np.int64)
@@ -140,6 +151,10 @@ class ShardWorkerState:
         route = route_keys(self._fences, keys_arr)
         parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
         for shard in np.unique(route).tolist():
+            if deadline is not None and time.time() >= deadline:
+                raise DeadlineExceededError(
+                    f"request deadline expired mid-probe (before shard {shard})"
+                )
             members = np.flatnonzero(route == shard)
             part = self._slice(shard=int(shard), repetition=repetition)
             slots, lengths = probe_sorted_arrays(
@@ -228,11 +243,13 @@ class ShardWorkerState:
             meta, arrays = protocol.decode_message(payload)
             kind = str(meta.get("kind", "unknown"))
             if kind == protocol.MESSAGE_PROBE:
+                raw_deadline = meta.get("deadline")
                 lengths, ids = self.probe(
                     int(meta["repetition"]),
                     arrays["keys"],
                     arrays["probe_items"],
                     arrays["probe_offsets"],
+                    deadline=None if raw_deadline is None else float(raw_deadline),
                 )
                 return protocol.encode_probe_response(lengths, ids), False
             if kind == protocol.MESSAGE_CONTAINS:
@@ -261,6 +278,15 @@ class ShardWorkerState:
                     True,
                 )
             return protocol.encode_error(kind, f"unknown message kind {kind!r}"), False
+        except DeadlineExceededError as error:
+            # Deadline-coded so the transport re-raises it as a deadline,
+            # not as a worker fault — the breaker must not trip on it.
+            return (
+                protocol.encode_error(
+                    kind, str(error), code=protocol.ERROR_CODE_DEADLINE
+                ),
+                False,
+            )
         except Exception as error:  # noqa: BLE001 - worker must answer, not die
             return protocol.encode_error(kind, f"{type(error).__name__}: {error}"), False
 

@@ -58,13 +58,21 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-from repro.core.stats import BatchQueryStats, QueryStats
+from repro.core.engine import DeadlineExceededError
+from repro.core.stats import BatchQueryStats, QueryStats, ShardFanoutStats
 
-#: An engine batch call: ``(query_sets, mode) -> (results, BatchQueryStats)``.
-BatchRunner = Callable[[Sequence[frozenset[int]], str], tuple[list[Any], BatchQueryStats]]
+#: An engine batch call:
+#: ``(query_sets, mode, allow_partial, deadline) -> (results, BatchQueryStats)``.
+BatchRunner = Callable[
+    [Sequence[frozenset[int]], str, bool, float | None],
+    tuple[list[Any], BatchQueryStats],
+]
 
-#: What a job's future resolves to: the job's result slice plus its stats.
-JobResult = tuple[list[Any], list[QueryStats]]
+#: What a job's future resolves to: the job's result slice, its per-query
+#: stats, and the engine call's fan-out record (degradation markers —
+#: ``completeness`` / ``shards_missing`` — are batch-level, so every job in
+#: the coalesced call shares the same record).
+JobResult = tuple[list[Any], list[QueryStats], ShardFanoutStats]
 
 
 class Overloaded(RuntimeError):
@@ -84,6 +92,11 @@ class _Job:
     mode: str
     future: asyncio.Future[JobResult]
     enqueued_at: float
+    #: Serve degraded answers from live shards when a breaker is open.
+    allow_partial: bool = False
+    #: Absolute ``time.time()`` epoch the request must finish by (None =
+    #: unbounded).  Checked at dispatch; propagated into the engine call.
+    deadline: float | None = None
 
 
 @dataclass
@@ -207,13 +220,23 @@ class MicroBatcher:
         return min(max(estimate, 0.05), 30.0)
 
     def submit(
-        self, queries: Sequence[frozenset[int]], mode: str = "first"
+        self,
+        queries: Sequence[frozenset[int]],
+        mode: str = "first",
+        allow_partial: bool = False,
+        deadline: float | None = None,
     ) -> asyncio.Future[JobResult]:
         """Enqueue a job; the returned future resolves to
-        ``(results, per_query_stats)`` with one entry per input query.
+        ``(results, per_query_stats, fanout)`` with one results entry per
+        input query.
 
-        Raises :class:`Overloaded` when admission would exceed the
-        in-flight bound, and :class:`RuntimeError` after :meth:`close`.
+        ``deadline`` is an absolute ``time.time()`` epoch; a job still
+        queued past it fails with
+        :class:`~repro.core.engine.DeadlineExceededError` instead of
+        executing, and a dispatched job carries the deadline into the
+        engine call.  Raises :class:`Overloaded` when admission would
+        exceed the in-flight bound, and :class:`RuntimeError` after
+        :meth:`close`.
         """
         if self._closed:
             raise RuntimeError("the batcher is closed")
@@ -236,6 +259,8 @@ class MicroBatcher:
             mode=mode,
             future=loop.create_future(),
             enqueued_at=self._clock(),
+            allow_partial=allow_partial,
+            deadline=deadline,
         )
         self.stats.jobs_submitted += 1
         self._queued_queries += num
@@ -298,12 +323,42 @@ class MicroBatcher:
         self._queued_queries -= num_queries
         self._executing_queries += num_queries
         try:
-            # Preserve arrival order within each mode group; modes are
-            # executed in first-appearance order.
-            groups: dict[str, list[_Job]] = {}
+            # Preserve arrival order within each group; groups run in
+            # first-appearance order.  Strict and degraded-mode jobs never
+            # share an engine call: a breaker opening mid-batch must not
+            # turn a strict job's answer partial (or vice versa).
+            groups: dict[tuple[str, bool], list[_Job]] = {}
             for job in batch:
-                groups.setdefault(job.mode, []).append(job)
-            for mode, jobs in groups.items():
+                groups.setdefault((job.mode, job.allow_partial), []).append(job)
+            for (mode, allow_partial), jobs in groups.items():
+                # A job whose deadline passed while it queued fails now,
+                # honestly, without costing the engine anything — and
+                # without dragging down the batch's other jobs.
+                now = time.time()
+                live: list[_Job] = []
+                for job in jobs:
+                    if job.deadline is not None and now >= job.deadline:
+                        if not job.future.done():
+                            job.future.set_exception(
+                                DeadlineExceededError(
+                                    "deadline expired while the request "
+                                    "waited for batch admission"
+                                )
+                            )
+                    else:
+                        live.append(job)
+                if not live:
+                    continue
+                jobs = live
+                # The coalesced call runs under the laxest member deadline;
+                # members with tighter budgets time out individually at the
+                # HTTP layer without aborting their batch peers.
+                deadlines = [
+                    job.deadline for job in jobs if job.deadline is not None
+                ]
+                group_deadline = (
+                    max(deadlines) if len(deadlines) == len(jobs) else None
+                )
                 flat = [query for job in jobs for query in job.queries]
                 self.stats.engine_calls += 1
                 if len(flat) > 1:
@@ -313,7 +368,12 @@ class MicroBatcher:
                 call_start = self._clock()
                 try:
                     results, batch_stats = await loop.run_in_executor(
-                        self._executor, self._run_batch, flat, mode
+                        self._executor,
+                        self._run_batch,
+                        flat,
+                        mode,
+                        allow_partial,
+                        group_deadline,
                     )
                 except Exception as error:  # scatter the failure, keep serving
                     for job in jobs:
@@ -324,20 +384,25 @@ class MicroBatcher:
                 self.stats.queries_executed += len(flat)
                 self.stats.queries_found += batch_stats.num_found
                 self.stats.engine_stats.accumulate(batch_stats)
-                self._scatter(jobs, results, batch_stats.per_query)
+                self._scatter(jobs, results, batch_stats.per_query, batch_stats.fanout)
         finally:
             self._executing_queries -= num_queries
 
     @staticmethod
     def _scatter(
-        jobs: Sequence[_Job], results: list[Any], per_query: list[QueryStats]
+        jobs: Sequence[_Job],
+        results: list[Any],
+        per_query: list[QueryStats],
+        fanout: ShardFanoutStats,
     ) -> None:
         """Slice the engine call's results back onto each job's future."""
         offset = 0
         for job in jobs:
             end = offset + len(job.queries)
             if not job.future.done():  # the client may have disconnected
-                job.future.set_result((results[offset:end], per_query[offset:end]))
+                job.future.set_result(
+                    (results[offset:end], per_query[offset:end], fanout)
+                )
             offset = end
 
     # ------------------------------------------------------------------ #

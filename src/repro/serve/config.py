@@ -67,6 +67,11 @@ class IndexSpec:
         (``host:port``, a unix socket path, or ``unix:PATH``) — the socket
         variant of router-backed mode.  Mutually exclusive with
         ``shard_procs``.
+    fault_spec:
+        Chaos schedule for router-backed indexes: a fault-spec string or
+        preset name (see :mod:`repro.dist.faults`) that wraps the shard
+        transport in a fault-injecting proxy.  Test/smoke tooling only —
+        leave unset in production.  Requires a routed spec.
     """
 
     name: str
@@ -75,6 +80,7 @@ class IndexSpec:
     shard_workers: int | None = None
     shard_procs: int | None = None
     shard_addrs: tuple[str, ...] | None = None
+    fault_spec: str | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -101,6 +107,12 @@ class IndexSpec:
                 "router-backed serving requires load_mode='mmap' (the v3 "
                 "shard layout is the partition contract the router fans "
                 "out over)"
+            )
+        if self.fault_spec is not None and not self.routed:
+            raise ValueError(
+                "fault_spec injects faults into the shard transport, which "
+                "only exists for router-backed specs (shard_procs or "
+                "shard_addrs)"
             )
 
     @property
@@ -138,6 +150,12 @@ class ServeConfig:
     latency_window:
         Per-endpoint ring-buffer size the p50/p99 latency percentiles on
         ``/stats`` are computed over (default 2048 most recent requests).
+    default_deadline_ms:
+        Per-request deadline applied when a request carries no
+        ``X-Repro-Deadline-Ms`` header.  The deadline is propagated down
+        to the shard workers (they stop working, not just the router
+        waiting) and an expired request answers ``504``.  ``None``
+        (default) means requests without the header have no deadline.
     """
 
     host: str = "127.0.0.1"
@@ -148,6 +166,7 @@ class ServeConfig:
     retry_after_seconds: float | None = None
     max_body_bytes: int = 8 << 20
     latency_window: int = 2048
+    default_deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         if not 0 <= self.port <= 65535:
@@ -175,6 +194,10 @@ class ServeConfig:
         if self.latency_window <= 0:
             raise ValueError(
                 f"latency_window must be positive, got {self.latency_window}"
+            )
+        if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
+            raise ValueError(
+                f"default_deadline_ms must be positive, got {self.default_deadline_ms}"
             )
 
     @property

@@ -57,6 +57,7 @@ _REASONS = {
     429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 #: Endpoints that accept a body.
@@ -143,7 +144,7 @@ class HttpServer:
                 if request is None:  # clean EOF between requests
                     break
                 method, path, headers, body = request
-                response = await self._dispatch(method, path, body)
+                response = await self._dispatch(method, path, headers, body)
                 writer.write(response)
                 await writer.drain()
                 if headers.get("connection", "").lower() == "close":
@@ -199,7 +200,9 @@ class HttpServer:
             body = await reader.readexactly(length)
         return method, path, headers, body
 
-    async def _dispatch(self, method: str, path: str, body: bytes) -> bytes:
+    async def _dispatch(
+        self, method: str, path: str, request_headers: dict[str, str], body: bytes
+    ) -> bytes:
         """Route one request and record endpoint metrics."""
         service = self.service
         known = path in _POST_PATHS or path in _GET_PATHS
@@ -230,11 +233,13 @@ class HttpServer:
                 if not isinstance(request_payload, dict):
                     raise ApiError(400, "request body must be a JSON object")
                 if path == "/query":
-                    payload = await service.query(request_payload)
+                    payload = await service.query(request_payload, request_headers)
                 elif path == "/query-batch":
-                    payload = await service.query_batch(request_payload)
+                    payload = await service.query_batch(request_payload, request_headers)
                 elif path == "/similarity-join":
-                    payload = await service.similarity_join_endpoint(request_payload)
+                    payload = await service.similarity_join_endpoint(
+                        request_payload, request_headers
+                    )
                 else:  # /reload
                     payload = await service.reload(request_payload)
                 status = 200

@@ -28,6 +28,7 @@ import math
 import time
 from typing import Any, Mapping, Sequence
 
+from repro.core.engine import DeadlineExceededError
 from repro.core.join import similarity_join
 from repro.core.stats import BatchQueryStats
 from repro.dist.transport import ShardUnavailableError
@@ -86,18 +87,26 @@ class _ServedIndex:
         )
 
     def _run_batch(
-        self, queries: Sequence[frozenset[int]], mode: str
+        self,
+        queries: Sequence[frozenset[int]],
+        mode: str,
+        allow_partial: bool = False,
+        deadline: float | None = None,
     ) -> tuple[list[Any], BatchQueryStats]:
         """The engine call the batcher runs on its worker thread.
 
         Reads ``self.index`` at call time, so a reload's swap takes effect
-        for every batch dispatched after it.
+        for every batch dispatched after it.  ``allow_partial`` and
+        ``deadline`` come from the coalesced jobs (the batcher groups by
+        the flag and takes the loosest member deadline).
         """
         return self.index.query_batch(
             queries,
             mode=mode,
             batch_size=self.config.max_batch_queries,
             shard_workers=self.spec.shard_workers,
+            allow_partial=allow_partial,
+            deadline=deadline,
         )
 
     def load_sync(self) -> Any:
@@ -111,6 +120,7 @@ class _ServedIndex:
                 transport="socket" if self.spec.shard_addrs else "spawn",
                 shard_procs=self.spec.shard_procs,
                 shard_addrs=self.spec.shard_addrs,
+                fault_spec=self.spec.fault_spec,
             )
         else:
             from repro.core.serialization import load_index
@@ -137,6 +147,7 @@ class _ServedIndex:
             payload["shard_addrs"] = (
                 list(self.spec.shard_addrs) if self.spec.shard_addrs else None
             )
+            payload["fault_spec"] = self.spec.fault_spec
         if self.index is not None:
             build = self.index.build_stats
             payload["num_vectors"] = build.num_vectors
@@ -251,30 +262,105 @@ class QueryService:
 
     @staticmethod
     def _shard_unavailable(name: str, error: ShardUnavailableError) -> ApiError:
-        """503 for a dead shard worker: retryable, the respawn already ran."""
+        """503 for an unavailable shard worker, with an honest retry hint.
+
+        When the router attached its circuit breaker's backoff the hint is
+        that backoff (rounded up to whole seconds, the ``Retry-After``
+        granularity); the fixed 1 s only remains for errors raised below
+        the breaker layer.
+        """
+        retry_after = "1"
+        if error.retry_after is not None:
+            retry_after = str(max(1, math.ceil(error.retry_after)))
         return ApiError(
             503,
             f"index {name!r}: {error}",
-            headers={"Retry-After": "1"},
+            headers={"Retry-After": retry_after},
         )
+
+    @staticmethod
+    def _parse_allow_partial(payload: Mapping[str, Any]) -> bool:
+        flag = payload.get("allow_partial", False)
+        if not isinstance(flag, bool):
+            raise ApiError(400, f"'allow_partial' must be a boolean, got {flag!r}")
+        return flag
+
+    def _deadline_from(self, headers: Mapping[str, str] | None) -> float | None:
+        """The request's absolute deadline (``time.time()`` epoch), or None.
+
+        ``X-Repro-Deadline-Ms`` (a per-request millisecond budget) wins;
+        without the header the configured ``default_deadline_ms`` applies.
+        """
+        raw = (headers or {}).get("x-repro-deadline-ms")
+        if raw is None:
+            budget_ms = self.config.default_deadline_ms
+        else:
+            try:
+                budget_ms = float(raw)
+            except ValueError:
+                raise ApiError(
+                    400,
+                    f"X-Repro-Deadline-Ms must be a number of milliseconds, got {raw!r}",
+                ) from None
+            if budget_ms <= 0:
+                raise ApiError(
+                    400, f"X-Repro-Deadline-Ms must be positive, got {raw!r}"
+                )
+        if budget_ms is None:
+            return None
+        return time.time() + budget_ms / 1000.0
+
+    def _deadline_expired(self, served: _ServedIndex) -> ApiError:
+        """504 for an expired deadline, with a backlog-derived retry hint."""
+        retry_after = max(1, math.ceil(served.batcher.estimate_retry_after()))
+        return ApiError(
+            504,
+            f"index {served.spec.name!r}: request deadline expired before the "
+            "result was ready",
+            headers={"Retry-After": str(retry_after)},
+        )
+
+    async def _await_result(
+        self, served: _ServedIndex, future: asyncio.Future[Any], deadline: float | None
+    ) -> Any:
+        """Await a request's future, mapping failures to API errors.
+
+        ``asyncio.wait_for`` is the backstop for a worker hanging past the
+        propagated deadline: this request is released with 504 (its future
+        cancelled — the batcher tolerates that) even though the engine call
+        has not yet noticed the expiry.  Peers coalesced into the same batch
+        are untouched; only this request's slice is abandoned.
+        """
+        try:
+            if deadline is None:
+                return await future
+            remaining = deadline - time.time()
+            if remaining <= 0:
+                future.cancel()
+                raise self._deadline_expired(served)
+            return await asyncio.wait_for(future, timeout=remaining)
+        except (DeadlineExceededError, asyncio.TimeoutError):
+            raise self._deadline_expired(served) from None
+        except ShardUnavailableError as error:
+            raise self._shard_unavailable(served.spec.name, error) from None
 
     # ------------------------------------------------------------------ #
     # Endpoints
     # ------------------------------------------------------------------ #
 
-    async def query(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+    async def query(
+        self, payload: Mapping[str, Any], headers: Mapping[str, str] | None = None
+    ) -> dict[str, Any]:
         """``POST /query`` — one query through the micro-batcher."""
         served = self._resolve(payload)
         query = self._parse_query(payload.get("query"))
         mode = self._parse_mode(payload)
+        deadline = self._deadline_from(headers)
         try:
-            future = served.batcher.submit([query], mode)
+            future = served.batcher.submit([query], mode, deadline=deadline)
         except Overloaded as error:
             raise self._shed(error) from None
-        try:
-            results, per_query = await future
-        except ShardUnavailableError as error:
-            raise self._shard_unavailable(served.spec.name, error) from None
+        results, per_query, _fanout = await self._await_result(served, future, deadline)
         stats = per_query[0]
         return {
             "index": served.spec.name,
@@ -283,7 +369,9 @@ class QueryService:
             "stats": stats.to_dict(),
         }
 
-    async def query_batch(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+    async def query_batch(
+        self, payload: Mapping[str, Any], headers: Mapping[str, str] | None = None
+    ) -> dict[str, Any]:
         """``POST /query-batch`` — many queries as one atomic job."""
         served = self._resolve(payload)
         raw = payload.get("queries")
@@ -291,22 +379,29 @@ class QueryService:
             raise ApiError(400, "'queries' must be a non-empty list of query sets")
         queries = [self._parse_query(entry, what=f"queries[{i}]") for i, entry in enumerate(raw)]
         mode = self._parse_mode(payload)
+        allow_partial = self._parse_allow_partial(payload)
+        deadline = self._deadline_from(headers)
         try:
-            future = served.batcher.submit(queries, mode)
+            future = served.batcher.submit(
+                queries, mode, allow_partial=allow_partial, deadline=deadline
+            )
         except Overloaded as error:
             raise self._shed(error) from None
-        try:
-            results, per_query = await future
-        except ShardUnavailableError as error:
-            raise self._shard_unavailable(served.spec.name, error) from None
-        return {
+        results, per_query, fanout = await self._await_result(served, future, deadline)
+        response: dict[str, Any] = {
             "index": served.spec.name,
             "results": results,
             "num_found": sum(1 for stats in per_query if stats.found),
             "stats": {"per_query": [stats.to_dict() for stats in per_query]},
         }
+        if allow_partial:
+            response["completeness"] = fanout.completeness
+            response["shards_missing"] = list(fanout.shards_missing)
+        return response
 
-    async def similarity_join_endpoint(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+    async def similarity_join_endpoint(
+        self, payload: Mapping[str, Any], headers: Mapping[str, str] | None = None
+    ) -> dict[str, Any]:
         """``POST /similarity-join`` — join a probe collection against an index.
 
         The join is already a batched consumer of the engine, so it bypasses
@@ -333,21 +428,23 @@ class QueryService:
             predicate = SimilarityPredicate(measure=str(measure), threshold=float(threshold))
         except (KeyError, TypeError, ValueError) as error:
             raise ApiError(400, f"invalid join predicate: {error}") from None
+        allow_partial = self._parse_allow_partial(payload)
+        deadline = self._deadline_from(headers)
         loop = asyncio.get_running_loop()
-        try:
-            result = await loop.run_in_executor(
-                served.batcher._executor,  # noqa: SLF001 - same engine lane by design
-                lambda: similarity_join(
-                    served.index,
-                    probes,
-                    predicate,
-                    batch_size=self.config.max_batch_queries,
-                    shard_workers=served.spec.shard_workers,
-                ),
-            )
-        except ShardUnavailableError as error:
-            raise self._shard_unavailable(served.spec.name, error) from None
-        return {
+        future = loop.run_in_executor(
+            served.batcher._executor,  # noqa: SLF001 - same engine lane by design
+            lambda: similarity_join(
+                served.index,
+                probes,
+                predicate,
+                batch_size=self.config.max_batch_queries,
+                shard_workers=served.spec.shard_workers,
+                allow_partial=allow_partial,
+                deadline=deadline,
+            ),
+        )
+        result = await self._await_result(served, future, deadline)
+        response: dict[str, Any] = {
             "index": served.spec.name,
             "pairs": [[r, s, sim] for r, s, sim in result.pairs],
             "num_pairs": result.num_pairs,
@@ -355,6 +452,10 @@ class QueryService:
             "candidates_examined": result.candidates_examined,
             "similarity_evaluations": result.similarity_evaluations,
         }
+        if allow_partial:
+            response["completeness"] = result.fanout.completeness
+            response["shards_missing"] = list(result.fanout.shards_missing)
+        return response
 
     def healthz(self) -> tuple[int, dict[str, Any]]:
         """``GET /healthz`` — 200 when every index is serving, 503 otherwise."""
@@ -410,6 +511,8 @@ class QueryService:
         shard_latency: list[tuple[Mapping[str, str], float]] = []
         shard_failures: list[tuple[Mapping[str, str], float]] = []
         shard_respawns: list[tuple[Mapping[str, str], float]] = []
+        shard_retries: list[tuple[Mapping[str, str], float]] = []
+        shard_breaker: list[tuple[Mapping[str, str], float]] = []
         for name, served in self._indexes.items():
             label = {"index": name}
             stats = served.batcher.stats
@@ -443,6 +546,10 @@ class QueryService:
                     shard_latency.append((shard_label, float(worker_entry["seconds"])))
                     shard_failures.append((shard_label, float(worker_entry["failures"])))
                     shard_respawns.append((shard_label, float(worker_entry["respawns"])))
+                    shard_retries.append((shard_label, float(worker_entry["retries"])))
+                    shard_breaker.append(
+                        (shard_label, float(worker_entry["breaker"]["state_code"]))
+                    )
         extra: list[MetricFamily] = [
             (
                 "repro_uptime_seconds",
@@ -553,6 +660,20 @@ class QueryService:
                         "Automatic worker respawns / reconnects after a failure.",
                         shard_respawns,
                     ),
+                    (
+                        "repro_shard_retries_total",
+                        "counter",
+                        "Half-open probe requests admitted through the worker's "
+                        "circuit breaker.",
+                        shard_retries,
+                    ),
+                    (
+                        "repro_shard_breaker_state",
+                        "gauge",
+                        "Circuit breaker state of the shard worker "
+                        "(0=closed, 1=half-open, 2=open).",
+                        shard_breaker,
+                    ),
                 ]
             )
         return self.metrics.prometheus_text(extra)
@@ -583,6 +704,7 @@ class QueryService:
                 shard_workers=served.spec.shard_workers,
                 shard_procs=served.spec.shard_procs,
                 shard_addrs=served.spec.shard_addrs,
+                fault_spec=served.spec.fault_spec,
             )
         served.status = "reloading"
         loop = asyncio.get_running_loop()

@@ -37,6 +37,8 @@ ROLE_SEEDS: dict[str, int] = {
     "tests:dist-queries": 7400,
     "bench:shard-fanout-dataset": 7401,
     "bench:shard-fanout-queries": 7402,
+    "tests:chaos-queries": 7403,
+    "bench:latency-queries": 7404,
 }
 
 

@@ -1,0 +1,78 @@
+"""Fixtures for the chaos suite.
+
+The chaos tests drive the full ``engine → router → transport → worker``
+stack through injected failures, so they get their own saved v3 index
+(private — tests here open it with fault specs and damage breakers) plus
+an mmap baseline for the bit-identity assertions after recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator
+
+import pytest
+
+from repro import SkewAdaptiveIndex, load_index, save_index
+from repro.core.config import PersistenceConfig, SkewAdaptiveIndexConfig
+from repro.dist import load_routed_index, shard_router_of
+from repro.testing import rng_for
+
+#: Shard count the chaos index is saved with.
+NUM_SHARDS = 4
+
+#: Worker count every routed load in this suite uses (worker 0 owns
+#: shards 0-1, worker 1 owns shards 2-3).
+NUM_WORKERS = 2
+
+
+@dataclass
+class ChaosIndex:
+    """The saved index plus the traffic the chaos scenarios replay."""
+
+    path: Path
+    dataset: list[frozenset[int]]
+    queries: list[frozenset[int]]
+
+
+@pytest.fixture(scope="session")
+def chaos_index(tmp_path_factory, skewed_distribution, skewed_dataset) -> ChaosIndex:
+    index = SkewAdaptiveIndex(
+        skewed_distribution,
+        config=SkewAdaptiveIndexConfig(b1=0.5, repetitions=3, seed=11),
+    )
+    index.build(skewed_dataset)
+    path = tmp_path_factory.mktemp("chaos") / "index.v3"
+    save_index(index, path, config=PersistenceConfig(shards=NUM_SHARDS))
+    rng = rng_for("tests:chaos-queries")
+    sampled = skewed_distribution.sample_many(16, rng)
+    queries = [query if query else frozenset({0}) for query in sampled]
+    queries.extend(skewed_dataset[:12])
+    return ChaosIndex(path=path, dataset=skewed_dataset, queries=queries)
+
+
+@pytest.fixture(scope="session")
+def chaos_mmap(chaos_index: ChaosIndex):
+    """The healthy single-process baseline degraded results compare against."""
+    return load_index(chaos_index.path, mode="mmap")
+
+
+@pytest.fixture()
+def routed_loader(chaos_index: ChaosIndex) -> Iterator[Callable]:
+    """Load private routed views of the chaos index, fault spec optional."""
+    loaded = []
+
+    def load(fault_spec: str | None = None):
+        index = load_routed_index(
+            chaos_index.path,
+            transport="inproc",
+            shard_procs=NUM_WORKERS,
+            fault_spec=fault_spec,
+        )
+        loaded.append(index)
+        return index
+
+    yield load
+    for index in loaded:
+        shard_router_of(index).close()

@@ -1,0 +1,86 @@
+"""Breaker recovery back to bit-identity, and deadline aborts mid-fan-out."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.engine import DeadlineExceededError
+from repro.dist import shard_router_of
+from repro.dist.breaker import STATE_CLOSED, STATE_OPEN
+from repro.dist.transport import ShardUnavailableError
+
+
+def test_recovery_restores_bit_identity_on_all_surfaces(
+    routed_loader, chaos_mmap, chaos_index
+):
+    index = routed_loader("drop:worker=0:count=2")
+    router = shard_router_of(index)
+    queries = chaos_index.queries
+
+    with pytest.raises(ShardUnavailableError):
+        index.query_batch(queries)
+    assert router.breakers[0].state == STATE_OPEN
+
+    # Sleep out each backoff; the admitted half-open probe either hits the
+    # second injected drop (backoff doubles) or succeeds and closes the
+    # breaker.  The schedule is finite, so this converges in two rounds.
+    attempts = 0
+    while router.breakers[0].state != STATE_CLOSED:
+        attempts += 1
+        assert attempts <= 5, "breaker never recovered"
+        time.sleep(router.breakers[0].retry_after() + 0.02)
+        try:
+            index.query_batch(queries)
+        except ShardUnavailableError:
+            continue
+    assert router.snapshot()["per_worker"][0]["retries"] >= 1
+
+    # With the breaker closed again, every query surface answers
+    # bit-identically to the single-process mmap baseline.
+    expected_results, _ = chaos_mmap.query_batch(queries)
+    results, _ = index.query_batch(queries)
+    assert results == expected_results
+    for query in queries[:6]:
+        for mode in ("first", "best"):
+            assert index.query(query, mode=mode)[0] == (
+                chaos_mmap.query(query, mode=mode)[0]
+            )
+        assert index.query_candidates(query)[0] == (
+            chaos_mmap.query_candidates(query)[0]
+        )
+    candidate_sets, _ = index.query_candidates_batch(queries)
+    expected_sets, _ = chaos_mmap.query_candidates_batch(queries)
+    assert candidate_sets == expected_sets
+    arrays, _ = index.query_candidates_arrays_batch(queries)
+    expected_arrays, _ = chaos_mmap.query_candidates_arrays_batch(queries)
+    for expected, actual in zip(expected_arrays, arrays):
+        assert np.array_equal(expected, actual)
+
+
+def test_deadline_expiring_mid_fanout_aborts_and_is_counted(
+    routed_loader, chaos_index
+):
+    # Worker 0 answers 0.2s late; a 50ms budget expires while the fan-out
+    # is in flight, so the router aborts instead of waiting the delay out.
+    index = routed_loader("delay:worker=0:seconds=0.2")
+    router = shard_router_of(index)
+    router.take_fanout_stats()  # drain
+    with pytest.raises(DeadlineExceededError):
+        index.query_batch(chaos_index.queries, deadline=time.time() + 0.05)
+    fanout = router.take_fanout_stats()
+    assert sum(fanout.aborts) >= 1
+    # A deadline says nothing about worker health: the breaker stays closed.
+    assert router.breakers[0].state == STATE_CLOSED
+
+
+def test_expired_deadline_rejects_before_any_fanout(routed_loader, chaos_index):
+    index = routed_loader()
+    router = shard_router_of(index)
+    router.take_fanout_stats()
+    with pytest.raises(DeadlineExceededError):
+        index.query_batch(chaos_index.queries, deadline=time.time() - 1.0)
+    fanout = router.take_fanout_stats()
+    assert sum(fanout.requests) == 0  # no worker was ever contacted

@@ -1,0 +1,112 @@
+"""End-to-end chaos: the query service over a fault-injected routed index.
+
+These drive the full ``service → batcher → engine → router → transport``
+stack: degraded 200s with completeness annotations, strict 503s with
+backoff-derived retry hints, deadline headers answering 504 without
+blocking batch peers, and the breaker metric families on ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.config import IndexSpec, ServeConfig
+from repro.serve.service import ApiError, QueryService
+
+NUM_WORKERS = 2
+
+
+def test_partial_requests_degrade_while_strict_requests_fail(chaos_index):
+    async def scenario() -> None:
+        spec = IndexSpec(
+            name="default",
+            path=str(chaos_index.path),
+            shard_procs=NUM_WORKERS,
+            fault_spec="drop:worker=0",
+        )
+        service = QueryService([spec], ServeConfig(batch_window_ms=0.0))
+        await service.start()
+        try:
+            queries = [sorted(vector) for vector in chaos_index.dataset[:8]]
+
+            response = await service.query_batch(
+                {"queries": queries, "allow_partial": True}
+            )
+            assert response["completeness"] == pytest.approx(0.5)
+            assert response["shards_missing"] == [0, 1]
+            assert len(response["results"]) == len(queries)
+
+            join_response = await service.similarity_join_endpoint(
+                {"probes": queries, "allow_partial": True}
+            )
+            assert join_response["completeness"] == pytest.approx(0.5)
+            assert join_response["shards_missing"] == [0, 1]
+
+            # Strict requests still refuse to answer partially — with the
+            # breaker's actual backoff as the retry hint, not a constant.
+            with pytest.raises(ApiError) as excinfo:
+                await service.query_batch({"queries": queries})
+            assert excinfo.value.status == 503
+            assert int(excinfo.value.headers["Retry-After"]) >= 1
+
+            metrics = service.metrics_text()
+            assert "repro_shard_breaker_state" in metrics
+            assert "repro_shard_retries_total" in metrics
+        finally:
+            await service.close()
+
+    asyncio.run(scenario())
+
+
+def test_deadline_header_answers_504_without_blocking_peers(chaos_index):
+    async def scenario() -> None:
+        spec = IndexSpec(
+            name="default", path=str(chaos_index.path), shard_procs=NUM_WORKERS
+        )
+        service = QueryService([spec], ServeConfig(batch_window_ms=0.0))
+        await service.start()
+        try:
+            payload = {"query": sorted(chaos_index.dataset[0])}
+            doomed = service.query(payload, {"x-repro-deadline-ms": "0.01"})
+            healthy = service.query(dict(payload))
+            results = await asyncio.gather(doomed, healthy, return_exceptions=True)
+            assert isinstance(results[0], ApiError)
+            assert results[0].status == 504
+            assert "Retry-After" in results[0].headers
+            assert isinstance(results[1], dict)
+            assert results[1]["index"] == "default"
+
+            with pytest.raises(ApiError) as excinfo:
+                await service.query(payload, {"x-repro-deadline-ms": "soon"})
+            assert excinfo.value.status == 400
+        finally:
+            await service.close()
+
+    asyncio.run(scenario())
+
+
+def test_config_default_deadline_applies_without_header(chaos_index):
+    async def scenario() -> None:
+        spec = IndexSpec(
+            name="default", path=str(chaos_index.path), shard_procs=NUM_WORKERS
+        )
+        service = QueryService(
+            [spec], ServeConfig(batch_window_ms=0.0, default_deadline_ms=0.01)
+        )
+        await service.start()
+        try:
+            payload = {"query": sorted(chaos_index.dataset[0])}
+            with pytest.raises(ApiError) as excinfo:
+                await service.query(payload)
+            assert excinfo.value.status == 504
+            # A generous header overrides the config default.
+            response = await service.query(
+                payload, {"x-repro-deadline-ms": "30000"}
+            )
+            assert response["index"] == "default"
+        finally:
+            await service.close()
+
+    asyncio.run(scenario())

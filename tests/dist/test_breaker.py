@@ -1,0 +1,143 @@
+"""Unit tests for the per-worker circuit breaker state machine.
+
+These drive :class:`CircuitBreaker` with an injected fake clock, so the
+closed → open → half-open transitions and the exponential backoff schedule
+are asserted exactly, without sleeping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dist.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_breaker(**kwargs) -> tuple[CircuitBreaker, FakeClock]:
+    clock = FakeClock()
+    kwargs.setdefault("jitter_ratio", 0.0)  # exact backoff arithmetic
+    breaker = CircuitBreaker(clock=clock, **kwargs)
+    return breaker, clock
+
+
+def test_closed_breaker_admits_everything():
+    breaker, _ = make_breaker()
+    assert breaker.state == STATE_CLOSED
+    assert breaker.state_code == 0
+    assert all(breaker.acquire() for _ in range(10))
+    assert breaker.retry_after() == 0.0
+
+
+def test_failure_opens_and_backoff_gates_requests():
+    breaker, clock = make_breaker(base_backoff_seconds=1.0)
+    breaker.record_failure()
+    assert breaker.state == STATE_OPEN
+    assert breaker.state_code == 2
+    assert not breaker.acquire()
+    assert breaker.retry_after() == pytest.approx(1.0)
+    clock.advance(0.5)
+    assert not breaker.acquire()
+    assert breaker.retry_after() == pytest.approx(0.5)
+
+
+def test_elapsed_backoff_admits_exactly_one_half_open_probe():
+    breaker, clock = make_breaker(base_backoff_seconds=1.0)
+    breaker.record_failure()
+    clock.advance(1.0)
+    assert breaker.state == STATE_HALF_OPEN  # elapsed open reads as half-open
+    assert breaker.acquire()  # the probe
+    assert breaker.probing
+    assert not breaker.acquire()  # concurrent requests keep fast-failing
+    assert not breaker.acquire()
+
+
+def test_probe_success_closes_and_resets():
+    breaker, clock = make_breaker(base_backoff_seconds=1.0)
+    breaker.record_failure()
+    clock.advance(1.0)
+    assert breaker.acquire()
+    breaker.record_success()
+    assert breaker.state == STATE_CLOSED
+    assert breaker.consecutive_incidents == 0
+    assert breaker.retry_after() == 0.0
+    assert breaker.acquire()
+
+
+def test_probe_failure_reopens_with_doubled_backoff():
+    breaker, clock = make_breaker(base_backoff_seconds=1.0)
+    backoffs = []
+    for _ in range(4):
+        breaker.record_failure()
+        backoffs.append(breaker.retry_after())
+        clock.advance(breaker.retry_after())
+        assert breaker.acquire()  # half-open probe admitted
+    assert backoffs == pytest.approx([1.0, 2.0, 4.0, 8.0])
+    assert breaker.consecutive_incidents == 4
+
+
+def test_backoff_is_capped_at_max():
+    breaker, clock = make_breaker(base_backoff_seconds=1.0, max_backoff_seconds=4.0)
+    for _ in range(6):
+        breaker.record_failure()
+        clock.advance(breaker.retry_after())
+        assert breaker.acquire()
+    breaker.record_failure()
+    assert breaker.retry_after() == pytest.approx(4.0)
+
+
+def test_jitter_stretches_backoff_deterministically():
+    first, clock_a = make_breaker(jitter_ratio=0.5, seed=3)
+    second, _ = make_breaker(jitter_ratio=0.5, seed=3)
+    first.record_failure()
+    second.record_failure()
+    # Same seed, same schedule; jitter only ever stretches the base.
+    assert first.retry_after() == second.retry_after()
+    assert 0.25 <= first.retry_after() <= 0.25 * 1.5
+
+
+def test_neutral_outcome_releases_probe_slot_without_closing():
+    breaker, clock = make_breaker(base_backoff_seconds=1.0)
+    breaker.record_failure()
+    clock.advance(1.0)
+    assert breaker.acquire()
+    breaker.record_neutral()  # e.g. deadline expired mid-probe
+    assert breaker.state == STATE_HALF_OPEN
+    assert breaker.consecutive_incidents == 1
+    assert breaker.acquire()  # next request takes the probe slot
+
+
+def test_snapshot_shape():
+    breaker, clock = make_breaker(base_backoff_seconds=1.0)
+    breaker.record_failure()
+    snap = breaker.snapshot()
+    assert snap["state"] == STATE_OPEN
+    assert snap["state_code"] == 2
+    assert snap["consecutive_incidents"] == 1
+    assert snap["retry_after_seconds"] == pytest.approx(1.0)
+    assert snap["last_backoff_seconds"] == pytest.approx(1.0)
+    clock.advance(1.0)
+    assert breaker.snapshot()["state"] == STATE_HALF_OPEN
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError, match="base_backoff_seconds"):
+        CircuitBreaker(base_backoff_seconds=0.0)
+    with pytest.raises(ValueError, match="max_backoff_seconds"):
+        CircuitBreaker(base_backoff_seconds=2.0, max_backoff_seconds=1.0)
+    with pytest.raises(ValueError, match="jitter_ratio"):
+        CircuitBreaker(jitter_ratio=1.5)

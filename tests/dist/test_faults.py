@@ -1,0 +1,203 @@
+"""Fault-spec grammar and FaultyTransport behaviour.
+
+The parser tests pin the spec grammar (clauses, options, presets, the
+standalone ``seed=`` clause); the transport tests wrap the in-process
+transport and assert each fault kind produces the failure the router is
+built to handle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dist import (
+    FAULT_PRESETS,
+    FaultClause,
+    FaultSpec,
+    FaultyTransport,
+    load_routed_index,
+    shard_router_of,
+)
+from repro.dist.faults import fault_spec_from_env
+from repro.dist.protocol import ProtocolError
+from repro.dist.transport import ShardUnavailableError
+
+NUM_WORKERS = 2
+
+
+# --------------------------------------------------------------------- #
+# Grammar
+# --------------------------------------------------------------------- #
+
+
+def test_parse_single_clause_with_options():
+    spec = FaultSpec.parse("crash:worker=0:count=2")
+    assert spec.clauses == (FaultClause(kind="crash", worker=0, count=2),)
+    assert spec.seed == 0
+
+
+def test_parse_multiple_clauses_and_seed():
+    spec = FaultSpec.parse("delay:seconds=0.05:worker=1,drop:probability=0.1,seed=7")
+    assert len(spec.clauses) == 2
+    assert spec.clauses[0] == FaultClause(kind="delay", worker=1, seconds=0.05)
+    assert spec.clauses[1] == FaultClause(kind="drop", probability=0.1)
+    assert spec.seed == 7
+
+
+def test_parse_preset_expands():
+    spec = FaultSpec.parse("crash-one-worker")
+    assert spec == FaultSpec.parse(FAULT_PRESETS["crash-one-worker"])
+
+
+def test_slow_start_defaults_to_one_shot():
+    spec = FaultSpec.parse("slow-start:seconds=0.01")
+    assert spec.clauses[0].count == 1
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "explode",
+        "crash:worker",
+        "crash:volume=11",
+        "seed=1",  # options alone are not a schedule
+        "probability=0.5",
+        "seed=1:worker=0",
+    ],
+)
+def test_parse_rejects_malformed_specs(bad):
+    with pytest.raises(ValueError):
+        FaultSpec.parse(bad)
+
+
+def test_clause_validation():
+    with pytest.raises(ValueError, match="kind"):
+        FaultClause(kind="explode")
+    with pytest.raises(ValueError, match="probability"):
+        FaultClause(kind="drop", probability=1.5)
+    with pytest.raises(ValueError, match="seconds"):
+        FaultClause(kind="delay", seconds=-1.0)
+
+
+def test_from_spec_normalises():
+    assert FaultSpec.from_spec(None) is None
+    spec = FaultSpec.parse("drop")
+    assert FaultSpec.from_spec(spec) is spec
+    assert FaultSpec.from_spec("drop") == spec
+
+
+def test_env_hook():
+    assert fault_spec_from_env({}) is None
+    assert fault_spec_from_env({"REPRO_FAULTS": "  "}) is None
+    spec = fault_spec_from_env({"REPRO_FAULTS": "drop:worker=1"})
+    assert spec is not None
+    assert spec.clauses[0] == FaultClause(kind="drop", worker=1)
+
+
+# --------------------------------------------------------------------- #
+# FaultyTransport over the in-process transport
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def faulty_loader(dist_index):
+    """Load the fixture index with a fault spec over the inproc transport."""
+    loaded = []
+
+    def load(spec):
+        index = load_routed_index(
+            dist_index.path,
+            transport="inproc",
+            shard_procs=NUM_WORKERS,
+            fault_spec=spec,
+        )
+        loaded.append(index)
+        return index
+
+    yield load
+    for index in loaded:
+        shard_router_of(index).close()
+
+
+def _transport_of(index) -> FaultyTransport:
+    transport = shard_router_of(index)._transport
+    assert isinstance(transport, FaultyTransport)
+    return transport
+
+
+def test_loader_wraps_transport_and_describe_stays_clean(faulty_loader):
+    index = faulty_loader("drop:worker=0:count=1")
+    transport = _transport_of(index)
+    assert transport.kind == "faulty+inproc"
+    # describe() is fault-free by design: topology discovery already ran.
+    assert transport.describe(0)["shards"]
+
+
+def test_drop_fault_fires_count_times_then_clears(faulty_loader, mmap_index, dist_index):
+    index = faulty_loader("drop:worker=0:count=2")
+    transport = _transport_of(index)
+    queries = dist_index.queries[:6]
+    # The router retries through its breaker over time; drive the transport
+    # directly to observe the raw schedule.
+    keys = np.zeros(1, dtype=np.int64)
+    items = np.asarray(sorted(dist_index.dataset[0]), dtype=np.int64)
+    offsets = np.asarray([0, items.size], dtype=np.int64)
+    for _ in range(2):
+        with pytest.raises(ShardUnavailableError, match="injected connection drop"):
+            transport.probe(0, 0, keys, items, offsets)
+    # Schedule exhausted: the call flows through to the real worker.
+    lengths, gathered = transport.probe(0, 0, keys, items, offsets)
+    assert lengths.shape == (1,)
+    assert transport.injected_counts()[0] == 2
+    failures, recoveries = transport.counters()
+    assert failures[0] >= 2
+    assert transport.health()[0]["injected_faults"] == 2
+    del queries, mmap_index, recoveries
+
+
+def test_corrupt_fault_raises_protocol_error(faulty_loader, dist_index):
+    index = faulty_loader("corrupt:worker=1:count=1")
+    transport = _transport_of(index)
+    keys = np.zeros(1, dtype=np.int64)
+    items = np.asarray(sorted(dist_index.dataset[0]), dtype=np.int64)
+    offsets = np.asarray([0, items.size], dtype=np.int64)
+    with pytest.raises(ProtocolError, match="checksum"):
+        transport.probe(1, 0, keys, items, offsets)
+
+
+def test_worker_filter_leaves_other_workers_alone(faulty_loader, dist_index):
+    index = faulty_loader("drop:worker=0")
+    transport = _transport_of(index)
+    # Key 0 routes to the first shard (worker 0); the maximal key to the
+    # last shard (worker 1) — the key space is fence-partitioned.
+    low_keys = np.zeros(1, dtype=np.uint64)
+    high_keys = np.asarray([np.iinfo(np.uint64).max], dtype=np.uint64)
+    items = np.asarray(sorted(dist_index.dataset[0]), dtype=np.int64)
+    offsets = np.asarray([0, items.size], dtype=np.int64)
+    lengths, _ = transport.probe(1, 0, high_keys, items, offsets)
+    assert lengths.shape == (1,)
+    assert transport.injected_counts() == [0, 0]
+    with pytest.raises(ShardUnavailableError):
+        transport.probe(0, 0, low_keys, items, offsets)
+
+
+def test_probability_schedule_is_seed_deterministic(faulty_loader, dist_index):
+    outcomes = []
+    for _ in range(2):
+        index = faulty_loader("drop:probability=0.5,seed=9")
+        transport = _transport_of(index)
+        keys = np.zeros(1, dtype=np.int64)
+        items = np.asarray(sorted(dist_index.dataset[0]), dtype=np.int64)
+        offsets = np.asarray([0, items.size], dtype=np.int64)
+        fired = []
+        for _ in range(12):
+            try:
+                transport.probe(0, 0, keys, items, offsets)
+                fired.append(False)
+            except ShardUnavailableError:
+                fired.append(True)
+        outcomes.append(fired)
+    assert outcomes[0] == outcomes[1]
+    assert any(outcomes[0]) and not all(outcomes[0])

@@ -122,6 +122,19 @@ def test_dead_shard_worker_surfaces_as_503_with_retry_after(dist_index):
                 )
             assert excinfo.value.status == 503
             assert excinfo.value.headers.get("Retry-After") == "1"
+
+            # A breaker-annotated error carries its backoff; the header is
+            # the ceiling of that, never less than one second.
+            def backing_off_probe(*_args, **_kwargs):
+                raise ShardUnavailableError(
+                    "shard worker 0 is unavailable", retry_after=3.2
+                )
+
+            router.probe_batch_routed = backing_off_probe
+            with pytest.raises(ApiError) as excinfo:
+                await service.query(query_payload)
+            assert excinfo.value.status == 503
+            assert excinfo.value.headers.get("Retry-After") == "4"
         finally:
             await service.close()
 

@@ -80,6 +80,109 @@ def test_corrupt_payloads_raise_protocol_error(mutate):
         protocol.decode_message(mutate(payload))
 
 
+def test_error_code_round_trips():
+    meta, _ = protocol.decode_message(
+        protocol.encode_error(protocol.MESSAGE_PROBE, "too slow", code=protocol.ERROR_CODE_DEADLINE)
+    )
+    assert meta["code"] == protocol.ERROR_CODE_DEADLINE
+    meta, _ = protocol.decode_message(protocol.encode_error(protocol.MESSAGE_PROBE, "boom"))
+    assert "code" not in meta
+
+
+def test_probe_request_carries_optional_deadline():
+    keys = np.array([7], dtype=np.uint64)
+    items = np.array([1], dtype=np.int64)
+    offsets = np.array([0, 1], dtype=np.int64)
+    meta, _ = protocol.decode_message(
+        protocol.encode_probe_request(0, keys, items, offsets, deadline=123.5)
+    )
+    assert meta["deadline"] == 123.5
+    meta, _ = protocol.decode_message(protocol.encode_probe_request(0, keys, items, offsets))
+    assert "deadline" not in meta
+
+
+def _flip_last_payload_byte(payload: bytes) -> bytes:
+    frame = bytearray(payload)
+    frame[-1] ^= 0xFF
+    return bytes(frame)
+
+
+def test_flipped_payload_byte_fails_the_checksum():
+    payload = protocol.encode_message(
+        {"kind": protocol.MESSAGE_PROBE}, {"ids": np.arange(16, dtype=np.int64)}
+    )
+    with pytest.raises(protocol.ProtocolError, match="checksum mismatch"):
+        protocol.decode_message(_flip_last_payload_byte(payload))
+
+
+def _rewrite_header(payload: bytes, **overrides):
+    """Re-encode the frame with header fields patched (or deleted via None)."""
+    import json
+
+    _magic, header_len = protocol._PREFIX.unpack_from(payload)
+    data_start = protocol._PREFIX.size + header_len
+    header = json.loads(payload[protocol._PREFIX.size : data_start])
+    for key, value in overrides.items():
+        if value is None:
+            header.pop(key, None)
+        else:
+            header[key] = value
+    raw = json.dumps(header).encode("utf-8")
+    return protocol._PREFIX.pack(protocol._MAGIC, len(raw)) + raw + payload[data_start:]
+
+
+def test_frame_without_checksum_fields_still_decodes():
+    """Backward compatibility: a peer speaking the pre-checksum dialect."""
+    payload = protocol.encode_message(
+        {"kind": protocol.MESSAGE_PROBE}, {"ids": np.arange(4, dtype=np.int64)}
+    )
+    legacy = _rewrite_header(payload, data_len=None, crc32=None)
+    meta, arrays = protocol.decode_message(legacy)
+    assert meta["kind"] == protocol.MESSAGE_PROBE
+    assert np.array_equal(arrays["ids"], np.arange(4, dtype=np.int64))
+
+
+def test_crc_without_data_len_is_rejected():
+    payload = protocol.encode_message({"kind": protocol.MESSAGE_PROBE}, {})
+    with pytest.raises(protocol.ProtocolError, match="crc32 but no data_len"):
+        protocol.decode_message(_rewrite_header(payload, data_len=None))
+
+
+def test_data_len_past_received_bytes_is_truncation():
+    payload = protocol.encode_message(
+        {"kind": protocol.MESSAGE_PROBE}, {"ids": np.arange(4, dtype=np.int64)}
+    )
+    with pytest.raises(protocol.ProtocolError, match="truncated"):
+        protocol.decode_message(_rewrite_header(payload, data_len=4 * 8 + 1))
+
+
+def test_array_past_declared_data_len_is_rejected():
+    payload = protocol.encode_message(
+        {"kind": protocol.MESSAGE_PROBE}, {"ids": np.arange(4, dtype=np.int64)}
+    )
+    _magic, header_len = protocol._PREFIX.unpack_from(payload)
+    import json
+
+    header = json.loads(payload[protocol._PREFIX.size : protocol._PREFIX.size + header_len])
+    header["arrays"]["ids"]["shape"] = [5]  # runs one element past data_len
+    bad = _rewrite_header(payload, arrays=header["arrays"]) + b"\x00" * 8
+    with pytest.raises(protocol.ProtocolError, match="runs past the declared payload"):
+        protocol.decode_message(bad)
+
+
+def test_oversized_declared_array_is_rejected():
+    payload = protocol.encode_message(
+        {"kind": protocol.MESSAGE_PROBE}, {"ids": np.arange(4, dtype=np.int64)}
+    )
+    _magic, header_len = protocol._PREFIX.unpack_from(payload)
+    import json
+
+    header = json.loads(payload[protocol._PREFIX.size : protocol._PREFIX.size + header_len])
+    header["arrays"]["ids"]["shape"] = [1 << 40]
+    with pytest.raises(protocol.ProtocolError, match="frame cap"):
+        protocol.decode_message(_rewrite_header(payload, arrays=header["arrays"]))
+
+
 def test_socket_framing_round_trip():
     left, right = socket.socketpair()
     try:

@@ -65,6 +65,47 @@ def test_fanout_stats_strict_rejects_inconsistent_payload():
         ShardFanoutStats.from_dict(payload, strict=True)
 
 
+def test_fanout_degraded_fields_round_trip_and_merge():
+    stats = ShardFanoutStats.sized(2)
+    stats.aborts[1] = 2
+    stats.completeness = 0.75
+    stats.shards_missing = [3]
+    restored = ShardFanoutStats.from_dict(stats.to_dict(), strict=True)
+    assert restored.aborts == [0, 2]
+    assert restored.completeness == 0.75
+    assert restored.shards_missing == [3]
+    assert restored.to_dict() == stats.to_dict()
+
+    # Merging keeps the weakest completeness and the union of missing
+    # shards; aborts accumulate positionally like the other counters.
+    other = ShardFanoutStats.sized(2)
+    other.aborts[1] = 1
+    other.completeness = 0.5
+    other.shards_missing = [0, 3]
+    stats.add(other)
+    assert stats.aborts == [0, 3]
+    assert stats.completeness == 0.5
+    assert stats.shards_missing == [0, 3]
+
+
+def test_fanout_legacy_payload_defaults_to_full_answer():
+    # Pre-degraded-mode payloads carry none of the new fields; they decode
+    # as "no aborts, complete answer" even in strict mode.
+    payload = ShardFanoutStats.sized(2).to_dict()
+    del payload["aborts"], payload["completeness"], payload["shards_missing"]
+    restored = ShardFanoutStats.from_dict(payload, strict=True)
+    assert restored.aborts == [0, 0]
+    assert restored.completeness == 1.0
+    assert restored.shards_missing == []
+
+
+def test_fanout_strict_rejects_out_of_range_completeness():
+    payload = ShardFanoutStats.sized(2).to_dict()
+    payload["completeness"] = 1.5
+    with pytest.raises(ValueError, match="completeness"):
+        ShardFanoutStats.from_dict(payload, strict=True)
+
+
 def test_batch_stats_round_trip_carries_fanout():
     stats = BatchQueryStats()
     stats.fanout = ShardFanoutStats.sized(2)

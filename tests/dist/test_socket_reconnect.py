@@ -1,0 +1,216 @@
+"""Socket-transport reconnect edge cases.
+
+The socket transport promises one reconnect per request: a dead or
+misbehaving peer costs the first attempt, the retry either lands on a
+healthy listener or the request surfaces ``ShardUnavailableError``.
+These tests drive that path with real servers — a worker restart on the
+same unix socket path, a peer that closes mid-frame, and concurrent
+requests racing a single reconnect slot.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.dist import protocol
+from repro.dist.transport import ShardUnavailableError, SocketTransport
+from repro.dist.worker import ShardServer, ShardWorkerState
+
+NUM_SHARDS = 4
+ALL_SHARDS = tuple(range(NUM_SHARDS))
+
+
+def _start_server(state: ShardWorkerState, socket_path: str) -> ShardServer:
+    server = ShardServer(state, socket_path=socket_path)
+    server.start()
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    return server
+
+
+def _probe_args(dist_index):
+    keys = np.zeros(1, dtype=np.uint64)  # key 0 routes to shard 0
+    items = np.asarray(sorted(dist_index.dataset[0]), dtype=np.int64)
+    offsets = np.asarray([0, items.size], dtype=np.int64)
+    return keys, items, offsets
+
+
+def _shutdown_peer(transport: SocketTransport, worker: int) -> None:
+    """Cleanly stop the server *and* its established connection.
+
+    ``ShardServer.close`` alone only stops the listener — the connection
+    thread keeps serving the cached socket, so a test that wants a stale
+    client connection must make the peer hang up too.
+    """
+    transport._request(
+        worker, protocol.encode_message({"kind": protocol.MESSAGE_SHUTDOWN})
+    )
+    # The server unlinks its socket path just after answering; wait for it
+    # so a restart on the same path can rebind.
+    address = transport.addresses[worker]
+    path = address[len("unix:") :] if address.startswith("unix:") else address
+    deadline = time.time() + 5.0
+    while os.path.exists(path) and time.time() < deadline:
+        time.sleep(0.01)
+
+
+class FlakyShardServer:
+    """A frame-speaking server that can truncate one response mid-frame."""
+
+    def __init__(self, state: ShardWorkerState, socket_path: str) -> None:
+        self._state = state
+        self._path = socket_path
+        self.truncate_next = threading.Event()
+        self._closed = threading.Event()
+        self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._listener.bind(socket_path)
+        self._listener.listen()
+        threading.Thread(target=self._serve, daemon=True).start()
+
+    def _serve(self) -> None:
+        while not self._closed.is_set():
+            try:
+                connection, _peer = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve_connection, args=(connection,), daemon=True
+            ).start()
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        with connection:
+            while True:
+                try:
+                    payload = protocol.recv_frame(connection)
+                except (protocol.ConnectionClosed, OSError):
+                    return
+                response, _shutdown = self._state.handle_frame(payload)
+                if self.truncate_next.is_set():
+                    self.truncate_next.clear()
+                    frame = protocol._FRAME_PREFIX.pack(len(response))
+                    frame += response[: len(response) // 2]
+                    try:
+                        connection.sendall(frame)
+                    except OSError:
+                        pass
+                    return  # hang up mid-frame
+                try:
+                    protocol.send_frame(connection, response)
+                except OSError:
+                    return
+
+    def close(self) -> None:
+        self._closed.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        try:
+            os.unlink(self._path)
+        except OSError:
+            pass
+
+
+def test_worker_restart_between_requests_reconnects_once(dist_index, tmp_path):
+    socket_path = str(tmp_path / "worker.sock")
+    state = ShardWorkerState(dist_index.path, ALL_SHARDS)
+    _start_server(state, socket_path)
+    transport = SocketTransport([socket_path])
+    try:
+        keys, items, offsets = _probe_args(dist_index)
+        baseline, baseline_ids = transport.probe(0, 0, keys, items, offsets)
+
+        _shutdown_peer(transport, 0)
+        _start_server(ShardWorkerState(dist_index.path, ALL_SHARDS), socket_path)
+
+        # The cached connection is stale; the transport must notice, record
+        # a recovered failure, reconnect, and still answer bit-identically.
+        lengths, ids = transport.probe(0, 0, keys, items, offsets)
+        assert np.array_equal(lengths, baseline)
+        assert np.array_equal(ids, baseline_ids)
+        failures, recoveries = transport.counters()
+        assert failures[0] == 1
+        assert recoveries[0] == 1
+    finally:
+        transport.close()
+
+
+def test_peer_closing_mid_frame_triggers_reconnect(dist_index, tmp_path):
+    socket_path = str(tmp_path / "flaky.sock")
+    state = ShardWorkerState(dist_index.path, ALL_SHARDS)
+    server = FlakyShardServer(state, socket_path)
+    transport = SocketTransport([socket_path])
+    try:
+        keys, items, offsets = _probe_args(dist_index)
+        baseline, baseline_ids = transport.probe(0, 0, keys, items, offsets)
+
+        # A partial frame followed by EOF is a torn response, not a valid
+        # error frame — the client treats it as a connection failure.
+        server.truncate_next.set()
+        lengths, ids = transport.probe(0, 0, keys, items, offsets)
+        assert np.array_equal(lengths, baseline)
+        assert np.array_equal(ids, baseline_ids)
+        failures, recoveries = transport.counters()
+        assert failures[0] == 1
+        assert recoveries[0] == 1
+    finally:
+        transport.close()
+        server.close()
+
+
+def test_concurrent_requests_race_one_reconnect(dist_index, tmp_path):
+    socket_path = str(tmp_path / "race.sock")
+    state = ShardWorkerState(dist_index.path, ALL_SHARDS)
+    server = FlakyShardServer(state, socket_path)
+    transport = SocketTransport([socket_path])
+    try:
+        keys, items, offsets = _probe_args(dist_index)
+        baseline, baseline_ids = transport.probe(0, 0, keys, items, offsets)
+
+        # Break the live connection, then hit it from many threads at once.
+        # The per-worker lock serialises the reconnect: exactly one request
+        # pays for it, every request still succeeds.
+        server.truncate_next.set()
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            futures = [
+                pool.submit(transport.probe, 0, 0, keys, items, offsets)
+                for _ in range(8)
+            ]
+            results = [future.result(timeout=30) for future in futures]
+        for lengths, ids in results:
+            assert np.array_equal(lengths, baseline)
+            assert np.array_equal(ids, baseline_ids)
+        failures, recoveries = transport.counters()
+        assert failures[0] == 1
+        assert recoveries[0] == 1
+    finally:
+        transport.close()
+        server.close()
+
+
+def test_exhausted_reconnects_surface_shard_unavailable(dist_index, tmp_path):
+    socket_path = str(tmp_path / "gone.sock")
+    state = ShardWorkerState(dist_index.path, ALL_SHARDS)
+    _start_server(state, socket_path)
+    transport = SocketTransport([socket_path])
+    try:
+        keys, items, offsets = _probe_args(dist_index)
+        transport.probe(0, 0, keys, items, offsets)
+
+        # Server gone for good: stale connection fails, the reconnect finds
+        # no listener, and the request surfaces as unavailable.
+        _shutdown_peer(transport, 0)
+        with pytest.raises(ShardUnavailableError, match="is unavailable"):
+            transport.probe(0, 0, keys, items, offsets)
+        failures, recoveries = transport.counters()
+        assert failures[0] == 2
+        assert recoveries[0] == 1
+        assert not transport._alive(0)
+    finally:
+        transport.close()

@@ -28,7 +28,7 @@ class RecordingRunner:
         self.calls: list[tuple[list[frozenset[int]], str]] = []
         self.gate = gate
 
-    def __call__(self, queries, mode):
+    def __call__(self, queries, mode, allow_partial=False, deadline=None):
         if self.gate is not None:
             assert self.gate.wait(timeout=60)
         queries = list(queries)
@@ -58,7 +58,7 @@ def test_concurrent_jobs_coalesce_into_one_engine_call():
     assert len(runner.calls) == 1
     assert runner.calls[0][0] == [q(i) for i in range(5)]
     # Each job got exactly its own slice back, in order.
-    for i, (job_results, per_query) in enumerate(results):
+    for i, (job_results, per_query, _fanout) in enumerate(results):
         assert job_results == [q(i)]
         assert len(per_query) == 1 and per_query[0].found
     assert batcher.stats.engine_calls == 1
@@ -176,7 +176,7 @@ def test_oversized_job_admitted_when_idle():
     async def body():
         runner = RecordingRunner()
         batcher = MicroBatcher(runner, window_seconds=0.0, max_pending_queries=2)
-        results, per_query = await batcher.submit([q(1), q(2), q(3)])
+        results, per_query, _ = await batcher.submit([q(1), q(2), q(3)])
         await batcher.close()
         return results, per_query
 
@@ -189,7 +189,7 @@ def test_engine_failure_is_scattered_not_fatal():
     async def body():
         calls = []
 
-        def runner(queries, mode):
+        def runner(queries, mode, allow_partial=False, deadline=None):
             calls.append(list(queries))
             if len(calls) == 1:
                 raise RuntimeError("engine exploded")
@@ -203,7 +203,7 @@ def test_engine_failure_is_scattered_not_fatal():
         with pytest.raises(RuntimeError, match="engine exploded"):
             await batcher.submit([q(1)])
         # The batcher keeps serving after a failed call.
-        results, _ = await batcher.submit([q(2)])
+        results, _, _ = await batcher.submit([q(2)])
         await batcher.close()
         return results
 
@@ -243,7 +243,7 @@ def test_retry_after_estimate_is_clamped():
 
 
 def test_constructor_validation():
-    def runner(queries, mode):  # pragma: no cover - never called
+    def runner(queries, mode, allow_partial=False, deadline=None):  # pragma: no cover
         raise AssertionError
 
     with pytest.raises(ValueError, match="window_seconds"):

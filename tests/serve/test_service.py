@@ -88,10 +88,10 @@ def test_shed_request_gets_429_with_retry_after(saved_index):
         real_run_batch = served.batcher._run_batch
         executed: list[list[frozenset[int]]] = []
 
-        def gated_run_batch(queries, mode):
+        def gated_run_batch(queries, mode, allow_partial=False, deadline=None):
             assert gate.wait(timeout=60)
             executed.append(list(queries))
-            return real_run_batch(queries, mode)
+            return real_run_batch(queries, mode, allow_partial, deadline)
 
         served.batcher._run_batch = gated_run_batch
         try:

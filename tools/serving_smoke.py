@@ -19,10 +19,24 @@ the smoke additionally asserts the per-shard surface:
   and a positive total request count after the burst;
 * ``/metrics`` exposes the ``repro_shard_*`` families.
 
+With ``--fault-spec SPEC`` (requires ``--shard-procs``) the smoke becomes a
+chaos scenario instead of a coalescing burst: the server boots with the
+fault schedule armed (e.g. the ``crash-one-worker`` preset) and the client
+drives ``allow_partial`` batches through the failure, asserting that
+
+* the service *degrades* — at least one 200 arrives with
+  ``completeness < 1`` and ``shards_missing`` set — and never answers 5xx
+  to a partial-tolerant request;
+* the service *recovers* — completeness returns to 1.0 once the breaker's
+  half-open probe succeeds, with every worker's breaker closed and at
+  least one recovery probe counted in ``/stats``;
+* ``/metrics`` exposes the ``repro_shard_breaker_state`` and
+  ``repro_shard_retries_total`` families.
+
 Usage::
 
     PYTHONPATH=src python tools/serving_smoke.py INDEX_PATH QUERIES_FILE \
-        [--shard-procs N]
+        [--shard-procs N] [--fault-spec SPEC]
 """
 
 from __future__ import annotations
@@ -64,21 +78,87 @@ def _get(port: int, path: str) -> tuple[int, dict]:
         connection.close()
 
 
-def _post_query(port: int, query: list[int]) -> tuple[int, dict]:
+def _get_text(port: int, path: str) -> tuple[int, str]:
     connection = HTTPConnection("127.0.0.1", port, timeout=30)
     try:
-        body = json.dumps({"query": query}).encode()
-        connection.request(
-            "POST", "/query", body, {"Content-Type": "application/json"}
-        )
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, response.read().decode()
+    finally:
+        connection.close()
+
+
+def _post(port: int, path: str, payload: dict) -> tuple[int, dict]:
+    connection = HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        body = json.dumps(payload).encode()
+        connection.request("POST", path, body, {"Content-Type": "application/json"})
         response = connection.getresponse()
         return response.status, json.loads(response.read())
     finally:
         connection.close()
 
 
+def _post_query(port: int, query: list[int]) -> tuple[int, dict]:
+    return _post(port, "/query", {"query": query})
+
+
+def _run_chaos(port: int, queries: list[list[int]], shard_procs: int) -> int:
+    """Drive allow_partial batches through the fault schedule: the service
+    must degrade (partial 200s), recover (completeness back to 1.0), and
+    never answer 5xx to a partial-tolerant client."""
+    batch = {"queries": queries[:8], "allow_partial": True}
+    saw_partial = False
+    recovered = False
+    responses = 0
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        status, payload = _post(port, "/query-batch", batch)
+        assert status < 500, f"5xx under chaos (response {responses}): {payload}"
+        assert status == 200, (status, payload)
+        responses += 1
+        completeness = payload.get("completeness", 1.0)
+        if completeness < 1.0:
+            saw_partial = True
+            assert payload["shards_missing"], payload
+            assert len(payload["results"]) == len(batch["queries"]), payload
+        elif saw_partial:
+            recovered = True
+            assert payload.get("shards_missing", []) == [], payload
+            break
+        time.sleep(0.1)
+    assert saw_partial, "fault injection never degraded a response"
+    assert recovered, "completeness never returned to 1.0 (no recovery)"
+
+    status, stats = _get(port, "/stats")
+    assert status == 200, status
+    (index_stats,) = stats["indexes"].values()
+    per_worker = index_stats["shards"]["per_worker"]
+    assert len(per_worker) == shard_procs, per_worker
+    assert all(
+        entry["breaker"]["state"] == "closed" for entry in per_worker
+    ), per_worker
+    retries = sum(entry["retries"] for entry in per_worker)
+    assert retries >= 1, f"no half-open recovery probe was ever admitted: {per_worker}"
+    failures = sum(entry["failures"] for entry in per_worker)
+    assert failures >= 1, per_worker
+
+    status, metrics = _get_text(port, "/metrics")
+    assert status == 200, status
+    assert "repro_shard_breaker_state" in metrics, "breaker gauge missing"
+    assert "repro_shard_retries_total" in metrics, "retries counter missing"
+
+    print(
+        f"OK: chaos degraded and recovered over {responses} partial-tolerant "
+        f"batches ({failures} worker failures, {retries} recovery probes, "
+        f"0 server errors)"
+    )
+    return 0
+
+
 def main(argv: list[str]) -> int:
     shard_procs = None
+    fault_spec = None
     positional: list[str] = []
     arguments = list(argv)
     while arguments:
@@ -88,9 +168,14 @@ def main(argv: list[str]) -> int:
                 print(__doc__)
                 return 2
             shard_procs = int(arguments.pop(0))
+        elif argument == "--fault-spec":
+            if not arguments:
+                print(__doc__)
+                return 2
+            fault_spec = arguments.pop(0)
         else:
             positional.append(argument)
-    if len(positional) != 2:
+    if len(positional) != 2 or (fault_spec is not None and shard_procs is None):
         print(__doc__)
         return 2
     index_path, queries_file = positional
@@ -111,6 +196,8 @@ def main(argv: list[str]) -> int:
     ]
     if shard_procs is not None:
         command += ["--shard-procs", str(shard_procs)]
+    if fault_spec is not None:
+        command += ["--fault-spec", fault_spec]
     server = subprocess.Popen(command, stdout=subprocess.PIPE, text=True)
     try:
         deadline = time.monotonic() + 60
@@ -129,6 +216,10 @@ def main(argv: list[str]) -> int:
 
         status, payload = _get(port, "/healthz")
         assert status == 200 and payload["status"] == "ok", (status, payload)
+
+        if fault_spec is not None:
+            assert shard_procs is not None
+            return _run_chaos(port, queries, shard_procs)
 
         with ThreadPoolExecutor(max_workers=NUM_CLIENTS) as pool:
             responses = list(pool.map(lambda q: _post_query(port, q), queries))
